@@ -1,0 +1,104 @@
+// Reproduces the paper's §II-A cloud-configuration stage in isolation:
+// CherryPick-style Bayesian optimization over (instance family, type, VM
+// count) against random search and the exhaustive optimum, per workload and
+// objective. The claim under test: BO finds near-optimal cloud configs with
+// ~10 trials where exhaustive search needs the whole catalog.
+#include <cmath>
+
+#include "service/cloud_tuner.hpp"
+#include "tuning/tuners.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace stune;
+using namespace stune::bench;
+
+constexpr simcore::Bytes kInput = 16ULL << 30;
+constexpr int kMinVms = 2, kMaxVms = 10;
+
+struct CloudEval {
+  double runtime = 0.0;
+  double cost = 0.0;
+  bool failed = false;
+};
+
+CloudEval evaluate(const workload::Workload& w, const cluster::ClusterSpec& spec) {
+  const auto cl = cluster::Cluster::from_spec(spec);
+  const auto r = averaged_runtime(w, kInput, service::provider_auto_config(cl), cl, 1);
+  return {r.runtime, cl.cost_of(r.runtime), !r.success};
+}
+
+double score(const CloudEval& e, service::CloudObjective obj) {
+  switch (obj) {
+    case service::CloudObjective::kRuntime: return e.runtime;
+    case service::CloudObjective::kCost: return e.cost * 3600.0;
+    case service::CloudObjective::kBalanced: return std::sqrt(e.runtime * e.cost * 3600.0);
+  }
+  return e.runtime;
+}
+
+}  // namespace
+
+int main() {
+  section("cloud configuration search (paper §II-A, CherryPick territory)");
+  std::printf("space: %zu instance types x %d-%d VMs; every cluster runs the provider\n"
+              "auto-config; input %s\n\n",
+              cluster::instance_catalog().size(), kMinVms, kMaxVms,
+              simcore::format_bytes(kInput).c_str());
+
+  for (const std::string name : {"pagerank", "wordcount", "kmeans"}) {
+    const auto w = workload::make_workload(name);
+
+    for (const auto obj :
+         {service::CloudObjective::kRuntime, service::CloudObjective::kCost}) {
+      // Exhaustive optimum for reference.
+      double best_score = std::numeric_limits<double>::infinity();
+      cluster::ClusterSpec best_spec;
+      int evaluated = 0;
+      for (const auto& type : cluster::instance_catalog()) {
+        for (int vms = kMinVms; vms <= kMaxVms; ++vms) {
+          const auto e = evaluate(*w, {type.name, vms});
+          ++evaluated;
+          if (e.failed) continue;
+          const double s = score(e, obj);
+          if (s < best_score) {
+            best_score = s;
+            best_spec = {type.name, vms};
+          }
+        }
+      }
+
+      Table t({"strategy", "trials", "chosen cluster", "runtime (s)", "cost ($)",
+               "score vs optimal"});
+      const auto opt_eval = evaluate(*w, best_spec);
+      t.add_row({"exhaustive", fmt("%.0f", static_cast<double>(evaluated)),
+                 best_spec.to_string(), fmt("%.1f", opt_eval.runtime),
+                 fmt("%.3f", opt_eval.cost), "1.00x"});
+
+      for (const std::size_t budget : {6ul, 10ul, 16ul}) {
+        for (const auto strategy : {service::CloudStrategy::kBayesOpt,
+                                    service::CloudStrategy::kErnest,
+                                    service::CloudStrategy::kRandom}) {
+          service::CloudTunerOptions copts;
+          copts.strategy = strategy;
+          copts.budget = budget;
+          copts.objective = obj;
+          copts.min_vms = kMinVms;
+          copts.max_vms = kMaxVms;
+          copts.seed = 3;
+          const auto choice = service::CloudTuner(copts).choose(*w, kInput);
+          const auto eval = evaluate(*w, choice.spec);
+          t.add_row({to_string(strategy),
+                     fmt("%.0f", static_cast<double>(choice.trials)),
+                     choice.spec.to_string(), fmt("%.1f", eval.runtime),
+                     fmt("%.3f", eval.cost), fmt("%.2fx", score(eval, obj) / best_score)});
+        }
+      }
+      section(name + " / objective=" + service::to_string(obj));
+      t.print();
+    }
+  }
+  return 0;
+}

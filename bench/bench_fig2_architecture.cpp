@@ -1,0 +1,69 @@
+// Reproduces paper Fig. 2: Spark's internal architecture — program ->
+// driver -> RDD lineage -> DAG of stages -> task sets on executors. The
+// engine *is* the reproduction; this bench makes the decomposition visible
+// for the paper's running example (an iterative PageRank job) and prints
+// the per-stage, per-resource timing the driver's UI would show.
+#include "dag/plan.hpp"
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace stune;
+  using namespace stune::bench;
+
+  const auto cluster = paper_testbed();
+  const workload::PageRank w(3);
+  constexpr simcore::Bytes kInput = 8ULL << 30;
+
+  section("Fig. 2 reproduction: driver-side job decomposition");
+
+  // 1. Logical plan: the RDD lineage the user program implies.
+  const auto logical = w.logical(nullptr);
+  std::printf("RDD lineage (%zu RDDs):\n", logical.nodes().size());
+  for (const auto& n : logical.nodes()) {
+    std::printf("  #%-2d %-14s %-13s", n.id, n.name.c_str(), dag::to_string(n.kind).c_str());
+    if (!n.parents.empty()) {
+      std::printf(" <- {");
+      for (std::size_t i = 0; i < n.parents.size(); ++i) {
+        std::printf("%s%d", i ? "," : "", n.parents[i]);
+      }
+      std::printf("}");
+    }
+    if (n.cached) std::printf("  [cached]");
+    std::printf("\n");
+  }
+
+  // 2. Physical plan: stages split at shuffle boundaries, volumes sized.
+  const auto plan = w.plan(kInput);
+  std::printf("\n%s", plan.describe().c_str());
+
+  // 3. Execution: tasks scheduled onto executor slots.
+  auto conf = config::spark_space()->default_config();
+  conf.set(config::spark::kExecutorInstances, 16);
+  conf.set(config::spark::kExecutorCores, 4);
+  conf.set(config::spark::kExecutorMemoryGiB, 13.0);
+  conf.set(config::spark::kDefaultParallelism, 256);
+  conf.set(config::spark::kSerializer, 1.0);
+  const disc::SparkSimulator sim(cluster);
+  const auto r = sim.run(plan, conf);
+
+  section("per-stage execution (driver timeline)");
+  Table t({"stage", "tasks", "waves", "start (s)", "duration (s)", "cpu", "gc", "disk", "net",
+           "spill", "shuffle r/w", "cache hit"});
+  for (const auto& s : r.stages) {
+    t.add_row({s.label, fmt("%.0f", s.tasks), fmt("%.0f", s.waves), fmt("%.1f", s.start),
+               fmt("%.2f", s.duration), fmt("%.0fs", s.cpu_seconds), fmt("%.0fs", s.gc_seconds),
+               fmt("%.0fs", s.disk_seconds), fmt("%.0fs", s.net_seconds),
+               fmt("%.0fs", s.spill_seconds),
+               simcore::format_bytes(s.shuffle_read_bytes) + "/" +
+                   simcore::format_bytes(s.shuffle_write_bytes),
+               pct(s.cache_hit_fraction)});
+  }
+  t.print();
+  std::printf("\njob: %s\n", r.summary().c_str());
+  std::printf("resource shares of task time: cpu %s, gc %s, disk %s, net %s, spill %s\n",
+              pct(r.cpu_fraction()).c_str(), pct(r.gc_fraction()).c_str(),
+              pct(r.disk_fraction()).c_str(), pct(r.net_fraction()).c_str(),
+              pct(r.spill_fraction()).c_str());
+  return 0;
+}

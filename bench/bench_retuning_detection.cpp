@@ -1,0 +1,117 @@
+// Reproduces the paper's §V-D argument about *defining the need for
+// re-tuning*: fixed percentual thresholds fire "either too frequently or
+// too late", while sequential detectors that adapt to the stream's own
+// variance separate transient noise from sustained drift.
+//
+// We generate runtime streams from the simulator itself:
+//   stationary      — the same workload, run-to-run environmental noise only
+//   spiky           — stationary plus occasional one-off straggler storms
+//   input growth    — the input starts growing 6% per run at run 30 (§IV-B)
+//   contention onset— co-located tenants arrive at run 30
+// and score every detector on false alarms (streams with no real drift) and
+// detection delay (runs after onset).
+#include <cmath>
+#include <functional>
+
+#include "adaptive/change_detector.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace stune;
+using namespace stune::bench;
+
+constexpr int kOnset = 30;
+constexpr int kLength = 70;
+
+std::vector<double> runtime_stream(const std::function<void(int, simcore::Bytes*,
+                                                            cluster::ContentionParams*)>& shape) {
+  const auto w = workload::make_workload("pagerank");
+  const auto conf = [] {
+    auto c = config::spark_space()->default_config();
+    c.set(config::spark::kExecutorInstances, 16);
+    c.set(config::spark::kExecutorCores, 4);
+    c.set(config::spark::kExecutorMemoryGiB, 13.0);
+    c.set(config::spark::kDefaultParallelism, 256);
+    c.set(config::spark::kSerializer, 1.0);
+    return c;
+  }();
+  const auto cluster = paper_testbed();
+  std::vector<double> stream;
+  for (int i = 0; i < kLength; ++i) {
+    simcore::Bytes size = 8ULL << 30;
+    cluster::ContentionParams contention{};
+    shape(i, &size, &contention);
+    disc::EngineOptions opts;
+    opts.seed = 1000 + static_cast<std::uint64_t>(i);
+    opts.contention = contention;
+    const disc::SparkSimulator sim(cluster, opts);
+    stream.push_back(workload::execute(*w, size, sim, conf).runtime);
+  }
+  return stream;
+}
+
+struct Score {
+  int false_alarms = 0;   // trigger count on no-drift streams
+  int delay = -1;         // runs after onset until trigger; -1 = missed
+};
+
+Score score_detector(adaptive::ChangeDetector& d, const std::vector<double>& stream, int onset) {
+  Score s;
+  for (int i = 0; i < static_cast<int>(stream.size()); ++i) {
+    const bool fired = d.add(stream[i]);
+    if (fired) {
+      if (onset < 0 || i < onset) {
+        ++s.false_alarms;
+        d.reset();  // re-arm, as the controller would after a futile re-tune
+      } else if (s.delay < 0) {
+        s.delay = i - onset + 1;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  section("re-tuning detection (paper §V-D)");
+
+  const auto stationary = runtime_stream([](int, simcore::Bytes*, cluster::ContentionParams*) {});
+  const auto spiky = runtime_stream([](int i, simcore::Bytes*, cluster::ContentionParams* c) {
+    // Transient co-location storms at isolated runs: noise, not drift.
+    if (i % 17 == 9) *c = cluster::ContentionParams::heavy();
+  });
+  const auto growth = runtime_stream([](int i, simcore::Bytes* size, cluster::ContentionParams*) {
+    if (i >= kOnset) {
+      *size = static_cast<simcore::Bytes>(static_cast<double>(*size) *
+                                          std::pow(1.06, i - kOnset + 1));
+    }
+  });
+  const auto contention =
+      runtime_stream([](int i, simcore::Bytes*, cluster::ContentionParams* c) {
+        if (i >= kOnset) *c = cluster::ContentionParams::moderate();
+      });
+
+  Table t({"detector", "false alarms (stationary)", "false alarms (spiky)",
+           "delay: input growth", "delay: contention onset"});
+  for (const auto& name : adaptive::detector_names()) {
+    const auto s1 = score_detector(*adaptive::make_detector(name), stationary, -1);
+    const auto s2 = score_detector(*adaptive::make_detector(name), spiky, -1);
+    const auto s3 = score_detector(*adaptive::make_detector(name), growth, kOnset);
+    const auto s4 = score_detector(*adaptive::make_detector(name), contention, kOnset);
+    auto delay_str = [](int delay) {
+      return delay < 0 ? std::string("missed") : fmt("%.0f runs", delay);
+    };
+    t.add_row({name, fmt("%.0f", s1.false_alarms), fmt("%.0f", s2.false_alarms),
+               delay_str(s3.delay), delay_str(s4.delay)});
+  }
+  t.print();
+
+  std::printf(
+      "\nreading: the fixed threshold (the paper's criticized baseline) confuses transient\n"
+      "spikes with drift (false re-tunes cost real money), while CUSUM/Page-Hinkley absorb\n"
+      "them and still catch sustained change within a few runs.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Scaling behaviour of the workload suite — the curves every model-based
+// cloud tuner (Ernest, §II-A) implicitly assumes it can fit:
+//   runtime vs. input size   (fixed cluster, provider auto-config)
+//   runtime vs. cluster size (fixed input), with the Ernest basis's fit
+//   quality per workload — quantifying when analytic extrapolation is safe
+//   (clean scale-out) and when it is not (cache cliffs, §II-A's criticism).
+#include <cmath>
+
+#include "model/linear.hpp"
+#include "service/cloud_tuner.hpp"
+#include "simcore/stats.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace stune;
+using namespace stune::bench;
+
+double runtime_on(const workload::Workload& w, const cluster::ClusterSpec& spec,
+                  simcore::Bytes input) {
+  const auto cl = cluster::Cluster::from_spec(spec);
+  const auto r = averaged_runtime(w, input, service::provider_auto_config(cl), cl, 2);
+  return r.success ? r.runtime : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  section("runtime vs input size (4x h1.4xlarge, provider auto-config)");
+  {
+    Table t({"workload", "4 GiB", "8 GiB", "16 GiB", "32 GiB", "64 GiB", "64/4 ratio"});
+    for (const auto& name : workload::workload_names()) {
+      const auto w = workload::make_workload(name);
+      std::vector<std::string> row = {name};
+      double first = 0.0, last = 0.0;
+      for (const simcore::Bytes size :
+           {4ULL << 30, 8ULL << 30, 16ULL << 30, 32ULL << 30, 64ULL << 30}) {
+        const double rt = runtime_on(*w, {"h1.4xlarge", 4}, size);
+        row.push_back(rt < 0 ? "crash" : fmt("%.1f", rt));
+        if (size == 4ULL << 30) first = rt;
+        if (size == 64ULL << 30) last = rt;
+      }
+      row.push_back(first > 0 && last > 0 ? fmt("%.1fx", last / first) : "-");
+      t.add_row(std::move(row));
+    }
+    t.print();
+    std::printf("\nreading: a 16x input costs well under 16x runtime for scan-dominated jobs\n"
+                "(single-wave slack absorbs growth) and over 16x for cache-bound ones (the\n"
+                "working set stops fitting) — the §IV-B re-tuning motive in curve form.\n");
+  }
+
+  section("runtime vs cluster size (m5.2xlarge, 16 GiB) and the Ernest fit");
+  {
+    const std::vector<int> vms = {2, 3, 4, 6, 8, 12, 16};
+    Table t({"workload", "2", "3", "4", "6", "8", "12", "16",
+             "Ernest fit error (trained on 2-4)"});
+    for (const std::string name : {"kmeans", "wordcount", "pagerank", "sort"}) {
+      const auto w = workload::make_workload(name);
+      std::vector<double> runtimes;
+      std::vector<std::string> row = {name};
+      for (const int m : vms) {
+        const double rt = runtime_on(*w, {"m5.2xlarge", m}, 16ULL << 30);
+        runtimes.push_back(rt);
+        row.push_back(rt < 0 ? "crash" : fmt("%.1f", rt));
+      }
+      // Ernest: train on the small clusters, extrapolate to the big ones.
+      model::ErnestModel ernest;
+      bool usable = true;
+      for (std::size_t i = 0; i < 3; ++i) {
+        if (runtimes[i] < 0) usable = false;
+        ernest.add_observation(16.0, vms[i], runtimes[i]);
+      }
+      if (usable) {
+        ernest.fit();
+        simcore::RunningStats err;
+        for (std::size_t i = 3; i < vms.size(); ++i) {
+          if (runtimes[i] < 0) continue;
+          err.add(std::abs(ernest.predict(16.0, vms[i]) - runtimes[i]) / runtimes[i]);
+        }
+        row.push_back(pct(err.mean()));
+      } else {
+        row.push_back("profile crashed");
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+    std::printf("\nreading: the Ernest basis extrapolates compute-bound kmeans within a few\n"
+                "percent but misses where memory effects bend the curve — quantifying §II-A's\n"
+                "'poor adaptivity to other types of workloads'.\n");
+  }
+  return 0;
+}

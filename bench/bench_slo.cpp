@@ -1,0 +1,78 @@
+// Reproduces the paper's §IV-D proposal: "jobs should run within X% of the
+// optimal runtime" as a *tuning-effectiveness SLO*, with the optimum
+// operationalized as the best known runtime of similar workloads in the
+// provider's knowledge base (the paper's own suggested substitute).
+//
+// We run the seamless service over a multi-tenant trace (every workload in
+// the suite, several tenants, recurring runs) and report the SLO attainment
+// distribution at several X, plus the provider-side bookkeeping the new SLO
+// needs (references available, mean excess).
+#include "service/tuning_service.hpp"
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace stune;
+  using namespace stune::bench;
+
+  constexpr int kRunsPerTenant = 15;
+
+  section("tuning-effectiveness SLO over a multi-tenant trace (paper §IV-D, §V-C)");
+
+  service::ServiceOptions opts;
+  opts.tuning_budget = 25;
+  opts.cloud.budget = 8;
+  opts.ledger_baseline = service::ServiceOptions::Baseline::kSparkDefault;
+  service::TuningService svc(opts);
+
+  struct Tenant {
+    std::string name;
+    std::string workload;
+    int handle = 0;
+  };
+  std::vector<Tenant> tenants;
+  int idx = 0;
+  for (const auto& w : workload::workload_names()) {
+    tenants.push_back({"tenant-" + std::to_string(idx++), w, 0});
+  }
+  for (auto& t : tenants) {
+    t.handle = svc.submit(t.name, workload::make_workload(t.workload), 8ULL << 30);
+  }
+  for (int run = 0; run < kRunsPerTenant; ++run) {
+    for (auto& t : tenants) svc.run_once(t.handle);
+  }
+
+  Table table({"tenant workload", "runs", "mean excess over best-known", "within 10%",
+               "within 25%", "within 50%", "savings vs untuned ($)"});
+  double overall10 = 0.0, overall25 = 0.0, overall50 = 0.0;
+  for (const auto& t : tenants) {
+    const auto& tracker = svc.slo_tracker(t.handle);
+    auto attainment_at = [&](double x) {
+      std::size_t referenced = 0, ok = 0;
+      for (const auto& e : tracker.evaluations()) {
+        if (!e.had_reference) continue;
+        ++referenced;
+        ok += (e.excess_fraction <= x) ? 1 : 0;
+      }
+      return referenced ? static_cast<double>(ok) / referenced : 1.0;
+    };
+    const double a10 = attainment_at(0.10), a25 = attainment_at(0.25), a50 = attainment_at(0.50);
+    overall10 += a10 / tenants.size();
+    overall25 += a25 / tenants.size();
+    overall50 += a50 / tenants.size();
+    table.add_row({t.workload, fmt("%.0f", static_cast<double>(tracker.runs())),
+                   pct(tracker.mean_excess_fraction()), pct(a10), pct(a25), pct(a50),
+                   fmt("%.2f", svc.ledger(t.handle).cumulative_savings())});
+  }
+  table.print();
+
+  std::printf("\nfleet attainment: within 10%%: %s   within 25%%: %s   within 50%%: %s\n",
+              pct(overall10).c_str(), pct(overall25).c_str(), pct(overall50).c_str());
+  std::printf("knowledge base: %zu records across %zu tenants\n", svc.knowledge_base().size(),
+              svc.knowledge_base().tenant_count());
+  std::printf(
+      "\nreading: per the paper, the achievable X depends on knowing the optimum — here the\n"
+      "reference is the luckiest similar run ever seen, so tight X is noisy by construction;\n"
+      "the distribution above is exactly the measurement a provider would publish.\n");
+  return 0;
+}

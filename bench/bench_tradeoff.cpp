@@ -1,0 +1,61 @@
+// Reproduces the paper's §IV-D trade-off vision: "the tuning service could
+// let users make trade-off decisions which impact things like cost: do I
+// need the results quickly no matter the cost, or am I willing to wait?"
+// and its rhetorical question "Who can tell me if scaling vertically,
+// horizontally or both gives me the best benefit vs cost ratio?"
+//
+// We map the (runtime, cost) Pareto frontier per workload and answer the
+// tenant-level queries the new SLO language implies: fastest under a
+// budget, cheapest under a deadline.
+#include "service/tradeoff.hpp"
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace stune;
+  using namespace stune::bench;
+
+  constexpr simcore::Bytes kInput = 16ULL << 30;
+
+  section("cost/runtime trade-off frontiers (paper §IV-D)");
+  std::printf("explorer budget: 60 executions per workload (cloud diversity + DISC refinement)\n");
+
+  for (const std::string name : {"pagerank", "wordcount", "bayes"}) {
+    const auto w = workload::make_workload(name);
+    service::TradeoffExplorerOptions opts;
+    opts.budget = 60;
+    const auto frontier = service::explore_tradeoff(*w, kInput, opts);
+
+    section(name + ": Pareto frontier (" + fmt("%.0f", static_cast<double>(frontier.size())) +
+            " non-dominated points)");
+    Table t({"cluster", "runtime (s)", "cost per run ($)"});
+    for (const auto& p : frontier.points()) {
+      t.add_row({p.cluster.to_string(), fmt("%.1f", p.runtime), fmt("%.4f", p.cost)});
+    }
+    t.print();
+
+    // The tenant-level queries.
+    const auto& fastest = frontier.points().front();
+    const auto& cheapest = frontier.points().back();
+    std::printf("\n  'results ASAP, cost no object'  -> %-16s %.1fs  $%.4f\n",
+                fastest.cluster.to_string().c_str(), fastest.runtime, fastest.cost);
+    std::printf("  'cheapest possible'             -> %-16s %.1fs  $%.4f\n",
+                cheapest.cluster.to_string().c_str(), cheapest.runtime, cheapest.cost);
+    const double mid_budget = 0.5 * (fastest.cost + cheapest.cost);
+    if (const auto mid = frontier.fastest_under_cost(mid_budget)) {
+      std::printf("  'fastest under $%.4f'          -> %-16s %.1fs  $%.4f\n", mid_budget,
+                  mid->cluster.to_string().c_str(), mid->runtime, mid->cost);
+    }
+    const double deadline = 2.0 * fastest.runtime;
+    if (const auto dl = frontier.cheapest_under_runtime(deadline)) {
+      std::printf("  'cheapest within %.0fs'          -> %-16s %.1fs  $%.4f\n", deadline,
+                  dl->cluster.to_string().c_str(), dl->runtime, dl->cost);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "reading: the frontier spans several x in both dimensions, and its shape is\n"
+      "workload-specific — exactly why the paper says the vertical-vs-horizontal question\n"
+      "has no static answer and should be resolved by the provider per workload.\n");
+  return 0;
+}

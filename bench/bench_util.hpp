@@ -1,0 +1,128 @@
+// Shared helpers for the reproduction benchmarks: the paper's testbed, the
+// multi-seed execution protocol and simple table rendering.
+#pragma once
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "config/spark_space.hpp"
+#include "disc/engine.hpp"
+#include "simcore/rng.hpp"
+#include "workload/execute.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::bench {
+
+/// The paper's Table I testbed: an EMR cluster of four h1.4xlarge.
+inline cluster::Cluster paper_testbed() {
+  return cluster::Cluster::from_spec({"h1.4xlarge", 4});
+}
+
+struct AvgOutcome {
+  double runtime = 0.0;
+  bool success = true;
+};
+
+/// Mean runtime over `seeds` engine seeds (environmental run-to-run noise);
+/// marked failed if any seed fails. This mirrors measuring a config with a
+/// few repetitions on a real cluster.
+inline AvgOutcome averaged_runtime(const workload::Workload& w, simcore::Bytes size,
+                                   const config::Configuration& c,
+                                   const cluster::Cluster& cluster, int seeds = 3,
+                                   const disc::CostModel& cm = {}) {
+  AvgOutcome out;
+  for (int s = 0; s < seeds; ++s) {
+    disc::EngineOptions opts;
+    opts.seed = 42 + static_cast<std::uint64_t>(s);
+    opts.cost = cm;
+    const disc::SparkSimulator sim(cluster, opts);
+    const auto r = workload::execute(w, size, sim, c);
+    out.runtime += r.runtime / seeds;
+    out.success &= r.success;
+  }
+  return out;
+}
+
+struct BestOfRandom {
+  double runtime = std::numeric_limits<double>::infinity();
+  config::Configuration config;
+  int failures = 0;
+};
+
+/// The paper's Table I protocol: best configuration among n random samples.
+inline BestOfRandom best_of_random(const workload::Workload& w, simcore::Bytes size, int n,
+                                   std::uint64_t seed, const cluster::Cluster& cluster,
+                                   int seeds_per_config = 3) {
+  const auto space = config::spark_space();
+  simcore::Rng rng(seed);
+  BestOfRandom best;
+  best.config = space->default_config();
+  for (int i = 0; i < n; ++i) {
+    const auto c = space->sample(rng);
+    const auto r = averaged_runtime(w, size, c, cluster, seeds_per_config);
+    if (!r.success) {
+      ++best.failures;
+      continue;
+    }
+    if (r.runtime < best.runtime) {
+      best.runtime = r.runtime;
+      best.config = c;
+    }
+  }
+  return best;
+}
+
+/// Fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (const auto w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) std::printf("-");
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+inline std::string pct(double fraction) { return fmt("%.0f%%", fraction * 100.0); }
+
+inline void section(const std::string& title) {
+  std::printf("\n== %s ==\n\n", title.c_str());
+}
+
+}  // namespace stune::bench

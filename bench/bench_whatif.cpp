@@ -1,0 +1,141 @@
+// Reproduces the paper's Starfish discussion (§II-B): a What-If engine
+// predicts job runtime under configuration B from a profile measured under
+// configuration A — "finding good configurations hinges on the accuracy of
+// the what-if engine itself; it showed less accuracy when tried with
+// heterogeneous applications".
+//
+// We measure: (1) prediction error vs. distance from the profiled
+// configuration, per workload; (2) rank correlation between predicted and
+// actual runtimes (what a what-if-driven tuner really needs); (3) the
+// payoff: a Starfish-style tuner (profile once, search predictions, validate
+// the top few) against BO at the same *real-execution* budget.
+#include <algorithm>
+#include <numeric>
+
+#include "disc/whatif.hpp"
+#include "simcore/stats.hpp"
+#include "tuning/tuners.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace stune;
+using namespace stune::bench;
+
+constexpr simcore::Bytes kInput = 16ULL << 30;
+
+config::Configuration profile_config() {
+  auto c = config::spark_space()->default_config();
+  c.set(config::spark::kExecutorInstances, 16);
+  c.set(config::spark::kExecutorCores, 4);
+  c.set(config::spark::kExecutorMemoryGiB, 13.0);
+  c.set(config::spark::kDefaultParallelism, 256);
+  c.set(config::spark::kSerializer, 1.0);
+  c.set(config::spark::kDriverMemoryGiB, 8.0);
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const auto cluster = paper_testbed();
+  const disc::WhatIfEngine engine(cluster);
+  const auto space = config::spark_space();
+
+  section("what-if prediction accuracy (paper §II-B, Starfish)");
+  Table t({"workload", "near configs: MAPE", "random configs: MAPE", "rank corr (random)",
+           "feasibility calls right"});
+
+  for (const std::string name : {"wordcount", "sort", "pagerank", "bayes", "join"}) {
+    const auto w = workload::make_workload(name);
+    const disc::SparkSimulator sim(cluster);
+    const auto base = profile_config();
+    const auto profile = workload::execute(*w, kInput, sim, base);
+    if (!profile.success) continue;
+    const config::SparkConf profiled(base);
+
+    simcore::Rng rng(11);
+    auto evaluate_set = [&](bool near, double* mape, std::vector<double>* preds,
+                            std::vector<double>* actuals, int* feasibility_right) {
+      double err = 0.0;
+      int n = 0;
+      for (int i = 0; i < 60; ++i) {
+        const auto c = near ? space->neighbor(base, 0.08, 2, rng) : space->sample(rng);
+        const config::SparkConf target(c);
+        const auto pred = engine.predict(profile, profiled, target, name == "join");
+        const auto actual = workload::execute(*w, kInput, sim, c);
+        const bool predicted_bad = !pred.feasible || pred.predicted_oom;
+        if (feasibility_right != nullptr && (predicted_bad == !actual.success)) {
+          ++*feasibility_right;
+        }
+        if (predicted_bad || !actual.success) continue;
+        err += std::abs(pred.runtime - actual.runtime) / actual.runtime;
+        if (preds != nullptr) {
+          preds->push_back(pred.runtime);
+          actuals->push_back(actual.runtime);
+        }
+        ++n;
+      }
+      *mape = n > 0 ? err / n : -1.0;
+    };
+
+    double near_mape = 0.0, far_mape = 0.0;
+    std::vector<double> preds, actuals;
+    int feasibility_right = 0;
+    evaluate_set(true, &near_mape, nullptr, nullptr, nullptr);
+    evaluate_set(false, &far_mape, &preds, &actuals, &feasibility_right);
+    t.add_row({name, pct(near_mape), pct(far_mape),
+               fmt("%.2f", simcore::pearson(preds, actuals)),
+               fmt("%.0f/60", static_cast<double>(feasibility_right))});
+  }
+  t.print();
+  std::printf(
+      "\nreading: near the profiled configuration the what-if engine is decent; across\n"
+      "heterogeneous random configurations its error grows — Starfish's documented\n"
+      "weakness. Rank correlation stays useful, which is why a what-if tuner still works:\n");
+
+  section("Starfish-style tuner vs BO at equal real-execution budgets (sort)");
+  const auto w = workload::make_workload("sort");
+  const disc::SparkSimulator sim(cluster);
+  Table t2({"real executions", "starfish: profile+validate (s)", "bayesopt (s)", "random (s)"});
+  for (const std::size_t budget : {4ul, 8ul, 16ul}) {
+    // Starfish: 1 profiled run + (budget-1) validations of the what-if's
+    // favourite candidates from a large predicted pool.
+    const auto base = profile_config();
+    const auto profile = workload::execute(*w, kInput, sim, base);
+    const config::SparkConf profiled(base);
+    simcore::Rng rng(5);
+    std::vector<std::pair<double, config::Configuration>> scored;
+    for (int i = 0; i < 1500; ++i) {
+      const auto c = space->sample(rng);
+      const auto pred = engine.predict(profile, profiled, config::SparkConf(c));
+      if (!pred.feasible || pred.predicted_oom) continue;
+      scored.emplace_back(pred.runtime, c);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    double starfish_best = profile.runtime;
+    for (std::size_t i = 0; i + 1 < budget && i < scored.size(); ++i) {
+      const auto r = workload::execute(*w, kInput, sim, scored[i].second);
+      if (r.success) starfish_best = std::min(starfish_best, r.runtime);
+    }
+
+    tuning::Objective obj = [&](const config::Configuration& c) -> tuning::EvalOutcome {
+      const auto r = workload::execute(*w, kInput, sim, c);
+      return {r.runtime, !r.success};
+    };
+    tuning::TuneOptions topts;
+    topts.budget = budget;
+    topts.seed = 5;
+    const double bo = tuning::BayesOptTuner().tune(space, obj, topts).best_runtime;
+    const double rnd = tuning::RandomSearchTuner().tune(space, obj, topts).best_runtime;
+    t2.add_row({fmt("%.0f", static_cast<double>(budget)), fmt("%.1f", starfish_best),
+                fmt("%.1f", bo), fmt("%.1f", rnd)});
+  }
+  t2.print();
+  std::printf("\nreading: one profile plus model-ranked validations is extremely sample-\n"
+              "efficient when the what-if model ranks well — and silently wrong when it\n"
+              "doesn't, which is the paper's 'limited accuracy' caveat.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: the seamless-tuning experience from the tenant's side.
+//
+// The paper's vision (§IV): a user submits an analytics workload with a
+// high-level objective and *never* touches a configuration parameter — the
+// provider picks the cluster, tunes the framework, watches for drift, and
+// re-tunes on its own.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "service/tuning_service.hpp"
+
+int main() {
+  using namespace stune;
+
+  // The provider stands up the tuning service (this is cloud-side code;
+  // tenants only see submit()/run_once()).
+  service::ServiceOptions options;
+  options.tuner = "bayesopt";      // CherryPick-style DISC tuning
+  options.tuning_budget = 25;      // exploration runs the provider invests
+  options.cloud.budget = 10;       // cluster-search trials (Fig. 1 stage 1)
+  options.slo.within_fraction = 0.25;
+  service::TuningService provider(options);
+
+  // The tenant: "here is my recurring PageRank job, about 8 GiB of edges".
+  const int job = provider.submit("quickstart-tenant", workload::make_workload("pagerank"),
+                                  8ULL << 30);
+
+  std::printf("running the recurring job 8 times — tuning happens invisibly on first run\n\n");
+  for (int run = 1; run <= 8; ++run) {
+    const auto report = provider.run_once(job);
+    std::printf("run %d: %s\n", run, report.summary().c_str());
+  }
+
+  const auto status = provider.status(job);
+  std::printf("\nwhat the provider did behind the scenes:\n");
+  std::printf("  picked cluster       : %s\n", status.cluster.to_string().c_str());
+  std::printf("  tuning rounds        : %zu\n", status.tunings);
+  std::printf("  tuning spend         : $%.2f\n", status.tuning_cost);
+  std::printf("  savings vs untuned   : $%.2f%s\n", status.cumulative_savings,
+              status.break_even_run ? " (already amortized)" : "");
+  std::printf("  SLO attainment       : %.0f%% of runs within %.0f%% of best-known\n",
+              status.slo_attainment * 100.0, options.slo.within_fraction * 100.0);
+
+  std::printf("\nchosen configuration (the tenant never sees this):\n%s",
+              status.config.describe().c_str());
+  return 0;
+}

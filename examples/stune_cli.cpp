@@ -1,0 +1,119 @@
+// A command-line driver over the public API: run any workload on any
+// cluster under any tuner, print the Spark-style event log or the tuned
+// configuration. Handy for exploring the simulator without writing code.
+//
+//   stune_cli run   <workload> <GiB> [instance] [vms]          one execution
+//   stune_cli tune  <workload> <GiB> <tuner> <budget>          DISC tuning
+//   stune_cli serve <workload> <GiB> <runs>                    seamless service
+//   stune_cli list                                             catalogs
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "disc/eventlog.hpp"
+#include "service/tuning_service.hpp"
+#include "tuning/tuner.hpp"
+#include "workload/execute.hpp"
+
+namespace {
+
+using namespace stune;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  stune_cli run   <workload> <GiB> [instance] [vms]\n"
+               "  stune_cli tune  <workload> <GiB> <tuner> <budget>\n"
+               "  stune_cli serve <workload> <GiB> <runs>\n"
+               "  stune_cli list\n");
+  return 2;
+}
+
+simcore::Bytes parse_gib(const char* arg) {
+  const double gib = std::strtod(arg, nullptr);
+  if (gib <= 0.0) throw std::invalid_argument("input size must be positive GiB");
+  return static_cast<simcore::Bytes>(gib * 1024.0 * 1024.0 * 1024.0);
+}
+
+int cmd_list() {
+  std::printf("workloads:");
+  for (const auto& w : workload::workload_names()) std::printf(" %s", w.c_str());
+  std::printf("\ntuners:   ");
+  for (const auto& t : tuning::tuner_names()) std::printf(" %s", t.c_str());
+  std::printf("\ninstances:");
+  for (const auto& i : cluster::instance_catalog()) std::printf(" %s", i.name.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto w = workload::make_workload(argv[2]);
+  const auto input = parse_gib(argv[3]);
+  const cluster::ClusterSpec spec{argc > 4 ? argv[4] : "h1.4xlarge",
+                                  argc > 5 ? std::atoi(argv[5]) : 4};
+  const auto cl = cluster::Cluster::from_spec(spec);
+  const disc::SparkSimulator sim(cl);
+  const auto report =
+      workload::execute(*w, input, sim, service::provider_auto_config(cl));
+  std::printf("%s", disc::to_event_log(report).c_str());
+  std::fprintf(stderr, "# %s on %s: %s\n", w->name().c_str(), spec.to_string().c_str(),
+               report.summary().c_str());
+  return report.success ? 0 : 1;
+}
+
+int cmd_tune(int argc, char** argv) {
+  if (argc < 6) return usage();
+  const auto w = workload::make_workload(argv[2]);
+  const auto input = parse_gib(argv[3]);
+  const auto tuner = tuning::make_tuner(argv[4]);
+  const auto cl = cluster::Cluster::from_spec({"h1.4xlarge", 4});
+  const disc::SparkSimulator sim(cl);
+
+  tuning::Objective obj = [&](const config::Configuration& c) -> tuning::EvalOutcome {
+    const auto r = workload::execute(*w, input, sim, c);
+    return {r.runtime, !r.success};
+  };
+  tuning::TuneOptions opts;
+  opts.budget = static_cast<std::size_t>(std::atoi(argv[5]));
+  const auto result = tuner->tune(config::spark_space(), obj, opts);
+
+  const auto def = workload::execute(*w, input, sim, config::spark_space()->default_config());
+  std::printf("tuner=%s budget=%zu best=%.1fs default=%.1fs%s speedup=%.1fx\n",
+              tuner->name().c_str(), opts.budget, result.best_runtime, def.runtime,
+              def.success ? "" : "(crash)", def.runtime / result.best_runtime);
+  std::printf("best configuration:\n%s", result.best.describe().c_str());
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 5) return usage();
+  service::TuningService svc({});
+  const int h = svc.submit("cli", workload::make_workload(argv[2]), parse_gib(argv[3]));
+  const int runs = std::atoi(argv[4]);
+  for (int i = 0; i < runs; ++i) {
+    std::printf("run %2d: %s\n", i + 1, svc.run_once(h).summary().c_str());
+  }
+  const auto s = svc.status(h);
+  std::printf("cluster=%s tunings=%zu tuning_cost=$%.2f savings=$%.2f slo=%.0f%%\n",
+              s.cluster.to_string().c_str(), s.tunings, s.tuning_cost, s.cumulative_savings,
+              s.slo_attainment * 100.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "tune") return cmd_tune(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

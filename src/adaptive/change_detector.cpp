@@ -1,0 +1,108 @@
+#include "adaptive/change_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stune::adaptive {
+
+namespace {
+/// Runtimes within a few percent of the baseline are operationally "the
+/// same"; flooring sigma at this fraction of the mean keeps tiny-variance
+/// warmups from inflating z-scores into false alarms.
+constexpr double kSigmaFloorFraction = 0.05;
+}  // namespace
+
+// -- FixedThresholdDetector -----------------------------------------------------
+
+FixedThresholdDetector::FixedThresholdDetector(double threshold_fraction, std::size_t warmup)
+    : threshold_(threshold_fraction), warmup_(warmup) {
+  if (threshold_fraction <= 0.0) throw std::invalid_argument("threshold must be positive");
+  if (warmup == 0) throw std::invalid_argument("warmup must be positive");
+}
+
+bool FixedThresholdDetector::add(double runtime) {
+  if (baseline_.count() < warmup_) {
+    baseline_.add(runtime);
+    return false;
+  }
+  if (runtime > baseline_.mean() * (1.0 + threshold_)) triggered_ = true;
+  return triggered_;
+}
+
+void FixedThresholdDetector::reset() {
+  baseline_.reset();
+  triggered_ = false;
+}
+
+// -- CusumDetector -----------------------------------------------------------------
+
+CusumDetector::CusumDetector(double k, double h, std::size_t warmup, double z_cap)
+    : k_(k), h_(h), warmup_(warmup), z_cap_(z_cap) {
+  if (h <= 0.0) throw std::invalid_argument("cusum: h must be positive");
+  if (warmup < 2) throw std::invalid_argument("cusum: warmup must be >= 2");
+}
+
+bool CusumDetector::add(double runtime) {
+  if (baseline_.count() < warmup_) {
+    baseline_.add(runtime);
+    return false;
+  }
+  const double sigma = std::max(baseline_.stddev(), 1e-9 + kSigmaFloorFraction * baseline_.mean());
+  const double z = std::min((runtime - baseline_.mean()) / sigma, z_cap_);
+  s_ = std::max(0.0, s_ + z - k_);
+  if (s_ > h_) triggered_ = true;
+  return triggered_;
+}
+
+void CusumDetector::reset() {
+  baseline_.reset();
+  s_ = 0.0;
+  triggered_ = false;
+}
+
+// -- PageHinkleyDetector ----------------------------------------------------------------
+
+PageHinkleyDetector::PageHinkleyDetector(double delta, double lambda, std::size_t warmup,
+                                         double z_cap)
+    : delta_(delta), lambda_(lambda), warmup_(warmup), z_cap_(z_cap) {
+  if (lambda <= 0.0) throw std::invalid_argument("page-hinkley: lambda must be positive");
+  if (warmup < 2) throw std::invalid_argument("page-hinkley: warmup must be >= 2");
+}
+
+bool PageHinkleyDetector::add(double runtime) {
+  if (baseline_.count() < warmup_) {
+    baseline_.add(runtime);
+    return false;
+  }
+  const double sigma = std::max(baseline_.stddev(), 1e-9 + kSigmaFloorFraction * baseline_.mean());
+  const double z = std::min((runtime - baseline_.mean()) / sigma, z_cap_);
+  ++n_;
+  cumulative_ += z - delta_;
+  min_cumulative_ = std::min(min_cumulative_, cumulative_);
+  if (cumulative_ - min_cumulative_ > lambda_) triggered_ = true;
+  return triggered_;
+}
+
+void PageHinkleyDetector::reset() {
+  baseline_.reset();
+  cumulative_ = 0.0;
+  min_cumulative_ = 0.0;
+  n_ = 0;
+  triggered_ = false;
+}
+
+// -- registry ----------------------------------------------------------------------------
+
+std::unique_ptr<ChangeDetector> make_detector(std::string_view name) {
+  if (name == "fixed-threshold") return std::make_unique<FixedThresholdDetector>();
+  if (name == "cusum") return std::make_unique<CusumDetector>();
+  if (name == "page-hinkley") return std::make_unique<PageHinkleyDetector>();
+  throw std::invalid_argument("unknown detector: " + std::string(name));
+}
+
+std::vector<std::string> detector_names() {
+  return {"fixed-threshold", "cusum", "page-hinkley"};
+}
+
+}  // namespace stune::adaptive

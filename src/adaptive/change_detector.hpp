@@ -1,0 +1,100 @@
+// Detecting the need for re-tuning (paper §V-D).
+//
+// The tuning service watches the runtime stream of a recurring workload and
+// must distinguish marginal fluctuation from a real change in workload or
+// environment characteristics. The paper criticizes fixed percentual
+// thresholds ("likely to lead to it being done either too frequently or too
+// late"); we implement that baseline plus two sequential change detectors
+// whose sensitivity adapts to the stream's own variance.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcore/stats.hpp"
+
+namespace stune::adaptive {
+
+class ChangeDetector {
+ public:
+  virtual ~ChangeDetector() = default;
+  virtual std::string name() const = 0;
+  /// Feed one runtime observation; returns true if a change is signalled
+  /// (the detector stays triggered until reset()).
+  virtual bool add(double runtime) = 0;
+  virtual bool triggered() const = 0;
+  /// Re-arm after re-tuning re-establishes a baseline.
+  virtual void reset() = 0;
+};
+
+/// The naive baseline: trigger when a run exceeds the baseline mean (first
+/// `warmup` runs) by more than `threshold_fraction`.
+class FixedThresholdDetector final : public ChangeDetector {
+ public:
+  explicit FixedThresholdDetector(double threshold_fraction = 0.2, std::size_t warmup = 5);
+  std::string name() const override { return "fixed-threshold"; }
+  bool add(double runtime) override;
+  bool triggered() const override { return triggered_; }
+  void reset() override;
+
+ private:
+  double threshold_;
+  std::size_t warmup_;
+  simcore::RunningStats baseline_;
+  bool triggered_ = false;
+};
+
+/// One-sided standardized CUSUM: s = max(0, s + min(z, z_cap) - k), trigger
+/// at s > h. Adapts to the stream's own mean/variance estimated during
+/// warmup; z-scores are winsorized so one freak run cannot fire the
+/// detector — the sustained-vs-transient distinction §V-D calls for.
+class CusumDetector final : public ChangeDetector {
+ public:
+  explicit CusumDetector(double k = 0.5, double h = 6.0, std::size_t warmup = 5,
+                         double z_cap = 4.0);
+  std::string name() const override { return "cusum"; }
+  bool add(double runtime) override;
+  bool triggered() const override { return triggered_; }
+  void reset() override;
+  double statistic() const { return s_; }
+
+ private:
+  double k_;
+  double h_;
+  std::size_t warmup_;
+  double z_cap_;
+  simcore::RunningStats baseline_;
+  double s_ = 0.0;
+  bool triggered_ = false;
+};
+
+/// Page-Hinkley test for upward mean shift on winsorized z-scores.
+class PageHinkleyDetector final : public ChangeDetector {
+ public:
+  /// delta must absorb the baseline-mean estimation bias of a short warmup
+  /// (the cumulative statistic drifts at E[z] - delta per run).
+  explicit PageHinkleyDetector(double delta = 0.5, double lambda = 10.0,
+                               std::size_t warmup = 5, double z_cap = 4.0);
+  std::string name() const override { return "page-hinkley"; }
+  bool add(double runtime) override;
+  bool triggered() const override { return triggered_; }
+  void reset() override;
+
+ private:
+  double delta_;
+  double lambda_;
+  std::size_t warmup_;
+  double z_cap_;
+  simcore::RunningStats baseline_;
+  double cumulative_ = 0.0;
+  double min_cumulative_ = 0.0;
+  std::size_t n_ = 0;
+  bool triggered_ = false;
+};
+
+std::unique_ptr<ChangeDetector> make_detector(std::string_view name);
+std::vector<std::string> detector_names();
+
+}  // namespace stune::adaptive

@@ -1,0 +1,32 @@
+#include "adaptive/retuning_policy.hpp"
+
+#include <stdexcept>
+
+namespace stune::adaptive {
+
+RetuningController::RetuningController(std::unique_ptr<ChangeDetector> detector, Options options)
+    : detector_(std::move(detector)), options_(options) {
+  if (detector_ == nullptr) throw std::invalid_argument("RetuningController: null detector");
+}
+
+bool RetuningController::observe(double runtime) {
+  ++observations_;
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    // Cooldown samples still feed the fresh baseline.
+    detector_->add(runtime);
+    return false;
+  }
+  if (detector_->add(runtime)) {
+    ++signals_;
+    return true;
+  }
+  return false;
+}
+
+void RetuningController::notify_retuned() {
+  detector_->reset();
+  cooldown_left_ = options_.cooldown;
+}
+
+}  // namespace stune::adaptive

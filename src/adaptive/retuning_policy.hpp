@@ -1,0 +1,45 @@
+// Re-tuning controller: wraps a change detector with the operational rules
+// a tuning service needs — a cooldown after re-tuning (a fresh baseline
+// must form before the detector is trusted again) and a record of decisions
+// for auditability.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptive/change_detector.hpp"
+
+namespace stune::adaptive {
+
+class RetuningController {
+ public:
+  struct Options {
+    /// Executions to ignore right after a re-tune (baseline rebuild).
+    std::size_t cooldown = 3;
+  };
+
+  RetuningController(std::unique_ptr<ChangeDetector> detector, Options options);
+  explicit RetuningController(std::unique_ptr<ChangeDetector> detector)
+      : RetuningController(std::move(detector), Options{}) {}
+
+  /// Feed one runtime; returns true when a re-tune should be launched now.
+  bool observe(double runtime);
+
+  /// Tell the controller the workload was re-tuned (resets the detector and
+  /// starts the cooldown).
+  void notify_retuned();
+
+  std::size_t retunes_signalled() const { return signals_; }
+  std::size_t observations() const { return observations_; }
+  const ChangeDetector& detector() const { return *detector_; }
+
+ private:
+  std::unique_ptr<ChangeDetector> detector_;
+  Options options_;
+  std::size_t cooldown_left_ = 0;
+  std::size_t signals_ = 0;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace stune::adaptive

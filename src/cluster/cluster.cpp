@@ -1,0 +1,27 @@
+#include "cluster/cluster.hpp"
+
+#include <stdexcept>
+
+namespace stune::cluster {
+
+std::string ClusterSpec::to_string() const {
+  return std::to_string(vm_count) + "x " + instance;
+}
+
+Cluster::Cluster(const InstanceType& type, int vm_count) : type_(&type), vm_count_(vm_count) {
+  if (vm_count <= 0) throw std::invalid_argument("cluster needs at least one VM");
+}
+
+Cluster Cluster::from_spec(const ClusterSpec& spec) {
+  return Cluster(find_instance(spec.instance), spec.vm_count);
+}
+
+Dollars Cluster::cost_per_hour() const {
+  return type_->price_per_hour * static_cast<double>(vm_count_);
+}
+
+Dollars Cluster::cost_of(simcore::Seconds runtime) const {
+  return cost_per_hour() * runtime / 3600.0;
+}
+
+}  // namespace stune::cluster

@@ -1,0 +1,48 @@
+// A virtual cluster: N identical VMs of one instance type, as provisioned by
+// EMR/Dataproc-style managed DISC deployments. One VM hosts the driver
+// alongside executors (as EMR master/core nodes do); we keep all VMs
+// symmetric, which matches the paper's 4x h1.4xlarge testbed.
+#pragma once
+
+#include <string>
+
+#include "cluster/instance_type.hpp"
+#include "simcore/units.hpp"
+
+namespace stune::cluster {
+
+/// What a user asks a cloud for: an instance type name and a VM count.
+struct ClusterSpec {
+  std::string instance = "m5.2xlarge";
+  int vm_count = 4;
+
+  bool operator==(const ClusterSpec&) const = default;
+  std::string to_string() const;
+};
+
+class Cluster {
+ public:
+  /// Throws std::invalid_argument on unknown type or non-positive count.
+  Cluster(const InstanceType& type, int vm_count);
+
+  static Cluster from_spec(const ClusterSpec& spec);
+
+  const InstanceType& type() const { return *type_; }
+  int vm_count() const { return vm_count_; }
+  ClusterSpec spec() const { return ClusterSpec{type_->name, vm_count_}; }
+
+  int total_vcpus() const { return type_->vcpus * vm_count_; }
+  Bytes total_memory() const { return type_->memory_bytes() * static_cast<Bytes>(vm_count_); }
+  Bytes usable_memory_per_vm() const { return type_->usable_memory_bytes(); }
+  BytesPerSecond disk_bw_per_vm() const { return type_->disk_bw; }
+  BytesPerSecond net_bw_per_vm() const { return type_->net_bw; }
+
+  Dollars cost_per_hour() const;
+  Dollars cost_of(simcore::Seconds runtime) const;
+
+ private:
+  const InstanceType* type_;  // points into the static catalog
+  int vm_count_;
+};
+
+}  // namespace stune::cluster

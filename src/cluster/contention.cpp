@@ -1,0 +1,33 @@
+#include "cluster/contention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stune::cluster {
+
+namespace {
+
+double clamp_load(double load) { return std::clamp(load, 0.0, 0.95); }
+
+/// Load -> slowdown: a resource at weight w under load L runs at 1/(1 + wL).
+double factor(double load, double weight) { return 1.0 / (1.0 + weight * load); }
+
+}  // namespace
+
+ContentionProcess::ContentionProcess(const ContentionParams& params, simcore::Rng rng)
+    : params_(params), rng_(rng), load_(clamp_load(params.mean_load)) {}
+
+ContentionSample ContentionProcess::next() {
+  // AR(1) mean reversion with volatility-scaled innovations.
+  const double phi = 0.8;
+  const double sigma = params_.volatility * params_.mean_load;
+  load_ = clamp_load(params_.mean_load + phi * (load_ - params_.mean_load) +
+                     (sigma > 0.0 ? rng_.normal(0.0, sigma) : 0.0));
+  return ContentionSample{
+      .cpu_factor = factor(load_, params_.cpu_weight),
+      .disk_factor = factor(load_, params_.disk_weight),
+      .net_factor = factor(load_, params_.net_weight),
+  };
+}
+
+}  // namespace stune::cluster

@@ -1,0 +1,50 @@
+// Co-location contention model.
+//
+// The paper argues the cloud provider is the right party to tune because it
+// "witnesses ... any underlying changes in workload co-location, network
+// congestion, etc.". We model co-located tenant pressure as an AR(1) load
+// process in [0, 1) sampled once per stage; the load degrades effective
+// CPU, disk and network rates with different weights (network suffers most
+// from neighbours, CPU least, matching public noisy-neighbour studies).
+#pragma once
+
+#include "simcore/rng.hpp"
+
+namespace stune::cluster {
+
+struct ContentionParams {
+  double mean_load = 0.0;    // long-run co-located load, 0 = dedicated cluster
+  double volatility = 0.3;   // burstiness of the load process
+  double cpu_weight = 0.35;  // how strongly load degrades each resource
+  double disk_weight = 0.6;
+  double net_weight = 1.0;
+
+  static ContentionParams none() { return ContentionParams{}; }
+  static ContentionParams light() { return ContentionParams{.mean_load = 0.1}; }
+  static ContentionParams moderate() { return ContentionParams{.mean_load = 0.25}; }
+  static ContentionParams heavy() { return ContentionParams{.mean_load = 0.5}; }
+};
+
+/// Multiplicative slow-down factors in (0, 1]; 1 = no interference.
+struct ContentionSample {
+  double cpu_factor = 1.0;
+  double disk_factor = 1.0;
+  double net_factor = 1.0;
+};
+
+class ContentionProcess {
+ public:
+  ContentionProcess(const ContentionParams& params, simcore::Rng rng);
+
+  /// Advance the load process one step and return the resulting factors.
+  ContentionSample next();
+
+  double current_load() const { return load_; }
+
+ private:
+  ContentionParams params_;
+  simcore::Rng rng_;
+  double load_;
+};
+
+}  // namespace stune::cluster

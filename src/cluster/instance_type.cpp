@@ -1,0 +1,104 @@
+#include "cluster/instance_type.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stune::cluster {
+
+namespace {
+
+constexpr double kGbps = 1e9 / 8.0;         // gigabit/s -> bytes/s
+constexpr double kMBps = 1e6;               // MB/s -> bytes/s
+
+std::vector<InstanceType> build_catalog() {
+  std::vector<InstanceType> c;
+  auto add = [&c](std::string name, std::string family, int vcpus, double mem_gib,
+                  double core_speed, double disk_mbps, double net_gbps, StorageKind storage,
+                  double price) {
+    c.push_back(InstanceType{std::move(name), std::move(family), vcpus, mem_gib, core_speed,
+                             disk_mbps * kMBps, net_gbps * kGbps, storage, price});
+  };
+
+  // m5 — general purpose (1:4 vCPU:GiB), EBS storage.
+  add("m5.large", "m5", 2, 8, 1.00, 80, 1.0, StorageKind::kEbs, 0.096);
+  add("m5.xlarge", "m5", 4, 16, 1.00, 120, 1.25, StorageKind::kEbs, 0.192);
+  add("m5.2xlarge", "m5", 8, 32, 1.00, 200, 2.5, StorageKind::kEbs, 0.384);
+  add("m5.4xlarge", "m5", 16, 64, 1.00, 300, 5.0, StorageKind::kEbs, 0.768);
+
+  // c5 — compute optimized (1:2), faster cores.
+  add("c5.large", "c5", 2, 4, 1.15, 80, 1.0, StorageKind::kEbs, 0.085);
+  add("c5.xlarge", "c5", 4, 8, 1.15, 120, 1.25, StorageKind::kEbs, 0.170);
+  add("c5.2xlarge", "c5", 8, 16, 1.15, 200, 2.5, StorageKind::kEbs, 0.340);
+  add("c5.4xlarge", "c5", 16, 32, 1.15, 300, 5.0, StorageKind::kEbs, 0.680);
+
+  // r5 — memory optimized (1:8).
+  add("r5.large", "r5", 2, 16, 1.00, 80, 1.0, StorageKind::kEbs, 0.126);
+  add("r5.xlarge", "r5", 4, 32, 1.00, 120, 1.25, StorageKind::kEbs, 0.252);
+  add("r5.2xlarge", "r5", 8, 64, 1.00, 200, 2.5, StorageKind::kEbs, 0.504);
+  add("r5.4xlarge", "r5", 16, 128, 1.00, 300, 5.0, StorageKind::kEbs, 1.008);
+
+  // h1 — dense HDD storage; the paper's testbed is 4x h1.4xlarge.
+  add("h1.2xlarge", "h1", 8, 32, 0.95, 440, 2.5, StorageKind::kHdd, 0.467);
+  add("h1.4xlarge", "h1", 16, 64, 0.95, 880, 5.0, StorageKind::kHdd, 0.934);
+  add("h1.8xlarge", "h1", 32, 128, 0.95, 1760, 10.0, StorageKind::kHdd, 1.868);
+
+  // i3 — NVMe storage.
+  add("i3.xlarge", "i3", 4, 30.5, 1.00, 700, 1.25, StorageKind::kNvme, 0.312);
+  add("i3.2xlarge", "i3", 8, 61, 1.00, 1400, 2.5, StorageKind::kNvme, 0.624);
+  add("i3.4xlarge", "i3", 16, 122, 1.00, 2800, 5.0, StorageKind::kNvme, 1.248);
+
+  return c;
+}
+
+}  // namespace
+
+std::string_view to_string(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kEbs: return "ebs";
+    case StorageKind::kHdd: return "hdd";
+    case StorageKind::kNvme: return "nvme";
+  }
+  return "unknown";
+}
+
+Bytes InstanceType::memory_bytes() const {
+  return static_cast<Bytes>(memory_gib * static_cast<double>(simcore::kGiB));
+}
+
+Bytes InstanceType::usable_memory_bytes() const {
+  // YARN-style reserve: 1 GiB + 3% of RAM for OS, node manager and daemons.
+  const double usable = (memory_gib - 1.0) * 0.97;
+  return static_cast<Bytes>(std::max(0.0, usable) * static_cast<double>(simcore::kGiB));
+}
+
+const std::vector<InstanceType>& instance_catalog() {
+  static const std::vector<InstanceType> catalog = build_catalog();
+  return catalog;
+}
+
+std::vector<std::string> catalog_families() {
+  std::vector<std::string> families;
+  for (const auto& t : instance_catalog()) {
+    if (std::find(families.begin(), families.end(), t.family) == families.end()) {
+      families.push_back(t.family);
+    }
+  }
+  return families;
+}
+
+const InstanceType& find_instance(std::string_view name) {
+  for (const auto& t : instance_catalog()) {
+    if (t.name == name) return t;
+  }
+  throw std::invalid_argument("unknown instance type: " + std::string(name));
+}
+
+std::vector<const InstanceType*> family_types(std::string_view family) {
+  std::vector<const InstanceType*> out;
+  for (const auto& t : instance_catalog()) {
+    if (t.family == family) out.push_back(&t);
+  }
+  return out;
+}
+
+}  // namespace stune::cluster

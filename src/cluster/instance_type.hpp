@@ -1,0 +1,64 @@
+// Cloud instance-type catalog.
+//
+// The catalog models the EC2 on-demand families the configuration-tuning
+// literature (CherryPick, PARIS, Ernest) searches over: general purpose
+// (m5), compute optimized (c5), memory optimized (r5), dense HDD storage
+// (h1 — the paper's Table I testbed uses h1.4xlarge) and NVMe storage (i3).
+// Resource figures approximate the 2019 generation; what matters for
+// reproduction is the *ratios* between families (CPU:memory:disk:network
+// per dollar), which drive which family wins for which workload.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simcore/units.hpp"
+
+namespace stune::cluster {
+
+using simcore::Bytes;
+using simcore::BytesPerSecond;
+using simcore::Dollars;
+
+/// Local storage technology; drives seek/flush penalties in the engine.
+enum class StorageKind {
+  kEbs,   // network-attached SSD (m5/c5/r5)
+  kHdd,   // dense local magnetic storage (h1)
+  kNvme,  // local NVMe flash (i3)
+};
+
+std::string_view to_string(StorageKind kind);
+
+struct InstanceType {
+  std::string name;    // e.g. "h1.4xlarge"
+  std::string family;  // e.g. "h1"
+  int vcpus = 0;
+  double memory_gib = 0.0;
+  /// Relative per-core throughput (m5 == 1.0; c5 cores are faster).
+  double core_speed = 1.0;
+  /// Aggregate sequential disk bandwidth available to the VM.
+  BytesPerSecond disk_bw = 0.0;
+  /// Network bandwidth available to the VM.
+  BytesPerSecond net_bw = 0.0;
+  StorageKind storage = StorageKind::kEbs;
+  Dollars price_per_hour = 0.0;
+
+  Bytes memory_bytes() const;
+  /// Memory usable by executors after OS / daemons reserve.
+  Bytes usable_memory_bytes() const;
+};
+
+/// The full catalog, ordered by family then size.
+const std::vector<InstanceType>& instance_catalog();
+
+/// Distinct family names present in the catalog.
+std::vector<std::string> catalog_families();
+
+/// Look up a type by exact name; throws std::invalid_argument if unknown.
+const InstanceType& find_instance(std::string_view name);
+
+/// Types belonging to one family, ordered by size.
+std::vector<const InstanceType*> family_types(std::string_view family);
+
+}  // namespace stune::cluster

@@ -1,0 +1,258 @@
+#include "config/config_space.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace stune::config {
+
+// -- Configuration -----------------------------------------------------------
+
+Configuration::Configuration(std::shared_ptr<const ConfigSpace> space, std::vector<double> values)
+    : space_(std::move(space)), values_(std::move(values)) {
+  if (space_ == nullptr) throw std::invalid_argument("Configuration: null space");
+  if (values_.size() != space_->size()) {
+    throw std::invalid_argument("Configuration: value count does not match space");
+  }
+  for (std::size_t i = 0; i < values_.size(); ++i) values_[i] = space_->param(i).sanitize(values_[i]);
+}
+
+double Configuration::get(std::string_view name) const {
+  return values_[space_->require_index(name)];
+}
+
+std::string Configuration::get_label(std::string_view name) const {
+  const std::size_t i = space_->require_index(name);
+  return space_->param(i).format_value(values_[i]);
+}
+
+void Configuration::set(std::string_view name, double value) {
+  set(space_->require_index(name), value);
+}
+
+void Configuration::set(std::size_t index, double value) {
+  values_.at(index) = space_->param(index).sanitize(value);
+}
+
+std::string Configuration::describe() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const auto& def = space_->param(i);
+    out << "  " << def.name << " = " << def.format_value(values_[i]) << '\n';
+  }
+  return out.str();
+}
+
+std::uint64_t Configuration::fingerprint() const {
+  std::uint64_t h = 0x5bd1e995u;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    // Quantize so that configurations that sanitize identically hash
+    // identically across platforms.
+    const double unit = space_->param(i).to_unit(values_[i]);
+    const auto q = static_cast<std::uint64_t>(unit * 1e9);
+    h = simcore::hash_combine(h, q);
+  }
+  return h;
+}
+
+bool Configuration::operator==(const Configuration& other) const {
+  return space_ == other.space_ && values_ == other.values_;
+}
+
+// -- ConfigSpace --------------------------------------------------------------
+
+ConfigSpace::ConfigSpace(std::vector<ParamDef> params) : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    encoded_size_ += (p.type == ParamType::kCategorical) ? p.categories.size() : 1;
+  }
+}
+
+std::shared_ptr<const ConfigSpace> ConfigSpace::create(std::vector<ParamDef> params) {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    for (std::size_t j = i + 1; j < params.size(); ++j) {
+      if (params[i].name == params[j].name) {
+        throw std::invalid_argument("duplicate parameter name: " + params[i].name);
+      }
+    }
+  }
+  // make_shared needs a public constructor; use new with the private one.
+  return std::shared_ptr<const ConfigSpace>(new ConfigSpace(std::move(params)));
+}
+
+std::optional<std::size_t> ConfigSpace::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t ConfigSpace::require_index(std::string_view name) const {
+  const auto idx = index_of(name);
+  if (!idx) throw std::out_of_range("unknown parameter: " + std::string(name));
+  return *idx;
+}
+
+Configuration ConfigSpace::default_config() const {
+  std::vector<double> values(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) values[i] = params_[i].default_value;
+  return Configuration(shared_from_this(), std::move(values));
+}
+
+Configuration ConfigSpace::sample(simcore::Rng& rng) const {
+  std::vector<double> values(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    values[i] = params_[i].from_unit(rng.uniform());
+  }
+  return Configuration(shared_from_this(), std::move(values));
+}
+
+std::vector<Configuration> ConfigSpace::latin_hypercube(std::size_t n, simcore::Rng& rng) const {
+  if (n == 0) return {};
+  // One permutation of n strata per dimension; sample uniformly within the
+  // assigned stratum.
+  std::vector<std::vector<std::size_t>> strata(params_.size());
+  for (auto& perm : strata) {
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    rng.shuffle(perm);
+  }
+  std::vector<Configuration> out;
+  out.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<double> values(params_.size());
+    for (std::size_t d = 0; d < params_.size(); ++d) {
+      const double u = (static_cast<double>(strata[d][s]) + rng.uniform()) / static_cast<double>(n);
+      values[d] = params_[d].from_unit(u);
+    }
+    out.emplace_back(shared_from_this(), std::move(values));
+  }
+  return out;
+}
+
+std::vector<Configuration> ConfigSpace::divide_and_diverge(std::size_t n,
+                                                           simcore::Rng& rng) const {
+  // BestConfig's DDS: divide each dimension into n intervals; permute
+  // interval assignment per dimension so any two samples differ ("diverge")
+  // in every dimension; take the interval midpoint rather than a random
+  // point, which is what makes DDS distinct from LHS and keeps the first
+  // round coarse. Discrete parameters cycle through their categories.
+  if (n == 0) return {};
+  std::vector<std::vector<std::size_t>> strata(params_.size());
+  for (auto& perm : strata) {
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    rng.shuffle(perm);
+  }
+  std::vector<Configuration> out;
+  out.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<double> values(params_.size());
+    for (std::size_t d = 0; d < params_.size(); ++d) {
+      const double u = (static_cast<double>(strata[d][s]) + 0.5) / static_cast<double>(n);
+      values[d] = params_[d].from_unit(u);
+    }
+    out.emplace_back(shared_from_this(), std::move(values));
+  }
+  return out;
+}
+
+std::vector<double> ConfigSpace::encode(const Configuration& c) const {
+  assert(&c.space() == this);
+  std::vector<double> features;
+  features.reserve(encoded_size_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const auto& def = params_[i];
+    if (def.type == ParamType::kCategorical) {
+      const auto idx = static_cast<std::size_t>(def.sanitize(c[i]));
+      for (std::size_t k = 0; k < def.categories.size(); ++k) {
+        features.push_back(k == idx ? 1.0 : 0.0);
+      }
+    } else {
+      features.push_back(def.to_unit(c[i]));
+    }
+  }
+  return features;
+}
+
+std::vector<std::size_t> ConfigSpace::encoded_feature_owners() const {
+  std::vector<std::size_t> owners;
+  owners.reserve(encoded_size_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const std::size_t copies =
+        params_[i].type == ParamType::kCategorical ? params_[i].categories.size() : 1;
+    for (std::size_t k = 0; k < copies; ++k) owners.push_back(i);
+  }
+  return owners;
+}
+
+Configuration ConfigSpace::from_unit(const std::vector<double>& unit) const {
+  if (unit.size() != params_.size()) {
+    throw std::invalid_argument("from_unit: coordinate count does not match space");
+  }
+  std::vector<double> values(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) values[i] = params_[i].from_unit(unit[i]);
+  return Configuration(shared_from_this(), std::move(values));
+}
+
+std::vector<double> ConfigSpace::to_unit(const Configuration& c) const {
+  assert(&c.space() == this);
+  std::vector<double> unit(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) unit[i] = params_[i].to_unit(c[i]);
+  return unit;
+}
+
+Configuration ConfigSpace::neighbor(const Configuration& c, double step_frac,
+                                    std::size_t mutations, simcore::Rng& rng) const {
+  assert(&c.space() == this);
+  mutations = std::max<std::size_t>(1, std::min(mutations, params_.size()));
+  std::vector<std::size_t> dims(params_.size());
+  std::iota(dims.begin(), dims.end(), std::size_t{0});
+  rng.shuffle(dims);
+
+  std::vector<double> values = c.values();
+  for (std::size_t m = 0; m < mutations; ++m) {
+    const std::size_t d = dims[m];
+    const auto& def = params_[d];
+    switch (def.type) {
+      case ParamType::kBool:
+        values[d] = values[d] >= 0.5 ? 0.0 : 1.0;
+        break;
+      case ParamType::kCategorical: {
+        // Resample to a different category when there is one.
+        if (def.categories.size() > 1) {
+          const auto cur = static_cast<std::int64_t>(def.sanitize(values[d]));
+          std::int64_t pick =
+              rng.uniform_int(0, static_cast<std::int64_t>(def.categories.size()) - 2);
+          if (pick >= cur) ++pick;
+          values[d] = static_cast<double>(pick);
+        }
+        break;
+      }
+      case ParamType::kInt:
+      case ParamType::kFloat: {
+        const double u = def.to_unit(values[d]);
+        double moved = u + rng.uniform(-step_frac, step_frac);
+        moved = std::clamp(moved, 0.0, 1.0);
+        double v = def.from_unit(moved);
+        // Make sure integer parameters actually move even on tiny steps.
+        if (def.type == ParamType::kInt && v == def.sanitize(values[d]) &&
+            def.cardinality() > 1) {
+          v = def.sanitize(values[d] + (rng.bernoulli(0.5) ? 1.0 : -1.0));
+        }
+        values[d] = v;
+        break;
+      }
+    }
+  }
+  return Configuration(shared_from_this(), std::move(values));
+}
+
+Configuration ConfigSpace::clamp(Configuration c) const {
+  std::vector<double> values = c.values();
+  for (std::size_t i = 0; i < params_.size(); ++i) values[i] = params_[i].sanitize(values[i]);
+  return Configuration(shared_from_this(), std::move(values));
+}
+
+}  // namespace stune::config

@@ -1,0 +1,112 @@
+// Configuration space: an ordered set of ParamDefs with sampling, encoding
+// and neighbourhood operations used by every tuner.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/param.hpp"
+#include "simcore/rng.hpp"
+
+namespace stune::config {
+
+class ConfigSpace;
+
+/// A point in a ConfigSpace. Holds a shared reference to its space so it is
+/// self-describing; value order matches the space's parameter order.
+class Configuration {
+ public:
+  Configuration() = default;
+  Configuration(std::shared_ptr<const ConfigSpace> space, std::vector<double> values);
+
+  const ConfigSpace& space() const { return *space_; }
+  std::shared_ptr<const ConfigSpace> space_ptr() const { return space_; }
+  bool empty() const { return space_ == nullptr; }
+  std::size_t size() const { return values_.size(); }
+
+  double operator[](std::size_t i) const { return values_[i]; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Access by parameter name; throws std::out_of_range if unknown.
+  double get(std::string_view name) const;
+  bool get_bool(std::string_view name) const { return get(name) >= 0.5; }
+  long get_int(std::string_view name) const { return static_cast<long>(get(name)); }
+  std::string get_label(std::string_view name) const;
+
+  /// Set by name (value is sanitized into the parameter's domain).
+  void set(std::string_view name, double value);
+  void set(std::size_t index, double value);
+
+  /// Multi-line human-readable rendering.
+  std::string describe() const;
+  /// Stable hash of the (sanitized) values — used for seeding simulations.
+  std::uint64_t fingerprint() const;
+
+  bool operator==(const Configuration& other) const;
+
+ private:
+  std::shared_ptr<const ConfigSpace> space_;
+  std::vector<double> values_;
+};
+
+class ConfigSpace : public std::enable_shared_from_this<ConfigSpace> {
+ public:
+  /// Build an immutable space from its parameters.
+  /// Throws std::invalid_argument on duplicate names.
+  static std::shared_ptr<const ConfigSpace> create(std::vector<ParamDef> params);
+
+  std::size_t size() const { return params_.size(); }
+  const ParamDef& param(std::size_t i) const { return params_[i]; }
+  const std::vector<ParamDef>& params() const { return params_; }
+  std::optional<std::size_t> index_of(std::string_view name) const;
+  /// Throws std::out_of_range if the name is unknown.
+  std::size_t require_index(std::string_view name) const;
+
+  Configuration default_config() const;
+  /// Uniform sample (log-aware per parameter).
+  Configuration sample(simcore::Rng& rng) const;
+  /// Latin hypercube sample of n configurations.
+  std::vector<Configuration> latin_hypercube(std::size_t n, simcore::Rng& rng) const;
+  /// BestConfig-style divide-and-diverge sampling: each parameter's range is
+  /// divided into n intervals and samples are combined so every pair of
+  /// samples diverges in every dimension (a randomized LHS variant that also
+  /// covers categorical parameters uniformly).
+  std::vector<Configuration> divide_and_diverge(std::size_t n, simcore::Rng& rng) const;
+
+  /// Encode to a numeric feature vector in [0,1]^d for models. Categorical
+  /// parameters are one-hot expanded; bool/int/float map through
+  /// ParamDef::to_unit.
+  std::vector<double> encode(const Configuration& c) const;
+  /// Dimension of encode()'s output.
+  std::size_t encoded_size() const { return encoded_size_; }
+  /// Parameter index owning each encoded feature (one-hot features of a
+  /// categorical all map to its parameter) — lets models aggregate
+  /// per-feature attributions back to parameters.
+  std::vector<std::size_t> encoded_feature_owners() const;
+
+  /// Build a configuration from unit-interval coordinates (one per
+  /// parameter, NOT one-hot; categorical coordinate is a category fraction).
+  Configuration from_unit(const std::vector<double>& unit) const;
+  /// The inverse mapping of from_unit (one coordinate per parameter).
+  std::vector<double> to_unit(const Configuration& c) const;
+
+  /// Random neighbour for local search: perturbs `mutations` randomly chosen
+  /// parameters by at most step_frac of their (log-aware) range; categorical
+  /// and bool parameters are resampled.
+  Configuration neighbor(const Configuration& c, double step_frac, std::size_t mutations,
+                         simcore::Rng& rng) const;
+
+  /// Sanitize every value into its parameter's domain.
+  Configuration clamp(Configuration c) const;
+
+ private:
+  explicit ConfigSpace(std::vector<ParamDef> params);
+
+  std::vector<ParamDef> params_;
+  std::size_t encoded_size_ = 0;
+};
+
+}  // namespace stune::config

@@ -1,0 +1,138 @@
+#include "config/param.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace stune::config {
+
+std::string to_string(ParamType t) {
+  switch (t) {
+    case ParamType::kInt: return "int";
+    case ParamType::kFloat: return "float";
+    case ParamType::kBool: return "bool";
+    case ParamType::kCategorical: return "categorical";
+  }
+  return "unknown";
+}
+
+ParamDef ParamDef::integer(std::string name, long min_value, long max_value, long def,
+                           bool log_scale, std::string description) {
+  if (min_value > max_value) throw std::invalid_argument("integer param: min > max: " + name);
+  ParamDef d;
+  d.name = std::move(name);
+  d.type = ParamType::kInt;
+  d.min_value = static_cast<double>(min_value);
+  d.max_value = static_cast<double>(max_value);
+  d.log_scale = log_scale;
+  d.default_value = static_cast<double>(def);
+  d.description = std::move(description);
+  return d;
+}
+
+ParamDef ParamDef::real(std::string name, double min_value, double max_value, double def,
+                        bool log_scale, std::string unit, std::string description) {
+  if (min_value > max_value) throw std::invalid_argument("real param: min > max: " + name);
+  ParamDef d;
+  d.name = std::move(name);
+  d.type = ParamType::kFloat;
+  d.min_value = min_value;
+  d.max_value = max_value;
+  d.log_scale = log_scale;
+  d.default_value = def;
+  d.unit = std::move(unit);
+  d.description = std::move(description);
+  return d;
+}
+
+ParamDef ParamDef::boolean(std::string name, bool def, std::string description) {
+  ParamDef d;
+  d.name = std::move(name);
+  d.type = ParamType::kBool;
+  d.min_value = 0.0;
+  d.max_value = 1.0;
+  d.default_value = def ? 1.0 : 0.0;
+  d.description = std::move(description);
+  return d;
+}
+
+ParamDef ParamDef::categorical(std::string name, std::vector<std::string> categories,
+                               std::size_t default_index, std::string description) {
+  if (categories.empty()) throw std::invalid_argument("categorical param with no categories");
+  if (default_index >= categories.size()) {
+    throw std::invalid_argument("categorical default index out of range: " + name);
+  }
+  ParamDef d;
+  d.name = std::move(name);
+  d.type = ParamType::kCategorical;
+  d.min_value = 0.0;
+  d.max_value = static_cast<double>(categories.size() - 1);
+  d.categories = std::move(categories);
+  d.default_value = static_cast<double>(default_index);
+  d.description = std::move(description);
+  return d;
+}
+
+std::size_t ParamDef::cardinality() const {
+  switch (type) {
+    case ParamType::kBool: return 2;
+    case ParamType::kCategorical: return categories.size();
+    case ParamType::kInt:
+      return static_cast<std::size_t>(max_value - min_value) + 1;
+    case ParamType::kFloat: return 0;
+  }
+  return 0;
+}
+
+double ParamDef::sanitize(double raw) const {
+  double v = std::clamp(raw, min_value, max_value);
+  if (type != ParamType::kFloat) v = std::round(v);
+  return std::clamp(v, min_value, max_value);
+}
+
+double ParamDef::to_unit(double value) const {
+  const double v = sanitize(value);
+  if (max_value <= min_value) return 0.0;
+  if (log_scale && min_value > 0.0) {
+    return (std::log(v) - std::log(min_value)) / (std::log(max_value) - std::log(min_value));
+  }
+  return (v - min_value) / (max_value - min_value);
+}
+
+double ParamDef::from_unit(double unit_value) const {
+  const double u = std::clamp(unit_value, 0.0, 1.0);
+  double v;
+  if (log_scale && min_value > 0.0) {
+    v = std::exp(std::log(min_value) + u * (std::log(max_value) - std::log(min_value)));
+  } else {
+    v = min_value + u * (max_value - min_value);
+  }
+  return sanitize(v);
+}
+
+std::string ParamDef::format_value(double value) const {
+  const double v = sanitize(value);
+  switch (type) {
+    case ParamType::kBool: return v >= 0.5 ? "true" : "false";
+    case ParamType::kCategorical: {
+      const auto idx = static_cast<std::size_t>(v);
+      assert(idx < categories.size());
+      return categories[idx];
+    }
+    case ParamType::kInt: return std::to_string(static_cast<long>(v));
+    case ParamType::kFloat: {
+      char buf[48];
+      if (unit.empty()) {
+        std::snprintf(buf, sizeof(buf), "%.4g", v);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.4g %s", v, unit.c_str());
+      }
+      return buf;
+    }
+  }
+  return {};
+}
+
+}  // namespace stune::config

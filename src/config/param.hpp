@@ -1,0 +1,62 @@
+// Typed configuration parameter definitions.
+//
+// A parameter is one knob of a system (DISC framework or cloud). Values are
+// stored uniformly as doubles — integers rounded, booleans 0/1, categorical
+// values as a category index — so tuners and models can treat a
+// configuration as a numeric vector, while ParamDef keeps enough metadata to
+// round-trip to the human-readable form.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stune::config {
+
+enum class ParamType { kInt, kFloat, kBool, kCategorical };
+
+std::string to_string(ParamType t);
+
+struct ParamDef {
+  std::string name;
+  ParamType type = ParamType::kFloat;
+  /// Range for kInt/kFloat (inclusive). Unused for kBool/kCategorical.
+  double min_value = 0.0;
+  double max_value = 0.0;
+  /// If set, the parameter is explored on a log scale (ranges spanning
+  /// orders of magnitude: memory sizes, partition counts, buffers).
+  bool log_scale = false;
+  /// Category labels for kCategorical, in index order.
+  std::vector<std::string> categories;
+  /// Default as stored value (index for categorical, 0/1 for bool).
+  double default_value = 0.0;
+  /// Documentation: unit of the stored value ("GiB", "KiB", "s", ...).
+  std::string unit;
+  std::string description;
+
+  // -- convenience constructors ---------------------------------------------
+  static ParamDef integer(std::string name, long min_value, long max_value, long def,
+                          bool log_scale = false, std::string description = {});
+  static ParamDef real(std::string name, double min_value, double max_value, double def,
+                       bool log_scale = false, std::string unit = {},
+                       std::string description = {});
+  static ParamDef boolean(std::string name, bool def, std::string description = {});
+  static ParamDef categorical(std::string name, std::vector<std::string> categories,
+                              std::size_t default_index, std::string description = {});
+
+  /// Number of distinct values (for bool/categorical); 0 means continuous.
+  std::size_t cardinality() const;
+
+  /// Clamp/round a raw double into this parameter's valid stored domain.
+  double sanitize(double raw) const;
+
+  /// Map a stored value to [0, 1] for model features (log-aware).
+  double to_unit(double value) const;
+  /// Inverse of to_unit (then sanitized).
+  double from_unit(double unit_value) const;
+
+  /// Render a stored value ("true", "zstd", "12", "3.25 GiB").
+  std::string format_value(double value) const;
+};
+
+}  // namespace stune::config

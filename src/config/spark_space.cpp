@@ -1,0 +1,138 @@
+#include "config/spark_space.hpp"
+
+#include <stdexcept>
+
+namespace stune::config {
+
+namespace {
+
+std::shared_ptr<const ConfigSpace> build_spark_space() {
+  using P = ParamDef;
+  namespace k = spark;
+  std::vector<ParamDef> params;
+
+  // -- resources --------------------------------------------------------------
+  params.push_back(P::integer(k::kExecutorInstances, 1, 48, 2, true,
+                              "requested executor processes (capped by cluster capacity)"));
+  params.push_back(P::integer(k::kExecutorCores, 1, 16, 1, false,
+                              "concurrent task slots per executor"));
+  params.push_back(P::real(k::kExecutorMemoryGiB, 1.0, 48.0, 1.0, true, "GiB",
+                           "JVM heap per executor"));
+  params.push_back(P::real(k::kDriverMemoryGiB, 1.0, 8.0, 1.0, true, "GiB",
+                           "JVM heap of the driver"));
+  params.push_back(P::real(k::kMemoryOverheadFactor, 0.06, 0.25, 0.10, false, "",
+                           "off-heap overhead per executor, fraction of heap"));
+  params.push_back(P::integer(k::kTaskCpus, 1, 4, 1, false, "cores reserved per task"));
+  params.push_back(P::boolean(k::kDynamicAllocation, false,
+                              "let the scheduler size the executor fleet itself"));
+
+  // -- memory management --------------------------------------------------------
+  params.push_back(P::real(k::kMemoryFraction, 0.3, 0.9, 0.6, false, "",
+                           "fraction of heap shared by execution and storage"));
+  params.push_back(P::real(k::kMemoryStorageFraction, 0.1, 0.9, 0.5, false, "",
+                           "fraction of unified memory immune to execution eviction"));
+
+  // -- parallelism ---------------------------------------------------------------
+  params.push_back(P::integer(k::kDefaultParallelism, 8, 2048, 64, true,
+                              "partitions of shuffled RDDs"));
+  params.push_back(P::integer(k::kSqlShufflePartitions, 8, 2048, 200, true,
+                              "partitions of SQL exchange operators"));
+
+  // -- shuffle & IO ---------------------------------------------------------------
+  params.push_back(P::boolean(k::kShuffleCompress, true, "compress shuffle map outputs"));
+  params.push_back(P::boolean(k::kShuffleSpillCompress, true, "compress spilled data"));
+  params.push_back(P::categorical(k::kIoCompressionCodec, {"lz4", "snappy", "zstd"}, 0,
+                                  "block compression codec"));
+  params.push_back(P::integer(k::kCompressionLevel, 1, 9, 3, false,
+                              "zstd compression level (higher = smaller, slower)"));
+  params.push_back(
+      P::categorical(k::kSerializer, {"java", "kryo"}, 0, "object serialization library"));
+  params.push_back(P::boolean(k::kRddCompress, false, "compress cached RDD partitions"));
+  params.push_back(P::real(k::kShuffleFileBufferKiB, 16.0, 1024.0, 32.0, true, "KiB",
+                           "in-memory buffer per shuffle file writer"));
+  params.push_back(P::real(k::kReducerMaxSizeInFlightMiB, 8.0, 256.0, 48.0, true, "MiB",
+                           "simultaneous shuffle fetch budget per reducer"));
+  params.push_back(P::integer(k::kShuffleSortBypassMergeThreshold, 50, 1000, 200, false,
+                              "below this many reducers, skip map-side sort"));
+  params.push_back(P::integer(k::kShuffleConnectionsPerPeer, 1, 8, 1, false,
+                              "TCP connections per fetch peer"));
+  params.push_back(P::real(k::kKryoBufferMaxMiB, 8.0, 256.0, 64.0, true, "MiB",
+                           "largest serializable record under kryo"));
+
+  // -- scheduling -------------------------------------------------------------------
+  params.push_back(P::boolean(k::kSpeculation, false, "re-launch straggler tasks"));
+  params.push_back(P::real(k::kSpeculationMultiplier, 1.1, 3.0, 1.5, false, "",
+                           "how many times slower than median counts as straggling"));
+  params.push_back(P::real(k::kLocalityWait, 0.0, 10.0, 3.0, false, "s",
+                           "wait for a data-local slot before settling for remote"));
+  params.push_back(P::integer(k::kTaskMaxFailures, 1, 8, 4, false,
+                              "task attempts before failing the job"));
+
+  // -- SQL / broadcast -----------------------------------------------------------------
+  params.push_back(P::real(k::kBroadcastBlockSizeMiB, 1.0, 16.0, 4.0, true, "MiB",
+                           "block size used when torrent-broadcasting variables"));
+  params.push_back(P::real(k::kAutoBroadcastJoinThresholdMiB, 0.0, 256.0, 10.0, false, "MiB",
+                           "broadcast-join a table smaller than this"));
+
+  return ConfigSpace::create(std::move(params));
+}
+
+}  // namespace
+
+std::shared_ptr<const ConfigSpace> spark_space() {
+  static const std::shared_ptr<const ConfigSpace> space = build_spark_space();
+  return space;
+}
+
+CodecProfile codec_profile(Codec codec, int zstd_level) {
+  // CPU costs are seconds per GiB on a reference core (divide by 2^30).
+  // Ratios/speeds follow the lz4/snappy/zstd public benchmarks: lz4 fastest,
+  // zstd densest with level-dependent cost.
+  constexpr double kPerGiB = 1.0 / (1024.0 * 1024.0 * 1024.0);
+  switch (codec) {
+    case Codec::kLz4:
+      return CodecProfile{.ratio = 0.62, .compress_cpb = 1.4 * kPerGiB, .decompress_cpb = 0.35 * kPerGiB};
+    case Codec::kSnappy:
+      return CodecProfile{.ratio = 0.65, .compress_cpb = 1.7 * kPerGiB, .decompress_cpb = 0.5 * kPerGiB};
+    case Codec::kZstd: {
+      const double level = static_cast<double>(zstd_level);
+      return CodecProfile{.ratio = 0.52 - 0.008 * level,
+                          .compress_cpb = (3.0 + 1.2 * level) * kPerGiB,
+                          .decompress_cpb = 0.8 * kPerGiB};
+    }
+  }
+  throw std::logic_error("unreachable codec");
+}
+
+SparkConf::SparkConf(const Configuration& c)
+    : executor_instances(static_cast<int>(c.get_int(spark::kExecutorInstances))),
+      executor_cores(static_cast<int>(c.get_int(spark::kExecutorCores))),
+      executor_memory_gib(c.get(spark::kExecutorMemoryGiB)),
+      driver_memory_gib(c.get(spark::kDriverMemoryGiB)),
+      memory_fraction(c.get(spark::kMemoryFraction)),
+      memory_storage_fraction(c.get(spark::kMemoryStorageFraction)),
+      default_parallelism(static_cast<int>(c.get_int(spark::kDefaultParallelism))),
+      sql_shuffle_partitions(static_cast<int>(c.get_int(spark::kSqlShufflePartitions))),
+      shuffle_compress(c.get_bool(spark::kShuffleCompress)),
+      shuffle_spill_compress(c.get_bool(spark::kShuffleSpillCompress)),
+      codec(static_cast<Codec>(c.get_int(spark::kIoCompressionCodec))),
+      compression_level(static_cast<int>(c.get_int(spark::kCompressionLevel))),
+      serializer(static_cast<Serializer>(c.get_int(spark::kSerializer))),
+      rdd_compress(c.get_bool(spark::kRddCompress)),
+      shuffle_file_buffer_kib(c.get(spark::kShuffleFileBufferKiB)),
+      reducer_max_inflight_mib(c.get(spark::kReducerMaxSizeInFlightMiB)),
+      sort_bypass_merge_threshold(
+          static_cast<int>(c.get_int(spark::kShuffleSortBypassMergeThreshold))),
+      speculation(c.get_bool(spark::kSpeculation)),
+      speculation_multiplier(c.get(spark::kSpeculationMultiplier)),
+      locality_wait_s(c.get(spark::kLocalityWait)),
+      broadcast_block_size_mib(c.get(spark::kBroadcastBlockSizeMiB)),
+      auto_broadcast_join_threshold_mib(c.get(spark::kAutoBroadcastJoinThresholdMiB)),
+      memory_overhead_factor(c.get(spark::kMemoryOverheadFactor)),
+      task_cpus(static_cast<int>(c.get_int(spark::kTaskCpus))),
+      task_max_failures(static_cast<int>(c.get_int(spark::kTaskMaxFailures))),
+      shuffle_connections_per_peer(static_cast<int>(c.get_int(spark::kShuffleConnectionsPerPeer))),
+      kryo_buffer_max_mib(c.get(spark::kKryoBufferMaxMiB)),
+      dynamic_allocation(c.get_bool(spark::kDynamicAllocation)) {}
+
+}  // namespace stune::config

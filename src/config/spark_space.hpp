@@ -1,0 +1,105 @@
+// The concrete DISC (Spark-like) configuration space.
+//
+// 28 parameters modeled on real spark.* knobs: names, types, ranges and
+// defaults follow the Spark 2.x documentation the paper cites ("Spark has
+// 200 configuration parameters", of which the surveyed tuners tune 16-41).
+// SparkConf is the typed, engine-facing view of a Configuration — parsed
+// once per simulated execution.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "config/config_space.hpp"
+
+namespace stune::config {
+
+/// Names of all parameters in the Spark space, for use with
+/// Configuration::get/set. Centralized so call sites cannot typo.
+namespace spark {
+inline constexpr const char* kExecutorInstances = "spark.executor.instances";
+inline constexpr const char* kExecutorCores = "spark.executor.cores";
+inline constexpr const char* kExecutorMemoryGiB = "spark.executor.memory";
+inline constexpr const char* kDriverMemoryGiB = "spark.driver.memory";
+inline constexpr const char* kMemoryFraction = "spark.memory.fraction";
+inline constexpr const char* kMemoryStorageFraction = "spark.memory.storageFraction";
+inline constexpr const char* kDefaultParallelism = "spark.default.parallelism";
+inline constexpr const char* kSqlShufflePartitions = "spark.sql.shuffle.partitions";
+inline constexpr const char* kShuffleCompress = "spark.shuffle.compress";
+inline constexpr const char* kShuffleSpillCompress = "spark.shuffle.spill.compress";
+inline constexpr const char* kIoCompressionCodec = "spark.io.compression.codec";
+inline constexpr const char* kCompressionLevel = "spark.io.compression.zstd.level";
+inline constexpr const char* kSerializer = "spark.serializer";
+inline constexpr const char* kRddCompress = "spark.rdd.compress";
+inline constexpr const char* kShuffleFileBufferKiB = "spark.shuffle.file.buffer";
+inline constexpr const char* kReducerMaxSizeInFlightMiB = "spark.reducer.maxSizeInFlight";
+inline constexpr const char* kShuffleSortBypassMergeThreshold =
+    "spark.shuffle.sort.bypassMergeThreshold";
+inline constexpr const char* kSpeculation = "spark.speculation";
+inline constexpr const char* kSpeculationMultiplier = "spark.speculation.multiplier";
+inline constexpr const char* kLocalityWait = "spark.locality.wait";
+inline constexpr const char* kBroadcastBlockSizeMiB = "spark.broadcast.blockSize";
+inline constexpr const char* kAutoBroadcastJoinThresholdMiB =
+    "spark.sql.autoBroadcastJoinThreshold";
+inline constexpr const char* kMemoryOverheadFactor = "spark.executor.memoryOverheadFactor";
+inline constexpr const char* kTaskCpus = "spark.task.cpus";
+inline constexpr const char* kTaskMaxFailures = "spark.task.maxFailures";
+inline constexpr const char* kShuffleConnectionsPerPeer =
+    "spark.shuffle.io.numConnectionsPerPeer";
+inline constexpr const char* kKryoBufferMaxMiB = "spark.kryoserializer.buffer.max";
+inline constexpr const char* kDynamicAllocation = "spark.dynamicAllocation.enabled";
+}  // namespace spark
+
+/// The shared, immutable Spark-like configuration space (singleton).
+std::shared_ptr<const ConfigSpace> spark_space();
+
+enum class Codec { kLz4, kSnappy, kZstd };
+enum class Serializer { kJava, kKryo };
+
+/// Per-codec compression behaviour used by the execution engine.
+struct CodecProfile {
+  double ratio;           // compressed size / raw size, typical shuffle data
+  double compress_cpb;    // CPU seconds per raw byte to compress (relative units)
+  double decompress_cpb;  // CPU seconds per raw byte to decompress
+};
+
+CodecProfile codec_profile(Codec codec, int zstd_level);
+
+/// Typed view of a Configuration drawn from spark_space(). All values are
+/// sanitized; construction is the single place configuration parsing
+/// happens, so the engine never string-compares parameter names in its hot
+/// path.
+struct SparkConf {
+  explicit SparkConf(const Configuration& c);
+
+  int executor_instances;
+  int executor_cores;
+  double executor_memory_gib;
+  double driver_memory_gib;
+  double memory_fraction;
+  double memory_storage_fraction;
+  int default_parallelism;
+  int sql_shuffle_partitions;
+  bool shuffle_compress;
+  bool shuffle_spill_compress;
+  Codec codec;
+  int compression_level;
+  Serializer serializer;
+  bool rdd_compress;
+  double shuffle_file_buffer_kib;
+  double reducer_max_inflight_mib;
+  int sort_bypass_merge_threshold;
+  bool speculation;
+  double speculation_multiplier;
+  double locality_wait_s;
+  double broadcast_block_size_mib;
+  double auto_broadcast_join_threshold_mib;
+  double memory_overhead_factor;
+  int task_cpus;
+  int task_max_failures;
+  int shuffle_connections_per_peer;
+  double kryo_buffer_max_mib;
+  bool dynamic_allocation;
+};
+
+}  // namespace stune::config

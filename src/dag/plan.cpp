@@ -1,0 +1,277 @@
+#include "dag/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "simcore/units.hpp"
+
+namespace stune::dag {
+
+namespace {
+
+constexpr double kGiBf = 1024.0 * 1024.0 * 1024.0;
+
+double gib(Bytes b) { return static_cast<double>(b) / kGiBf; }
+
+Bytes scale_bytes(Bytes b, double factor) {
+  const double scaled = static_cast<double>(b) * factor;
+  return scaled <= 0.0 ? 0 : static_cast<Bytes>(scaled);
+}
+
+}  // namespace
+
+Bytes StagePlan::shuffle_read_bytes() const {
+  Bytes total = 0;
+  for (const auto& in : shuffle_inputs) total += in.bytes;
+  return total;
+}
+
+Bytes StagePlan::total_input_bytes() const {
+  return source_read_bytes + materialized_read_bytes + shuffle_read_bytes();
+}
+
+Bytes PhysicalPlan::total_cache_bytes() const {
+  Bytes total = 0;
+  for (const auto& s : stages) total += s.cache_write_bytes;
+  return total;
+}
+
+Bytes PhysicalPlan::total_shuffle_bytes() const {
+  Bytes total = 0;
+  for (const auto& s : stages) total += s.shuffle_write_bytes;
+  return total;
+}
+
+std::string PhysicalPlan::describe() const {
+  std::ostringstream out;
+  out << "physical plan for '" << workload << "' over "
+      << simcore::format_bytes(input_bytes) << " (" << stages.size() << " stages)\n";
+  for (const auto& s : stages) {
+    out << "  stage " << s.id << " [" << s.label << "]";
+    if (!s.parent_stages.empty()) {
+      out << " <- stages {";
+      for (std::size_t i = 0; i < s.parent_stages.size(); ++i) {
+        out << (i ? "," : "") << s.parent_stages[i];
+      }
+      out << "}";
+    }
+    out << "\n    in: ";
+    if (s.reads_source()) out << "source " << simcore::format_bytes(s.source_read_bytes) << " ";
+    if (s.materialized_read_bytes > 0) {
+      out << (s.materialized_parent_cached ? "cache " : "recompute ")
+          << simcore::format_bytes(s.materialized_read_bytes) << " ";
+    }
+    if (s.reads_shuffle()) out << "shuffle " << simcore::format_bytes(s.shuffle_read_bytes());
+    out << "\n    out: ";
+    if (s.shuffle_write_bytes > 0) out << "shuffle " << simcore::format_bytes(s.shuffle_write_bytes) << " ";
+    if (s.cache_write_bytes > 0) out << "cache " << simcore::format_bytes(s.cache_write_bytes) << " ";
+    if (s.result_bytes > 0) out << "result " << simcore::format_bytes(s.result_bytes);
+    out << '\n';
+  }
+  return out.str();
+}
+
+PhysicalPlan build_physical_plan(const LogicalPlan& plan, Bytes input_bytes) {
+  const auto& nodes = plan.nodes();
+  if (nodes.empty()) throw std::invalid_argument("cannot plan an empty lineage");
+  if (input_bytes == 0) throw std::invalid_argument("input size must be positive");
+
+  const auto children = plan.children();
+  auto child_count = [&](int id) { return children[static_cast<std::size_t>(id)].size(); };
+
+  // 1. Propagate data volumes through the lineage.
+  std::vector<Bytes> bytes(nodes.size(), 0);
+  for (const auto& n : nodes) {
+    const auto id = static_cast<std::size_t>(n.id);
+    switch (n.kind) {
+      case TransformKind::kSource:
+        bytes[id] = scale_bytes(input_bytes, n.source_share * n.selectivity);
+        break;
+      case TransformKind::kBroadcastJoin:
+        bytes[id] = scale_bytes(bytes[static_cast<std::size_t>(n.parents[0])], n.selectivity);
+        break;
+      default: {
+        Bytes in = 0;
+        for (const int p : n.parents) in += bytes[static_cast<std::size_t>(p)];
+        bytes[id] = scale_bytes(in, n.selectivity);
+        break;
+      }
+    }
+    if (bytes[id] == 0) bytes[id] = 1;  // keep downstream ratios well-defined
+  }
+
+  // Bytes *entering* a node (its processing volume).
+  auto input_of = [&](const RddNode& n) -> Bytes {
+    if (n.kind == TransformKind::kSource) return scale_bytes(input_bytes, n.source_share);
+    if (n.kind == TransformKind::kBroadcastJoin) {
+      return bytes[static_cast<std::size_t>(n.parents[0])] +
+             bytes[static_cast<std::size_t>(n.parents[1])];
+    }
+    Bytes in = 0;
+    for (const int p : n.parents) in += bytes[static_cast<std::size_t>(p)];
+    return in;
+  };
+
+  PhysicalPlan phys;
+  phys.workload = plan.workload_name();
+  phys.is_sql = plan.is_sql();
+  phys.input_bytes = input_bytes;
+  phys.action = plan.action_kind();
+
+  std::vector<int> stage_of(nodes.size(), -1);
+  std::vector<int> stage_tail;  // per stage: last node id in its pipeline
+
+  auto new_stage = [&](const std::string& label) -> StagePlan& {
+    StagePlan s;
+    s.id = static_cast<int>(phys.stages.size());
+    s.label = label;
+    phys.stages.push_back(std::move(s));
+    stage_tail.push_back(-1);
+    return phys.stages.back();
+  };
+
+  auto add_parent_stage = [&](StagePlan& s, int parent_stage) {
+    if (parent_stage < 0) return;
+    auto& ps = s.parent_stages;
+    if (std::find(ps.begin(), ps.end(), parent_stage) == ps.end()) ps.push_back(parent_stage);
+  };
+
+  // A node's stage can absorb further work only while the node is the stage
+  // tail, has a single consumer, and is not persisted for reuse.
+  auto pipelineable = [&](int id) {
+    return child_count(id) == 1 && !nodes[static_cast<std::size_t>(id)].cached &&
+           stage_tail[static_cast<std::size_t>(stage_of[static_cast<std::size_t>(id)])] == id;
+  };
+
+  // Charge node n's pipeline work to stage s and make n the stage tail.
+  // `work_bytes` is the volume the node actually processes *in this stage*:
+  // for wide nodes that is the post-map-side-combine shuffled volume (the
+  // combine pass itself is charged to the producing stages by shuffle_from).
+  auto absorb = [&](StagePlan& s, const RddNode& n, Bytes work_bytes) {
+    s.cpu_ref_seconds += gib(work_bytes) * n.cpu_per_gib;
+    s.records += static_cast<double>(work_bytes) / std::max(1.0, n.record_size);
+    s.skew_sigma = std::max(s.skew_sigma, n.skew_sigma);
+    s.rdd_ids.push_back(n.id);
+    if (n.cached) s.cache_write_bytes += bytes[static_cast<std::size_t>(n.id)];
+    stage_of[static_cast<std::size_t>(n.id)] = s.id;
+    stage_tail[static_cast<std::size_t>(s.id)] = n.id;
+    s.label = plan.workload_name() + ":" + n.name;
+  };
+
+  // A stage that re-reads a materialized (ideally cached) parent RDD.
+  auto materialized_read_stage = [&](int parent_id, const std::string& label) -> StagePlan& {
+    const auto& p = nodes[static_cast<std::size_t>(parent_id)];
+    StagePlan& s = new_stage(label);
+    s.materialized_read_bytes = bytes[static_cast<std::size_t>(parent_id)];
+    s.materialized_parent_cached = p.cached;
+    // Lineage recompute on miss: roughly the parent's own compute plus a
+    // re-read of its input, folded into one CPU figure.
+    s.recompute_cpu_per_gib = p.cpu_per_gib + 2.0;
+    s.record_size = p.record_size;
+    add_parent_stage(s, stage_of[static_cast<std::size_t>(parent_id)]);
+    return s;
+  };
+
+  // Route parent p's data into wide consumer w: either append the shuffle
+  // write to p's open stage, or synthesize a resend stage that re-reads the
+  // materialized p and writes shuffle output (what Spark does when joining
+  // against a cached RDD each iteration).
+  // Fraction of a wide node's per-byte work done map-side (combining,
+  // pre-sorting) over the full pre-combine volume; the rest runs
+  // reduce-side over the shuffled volume.
+  constexpr double kMapSideWorkShare = 0.4;
+
+  auto shuffle_from = [&](int parent_id, const RddNode& w) -> int {
+    const Bytes parent_bytes = bytes[static_cast<std::size_t>(parent_id)];
+    const Bytes write = scale_bytes(parent_bytes, w.map_side_factor);
+    int src_stage;
+    if (pipelineable(parent_id)) {
+      src_stage = stage_of[static_cast<std::size_t>(parent_id)];
+    } else {
+      StagePlan& resend = materialized_read_stage(
+          parent_id, plan.workload_name() + ":resend(" + nodes[static_cast<std::size_t>(parent_id)].name + ")");
+      // Deserialize + partition the re-read data: cheap but not free.
+      resend.cpu_ref_seconds += gib(resend.materialized_read_bytes) * 0.5;
+      resend.records += static_cast<double>(resend.materialized_read_bytes) /
+                        std::max(1.0, resend.record_size);
+      src_stage = resend.id;
+    }
+    StagePlan& src = phys.stages[static_cast<std::size_t>(src_stage)];
+    src.shuffle_write_bytes += write;
+    // Map-side combine / pre-sort pass over the full parent volume.
+    src.cpu_ref_seconds += gib(parent_bytes) * w.cpu_per_gib * kMapSideWorkShare;
+    src.records += kMapSideWorkShare * static_cast<double>(parent_bytes) /
+                   std::max(1.0, w.record_size);
+    return src_stage;
+  };
+
+  for (const auto& n : nodes) {
+    switch (n.kind) {
+      case TransformKind::kSource: {
+        StagePlan& s = new_stage(plan.workload_name() + ":" + n.name);
+        s.source_read_bytes = scale_bytes(input_bytes, n.source_share);
+        s.record_size = n.record_size;
+        absorb(s, n, input_of(n));
+        break;
+      }
+      case TransformKind::kBroadcastJoin: {
+        const int big = n.parents[0];
+        const int small = n.parents[1];
+        StagePlan* s;
+        if (pipelineable(big)) {
+          s = &phys.stages[static_cast<std::size_t>(stage_of[static_cast<std::size_t>(big)])];
+        } else {
+          s = &materialized_read_stage(big, plan.workload_name() + ":" + n.name);
+        }
+        s->broadcast_bytes += bytes[static_cast<std::size_t>(small)];
+        add_parent_stage(*s, stage_of[static_cast<std::size_t>(small)]);
+        absorb(*s, n, input_of(n));
+        break;
+      }
+      default: {
+        if (is_wide(n.kind)) {
+          // Collect shuffle feeds first so resend stages precede this stage.
+          std::vector<std::pair<int, Bytes>> feeds;
+          feeds.reserve(n.parents.size());
+          for (const int p : n.parents) {
+            const int src = shuffle_from(p, n);
+            feeds.emplace_back(src,
+                               scale_bytes(bytes[static_cast<std::size_t>(p)], n.map_side_factor));
+          }
+          StagePlan& s = new_stage(plan.workload_name() + ":" + n.name);
+          for (const auto& [src, b] : feeds) {
+            s.shuffle_inputs.push_back(ShuffleInput{src, b});
+            add_parent_stage(s, src);
+          }
+          s.agg_memory_factor = std::max(s.agg_memory_factor, n.agg_memory_factor);
+          s.record_size = n.record_size;
+          // Reduce-side share of the node's work, over the shuffled volume.
+          absorb(s, n, scale_bytes(s.shuffle_read_bytes(), 1.0 - kMapSideWorkShare));
+        } else {
+          const int p = n.parents[0];
+          if (pipelineable(p)) {
+            absorb(phys.stages[static_cast<std::size_t>(stage_of[static_cast<std::size_t>(p)])], n,
+                   input_of(n));
+          } else {
+            StagePlan& s = materialized_read_stage(p, plan.workload_name() + ":" + n.name);
+            absorb(s, n, input_of(n));
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Terminal action on the last node's stage.
+  const auto& last = nodes.back();
+  auto& final_stage = phys.stages[static_cast<std::size_t>(stage_of[static_cast<std::size_t>(last.id)])];
+  final_stage.result_bytes =
+      std::max<Bytes>(1, scale_bytes(bytes[static_cast<std::size_t>(last.id)],
+                                     plan.result_selectivity()));
+  return phys;
+}
+
+}  // namespace stune::dag

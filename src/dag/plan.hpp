@@ -1,0 +1,86 @@
+// Physical execution plans: the logical lineage split into stages at wide
+// (shuffle) dependencies, with data volumes propagated through transform
+// selectivities — what Spark's DAGScheduler produces (paper Fig. 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/rdd.hpp"
+#include "simcore/units.hpp"
+
+namespace stune::dag {
+
+/// A shuffle dependency: this stage reads `bytes` (raw, uncompressed,
+/// post-map-side-combine) produced by stage `from_stage`.
+struct ShuffleInput {
+  int from_stage = -1;
+  Bytes bytes = 0;
+};
+
+struct StagePlan {
+  int id = -1;
+  std::string label;
+  std::vector<int> rdd_ids;        // pipeline of RDDs computed by this stage
+  std::vector<int> parent_stages;  // must finish before this stage starts
+
+  // -- inputs -----------------------------------------------------------------
+  /// Raw bytes read from distributed storage (source stages).
+  Bytes source_read_bytes = 0;
+  /// Bytes read from a materialized parent RDD (resend / iteration stages).
+  Bytes materialized_read_bytes = 0;
+  /// Whether that materialized parent was persisted; if false (or on cache
+  /// miss) the engine charges lineage recomputation instead.
+  bool materialized_parent_cached = false;
+  /// CPU cost (ref-core s/GiB) of recomputing the materialized parent.
+  double recompute_cpu_per_gib = 0.0;
+  std::vector<ShuffleInput> shuffle_inputs;
+  /// Broadcast variable received by every executor (small join side).
+  Bytes broadcast_bytes = 0;
+
+  // -- work -------------------------------------------------------------------
+  /// Total CPU seconds on a reference core to execute the stage pipeline
+  /// over its entire input (excludes ser/de/compression, which are config
+  /// dependent and added by the engine).
+  double cpu_ref_seconds = 0.0;
+  /// Records processed (drives per-record overheads).
+  double records = 0.0;
+  /// Aggregation working set per shuffle-read byte (deserialized form).
+  double agg_memory_factor = 0.0;
+  /// Lognormal sigma of per-task input size (data/key skew).
+  double skew_sigma = 0.2;
+  double record_size = 100.0;
+
+  // -- outputs ----------------------------------------------------------------
+  Bytes shuffle_write_bytes = 0;
+  Bytes cache_write_bytes = 0;
+  /// Final stage only: bytes returned to the driver (collect) or written to
+  /// storage (save).
+  Bytes result_bytes = 0;
+
+  bool reads_shuffle() const { return !shuffle_inputs.empty(); }
+  bool reads_source() const { return source_read_bytes > 0; }
+  Bytes shuffle_read_bytes() const;
+  /// All bytes entering the stage, whatever the medium.
+  Bytes total_input_bytes() const;
+};
+
+struct PhysicalPlan {
+  std::string workload;
+  bool is_sql = false;
+  Bytes input_bytes = 0;
+  ActionKind action = ActionKind::kSave;
+  std::vector<StagePlan> stages;  // topological order
+
+  /// Raw bytes of all distinct persisted RDDs (before serializer expansion).
+  Bytes total_cache_bytes() const;
+  Bytes total_shuffle_bytes() const;
+  /// Multi-line human-readable rendering (used by the Fig. 2 bench).
+  std::string describe() const;
+};
+
+/// Split a logical plan into sized stages for a concrete input size.
+/// Throws std::invalid_argument on malformed plans.
+PhysicalPlan build_physical_plan(const LogicalPlan& plan, Bytes input_bytes);
+
+}  // namespace stune::dag

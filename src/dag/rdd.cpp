@@ -1,0 +1,126 @@
+#include "dag/rdd.hpp"
+
+#include <stdexcept>
+
+namespace stune::dag {
+
+std::string to_string(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kSource: return "source";
+    case TransformKind::kMap: return "map";
+    case TransformKind::kFilter: return "filter";
+    case TransformKind::kFlatMap: return "flatMap";
+    case TransformKind::kMapPartitions: return "mapPartitions";
+    case TransformKind::kReduceByKey: return "reduceByKey";
+    case TransformKind::kGroupByKey: return "groupByKey";
+    case TransformKind::kSortByKey: return "sortByKey";
+    case TransformKind::kDistinct: return "distinct";
+    case TransformKind::kJoin: return "join";
+    case TransformKind::kBroadcastJoin: return "broadcastJoin";
+    case TransformKind::kUnion: return "union";
+  }
+  return "unknown";
+}
+
+bool is_wide(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kReduceByKey:
+    case TransformKind::kGroupByKey:
+    case TransformKind::kSortByKey:
+    case TransformKind::kDistinct:
+    case TransformKind::kJoin:
+    case TransformKind::kUnion:
+      return true;
+    default:
+      return false;
+  }
+}
+
+LogicalPlan::LogicalPlan(std::string workload_name, bool is_sql)
+    : workload_name_(std::move(workload_name)), is_sql_(is_sql) {}
+
+int LogicalPlan::add(RddNode node) {
+  const int id = static_cast<int>(nodes_.size());
+  node.id = id;
+  if (node.kind == TransformKind::kSource) {
+    if (!node.parents.empty()) throw std::invalid_argument("source node cannot have parents");
+  } else if (node.parents.empty()) {
+    throw std::invalid_argument("non-source node needs at least one parent: " + node.name);
+  }
+  for (const int p : node.parents) {
+    if (p < 0 || p >= id) {
+      throw std::invalid_argument("node " + node.name + " references invalid parent (plans are built parents-first)");
+    }
+  }
+  const bool two_parent = node.kind == TransformKind::kJoin ||
+                          node.kind == TransformKind::kBroadcastJoin ||
+                          node.kind == TransformKind::kUnion;
+  if (two_parent && node.parents.size() != 2) {
+    throw std::invalid_argument(to_string(node.kind) + " needs exactly two parents: " + node.name);
+  }
+  if (!two_parent && node.kind != TransformKind::kSource && node.parents.size() != 1) {
+    throw std::invalid_argument(to_string(node.kind) + " needs exactly one parent: " + node.name);
+  }
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+int LogicalPlan::source(std::string name, double source_share, double cpu_per_gib,
+                        double record_size) {
+  RddNode n;
+  n.name = std::move(name);
+  n.kind = TransformKind::kSource;
+  n.source_share = source_share;
+  n.cpu_per_gib = cpu_per_gib;
+  n.record_size = record_size;
+  return add(std::move(n));
+}
+
+int LogicalPlan::narrow(TransformKind kind, std::string name, int parent, double selectivity,
+                        double cpu_per_gib) {
+  if (is_wide(kind)) throw std::invalid_argument("narrow(): " + to_string(kind) + " is wide");
+  RddNode n;
+  n.name = std::move(name);
+  n.kind = kind;
+  n.parents = {parent};
+  n.selectivity = selectivity;
+  n.cpu_per_gib = cpu_per_gib;
+  n.record_size = node(parent).record_size;
+  return add(std::move(n));
+}
+
+int LogicalPlan::wide(TransformKind kind, std::string name, std::vector<int> parents,
+                      double selectivity, double cpu_per_gib, double map_side_factor,
+                      double agg_memory_factor) {
+  if (!is_wide(kind)) throw std::invalid_argument("wide(): " + to_string(kind) + " is narrow");
+  RddNode n;
+  n.name = std::move(name);
+  n.kind = kind;
+  n.parents = std::move(parents);
+  n.selectivity = selectivity;
+  n.cpu_per_gib = cpu_per_gib;
+  n.map_side_factor = map_side_factor;
+  n.agg_memory_factor = agg_memory_factor;
+  n.record_size = node(n.parents.front()).record_size;
+  return add(std::move(n));
+}
+
+void LogicalPlan::cache(int id) {
+  nodes_.at(static_cast<std::size_t>(id)).cached = true;
+}
+
+void LogicalPlan::action(ActionKind kind, double result_selectivity) {
+  if (nodes_.empty()) throw std::logic_error("action on empty plan");
+  action_ = kind;
+  result_selectivity_ = result_selectivity;
+}
+
+std::vector<std::vector<int>> LogicalPlan::children() const {
+  std::vector<std::vector<int>> out(nodes_.size());
+  for (const auto& n : nodes_) {
+    for (const int p : n.parents) out[static_cast<std::size_t>(p)].push_back(n.id);
+  }
+  return out;
+}
+
+}  // namespace stune::dag

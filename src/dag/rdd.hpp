@@ -1,0 +1,122 @@
+// Logical RDD lineage plans.
+//
+// Mirrors Spark's programming model (paper §III-A, Fig. 2): a workload is a
+// DAG of RDDs produced by transformations; an action at the end triggers a
+// job. Nodes carry cost annotations (compute intensity, selectivity, shuffle
+// behaviour) that the physical planner propagates into sized stages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/units.hpp"
+
+namespace stune::dag {
+
+using simcore::Bytes;
+
+enum class TransformKind {
+  kSource,         // read a dataset from distributed storage
+  kMap,            // narrow 1:1
+  kFilter,         // narrow, selectivity < 1
+  kFlatMap,        // narrow, selectivity can exceed 1
+  kMapPartitions,  // narrow, per-partition setup cost
+  kReduceByKey,    // wide, map-side combine shrinks shuffle volume
+  kGroupByKey,     // wide, no combine: full data shuffled & held
+  kSortByKey,      // wide, range partitioning + sort buffers
+  kDistinct,       // wide
+  kJoin,           // wide, two parents (both shuffled)
+  kBroadcastJoin,  // narrow on the big side; small side broadcast
+  kUnion,          // pass-through repartition of two parents
+};
+
+std::string to_string(TransformKind kind);
+
+/// True if the transform requires a shuffle of its (big-side) input.
+bool is_wide(TransformKind kind);
+
+enum class ActionKind {
+  kCollect,  // results return to the driver (bounded by driver memory)
+  kSave,     // results written back to distributed storage
+  kCount,    // negligible result size
+};
+
+/// One RDD in the lineage graph, with the cost annotations of the transform
+/// that produces it.
+struct RddNode {
+  int id = -1;
+  std::string name;
+  TransformKind kind = TransformKind::kMap;
+  std::vector<int> parents;  // ids; for kJoin: [big, small] order irrelevant,
+                             // for kBroadcastJoin: [big, small]
+
+  /// Persisted in executor storage memory once computed.
+  bool cached = false;
+
+  /// Compute intensity: reference-core seconds per GiB of node *input*.
+  double cpu_per_gib = 4.0;
+  /// Output bytes / input bytes (input = sum over parents; for source, the
+  /// dataset size supplied when instantiating the plan).
+  double selectivity = 1.0;
+  /// Shuffle-write bytes / input bytes for wide nodes (models map-side
+  /// combining: ~0.05 for word counting, 1.0 for sort/groupByKey).
+  double map_side_factor = 1.0;
+  /// Aggregation working set per shuffle-read byte for wide nodes (in
+  /// deserialized form): groupByKey holds everything (~1), reduceByKey only
+  /// distinct keys (~0.05-0.3), sort holds its buffers (~1).
+  double agg_memory_factor = 0.0;
+  /// Lognormal sigma of per-partition size (data/key skew).
+  double skew_sigma = 0.2;
+  /// Average record size in bytes (drives per-record CPU overheads).
+  double record_size = 100.0;
+  /// For kSource: fraction of the workload's nominal input this source reads.
+  double source_share = 1.0;
+};
+
+/// A lineage DAG under construction. Nodes must be added parents-first, so
+/// node ids are already a topological order.
+class LogicalPlan {
+ public:
+  explicit LogicalPlan(std::string workload_name, bool is_sql = false);
+
+  /// Adds a node; fills in node.id; validates parent references.
+  /// Returns the node id.
+  int add(RddNode node);
+
+  // Convenience builders -------------------------------------------------------
+  int source(std::string name, double source_share = 1.0, double cpu_per_gib = 1.0,
+             double record_size = 100.0);
+  int narrow(TransformKind kind, std::string name, int parent, double selectivity,
+             double cpu_per_gib);
+  int wide(TransformKind kind, std::string name, std::vector<int> parents, double selectivity,
+           double cpu_per_gib, double map_side_factor, double agg_memory_factor);
+
+  /// Mark a node as persisted.
+  void cache(int id);
+  /// Set the terminal action. Must reference the last added node.
+  void action(ActionKind kind, double result_selectivity = 1.0);
+
+  const std::string& workload_name() const { return workload_name_; }
+  bool is_sql() const { return is_sql_; }
+  const std::vector<RddNode>& nodes() const { return nodes_; }
+  const RddNode& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  /// Mutable access for generators that tweak annotations after adding
+  /// (e.g. per-workload skew overrides).
+  RddNode& mutable_node(int id) { return nodes_.at(static_cast<std::size_t>(id)); }
+  ActionKind action_kind() const { return action_; }
+  /// Output bytes of the action relative to the final RDD's bytes.
+  double result_selectivity() const { return result_selectivity_; }
+
+  /// Ids of children per node (computed on demand).
+  std::vector<std::vector<int>> children() const;
+
+ private:
+  std::string workload_name_;
+  bool is_sql_;
+  std::vector<RddNode> nodes_;
+  ActionKind action_ = ActionKind::kSave;
+  double result_selectivity_ = 1.0;
+};
+
+}  // namespace stune::dag

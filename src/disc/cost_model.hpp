@@ -1,0 +1,105 @@
+// Calibration constants of the task-level cost model.
+//
+// Grouped in one struct (rather than scattered literals) so ablation
+// benchmarks can switch individual mechanisms off and tests can pin
+// behaviour. Values are rough fits to public Spark measurements: per-byte
+// CPU costs are reference-core seconds per byte; a "reference core" is an
+// m5 vCPU (InstanceType::core_speed == 1.0).
+#pragma once
+
+#include "simcore/units.hpp"
+
+namespace stune::disc {
+
+struct CostModel {
+  // -- input & storage ---------------------------------------------------------
+  /// HDFS-style block size: source stages get one task per split.
+  simcore::Bytes input_split = 128ULL << 20;
+  /// Per-slot bandwidth when reading deserialized cached partitions.
+  double cached_read_bw = 4.0 * 1024 * 1024 * 1024;
+  /// JVM object size / serialized size for deserialized data in memory.
+  double deser_expansion = 2.2;
+
+  // -- serialization (seconds per raw byte on a reference core) -----------------
+  double java_ser = 3.2 / (1024.0 * 1024 * 1024);
+  double java_deser = 2.4 / (1024.0 * 1024 * 1024);
+  double kryo_ser = 1.3 / (1024.0 * 1024 * 1024);
+  double kryo_deser = 0.9 / (1024.0 * 1024 * 1024);
+  /// Extra GC pressure multiplier under the allocation-heavy Java serializer.
+  double java_gc_penalty = 1.25;
+
+  // -- per-record and fixed overheads --------------------------------------------
+  double per_record_cpu = 20e-9;
+  /// Scheduler delay + task launch + closure deserialization.
+  double task_overhead = 0.12;
+  double stage_overhead = 0.08;
+  /// Driver-side cost per task (status tracking, result accumulation).
+  double per_task_driver = 4e-4;
+  /// One-off job submission + DAG planning.
+  double job_overhead = 0.4;
+
+  // -- shuffle -------------------------------------------------------------------
+  /// Cost of one shuffle-file buffer flush, by storage kind.
+  double flush_seek_hdd = 4.0e-4;
+  double flush_seek_ebs = 1.2e-4;
+  double flush_seek_nvme = 2.0e-5;
+  /// Map-side sort cost (s per raw byte) when reducers exceed the
+  /// bypass-merge threshold.
+  double shuffle_sort_cpu = 0.8 / (1024.0 * 1024 * 1024);
+  /// Fetch pipelining half-saturation point: with maxSizeInFlight = this,
+  /// the network runs at 50% efficiency.
+  double fetch_overhead_mib = 12.0;
+  /// Peer connection inefficiency: efficiency *= 1 - conn_penalty/conns.
+  double conn_penalty = 0.3;
+
+  // -- spill & OOM -----------------------------------------------------------------
+  /// Extra merge-pass cost factor per doubling of (working set / memory).
+  double spill_pass_cost = 0.25;
+  /// A task OOMs when its working set exceeds headroom * execution memory.
+  double spill_oom_headroom = 24.0;
+  /// Fraction of the nominal task time burned by a failing attempt.
+  double oom_attempt_fraction = 0.6;
+
+  // -- GC ----------------------------------------------------------------------------
+  double gc_base = 0.015;
+  double gc_coef = 0.30;
+
+  // -- stragglers & speculation -------------------------------------------------------
+  double straggler_prob = 0.015;
+  double straggler_slowdown = 3.0;
+  /// Overhead of running duplicate speculative attempts.
+  double speculation_tax = 0.015;
+
+  // -- executor failures (fault tolerance via lineage) -----------------------------------
+  /// Probability that any given executor dies during a stage (spot
+  /// reclamation, hardware). Lost in-flight tasks re-run; cached partitions
+  /// on the dead executor are recomputed on demand (Zaharia et al.'s RDD
+  /// fault-tolerance story, which the paper's §III-A recounts).
+  double executor_failure_rate = 0.0;
+  /// Fraction of a failed executor's stage work that must be redone.
+  double failure_rerun_fraction = 0.6;
+
+  // -- locality --------------------------------------------------------------------------
+  /// Fraction of source/cache reads that are remote with zero locality wait.
+  double remote_read_base = 0.35;
+  /// Exponential decay constant of remote fraction vs. locality wait (s).
+  double locality_decay = 1.5;
+  /// Expected scheduling delay per task per second of configured wait.
+  double locality_wait_cost = 0.04;
+
+  // -- broadcast ----------------------------------------------------------------------------
+  /// Control-plane cost per broadcast block.
+  double broadcast_block_overhead = 3.0e-4;
+  /// Pipelining stall per block: block_size / net share * this.
+  double broadcast_pipeline_stall = 0.5;
+
+  // -- recompute (cache miss) -------------------------------------------------------------------
+  /// Disk re-read charged on top of the plan's recompute CPU (per byte).
+  bool enable_recompute_penalty = true;
+  /// Gates for ablation benches.
+  bool enable_spill = true;
+  bool enable_gc = true;
+  bool enable_oom = true;
+};
+
+}  // namespace stune::disc

@@ -1,0 +1,68 @@
+#include "disc/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stune::disc {
+
+namespace {
+constexpr double kGiBf = 1024.0 * 1024.0 * 1024.0;
+/// Spark's fixed reserve before the unified region is carved out.
+constexpr Bytes kReservedPerExecutor = 300ULL * 1024 * 1024;
+}  // namespace
+
+Deployment resolve_deployment(const config::SparkConf& conf, const cluster::Cluster& cluster) {
+  Deployment d;
+  d.heap_per_executor = static_cast<Bytes>(conf.executor_memory_gib * kGiBf);
+  d.driver_heap = static_cast<Bytes>(conf.driver_memory_gib * kGiBf);
+
+  const auto container =
+      static_cast<Bytes>(static_cast<double>(d.heap_per_executor) * (1.0 + conf.memory_overhead_factor));
+  const Bytes vm_mem = cluster.usable_memory_per_vm();
+  const int vcpus = cluster.type().vcpus;
+
+  if (conf.executor_cores > vcpus) {
+    d.failure = "executor.cores exceeds the VM's vCPUs";
+    return d;
+  }
+  if (container > vm_mem) {
+    d.failure = "executor container does not fit in VM memory";
+    return d;
+  }
+  if (conf.task_cpus > conf.executor_cores) {
+    d.failure = "task.cpus exceeds executor.cores: no task can be scheduled";
+    return d;
+  }
+
+  const int by_cores = vcpus / conf.executor_cores;
+  const int by_mem = static_cast<int>(vm_mem / container);
+  d.executors_per_vm = std::min(by_cores, by_mem);
+  if (d.executors_per_vm <= 0) {
+    d.failure = "no executor fits on a VM";
+    return d;
+  }
+
+  const int capacity = d.executors_per_vm * cluster.vm_count();
+  d.executors = conf.dynamic_allocation ? capacity : std::min(conf.executor_instances, capacity);
+  // Re-derive per-VM occupancy from the actual fleet (a 3-executor fleet on
+  // 4 VMs loads at most 1 executor per VM).
+  d.executors_per_vm =
+      static_cast<int>(std::ceil(static_cast<double>(d.executors) / cluster.vm_count()));
+
+  d.slots_per_executor = conf.executor_cores / conf.task_cpus;
+  d.total_slots = d.executors * d.slots_per_executor;
+  d.slots_per_vm = d.executors_per_vm * d.slots_per_executor;
+
+  if (d.heap_per_executor <= kReservedPerExecutor + (64ULL << 20)) {
+    d.failure = "executor heap below Spark's minimum reserve";
+    return d;
+  }
+  d.unified_per_executor = static_cast<Bytes>(
+      static_cast<double>(d.heap_per_executor - kReservedPerExecutor) * conf.memory_fraction);
+  d.storage_target_per_executor =
+      static_cast<Bytes>(static_cast<double>(d.unified_per_executor) * conf.memory_storage_fraction);
+  d.viable = true;
+  return d;
+}
+
+}  // namespace stune::disc

@@ -1,0 +1,45 @@
+// Executor placement: how a SparkConf maps onto a concrete cluster.
+//
+// Follows the YARN container model: each VM packs
+// min(vcpus / executor.cores, usable_mem / (heap * (1 + overhead)))
+// executors; the requested executor count is capped by that capacity (with
+// dynamicAllocation the fleet is sized to capacity directly). Exposed
+// separately from the engine so tests and tuner feasibility checks can use
+// it without running a simulation.
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "config/spark_space.hpp"
+#include "simcore/units.hpp"
+
+namespace stune::disc {
+
+using simcore::Bytes;
+
+struct Deployment {
+  bool viable = false;
+  std::string failure;  // set when !viable
+
+  int executors_per_vm = 0;
+  int executors = 0;           // total across the cluster
+  int slots_per_executor = 0;  // executor.cores / task.cpus
+  int total_slots = 0;
+  int slots_per_vm = 0;
+
+  Bytes heap_per_executor = 0;
+  /// Unified region: (heap - 300 MiB reserve) * memory.fraction.
+  Bytes unified_per_executor = 0;
+  /// Eviction-immune storage region: unified * memory.storageFraction.
+  Bytes storage_target_per_executor = 0;
+  Bytes driver_heap = 0;
+};
+
+/// Compute the deployment. Never throws; infeasible configurations come
+/// back with viable == false and a human-readable reason (these are the
+/// "crashes when choosing incorrectly" the paper warns about, and tuners
+/// must cope with them).
+Deployment resolve_deployment(const config::SparkConf& conf, const cluster::Cluster& cluster);
+
+}  // namespace stune::disc

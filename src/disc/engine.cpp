@@ -1,0 +1,409 @@
+#include "disc/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "simcore/rng.hpp"
+#include "simcore/stats.hpp"
+
+namespace stune::disc {
+
+namespace {
+
+constexpr double kGiBf = 1024.0 * 1024.0 * 1024.0;
+constexpr double kMiBf = 1024.0 * 1024.0;
+
+double flush_seek(const CostModel& cm, cluster::StorageKind kind) {
+  switch (kind) {
+    case cluster::StorageKind::kHdd: return cm.flush_seek_hdd;
+    case cluster::StorageKind::kEbs: return cm.flush_seek_ebs;
+    case cluster::StorageKind::kNvme: return cm.flush_seek_nvme;
+  }
+  return cm.flush_seek_ebs;
+}
+
+/// Greedy list scheduling of task durations onto `slots` identical slots.
+/// Returns the makespan; `waves` gets ceil(tasks/slots).
+double schedule_tasks(const std::vector<double>& durations, int slots, int* waves) {
+  *waves = static_cast<int>(
+      (durations.size() + static_cast<std::size_t>(slots) - 1) / static_cast<std::size_t>(slots));
+  if (durations.empty()) return 0.0;
+  if (static_cast<std::size_t>(slots) >= durations.size()) {
+    return *std::max_element(durations.begin(), durations.end());
+  }
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (int i = 0; i < slots; ++i) free_at.push(0.0);
+  double makespan = 0.0;
+  for (const double t : durations) {
+    const double start = free_at.top();
+    free_at.pop();
+    const double finish = start + t;
+    makespan = std::max(makespan, finish);
+    free_at.push(finish);
+  }
+  return makespan;
+}
+
+/// GC time as a fraction of CPU time, given heap pressure in [0, 1.25].
+double gc_overhead(const CostModel& cm, double pressure) {
+  const double p = std::clamp(pressure, 0.0, 1.25);
+  return cm.gc_base + cm.gc_coef * p * p * p * p / std::max(0.08, 1.3 - p);
+}
+
+struct SerializerCosts {
+  double ser;    // seconds per raw byte, reference core
+  double deser;
+};
+
+SerializerCosts serializer_costs(const CostModel& cm, config::Serializer s) {
+  if (s == config::Serializer::kKryo) return {cm.kryo_ser, cm.kryo_deser};
+  return {cm.java_ser, cm.java_deser};
+}
+
+}  // namespace
+
+SparkSimulator::SparkSimulator(cluster::Cluster cluster, EngineOptions options)
+    : cluster_(std::move(cluster)), options_(options) {}
+
+ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
+                                    const config::Configuration& conf) const {
+  return run(plan, config::SparkConf(conf));
+}
+
+ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
+                                    const config::SparkConf& conf) const {
+  const CostModel& cm = options_.cost;
+  ExecutionReport report;
+
+  const Deployment dep = resolve_deployment(conf, cluster_);
+  if (!dep.viable) {
+    // The cluster manager rejects the request after a short negotiation.
+    report.failure_reason = dep.failure;
+    report.runtime = 45.0;
+    report.cost = cluster_.cost_of(report.runtime);
+    return report;
+  }
+  report.executors = dep.executors;
+  report.total_slots = dep.total_slots;
+
+  // -- memory & cache accounting -------------------------------------------------
+  const auto codec = config::codec_profile(conf.codec, conf.compression_level);
+  const auto ser = serializer_costs(cm, conf.serializer);
+  const double heap = static_cast<double>(dep.heap_per_executor);
+
+  const double cache_raw = static_cast<double>(plan.total_cache_bytes());
+  const double cache_stored = cache_raw * (conf.rdd_compress ? codec.ratio : cm.deser_expansion);
+  const double storage_capacity =
+      static_cast<double>(dep.storage_target_per_executor) * dep.executors;
+  double cache_hit = cache_raw > 0.0 ? std::min(1.0, storage_capacity / cache_stored) : 1.0;
+  const double storage_used_pe =
+      std::min(cache_stored / dep.executors, static_cast<double>(dep.storage_target_per_executor));
+  const double exec_mem_pe = static_cast<double>(dep.unified_per_executor) - storage_used_pe;
+  const double exec_mem_per_task = std::max(1.0, exec_mem_pe / dep.slots_per_executor);
+
+  report.execution_memory_per_task = static_cast<Bytes>(exec_mem_per_task);
+  report.storage_memory_total = static_cast<Bytes>(storage_capacity);
+  report.cache_hit_fraction = cache_hit;
+
+  // -- deterministic randomness -----------------------------------------------------
+  simcore::Rng rng(simcore::hash_combine(
+      options_.seed,
+      simcore::hash_combine(simcore::hash_string(plan.workload), plan.input_bytes)));
+  cluster::ContentionProcess contention(options_.contention, rng.fork("contention"));
+
+  const int vms = cluster_.vm_count();
+  const double core_speed = cluster_.type().core_speed;
+  const int reducers = plan.is_sql ? conf.sql_shuffle_partitions : conf.default_parallelism;
+  const double seek = flush_seek(cm, cluster_.type().storage);
+
+  std::vector<double> stage_finish(plan.stages.size(), 0.0);
+  double clock = cm.job_overhead;
+
+  for (const auto& s : plan.stages) {
+    StageMetrics m;
+    m.stage_id = s.id;
+    m.label = s.label;
+
+    simcore::Rng srng = rng.fork(static_cast<std::uint64_t>(s.id) + 1);
+    const auto cont = contention.next();
+    const double speed = core_speed * cont.cpu_factor;
+
+    // Partitions of this stage.
+    int tasks;
+    if (s.reads_shuffle()) {
+      tasks = plan.is_sql ? conf.sql_shuffle_partitions : conf.default_parallelism;
+    } else if (s.reads_source()) {
+      tasks = static_cast<int>((s.source_read_bytes + cm.input_split - 1) / cm.input_split);
+    } else {
+      tasks = plan.is_sql ? conf.sql_shuffle_partitions : conf.default_parallelism;
+    }
+    tasks = std::max(1, tasks);
+    m.tasks = tasks;
+    m.input_bytes = s.total_input_bytes();
+    m.shuffle_read_bytes = s.shuffle_read_bytes();
+    m.shuffle_write_bytes = s.shuffle_write_bytes;
+    m.cache_hit_fraction = s.materialized_parent_cached ? cache_hit : 0.0;
+
+    // Bandwidth shares: tasks running concurrently on one VM divide its
+    // disk and NIC.
+    const int concurrent_per_vm = std::max(
+        1, std::min(dep.slots_per_vm, static_cast<int>((tasks + vms - 1) / vms)));
+    const double disk_share =
+        cluster_.disk_bw_per_vm() * cont.disk_factor / concurrent_per_vm;
+    const double net_share = cluster_.net_bw_per_vm() * cont.net_factor / concurrent_per_vm;
+
+    // Stage-level start: parents done + driver bookkeeping.
+    double start = clock;
+    for (const int p : s.parent_stages) {
+      start = std::max(start, stage_finish[static_cast<std::size_t>(p)]);
+    }
+    start += cm.stage_overhead + tasks * cm.per_task_driver;
+    m.start = start;
+
+    // Broadcast distribution before tasks launch.
+    if (s.broadcast_bytes > 0) {
+      const double b = static_cast<double>(s.broadcast_bytes);
+      if (b * cm.deser_expansion > 0.7 * static_cast<double>(dep.driver_heap)) {
+        report.failure_reason = "driver OOM while building broadcast variable";
+        report.runtime = start + 5.0;
+        report.cost = cluster_.cost_of(report.runtime);
+        report.stages.push_back(m);
+        report.finalize_aggregates();
+        return report;
+      }
+      const double block = conf.broadcast_block_size_mib * kMiBf;
+      const double blocks = std::max(1.0, b / block);
+      const double vm_net = cluster_.net_bw_per_vm() * cont.net_factor;
+      const double torrent_rounds = 1.0 + std::log2(std::max(2.0, static_cast<double>(vms)));
+      const double xfer = b / vm_net * torrent_rounds;
+      const double control = blocks * cm.broadcast_block_overhead +
+                             block / vm_net * cm.broadcast_pipeline_stall;
+      start += xfer + control;
+      m.net_seconds += xfer + control;
+    }
+
+    // -- per-task durations -------------------------------------------------------------
+    const double remote_frac =
+        cm.remote_read_base * std::exp(-conf.locality_wait_s / cm.locality_decay);
+    const double inflight_mib = conf.reducer_max_inflight_mib;
+    const double fetch_eff = inflight_mib / (inflight_mib + cm.fetch_overhead_mib);
+    const double conn_eff =
+        1.0 - cm.conn_penalty / static_cast<double>(conf.shuffle_connections_per_peer);
+    const double net_eff = std::max(0.05, fetch_eff * conn_eff);
+
+    const double src_per_task = static_cast<double>(s.source_read_bytes) / tasks;
+    const double mat_per_task = static_cast<double>(s.materialized_read_bytes) / tasks;
+    const double sread_per_task = static_cast<double>(s.shuffle_read_bytes()) / tasks;
+    const double swrite_per_task = static_cast<double>(s.shuffle_write_bytes) / tasks;
+    const double cpu_per_task = s.cpu_ref_seconds / tasks;
+    const double records_per_task = s.records / tasks;
+    const double save_per_task = (s.result_bytes > 0 && plan.action == dag::ActionKind::kSave)
+                                     ? static_cast<double>(s.result_bytes) / tasks
+                                     : 0.0;
+
+    std::vector<double> durations(static_cast<std::size_t>(tasks));
+    const double mu = -0.5 * s.skew_sigma * s.skew_sigma;
+    int oom_tasks = 0;
+    double oom_nominal_time = 0.0;
+
+    for (int i = 0; i < tasks; ++i) {
+      const double skew = srng.lognormal(mu, s.skew_sigma);
+      double t_cpu = 0.0, t_disk = 0.0, t_net = 0.0, t_spill = 0.0, t_over = 0.0;
+
+      // Pipeline compute.
+      t_cpu += cpu_per_task * skew / speed;
+      t_cpu += records_per_task * skew * cm.per_record_cpu / speed;
+
+      // Source reads (with locality).
+      if (src_per_task > 0.0) {
+        const double b = src_per_task * skew;
+        t_disk += b * (1.0 - remote_frac) / disk_share;
+        t_net += b * remote_frac / net_share;
+        t_over += conf.locality_wait_s * cm.locality_wait_cost;
+      }
+
+      // Materialized parent reads (cache hit / lineage recompute).
+      if (mat_per_task > 0.0) {
+        const double b = mat_per_task * skew;
+        const double hit = s.materialized_parent_cached ? cache_hit : 0.0;
+        const double b_hit = b * hit;
+        const double b_miss = b - b_hit;
+        t_cpu += b_hit / cm.cached_read_bw;
+        if (conf.rdd_compress && b_hit > 0.0) {
+          t_cpu += b_hit * (codec.decompress_cpb + ser.deser) / speed;
+        }
+        if (b_miss > 0.0 && cm.enable_recompute_penalty) {
+          t_cpu += b_miss * (s.recompute_cpu_per_gib / kGiBf) / speed;
+          t_disk += b_miss * 0.8 / disk_share;
+        }
+      }
+
+      // Shuffle read + aggregation memory behaviour.
+      double in_mem_ws = 0.0;
+      if (sread_per_task > 0.0) {
+        const double b = sread_per_task * skew;
+        const double wire = b * (conf.shuffle_compress ? codec.ratio : 1.0);
+        t_net += wire / (net_share * net_eff);
+        if (conf.shuffle_compress) t_cpu += b * codec.decompress_cpb / speed;
+        t_cpu += b * ser.deser / speed;
+
+        const double ws = b * s.agg_memory_factor * cm.deser_expansion;
+        if (cm.enable_oom && ws > exec_mem_per_task * cm.spill_oom_headroom) {
+          ++oom_tasks;
+        } else if (cm.enable_spill && ws > exec_mem_per_task) {
+          const double spill_raw = (ws - exec_mem_per_task) / cm.deser_expansion;
+          const double passes = 1.0 + cm.spill_pass_cost * std::log2(ws / exec_mem_per_task);
+          const double spill_wire = spill_raw * (conf.shuffle_spill_compress ? codec.ratio : 1.0);
+          double t = passes * spill_wire * 2.0 / disk_share;
+          t += passes * spill_raw * (ser.ser + ser.deser) / speed;
+          if (conf.shuffle_spill_compress) {
+            t += passes * spill_raw * (codec.compress_cpb + codec.decompress_cpb) / speed;
+          }
+          t_spill += t;
+          m.spilled_bytes += static_cast<Bytes>(spill_raw);
+          in_mem_ws = exec_mem_per_task;
+        } else {
+          in_mem_ws = ws;
+        }
+      }
+
+      // Shuffle write (sort, serialize, compress, flush).
+      if (swrite_per_task > 0.0) {
+        const double b = swrite_per_task * skew;
+        if (reducers > conf.sort_bypass_merge_threshold) {
+          t_cpu += b * cm.shuffle_sort_cpu / speed;
+        }
+        t_cpu += b * ser.ser / speed;
+        double wire = b;
+        if (conf.shuffle_compress) {
+          t_cpu += b * codec.compress_cpb / speed;
+          wire = b * codec.ratio;
+        }
+        t_disk += wire / disk_share;
+        const double flushes = wire / (conf.shuffle_file_buffer_kib * 1024.0);
+        t_disk += flushes * seek;
+      }
+
+      // Saving final output.
+      if (save_per_task > 0.0) {
+        const double b = save_per_task * skew;
+        t_cpu += b * ser.ser / speed;
+        t_disk += b / disk_share;
+      }
+
+      // GC pressure from cached data, aggregation buffers and broadcasts.
+      double t_gc = 0.0;
+      if (cm.enable_gc) {
+        const double bcast = static_cast<double>(s.broadcast_bytes) * cm.deser_expansion;
+        const double pressure =
+            (storage_used_pe + in_mem_ws * dep.slots_per_executor + bcast + 0.10 * heap) / heap;
+        double factor = gc_overhead(cm, pressure);
+        if (conf.serializer == config::Serializer::kJava) factor *= cm.java_gc_penalty;
+        t_gc = t_cpu * factor;
+      }
+
+      double total = t_cpu + t_gc + t_disk + t_net + t_spill + t_over + cm.task_overhead;
+
+      // Environmental stragglers; speculation re-launches bound the damage.
+      if (srng.bernoulli(cm.straggler_prob)) {
+        double slow = cm.straggler_slowdown;
+        if (conf.speculation) slow = std::min(slow, conf.speculation_multiplier + 0.3);
+        total *= slow;
+      }
+      if (conf.speculation) total *= 1.0 + cm.speculation_tax;
+
+      if (cm.enable_oom && sread_per_task > 0.0 &&
+          sread_per_task * skew * s.agg_memory_factor * cm.deser_expansion >
+              exec_mem_per_task * cm.spill_oom_headroom) {
+        oom_nominal_time += total;
+      }
+
+      durations[static_cast<std::size_t>(i)] = total;
+      m.cpu_seconds += t_cpu;
+      m.gc_seconds += t_gc;
+      m.disk_seconds += t_disk;
+      m.net_seconds += t_net;
+      m.spill_seconds += t_spill;
+      m.overhead_seconds += t_over + cm.task_overhead;
+    }
+
+    if (oom_tasks > 0) {
+      // Retries land on executors with the same memory budget: determinedly
+      // fatal. The job burns the configured number of attempts first.
+      m.failed_tasks = oom_tasks;
+      const double mean_failing = oom_nominal_time / oom_tasks;
+      const double elapsed =
+          conf.task_max_failures * mean_failing * cm.oom_attempt_fraction;
+      m.duration = elapsed;
+      report.stages.push_back(m);
+      report.failure_reason = "task OOM: aggregation working set exceeds execution memory";
+      report.runtime = start + elapsed;
+      report.cost = cluster_.cost_of(report.runtime);
+      report.finalize_aggregates();
+      return report;
+    }
+
+    int waves = 0;
+    double makespan = schedule_tasks(durations, dep.total_slots, &waves);
+    m.waves = waves;
+
+    // Executor failures mid-stage: lost in-flight work re-runs (lineage
+    // makes this transparent but not free), and cached partitions held by
+    // the dead executor degrade the hit rate of later stages until
+    // recomputed.
+    if (cm.executor_failure_rate > 0.0) {
+      int died = 0;
+      for (int ex = 0; ex < dep.executors; ++ex) {
+        if (srng.bernoulli(cm.executor_failure_rate)) ++died;
+      }
+      if (died > 0) {
+        const double lost_fraction =
+            static_cast<double>(died) / static_cast<double>(dep.executors);
+        double task_seconds = 0.0;
+        for (const double t : durations) task_seconds += t;
+        const double redo =
+            task_seconds * lost_fraction * cm.failure_rerun_fraction / dep.total_slots;
+        makespan += redo + cm.stage_overhead;  // resubmit + rerun
+        m.overhead_seconds += redo * dep.total_slots;
+        m.failed_tasks +=
+            static_cast<int>(lost_fraction * tasks * cm.failure_rerun_fraction);
+        // Cached blocks on the dead executors are gone; later stages pay
+        // recompute until (in a real system) they are re-cached.
+        cache_hit *= 1.0 - lost_fraction;
+        report.cache_hit_fraction = cache_hit;
+      }
+    }
+
+    // Collect action: ship results to the driver and hold them there.
+    if (s.result_bytes > 0 && plan.action == dag::ActionKind::kCollect) {
+      const double b = static_cast<double>(s.result_bytes);
+      if (b * cm.deser_expansion > 0.7 * static_cast<double>(dep.driver_heap)) {
+        report.failure_reason = "driver OOM while collecting results";
+        report.runtime = start + makespan;
+        report.cost = cluster_.cost_of(report.runtime);
+        report.stages.push_back(m);
+        report.finalize_aggregates();
+        return report;
+      }
+      const double xfer = b / (cluster_.net_bw_per_vm() * cont.net_factor);
+      makespan += xfer;
+      m.net_seconds += xfer;
+    }
+
+    m.duration = makespan;
+    stage_finish[static_cast<std::size_t>(s.id)] = start + makespan;
+    clock = std::max(clock, start + makespan);
+    report.stages.push_back(m);
+  }
+
+  report.success = true;
+  report.runtime = clock;
+  report.cost = cluster_.cost_of(report.runtime);
+  report.finalize_aggregates();
+  return report;
+}
+
+}  // namespace stune::disc

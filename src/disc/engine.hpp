@@ -1,0 +1,59 @@
+// The DISC execution engine: simulates one run of a physical plan on a
+// cluster under a concrete configuration.
+//
+// Reproduces the architecture of paper Fig. 2: the driver turns the plan
+// into per-stage task sets; tasks are list-scheduled onto executor slots;
+// task durations come from an analytic cost model covering CPU,
+// (de)serialization, compression, disk, network, cache hits/misses with
+// lineage recomputation, spill, GC pressure, stragglers/speculation and
+// OOM-retry failure semantics. Deterministic in (cluster, plan, config,
+// seed).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+#include "cluster/contention.hpp"
+#include "config/config_space.hpp"
+#include "config/spark_space.hpp"
+#include "dag/plan.hpp"
+#include "disc/cost_model.hpp"
+#include "disc/deployment.hpp"
+#include "disc/metrics.hpp"
+
+namespace stune::disc {
+
+struct EngineOptions {
+  CostModel cost{};
+  cluster::ContentionParams contention = cluster::ContentionParams::none();
+  std::uint64_t seed = 42;
+};
+
+class SparkSimulator {
+ public:
+  explicit SparkSimulator(cluster::Cluster cluster, EngineOptions options = {});
+
+  /// Simulate one execution. The configuration must come from
+  /// config::spark_space(). Infeasible or crashing configurations return a
+  /// report with success == false and the time burned before failing.
+  ///
+  /// Stochasticity (partition skew, stragglers, contention) is seeded from
+  /// (engine seed, workload, input size) but NOT from the configuration:
+  /// data skew and environment noise are properties of the data and the
+  /// cluster, so two configurations with the same partitioning see the same
+  /// draws and A/B comparisons isolate the configuration's effect. Use
+  /// EngineOptions::seed to model run-to-run environmental variation.
+  ExecutionReport run(const dag::PhysicalPlan& plan, const config::Configuration& conf) const;
+
+  /// Lower-level entry point with a pre-parsed configuration.
+  ExecutionReport run(const dag::PhysicalPlan& plan, const config::SparkConf& conf) const;
+
+  const cluster::Cluster& cluster() const { return cluster_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  cluster::Cluster cluster_;
+  EngineOptions options_;
+};
+
+}  // namespace stune::disc

@@ -1,0 +1,211 @@
+#include "disc/eventlog.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace stune::disc {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 4);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 'n': out += '\n'; break;
+        default: out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+void append_kv(std::ostringstream& out, const char* key, double value, bool* first) {
+  if (!*first) out << ",";
+  *first = false;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out << "\"" << key << "\":" << buf;
+}
+
+void append_kv(std::ostringstream& out, const char* key, std::uint64_t value, bool* first) {
+  if (!*first) out << ",";
+  *first = false;
+  out << "\"" << key << "\":" << value;
+}
+
+void append_kv(std::ostringstream& out, const char* key, const std::string& value, bool* first) {
+  if (!*first) out << ",";
+  *first = false;
+  out << "\"" << key << "\":\"" << escape(value) << "\"";
+}
+
+/// Minimal extractor for the fixed schema this module itself emits.
+class Line {
+ public:
+  explicit Line(const std::string& text) : text_(text) {}
+
+  bool has(const std::string& key) const { return find(key) != std::string::npos; }
+
+  double number(const std::string& key) const {
+    const auto pos = value_start(key);
+    return std::strtod(text_.c_str() + pos, nullptr);
+  }
+
+  std::uint64_t integer(const std::string& key) const {
+    const auto pos = value_start(key);
+    return std::strtoull(text_.c_str() + pos, nullptr, 10);
+  }
+
+  std::string string(const std::string& key) const {
+    auto pos = value_start(key);
+    if (text_[pos] != '"') throw std::invalid_argument("event log: expected string for " + key);
+    ++pos;
+    std::string raw;
+    while (pos < text_.size() && text_[pos] != '"') {
+      if (text_[pos] == '\\' && pos + 1 < text_.size()) raw += text_[pos++];
+      raw += text_[pos++];
+    }
+    return unescape(raw);
+  }
+
+ private:
+  std::size_t find(const std::string& key) const { return text_.find("\"" + key + "\":"); }
+
+  std::size_t value_start(const std::string& key) const {
+    const auto pos = find(key);
+    if (pos == std::string::npos) {
+      throw std::invalid_argument("event log: missing key '" + key + "'");
+    }
+    return pos + key.size() + 3;
+  }
+
+  const std::string& text_;
+};
+
+}  // namespace
+
+std::string to_event_log(const ExecutionReport& r) {
+  std::ostringstream out;
+  {
+    bool first = true;
+    out << "{";
+    append_kv(out, "event", std::string("job_start"), &first);
+    append_kv(out, "executors", static_cast<std::uint64_t>(r.executors), &first);
+    append_kv(out, "total_slots", static_cast<std::uint64_t>(r.total_slots), &first);
+    append_kv(out, "exec_mem_per_task", r.execution_memory_per_task, &first);
+    append_kv(out, "storage_mem_total", r.storage_memory_total, &first);
+    append_kv(out, "cache_hit", r.cache_hit_fraction, &first);
+    out << "}\n";
+  }
+  for (const auto& s : r.stages) {
+    bool first = true;
+    out << "{";
+    append_kv(out, "event", std::string("stage_completed"), &first);
+    append_kv(out, "stage_id", static_cast<std::uint64_t>(s.stage_id), &first);
+    append_kv(out, "label", s.label, &first);
+    append_kv(out, "tasks", static_cast<std::uint64_t>(s.tasks), &first);
+    append_kv(out, "waves", static_cast<std::uint64_t>(s.waves), &first);
+    append_kv(out, "start", s.start, &first);
+    append_kv(out, "duration", s.duration, &first);
+    append_kv(out, "cpu", s.cpu_seconds, &first);
+    append_kv(out, "gc", s.gc_seconds, &first);
+    append_kv(out, "disk", s.disk_seconds, &first);
+    append_kv(out, "net", s.net_seconds, &first);
+    append_kv(out, "spill", s.spill_seconds, &first);
+    append_kv(out, "overhead", s.overhead_seconds, &first);
+    append_kv(out, "input_bytes", s.input_bytes, &first);
+    append_kv(out, "shuffle_read", s.shuffle_read_bytes, &first);
+    append_kv(out, "shuffle_write", s.shuffle_write_bytes, &first);
+    append_kv(out, "spilled", s.spilled_bytes, &first);
+    append_kv(out, "cache_hit", s.cache_hit_fraction, &first);
+    append_kv(out, "failed_tasks", static_cast<std::uint64_t>(s.failed_tasks), &first);
+    out << "}\n";
+  }
+  {
+    bool first = true;
+    out << "{";
+    append_kv(out, "event", std::string("job_end"), &first);
+    append_kv(out, "success", std::uint64_t{r.success ? 1u : 0u}, &first);
+    append_kv(out, "runtime", r.runtime, &first);
+    append_kv(out, "cost", r.cost, &first);
+    if (!r.failure_reason.empty()) append_kv(out, "failure", r.failure_reason, &first);
+    out << "}\n";
+  }
+  return out.str();
+}
+
+ExecutionReport from_event_log(const std::string& log) {
+  ExecutionReport r;
+  bool saw_start = false, saw_end = false;
+  std::istringstream in(log);
+  std::string text;
+  while (std::getline(in, text)) {
+    if (text.empty()) continue;
+    const Line line(text);
+    const std::string event = line.string("event");
+    if (event == "job_start") {
+      saw_start = true;
+      r.executors = static_cast<int>(line.integer("executors"));
+      r.total_slots = static_cast<int>(line.integer("total_slots"));
+      r.execution_memory_per_task = line.integer("exec_mem_per_task");
+      r.storage_memory_total = line.integer("storage_mem_total");
+      r.cache_hit_fraction = line.number("cache_hit");
+    } else if (event == "stage_completed") {
+      StageMetrics s;
+      s.stage_id = static_cast<int>(line.integer("stage_id"));
+      s.label = line.string("label");
+      s.tasks = static_cast<int>(line.integer("tasks"));
+      s.waves = static_cast<int>(line.integer("waves"));
+      s.start = line.number("start");
+      s.duration = line.number("duration");
+      s.cpu_seconds = line.number("cpu");
+      s.gc_seconds = line.number("gc");
+      s.disk_seconds = line.number("disk");
+      s.net_seconds = line.number("net");
+      s.spill_seconds = line.number("spill");
+      s.overhead_seconds = line.number("overhead");
+      s.input_bytes = line.integer("input_bytes");
+      s.shuffle_read_bytes = line.integer("shuffle_read");
+      s.shuffle_write_bytes = line.integer("shuffle_write");
+      s.spilled_bytes = line.integer("spilled");
+      s.cache_hit_fraction = line.number("cache_hit");
+      s.failed_tasks = static_cast<int>(line.integer("failed_tasks"));
+      r.stages.push_back(std::move(s));
+    } else if (event == "job_end") {
+      saw_end = true;
+      r.success = line.integer("success") != 0;
+      r.runtime = line.number("runtime");
+      r.cost = line.number("cost");
+      if (line.has("failure")) r.failure_reason = line.string("failure");
+    } else {
+      throw std::invalid_argument("event log: unknown event '" + event + "'");
+    }
+  }
+  if (!saw_start || !saw_end) {
+    throw std::invalid_argument("event log: incomplete (missing job_start/job_end)");
+  }
+  r.finalize_aggregates();
+  return r;
+}
+
+}  // namespace stune::disc

@@ -1,0 +1,27 @@
+// Spark-style event logs.
+//
+// Real providers harvest tuning telemetry from the framework's event log
+// (one JSON object per line: job start, per-stage completion, job end).
+// This module renders an ExecutionReport to that wire format and parses it
+// back, so the service-side components consume the same artifact a real
+// deployment would ship — and the knowledge base can persist across
+// provider restarts.
+#pragma once
+
+#include <string>
+
+#include "disc/metrics.hpp"
+
+namespace stune::disc {
+
+/// Render a report as a JSON-lines event log:
+///   {"event":"job_start", ...}
+///   {"event":"stage_completed", ...}   (one per stage)
+///   {"event":"job_end", ...}
+std::string to_event_log(const ExecutionReport& report);
+
+/// Parse an event log produced by to_event_log (round-trip safe).
+/// Throws std::invalid_argument on malformed input.
+ExecutionReport from_event_log(const std::string& log);
+
+}  // namespace stune::disc

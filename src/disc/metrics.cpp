@@ -1,0 +1,38 @@
+#include "disc/metrics.hpp"
+
+#include <sstream>
+
+namespace stune::disc {
+
+void ExecutionReport::finalize_aggregates() {
+  total_cpu = total_gc = total_disk = total_net = total_spill = total_overhead = 0.0;
+  total_input = total_shuffle_read = total_shuffle_write = total_spilled = 0;
+  for (const auto& s : stages) {
+    total_cpu += s.cpu_seconds;
+    total_gc += s.gc_seconds;
+    total_disk += s.disk_seconds;
+    total_net += s.net_seconds;
+    total_spill += s.spill_seconds;
+    total_overhead += s.overhead_seconds;
+    total_input += s.input_bytes;
+    total_shuffle_read += s.shuffle_read_bytes;
+    total_shuffle_write += s.shuffle_write_bytes;
+    total_spilled += s.spilled_bytes;
+  }
+}
+
+std::string ExecutionReport::summary() const {
+  std::ostringstream out;
+  if (!success) {
+    out << "FAILED (" << failure_reason << ") after " << simcore::format_seconds(runtime);
+    return out.str();
+  }
+  out << simcore::format_seconds(runtime) << " on " << executors << " executors ("
+      << total_slots << " slots), $" << cost << "; shuffle "
+      << simcore::format_bytes(total_shuffle_read) << ", spilled "
+      << simcore::format_bytes(total_spilled) << ", cache hit "
+      << static_cast<int>(cache_hit_fraction * 100.0) << "%";
+  return out.str();
+}
+
+}  // namespace stune::disc

@@ -1,0 +1,94 @@
+// Execution metrics reported by the simulated DISC engine.
+//
+// These play the role of the Spark event log / REST metrics that the paper's
+// tuning service harvests: per-stage timing broken down by resource, data
+// volumes, spill and cache behaviour. The transfer module derives workload
+// characterization vectors from this report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simcore/units.hpp"
+
+namespace stune::disc {
+
+using simcore::Bytes;
+using simcore::Dollars;
+using simcore::Seconds;
+
+struct StageMetrics {
+  int stage_id = -1;
+  std::string label;
+  int tasks = 0;
+  int waves = 0;  // ceil(tasks / usable slots)
+
+  Seconds start = 0.0;
+  Seconds duration = 0.0;
+
+  // Per-resource totals across all tasks of the stage (task-seconds).
+  Seconds cpu_seconds = 0.0;
+  Seconds gc_seconds = 0.0;
+  Seconds disk_seconds = 0.0;
+  Seconds net_seconds = 0.0;
+  Seconds spill_seconds = 0.0;
+  Seconds overhead_seconds = 0.0;
+
+  Bytes input_bytes = 0;
+  Bytes shuffle_read_bytes = 0;
+  Bytes shuffle_write_bytes = 0;
+  Bytes spilled_bytes = 0;
+  double cache_hit_fraction = 1.0;  // for stages reading cached data
+  int failed_tasks = 0;             // OOM attempts (retried)
+};
+
+struct ExecutionReport {
+  bool success = false;
+  std::string failure_reason;
+
+  Seconds runtime = 0.0;
+  Dollars cost = 0.0;
+
+  // Resolved deployment summary.
+  int executors = 0;
+  int total_slots = 0;
+  Bytes execution_memory_per_task = 0;
+  Bytes storage_memory_total = 0;
+  double cache_hit_fraction = 1.0;
+
+  std::vector<StageMetrics> stages;
+
+  // -- aggregates over all stages ------------------------------------------------
+  Seconds total_cpu = 0.0;
+  Seconds total_gc = 0.0;
+  Seconds total_disk = 0.0;
+  Seconds total_net = 0.0;
+  Seconds total_spill = 0.0;
+  Seconds total_overhead = 0.0;
+  Bytes total_input = 0;
+  Bytes total_shuffle_read = 0;
+  Bytes total_shuffle_write = 0;
+  Bytes total_spilled = 0;
+
+  /// Sum of per-resource task-seconds (the denominator of the fraction
+  /// helpers below).
+  Seconds total_task_seconds() const {
+    return total_cpu + total_gc + total_disk + total_net + total_spill + total_overhead;
+  }
+  double cpu_fraction() const { return safe_div(total_cpu, total_task_seconds()); }
+  double gc_fraction() const { return safe_div(total_gc, total_task_seconds()); }
+  double disk_fraction() const { return safe_div(total_disk, total_task_seconds()); }
+  double net_fraction() const { return safe_div(total_net, total_task_seconds()); }
+  double spill_fraction() const { return safe_div(total_spill, total_task_seconds()); }
+
+  /// Populate the aggregate fields from `stages` (called by the engine).
+  void finalize_aggregates();
+
+  /// One-line summary for logs.
+  std::string summary() const;
+
+ private:
+  static double safe_div(double a, double b) { return b > 0.0 ? a / b : 0.0; }
+};
+
+}  // namespace stune::disc

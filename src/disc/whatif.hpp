@@ -1,0 +1,46 @@
+// Starfish-style What-If engine (Herodotou et al., CIDR'11; paper §II-B):
+// "Given the profile of a job under configuration A, what will its runtime
+// be under configuration B?"
+//
+// The engine sees ONLY the measured profile (per-stage volumes and
+// per-resource times) — not the workload's plan — and rescales each
+// component by first-principles ratios implied by the configuration change
+// (slot counts, partition counts, serializer/codec costs, memory regions,
+// spill pressure). Deliberately approximate: profiles do not carry enough
+// information to separate, e.g., serialization CPU from user CPU, which is
+// precisely why the paper notes Starfish "showed less accuracy when tried
+// with heterogeneous applications" — bench_whatif quantifies that error.
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "config/spark_space.hpp"
+#include "disc/cost_model.hpp"
+#include "disc/metrics.hpp"
+
+namespace stune::disc {
+
+struct WhatIfPrediction {
+  double runtime = 0.0;
+  bool feasible = true;      // target config deploys at all
+  bool predicted_oom = false;
+  std::string note;
+};
+
+class WhatIfEngine {
+ public:
+  explicit WhatIfEngine(cluster::Cluster cluster, CostModel cost = {});
+
+  /// Predict the runtime under `target`, given `profile` measured under
+  /// `profiled` on this engine's cluster. `is_sql` selects which
+  /// parallelism knob governs shuffle stages.
+  WhatIfPrediction predict(const ExecutionReport& profile, const config::SparkConf& profiled,
+                           const config::SparkConf& target, bool is_sql = false) const;
+
+ private:
+  cluster::Cluster cluster_;
+  CostModel cost_;
+};
+
+}  // namespace stune::disc

@@ -1,0 +1,191 @@
+#include "linalg/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace stune::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::matvec(const Vector& x) const {
+  assert(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::matvec_transposed(const Vector& x) const {
+  assert(x.size() == rows_);
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) out(r, c) += a * other(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (std::size_t j = i; j < cols_; ++j) g(i, j) += ri * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i)
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  return g;
+}
+
+void Matrix::add_to_diagonal(double value) {
+  const std::size_t n = rows_ < cols_ ? rows_ : cols_;
+  for (std::size_t i = 0; i < n; ++i) (*this)(i, i) += value;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector scaled(const Vector& a, double alpha) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * alpha;
+  return out;
+}
+
+Matrix cholesky(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      throw std::runtime_error("cholesky: matrix is not positive definite");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / l(j, j);
+    }
+  }
+  return l;
+}
+
+Vector solve_lower(const Matrix& l, const Vector& b) {
+  assert(l.rows() == l.cols() && b.size() == l.rows());
+  const std::size_t n = l.rows();
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    y[i] = acc / l(i, i);
+  }
+  return y;
+}
+
+Vector solve_lower_transposed(const Matrix& l, const Vector& y) {
+  assert(l.rows() == l.cols() && y.size() == l.rows());
+  const std::size_t n = l.rows();
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= l(k, i) * x[k];
+    x[i] = acc / l(i, i);
+  }
+  return x;
+}
+
+Vector cholesky_solve(const Matrix& l, const Vector& b) {
+  return solve_lower_transposed(l, solve_lower(l, b));
+}
+
+Vector ridge_solve(const Matrix& x, const Vector& y, double lambda) {
+  assert(x.rows() == y.size());
+  Matrix gram = x.gram();
+  gram.add_to_diagonal(lambda);
+  const Vector xty = x.matvec_transposed(y);
+  const Matrix l = cholesky(gram);
+  return cholesky_solve(l, xty);
+}
+
+Vector nnls(const Matrix& x, const Vector& y, std::size_t max_iters) {
+  assert(x.rows() == y.size());
+  const std::size_t d = x.cols();
+  // Precompute Gram and X^T y; coordinate descent on the quadratic objective
+  // with projection onto w >= 0.
+  Matrix gram = x.gram();
+  gram.add_to_diagonal(1e-10);  // guard against exactly collinear columns
+  const Vector xty = x.matvec_transposed(y);
+  Vector w(d, 0.0);
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      double grad = -xty[j];
+      for (std::size_t k = 0; k < d; ++k) grad += gram(j, k) * w[k];
+      const double denom = gram(j, j);
+      if (denom <= 0.0) continue;
+      const double updated = std::max(0.0, w[j] - grad / denom);
+      max_delta = std::max(max_delta, std::abs(updated - w[j]));
+      w[j] = updated;
+    }
+    if (max_delta < 1e-12) break;
+  }
+  return w;
+}
+
+}  // namespace stune::linalg

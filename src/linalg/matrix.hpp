@@ -1,0 +1,77 @@
+// Minimal dense linear algebra for the performance models (ridge regression,
+// Gaussian processes, NNLS). Matrices are small here (a few hundred rows at
+// most), so a straightforward row-major implementation is both sufficient
+// and easy to audit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stune::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// this * x. Requires x.size() == cols().
+  Vector matvec(const Vector& x) const;
+  /// this^T * x. Requires x.size() == rows().
+  Vector matvec_transposed(const Vector& x) const;
+  Matrix transposed() const;
+  /// this * other. Requires cols() == other.rows().
+  Matrix multiply(const Matrix& other) const;
+  /// this^T * this (Gram matrix), computed symmetrically.
+  Matrix gram() const;
+
+  void add_to_diagonal(double value);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// -- Vector helpers ---------------------------------------------------------
+
+double dot(const Vector& a, const Vector& b);
+double norm2(const Vector& a);
+/// y += alpha * x
+void axpy(double alpha, const Vector& x, Vector& y);
+Vector subtract(const Vector& a, const Vector& b);
+Vector scaled(const Vector& a, double alpha);
+
+// -- Factorizations ---------------------------------------------------------
+
+/// Cholesky factorization of a symmetric positive definite matrix: A = L L^T.
+/// Throws std::runtime_error if A is not (numerically) positive definite.
+Matrix cholesky(const Matrix& a);
+
+/// Solve L y = b for lower-triangular L (forward substitution).
+Vector solve_lower(const Matrix& l, const Vector& b);
+
+/// Solve L^T x = y for lower-triangular L (backward substitution).
+Vector solve_lower_transposed(const Matrix& l, const Vector& y);
+
+/// Solve A x = b via the Cholesky factor L of A.
+Vector cholesky_solve(const Matrix& l, const Vector& b);
+
+/// Solve the ridge system (X^T X + lambda I) w = X^T y.
+Vector ridge_solve(const Matrix& x, const Vector& y, double lambda);
+
+/// Non-negative least squares min ||X w - y||^2 s.t. w >= 0, via projected
+/// coordinate descent. Used by the Ernest-style scaling model, whose basis
+/// terms are physically non-negative.
+Vector nnls(const Matrix& x, const Vector& y, std::size_t max_iters = 500);
+
+}  // namespace stune::linalg

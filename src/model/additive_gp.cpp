@@ -1,0 +1,187 @@
+#include "model/additive_gp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+namespace stune::model {
+
+namespace {
+
+double matern52(double r) {
+  const double s = std::sqrt(5.0) * r;
+  return (1.0 + s + s * s / 3.0) * std::exp(-s);
+}
+
+}  // namespace
+
+double AdditiveGaussianProcess::kernel(const std::vector<double>& a,
+                                       const std::vector<double>& b) const {
+  double acc = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    if (weights_[d] <= 0.0) continue;
+    acc += weights_[d] * matern52(std::abs(a[d] - b[d]) / lengthscales_[d]);
+  }
+  return acc;
+}
+
+bool AdditiveGaussianProcess::refit(const std::vector<double>& y, double* lml) {
+  const std::size_t n = x_.size();
+  linalg::Matrix k(n, n);
+  const double noise = noise_ + 1e-8;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(x_[i], x_[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += noise;
+  }
+  try {
+    chol_ = linalg::cholesky(k);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  alpha_ = linalg::cholesky_solve(chol_, y);
+  double value = -0.5 * linalg::dot(y, alpha_);
+  for (std::size_t i = 0; i < n; ++i) value -= std::log(chol_(i, i));
+  value -= 0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+  *lml = value;
+  return true;
+}
+
+void AdditiveGaussianProcess::fit(const Dataset& data, std::vector<std::size_t> feature_owners) {
+  if (data.empty()) throw std::invalid_argument("AdditiveGaussianProcess: empty dataset");
+  x_ = data.features();
+  const std::size_t dims = data.dim();
+  if (feature_owners.empty()) {
+    feature_owners.resize(dims);
+    std::iota(feature_owners.begin(), feature_owners.end(), std::size_t{0});
+  }
+  if (feature_owners.size() != dims) {
+    throw std::invalid_argument("AdditiveGaussianProcess: owners size mismatch");
+  }
+  owners_ = std::move(feature_owners);
+  groups_ = owners_.empty() ? 0 : *std::max_element(owners_.begin(), owners_.end()) + 1;
+
+  scaler_ = TargetScaler::fit(data.targets());
+  std::vector<double> y(data.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = scaler_.to_normalized(data.target(i));
+
+  // Per-dimension lengthscales from the median absolute difference.
+  lengthscales_.assign(dims, 1.0);
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::vector<double> diffs;
+    const std::size_t stride = x_.size() > 48 ? x_.size() / 48 : 1;
+    for (std::size_t i = 0; i < x_.size(); i += stride) {
+      for (std::size_t j = i + stride; j < x_.size(); j += stride) {
+        diffs.push_back(std::abs(x_[i][d] - x_[j][d]));
+      }
+    }
+    double median = 0.3;
+    if (!diffs.empty()) {
+      std::nth_element(diffs.begin(), diffs.begin() + static_cast<std::ptrdiff_t>(diffs.size() / 2),
+                       diffs.end());
+      median = std::max(0.05, diffs[diffs.size() / 2]);
+    }
+    lengthscales_[d] = median;
+  }
+
+  // Coordinate ascent on the LML over the *allocation* of a unit total
+  // kernel variance across dimensions: trying a new raw weight for one
+  // dimension always renormalizes the vector to sum 1, so the search
+  // compares relative importances rather than total signal variance
+  // (targets are normalized to unit variance already).
+  const double base = 1.0 / static_cast<double>(dims);
+  std::vector<double> raw(dims, base);
+  auto normalized = [&](const std::vector<double>& w) {
+    double total = 0.0;
+    for (const double v : w) total += v;
+    std::vector<double> out(w);
+    if (total <= 0.0) {
+      std::fill(out.begin(), out.end(), base);
+    } else {
+      for (auto& v : out) v /= total;
+    }
+    return out;
+  };
+
+  weights_ = normalized(raw);
+  double best_lml = -std::numeric_limits<double>::infinity();
+  // Pick the noise level by marginal likelihood under the current weights;
+  // re-checked after the sweeps (less additive structure claimed means more
+  // residual noise).
+  auto tune_noise = [&] {
+    double best = -std::numeric_limits<double>::infinity();
+    double best_noise = options_.noise_grid.front();
+    for (const double candidate : options_.noise_grid) {
+      noise_ = candidate;
+      double lml = 0.0;
+      if (refit(y, &lml) && lml > best) {
+        best = lml;
+        best_noise = candidate;
+      }
+    }
+    noise_ = best_noise;
+    best_lml = std::max(best_lml, best);
+  };
+  tune_noise();
+  for (std::size_t sweep = 0; sweep < options_.sweeps; ++sweep) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double saved = raw[d];
+      double best_raw = saved;
+      for (const double mult : options_.weight_grid) {
+        raw[d] = base * mult;
+        if (raw[d] == saved) continue;
+        weights_ = normalized(raw);
+        double lml = 0.0;
+        if (refit(y, &lml) && lml > best_lml) {
+          best_lml = lml;
+          best_raw = raw[d];
+        }
+      }
+      raw[d] = best_raw;
+    }
+  }
+  // Leave the state consistent with the final weights.
+  weights_ = normalized(raw);
+  tune_noise();
+  if (!refit(y, &best_lml)) {
+    throw std::runtime_error("AdditiveGaussianProcess: degenerate final kernel");
+  }
+  lml_ = best_lml;
+  fitted_ = true;
+}
+
+GpPrediction AdditiveGaussianProcess::predict(const std::vector<double>& x) const {
+  if (!fitted_) throw std::logic_error("AdditiveGaussianProcess: predict before fit");
+  const std::size_t n = x_.size();
+  linalg::Vector k_star(n);
+  for (std::size_t i = 0; i < n; ++i) k_star[i] = kernel(x, x_[i]);
+  const double mean_z = linalg::dot(k_star, alpha_);
+  const linalg::Vector v = linalg::solve_lower(chol_, k_star);
+  const double var_z = std::max(1e-10, kernel(x, x) + noise_ - linalg::dot(v, v));
+  GpPrediction p;
+  p.mean = scaler_.to_raw(mean_z);
+  p.variance = var_z * scaler_.stddev * scaler_.stddev;
+  return p;
+}
+
+std::vector<double> AdditiveGaussianProcess::relevance() const {
+  if (!fitted_) throw std::logic_error("AdditiveGaussianProcess: relevance before fit");
+  std::vector<double> per_group(groups_, 0.0);
+  double total = 0.0;
+  for (std::size_t d = 0; d < weights_.size(); ++d) {
+    per_group[owners_[d]] += weights_[d];
+    total += weights_[d];
+  }
+  if (total > 0.0) {
+    for (auto& v : per_group) v /= total;
+  }
+  return per_group;
+}
+
+}  // namespace stune::model

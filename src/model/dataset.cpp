@@ -1,0 +1,43 @@
+#include "model/dataset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "simcore/stats.hpp"
+
+namespace stune::model {
+
+void Dataset::add(std::vector<double> x, double y) {
+  if (!x_.empty() && x.size() != x_.front().size()) {
+    throw std::invalid_argument("Dataset: inconsistent feature dimension");
+  }
+  x_.push_back(std::move(x));
+  y_.push_back(y);
+}
+
+void Dataset::reserve(std::size_t n) {
+  x_.reserve(n);
+  y_.reserve(n);
+}
+
+linalg::Matrix Dataset::design_matrix(bool add_bias) const {
+  const std::size_t d = dim() + (add_bias ? 1 : 0);
+  linalg::Matrix m(size(), d);
+  for (std::size_t r = 0; r < size(); ++r) {
+    std::size_t c = 0;
+    if (add_bias) m(r, c++) = 1.0;
+    for (const double v : x_[r]) m(r, c++) = v;
+  }
+  return m;
+}
+
+TargetScaler TargetScaler::fit(const std::vector<double>& y) {
+  simcore::RunningStats s;
+  for (const double v : y) s.add(v);
+  TargetScaler t;
+  t.mean = s.mean();
+  t.stddev = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+  return t;
+}
+
+}  // namespace stune::model

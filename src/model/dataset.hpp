@@ -1,0 +1,45 @@
+// Training data shared by the performance models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace stune::model {
+
+/// A supervised regression dataset: rows of features plus a target.
+class Dataset {
+ public:
+  void add(std::vector<double> x, double y);
+  void reserve(std::size_t n);
+
+  std::size_t size() const { return y_.size(); }
+  bool empty() const { return y_.empty(); }
+  std::size_t dim() const { return x_.empty() ? 0 : x_.front().size(); }
+
+  const std::vector<std::vector<double>>& features() const { return x_; }
+  const std::vector<double>& targets() const { return y_; }
+  const std::vector<double>& row(std::size_t i) const { return x_[i]; }
+  double target(std::size_t i) const { return y_[i]; }
+
+  /// Dense matrix view (copies), optionally with a leading 1-bias column.
+  linalg::Matrix design_matrix(bool add_bias) const;
+
+ private:
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_;
+};
+
+/// z-score normalizer for targets; models fit on normalized targets and
+/// denormalize predictions.
+struct TargetScaler {
+  double mean = 0.0;
+  double stddev = 1.0;
+
+  static TargetScaler fit(const std::vector<double>& y);
+  double to_normalized(double y) const { return (y - mean) / stddev; }
+  double to_raw(double z) const { return z * stddev + mean; }
+};
+
+}  // namespace stune::model

@@ -1,0 +1,126 @@
+#include "model/gp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace stune::model {
+
+namespace {
+
+double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double matern52(double r, double lengthscale) {
+  const double s = std::sqrt(5.0) * r / lengthscale;
+  return (1.0 + s + s * s / 3.0) * std::exp(-s);
+}
+
+double standard_normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double standard_normal_cdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+
+}  // namespace
+
+double GaussianProcess::kernel(const std::vector<double>& a, const std::vector<double>& b) const {
+  return signal_var_ * matern52(std::sqrt(sq_dist(a, b)), lengthscale_);
+}
+
+void GaussianProcess::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("GaussianProcess: empty dataset");
+  x_ = data.features();
+  scaler_ = TargetScaler::fit(data.targets());
+  std::vector<double> y(data.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = scaler_.to_normalized(data.target(i));
+  signal_var_ = 1.0;  // targets are normalized
+
+  // Median pairwise distance heuristic (subsampled for large n).
+  std::vector<double> dists;
+  const std::size_t n = x_.size();
+  const std::size_t stride = n > 64 ? n / 64 : 1;
+  for (std::size_t i = 0; i < n; i += stride) {
+    for (std::size_t j = i + stride; j < n; j += stride) {
+      dists.push_back(std::sqrt(sq_dist(x_[i], x_[j])));
+    }
+  }
+  double median = 1.0;
+  if (!dists.empty()) {
+    std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(dists.size() / 2),
+                     dists.end());
+    median = std::max(1e-6, dists[dists.size() / 2]);
+  }
+
+  double best_lml = -std::numeric_limits<double>::infinity();
+  linalg::Matrix best_chol;
+  linalg::Vector best_alpha;
+  double best_ls = median;
+
+  for (const double mult : options_.lengthscale_grid) {
+    lengthscale_ = median * mult;
+    linalg::Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        const double v = kernel(x_[i], x_[j]);
+        k(i, j) = v;
+        k(j, i) = v;
+      }
+      k(i, i) += options_.noise * signal_var_ + 1e-8;
+    }
+    linalg::Matrix l;
+    try {
+      l = linalg::cholesky(k);
+    } catch (const std::runtime_error&) {
+      continue;  // numerically bad lengthscale; try the next one
+    }
+    const linalg::Vector alpha = linalg::cholesky_solve(l, y);
+    double lml = -0.5 * linalg::dot(y, alpha);
+    for (std::size_t i = 0; i < n; ++i) lml -= std::log(l(i, i));
+    lml -= 0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+    if (lml > best_lml) {
+      best_lml = lml;
+      best_chol = l;
+      best_alpha = alpha;
+      best_ls = lengthscale_;
+    }
+  }
+  if (!std::isfinite(best_lml)) {
+    throw std::runtime_error("GaussianProcess: no viable lengthscale (degenerate data)");
+  }
+  lengthscale_ = best_ls;
+  lml_ = best_lml;
+  chol_ = std::move(best_chol);
+  alpha_ = std::move(best_alpha);
+  fitted_ = true;
+}
+
+GpPrediction GaussianProcess::predict(const std::vector<double>& x) const {
+  if (!fitted_) throw std::logic_error("GaussianProcess: predict before fit");
+  const std::size_t n = x_.size();
+  linalg::Vector k_star(n);
+  for (std::size_t i = 0; i < n; ++i) k_star[i] = kernel(x, x_[i]);
+  const double mean_z = linalg::dot(k_star, alpha_);
+  const linalg::Vector v = linalg::solve_lower(chol_, k_star);
+  const double var_z =
+      std::max(1e-10, kernel(x, x) + options_.noise * signal_var_ - linalg::dot(v, v));
+  GpPrediction p;
+  p.mean = scaler_.to_raw(mean_z);
+  p.variance = var_z * scaler_.stddev * scaler_.stddev;
+  return p;
+}
+
+double expected_improvement(double mean, double variance, double best) {
+  const double sigma = std::sqrt(std::max(variance, 1e-18));
+  const double z = (best - mean) / sigma;
+  return (best - mean) * standard_normal_cdf(z) + sigma * standard_normal_pdf(z);
+}
+
+}  // namespace stune::model

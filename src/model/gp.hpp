@@ -1,0 +1,61 @@
+// Gaussian process regression with a Matérn 5/2 kernel and the expected
+// improvement acquisition — the machinery behind CherryPick's Bayesian
+// optimization (paper §II-A).
+//
+// Hyperparameters are set pragmatically: the lengthscale from the median
+// pairwise distance scaled over a small grid chosen by log marginal
+// likelihood, signal variance from the target variance, and a fixed
+// relative noise floor. This matches the referenced systems' "no outer
+// optimizer" engineering reality while staying fully deterministic.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "model/dataset.hpp"
+
+namespace stune::model {
+
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+class GaussianProcess {
+ public:
+  struct Options {
+    /// Relative noise (fraction of signal variance) added to the diagonal.
+    double noise = 1e-2;
+    /// Lengthscale multipliers tried around the median heuristic.
+    std::vector<double> lengthscale_grid = {0.3, 1.0, 3.0};
+  };
+
+  GaussianProcess() : GaussianProcess(Options{}) {}
+  explicit GaussianProcess(Options options) : options_(std::move(options)) {}
+
+  void fit(const Dataset& data);
+  GpPrediction predict(const std::vector<double>& x) const;
+  bool fitted() const { return fitted_; }
+  double lengthscale() const { return lengthscale_; }
+  /// Log marginal likelihood of the selected hyperparameters.
+  double log_marginal_likelihood() const { return lml_; }
+
+ private:
+  double kernel(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  Options options_;
+  bool fitted_ = false;
+  double lengthscale_ = 1.0;
+  double signal_var_ = 1.0;
+  double lml_ = 0.0;
+  TargetScaler scaler_;
+  std::vector<std::vector<double>> x_;
+  linalg::Matrix chol_;        // L of K + noise I
+  linalg::Vector alpha_;       // (K + noise I)^-1 y
+};
+
+/// Expected improvement of a *minimization* objective at a point predicted
+/// (mean, variance), against the incumbent best (lowest) value.
+double expected_improvement(double mean, double variance, double best);
+
+}  // namespace stune::model

@@ -1,0 +1,92 @@
+#include "model/kmedoids.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace stune::model {
+
+double euclidean(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double cosine_similarity(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+namespace {
+
+void assign_points(const std::vector<std::vector<double>>& points,
+                   const std::vector<std::size_t>& medoids, std::vector<std::size_t>* assignment,
+                   double* cost) {
+  *cost = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < medoids.size(); ++c) {
+      const double d = euclidean(points[i], points[medoids[c]]);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    (*assignment)[i] = best_c;
+    *cost += best;
+  }
+}
+
+}  // namespace
+
+KMedoidsResult kmedoids(const std::vector<std::vector<double>>& points, std::size_t k,
+                        simcore::Rng rng, std::size_t max_iters) {
+  if (k == 0 || k > points.size()) {
+    throw std::invalid_argument("kmedoids: k must be in [1, points]");
+  }
+  KMedoidsResult r;
+  // Initialize with distinct random medoids.
+  std::vector<std::size_t> pool(points.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+  rng.shuffle(pool);
+  r.medoids.assign(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(k));
+  r.assignment.resize(points.size());
+  assign_points(points, r.medoids, &r.assignment, &r.total_cost);
+
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    bool improved = false;
+    // PAM swap phase: try replacing each medoid with each non-medoid.
+    for (std::size_t c = 0; c < k && !improved; ++c) {
+      for (std::size_t candidate = 0; candidate < points.size(); ++candidate) {
+        if (std::find(r.medoids.begin(), r.medoids.end(), candidate) != r.medoids.end()) continue;
+        std::vector<std::size_t> trial = r.medoids;
+        trial[c] = candidate;
+        std::vector<std::size_t> assign(points.size());
+        double cost = 0.0;
+        assign_points(points, trial, &assign, &cost);
+        if (cost + 1e-12 < r.total_cost) {
+          r.medoids = std::move(trial);
+          r.assignment = std::move(assign);
+          r.total_cost = cost;
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return r;
+}
+
+}  // namespace stune::model

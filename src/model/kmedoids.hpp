@@ -1,0 +1,26 @@
+// k-medoids (PAM-style) clustering — AROMA clusters executed jobs by their
+// resource signatures before fitting per-cluster models (paper §II-B, §V-B).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "simcore/rng.hpp"
+
+namespace stune::model {
+
+struct KMedoidsResult {
+  std::vector<std::size_t> medoids;      // indices into the input points
+  std::vector<std::size_t> assignment;   // point -> cluster index
+  double total_cost = 0.0;               // sum of distances to medoids
+};
+
+/// Cluster `points` into k groups under Euclidean distance. Deterministic
+/// given the rng. Throws std::invalid_argument for k == 0 or k > points.
+KMedoidsResult kmedoids(const std::vector<std::vector<double>>& points, std::size_t k,
+                        simcore::Rng rng, std::size_t max_iters = 50);
+
+double euclidean(const std::vector<double>& a, const std::vector<double>& b);
+double cosine_similarity(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace stune::model

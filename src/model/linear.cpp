@@ -1,0 +1,47 @@
+#include "model/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stune::model {
+
+void RidgeRegression::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("RidgeRegression: empty dataset");
+  const linalg::Matrix x = data.design_matrix(/*add_bias=*/true);
+  weights_ = linalg::ridge_solve(x, data.targets(), lambda_);
+}
+
+double RidgeRegression::predict(const std::vector<double>& x) const {
+  if (!fitted()) throw std::logic_error("RidgeRegression: predict before fit");
+  if (x.size() + 1 != weights_.size()) {
+    throw std::invalid_argument("RidgeRegression: feature dimension mismatch");
+  }
+  double y = weights_[0];
+  for (std::size_t i = 0; i < x.size(); ++i) y += weights_[i + 1] * x[i];
+  return y;
+}
+
+std::vector<double> ErnestModel::basis(double data_size, double machines) {
+  const double m = std::max(1.0, machines);
+  return {1.0, data_size / m, std::log(m), m};
+}
+
+void ErnestModel::add_observation(double data_size, double machines, double runtime) {
+  data_.add(basis(data_size, machines), runtime);
+}
+
+void ErnestModel::fit() {
+  if (data_.empty()) throw std::logic_error("ErnestModel: no observations");
+  const linalg::Matrix x = data_.design_matrix(/*add_bias=*/false);
+  weights_ = linalg::nnls(x, data_.targets());
+}
+
+double ErnestModel::predict(double data_size, double machines) const {
+  if (!fitted()) throw std::logic_error("ErnestModel: predict before fit");
+  const auto b = basis(data_size, machines);
+  double y = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) y += weights_[i] * b[i];
+  return y;
+}
+
+}  // namespace stune::model

@@ -1,0 +1,48 @@
+// Linear performance models: ridge regression (Wang-style baselines) and
+// the Ernest scaling model (Venkataraman et al., NSDI'16) used for cloud
+// configuration prediction.
+#pragma once
+
+#include <vector>
+
+#include "model/dataset.hpp"
+
+namespace stune::model {
+
+/// Ridge regression with intercept on raw features.
+class RidgeRegression {
+ public:
+  explicit RidgeRegression(double lambda = 1e-3) : lambda_(lambda) {}
+
+  void fit(const Dataset& data);
+  double predict(const std::vector<double>& x) const;
+  bool fitted() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }  // [bias, w...]
+
+ private:
+  double lambda_;
+  std::vector<double> weights_;
+};
+
+/// Ernest models runtime of a scale-out analytics job as a non-negative
+/// combination of interpretable terms of (data size, machine count):
+///   t(d, m) = w0 + w1 * d/m + w2 * log(m) + w3 * m
+/// capturing serial overhead, perfectly parallel work, tree-aggregation
+/// depth and per-machine coordination cost.
+class ErnestModel {
+ public:
+  /// One observation: data size (normalized units), machines, runtime.
+  void add_observation(double data_size, double machines, double runtime);
+  void fit();
+  double predict(double data_size, double machines) const;
+  bool fitted() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }
+
+  static std::vector<double> basis(double data_size, double machines);
+
+ private:
+  Dataset data_;
+  std::vector<double> weights_;
+};
+
+}  // namespace stune::model

@@ -1,0 +1,213 @@
+#include "model/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace stune::model {
+
+namespace {
+
+struct SplitResult {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+};
+
+double sse_of(const Dataset& data, const std::vector<std::size_t>& idx, std::size_t begin,
+              std::size_t end) {
+  double mean = 0.0;
+  for (std::size_t i = begin; i < end; ++i) mean += data.target(idx[i]);
+  mean /= static_cast<double>(end - begin);
+  double sse = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double d = data.target(idx[i]) - mean;
+    sse += d * d;
+  }
+  return sse;
+}
+
+}  // namespace
+
+void RegressionTree::fit(const Dataset& data, simcore::Rng rng) {
+  if (data.empty()) throw std::invalid_argument("RegressionTree: empty dataset");
+  nodes_.clear();
+  dim_ = data.dim();
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  build(data, indices, 0, data.size(), 0, rng);
+}
+
+int RegressionTree::build(const Dataset& data, std::vector<std::size_t>& indices,
+                          std::size_t begin, std::size_t end, int depth, simcore::Rng& rng) {
+  const std::size_t n = end - begin;
+  Node node;
+  node.depth = depth;
+  double mean = 0.0;
+  for (std::size_t i = begin; i < end; ++i) mean += data.target(indices[i]);
+  mean /= static_cast<double>(n);
+  node.value = mean;
+
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+
+  if (static_cast<std::size_t>(depth) >= options_.max_depth || n < options_.min_samples_split) {
+    return id;
+  }
+
+  // Feature subsampling.
+  std::vector<std::size_t> features(dim_);
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  std::size_t n_feats = dim_;
+  if (options_.feature_subsample < 1.0) {
+    n_feats = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(options_.feature_subsample * dim_)));
+    rng.shuffle(features);
+    features.resize(n_feats);
+  }
+
+  const double parent_sse = sse_of(data, indices, begin, end);
+  SplitResult best;
+  std::vector<double> values;
+  values.reserve(n);
+
+  for (const std::size_t f : features) {
+    values.clear();
+    for (std::size_t i = begin; i < end; ++i) values.push_back(data.row(indices[i])[f]);
+    std::sort(values.begin(), values.end());
+    if (values.front() == values.back()) continue;
+
+    // Quantile candidate thresholds.
+    const std::size_t cuts = std::min(options_.candidate_cuts, n - 1);
+    for (std::size_t c = 1; c <= cuts; ++c) {
+      const std::size_t pos = c * n / (cuts + 1);
+      const double threshold = 0.5 * (values[pos] + values[std::min(pos + 1, n - 1)]);
+      // Evaluate: single pass accumulating left/right stats.
+      double ls = 0.0, lss = 0.0, rs = 0.0, rss = 0.0;
+      std::size_t ln = 0, rn = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const double y = data.target(indices[i]);
+        if (data.row(indices[i])[f] <= threshold) {
+          ls += y;
+          lss += y * y;
+          ++ln;
+        } else {
+          rs += y;
+          rss += y * y;
+          ++rn;
+        }
+      }
+      if (ln < options_.min_samples_leaf || rn < options_.min_samples_leaf) continue;
+      const double child_sse =
+          (lss - ls * ls / static_cast<double>(ln)) + (rss - rs * rs / static_cast<double>(rn));
+      const double gain = parent_sse - child_sse;
+      if (gain > best.gain) {
+        best = SplitResult{static_cast<int>(f), threshold, gain};
+      }
+    }
+  }
+
+  if (best.feature < 0 || best.gain <= 1e-12) return id;
+
+  // Partition indices in place around the chosen split.
+  const auto mid_it = std::stable_partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t i) {
+        return data.row(i)[static_cast<std::size_t>(best.feature)] <= best.threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return id;  // numeric edge: give up
+
+  nodes_[static_cast<std::size_t>(id)].feature = best.feature;
+  nodes_[static_cast<std::size_t>(id)].threshold = best.threshold;
+  nodes_[static_cast<std::size_t>(id)].gain = best.gain;
+  const int left = build(data, indices, begin, mid, depth + 1, rng);
+  const int right = build(data, indices, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(id)].left = left;
+  nodes_[static_cast<std::size_t>(id)].right = right;
+  return id;
+}
+
+double RegressionTree::predict(const std::vector<double>& x) const {
+  if (!fitted()) throw std::logic_error("RegressionTree: predict before fit");
+  if (x.size() != dim_) throw std::invalid_argument("RegressionTree: dimension mismatch");
+  int cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
+    const auto& nd = nodes_[static_cast<std::size_t>(cur)];
+    cur = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left : nd.right;
+  }
+  return nodes_[static_cast<std::size_t>(cur)].value;
+}
+
+std::size_t RegressionTree::depth() const {
+  std::size_t d = 0;
+  for (const auto& nd : nodes_) d = std::max(d, static_cast<std::size_t>(nd.depth));
+  return d;
+}
+
+std::vector<double> RegressionTree::feature_importance() const {
+  std::vector<double> imp(dim_, 0.0);
+  for (const auto& nd : nodes_) {
+    if (nd.feature >= 0) imp[static_cast<std::size_t>(nd.feature)] += nd.gain;
+  }
+  return imp;
+}
+
+RandomForest::RandomForest(ForestOptions options) : options_(options) {
+  if (options_.trees == 0) throw std::invalid_argument("RandomForest: needs at least one tree");
+}
+
+void RandomForest::fit(const Dataset& data, simcore::Rng rng) {
+  if (data.empty()) throw std::invalid_argument("RandomForest: empty dataset");
+  trees_.clear();
+  trees_.reserve(options_.trees);
+  const auto n = data.size();
+  const auto sample_n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.bootstrap_fraction * static_cast<double>(n)));
+  for (std::size_t t = 0; t < options_.trees; ++t) {
+    simcore::Rng tree_rng = rng.fork(t + 1);
+    Dataset boot;
+    boot.reserve(sample_n);
+    for (std::size_t i = 0; i < sample_n; ++i) {
+      const auto pick = static_cast<std::size_t>(
+          tree_rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      boot.add(data.row(pick), data.target(pick));
+    }
+    RegressionTree tree(options_.tree);
+    tree.fit(boot, tree_rng.fork("splits"));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::predict(const std::vector<double>& x) const {
+  double mean = 0.0, var = 0.0;
+  predict_dist(x, &mean, &var);
+  return mean;
+}
+
+void RandomForest::predict_dist(const std::vector<double>& x, double* mean, double* var) const {
+  if (!fitted()) throw std::logic_error("RandomForest: predict before fit");
+  double s = 0.0, ss = 0.0;
+  for (const auto& t : trees_) {
+    const double y = t.predict(x);
+    s += y;
+    ss += y * y;
+  }
+  const auto n = static_cast<double>(trees_.size());
+  *mean = s / n;
+  *var = std::max(0.0, ss / n - (*mean) * (*mean));
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  if (!fitted()) return {};
+  std::vector<double> total = trees_.front().feature_importance();
+  for (std::size_t t = 1; t < trees_.size(); ++t) {
+    const auto imp = trees_[t].feature_importance();
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] += imp[i];
+  }
+  for (auto& v : total) v /= static_cast<double>(trees_.size());
+  return total;
+}
+
+}  // namespace stune::model

@@ -1,0 +1,82 @@
+// CART regression tree (variance-reduction splits), the building block of
+// the Wang et al. regression-tree tuner and the random forest used by the
+// DAC-style model-driven genetic search and PARIS.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/dataset.hpp"
+#include "simcore/rng.hpp"
+
+namespace stune::model {
+
+struct TreeOptions {
+  std::size_t max_depth = 10;
+  std::size_t min_samples_leaf = 3;
+  std::size_t min_samples_split = 6;
+  /// Fraction of features considered per split (random forests use < 1).
+  double feature_subsample = 1.0;
+  /// Candidate thresholds per feature (quantile cuts), bounds split search.
+  std::size_t candidate_cuts = 16;
+};
+
+class RegressionTree {
+ public:
+  explicit RegressionTree(TreeOptions options = {}) : options_(options) {}
+
+  /// `rng` drives feature subsampling (pass a fork per tree in forests).
+  void fit(const Dataset& data, simcore::Rng rng = simcore::Rng(1));
+  double predict(const std::vector<double>& x) const;
+  bool fitted() const { return !nodes_.empty(); }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+  /// Total SSE reduction contributed by splits on each feature — a crude
+  /// interpretability measure (paper §V-A asks tuning models to expose what
+  /// drives performance).
+  std::vector<double> feature_importance() const;
+
+ private:
+  struct Node {
+    int feature = -1;  // -1: leaf
+    double threshold = 0.0;
+    double value = 0.0;  // leaf prediction
+    double gain = 0.0;   // SSE reduction of this split
+    int left = -1;
+    int right = -1;
+    int depth = 0;
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t>& indices, std::size_t begin,
+            std::size_t end, int depth, simcore::Rng& rng);
+
+  TreeOptions options_;
+  std::size_t dim_ = 0;
+  std::vector<Node> nodes_;
+};
+
+struct ForestOptions {
+  std::size_t trees = 40;
+  TreeOptions tree{};
+  /// Bootstrap sample fraction per tree.
+  double bootstrap_fraction = 1.0;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestOptions options = {});
+
+  void fit(const Dataset& data, simcore::Rng rng = simcore::Rng(1));
+  double predict(const std::vector<double>& x) const;
+  /// Mean and variance across trees (a cheap uncertainty proxy).
+  void predict_dist(const std::vector<double>& x, double* mean, double* var) const;
+  bool fitted() const { return !trees_.empty(); }
+  std::vector<double> feature_importance() const;
+
+ private:
+  ForestOptions options_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace stune::model

@@ -1,0 +1,203 @@
+#include "service/cloud_tuner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <stdexcept>
+
+#include "config/spark_space.hpp"
+#include "disc/deployment.hpp"
+#include "disc/engine.hpp"
+#include "model/linear.hpp"
+#include "tuning/tuners.hpp"
+#include "workload/execute.hpp"
+
+namespace stune::service {
+
+std::string to_string(CloudObjective objective) {
+  switch (objective) {
+    case CloudObjective::kRuntime: return "runtime";
+    case CloudObjective::kCost: return "cost";
+    case CloudObjective::kBalanced: return "balanced";
+  }
+  return "unknown";
+}
+
+std::string to_string(CloudStrategy strategy) {
+  switch (strategy) {
+    case CloudStrategy::kBayesOpt: return "bayesopt";
+    case CloudStrategy::kErnest: return "ernest";
+    case CloudStrategy::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+config::Configuration provider_auto_config(const cluster::Cluster& cluster) {
+  namespace k = config::spark;
+  auto conf = config::spark_space()->default_config();
+  const int vcpus = cluster.type().vcpus;
+  const int cores = std::min(4, vcpus);
+  const int epv = std::max(1, vcpus / cores);
+  const double overhead = 0.10;
+  const double usable_gib =
+      static_cast<double>(cluster.usable_memory_per_vm()) / (1024.0 * 1024.0 * 1024.0);
+  const double heap = std::clamp(usable_gib / epv / (1.0 + overhead) * 0.95, 1.0, 48.0);
+  const int slots = epv * cluster.vm_count() * cores;
+
+  conf.set(k::kExecutorCores, cores);
+  conf.set(k::kExecutorMemoryGiB, heap);
+  conf.set(k::kExecutorInstances, epv * cluster.vm_count());
+  conf.set(k::kDynamicAllocation, 1.0);
+  conf.set(k::kDriverMemoryGiB, 4.0);
+  conf.set(k::kMemoryOverheadFactor, overhead);
+  conf.set(k::kDefaultParallelism, std::clamp(3 * slots, 8, 2048));
+  conf.set(k::kSqlShufflePartitions, std::clamp(3 * slots, 8, 2048));
+  conf.set(k::kSerializer, 1.0);  // kryo
+  conf.set(k::kMemoryFraction, 0.75);
+  return conf;
+}
+
+std::shared_ptr<const config::ConfigSpace> cloud_space(int min_vms, int max_vms) {
+  if (min_vms <= 0 || max_vms < min_vms) {
+    throw std::invalid_argument("cloud_space: bad VM count range");
+  }
+  std::vector<std::string> types;
+  for (const auto& t : cluster::instance_catalog()) types.push_back(t.name);
+  std::vector<config::ParamDef> params;
+  params.push_back(config::ParamDef::categorical("cloud.instance.type", std::move(types), 2,
+                                                 "EC2-style instance type"));
+  params.push_back(config::ParamDef::integer("cloud.vm.count", min_vms, max_vms,
+                                             std::min(4, max_vms), false, "cluster size"));
+  return config::ConfigSpace::create(std::move(params));
+}
+
+cluster::ClusterSpec to_cluster_spec(const config::Configuration& c) {
+  cluster::ClusterSpec spec;
+  spec.instance = c.get_label("cloud.instance.type");
+  spec.vm_count = static_cast<int>(c.get_int("cloud.vm.count"));
+  return spec;
+}
+
+namespace {
+
+struct Outcome {
+  double runtime;
+  double cost;
+  bool failed;
+};
+
+}  // namespace
+
+CloudChoice CloudTuner::choose(const workload::Workload& workload,
+                               simcore::Bytes input_bytes) const {
+  double trial_time = 0.0;
+  double trial_cost = 0.0;
+  std::size_t trials = 0;
+  auto evaluate_spec = [&](const cluster::ClusterSpec& spec) -> Outcome {
+    const cluster::Cluster cl = cluster::Cluster::from_spec(spec);
+    disc::EngineOptions eopts;
+    eopts.cost = options_.cost_model;
+    eopts.contention = options_.contention;
+    eopts.seed = options_.seed;
+    const disc::SparkSimulator sim(cl, eopts);
+    const auto report =
+        workload::execute(workload, input_bytes, sim, provider_auto_config(cl));
+    trial_time += report.runtime;
+    trial_cost += report.cost;
+    ++trials;
+    return Outcome{report.runtime, report.cost, !report.success};
+  };
+  auto score_of = [&](double runtime, double cost) {
+    switch (options_.objective) {
+      case CloudObjective::kRuntime: return runtime;
+      case CloudObjective::kCost: return cost * 3600.0;  // scale to seconds-ish
+      case CloudObjective::kBalanced: return std::sqrt(runtime * cost * 3600.0);
+    }
+    return runtime;
+  };
+
+  cluster::ClusterSpec picked;
+  switch (options_.strategy) {
+    case CloudStrategy::kBayesOpt: {
+      const auto space = cloud_space(options_.min_vms, options_.max_vms);
+      tuning::Objective objective = [&](const config::Configuration& c) -> tuning::EvalOutcome {
+        const Outcome o = evaluate_spec(to_cluster_spec(c));
+        return tuning::EvalOutcome{score_of(o.runtime, o.cost), o.failed};
+      };
+      tuning::BayesOptTuner tuner(tuning::BayesOptTuner::Params{
+          .init_samples = std::max<std::size_t>(4, options_.budget / 3),
+          .candidates = 256,
+          .local_candidates = 32});
+      tuning::TuneOptions topts;
+      topts.budget = options_.budget;
+      topts.seed = options_.seed;
+      picked = to_cluster_spec(tuner.tune(space, objective, topts).best);
+      break;
+    }
+    case CloudStrategy::kRandom: {
+      const auto space = cloud_space(options_.min_vms, options_.max_vms);
+      simcore::Rng rng(options_.seed);
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < options_.budget; ++i) {
+        const auto spec = to_cluster_spec(space->sample(rng));
+        const Outcome o = evaluate_spec(spec);
+        if (o.failed) continue;
+        const double s = score_of(o.runtime, o.cost);
+        if (s < best) {
+          best = s;
+          picked = spec;
+        }
+      }
+      if (!std::isfinite(best)) picked = cluster::ClusterSpec{"m5.2xlarge", options_.min_vms};
+      break;
+    }
+    case CloudStrategy::kErnest: {
+      // Profile each family's mid-size type on a few small clusters, fit
+      // the Ernest scaling basis t(m) = w0 + w1 d/m + w2 log m + w3 m per
+      // family, and extrapolate across the whole count range analytically.
+      const double data_units = static_cast<double>(input_bytes) / (1ULL << 30);
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& family : cluster::catalog_families()) {
+        const auto types = cluster::family_types(family);
+        const auto* type = types[types.size() / 2];
+        model::ErnestModel ernest;
+        bool usable = true;
+        for (const int count : options_.ernest_profile_counts) {
+          const int vms = std::clamp(count, options_.min_vms, options_.max_vms);
+          const Outcome o = evaluate_spec({type->name, vms});
+          if (o.failed) {
+            usable = false;  // Ernest has no story for crashing profiles
+            break;
+          }
+          ernest.add_observation(data_units, vms, o.runtime);
+        }
+        if (!usable) continue;
+        ernest.fit();
+        for (int vms = options_.min_vms; vms <= options_.max_vms; ++vms) {
+          const double rt = ernest.predict(data_units, vms);
+          const double cost =
+              cluster::Cluster(*type, vms).cost_per_hour() * rt / 3600.0;
+          const double s = score_of(rt, cost);
+          if (s < best) {
+            best = s;
+            picked = cluster::ClusterSpec{type->name, vms};
+          }
+        }
+      }
+      if (!std::isfinite(best)) picked = cluster::ClusterSpec{"m5.2xlarge", options_.min_vms};
+      break;
+    }
+  }
+
+  CloudChoice choice;
+  choice.spec = picked;
+  const Outcome final_outcome = evaluate_spec(choice.spec);
+  choice.trials = trials - 1;  // the confirmation run is reported separately
+  choice.trial_time = trial_time;
+  choice.trial_cost = trial_cost;
+  choice.runtime = final_outcome.runtime;
+  choice.cost = final_outcome.cost;
+  return choice;
+}
+
+}  // namespace stune::service

@@ -1,0 +1,87 @@
+// Stage 1 of the paper's Fig. 1 pipeline: cloud configuration tuning —
+// pick the instance family, type and VM count for a workload before the
+// DISC-level knobs are touched (CherryPick/PARIS territory, §II-A).
+//
+// The search runs Bayesian optimization over a small cloud configuration
+// space; every candidate cluster is evaluated by executing the workload
+// under the provider's heuristic auto-configuration, so stage 1 isolates
+// the infrastructure choice from DISC tuning.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "cluster/contention.hpp"
+#include "config/config_space.hpp"
+#include "disc/cost_model.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::service {
+
+/// What stage 1 optimizes for.
+enum class CloudObjective {
+  kRuntime,  // fastest, cost-blind
+  kCost,     // cheapest total $ for the run (CherryPick's default)
+  kBalanced, // minimize runtime * cost
+};
+
+std::string to_string(CloudObjective objective);
+
+/// How stage 1 searches the cloud space.
+enum class CloudStrategy {
+  kBayesOpt,  // CherryPick: GP + expected improvement over the whole space
+  kErnest,    // Ernest: profile small clusters per family, extrapolate the
+              // scaling curve, pick analytically (cheap, but only as good
+              // as the t(d, m) basis fits the workload)
+  kRandom,    // uniform sampling baseline
+};
+
+std::string to_string(CloudStrategy strategy);
+
+/// A sane, capacity-proportional DISC configuration for a cluster — what a
+/// managed service would deploy before any tuning. Used as the stage-1
+/// evaluation config and as the service's pre-tuning default.
+config::Configuration provider_auto_config(const cluster::Cluster& cluster);
+
+struct CloudTunerOptions {
+  CloudObjective objective = CloudObjective::kBalanced;
+  CloudStrategy strategy = CloudStrategy::kBayesOpt;
+  std::size_t budget = 12;  // cluster trials (CherryPick uses ~10)
+  /// kErnest: small-cluster profile points per family.
+  std::vector<int> ernest_profile_counts = {2, 3, 4};
+  int min_vms = 2;
+  int max_vms = 12;
+  std::uint64_t seed = 1;
+  cluster::ContentionParams contention{};
+  disc::CostModel cost_model{};
+};
+
+struct CloudChoice {
+  cluster::ClusterSpec spec;
+  double runtime = 0.0;
+  double cost = 0.0;
+  std::size_t trials = 0;        // executions spent searching
+  double trial_time = 0.0;       // total simulated seconds burned
+  double trial_cost = 0.0;       // total dollars burned
+};
+
+/// The cloud configuration space itself (instance type x VM count), shared
+/// with benches that want to sweep it exhaustively.
+std::shared_ptr<const config::ConfigSpace> cloud_space(int min_vms, int max_vms);
+
+/// Resolve a point of cloud_space() to a ClusterSpec.
+cluster::ClusterSpec to_cluster_spec(const config::Configuration& c);
+
+class CloudTuner {
+ public:
+  explicit CloudTuner(CloudTunerOptions options) : options_(options) {}
+  CloudTuner() : CloudTuner(CloudTunerOptions{}) {}
+
+  CloudChoice choose(const workload::Workload& workload, simcore::Bytes input_bytes) const;
+
+ private:
+  CloudTunerOptions options_;
+};
+
+}  // namespace stune::service

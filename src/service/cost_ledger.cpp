@@ -1,0 +1,27 @@
+#include "service/cost_ledger.hpp"
+
+namespace stune::service {
+
+void CostLedger::add_tuning_run(simcore::Seconds runtime, simcore::Dollars cost) {
+  ++tuning_runs_;
+  tuning_time_ += runtime;
+  tuning_cost_ += cost;
+}
+
+void CostLedger::add_production_run(simcore::Seconds, simcore::Dollars cost,
+                                    simcore::Seconds, simcore::Dollars baseline_cost) {
+  const simcore::Dollars saved = baseline_cost - cost;
+  savings_.push_back(saved);
+  cumulative_savings_ += saved;
+}
+
+std::optional<std::size_t> CostLedger::break_even_run() const {
+  simcore::Dollars acc = 0.0;
+  for (std::size_t i = 0; i < savings_.size(); ++i) {
+    acc += savings_[i];
+    if (acc >= tuning_cost_) return i + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace stune::service

@@ -1,0 +1,50 @@
+// Tuning-cost amortization accounting (paper §IV-C): "the cost of workload
+// tuning should not outweigh the runtime cost of the workload before it
+// requires re-tuning". The ledger tracks what tuning spent and what the
+// tuned configuration saves per production run versus a baseline (the
+// default configuration), and reports the break-even point.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "simcore/units.hpp"
+
+namespace stune::service {
+
+class CostLedger {
+ public:
+  /// One exploration execution paid during (re-)tuning.
+  void add_tuning_run(simcore::Seconds runtime, simcore::Dollars cost);
+
+  /// One production run, with what the baseline configuration would have
+  /// cost on the same input (the savings source).
+  void add_production_run(simcore::Seconds runtime, simcore::Dollars cost,
+                          simcore::Seconds baseline_runtime, simcore::Dollars baseline_cost);
+
+  std::size_t tuning_runs() const { return tuning_runs_; }
+  std::size_t production_runs() const { return static_cast<std::size_t>(savings_.size()); }
+  simcore::Dollars tuning_cost() const { return tuning_cost_; }
+  simcore::Seconds tuning_time() const { return tuning_time_; }
+  simcore::Dollars cumulative_savings() const { return cumulative_savings_; }
+
+  /// True once savings cover tuning spend.
+  bool amortized() const { return cumulative_savings_ >= tuning_cost_; }
+
+  /// 1-based index of the first production run at which cumulative savings
+  /// reached the tuning cost; empty if not amortized yet.
+  std::optional<std::size_t> break_even_run() const;
+
+  /// Per-production-run dollar savings, in order.
+  const std::vector<simcore::Dollars>& savings_per_run() const { return savings_; }
+
+ private:
+  std::size_t tuning_runs_ = 0;
+  simcore::Dollars tuning_cost_ = 0.0;
+  simcore::Seconds tuning_time_ = 0.0;
+  simcore::Dollars cumulative_savings_ = 0.0;
+  std::vector<simcore::Dollars> savings_;
+};
+
+}  // namespace stune::service

@@ -1,0 +1,151 @@
+#include "service/knowledge_base.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stune::service {
+
+namespace {
+
+void check_label(const std::string& s) {
+  if (s.find('|') != std::string::npos || s.find('\n') != std::string::npos) {
+    throw std::invalid_argument("knowledge base labels must not contain '|' or newlines: " + s);
+  }
+}
+
+std::string join_numbers(const std::vector<double>& values) {
+  std::ostringstream out;
+  out.precision(17);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out << ',';
+    out << values[i];
+  }
+  return out.str();
+}
+
+std::vector<double> split_numbers(const std::string& text) {
+  std::vector<double> out;
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) out.push_back(std::stod(token));
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t KnowledgeBase::record(ExecutionRecord r) {
+  r.sequence = next_sequence_++;
+  records_.push_back(std::move(r));
+  return records_.back().sequence;
+}
+
+std::vector<transfer::DonorObservation> KnowledgeBase::donors_for(
+    const std::optional<std::string>& exclude_label) const {
+  std::vector<transfer::DonorObservation> donors;
+  donors.reserve(records_.size());
+  for (const auto& r : records_) {
+    if (r.failed) continue;
+    if (exclude_label && r.workload_label == *exclude_label) continue;
+    transfer::DonorObservation d;
+    d.observation.config = r.config;
+    d.observation.runtime = r.runtime;
+    d.observation.failed = r.failed;
+    d.observation.objective = r.runtime;
+    d.signature = r.signature;
+    donors.push_back(std::move(d));
+  }
+  return donors;
+}
+
+std::optional<double> KnowledgeBase::best_similar_runtime(const transfer::Signature& target,
+                                                          simcore::Bytes input_bytes,
+                                                          double min_similarity,
+                                                          double size_tolerance) const {
+  std::optional<double> best;
+  const auto size = static_cast<double>(input_bytes);
+  for (const auto& r : records_) {
+    if (r.failed) continue;
+    const auto rsize = static_cast<double>(r.input_bytes);
+    if (rsize > size * size_tolerance || size > rsize * size_tolerance) continue;
+    if (transfer::similarity(target, r.signature) < min_similarity) continue;
+    if (!best || r.runtime < *best) best = r.runtime;
+  }
+  return best;
+}
+
+void KnowledgeBase::save(std::ostream& out) const {
+  for (const auto& r : records_) {
+    check_label(r.tenant);
+    check_label(r.workload_label);
+    const auto sig = r.signature.as_vector();
+    out << r.tenant << '|' << r.workload_label << '|' << r.cluster.instance << '|'
+        << r.cluster.vm_count << '|' << r.input_bytes << '|' << r.runtime << '|' << r.cost
+        << '|' << (r.failed ? 1 : 0) << '|' << (r.from_tuning ? 1 : 0) << '|' << r.sequence
+        << '|' << join_numbers(sig) << '|' << join_numbers(r.config.values()) << '\n';
+  }
+}
+
+KnowledgeBase KnowledgeBase::load(std::istream& in,
+                                  std::shared_ptr<const config::ConfigSpace> space) {
+  if (space == nullptr) throw std::invalid_argument("KnowledgeBase::load: null space");
+  KnowledgeBase kb;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::istringstream ls(line);
+    std::string field;
+    while (std::getline(ls, field, '|')) fields.push_back(field);
+    if (fields.size() != 12) {
+      throw std::invalid_argument("KnowledgeBase::load: malformed line " +
+                                  std::to_string(line_no));
+    }
+    ExecutionRecord r;
+    r.tenant = fields[0];
+    r.workload_label = fields[1];
+    r.cluster.instance = fields[2];
+    r.cluster.vm_count = std::stoi(fields[3]);
+    r.input_bytes = std::stoull(fields[4]);
+    r.runtime = std::stod(fields[5]);
+    r.cost = std::stod(fields[6]);
+    r.failed = fields[7] == "1";
+    r.from_tuning = fields[8] == "1";
+    const auto sig = split_numbers(fields[10]);
+    if (sig.size() != transfer::Signature::kDims) {
+      throw std::invalid_argument("KnowledgeBase::load: bad signature on line " +
+                                  std::to_string(line_no));
+    }
+    r.signature.cpu_fraction = sig[0];
+    r.signature.disk_fraction = sig[1];
+    r.signature.net_fraction = sig[2];
+    r.signature.gc_fraction = sig[3];
+    r.signature.shuffle_per_input = sig[4];
+    r.signature.spill_per_input = sig[5];
+    r.signature.stage_depth = sig[6];
+    r.signature.cache_pressure = sig[7];
+    auto values = split_numbers(fields[11]);
+    if (values.size() != space->size()) {
+      throw std::invalid_argument("KnowledgeBase::load: configuration dimensionality mismatch");
+    }
+    r.config = config::Configuration(space, std::move(values));
+    kb.record(std::move(r));  // re-assigns sequences monotonically
+  }
+  return kb;
+}
+
+std::size_t KnowledgeBase::tenant_count() const {
+  std::vector<std::string> tenants;
+  for (const auto& r : records_) {
+    if (std::find(tenants.begin(), tenants.end(), r.tenant) == tenants.end()) {
+      tenants.push_back(r.tenant);
+    }
+  }
+  return tenants.size();
+}
+
+}  // namespace stune::service

@@ -1,0 +1,81 @@
+// The provider-side execution history (paper §IV-C): "the cloud is a
+// centralized place that is able to keep a record of the different
+// workloads' execution history under different cloud and DISC system
+// configurations, across users. This data can only be leveraged by the
+// cloud provider."
+//
+// Records are keyed by workload *signature* (not by name or tenant): the
+// service recognizes similar workloads by what they do, which is what makes
+// cross-tenant knowledge transfer possible without inspecting user code.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "config/config_space.hpp"
+#include "transfer/characterization.hpp"
+#include "transfer/warm_start.hpp"
+
+namespace stune::service {
+
+struct ExecutionRecord {
+  std::string tenant;
+  std::string workload_label;  // informational only; matching uses signatures
+  cluster::ClusterSpec cluster;
+  config::Configuration config;
+  simcore::Bytes input_bytes = 0;
+  double runtime = 0.0;
+  double cost = 0.0;
+  bool failed = false;
+  bool from_tuning = false;  // exploration run vs. production run
+  transfer::Signature signature;
+  std::uint64_t sequence = 0;  // assigned by the knowledge base
+};
+
+class KnowledgeBase {
+ public:
+  /// Store a record; assigns and returns its sequence number.
+  std::uint64_t record(ExecutionRecord r);
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<ExecutionRecord>& records() const { return records_; }
+
+  /// All successful records as transfer donors (the warm-start policy does
+  /// the similarity filtering). `exclude_tenant_label` skips the submitting
+  /// workload's own records when a bench wants strict cross-workload
+  /// transfer.
+  std::vector<transfer::DonorObservation> donors_for(
+      const std::optional<std::string>& exclude_label = std::nullopt) const;
+
+  /// Best known runtime among records whose signature is at least
+  /// `min_similarity` similar to `target` and whose input size is within
+  /// `size_tolerance` (multiplicative) of `input_bytes` — the paper's
+  /// §IV-D reference: "the runtime of similar workloads ever run in the
+  /// cloud". Empty when nothing similar has been seen.
+  std::optional<double> best_similar_runtime(const transfer::Signature& target,
+                                             simcore::Bytes input_bytes,
+                                             double min_similarity = 0.6,
+                                             double size_tolerance = 1.5) const;
+
+  /// Number of distinct tenants seen.
+  std::size_t tenant_count() const;
+
+  /// Persist the history (text, one record per line) so the provider's
+  /// accumulated knowledge survives restarts. Tenant/workload labels must
+  /// not contain '|' or newlines (throws std::invalid_argument).
+  void save(std::ostream& out) const;
+  /// Load a history written by save(). All configurations are re-attached
+  /// to `space` (they must have the same dimensionality; throws otherwise).
+  static KnowledgeBase load(std::istream& in,
+                            std::shared_ptr<const config::ConfigSpace> space);
+
+ private:
+  std::vector<ExecutionRecord> records_;
+  std::uint64_t next_sequence_ = 1;
+};
+
+}  // namespace stune::service

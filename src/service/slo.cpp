@@ -1,0 +1,61 @@
+#include "service/slo.hpp"
+
+namespace stune::service {
+
+SloEvaluation evaluate_slo(const Slo& slo, double runtime, double cost,
+                           std::optional<double> reference) {
+  SloEvaluation e;
+  e.runtime = runtime;
+  if (reference && *reference > 0.0) {
+    e.had_reference = true;
+    e.reference = *reference;
+    e.excess_fraction = (runtime - *reference) / *reference;
+    e.attained = runtime <= (1.0 + slo.within_fraction) * *reference;
+  } else {
+    e.attained = true;  // vacuous: no similar workload known yet
+  }
+  if (slo.max_runtime_s && runtime > *slo.max_runtime_s) e.attained = false;
+  if (slo.max_cost_dollars && cost > *slo.max_cost_dollars) e.attained = false;
+  return e;
+}
+
+const SloEvaluation& SloTracker::observe(double runtime, double cost,
+                                         std::optional<double> reference) {
+  evaluations_.push_back(evaluate_slo(slo_, runtime, cost, reference));
+  return evaluations_.back();
+}
+
+std::size_t SloTracker::attained_runs() const {
+  std::size_t n = 0;
+  for (const auto& e : evaluations_) n += e.attained ? 1 : 0;
+  return n;
+}
+
+std::size_t SloTracker::runs_with_reference() const {
+  std::size_t n = 0;
+  for (const auto& e : evaluations_) n += e.had_reference ? 1 : 0;
+  return n;
+}
+
+double SloTracker::attainment() const {
+  std::size_t referenced = 0, attained = 0;
+  for (const auto& e : evaluations_) {
+    if (!e.had_reference) continue;
+    ++referenced;
+    attained += e.attained ? 1 : 0;
+  }
+  return referenced > 0 ? static_cast<double>(attained) / static_cast<double>(referenced) : 1.0;
+}
+
+double SloTracker::mean_excess_fraction() const {
+  std::size_t referenced = 0;
+  double total = 0.0;
+  for (const auto& e : evaluations_) {
+    if (!e.had_reference) continue;
+    ++referenced;
+    total += e.excess_fraction;
+  }
+  return referenced > 0 ? total / static_cast<double>(referenced) : 0.0;
+}
+
+}  // namespace stune::service

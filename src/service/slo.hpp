@@ -1,0 +1,58 @@
+// Tuning-effectiveness SLOs (paper §IV-D, §V-C): "jobs should run within X%
+// of the optimal runtime", with "optimal" operationalized as the best known
+// runtime of similar workloads in the knowledge base — the paper's own
+// suggested substitute when the true optimum is unknowable.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace stune::service {
+
+struct Slo {
+  /// Attained when runtime <= (1 + within_fraction) * reference.
+  double within_fraction = 0.10;
+  /// Optional absolute ceilings a tenant can also set.
+  std::optional<double> max_runtime_s;
+  std::optional<double> max_cost_dollars;
+};
+
+struct SloEvaluation {
+  bool attained = false;
+  bool had_reference = false;  // false: nothing similar known yet (vacuous)
+  double runtime = 0.0;
+  double reference = 0.0;      // best-known similar runtime
+  double excess_fraction = 0.0;  // (runtime - reference) / reference
+};
+
+/// Evaluate one production run against the SLO. When no reference exists
+/// yet the run is counted as attained-by-default but flagged, so the
+/// efficiency metric can report both interpretations.
+SloEvaluation evaluate_slo(const Slo& slo, double runtime, double cost,
+                           std::optional<double> reference);
+
+/// Aggregates the per-run evaluations into the §V-C "metric for tuning
+/// accuracy as part of SLOs".
+class SloTracker {
+ public:
+  explicit SloTracker(Slo slo) : slo_(slo) {}
+
+  const SloEvaluation& observe(double runtime, double cost, std::optional<double> reference);
+
+  std::size_t runs() const { return evaluations_.size(); }
+  std::size_t attained_runs() const;
+  std::size_t runs_with_reference() const;
+  /// Attainment over runs that had a reference (the strict reading).
+  double attainment() const;
+  /// Mean excess over the reference across referenced runs.
+  double mean_excess_fraction() const;
+  const Slo& slo() const { return slo_; }
+  const std::vector<SloEvaluation>& evaluations() const { return evaluations_; }
+
+ private:
+  Slo slo_;
+  std::vector<SloEvaluation> evaluations_;
+};
+
+}  // namespace stune::service

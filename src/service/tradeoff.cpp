@@ -1,0 +1,125 @@
+#include "service/tradeoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "disc/engine.hpp"
+#include "service/cloud_tuner.hpp"
+#include "simcore/rng.hpp"
+#include "tuning/tuners.hpp"
+#include "workload/execute.hpp"
+
+namespace stune::service {
+
+bool ParetoFrontier::insert(TradeoffPoint point) {
+  // Dominated by an existing point?
+  for (const auto& p : points_) {
+    if (p.runtime <= point.runtime && p.cost <= point.cost) return false;
+  }
+  // Evict everything the new point dominates.
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [&](const TradeoffPoint& p) {
+                                 return point.runtime <= p.runtime && point.cost <= p.cost;
+                               }),
+                points_.end());
+  const auto pos = std::lower_bound(
+      points_.begin(), points_.end(), point,
+      [](const TradeoffPoint& a, const TradeoffPoint& b) { return a.runtime < b.runtime; });
+  points_.insert(pos, std::move(point));
+  return true;
+}
+
+std::optional<TradeoffPoint> ParetoFrontier::fastest_under_cost(double budget) const {
+  // Points are sorted by runtime ascending; the first affordable one wins.
+  for (const auto& p : points_) {
+    if (p.cost <= budget) return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<TradeoffPoint> ParetoFrontier::cheapest_under_runtime(double deadline) const {
+  // Cost decreases along the frontier, so the last point within the
+  // deadline is the cheapest one.
+  std::optional<TradeoffPoint> best;
+  for (const auto& p : points_) {
+    if (p.runtime <= deadline) best = p;
+  }
+  return best;
+}
+
+ParetoFrontier explore_tradeoff(const workload::Workload& workload, simcore::Bytes input_bytes,
+                                const TradeoffExplorerOptions& options) {
+  ParetoFrontier frontier;
+  simcore::Rng rng(options.seed);
+
+  auto run_on = [&](const cluster::ClusterSpec& spec,
+                    const config::Configuration& conf) -> std::optional<TradeoffPoint> {
+    const auto cl = cluster::Cluster::from_spec(spec);
+    disc::EngineOptions eopts;
+    eopts.cost = options.cost_model;
+    eopts.seed = options.seed;
+    const disc::SparkSimulator sim(cl, eopts);
+    const auto r = workload::execute(workload, input_bytes, sim, conf);
+    if (!r.success) return std::nullopt;
+    return TradeoffPoint{spec, conf, r.runtime, r.cost};
+  };
+
+  // Phase 1: cloud diversity. Walk the catalog at several cluster sizes
+  // under the provider auto-config; the frontier keeps what matters.
+  const auto cloud_budget = static_cast<std::size_t>(
+      options.cloud_fraction * static_cast<double>(options.budget));
+  std::size_t spent = 0;
+  const auto& catalog = cluster::instance_catalog();
+  std::vector<cluster::ClusterSpec> cloud_samples;
+  for (const auto& type : catalog) {
+    for (const int vms : {options.min_vms, (options.min_vms + options.max_vms) / 2,
+                          options.max_vms}) {
+      cloud_samples.push_back({type.name, vms});
+    }
+  }
+  rng.shuffle(cloud_samples);
+  std::vector<TradeoffPoint> cloud_points;
+  for (const auto& spec : cloud_samples) {
+    if (spent >= cloud_budget) break;
+    ++spent;
+    const auto point = run_on(spec, provider_auto_config(cluster::Cluster::from_spec(spec)));
+    if (point) {
+      cloud_points.push_back(*point);
+      frontier.insert(*point);
+    }
+  }
+
+  // Phase 2: DISC refinement on the frontier's clusters — spread the rest
+  // of the budget over the distinct clusters currently on the frontier.
+  std::vector<cluster::ClusterSpec> refine;
+  for (const auto& p : frontier.points()) {
+    if (std::find(refine.begin(), refine.end(), p.cluster) == refine.end()) {
+      refine.push_back(p.cluster);
+    }
+  }
+  if (!refine.empty() && spent < options.budget) {
+    const std::size_t per_cluster =
+        std::max<std::size_t>(3, (options.budget - spent) / refine.size());
+    for (const auto& spec : refine) {
+      if (spent >= options.budget) break;
+      const std::size_t budget = std::min(per_cluster, options.budget - spent);
+      tuning::Objective obj = [&](const config::Configuration& c) -> tuning::EvalOutcome {
+        ++spent;
+        const auto point = run_on(spec, c);
+        if (!point) return {3600.0, true};
+        frontier.insert(*point);
+        return {point->runtime, false};
+      };
+      tuning::TuneOptions topts;
+      topts.budget = budget;
+      topts.seed = rng.next();
+      tuning::BayesOptTuner(tuning::BayesOptTuner::Params{.init_samples = 3,
+                                                          .candidates = 128,
+                                                          .local_candidates = 16})
+          .tune(config::spark_space(), obj, topts);
+    }
+  }
+  return frontier;
+}
+
+}  // namespace stune::service

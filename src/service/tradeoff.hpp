@@ -1,0 +1,70 @@
+// Cost/runtime trade-off exploration (paper §IV-D): "the tuning service
+// could let users make trade-off decisions which impact things like cost:
+// do I need the results quickly no matter the cost, or am I willing to
+// wait a long time for the results?"
+//
+// The explorer searches the joint (cloud config x DISC config) space and
+// keeps the Pareto frontier of (runtime, cost) outcomes, from which the
+// service can answer high-level requests like "fastest under $X" or
+// "cheapest under T seconds" — the new SLO language the paper proposes —
+// without the tenant ever seeing a knob.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "config/config_space.hpp"
+#include "disc/cost_model.hpp"
+#include "simcore/units.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::service {
+
+struct TradeoffPoint {
+  cluster::ClusterSpec cluster;
+  config::Configuration config;
+  double runtime = 0.0;   // seconds
+  double cost = 0.0;      // dollars per run
+};
+
+/// Pareto frontier of (runtime, cost): no point is dominated by another
+/// (strictly better in one dimension, no worse in the other).
+class ParetoFrontier {
+ public:
+  /// Insert a point; returns true if it joined the frontier (and evicted
+  /// whatever it dominates).
+  bool insert(TradeoffPoint point);
+
+  /// Frontier points ordered by runtime ascending (cost descending).
+  const std::vector<TradeoffPoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  /// Fastest point costing at most `budget` per run.
+  std::optional<TradeoffPoint> fastest_under_cost(double budget) const;
+  /// Cheapest point finishing within `deadline` seconds.
+  std::optional<TradeoffPoint> cheapest_under_runtime(double deadline) const;
+
+ private:
+  std::vector<TradeoffPoint> points_;  // kept sorted by runtime
+};
+
+struct TradeoffExplorerOptions {
+  /// Total workload executions spent mapping the frontier.
+  std::size_t budget = 60;
+  /// Fraction of the budget spent on cloud diversity (distinct clusters).
+  double cloud_fraction = 0.4;
+  int min_vms = 2;
+  int max_vms = 12;
+  std::uint64_t seed = 1;
+  disc::CostModel cost_model{};
+};
+
+/// Map the (runtime, cost) frontier for a workload. Exploration: sample
+/// clusters across families/sizes, run the provider auto-config plus
+/// BO-refined DISC configs on the most promising clusters.
+ParetoFrontier explore_tradeoff(const workload::Workload& workload, simcore::Bytes input_bytes,
+                                const TradeoffExplorerOptions& options = {});
+
+}  // namespace stune::service

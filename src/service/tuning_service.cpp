@@ -1,0 +1,210 @@
+#include "service/tuning_service.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "workload/execute.hpp"
+
+namespace stune::service {
+
+TuningService::TuningService(ServiceOptions options) : options_(std::move(options)) {}
+
+int TuningService::submit(std::string tenant, std::shared_ptr<const workload::Workload> workload,
+                          simcore::Bytes initial_input) {
+  if (workload == nullptr) throw std::invalid_argument("submit: null workload");
+  if (initial_input == 0) throw std::invalid_argument("submit: input size must be positive");
+  const int handle = next_handle_++;
+  auto [it, inserted] = entries_.emplace(handle, Entry(options_.slo));
+  Entry& e = it->second;
+  e.tenant = std::move(tenant);
+  e.workload = std::move(workload);
+  e.input_bytes = initial_input;
+  e.controller = std::make_unique<adaptive::RetuningController>(
+      adaptive::make_detector(options_.detector), options_.retuning);
+  return handle;
+}
+
+TuningService::Entry& TuningService::entry(int handle) {
+  const auto it = entries_.find(handle);
+  if (it == entries_.end()) throw std::out_of_range("unknown workload handle");
+  return it->second;
+}
+
+const TuningService::Entry& TuningService::entry(int handle) const {
+  const auto it = entries_.find(handle);
+  if (it == entries_.end()) throw std::out_of_range("unknown workload handle");
+  return it->second;
+}
+
+disc::ExecutionReport TuningService::execute(const Entry& e, const config::Configuration& conf,
+                                             std::uint64_t seed_salt) const {
+  disc::EngineOptions eopts;
+  eopts.cost = options_.cost_model;
+  eopts.contention = options_.contention;
+  eopts.seed = simcore::hash_combine(options_.seed, seed_salt);
+  const disc::SparkSimulator simulator(cluster::Cluster::from_spec(e.cluster), eopts);
+  return workload::execute(*e.workload, e.input_bytes, simulator, conf);
+}
+
+void TuningService::record_to_kb(const Entry& e, const config::Configuration& conf,
+                                 const disc::ExecutionReport& report, bool from_tuning) {
+  ExecutionRecord r;
+  r.tenant = e.tenant;
+  r.workload_label = e.workload->name();
+  r.cluster = e.cluster;
+  r.config = conf;
+  r.input_bytes = e.input_bytes;
+  r.runtime = report.runtime;
+  r.cost = report.cost;
+  r.failed = !report.success;
+  r.from_tuning = from_tuning;
+  r.signature = transfer::characterize(report);
+  kb_.record(std::move(r));
+}
+
+void TuningService::provision(Entry& e) {
+  if (options_.tune_cloud) {
+    CloudTunerOptions copts = options_.cloud;
+    copts.seed = simcore::hash_combine(options_.seed, simcore::hash_string(e.workload->name()));
+    copts.contention = options_.contention;
+    copts.cost_model = options_.cost_model;
+    const CloudTuner cloud(copts);
+    const CloudChoice choice = cloud.choose(*e.workload, e.input_bytes);
+    e.cluster = choice.spec;
+    // Stage-1 exploration is tuning spend too.
+    e.ledger.add_tuning_run(choice.trial_time, choice.trial_cost);
+  } else {
+    e.cluster = options_.default_cluster;
+  }
+  e.provisioned = true;
+  // Until stage 2 finishes, run with the provider's heuristic config.
+  e.config = provider_auto_config(cluster::Cluster::from_spec(e.cluster));
+}
+
+void TuningService::tune_disc(Entry& e, std::size_t budget) {
+  const auto space = config::spark_space();
+
+  tuning::TuneOptions topts;
+  topts.budget = budget;
+  topts.seed = simcore::hash_combine(
+      options_.seed, simcore::hash_combine(simcore::hash_string(e.workload->name()),
+                                           ++tune_counter_));
+  // Probe the incumbent configuration: it yields the workload signature
+  // (for transfer), and the bar any tuner result has to clear.
+  const auto probe = execute(e, e.config, /*seed_salt=*/0);
+  e.ledger.add_tuning_run(probe.runtime, probe.cost);
+  record_to_kb(e, e.config, probe, /*from_tuning=*/true);
+  e.signature = transfer::characterize(probe);
+  const double incumbent_runtime = probe.success
+                                       ? probe.runtime
+                                       : std::numeric_limits<double>::infinity();
+
+  // Warm start from the knowledge base: pull donors similar to this
+  // workload's signature (possibly from other tenants).
+  if (options_.enable_transfer && kb_.size() > 0) {
+    const auto donors = kb_.donors_for();
+    if (options_.transfer_strategy == ServiceOptions::TransferStrategy::kAroma &&
+        !donors.empty()) {
+      transfer::AromaAdvisor advisor(transfer::AromaAdvisor::Options{
+          .clusters = 4, .suggestions = options_.transfer.max_observations,
+          .seed = options_.seed});
+      advisor.fit(donors);
+      topts.warm_start = advisor.suggest(*e.signature);
+    } else {
+      topts.warm_start = transfer::select_warm_start(*e.signature, donors, options_.transfer);
+    }
+  }
+
+  tuning::Objective objective = [&](const config::Configuration& c) -> tuning::EvalOutcome {
+    const auto report = execute(e, c, /*seed_salt=*/0);
+    e.ledger.add_tuning_run(report.runtime, report.cost);
+    record_to_kb(e, c, report, /*from_tuning=*/true);
+    return tuning::EvalOutcome{report.runtime, !report.success};
+  };
+
+  const auto tuner = tuning::make_tuner(options_.tuner);
+  const auto result = tuner->tune(space, objective, topts);
+  if (result.found_feasible && result.best_runtime < incumbent_runtime) {
+    e.config = result.best;
+    e.best_runtime = result.best_runtime;
+  }
+  e.tuned = true;
+  ++e.tunings;
+  e.controller->notify_retuned();
+}
+
+disc::ExecutionReport TuningService::run_once(int handle, simcore::Bytes input_bytes) {
+  Entry& e = entry(handle);
+  if (input_bytes != 0) e.input_bytes = input_bytes;
+
+  if (!e.provisioned) provision(e);
+  if (!e.tuned) tune_disc(e, options_.tuning_budget);
+
+  const auto report = execute(e, e.config, /*seed_salt=*/1 + e.production_runs);
+  ++e.production_runs;
+  e.last_runtime = report.runtime;
+  if (report.success && (e.best_runtime == 0.0 || report.runtime < e.best_runtime)) {
+    e.best_runtime = report.runtime;
+  }
+  e.signature = transfer::characterize(report);
+
+  // SLO bookkeeping against the best-known similar runtime (which may come
+  // from other tenants running a similar workload at a similar scale).
+  const auto reference = kb_.best_similar_runtime(*e.signature, e.input_bytes,
+                                                  options_.slo_reference_similarity);
+  e.slo.observe(report.runtime, report.cost, reference);
+
+  record_to_kb(e, e.config, report, /*from_tuning=*/false);
+
+  // Amortization: what would an untuned run have cost on the same input?
+  // (An accounting counterfactual — not an actual execution.)
+  const auto baseline_config =
+      options_.ledger_baseline == ServiceOptions::Baseline::kSparkDefault
+          ? config::spark_space()->default_config()
+          : provider_auto_config(cluster::Cluster::from_spec(e.cluster));
+  const auto baseline = execute(e, baseline_config, /*seed_salt=*/1 + (e.production_runs - 1));
+  double baseline_runtime = baseline.runtime;
+  double baseline_cost = baseline.cost;
+  if (!baseline.success) {
+    // The untuned counterfactual crashes: that user burns the crash and
+    // still has to produce the result (approximated by the tuned run).
+    baseline_runtime += report.runtime;
+    baseline_cost += report.cost;
+  }
+  e.ledger.add_production_run(report.runtime, report.cost, baseline_runtime, baseline_cost);
+
+  // Drift watch: crashed runs demand re-tuning unconditionally.
+  const bool drift = e.controller->observe(report.runtime);
+  if (drift || !report.success) {
+    if (options_.reprovision_on_drift) {
+      provision(e);  // elastic response: rethink the cluster itself
+    }
+    tune_disc(e, options_.retuning_budget);
+  }
+  return report;
+}
+
+WorkloadStatus TuningService::status(int handle) const {
+  const Entry& e = entry(handle);
+  WorkloadStatus s;
+  s.tenant = e.tenant;
+  s.workload = e.workload->name();
+  s.cluster = e.cluster;
+  s.config = e.config;
+  s.tuned = e.tuned;
+  s.production_runs = e.production_runs;
+  s.tunings = e.tunings;
+  s.last_runtime = e.last_runtime;
+  s.best_runtime = e.best_runtime;
+  s.slo_attainment = e.slo.attainment();
+  s.tuning_cost = e.ledger.tuning_cost();
+  s.cumulative_savings = e.ledger.cumulative_savings();
+  s.break_even_run = e.ledger.break_even_run();
+  return s;
+}
+
+const CostLedger& TuningService::ledger(int handle) const { return entry(handle).ledger; }
+
+const SloTracker& TuningService::slo_tracker(int handle) const { return entry(handle).slo; }
+
+}  // namespace stune::service

@@ -1,0 +1,158 @@
+// TuningService — the paper's vision made concrete (§IV): seamless,
+// provider-side, end-to-end configuration tuning.
+//
+// A tenant submits a recurring workload with a high-level SLO and then just
+// runs it. The service:
+//   1. picks the cloud configuration (Fig. 1 stage 1, CloudTuner),
+//   2. tunes the DISC configuration (Fig. 1 stage 2), warm-started from the
+//      multi-tenant KnowledgeBase when a similar workload is known (§V-B),
+//   3. monitors every production run with a change detector and re-tunes
+//      automatically when workload characteristics drift (§V-D),
+//   4. accounts tuning spend vs. savings in a CostLedger (§IV-C) and tracks
+//      the "within X% of best-known similar runtime" SLO metric (§IV-D).
+//
+// The tenant never sees a configuration parameter — that is the point.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "adaptive/retuning_policy.hpp"
+#include "cluster/contention.hpp"
+#include "disc/engine.hpp"
+#include "service/cloud_tuner.hpp"
+#include "service/cost_ledger.hpp"
+#include "service/knowledge_base.hpp"
+#include "service/slo.hpp"
+#include "transfer/aroma.hpp"
+#include "transfer/warm_start.hpp"
+#include "tuning/tuner.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::service {
+
+struct ServiceOptions {
+  /// Used when cloud tuning is disabled (or as its fallback).
+  cluster::ClusterSpec default_cluster{"m5.2xlarge", 4};
+  bool tune_cloud = true;
+  CloudTunerOptions cloud{};
+
+  std::string tuner = "bayesopt";
+  std::size_t tuning_budget = 30;
+  std::size_t retuning_budget = 15;
+
+  std::string detector = "cusum";
+  adaptive::RetuningController::Options retuning{};
+  /// Re-run stage 1 (cloud provisioning) when drift is detected — the
+  /// elasticity half of the paper's vision. Off by default: re-provisioning
+  /// costs extra exploration runs.
+  bool reprovision_on_drift = false;
+
+  bool enable_transfer = true;
+  /// How warm starts are mined from the knowledge base: nearest-signature
+  /// selection (§V-B, with negative-transfer guard) or AROMA-style
+  /// clustering of the whole execution history (§II-B).
+  enum class TransferStrategy { kNearest, kAroma };
+  TransferStrategy transfer_strategy = TransferStrategy::kNearest;
+  transfer::TransferPolicy transfer{};
+  /// Similarity bar for the SLO reference ("best-known runtime of similar
+  /// workloads", §IV-D). Stricter than the transfer guard: a borderline
+  /// donor can still seed a tuner, but holding this workload to a
+  /// *different* workload's runtime would make the SLO meaningless.
+  double slo_reference_similarity = 0.8;
+
+  /// What the savings ledger compares production runs against: the raw
+  /// framework defaults (what an untuned user gets — the paper's §IV-C
+  /// framing) or the provider's capacity-proportional heuristic.
+  enum class Baseline { kSparkDefault, kProviderAuto };
+  Baseline ledger_baseline = Baseline::kSparkDefault;
+
+  Slo slo{};
+  std::uint64_t seed = 42;
+  cluster::ContentionParams contention{};
+  disc::CostModel cost_model{};
+};
+
+/// Public per-workload status snapshot.
+struct WorkloadStatus {
+  std::string tenant;
+  std::string workload;
+  cluster::ClusterSpec cluster;
+  config::Configuration config;
+  bool tuned = false;
+  std::size_t production_runs = 0;
+  std::size_t tunings = 0;  // initial tune + re-tunes
+  double last_runtime = 0.0;
+  double best_runtime = 0.0;
+  double slo_attainment = 1.0;
+  simcore::Dollars tuning_cost = 0.0;
+  simcore::Dollars cumulative_savings = 0.0;
+  std::optional<std::size_t> break_even_run;
+};
+
+class TuningService {
+ public:
+  explicit TuningService(ServiceOptions options);
+
+  /// Register a recurring workload. `initial_input` sizes the first tuning.
+  /// Returns a handle for run_once/status.
+  int submit(std::string tenant, std::shared_ptr<const workload::Workload> workload,
+             simcore::Bytes initial_input);
+
+  /// Execute the workload once. On the first call the service performs the
+  /// full two-stage tuning; later calls execute the tuned configuration,
+  /// watch for drift and re-tune when the detector fires. `input_bytes == 0`
+  /// reuses the previous size (recurring job with stable input).
+  disc::ExecutionReport run_once(int handle, simcore::Bytes input_bytes = 0);
+
+  WorkloadStatus status(int handle) const;
+  const KnowledgeBase& knowledge_base() const { return kb_; }
+  const CostLedger& ledger(int handle) const;
+  const SloTracker& slo_tracker(int handle) const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::string tenant;
+    std::shared_ptr<const workload::Workload> workload;
+    simcore::Bytes input_bytes = 0;
+    cluster::ClusterSpec cluster;
+    bool provisioned = false;
+    config::Configuration config;
+    bool tuned = false;
+    std::size_t tunings = 0;
+    std::size_t production_runs = 0;
+    double last_runtime = 0.0;
+    double best_runtime = 0.0;
+    std::optional<transfer::Signature> signature;
+    std::unique_ptr<adaptive::RetuningController> controller;
+    CostLedger ledger;
+    SloTracker slo;
+
+    explicit Entry(Slo slo_spec) : slo(slo_spec) {}
+  };
+
+  Entry& entry(int handle);
+  const Entry& entry(int handle) const;
+
+  void provision(Entry& e);
+  /// Stage-2 DISC tuning at the entry's current input size.
+  void tune_disc(Entry& e, std::size_t budget);
+  /// One raw execution on the entry's cluster. `seed_salt` decorrelates
+  /// production runs (contention, stragglers); tuning uses salt 0 so a
+  /// configuration's score is stable within a tuning round.
+  disc::ExecutionReport execute(const Entry& e, const config::Configuration& conf,
+                                std::uint64_t seed_salt) const;
+  void record_to_kb(const Entry& e, const config::Configuration& conf,
+                    const disc::ExecutionReport& report, bool from_tuning);
+
+  ServiceOptions options_;
+  KnowledgeBase kb_;
+  std::map<int, Entry> entries_;
+  int next_handle_ = 1;
+  std::uint64_t tune_counter_ = 0;  // decorrelates successive tuning seeds
+};
+
+}  // namespace stune::service

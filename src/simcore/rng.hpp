@@ -1,0 +1,82 @@
+// Deterministic random number generation for the simulator.
+//
+// Everything stochastic in stune is driven by an explicit Rng instance so
+// that a given (seed, workload, configuration) triple always produces the
+// same simulated execution. The engine is xoshiro256**, seeded through
+// SplitMix64 as its authors recommend; `fork()` derives statistically
+// independent substreams so components can be given their own generator
+// without coupling their consumption order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace stune::simcore {
+
+/// SplitMix64 step; used for seeding and for hashing ids into seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stable 64-bit hash of a string (FNV-1a finished with SplitMix64).
+std::uint64_t hash_string(std::string_view s);
+
+/// Combine two 64-bit values into one seed (order sensitive).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+/// xoshiro256** generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be plugged into
+/// <random> distributions where needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Derive an independent substream; deterministic in (this state, tag).
+  /// Does not advance this generator.
+  Rng fork(std::uint64_t tag) const;
+  Rng fork(std::string_view tag) const { return fork(hash_string(tag)); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (no cached spare: keeps forks exact).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+  /// Exponential with rate lambda.
+  double exponential(double lambda);
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace stune::simcore

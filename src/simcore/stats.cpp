@@ -1,0 +1,120 @@
+#include "simcore/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace stune::simcore {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN(); }
+
+double RunningStats::max() const { return n_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN(); }
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0 && alpha <= 1.0)) throw std::invalid_argument("Ewma: alpha must be in (0,1]");
+}
+
+void Ewma::add(double x) {
+  value_ = (1.0 - alpha_) * value_ + alpha_ * x;
+  weight_ = (1.0 - alpha_) * weight_ + alpha_;
+  ++n_;
+}
+
+double Ewma::value() const {
+  if (n_ == 0) return 0.0;
+  return value_ / weight_;  // bias correction for the warm-up period
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  weight_ = 0.0;
+  n_ = 0;
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) throw std::invalid_argument("percentile of empty sample");
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, p);
+}
+
+double mean_of(const std::vector<double>& values) {
+  RunningStats s;
+  for (const double v : values) s.add(v);
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& values) {
+  RunningStats s;
+  for (const double v : values) s.add(v);
+  return s.stddev();
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  const double mx = mean_of(x);
+  const double my = mean_of(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace stune::simcore

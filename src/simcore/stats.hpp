@@ -1,0 +1,66 @@
+// Streaming and batch statistics used across the simulator, tuners and
+// change detectors.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stune::simcore {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average with bias-corrected warm-up.
+class Ewma {
+ public:
+  /// alpha in (0, 1]; larger alpha adapts faster.
+  explicit Ewma(double alpha);
+
+  void add(double x);
+  bool empty() const { return n_ == 0; }
+  double value() const;
+  std::size_t count() const { return n_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  double weight_ = 0.0;  // sum of decayed weights, for bias correction
+  std::size_t n_ = 0;
+};
+
+/// Percentile of a sample by linear interpolation; p in [0, 100].
+/// The input is copied; use percentile_sorted if data is already sorted.
+double percentile(std::vector<double> values, double p);
+
+/// Percentile of an ascending-sorted sample.
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
+double mean_of(const std::vector<double>& values);
+double stddev_of(const std::vector<double>& values);
+
+/// Pearson correlation; 0 if either side has no variance.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace stune::simcore

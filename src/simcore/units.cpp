@@ -1,0 +1,40 @@
+#include "simcore/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace stune::simcore {
+
+std::string format_bytes(Bytes b) {
+  static constexpr std::array<const char*, 5> suffixes = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(b);
+  std::size_t idx = 0;
+  while (value >= 1024.0 && idx + 1 < suffixes.size()) {
+    value /= 1024.0;
+    ++idx;
+  }
+  char buf[32];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, suffixes[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffixes[idx]);
+  }
+  return buf;
+}
+
+std::string format_seconds(Seconds s) {
+  char buf[48];
+  if (s < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  } else if (s < 3600.0) {
+    const int m = static_cast<int>(s / 60.0);
+    std::snprintf(buf, sizeof(buf), "%dm %.1fs", m, s - 60.0 * m);
+  } else {
+    const int h = static_cast<int>(s / 3600.0);
+    const int m = static_cast<int>((s - 3600.0 * h) / 60.0);
+    std::snprintf(buf, sizeof(buf), "%dh %dm %.0fs", h, m, s - 3600.0 * h - 60.0 * m);
+  }
+  return buf;
+}
+
+}  // namespace stune::simcore

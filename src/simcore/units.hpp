@@ -1,0 +1,45 @@
+// Units and quantity helpers shared across the simulator.
+//
+// The simulator works in SI-ish base units: seconds for time, bytes for
+// data, bytes/second for bandwidth, US dollars for cost. We keep these as
+// plain doubles/integers (the hot path is arithmetic-heavy), but centralize
+// the conversion constants and formatting here so magnitudes are never
+// hand-rolled at call sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace stune::simcore {
+
+/// Time in seconds (simulated time, not wall clock).
+using Seconds = double;
+
+/// Data volume in bytes.
+using Bytes = std::uint64_t;
+
+/// Data rate in bytes per second.
+using BytesPerSecond = double;
+
+/// Monetary cost in US dollars.
+using Dollars = double;
+
+inline constexpr Bytes kKiB = 1024ULL;
+inline constexpr Bytes kMiB = 1024ULL * kKiB;
+inline constexpr Bytes kGiB = 1024ULL * kMiB;
+inline constexpr Bytes kTiB = 1024ULL * kGiB;
+
+constexpr Bytes kib(double n) { return static_cast<Bytes>(n * static_cast<double>(kKiB)); }
+constexpr Bytes mib(double n) { return static_cast<Bytes>(n * static_cast<double>(kMiB)); }
+constexpr Bytes gib(double n) { return static_cast<Bytes>(n * static_cast<double>(kGiB)); }
+
+constexpr Seconds minutes(double n) { return n * 60.0; }
+constexpr Seconds hours(double n) { return n * 3600.0; }
+
+/// Render a byte count as a short human-readable string ("1.5 GiB").
+std::string format_bytes(Bytes b);
+
+/// Render a duration as a short human-readable string ("2m 13.4s").
+std::string format_seconds(Seconds s);
+
+}  // namespace stune::simcore

@@ -1,0 +1,73 @@
+#include "transfer/aroma.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "model/kmedoids.hpp"
+
+namespace stune::transfer {
+
+void AromaAdvisor::fit(const std::vector<DonorObservation>& history) {
+  std::vector<const DonorObservation*> usable;
+  for (const auto& d : history) {
+    if (!d.observation.failed) usable.push_back(&d);
+  }
+  if (usable.empty()) throw std::invalid_argument("AromaAdvisor: empty execution history");
+
+  std::vector<std::vector<double>> points;
+  points.reserve(usable.size());
+  for (const auto* d : usable) points.push_back(d->signature.as_vector());
+
+  const std::size_t k = std::min(options_.clusters, usable.size());
+  const auto result = model::kmedoids(points, k, simcore::Rng(options_.seed));
+
+  clusters_.assign(k, Cluster{});
+  for (std::size_t c = 0; c < k; ++c) {
+    clusters_[c].medoid = usable[result.medoids[c]]->signature;
+  }
+  // Gather members, then keep each cluster's best distinct configurations.
+  std::vector<std::vector<const DonorObservation*>> members(k);
+  for (std::size_t i = 0; i < usable.size(); ++i) {
+    members[result.assignment[i]].push_back(usable[i]);
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    auto& group = members[c];
+    std::sort(group.begin(), group.end(), [](const auto* a, const auto* b) {
+      return a->observation.runtime < b->observation.runtime;
+    });
+    for (const auto* d : group) {
+      if (clusters_[c].best.size() >= options_.suggestions) break;
+      const auto fp = d->observation.config.fingerprint();
+      const bool dup = std::any_of(clusters_[c].best.begin(), clusters_[c].best.end(),
+                                   [&](const tuning::Observation& o) {
+                                     return o.config.fingerprint() == fp;
+                                   });
+      if (!dup) clusters_[c].best.push_back(d->observation);
+    }
+  }
+}
+
+std::size_t AromaAdvisor::assign(const Signature& target) const {
+  if (!fitted()) throw std::logic_error("AromaAdvisor: assign before fit");
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    const double d = distance(target, clusters_[c].medoid);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<tuning::Observation> AromaAdvisor::suggest(const Signature& target) const {
+  return clusters_[assign(target)].best;
+}
+
+const Signature& AromaAdvisor::medoid(std::size_t cluster) const {
+  return clusters_.at(cluster).medoid;
+}
+
+}  // namespace stune::transfer

@@ -1,0 +1,58 @@
+// AROMA-style advisor (Lama & Zhou, ICAC'12; paper §II-B, §V-B): cluster
+// previously executed jobs by their resource signatures (k-medoids on CPU/
+// IO/network profiles), and recommend the best configurations seen inside
+// the cluster a new workload falls into. The paper cites this as the
+// canonical "leverage tuning knowledge across workloads" design; here it
+// provides warm starts from the provider's knowledge base as an
+// alternative to nearest-neighbour signature matching.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "simcore/rng.hpp"
+#include "transfer/characterization.hpp"
+#include "transfer/warm_start.hpp"
+
+namespace stune::transfer {
+
+class AromaAdvisor {
+ public:
+  struct Options {
+    std::size_t clusters = 4;
+    /// Best configurations returned per suggestion.
+    std::size_t suggestions = 5;
+    std::uint64_t seed = 1;
+  };
+
+  AromaAdvisor() : AromaAdvisor(Options{}) {}
+  explicit AromaAdvisor(Options options) : options_(options) {}
+
+  /// Cluster the execution history. Throws std::invalid_argument on an
+  /// empty history. Failed executions are ignored.
+  void fit(const std::vector<DonorObservation>& history);
+
+  bool fitted() const { return !clusters_.empty(); }
+  std::size_t cluster_count() const { return clusters_.size(); }
+
+  /// Index of the cluster `target` falls into (nearest medoid).
+  std::size_t assign(const Signature& target) const;
+
+  /// The best (lowest-runtime, deduplicated) configurations of the target's
+  /// cluster, as warm-start observations.
+  std::vector<tuning::Observation> suggest(const Signature& target) const;
+
+  /// Medoid signature of a cluster (for inspection/tests).
+  const Signature& medoid(std::size_t cluster) const;
+
+ private:
+  struct Cluster {
+    Signature medoid;
+    std::vector<tuning::Observation> best;  // ascending runtime, deduped
+  };
+
+  Options options_;
+  std::vector<Cluster> clusters_;
+};
+
+}  // namespace stune::transfer

@@ -1,0 +1,67 @@
+#include "transfer/characterization.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace stune::transfer {
+
+namespace {
+
+/// log1p-compress a per-input ratio so heavy shufflers don't dominate the
+/// distance metric.
+double log_ratio(double numerator, double denominator) {
+  if (denominator <= 0.0) return 0.0;
+  return std::log1p(numerator / denominator);
+}
+
+}  // namespace
+
+std::array<double, Signature::kDims> Signature::as_array() const {
+  return {cpu_fraction, disk_fraction,     net_fraction,   gc_fraction,
+          shuffle_per_input, spill_per_input, stage_depth, cache_pressure};
+}
+
+std::vector<double> Signature::as_vector() const {
+  const auto a = as_array();
+  return std::vector<double>(a.begin(), a.end());
+}
+
+std::string Signature::describe() const {
+  std::ostringstream out;
+  out << "cpu=" << cpu_fraction << " disk=" << disk_fraction << " net=" << net_fraction
+      << " gc=" << gc_fraction << " shuffle=" << shuffle_per_input
+      << " spill=" << spill_per_input << " depth=" << stage_depth
+      << " cache-pressure=" << cache_pressure;
+  return out.str();
+}
+
+Signature characterize(const disc::ExecutionReport& report) {
+  Signature s;
+  s.cpu_fraction = report.cpu_fraction();
+  s.disk_fraction = report.disk_fraction();
+  s.net_fraction = report.net_fraction();
+  s.gc_fraction = report.gc_fraction();
+  const auto input = static_cast<double>(report.total_input);
+  s.shuffle_per_input = log_ratio(static_cast<double>(report.total_shuffle_read), input);
+  s.spill_per_input = log_ratio(static_cast<double>(report.total_spilled), input);
+  s.stage_depth = std::log1p(static_cast<double>(report.stages.size()));
+  s.cache_pressure = 1.0 - report.cache_hit_fraction;
+  return s;
+}
+
+double distance(const Signature& a, const Signature& b) {
+  const auto va = a.as_array();
+  const auto vb = b.as_array();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < Signature::kDims; ++i) {
+    const double d = va[i] - vb[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double similarity(const Signature& a, const Signature& b, double scale) {
+  return std::exp(-distance(a, b) / scale);
+}
+
+}  // namespace stune::transfer

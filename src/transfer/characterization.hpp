@@ -1,0 +1,49 @@
+// Workload characterization (paper §V-B): reduce an execution report to a
+// compact signature that captures *what the workload does* — where its time
+// goes, how much it shuffles, caches and spills — so the tuning service can
+// recognize similar workloads across tenants and transfer tuning knowledge
+// between them without ever looking at user code.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "disc/metrics.hpp"
+
+namespace stune::transfer {
+
+/// A point in characterization space. All components are scale-free
+/// (fractions or per-input ratios), so the same workload at different input
+/// sizes lands nearby — which is exactly what makes DS1-tuning knowledge
+/// transferable to DS3.
+struct Signature {
+  static constexpr std::size_t kDims = 8;
+
+  double cpu_fraction = 0.0;
+  double disk_fraction = 0.0;
+  double net_fraction = 0.0;
+  double gc_fraction = 0.0;
+  double shuffle_per_input = 0.0;   // log-compressed ratio
+  double spill_per_input = 0.0;     // log-compressed ratio
+  double stage_depth = 0.0;         // log of stage count (iterativeness)
+  double cache_pressure = 0.0;      // 1 - cache hit fraction
+
+  std::array<double, kDims> as_array() const;
+  std::vector<double> as_vector() const;
+  std::string describe() const;
+};
+
+/// Derive the signature of one execution.
+Signature characterize(const disc::ExecutionReport& report);
+
+/// Euclidean distance in signature space.
+double distance(const Signature& a, const Signature& b);
+
+/// Similarity in [0, 1]: exp(-distance / scale). The default scale is
+/// calibrated so the same workload at a 4x input size lands above the
+/// default transfer guard (~0.6) while workloads with different resource
+/// profiles land well below it.
+double similarity(const Signature& a, const Signature& b, double scale = 1.0);
+
+}  // namespace stune::transfer

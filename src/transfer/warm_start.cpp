@@ -1,0 +1,39 @@
+#include "transfer/warm_start.hpp"
+
+#include <algorithm>
+
+namespace stune::transfer {
+
+std::vector<tuning::Observation> select_warm_start(const Signature& target,
+                                                   const std::vector<DonorObservation>& donors,
+                                                   const TransferPolicy& policy) {
+  struct Scored {
+    const DonorObservation* donor;
+    double sim;
+  };
+  std::vector<Scored> eligible;
+  for (const auto& d : donors) {
+    if (policy.best_only && d.observation.failed) continue;
+    const double sim = similarity(target, d.signature);
+    if (sim >= policy.min_similarity) eligible.push_back({&d, sim});
+  }
+  std::sort(eligible.begin(), eligible.end(), [](const Scored& a, const Scored& b) {
+    if (a.sim != b.sim) return a.sim > b.sim;
+    return a.donor->observation.runtime < b.donor->observation.runtime;
+  });
+
+  std::vector<tuning::Observation> out;
+  out.reserve(std::min(policy.max_observations, eligible.size()));
+  for (const auto& s : eligible) {
+    if (out.size() >= policy.max_observations) break;
+    // Deduplicate identical configurations from different donors.
+    const auto fp = s.donor->observation.config.fingerprint();
+    const bool dup = std::any_of(out.begin(), out.end(), [&](const tuning::Observation& o) {
+      return o.config.fingerprint() == fp;
+    });
+    if (!dup) out.push_back(s.donor->observation);
+  }
+  return out;
+}
+
+}  // namespace stune::transfer

@@ -1,0 +1,41 @@
+// Knowledge transfer across workloads (paper §V-B).
+//
+// Given tuning history harvested from *similar* workloads, build the
+// warm-start observation set a tuner can be seeded with, guarded against
+// negative transfer: below a similarity floor, no knowledge is injected
+// (transferring from a dissimilar workload is worse than starting cold —
+// the paper cites Ge et al. on negative transfer).
+#pragma once
+
+#include <vector>
+
+#include "transfer/characterization.hpp"
+#include "tuning/tuner.hpp"
+
+namespace stune::transfer {
+
+/// A donor candidate: one past tuning observation plus the signature of the
+/// workload it came from.
+struct DonorObservation {
+  tuning::Observation observation;
+  Signature signature;
+};
+
+struct TransferPolicy {
+  /// Donors less similar than this contribute nothing (negative-transfer
+  /// guard).
+  double min_similarity = 0.6;
+  /// At most this many observations are injected.
+  std::size_t max_observations = 10;
+  /// Keep only the donors' best configurations (by runtime).
+  bool best_only = true;
+};
+
+/// Select the warm-start set for a workload with signature `target`.
+/// Returned observations are ordered by (similarity, runtime) descending
+/// usefulness.
+std::vector<tuning::Observation> select_warm_start(const Signature& target,
+                                                   const std::vector<DonorObservation>& donors,
+                                                   const TransferPolicy& policy = {});
+
+}  // namespace stune::transfer

@@ -1,0 +1,76 @@
+// CherryPick-style Bayesian optimization: GP surrogate on the one-hot
+// encoded configuration, expected-improvement acquisition maximized over a
+// random candidate pool plus local perturbations of the incumbent.
+#include <algorithm>
+
+#include "model/dataset.hpp"
+#include "model/gp.hpp"
+#include "tuning/tuners.hpp"
+
+namespace stune::tuning {
+
+TuneResult BayesOptTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
+                               const Objective& objective, const TuneOptions& options) {
+  EvalTracker tracker(objective, options);
+  simcore::Rng rng(options.seed);
+
+  // Bootstrap: warm-start observations cost nothing; fill the rest with a
+  // Latin hypercube so the surrogate sees the whole space.
+  model::Dataset data;
+  const Observation* best_warm = nullptr;
+  for (const auto& o : options.warm_start) {
+    data.add(space->encode(o.config), tracker.penalize(o.runtime, o.failed));
+    if (!o.failed && (best_warm == nullptr || o.runtime < best_warm->runtime)) best_warm = &o;
+  }
+  // Validate the transferred favourite on *this* workload right away: if it
+  // transfers well it becomes the incumbent the acquisition exploits.
+  if (best_warm != nullptr && !tracker.exhausted()) {
+    const auto& o = tracker.evaluate(best_warm->config);
+    data.add(space->encode(o.config), o.objective);
+  }
+  const std::size_t bootstrap =
+      std::min(options.budget, options.warm_start.empty() ? params_.init_samples
+                                                          : std::max<std::size_t>(3, params_.init_samples / 2));
+  for (const auto& c : space->latin_hypercube(bootstrap, rng)) {
+    if (tracker.exhausted()) break;
+    const auto& o = tracker.evaluate(c);
+    data.add(space->encode(o.config), o.objective);
+  }
+
+  while (!tracker.exhausted()) {
+    model::GaussianProcess gp;
+    bool surrogate_ok = true;
+    try {
+      gp.fit(data);
+    } catch (const std::runtime_error&) {
+      surrogate_ok = false;  // degenerate data (e.g. all targets equal)
+    }
+    config::Configuration next;
+    if (surrogate_ok) {
+      const double best = tracker.best_objective();
+      double best_ei = -1.0;
+      auto consider = [&](const config::Configuration& c) {
+        const auto pred = gp.predict(space->encode(c));
+        const double ei = model::expected_improvement(pred.mean, pred.variance, best);
+        if (ei > best_ei) {
+          best_ei = ei;
+          next = c;
+        }
+      };
+      for (std::size_t i = 0; i < params_.candidates; ++i) consider(space->sample(rng));
+      // Exploit around the incumbent.
+      const TuneResult so_far = tracker.result();
+      if (so_far.found_feasible) {
+        for (std::size_t i = 0; i < params_.local_candidates; ++i) {
+          consider(space->neighbor(so_far.best, 0.1, 2, rng));
+        }
+      }
+    }
+    if (next.empty()) next = space->sample(rng);
+    const auto& o = tracker.evaluate(next);
+    data.add(space->encode(o.config), o.objective);
+  }
+  return tracker.result();
+}
+
+}  // namespace stune::tuning

@@ -1,0 +1,114 @@
+// BestConfig (Zhu et al., SoCC'17): divide-and-diverge sampling over the
+// current bounds, then recursive bound-and-search — shrink the bounds
+// around the incumbent and resample — until the budget is gone.
+#include <algorithm>
+#include <numeric>
+
+#include "tuning/tuners.hpp"
+
+namespace stune::tuning {
+
+namespace {
+
+/// Per-dimension unit-interval bounds the search is currently confined to.
+struct Bounds {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  explicit Bounds(std::size_t dims) : lo(dims, 0.0), hi(dims, 1.0) {}
+
+  void shrink_around(const std::vector<double>& center, double factor) {
+    for (std::size_t d = 0; d < lo.size(); ++d) {
+      const double half = 0.5 * (hi[d] - lo[d]) * factor;
+      lo[d] = std::clamp(center[d] - half, 0.0, 1.0);
+      hi[d] = std::clamp(center[d] + half, lo[d] + 1e-9, 1.0);
+    }
+  }
+};
+
+/// Divide-and-diverge inside bounds: n strata per dimension, one sample per
+/// stratum, stratum assignment permuted per dimension.
+std::vector<config::Configuration> dds_in_bounds(const config::ConfigSpace& space,
+                                                 std::shared_ptr<const config::ConfigSpace> sp,
+                                                 const Bounds& b, std::size_t n,
+                                                 simcore::Rng& rng) {
+  std::vector<std::vector<std::size_t>> strata(space.size());
+  for (auto& perm : strata) {
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    rng.shuffle(perm);
+  }
+  std::vector<config::Configuration> out;
+  out.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<double> unit(space.size());
+    for (std::size_t d = 0; d < space.size(); ++d) {
+      const double frac =
+          (static_cast<double>(strata[d][s]) + rng.uniform()) / static_cast<double>(n);
+      unit[d] = b.lo[d] + frac * (b.hi[d] - b.lo[d]);
+    }
+    out.push_back(sp->from_unit(unit));
+  }
+  return out;
+}
+
+}  // namespace
+
+TuneResult BestConfigTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
+                                 const Objective& objective, const TuneOptions& options) {
+  EvalTracker tracker(objective, options);
+  simcore::Rng rng(options.seed);
+
+  Bounds bounds(space->size());
+  const std::size_t rounds = std::max<std::size_t>(1, params_.rounds);
+  const std::size_t per_round = std::max<std::size_t>(1, options.budget / rounds);
+
+  double incumbent_obj = std::numeric_limits<double>::infinity();
+  std::vector<double> incumbent_unit;
+
+  // Warm start: evaluate the transferred configuration and search around it.
+  const Observation* warm = nullptr;
+  for (const auto& o : options.warm_start) {
+    if (!o.failed && (warm == nullptr || o.runtime < warm->runtime)) warm = &o;
+  }
+  if (warm != nullptr && !tracker.exhausted()) {
+    const auto& o = tracker.evaluate(warm->config);
+    incumbent_obj = o.objective;
+    incumbent_unit = space->to_unit(o.config);
+    bounds.shrink_around(incumbent_unit, 0.8);
+  }
+
+  for (std::size_t round = 0; round < rounds && !tracker.exhausted(); ++round) {
+    const std::size_t n = std::min(per_round, tracker.remaining());
+    bool improved = false;
+    for (const auto& c : dds_in_bounds(*space, space, bounds, n, rng)) {
+      if (tracker.exhausted()) break;
+      const auto& o = tracker.evaluate(c);
+      if (o.objective < incumbent_obj) {
+        incumbent_obj = o.objective;
+        incumbent_unit = space->to_unit(o.config);
+        improved = true;
+      }
+    }
+    if (!incumbent_unit.empty()) {
+      if (improved) {
+        // Recursive bound-and-search: zoom into the promising region.
+        bounds.shrink_around(incumbent_unit, params_.shrink);
+      } else {
+        // Diverge: restart from the full space to escape a local region.
+        bounds = Bounds(space->size());
+      }
+    }
+  }
+  // Integer division can strand a remainder; spend it in the final bounds.
+  while (!tracker.exhausted()) {
+    for (const auto& c :
+         dds_in_bounds(*space, space, bounds, std::min<std::size_t>(tracker.remaining(), 8), rng)) {
+      if (tracker.exhausted()) break;
+      tracker.evaluate(c);
+    }
+  }
+  return tracker.result();
+}
+
+}  // namespace stune::tuning

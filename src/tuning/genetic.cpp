@@ -1,0 +1,178 @@
+// Evolutionary tuners: a plain genetic algorithm on live executions, and
+// the DAC-style variant that evolves against a random-forest surrogate and
+// spends real executions only on validating the model's favourites.
+#include <algorithm>
+#include <numeric>
+
+#include "model/tree.hpp"
+#include "tuning/tuners.hpp"
+
+namespace stune::tuning {
+
+namespace {
+
+/// Uniform crossover on stored values.
+config::Configuration crossover(const config::ConfigSpace& space, const config::Configuration& a,
+                                const config::Configuration& b, simcore::Rng& rng) {
+  std::vector<double> values(space.size());
+  for (std::size_t d = 0; d < space.size(); ++d) {
+    values[d] = rng.bernoulli(0.5) ? a[d] : b[d];
+  }
+  return config::Configuration(a.space_ptr(), std::move(values));
+}
+
+std::size_t tournament_pick(const std::vector<double>& fitness, std::size_t k, simcore::Rng& rng) {
+  std::size_t best = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(fitness.size()) - 1));
+  for (std::size_t i = 1; i < k; ++i) {
+    const auto c = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(fitness.size()) - 1));
+    if (fitness[c] < fitness[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace
+
+TuneResult GeneticTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
+                              const Objective& objective, const TuneOptions& options) {
+  EvalTracker tracker(objective, options);
+  simcore::Rng rng(options.seed);
+
+  const std::size_t pop_n = std::max<std::size_t>(4, std::min(params_.population, options.budget));
+  std::vector<config::Configuration> population;
+  std::vector<double> fitness;
+
+  // Seed the population: transferred configs first, then random.
+  for (const auto& o : options.warm_start) {
+    if (population.size() >= pop_n / 2) break;
+    if (!o.failed) population.push_back(o.config);
+  }
+  while (population.size() < pop_n) population.push_back(space->sample(rng));
+  for (const auto& c : population) {
+    if (tracker.exhausted()) return tracker.result();
+    fitness.push_back(tracker.evaluate(c).objective);
+  }
+
+  while (!tracker.exhausted()) {
+    // Order by fitness to find the elites.
+    std::vector<std::size_t> order(population.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fitness[a] < fitness[b]; });
+
+    std::vector<config::Configuration> next;
+    std::vector<double> next_fitness;
+    for (std::size_t e = 0; e < std::min(params_.elites, order.size()); ++e) {
+      next.push_back(population[order[e]]);
+      next_fitness.push_back(fitness[order[e]]);
+    }
+    while (next.size() < pop_n && !tracker.exhausted()) {
+      const auto& a = population[tournament_pick(fitness, params_.tournament, rng)];
+      const auto& b = population[tournament_pick(fitness, params_.tournament, rng)];
+      config::Configuration child = rng.bernoulli(params_.crossover_rate)
+                                        ? crossover(*space, a, b, rng)
+                                        : a;
+      if (rng.bernoulli(params_.mutation_rate)) {
+        child = space->neighbor(child, 0.2, 2, rng);
+      }
+      next_fitness.push_back(tracker.evaluate(child).objective);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    fitness = std::move(next_fitness);
+  }
+  return tracker.result();
+}
+
+TuneResult DacTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
+                          const Objective& objective, const TuneOptions& options) {
+  EvalTracker tracker(objective, options);
+  simcore::Rng rng(options.seed);
+
+  model::Dataset data;
+  const Observation* best_warm = nullptr;
+  for (const auto& o : options.warm_start) {
+    data.add(space->encode(o.config), tracker.penalize(o.runtime, o.failed));
+    if (!o.failed && (best_warm == nullptr || o.runtime < best_warm->runtime)) best_warm = &o;
+  }
+  // A transferred configuration is worth one validation up front.
+  if (best_warm != nullptr && !tracker.exhausted()) {
+    const auto& o = tracker.evaluate(best_warm->config);
+    data.add(space->encode(o.config), o.objective);
+  }
+
+  // Phase 1: random training set for the surrogate.
+  const auto bootstrap = std::max<std::size_t>(
+      5, static_cast<std::size_t>(params_.bootstrap_fraction * static_cast<double>(options.budget)));
+  for (const auto& c : space->latin_hypercube(std::min(bootstrap, options.budget), rng)) {
+    if (tracker.exhausted()) break;
+    const auto& o = tracker.evaluate(c);
+    data.add(space->encode(o.config), o.objective);
+  }
+
+  // Phase 2: repeat { fit forest; GA on the model; validate the winners }.
+  while (!tracker.exhausted()) {
+    model::RandomForest forest(model::ForestOptions{
+        .trees = 30,
+        .tree = model::TreeOptions{.max_depth = 12, .min_samples_leaf = 2, .min_samples_split = 4,
+                                   .feature_subsample = 0.5},
+        .bootstrap_fraction = 1.0});
+    forest.fit(data, rng.fork(tracker.used()));
+    auto model_score = [&](const config::Configuration& c) {
+      return forest.predict(space->encode(c));
+    };
+
+    // Model-driven GA (free: no real executions).
+    std::vector<config::Configuration> pop;
+    std::vector<double> fit;
+    pop.reserve(params_.model_population);
+    // Seed with the best observed configs plus randoms.
+    std::vector<const Observation*> seen;
+    for (const auto& o : tracker.history()) seen.push_back(&o);
+    std::sort(seen.begin(), seen.end(),
+              [](const Observation* a, const Observation* b) { return a->objective < b->objective; });
+    for (std::size_t i = 0; i < std::min<std::size_t>(seen.size(), params_.model_population / 4); ++i) {
+      pop.push_back(seen[i]->config);
+    }
+    while (pop.size() < params_.model_population) pop.push_back(space->sample(rng));
+    for (const auto& c : pop) fit.push_back(model_score(c));
+
+    for (std::size_t g = 0; g < params_.model_generations; ++g) {
+      std::vector<config::Configuration> next;
+      std::vector<double> next_fit;
+      // Keep the two best.
+      std::vector<std::size_t> order(pop.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) { return fit[a] < fit[b]; });
+      for (std::size_t e = 0; e < 2; ++e) {
+        next.push_back(pop[order[e]]);
+        next_fit.push_back(fit[order[e]]);
+      }
+      while (next.size() < pop.size()) {
+        const auto& a = pop[tournament_pick(fit, 3, rng)];
+        const auto& b = pop[tournament_pick(fit, 3, rng)];
+        config::Configuration child = crossover(*space, a, b, rng);
+        if (rng.bernoulli(0.2)) child = space->neighbor(child, 0.15, 2, rng);
+        next_fit.push_back(model_score(child));
+        next.push_back(std::move(child));
+      }
+      pop = std::move(next);
+      fit = std::move(next_fit);
+    }
+
+    // Validate the model's favourites on the real system and grow the data.
+    std::vector<std::size_t> order(pop.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fit[a] < fit[b]; });
+    for (std::size_t i = 0; i < params_.validations_per_round && !tracker.exhausted(); ++i) {
+      const auto& o = tracker.evaluate(pop[order[i]]);
+      data.add(space->encode(o.config), o.objective);
+    }
+  }
+  return tracker.result();
+}
+
+}  // namespace stune::tuning

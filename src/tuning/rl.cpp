@@ -1,0 +1,114 @@
+// Reinforcement-learning tuner, after Bu et al. (ICDCS'09), who tuned web
+// server/container knobs online with Q-learning ("tuned 8 configuration
+// parameters using 25 executions", paper §II-B).
+//
+// Practical adaptation to a 28-knob space: coordinate-wise tabular
+// Q-learning. Each parameter is discretized into a few levels; its own
+// Q-table scores {down, stay, up} (categorical/bool: {resample, stay}).
+// Steps round-robin through parameters, pick actions epsilon-greedily,
+// execute the resulting configuration, and reward relative runtime
+// improvement. This is online tuning: the system being tuned serves the
+// evaluations, so every step costs one execution.
+#include <algorithm>
+#include <cmath>
+
+#include "tuning/tuners.hpp"
+
+namespace stune::tuning {
+
+namespace {
+
+constexpr std::size_t kLevels = 5;
+constexpr std::size_t kActions = 3;  // 0=down, 1=stay, 2=up
+
+struct ParamAgent {
+  // q[level][action]
+  double q[kLevels][kActions] = {};
+  std::size_t level = 0;
+};
+
+std::size_t level_of(const config::ParamDef& def, double value) {
+  const double u = def.to_unit(value);
+  return std::min<std::size_t>(kLevels - 1, static_cast<std::size_t>(u * kLevels));
+}
+
+double value_at(const config::ParamDef& def, std::size_t level) {
+  const double u = (static_cast<double>(level) + 0.5) / kLevels;
+  return def.from_unit(u);
+}
+
+}  // namespace
+
+TuneResult RlTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
+                         const Objective& objective, const TuneOptions& options) {
+  EvalTracker tracker(objective, options);
+  simcore::Rng rng(options.seed);
+
+  // Start from the best transferred configuration if one exists.
+  config::Configuration current = space->default_config();
+  const Observation* best_warm = nullptr;
+  for (const auto& o : options.warm_start) {
+    if (!o.failed && (best_warm == nullptr || o.runtime < best_warm->runtime)) best_warm = &o;
+  }
+  if (best_warm != nullptr) current = best_warm->config;
+  if (tracker.exhausted()) return tracker.result();
+  double current_obj = tracker.evaluate(current).objective;
+
+  std::vector<ParamAgent> agents(space->size());
+  for (std::size_t d = 0; d < space->size(); ++d) {
+    agents[d].level = level_of(space->param(d), current[d]);
+  }
+
+  double epsilon = params_.epsilon;
+  std::size_t d = 0;
+  while (!tracker.exhausted()) {
+    auto& agent = agents[d % space->size()];
+    const auto& def = space->param(d % space->size());
+    const std::size_t dim = d % space->size();
+    ++d;
+
+    // Choose an action epsilon-greedily.
+    std::size_t action;
+    if (rng.bernoulli(epsilon)) {
+      action = static_cast<std::size_t>(rng.uniform_int(0, kActions - 1));
+    } else {
+      action = 0;
+      for (std::size_t a = 1; a < kActions; ++a) {
+        if (agent.q[agent.level][a] > agent.q[agent.level][action]) action = a;
+      }
+    }
+
+    // Apply the action to this parameter.
+    std::size_t next_level = agent.level;
+    config::Configuration trial = current;
+    if (def.type == config::ParamType::kCategorical || def.type == config::ParamType::kBool) {
+      if (action != 1) {
+        // Resample to a random other value.
+        const double card = std::max(1.0, def.max_value - def.min_value);
+        trial.set(dim, def.min_value + static_cast<double>(rng.uniform_int(
+                           0, static_cast<std::int64_t>(card))));
+      }
+    } else {
+      if (action == 0 && next_level > 0) --next_level;
+      if (action == 2 && next_level + 1 < kLevels) ++next_level;
+      trial.set(dim, value_at(def, next_level));
+    }
+
+    const auto& o = tracker.evaluate(trial);
+    // Reward: relative improvement of the objective (negative when worse).
+    const double reward = (current_obj - o.objective) / std::max(current_obj, 1e-9);
+    const double best_next = *std::max_element(agent.q[next_level], agent.q[next_level] + kActions);
+    double& q = agent.q[agent.level][action];
+    q += params_.learning_rate * (reward + params_.discount * best_next - q);
+
+    if (o.objective < current_obj) {
+      current = o.config;
+      current_obj = o.objective;
+      agent.level = next_level;
+    }
+    epsilon = std::max(params_.min_epsilon, epsilon * params_.epsilon_decay);
+  }
+  return tracker.result();
+}
+
+}  // namespace stune::tuning

@@ -1,0 +1,142 @@
+// Random search, coordinate sweep and hill climbing.
+#include <algorithm>
+
+#include "tuning/tuners.hpp"
+
+namespace stune::tuning {
+
+namespace {
+
+/// Best warm-start config (ignoring failures), or nullptr.
+const Observation* best_warm_start(const TuneOptions& options) {
+  const Observation* best = nullptr;
+  for (const auto& o : options.warm_start) {
+    if (o.failed) continue;
+    if (best == nullptr || o.runtime < best->runtime) best = &o;
+  }
+  return best;
+}
+
+}  // namespace
+
+TuneResult RandomSearchTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
+                                   const Objective& objective, const TuneOptions& options) {
+  EvalTracker tracker(objective, options);
+  simcore::Rng rng(options.seed);
+  // A transferred configuration is worth trying first: it costs one sample
+  // and often lands near-optimal for similar workloads.
+  if (const Observation* warm = best_warm_start(options); warm != nullptr && !tracker.exhausted()) {
+    tracker.evaluate(warm->config);
+  }
+  while (!tracker.exhausted()) tracker.evaluate(space->sample(rng));
+  return tracker.result();
+}
+
+TuneResult CoordinateSweepTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
+                                      const Objective& objective, const TuneOptions& options) {
+  EvalTracker tracker(objective, options);
+  simcore::Rng rng(options.seed);
+
+  config::Configuration incumbent = space->default_config();
+  if (const Observation* warm = best_warm_start(options); warm != nullptr) {
+    incumbent = warm->config;
+  }
+  if (tracker.exhausted()) return tracker.result();
+  double incumbent_obj = tracker.evaluate(incumbent).objective;
+
+  // Repeated one-factor-at-a-time passes: for each parameter, probe a few
+  // levels across its range holding everything else at the incumbent. When
+  // a full pass stops improving, restart the sweep from a random point so
+  // the whole budget is spent (like an expert trying a fresh baseline).
+  while (!tracker.exhausted()) {
+    bool improved_any = false;
+    for (std::size_t d = 0; d < space->size() && !tracker.exhausted(); ++d) {
+      const auto& def = space->param(d);
+      const std::size_t levels =
+          def.cardinality() > 0 ? std::min(levels_, def.cardinality()) : levels_;
+      for (std::size_t l = 0; l < levels && !tracker.exhausted(); ++l) {
+        const double u = levels == 1 ? 0.5
+                                     : static_cast<double>(l) / static_cast<double>(levels - 1);
+        config::Configuration trial = incumbent;
+        trial.set(d, def.from_unit(u));
+        if (trial.values()[d] == incumbent.values()[d]) continue;
+        const auto& o = tracker.evaluate(trial);
+        if (o.objective < incumbent_obj) {
+          incumbent = o.config;
+          incumbent_obj = o.objective;
+          improved_any = true;
+        }
+      }
+    }
+    if (!improved_any && !tracker.exhausted()) {
+      const auto& o = tracker.evaluate(space->sample(rng));
+      incumbent = o.config;
+      incumbent_obj = o.objective;
+    }
+  }
+  return tracker.result();
+}
+
+TuneResult HillClimbTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
+                                const Objective& objective, const TuneOptions& options) {
+  EvalTracker tracker(objective, options);
+  simcore::Rng rng(options.seed);
+
+  config::Configuration current;
+  if (const Observation* warm = best_warm_start(options); warm != nullptr) {
+    current = warm->config;
+  } else {
+    current = space->default_config();
+  }
+  if (tracker.exhausted()) return tracker.result();
+  double current_obj = tracker.evaluate(current).objective;
+  double best_obj = current_obj;
+  config::Configuration best = current;
+
+  double step = params_.initial_step;
+  std::size_t stalls = 0;
+  std::size_t hops = 0;
+  while (!tracker.exhausted()) {
+    // MROnline-style: perturb parameters, accept improvements, decay the
+    // step while stuck. Near convergence (small step) mutate only one
+    // parameter so good coordinates are not wrecked by a bad companion move.
+    const std::size_t mutations =
+        step > 0.1 ? static_cast<std::size_t>(rng.uniform_int(1, 2)) : 1;
+    const config::Configuration neighbor = space->neighbor(current, step, mutations, rng);
+    const auto& o = tracker.evaluate(neighbor);
+    if (o.objective < current_obj) {
+      current = o.config;
+      current_obj = o.objective;
+      stalls = 0;
+      // 1/5-rule-style adaptation: success means the step is productive,
+      // so grow it back; failures shrink it toward fine-grained search.
+      step = std::min(2.0 * params_.initial_step, step * 1.3);
+      if (current_obj < best_obj) {
+        best_obj = current_obj;
+        best = current;
+      }
+    } else {
+      ++stalls;
+      step = std::max(params_.min_step, step * params_.step_decay);
+    }
+    if (stalls >= params_.stall_limit) {
+      // Basin hop: usually re-inflate the step around the global best;
+      // periodically take a genuinely random restart for diversity.
+      ++hops;
+      if (hops % 3 == 0) {
+        if (tracker.exhausted()) break;
+        const auto& r = tracker.evaluate(space->sample(rng));
+        current = r.config;
+        current_obj = r.objective;
+      } else {
+        current = best;
+        current_obj = best_obj;
+      }
+      step = params_.initial_step;
+      stalls = 0;
+    }
+  }
+  return tracker.result();
+}
+
+}  // namespace stune::tuning

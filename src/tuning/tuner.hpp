@@ -1,0 +1,100 @@
+// Tuner interface shared by every configuration-search strategy the paper
+// surveys (§II) plus the supporting bookkeeping: evaluation budget,
+// failure penalties and warm-start observations (for knowledge transfer,
+// §V-B).
+//
+// Objectives are minimized and measured in seconds of workload runtime;
+// failed executions (OOM, infeasible deployment) are first-class — tuners
+// see them and must not treat a crash as a good time.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/config_space.hpp"
+#include "simcore/rng.hpp"
+
+namespace stune::tuning {
+
+struct EvalOutcome {
+  double runtime = 0.0;  // seconds (time burned, even when failed)
+  bool failed = false;
+};
+
+using Objective = std::function<EvalOutcome(const config::Configuration&)>;
+
+struct Observation {
+  config::Configuration config;
+  double runtime = 0.0;    // raw outcome
+  bool failed = false;
+  double objective = 0.0;  // penalized score tuners rank/fit on
+};
+
+struct TuneOptions {
+  /// Number of workload executions the tuner may spend.
+  std::size_t budget = 100;
+  std::uint64_t seed = 1;
+  /// Observations transferred from a similar workload (may be empty). They
+  /// cost no budget; tuners should treat them as hints, not ground truth.
+  std::vector<Observation> warm_start;
+  /// Failed runs are scored as factor * (worst successful runtime so far).
+  double failure_penalty_factor = 3.0;
+};
+
+struct TuneResult {
+  config::Configuration best;
+  double best_runtime = std::numeric_limits<double>::infinity();
+  bool found_feasible = false;
+  std::vector<Observation> history;  // evaluation order
+
+  /// Best successful runtime after each evaluation (infinity until the
+  /// first success) — the convergence curve benchmarks plot.
+  std::vector<double> best_curve() const;
+};
+
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+  virtual std::string name() const = 0;
+  virtual TuneResult tune(std::shared_ptr<const config::ConfigSpace> space,
+                          const Objective& objective, const TuneOptions& options) = 0;
+};
+
+/// Budget/penalty bookkeeping shared by tuner implementations.
+class EvalTracker {
+ public:
+  EvalTracker(const Objective& objective, const TuneOptions& options);
+
+  /// Run one evaluation (consumes budget). Returns the recorded observation.
+  const Observation& evaluate(const config::Configuration& c);
+  bool exhausted() const { return used_ >= options_.budget; }
+  std::size_t remaining() const { return options_.budget - used_; }
+  std::size_t used() const { return used_; }
+
+  /// Score an outcome the way evaluate() does (used to score warm starts).
+  double penalize(double runtime, bool failed) const;
+
+  /// Result assembled from everything evaluated so far.
+  TuneResult result() const;
+
+  const std::vector<Observation>& history() const { return history_; }
+  double best_objective() const;
+
+ private:
+  const Objective& objective_;
+  const TuneOptions& options_;
+  std::vector<Observation> history_;
+  std::size_t used_ = 0;
+  std::size_t best_index_ = static_cast<std::size_t>(-1);
+  double worst_success_ = 0.0;
+};
+
+/// Registry of every implemented strategy, for benches that sweep tuners.
+std::vector<std::unique_ptr<Tuner>> all_tuners();
+std::unique_ptr<Tuner> make_tuner(std::string_view name);
+std::vector<std::string> tuner_names();
+
+}  // namespace stune::tuning

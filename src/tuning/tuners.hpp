@@ -1,0 +1,173 @@
+// The configuration-tuning strategies surveyed in paper §II, implemented
+// against the common Tuner interface:
+//
+//  - RandomSearchTuner    : uniform random sampling (the paper's Table I
+//                           protocol uses 100 random configurations).
+//  - CoordinateSweepTuner : one-factor-at-a-time expert sweep (the "manual
+//                           measurement" baseline of §II).
+//  - HillClimbTuner       : modified hill climbing with restarts (MROnline).
+//  - BayesOptTuner        : Gaussian-process Bayesian optimization with
+//                           expected improvement (CherryPick).
+//  - GeneticTuner         : evolutionary search on live executions.
+//  - DacTuner             : DAC-style hierarchical-model-assisted GA —
+//                           fit a random forest on observed runs, evolve
+//                           on the model, validate the winners for real.
+//  - BestConfigTuner      : divide-and-diverge sampling plus recursive
+//                           bound-and-search (BestConfig).
+//  - RegressionTreeTuner  : Wang et al. — fit a regression tree, probe its
+//                           most promising leaves.
+#pragma once
+
+#include "tuning/tuner.hpp"
+
+namespace stune::tuning {
+
+class RandomSearchTuner final : public Tuner {
+ public:
+  std::string name() const override { return "random"; }
+  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
+                  const TuneOptions& options) override;
+};
+
+class CoordinateSweepTuner final : public Tuner {
+ public:
+  /// Levels probed per parameter during a sweep.
+  explicit CoordinateSweepTuner(std::size_t levels = 4) : levels_(levels) {}
+  std::string name() const override { return "sweep"; }
+  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
+                  const TuneOptions& options) override;
+
+ private:
+  std::size_t levels_;
+};
+
+class HillClimbTuner final : public Tuner {
+ public:
+  struct Params {
+    double initial_step = 0.3;
+    double step_decay = 0.9;
+    double min_step = 0.03;
+    std::size_t stall_limit = 14;  // non-improving moves before restart
+  };
+  HillClimbTuner() : HillClimbTuner(Params{}) {}
+  explicit HillClimbTuner(Params params) : params_(params) {}
+  std::string name() const override { return "hillclimb"; }
+  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
+                  const TuneOptions& options) override;
+
+ private:
+  Params params_;
+};
+
+class BayesOptTuner final : public Tuner {
+ public:
+  struct Params {
+    std::size_t init_samples = 10;   // LHS bootstrap
+    std::size_t candidates = 512;    // acquisition pool size
+    std::size_t local_candidates = 64;  // neighbours of the incumbent
+  };
+  BayesOptTuner() : BayesOptTuner(Params{}) {}
+  explicit BayesOptTuner(Params params) : params_(params) {}
+  std::string name() const override { return "bayesopt"; }
+  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
+                  const TuneOptions& options) override;
+
+ private:
+  Params params_;
+};
+
+class GeneticTuner final : public Tuner {
+ public:
+  struct Params {
+    std::size_t population = 20;
+    double crossover_rate = 0.9;
+    double mutation_rate = 0.15;
+    std::size_t tournament = 3;
+    std::size_t elites = 2;
+  };
+  GeneticTuner() : GeneticTuner(Params{}) {}
+  explicit GeneticTuner(Params params) : params_(params) {}
+  std::string name() const override { return "genetic"; }
+  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
+                  const TuneOptions& options) override;
+
+ private:
+  Params params_;
+};
+
+class DacTuner final : public Tuner {
+ public:
+  struct Params {
+    /// Fraction of budget spent on the initial random training set.
+    double bootstrap_fraction = 0.5;
+    std::size_t model_generations = 30;
+    std::size_t model_population = 60;
+    /// Real validations per refinement round.
+    std::size_t validations_per_round = 5;
+  };
+  DacTuner() : DacTuner(Params{}) {}
+  explicit DacTuner(Params params) : params_(params) {}
+  std::string name() const override { return "dac"; }
+  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
+                  const TuneOptions& options) override;
+
+ private:
+  Params params_;
+};
+
+class BestConfigTuner final : public Tuner {
+ public:
+  struct Params {
+    std::size_t rounds = 4;
+    /// Bound shrink factor around the incumbent per round.
+    double shrink = 0.5;
+  };
+  BestConfigTuner() : BestConfigTuner(Params{}) {}
+  explicit BestConfigTuner(Params params) : params_(params) {}
+  std::string name() const override { return "bestconfig"; }
+  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
+                  const TuneOptions& options) override;
+
+ private:
+  Params params_;
+};
+
+/// Bu et al. (ICDCS'09)-style online reinforcement learning: coordinate-wise
+/// tabular Q-learning over discretized parameter levels.
+class RlTuner final : public Tuner {
+ public:
+  struct Params {
+    double learning_rate = 0.4;
+    double discount = 0.5;
+    double epsilon = 0.5;
+    double epsilon_decay = 0.97;
+    double min_epsilon = 0.1;
+  };
+  RlTuner() : RlTuner(Params{}) {}
+  explicit RlTuner(Params params) : params_(params) {}
+  std::string name() const override { return "rl"; }
+  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
+                  const TuneOptions& options) override;
+
+ private:
+  Params params_;
+};
+
+class RegressionTreeTuner final : public Tuner {
+ public:
+  struct Params {
+    double bootstrap_fraction = 0.4;
+    std::size_t candidates = 2000;  // model-scored candidates per round
+    std::size_t probes_per_round = 8;
+  };
+  RegressionTreeTuner() : RegressionTreeTuner(Params{}) {}
+  explicit RegressionTreeTuner(Params params) : params_(params) {}
+  std::string name() const override { return "rtree"; }
+  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
+                  const TuneOptions& options) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace stune::tuning

@@ -1,0 +1,13 @@
+#include "workload/execute.hpp"
+
+namespace stune::workload {
+
+disc::ExecutionReport execute(const Workload& workload, Bytes input_bytes,
+                              const disc::SparkSimulator& simulator,
+                              const config::Configuration& conf) {
+  const config::SparkConf parsed(conf);
+  const dag::PhysicalPlan plan = workload.plan(input_bytes, &parsed);
+  return simulator.run(plan, parsed);
+}
+
+}  // namespace stune::workload

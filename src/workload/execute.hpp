@@ -1,0 +1,16 @@
+// Convenience glue: plan a workload under a configuration and run it on a
+// simulator — the "one execution sample" every tuner consumes.
+#pragma once
+
+#include "config/config_space.hpp"
+#include "disc/engine.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::workload {
+
+/// Plan (config-aware, like Catalyst) and execute one run.
+disc::ExecutionReport execute(const Workload& workload, Bytes input_bytes,
+                              const disc::SparkSimulator& simulator,
+                              const config::Configuration& conf);
+
+}  // namespace stune::workload

@@ -1,0 +1,203 @@
+#include "workload/workload.hpp"
+
+#include <stdexcept>
+
+namespace stune::workload {
+
+using dag::ActionKind;
+using dag::LogicalPlan;
+using dag::TransformKind;
+
+dag::PhysicalPlan Workload::plan(Bytes input_bytes, const config::SparkConf* conf) const {
+  return dag::build_physical_plan(logical(conf), input_bytes);
+}
+
+// -- WordCount ------------------------------------------------------------------
+
+dag::LogicalPlan WordCount::logical(const config::SparkConf*) const {
+  LogicalPlan p("wordcount");
+  const int src = p.source("lines", 1.0, 1.0, 120.0);
+  const int words = p.narrow(TransformKind::kFlatMap, "words", src, 1.0, 8.0);
+  const int pairs = p.narrow(TransformKind::kMap, "pairs", words, 1.05, 1.5);
+  // Strong map-side combine: only distinct words cross the wire.
+  p.wide(TransformKind::kReduceByKey, "counts", {pairs}, 0.02, 2.0,
+         /*map_side_factor=*/0.04, /*agg_memory_factor=*/0.25);
+  p.action(ActionKind::kSave);
+  return p;
+}
+
+// -- Sort ------------------------------------------------------------------------
+
+dag::LogicalPlan Sort::logical(const config::SparkConf*) const {
+  LogicalPlan p("sort");
+  const int src = p.source("records", 1.0, 0.8, 100.0);
+  p.wide(TransformKind::kSortByKey, "sorted", {src}, 1.0, 1.2,
+         /*map_side_factor=*/1.0, /*agg_memory_factor=*/0.9);
+  p.action(ActionKind::kSave);
+  return p;
+}
+
+// -- TeraSort -----------------------------------------------------------------------
+
+dag::LogicalPlan TeraSort::logical(const config::SparkConf*) const {
+  LogicalPlan p("terasort");
+  const int src = p.source("tera-records", 1.0, 0.6, 100.0);
+  // Range-partitioner sampling pass folded into a cheap narrow map.
+  const int keyed = p.narrow(TransformKind::kMap, "keyed", src, 1.0, 0.6);
+  p.mutable_node(keyed).skew_sigma = 0.12;  // synthetic keys: low skew
+  p.wide(TransformKind::kSortByKey, "sorted", {keyed}, 1.0, 1.0,
+         /*map_side_factor=*/1.0, /*agg_memory_factor=*/0.9);
+  p.action(ActionKind::kSave);
+  return p;
+}
+
+// -- PageRank ------------------------------------------------------------------------
+
+dag::LogicalPlan PageRank::logical(const config::SparkConf*) const {
+  LogicalPlan p("pagerank");
+  const int src = p.source("edges", 1.0, 1.2, 24.0);
+  const int pairs = p.narrow(TransformKind::kMap, "edge-pairs", src, 0.9, 2.0);
+  const int links = p.wide(TransformKind::kGroupByKey, "links", {pairs}, 0.75, 2.5,
+                           /*map_side_factor=*/1.0, /*agg_memory_factor=*/1.0);
+  p.cache(links);
+  int ranks = p.narrow(TransformKind::kMapPartitions, "ranks0", links, 0.06, 0.5);
+  for (int i = 1; i <= iterations_; ++i) {
+    const std::string tag = std::to_string(i);
+    const int contribs =
+        p.wide(TransformKind::kJoin, "contribs" + tag, {links, ranks}, 0.5, 3.0,
+               /*map_side_factor=*/1.0, /*agg_memory_factor=*/0.7);
+    ranks = p.wide(TransformKind::kReduceByKey, "ranks" + tag, {contribs}, 0.12, 2.0,
+                   /*map_side_factor=*/0.35, /*agg_memory_factor=*/0.2);
+  }
+  p.action(ActionKind::kSave);
+  return p;
+}
+
+// -- BayesClassifier ----------------------------------------------------------------------
+
+dag::LogicalPlan BayesClassifier::logical(const config::SparkConf*) const {
+  LogicalPlan p("bayes");
+  const int src = p.source("docs", 1.0, 1.5, 500.0);
+  const int tokens = p.narrow(TransformKind::kFlatMap, "tokens", src, 1.1, 7.0);
+  const int tf = p.wide(TransformKind::kReduceByKey, "tf", {tokens}, 0.35, 2.5,
+                        /*map_side_factor=*/0.3, /*agg_memory_factor=*/0.35);
+  p.cache(tf);
+  const int df = p.wide(TransformKind::kReduceByKey, "df", {tf}, 0.08, 2.0,
+                        /*map_side_factor=*/0.4, /*agg_memory_factor=*/0.3);
+  const int tfidf = p.wide(TransformKind::kJoin, "tfidf", {tf, df}, 0.8, 2.5,
+                           /*map_side_factor=*/0.8, /*agg_memory_factor=*/0.5);
+  p.wide(TransformKind::kReduceByKey, "model", {tfidf}, 0.02, 3.0,
+         /*map_side_factor=*/0.25, /*agg_memory_factor=*/0.3);
+  p.action(ActionKind::kCollect, 1.0);
+  return p;
+}
+
+// -- KMeans ---------------------------------------------------------------------------------
+
+dag::LogicalPlan KMeans::logical(const config::SparkConf*) const {
+  LogicalPlan p("kmeans");
+  const int src = p.source("points", 1.0, 1.0, 80.0);
+  const int points = p.narrow(TransformKind::kMap, "points", src, 1.0, 2.0);
+  p.cache(points);
+  int last = points;
+  for (int i = 1; i <= iterations_; ++i) {
+    const std::string tag = std::to_string(i);
+    const int sums = p.narrow(TransformKind::kMap, "partial-sums" + tag, points, 0.003, 14.0);
+    last = p.wide(TransformKind::kReduceByKey, "centroids" + tag, {sums}, 1.0, 1.0,
+                  /*map_side_factor=*/1.0, /*agg_memory_factor=*/0.1);
+  }
+  (void)last;
+  p.action(ActionKind::kCollect, 1.0);
+  return p;
+}
+
+// -- Scan -----------------------------------------------------------------------------------
+
+dag::LogicalPlan Scan::logical(const config::SparkConf*) const {
+  LogicalPlan p("scan");
+  const int src = p.source("records", 1.0, 0.8, 250.0);
+  p.narrow(TransformKind::kFilter, "matches", src, 0.01, 6.0);
+  p.action(ActionKind::kSave);
+  return p;
+}
+
+// -- SqlAggregation ---------------------------------------------------------------------------
+
+dag::LogicalPlan SqlAggregation::logical(const config::SparkConf*) const {
+  LogicalPlan p("aggregation", /*is_sql=*/true);
+  const int src = p.source("lineitems", 1.0, 1.2, 180.0);
+  const int projected = p.narrow(TransformKind::kMap, "projected", src, 0.45, 3.0);
+  p.wide(TransformKind::kReduceByKey, "rollup", {projected}, 0.02, 2.0,
+         /*map_side_factor=*/0.12, /*agg_memory_factor=*/0.3);
+  p.action(ActionKind::kCollect, 1.0);
+  return p;
+}
+
+// -- SqlJoin ------------------------------------------------------------------------------------
+
+dag::LogicalPlan SqlJoin::logical(const config::SparkConf* conf) const {
+  LogicalPlan p("join", /*is_sql=*/true);
+  const int fact = p.source("fact", 1.0 - kDimShare, 1.0, 200.0);
+  const int dim = p.source("dim", kDimShare, 1.0, 150.0);
+  const int filtered = p.narrow(TransformKind::kFilter, "filtered", fact, 0.6, 2.0);
+
+  // Catalyst-style physical choice: broadcast the dimension table when it
+  // fits under the configured threshold, else shuffle both sides.
+  const double threshold_mib = conf ? conf->auto_broadcast_join_threshold_mib : 10.0;
+  const bool use_broadcast = threshold_mib > 0.0;  // resolved against size below
+  int joined;
+  // Note: the planner does not know absolute sizes (the logical plan is
+  // size-independent); it encodes the *rule*, and the physical planner
+  // applies it via the dim source share. We approximate Catalyst by
+  // comparing the threshold with the dimension share of a nominal 4 GiB
+  // input — the smallest evolving size — so the decision is config-driven.
+  const double nominal_dim_mib =
+      static_cast<double>(EvolvingSizes::kDS1) * kDimShare / (1024.0 * 1024.0);
+  if (use_broadcast && threshold_mib >= nominal_dim_mib) {
+    joined = p.add([&] {
+      dag::RddNode n;
+      n.name = "bjoin";
+      n.kind = TransformKind::kBroadcastJoin;
+      n.parents = {filtered, dim};
+      n.selectivity = 0.9;
+      n.cpu_per_gib = 3.0;
+      n.record_size = 200.0;
+      return n;
+    }());
+  } else {
+    joined = p.wide(TransformKind::kJoin, "sjoin", {filtered, dim}, 0.9, 3.0,
+                    /*map_side_factor=*/1.0, /*agg_memory_factor=*/0.6);
+  }
+  p.wide(TransformKind::kReduceByKey, "agg", {joined}, 0.01, 2.5,
+         /*map_side_factor=*/0.15, /*agg_memory_factor=*/0.25);
+  p.action(ActionKind::kCollect, 1.0);
+  return p;
+}
+
+// -- registry -------------------------------------------------------------------------------------
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = {"wordcount", "sort",   "terasort",
+                                                 "pagerank",  "bayes",  "kmeans",
+                                                 "join",      "scan",   "aggregation"};
+  return names;
+}
+
+std::unique_ptr<Workload> make_workload(std::string_view name) {
+  if (name == "wordcount") return std::make_unique<WordCount>();
+  if (name == "sort") return std::make_unique<Sort>();
+  if (name == "terasort") return std::make_unique<TeraSort>();
+  if (name == "pagerank") return std::make_unique<PageRank>();
+  if (name == "bayes") return std::make_unique<BayesClassifier>();
+  if (name == "kmeans") return std::make_unique<KMeans>();
+  if (name == "join") return std::make_unique<SqlJoin>();
+  if (name == "scan") return std::make_unique<Scan>();
+  if (name == "aggregation") return std::make_unique<SqlAggregation>();
+  throw std::invalid_argument("unknown workload: " + std::string(name));
+}
+
+std::vector<Bytes> evolving_sizes() {
+  return {EvolvingSizes::kDS1, EvolvingSizes::kDS2, EvolvingSizes::kDS3};
+}
+
+}  // namespace stune::workload

@@ -1,0 +1,143 @@
+// The analytics workload suite.
+//
+// Models the HiBench workloads the paper's Table I experiment uses
+// (Pagerank, Bayes classifier, Wordcount) plus the rest of a representative
+// suite (Sort, TeraSort, KMeans, SQL Join). Each workload builds a logical
+// RDD lineage whose cost annotations — selectivities, shuffle combine
+// factors, cache reuse, iteration structure — give it the characteristic
+// resource profile of its real counterpart; sizing to a concrete input is
+// done by the physical planner.
+//
+// Like Spark's Catalyst, planning may consult the active configuration
+// (e.g. the SQL join picks broadcast vs. shuffle join from
+// spark.sql.autoBroadcastJoinThreshold).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/spark_space.hpp"
+#include "dag/plan.hpp"
+#include "dag/rdd.hpp"
+#include "simcore/units.hpp"
+
+namespace stune::workload {
+
+using simcore::Bytes;
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  /// Build the lineage. `conf` may be null (plan with defaults); only
+  /// config-sensitive planners (SQL) look at it.
+  virtual dag::LogicalPlan logical(const config::SparkConf* conf) const = 0;
+
+  /// Logical plan -> sized physical plan for a concrete input.
+  dag::PhysicalPlan plan(Bytes input_bytes, const config::SparkConf* conf = nullptr) const;
+};
+
+// -- concrete workloads --------------------------------------------------------
+
+/// CPU-bound scan with strong map-side combining: negligible shuffle, no
+/// caching — the workload Table I shows gains ~nothing from re-tuning.
+class WordCount final : public Workload {
+ public:
+  std::string name() const override { return "wordcount"; }
+  dag::LogicalPlan logical(const config::SparkConf* conf) const override;
+};
+
+/// Full-data shuffle (range partition + sort); IO and network bound.
+class Sort final : public Workload {
+ public:
+  std::string name() const override { return "sort"; }
+  dag::LogicalPlan logical(const config::SparkConf* conf) const override;
+};
+
+/// Sort over fixed 100-byte records with a sampling pass, TeraSort-style.
+class TeraSort final : public Workload {
+ public:
+  std::string name() const override { return "terasort"; }
+  dag::LogicalPlan logical(const config::SparkConf* conf) const override;
+};
+
+/// Iterative graph computation: adjacency lists cached and re-shuffled into
+/// a join every iteration — cache- and shuffle-heavy, the workload with the
+/// largest re-tuning savings in Table I.
+class PageRank final : public Workload {
+ public:
+  explicit PageRank(int iterations = 5) : iterations_(iterations) {}
+  std::string name() const override { return "pagerank"; }
+  dag::LogicalPlan logical(const config::SparkConf* conf) const override;
+  int iterations() const { return iterations_; }
+
+ private:
+  int iterations_;
+};
+
+/// Naive Bayes training: tokenize, cache TF vectors, re-read them for the
+/// DF pass and the model aggregation — moderate cache and shuffle.
+class BayesClassifier final : public Workload {
+ public:
+  std::string name() const override { return "bayes"; }
+  dag::LogicalPlan logical(const config::SparkConf* conf) const override;
+};
+
+/// Lloyd iterations over cached points: compute heavy, tiny shuffles.
+class KMeans final : public Workload {
+ public:
+  explicit KMeans(int iterations = 4) : iterations_(iterations) {}
+  std::string name() const override { return "kmeans"; }
+  dag::LogicalPlan logical(const config::SparkConf* conf) const override;
+  int iterations() const { return iterations_; }
+
+ private:
+  int iterations_;
+};
+
+/// Grep-style scan: read everything, keep almost nothing. Pure source
+/// bandwidth + predicate CPU; the minimal single-stage job.
+class Scan final : public Workload {
+ public:
+  std::string name() const override { return "scan"; }
+  dag::LogicalPlan logical(const config::SparkConf* conf) const override;
+};
+
+/// SQL rollup (TPC-H Q1-style): project then group-by over few keys —
+/// exercises spark.sql.shuffle.partitions with strong combining.
+class SqlAggregation final : public Workload {
+ public:
+  std::string name() const override { return "aggregation"; }
+  dag::LogicalPlan logical(const config::SparkConf* conf) const override;
+};
+
+/// SQL star join + aggregation; planner consults the broadcast threshold.
+class SqlJoin final : public Workload {
+ public:
+  std::string name() const override { return "join"; }
+  dag::LogicalPlan logical(const config::SparkConf* conf) const override;
+
+  /// Dimension table size as a fraction of the workload input.
+  static constexpr double kDimShare = 0.02;
+};
+
+// -- registry & datasets -----------------------------------------------------------
+
+/// Names accepted by make_workload, in suite order.
+const std::vector<std::string>& workload_names();
+
+/// Factory; throws std::invalid_argument for unknown names.
+std::unique_ptr<Workload> make_workload(std::string_view name);
+
+/// The paper's evolving input sizes DS1 < DS2 < DS3 (§IV-B).
+struct EvolvingSizes {
+  static constexpr Bytes kDS1 = 4ULL << 30;
+  static constexpr Bytes kDS2 = 16ULL << 30;
+  static constexpr Bytes kDS3 = 64ULL << 30;
+};
+std::vector<Bytes> evolving_sizes();
+
+}  // namespace stune::workload

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "adaptive/change_detector.hpp"
+#include "adaptive/retuning_policy.hpp"
+#include "simcore/rng.hpp"
+
+namespace stune::adaptive {
+namespace {
+
+/// Feed a stationary stream; returns true if the detector ever fired.
+bool fires_on_stationary(ChangeDetector& d, std::uint64_t seed, std::size_t n = 200) {
+  simcore::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d.add(100.0 + rng.normal(0.0, 3.0))) return true;
+  }
+  return false;
+}
+
+/// Feed stationary then shifted; returns detection delay (observations
+/// after the shift), or -1 if missed.
+int detection_delay(ChangeDetector& d, double shift_factor, std::uint64_t seed) {
+  simcore::Rng rng(seed);
+  for (int i = 0; i < 40; ++i) d.add(100.0 + rng.normal(0.0, 3.0));
+  for (int i = 0; i < 100; ++i) {
+    if (d.add(100.0 * shift_factor + rng.normal(0.0, 3.0))) return i + 1;
+  }
+  return -1;
+}
+
+class DetectorContract : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DetectorContract, QuietOnStationaryStream) {
+  const auto d = make_detector(GetParam());
+  EXPECT_FALSE(fires_on_stationary(*d, 42));
+}
+
+TEST_P(DetectorContract, DetectsALargeSustainedShift) {
+  const auto d = make_detector(GetParam());
+  const int delay = detection_delay(*d, 1.5, 7);
+  EXPECT_GT(delay, 0);
+  EXPECT_LE(delay, 30);
+}
+
+TEST_P(DetectorContract, StaysTriggeredUntilReset) {
+  const auto d = make_detector(GetParam());
+  ASSERT_GT(detection_delay(*d, 2.0, 9), 0);
+  EXPECT_TRUE(d->triggered());
+  d->add(100.0);
+  EXPECT_TRUE(d->triggered());
+  d->reset();
+  EXPECT_FALSE(d->triggered());
+}
+
+TEST_P(DetectorContract, UsableAgainAfterReset) {
+  const auto d = make_detector(GetParam());
+  ASSERT_GT(detection_delay(*d, 2.0, 11), 0);
+  d->reset();
+  EXPECT_FALSE(fires_on_stationary(*d, 13, 100));
+  EXPECT_GT(detection_delay(*d, 2.0, 15), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDetectors, DetectorContract,
+                         ::testing::ValuesIn(detector_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(DetectorRegistry, UnknownThrows) {
+  EXPECT_THROW(make_detector("adwin"), std::invalid_argument);
+}
+
+TEST(FixedThreshold, FiresOnASingleOutlier) {
+  // The paper's §V-D criticism: a fixed percentual delta confuses one noisy
+  // run with real drift. Demonstrate the false positive.
+  FixedThresholdDetector d(0.2, 5);
+  for (int i = 0; i < 5; ++i) d.add(100.0);
+  EXPECT_FALSE(d.triggered());
+  d.add(130.0);  // one transient hiccup
+  EXPECT_TRUE(d.triggered());
+}
+
+TEST(Cusum, ToleratesASingleOutlierButCatchesSustainedDrift) {
+  CusumDetector d;
+  for (int i = 0; i < 10; ++i) d.add(100.0 + (i % 2 == 0 ? 2.0 : -2.0));
+  d.add(130.0);  // same transient hiccup
+  EXPECT_FALSE(d.triggered());
+  // but a sustained 15% degradation is caught
+  int fired_at = -1;
+  for (int i = 0; i < 50 && fired_at < 0; ++i) {
+    if (d.add(115.0 + (i % 2 == 0 ? 2.0 : -2.0))) fired_at = i;
+  }
+  EXPECT_GE(fired_at, 0);
+}
+
+TEST(Detectors, ValidateConstructionArguments) {
+  EXPECT_THROW(FixedThresholdDetector(0.0), std::invalid_argument);
+  EXPECT_THROW(FixedThresholdDetector(0.1, 0), std::invalid_argument);
+  EXPECT_THROW(CusumDetector(0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(PageHinkleyDetector(0.05, -1.0), std::invalid_argument);
+}
+
+TEST(RetuningController, SignalsAndCooldown) {
+  RetuningController ctl(std::make_unique<CusumDetector>(),
+                         RetuningController::Options{.cooldown = 3});
+  simcore::Rng rng(1);
+  bool fired = false;
+  for (int i = 0; i < 20 && !fired; ++i) fired = ctl.observe(100.0 + rng.normal(0.0, 1.0));
+  EXPECT_FALSE(fired);
+  for (int i = 0; i < 50 && !fired; ++i) fired = ctl.observe(160.0 + rng.normal(0.0, 1.0));
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(ctl.retunes_signalled(), 1u);
+
+  ctl.notify_retuned();
+  // During cooldown, even awful runtimes don't signal.
+  EXPECT_FALSE(ctl.observe(500.0));
+  EXPECT_FALSE(ctl.observe(500.0));
+  EXPECT_FALSE(ctl.observe(500.0));
+}
+
+TEST(RetuningController, NullDetectorRejected) {
+  EXPECT_THROW(RetuningController(nullptr), std::invalid_argument);
+}
+
+TEST(RetuningController, CountsObservations) {
+  RetuningController ctl(std::make_unique<PageHinkleyDetector>());
+  for (int i = 0; i < 7; ++i) ctl.observe(10.0);
+  EXPECT_EQ(ctl.observations(), 7u);
+}
+
+}  // namespace
+}  // namespace stune::adaptive

@@ -1,0 +1,109 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/additive_gp.hpp"
+#include "simcore/rng.hpp"
+
+namespace stune::model {
+namespace {
+
+/// y depends strongly on x0, weakly on x1, not at all on x2.
+Dataset additive_data(std::size_t n, simcore::Rng& rng) {
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    const double x2 = rng.uniform();
+    d.add({x0, x1, x2}, 5.0 * std::sin(3.0 * x0) + 0.5 * x1);
+  }
+  return d;
+}
+
+TEST(AdditiveGp, FitsAnAdditiveFunction) {
+  simcore::Rng rng(1);
+  const auto d = additive_data(80, rng);
+  AdditiveGaussianProcess gp;
+  gp.fit(d);
+  double err = 0.0;
+  for (int i = 0; i <= 20; ++i) {
+    const double x0 = i / 20.0;
+    const double truth = 5.0 * std::sin(3.0 * x0) + 0.25;
+    err += std::abs(gp.predict({x0, 0.5, 0.5}).mean - truth) / 21.0;
+  }
+  EXPECT_LT(err, 0.5);
+}
+
+TEST(AdditiveGp, RelevanceIdentifiesTheDrivingDimension) {
+  simcore::Rng rng(2);
+  const auto d = additive_data(100, rng);
+  AdditiveGaussianProcess gp;
+  gp.fit(d);
+  const auto rel = gp.relevance();
+  ASSERT_EQ(rel.size(), 3u);
+  EXPECT_GT(rel[0], rel[1]);
+  EXPECT_GT(rel[0], rel[2] + 0.1);
+  EXPECT_GT(rel[0], 0.4);  // the sin(x0) term dominates
+}
+
+TEST(AdditiveGp, RelevanceIsANormalizedDistribution) {
+  simcore::Rng rng(3);
+  const auto d = additive_data(60, rng);
+  AdditiveGaussianProcess gp;
+  gp.fit(d);
+  double total = 0.0;
+  for (const double r : gp.relevance()) {
+    EXPECT_GE(r, 0.0);
+    total += r;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AdditiveGp, GroupsAggregateOneHotFeatures) {
+  // Features 1 and 2 belong to the same group (a one-hot categorical).
+  simcore::Rng rng(4);
+  Dataset d;
+  for (int i = 0; i < 80; ++i) {
+    const double x0 = rng.uniform();
+    const bool cat = rng.bernoulli(0.5);
+    d.add({x0, cat ? 1.0 : 0.0, cat ? 0.0 : 1.0}, cat ? 3.0 : -3.0);
+  }
+  AdditiveGaussianProcess gp;
+  gp.fit(d, {0, 1, 1});
+  const auto rel = gp.relevance();
+  ASSERT_EQ(rel.size(), 2u);
+  EXPECT_GT(rel[1], rel[0]);  // the categorical drives everything
+}
+
+TEST(AdditiveGp, PredictionUncertaintyIsNonNegative) {
+  simcore::Rng rng(5);
+  const auto d = additive_data(50, rng);
+  AdditiveGaussianProcess gp;
+  gp.fit(d);
+  for (int i = 0; i <= 10; ++i) {
+    EXPECT_GE(gp.predict({i / 10.0, 0.2, 0.9}).variance, 0.0);
+  }
+}
+
+TEST(AdditiveGp, MisuseThrows) {
+  AdditiveGaussianProcess gp;
+  EXPECT_THROW(gp.fit(Dataset{}), std::invalid_argument);
+  EXPECT_THROW(gp.predict({0.5}), std::logic_error);
+  EXPECT_THROW(gp.relevance(), std::logic_error);
+  Dataset d;
+  d.add({0.1, 0.2}, 1.0);
+  d.add({0.3, 0.4}, 2.0);
+  EXPECT_THROW(gp.fit(d, {0}), std::invalid_argument);  // owners size mismatch
+}
+
+TEST(AdditiveGp, HandlesConstantTargets) {
+  Dataset d;
+  simcore::Rng rng(6);
+  for (int i = 0; i < 20; ++i) d.add({rng.uniform(), rng.uniform()}, 7.0);
+  AdditiveGaussianProcess gp;
+  gp.fit(d);
+  EXPECT_NEAR(gp.predict({0.5, 0.5}).mean, 7.0, 0.5);
+}
+
+}  // namespace
+}  // namespace stune::model

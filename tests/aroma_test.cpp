@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "config/spark_space.hpp"
+#include "transfer/aroma.hpp"
+
+namespace stune::transfer {
+namespace {
+
+Signature cpu_sig(double tweak = 0.0) {
+  Signature s;
+  s.cpu_fraction = 0.8 + tweak;
+  s.disk_fraction = 0.1;
+  s.shuffle_per_input = 0.05;
+  return s;
+}
+
+Signature shuffle_sig(double tweak = 0.0) {
+  Signature s;
+  s.cpu_fraction = 0.2;
+  s.net_fraction = 0.5 + tweak;
+  s.shuffle_per_input = 1.2;
+  return s;
+}
+
+DonorObservation donor(const Signature& sig, double runtime, double memory) {
+  DonorObservation d;
+  auto c = config::spark_space()->default_config();
+  c.set(config::spark::kExecutorMemoryGiB, memory);
+  d.observation.config = c;
+  d.observation.runtime = runtime;
+  d.observation.objective = runtime;
+  d.signature = sig;
+  return d;
+}
+
+std::vector<DonorObservation> two_family_history() {
+  std::vector<DonorObservation> h;
+  for (int i = 0; i < 10; ++i) {
+    h.push_back(donor(cpu_sig(0.01 * i), 100.0 + i, 2.0 + i));      // cpu family
+    h.push_back(donor(shuffle_sig(0.01 * i), 50.0 + i, 20.0 + i));  // shuffle family
+  }
+  return h;
+}
+
+TEST(Aroma, SeparatesResourceFamilies) {
+  AromaAdvisor advisor(AromaAdvisor::Options{.clusters = 2, .suggestions = 3, .seed = 1});
+  advisor.fit(two_family_history());
+  EXPECT_EQ(advisor.cluster_count(), 2u);
+  EXPECT_NE(advisor.assign(cpu_sig()), advisor.assign(shuffle_sig()));
+}
+
+TEST(Aroma, SuggestsTheClustersBestConfigs) {
+  AromaAdvisor advisor(AromaAdvisor::Options{.clusters = 2, .suggestions = 3, .seed = 1});
+  advisor.fit(two_family_history());
+  const auto suggestions = advisor.suggest(shuffle_sig(0.005));
+  ASSERT_EQ(suggestions.size(), 3u);
+  // Shuffle-family donors have runtimes 50..59; best three come first.
+  EXPECT_DOUBLE_EQ(suggestions[0].runtime, 50.0);
+  EXPECT_LE(suggestions[0].runtime, suggestions[1].runtime);
+  EXPECT_LE(suggestions[1].runtime, suggestions[2].runtime);
+  // And their configurations belong to that family (large memory in our
+  // synthetic setup).
+  EXPECT_GE(suggestions[0].config.get(config::spark::kExecutorMemoryGiB), 19.0);
+}
+
+TEST(Aroma, IgnoresFailedExecutions) {
+  auto history = two_family_history();
+  auto failed = donor(shuffle_sig(), 1.0, 48.0);  // suspiciously fast... and failed
+  failed.observation.failed = true;
+  history.push_back(failed);
+  AromaAdvisor advisor(AromaAdvisor::Options{.clusters = 2, .suggestions = 2, .seed = 1});
+  advisor.fit(history);
+  EXPECT_DOUBLE_EQ(advisor.suggest(shuffle_sig())[0].runtime, 50.0);
+}
+
+TEST(Aroma, DeduplicatesConfigs) {
+  std::vector<DonorObservation> history;
+  for (int i = 0; i < 6; ++i) history.push_back(donor(cpu_sig(), 10.0 + i, 4.0));  // same config
+  AromaAdvisor advisor(AromaAdvisor::Options{.clusters = 1, .suggestions = 5, .seed = 1});
+  advisor.fit(history);
+  EXPECT_EQ(advisor.suggest(cpu_sig()).size(), 1u);
+}
+
+TEST(Aroma, ClampsClusterCountToHistory) {
+  std::vector<DonorObservation> history = {donor(cpu_sig(), 10.0, 4.0),
+                                           donor(shuffle_sig(), 20.0, 8.0)};
+  AromaAdvisor advisor(AromaAdvisor::Options{.clusters = 8, .suggestions = 2, .seed = 1});
+  advisor.fit(history);
+  EXPECT_LE(advisor.cluster_count(), 2u);
+}
+
+TEST(Aroma, MisuseThrows) {
+  AromaAdvisor advisor;
+  EXPECT_THROW(advisor.fit({}), std::invalid_argument);
+  EXPECT_THROW(advisor.assign(cpu_sig()), std::logic_error);
+}
+
+TEST(Aroma, DeterministicGivenSeed) {
+  AromaAdvisor a(AromaAdvisor::Options{.clusters = 2, .suggestions = 3, .seed = 9});
+  AromaAdvisor b(AromaAdvisor::Options{.clusters = 2, .suggestions = 3, .seed = 9});
+  a.fit(two_family_history());
+  b.fit(two_family_history());
+  EXPECT_EQ(a.assign(cpu_sig()), b.assign(cpu_sig()));
+  EXPECT_EQ(a.suggest(cpu_sig()).size(), b.suggest(cpu_sig()).size());
+}
+
+}  // namespace
+}  // namespace stune::transfer

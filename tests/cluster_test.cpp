@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/contention.hpp"
+#include "cluster/instance_type.hpp"
+#include "simcore/stats.hpp"
+
+namespace stune::cluster {
+namespace {
+
+// Every catalog entry must be internally consistent.
+class CatalogInvariants : public ::testing::TestWithParam<InstanceType> {};
+
+TEST_P(CatalogInvariants, ResourcesArePositiveAndSane) {
+  const auto& t = GetParam();
+  EXPECT_FALSE(t.name.empty());
+  EXPECT_FALSE(t.family.empty());
+  EXPECT_GT(t.vcpus, 0);
+  EXPECT_GT(t.memory_gib, 0.0);
+  EXPECT_GT(t.core_speed, 0.5);
+  EXPECT_LT(t.core_speed, 2.0);
+  EXPECT_GT(t.disk_bw, 0.0);
+  EXPECT_GT(t.net_bw, 0.0);
+  EXPECT_GT(t.price_per_hour, 0.0);
+  EXPECT_LT(t.usable_memory_bytes(), t.memory_bytes());
+  EXPECT_GT(t.usable_memory_bytes(), t.memory_bytes() / 2);
+}
+
+TEST_P(CatalogInvariants, NameBeginsWithFamily) {
+  const auto& t = GetParam();
+  EXPECT_EQ(t.name.rfind(t.family + ".", 0), 0u) << t.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, CatalogInvariants,
+                         ::testing::ValuesIn(instance_catalog()),
+                         [](const ::testing::TestParamInfo<InstanceType>& info) {
+                           std::string n = info.param.name;
+                           for (auto& c : n) {
+                             if (c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Catalog, ContainsThePapersTestbedInstance) {
+  const auto& h1 = find_instance("h1.4xlarge");
+  EXPECT_EQ(h1.vcpus, 16);
+  EXPECT_DOUBLE_EQ(h1.memory_gib, 64.0);
+  EXPECT_EQ(h1.storage, StorageKind::kHdd);
+}
+
+TEST(Catalog, WithinFamilyPriceScalesWithSize) {
+  for (const auto& family : catalog_families()) {
+    const auto types = family_types(family);
+    for (std::size_t i = 1; i < types.size(); ++i) {
+      EXPECT_GT(types[i]->price_per_hour, types[i - 1]->price_per_hour) << family;
+      EXPECT_GT(types[i]->vcpus, types[i - 1]->vcpus) << family;
+    }
+  }
+}
+
+TEST(Catalog, UnknownInstanceThrows) {
+  EXPECT_THROW(find_instance("z9.mega"), std::invalid_argument);
+}
+
+TEST(Catalog, FamiliesAreDistinctAndNonEmpty) {
+  const auto fams = catalog_families();
+  EXPECT_GE(fams.size(), 5u);
+  for (const auto& f : fams) EXPECT_FALSE(family_types(f).empty());
+}
+
+TEST(Cluster, TotalsScaleWithVmCount) {
+  const Cluster c4 = Cluster::from_spec({"m5.2xlarge", 4});
+  const Cluster c8 = Cluster::from_spec({"m5.2xlarge", 8});
+  EXPECT_EQ(c4.total_vcpus() * 2, c8.total_vcpus());
+  EXPECT_EQ(c4.total_memory() * 2, c8.total_memory());
+  EXPECT_DOUBLE_EQ(c4.cost_per_hour() * 2, c8.cost_per_hour());
+}
+
+TEST(Cluster, CostOfRuntime) {
+  const Cluster c = Cluster::from_spec({"m5.large", 10});  // $0.96/h
+  EXPECT_NEAR(c.cost_of(3600.0), 0.96, 1e-9);
+  EXPECT_NEAR(c.cost_of(1800.0), 0.48, 1e-9);
+}
+
+TEST(Cluster, RejectsNonPositiveCount) {
+  EXPECT_THROW(Cluster::from_spec({"m5.large", 0}), std::invalid_argument);
+}
+
+TEST(ClusterSpec, ToString) {
+  EXPECT_EQ((ClusterSpec{"h1.4xlarge", 4}).to_string(), "4x h1.4xlarge");
+}
+
+TEST(Contention, NoLoadMeansNoSlowdown) {
+  ContentionProcess p(ContentionParams::none(), simcore::Rng(1));
+  for (int i = 0; i < 50; ++i) {
+    const auto s = p.next();
+    EXPECT_DOUBLE_EQ(s.cpu_factor, 1.0);
+    EXPECT_DOUBLE_EQ(s.disk_factor, 1.0);
+    EXPECT_DOUBLE_EQ(s.net_factor, 1.0);
+  }
+}
+
+TEST(Contention, FactorsBoundedAndOrdered) {
+  ContentionProcess p(ContentionParams::heavy(), simcore::Rng(2));
+  for (int i = 0; i < 200; ++i) {
+    const auto s = p.next();
+    EXPECT_GT(s.cpu_factor, 0.0);
+    EXPECT_LE(s.cpu_factor, 1.0);
+    // Network suffers most from co-location, CPU least.
+    EXPECT_LE(s.net_factor, s.disk_factor + 1e-12);
+    EXPECT_LE(s.disk_factor, s.cpu_factor + 1e-12);
+  }
+}
+
+TEST(Contention, LoadRevertsToMean) {
+  ContentionParams params = ContentionParams::moderate();
+  ContentionProcess p(params, simcore::Rng(3));
+  simcore::RunningStats loads;
+  for (int i = 0; i < 5000; ++i) {
+    p.next();
+    loads.add(p.current_load());
+  }
+  EXPECT_NEAR(loads.mean(), params.mean_load, 0.05);
+}
+
+TEST(Contention, HigherLoadSlowsMore) {
+  ContentionProcess light(ContentionParams::light(), simcore::Rng(4));
+  ContentionProcess heavy(ContentionParams::heavy(), simcore::Rng(4));
+  simcore::RunningStats lf, hf;
+  for (int i = 0; i < 500; ++i) {
+    lf.add(light.next().net_factor);
+    hf.add(heavy.next().net_factor);
+  }
+  EXPECT_GT(lf.mean(), hf.mean());
+}
+
+}  // namespace
+}  // namespace stune::cluster

@@ -1,0 +1,250 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "config/config_space.hpp"
+#include "config/param.hpp"
+
+namespace stune::config {
+namespace {
+
+std::shared_ptr<const ConfigSpace> test_space() {
+  std::vector<ParamDef> params;
+  params.push_back(ParamDef::integer("cores", 1, 16, 2));
+  params.push_back(ParamDef::real("memory", 1.0, 64.0, 4.0, /*log_scale=*/true, "GiB"));
+  params.push_back(ParamDef::boolean("compress", true));
+  params.push_back(ParamDef::categorical("codec", {"lz4", "snappy", "zstd"}, 0));
+  params.push_back(ParamDef::real("fraction", 0.0, 1.0, 0.5));
+  return ConfigSpace::create(std::move(params));
+}
+
+// -- ParamDef -------------------------------------------------------------------
+
+TEST(ParamDef, SanitizeClampsAndRounds) {
+  const auto p = ParamDef::integer("x", 2, 10, 5);
+  EXPECT_DOUBLE_EQ(p.sanitize(-3.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.sanitize(99.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.sanitize(6.4), 6.0);
+  EXPECT_DOUBLE_EQ(p.sanitize(6.6), 7.0);
+}
+
+TEST(ParamDef, FloatSanitizeDoesNotRound) {
+  const auto p = ParamDef::real("x", 0.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(p.sanitize(0.123), 0.123);
+}
+
+TEST(ParamDef, Cardinality) {
+  EXPECT_EQ(ParamDef::boolean("b", false).cardinality(), 2u);
+  EXPECT_EQ(ParamDef::categorical("c", {"a", "b", "c"}, 0).cardinality(), 3u);
+  EXPECT_EQ(ParamDef::integer("i", 3, 7, 3).cardinality(), 5u);
+  EXPECT_EQ(ParamDef::real("f", 0, 1, 0).cardinality(), 0u);
+}
+
+TEST(ParamDef, RejectsBadRanges) {
+  EXPECT_THROW(ParamDef::integer("x", 10, 2, 5), std::invalid_argument);
+  EXPECT_THROW(ParamDef::real("x", 1.0, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(ParamDef::categorical("x", {}, 0), std::invalid_argument);
+  EXPECT_THROW(ParamDef::categorical("x", {"a"}, 5), std::invalid_argument);
+}
+
+class UnitRoundTrip : public ::testing::TestWithParam<ParamDef> {};
+
+TEST_P(UnitRoundTrip, ToUnitFromUnitIsIdentityOnGrid) {
+  const auto& p = GetParam();
+  for (int i = 0; i <= 10; ++i) {
+    const double u = i / 10.0;
+    const double v = p.from_unit(u);
+    // from_unit(to_unit(v)) must be a fixed point.
+    EXPECT_DOUBLE_EQ(p.from_unit(p.to_unit(v)), v);
+    EXPECT_GE(v, p.min_value);
+    EXPECT_LE(v, p.max_value);
+  }
+}
+
+TEST_P(UnitRoundTrip, ToUnitIsMonotone) {
+  const auto& p = GetParam();
+  double prev = -1.0;
+  for (int i = 0; i <= 20; ++i) {
+    const double u = p.to_unit(p.from_unit(i / 20.0));
+    EXPECT_GE(u, prev - 1e-12);
+    prev = u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, UnitRoundTrip,
+    ::testing::Values(ParamDef::integer("lin_int", 1, 100, 10),
+                      ParamDef::integer("log_int", 8, 2048, 64, true),
+                      ParamDef::real("lin_float", 0.1, 0.9, 0.5),
+                      ParamDef::real("log_float", 1.0, 48.0, 2.0, true),
+                      ParamDef::boolean("flag", false),
+                      ParamDef::categorical("cat", {"a", "b", "c", "d"}, 1)),
+    [](const ::testing::TestParamInfo<ParamDef>& info) { return info.param.name; });
+
+TEST(ParamDef, FormatValue) {
+  EXPECT_EQ(ParamDef::boolean("b", true).format_value(1.0), "true");
+  EXPECT_EQ(ParamDef::categorical("c", {"lz4", "zstd"}, 0).format_value(1.0), "zstd");
+  EXPECT_EQ(ParamDef::integer("i", 0, 100, 0).format_value(42.0), "42");
+  EXPECT_EQ(ParamDef::real("f", 0, 100, 0, false, "GiB").format_value(2.0), "2 GiB");
+}
+
+// -- ConfigSpace -----------------------------------------------------------------
+
+TEST(ConfigSpace, RejectsDuplicateNames) {
+  std::vector<ParamDef> params;
+  params.push_back(ParamDef::boolean("x", false));
+  params.push_back(ParamDef::boolean("x", true));
+  EXPECT_THROW(ConfigSpace::create(std::move(params)), std::invalid_argument);
+}
+
+TEST(ConfigSpace, DefaultConfigUsesDefaults) {
+  const auto space = test_space();
+  const auto c = space->default_config();
+  EXPECT_EQ(c.get_int("cores"), 2);
+  EXPECT_DOUBLE_EQ(c.get("memory"), 4.0);
+  EXPECT_TRUE(c.get_bool("compress"));
+  EXPECT_EQ(c.get_label("codec"), "lz4");
+}
+
+TEST(ConfigSpace, SampleStaysInDomain) {
+  const auto space = test_space();
+  simcore::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const auto c = space->sample(rng);
+    EXPECT_GE(c.get("cores"), 1);
+    EXPECT_LE(c.get("cores"), 16);
+    EXPECT_GE(c.get("memory"), 1.0);
+    EXPECT_LE(c.get("memory"), 64.0);
+    const double codec = c.get("codec");
+    EXPECT_DOUBLE_EQ(codec, std::round(codec));
+  }
+}
+
+TEST(ConfigSpace, LatinHypercubeStratifiesContinuousDims) {
+  const auto space = test_space();
+  simcore::Rng rng(2);
+  const std::size_t n = 10;
+  const auto samples = space->latin_hypercube(n, rng);
+  ASSERT_EQ(samples.size(), n);
+  // The "fraction" dimension (linear [0,1]) must have one sample per decile.
+  std::set<int> strata;
+  for (const auto& s : samples) {
+    strata.insert(std::min(9, static_cast<int>(s.get("fraction") * 10.0)));
+  }
+  EXPECT_EQ(strata.size(), n);
+}
+
+TEST(ConfigSpace, DivideAndDivergeSamplesDifferInEveryContinuousDim) {
+  const auto space = test_space();
+  simcore::Rng rng(3);
+  const auto samples = space->divide_and_diverge(8, rng);
+  ASSERT_EQ(samples.size(), 8u);
+  const std::size_t frac = space->require_index("fraction");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    for (std::size_t j = i + 1; j < samples.size(); ++j) {
+      EXPECT_NE(samples[i][frac], samples[j][frac]);
+    }
+  }
+}
+
+TEST(ConfigSpace, EncodeOneHotExpandsCategoricals) {
+  const auto space = test_space();
+  // 4 scalar params + 3 codec categories.
+  EXPECT_EQ(space->encoded_size(), 4u + 3u);
+  auto c = space->default_config();
+  c.set("codec", 2.0);  // zstd
+  const auto f = space->encode(c);
+  ASSERT_EQ(f.size(), 7u);
+  EXPECT_DOUBLE_EQ(f[3], 0.0);  // lz4
+  EXPECT_DOUBLE_EQ(f[4], 0.0);  // snappy
+  EXPECT_DOUBLE_EQ(f[5], 1.0);  // zstd
+  for (const double v : f) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(ConfigSpace, UnitRoundTripThroughSpace) {
+  const auto space = test_space();
+  simcore::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const auto c = space->sample(rng);
+    const auto c2 = space->from_unit(space->to_unit(c));
+    EXPECT_EQ(c.values(), c2.values());
+  }
+}
+
+TEST(ConfigSpace, NeighborChangesRequestedNumberOfParams) {
+  const auto space = test_space();
+  simcore::Rng rng(5);
+  const auto base = space->default_config();
+  for (int i = 0; i < 100; ++i) {
+    const auto n = space->neighbor(base, 0.2, 1, rng);
+    int changed = 0;
+    for (std::size_t d = 0; d < space->size(); ++d) changed += (n[d] != base[d]) ? 1 : 0;
+    EXPECT_GE(changed, 1);
+    EXPECT_LE(changed, 1);
+  }
+}
+
+TEST(ConfigSpace, NeighborStaysInDomain) {
+  const auto space = test_space();
+  simcore::Rng rng(6);
+  auto c = space->default_config();
+  for (int i = 0; i < 500; ++i) {
+    c = space->neighbor(c, 0.3, 2, rng);
+    for (std::size_t d = 0; d < space->size(); ++d) {
+      EXPECT_GE(c[d], space->param(d).min_value);
+      EXPECT_LE(c[d], space->param(d).max_value);
+    }
+  }
+}
+
+// -- Configuration -----------------------------------------------------------------
+
+TEST(Configuration, SetSanitizes) {
+  const auto space = test_space();
+  auto c = space->default_config();
+  c.set("cores", 99.0);
+  EXPECT_EQ(c.get_int("cores"), 16);
+  c.set("fraction", -1.0);
+  EXPECT_DOUBLE_EQ(c.get("fraction"), 0.0);
+}
+
+TEST(Configuration, UnknownNameThrows) {
+  const auto space = test_space();
+  auto c = space->default_config();
+  EXPECT_THROW(c.get("nope"), std::out_of_range);
+  EXPECT_THROW(c.set("nope", 1.0), std::out_of_range);
+}
+
+TEST(Configuration, FingerprintStableAndSensitive) {
+  const auto space = test_space();
+  const auto a = space->default_config();
+  auto b = space->default_config();
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.set("cores", 3.0);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Configuration, DescribeMentionsEveryParam) {
+  const auto space = test_space();
+  const auto text = space->default_config().describe();
+  for (std::size_t d = 0; d < space->size(); ++d) {
+    EXPECT_NE(text.find(space->param(d).name), std::string::npos);
+  }
+}
+
+TEST(Configuration, EqualityRequiresSameSpaceAndValues) {
+  const auto space = test_space();
+  const auto a = space->default_config();
+  auto b = space->default_config();
+  EXPECT_TRUE(a == b);
+  b.set("compress", 0.0);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace stune::config

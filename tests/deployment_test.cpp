@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "config/spark_space.hpp"
+#include "disc/deployment.hpp"
+
+namespace stune::disc {
+namespace {
+
+namespace k = config::spark;
+
+config::SparkConf conf_with(std::initializer_list<std::pair<const char*, double>> overrides) {
+  auto c = config::spark_space()->default_config();
+  for (const auto& [name, value] : overrides) c.set(name, value);
+  return config::SparkConf(c);
+}
+
+const cluster::Cluster& testbed() {
+  // The paper's Table I cluster: 4x h1.4xlarge (16 vcpus, 64 GiB each).
+  static const cluster::Cluster c = cluster::Cluster::from_spec({"h1.4xlarge", 4});
+  return c;
+}
+
+TEST(Deployment, PacksByCoresWhenMemoryIsPlentiful) {
+  // 4 cores each, small heap: 16/4 = 4 executors per VM.
+  const auto d = resolve_deployment(
+      conf_with({{k::kExecutorCores, 4}, {k::kExecutorMemoryGiB, 4.0},
+                 {k::kExecutorInstances, 48}}),
+      testbed());
+  ASSERT_TRUE(d.viable);
+  EXPECT_EQ(d.executors_per_vm, 4);
+  EXPECT_EQ(d.executors, 16);
+  EXPECT_EQ(d.total_slots, 64);
+}
+
+TEST(Deployment, PacksByMemoryWhenHeapIsLarge) {
+  // 26 GiB heap * 1.1 overhead = 28.6 GiB container; ~61 GiB usable -> 2/VM.
+  const auto d = resolve_deployment(
+      conf_with({{k::kExecutorCores, 2}, {k::kExecutorMemoryGiB, 26.0},
+                 {k::kExecutorInstances, 48}}),
+      testbed());
+  ASSERT_TRUE(d.viable);
+  EXPECT_EQ(d.executors_per_vm, 2);
+  EXPECT_EQ(d.executors, 8);
+}
+
+TEST(Deployment, RequestBelowCapacityIsHonored) {
+  const auto d = resolve_deployment(
+      conf_with({{k::kExecutorCores, 2}, {k::kExecutorMemoryGiB, 2.0},
+                 {k::kExecutorInstances, 3}}),
+      testbed());
+  ASSERT_TRUE(d.viable);
+  EXPECT_EQ(d.executors, 3);
+  // 3 executors spread over 4 VMs: at most 1 per VM.
+  EXPECT_EQ(d.executors_per_vm, 1);
+}
+
+TEST(Deployment, DynamicAllocationFillsCapacity) {
+  const auto d = resolve_deployment(
+      conf_with({{k::kExecutorCores, 4}, {k::kExecutorMemoryGiB, 4.0},
+                 {k::kExecutorInstances, 1}, {k::kDynamicAllocation, 1.0}}),
+      testbed());
+  ASSERT_TRUE(d.viable);
+  EXPECT_EQ(d.executors, 16);
+}
+
+TEST(Deployment, TaskCpusDividesSlots) {
+  const auto d = resolve_deployment(
+      conf_with({{k::kExecutorCores, 8}, {k::kTaskCpus, 2},
+                 {k::kExecutorMemoryGiB, 4.0}, {k::kExecutorInstances, 48}}),
+      testbed());
+  ASSERT_TRUE(d.viable);
+  EXPECT_EQ(d.slots_per_executor, 4);
+}
+
+TEST(Deployment, MemoryRegionsFollowSparkModel) {
+  const auto d = resolve_deployment(
+      conf_with({{k::kExecutorMemoryGiB, 8.0}, {k::kMemoryFraction, 0.6},
+                 {k::kMemoryStorageFraction, 0.5}}),
+      testbed());
+  ASSERT_TRUE(d.viable);
+  const double heap = 8.0 * 1024 * 1024 * 1024;
+  const double reserved = 300.0 * 1024 * 1024;
+  EXPECT_NEAR(static_cast<double>(d.unified_per_executor), (heap - reserved) * 0.6, 1e6);
+  EXPECT_NEAR(static_cast<double>(d.storage_target_per_executor), (heap - reserved) * 0.3, 1e6);
+}
+
+TEST(Deployment, FailsWhenCoresExceedVm) {
+  const auto small = cluster::Cluster::from_spec({"m5.large", 2});  // 2 vcpus
+  const auto d = resolve_deployment(conf_with({{k::kExecutorCores, 8}}), small);
+  EXPECT_FALSE(d.viable);
+  EXPECT_NE(d.failure.find("vCPU"), std::string::npos);
+}
+
+TEST(Deployment, FailsWhenContainerExceedsVmMemory) {
+  const auto small = cluster::Cluster::from_spec({"c5.large", 2});  // 4 GiB
+  const auto d = resolve_deployment(conf_with({{k::kExecutorMemoryGiB, 16.0}}), small);
+  EXPECT_FALSE(d.viable);
+  EXPECT_NE(d.failure.find("memory"), std::string::npos);
+}
+
+TEST(Deployment, FailsWhenTaskCpusExceedExecutorCores) {
+  const auto d = resolve_deployment(
+      conf_with({{k::kExecutorCores, 2}, {k::kTaskCpus, 4}}), testbed());
+  EXPECT_FALSE(d.viable);
+}
+
+TEST(Deployment, OverheadFactorReducesPacking) {
+  const auto lean = resolve_deployment(
+      conf_with({{k::kExecutorCores, 1}, {k::kExecutorMemoryGiB, 7.0},
+                 {k::kExecutorInstances, 48}, {k::kMemoryOverheadFactor, 0.06}}),
+      testbed());
+  const auto fat = resolve_deployment(
+      conf_with({{k::kExecutorCores, 1}, {k::kExecutorMemoryGiB, 7.0},
+                 {k::kExecutorInstances, 48}, {k::kMemoryOverheadFactor, 0.25}}),
+      testbed());
+  ASSERT_TRUE(lean.viable);
+  ASSERT_TRUE(fat.viable);
+  EXPECT_GE(lean.executors_per_vm, fat.executors_per_vm);
+}
+
+TEST(Deployment, DefaultSparkConfigIsViableButTiny) {
+  // The out-of-the-box configuration deploys (2 executors, 1 core, 1 GiB) —
+  // the paper's motivating misconfiguration scenario.
+  const auto d = resolve_deployment(config::SparkConf(config::spark_space()->default_config()),
+                                    testbed());
+  ASSERT_TRUE(d.viable);
+  EXPECT_EQ(d.executors, 2);
+  EXPECT_EQ(d.total_slots, 2);
+}
+
+}  // namespace
+}  // namespace stune::disc

@@ -1,0 +1,162 @@
+// Engine invariants swept across the entire workload suite (parameterized
+// property tests), including fault injection.
+#include <gtest/gtest.h>
+
+#include "disc/eventlog.hpp"
+#include "workload/execute.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::disc {
+namespace {
+
+namespace k = config::spark;
+using simcore::gib;
+
+const cluster::Cluster& testbed() {
+  static const cluster::Cluster c = cluster::Cluster::from_spec({"h1.4xlarge", 4});
+  return c;
+}
+
+config::Configuration good_config() {
+  auto c = config::spark_space()->default_config();
+  c.set(k::kExecutorInstances, 16);
+  c.set(k::kExecutorCores, 4);
+  c.set(k::kExecutorMemoryGiB, 13.0);
+  c.set(k::kDefaultParallelism, 256);
+  c.set(k::kSqlShufflePartitions, 256);
+  c.set(k::kSerializer, 1.0);
+  c.set(k::kDriverMemoryGiB, 8.0);
+  return c;
+}
+
+class EngineProperties : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EngineProperties, DeterministicAcrossRepeatedRuns) {
+  const auto w = workload::make_workload(GetParam());
+  const SparkSimulator sim(testbed());
+  const auto a = workload::execute(*w, gib(8), sim, good_config());
+  const auto b = workload::execute(*w, gib(8), sim, good_config());
+  EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.total_spilled, b.total_spilled);
+}
+
+TEST_P(EngineProperties, AggregatesEqualStageSums) {
+  const auto w = workload::make_workload(GetParam());
+  const SparkSimulator sim(testbed());
+  const auto r = workload::execute(*w, gib(8), sim, good_config());
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  Seconds cpu = 0.0, gc = 0.0, disk = 0.0, net = 0.0;
+  simcore::Bytes sread = 0, swrite = 0, spilled = 0;
+  for (const auto& s : r.stages) {
+    cpu += s.cpu_seconds;
+    gc += s.gc_seconds;
+    disk += s.disk_seconds;
+    net += s.net_seconds;
+    sread += s.shuffle_read_bytes;
+    swrite += s.shuffle_write_bytes;
+    spilled += s.spilled_bytes;
+  }
+  EXPECT_DOUBLE_EQ(cpu, r.total_cpu);
+  EXPECT_DOUBLE_EQ(gc, r.total_gc);
+  EXPECT_DOUBLE_EQ(disk, r.total_disk);
+  EXPECT_DOUBLE_EQ(net, r.total_net);
+  EXPECT_EQ(sread, r.total_shuffle_read);
+  EXPECT_EQ(swrite, r.total_shuffle_write);
+  EXPECT_EQ(spilled, r.total_spilled);
+}
+
+TEST_P(EngineProperties, CostEqualsClusterPriceTimesRuntime) {
+  const auto w = workload::make_workload(GetParam());
+  const SparkSimulator sim(testbed());
+  const auto r = workload::execute(*w, gib(8), sim, good_config());
+  EXPECT_NEAR(r.cost, testbed().cost_of(r.runtime), 1e-9);
+}
+
+TEST_P(EngineProperties, RuntimeIsMonotoneInInputSize) {
+  // Averaged over seeds: a single straggler draw can dominate the makespan
+  // of a small job (one wave), so the monotonicity margin is checked on
+  // expected runtimes.
+  const auto w = workload::make_workload(GetParam());
+  auto mean_runtime = [&](simcore::Bytes size) {
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      EngineOptions opts;
+      opts.seed = seed;
+      const SparkSimulator sim(testbed(), opts);
+      const auto r = workload::execute(*w, size, sim, good_config());
+      EXPECT_TRUE(r.success) << r.failure_reason;
+      total += r.runtime;
+    }
+    return total / 3.0;
+  };
+  EXPECT_GT(mean_runtime(gib(32)), mean_runtime(gib(8)) * 1.3);
+}
+
+TEST_P(EngineProperties, StageStartsNeverPrecedeParents) {
+  const auto w = workload::make_workload(GetParam());
+  const SparkSimulator sim(testbed());
+  const auto r = workload::execute(*w, gib(8), sim, good_config());
+  const auto plan = w->plan(gib(8));
+  ASSERT_EQ(plan.stages.size(), r.stages.size());
+  for (std::size_t i = 0; i < r.stages.size(); ++i) {
+    for (const int parent : plan.stages[i].parent_stages) {
+      const auto& p = r.stages[static_cast<std::size_t>(parent)];
+      EXPECT_GE(r.stages[i].start + 1e-9, p.start + p.duration) << r.stages[i].label;
+    }
+  }
+}
+
+TEST_P(EngineProperties, ExecutorFailuresSlowButDoNotCrashTheJob) {
+  const auto w = workload::make_workload(GetParam());
+  EngineOptions stormy;
+  stormy.cost.executor_failure_rate = 0.05;
+  const SparkSimulator calm_sim(testbed());
+  const SparkSimulator stormy_sim(testbed(), stormy);
+  const auto calm = workload::execute(*w, gib(8), calm_sim, good_config());
+  const auto rough = workload::execute(*w, gib(8), stormy_sim, good_config());
+  ASSERT_TRUE(calm.success);
+  ASSERT_TRUE(rough.success);  // lineage makes failures transparent...
+  EXPECT_GE(rough.runtime, calm.runtime);
+  // ...but not free: whenever an executor actually died, time was lost.
+  int rerun_tasks = 0;
+  for (const auto& s : rough.stages) rerun_tasks += s.failed_tasks;
+  if (rerun_tasks > 0) {
+    EXPECT_GT(rough.runtime, calm.runtime);
+  }
+}
+
+TEST_P(EngineProperties, EventLogRoundTripsEveryWorkloadShape) {
+  const auto w = workload::make_workload(GetParam());
+  const SparkSimulator sim(testbed());
+  const auto r = workload::execute(*w, gib(8), sim, good_config());
+  const auto parsed = from_event_log(to_event_log(r));
+  EXPECT_EQ(parsed.stages.size(), r.stages.size());
+  EXPECT_NEAR(parsed.runtime, r.runtime, 1e-6);
+  EXPECT_EQ(parsed.success, r.success);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, EngineProperties,
+                         ::testing::ValuesIn(workload::workload_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(ExecutorFailures, HitCachedWorkloadsHarderThanStatelessOnes) {
+  // Dying executors take cached partitions with them: the iterative,
+  // cache-dependent workload should degrade proportionally more than the
+  // stateless scan.
+  EngineOptions stormy;
+  stormy.cost.executor_failure_rate = 0.08;
+  const SparkSimulator calm(testbed());
+  const SparkSimulator rough(testbed(), stormy);
+  auto slowdown = [&](const std::string& name) {
+    const auto w = workload::make_workload(name);
+    const auto a = workload::execute(*w, gib(8), calm, good_config());
+    const auto b = workload::execute(*w, gib(8), rough, good_config());
+    return b.runtime / a.runtime;
+  };
+  EXPECT_GT(slowdown("pagerank"), slowdown("scan"));
+}
+
+}  // namespace
+}  // namespace stune::disc

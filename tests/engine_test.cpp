@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "config/spark_space.hpp"
+#include "disc/engine.hpp"
+#include "workload/execute.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::disc {
+namespace {
+
+namespace k = config::spark;
+using simcore::gib;
+
+const cluster::Cluster& testbed() {
+  static const cluster::Cluster c = cluster::Cluster::from_spec({"h1.4xlarge", 4});
+  return c;
+}
+
+/// A reasonable configuration that uses the testbed well.
+config::Configuration tuned_config() {
+  auto c = config::spark_space()->default_config();
+  c.set(k::kExecutorInstances, 16);
+  c.set(k::kExecutorCores, 4);
+  c.set(k::kExecutorMemoryGiB, 13.0);
+  c.set(k::kDefaultParallelism, 256);
+  c.set(k::kSerializer, 1.0);  // kryo
+  c.set(k::kDriverMemoryGiB, 4.0);
+  return c;
+}
+
+ExecutionReport run(const std::string& workload, simcore::Bytes input,
+                    const config::Configuration& conf,
+                    EngineOptions opts = {}) {
+  const SparkSimulator sim(testbed(), opts);
+  return workload::execute(*workload::make_workload(workload), input, sim, conf);
+}
+
+TEST(Engine, DeterministicForSameInputs) {
+  const auto a = run("pagerank", gib(4), tuned_config());
+  const auto b = run("pagerank", gib(4), tuned_config());
+  EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.total_shuffle_read, b.total_shuffle_read);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.stages[i].duration, b.stages[i].duration);
+  }
+}
+
+TEST(Engine, DifferentSeedsVaryMildly) {
+  EngineOptions o1, o2;
+  o1.seed = 1;
+  o2.seed = 2;
+  const auto a = run("sort", gib(8), tuned_config(), o1);
+  const auto b = run("sort", gib(8), tuned_config(), o2);
+  EXPECT_NE(a.runtime, b.runtime);
+  EXPECT_NEAR(a.runtime / b.runtime, 1.0, 0.3);
+}
+
+TEST(Engine, RuntimeGrowsWithInputSize) {
+  // 8 GiB fills the 64 slots exactly once; 64 GiB needs 8 waves. Growth is
+  // sublinear (the tail of the single wave is straggler-bound) but must be
+  // clearly super-3x for an 8x input.
+  const auto small = run("wordcount", gib(8), tuned_config());
+  const auto big = run("wordcount", gib(64), tuned_config());
+  ASSERT_TRUE(small.success);
+  ASSERT_TRUE(big.success);
+  EXPECT_GT(big.runtime, small.runtime * 3.0);
+  EXPECT_LT(big.runtime, small.runtime * 10.0);
+}
+
+TEST(Engine, MoreSlotsHelpLargeScans) {
+  auto two_slots = tuned_config();
+  two_slots.set(k::kExecutorInstances, 2);
+  two_slots.set(k::kExecutorCores, 1);
+  const auto narrow = run("wordcount", gib(16), two_slots);
+  const auto wide = run("wordcount", gib(16), tuned_config());
+  ASSERT_TRUE(narrow.success);
+  ASSERT_TRUE(wide.success);
+  EXPECT_GT(narrow.runtime, wide.runtime * 4.0);
+}
+
+TEST(Engine, DefaultConfigIsFarFromTuned) {
+  // The paper's §III-B claim territory: untouched defaults can be order(s)
+  // of magnitude slower.
+  const auto def = run("pagerank", gib(16), config::spark_space()->default_config());
+  const auto tuned = run("pagerank", gib(16), tuned_config());
+  ASSERT_TRUE(tuned.success);
+  EXPECT_GT(def.runtime, tuned.runtime * 5.0);
+}
+
+TEST(Engine, ContentionSlowsExecution) {
+  EngineOptions quiet, noisy;
+  noisy.contention = cluster::ContentionParams::heavy();
+  const auto a = run("sort", gib(8), tuned_config(), quiet);
+  const auto b = run("sort", gib(8), tuned_config(), noisy);
+  ASSERT_TRUE(a.success);
+  ASSERT_TRUE(b.success);
+  EXPECT_GT(b.runtime, a.runtime * 1.15);
+}
+
+TEST(Engine, SmallExecutorMemorySpills) {
+  auto starved = tuned_config();
+  starved.set(k::kExecutorMemoryGiB, 3.0);
+  starved.set(k::kDefaultParallelism, 64);
+  const auto r = run("sort", gib(32), starved);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_GT(r.total_spilled, 0u);
+  const auto roomy = run("sort", gib(32), tuned_config());
+  EXPECT_LT(roomy.total_spilled, r.total_spilled);
+}
+
+TEST(Engine, SpillCostsTime) {
+  auto starved = tuned_config();
+  starved.set(k::kExecutorMemoryGiB, 3.0);
+  starved.set(k::kDefaultParallelism, 64);
+  const auto spilled = run("sort", gib(32), starved);
+  const auto clean = run("sort", gib(32), tuned_config());
+  ASSERT_TRUE(spilled.success);
+  ASSERT_TRUE(clean.success);
+  EXPECT_GT(spilled.runtime, clean.runtime);
+}
+
+TEST(Engine, ExtremeMemoryStarvationOoms) {
+  // Tiny heap, tiny parallelism, giant aggregation working set per task.
+  auto fatal = config::spark_space()->default_config();
+  fatal.set(k::kExecutorInstances, 8);
+  fatal.set(k::kExecutorCores, 8);
+  fatal.set(k::kExecutorMemoryGiB, 1.0);
+  fatal.set(k::kMemoryFraction, 0.3);
+  fatal.set(k::kDefaultParallelism, 8);
+  const auto r = run("sort", gib(64), fatal);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("OOM"), std::string::npos);
+  EXPECT_GT(r.runtime, 0.0);  // failures still burn time (and money)
+  EXPECT_GT(r.cost, 0.0);
+}
+
+TEST(Engine, InfeasibleDeploymentFailsFast) {
+  auto bad = tuned_config();
+  bad.set(k::kExecutorMemoryGiB, 48.0);
+  bad.set(k::kMemoryOverheadFactor, 0.25);
+  const auto small_cluster = cluster::Cluster::from_spec({"c5.large", 2});
+  const SparkSimulator sim(small_cluster);
+  const auto r =
+      workload::execute(*workload::make_workload("wordcount"), gib(1), sim, bad);
+  EXPECT_FALSE(r.success);
+  EXPECT_LT(r.runtime, 60.0);
+}
+
+TEST(Engine, CollectWithTinyDriverOoms) {
+  auto c = tuned_config();
+  c.set(k::kDriverMemoryGiB, 1.0);
+  // bayes collects a model whose size grows with input.
+  const auto r = run("bayes", gib(64), c);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("driver"), std::string::npos);
+  auto big_driver = tuned_config();
+  big_driver.set(k::kDriverMemoryGiB, 8.0);
+  EXPECT_TRUE(run("bayes", gib(64), big_driver).success);
+}
+
+TEST(Engine, CacheHitFractionDropsWhenCacheOutgrowsStorage) {
+  const auto small = run("pagerank", gib(4), tuned_config());
+  const auto large = run("pagerank", gib(64), tuned_config());
+  EXPECT_GT(small.cache_hit_fraction, 0.95);
+  EXPECT_LT(large.cache_hit_fraction, 0.9);
+}
+
+TEST(Engine, RddCompressionRaisesCacheHitUnderPressure) {
+  auto compressed = tuned_config();
+  compressed.set(k::kRddCompress, 1.0);
+  const auto plain = run("pagerank", gib(64), tuned_config());
+  const auto packed = run("pagerank", gib(64), compressed);
+  EXPECT_GT(packed.cache_hit_fraction, plain.cache_hit_fraction);
+}
+
+TEST(Engine, KryoBeatsJavaOnShuffleHeavyWork) {
+  auto java = tuned_config();
+  java.set(k::kSerializer, 0.0);
+  const auto with_java = run("sort", gib(32), java);
+  const auto with_kryo = run("sort", gib(32), tuned_config());
+  ASSERT_TRUE(with_java.success);
+  ASSERT_TRUE(with_kryo.success);
+  EXPECT_GT(with_java.runtime, with_kryo.runtime);
+}
+
+TEST(Engine, ParallelismHasAnInteriorOptimum) {
+  // pagerank has many shuffle stages, so both extremes hurt hard: too few
+  // partitions spill on every join, too many pay per-task overhead on
+  // every one of the ~18 stages.
+  auto lo = tuned_config();
+  lo.set(k::kDefaultParallelism, 8);
+  auto hi = tuned_config();
+  hi.set(k::kDefaultParallelism, 2048);
+  const auto r_lo = run("pagerank", gib(8), lo);
+  const auto r_mid = run("pagerank", gib(8), tuned_config());  // 256
+  const auto r_hi = run("pagerank", gib(8), hi);
+  ASSERT_TRUE(r_mid.success);
+  EXPECT_LT(r_mid.runtime, r_lo.runtime);
+  EXPECT_LT(r_mid.runtime, r_hi.runtime);
+}
+
+TEST(Engine, SpeculationTamesStragglersUnderSkew) {
+  EngineOptions opts;
+  opts.cost.straggler_prob = 0.2;  // stormy cluster
+  auto spec = tuned_config();
+  spec.set(k::kSpeculation, 1.0);
+  const auto without = run("sort", gib(16), tuned_config(), opts);
+  const auto with = run("sort", gib(16), spec, opts);
+  ASSERT_TRUE(without.success);
+  ASSERT_TRUE(with.success);
+  EXPECT_LT(with.runtime, without.runtime);
+}
+
+TEST(Engine, ShuffleCompressionTradesCpuForIo) {
+  auto off = tuned_config();
+  off.set(k::kShuffleCompress, 0.0);
+  off.set(k::kShuffleSpillCompress, 0.0);
+  const auto with = run("sort", gib(32), tuned_config());
+  const auto without = run("sort", gib(32), off);
+  ASSERT_TRUE(with.success);
+  ASSERT_TRUE(without.success);
+  // On an HDD-heavy testbed, compression must win for shuffle-heavy sort.
+  EXPECT_LT(with.runtime, without.runtime);
+  // And the CPU share must be higher when compressing.
+  EXPECT_GT(with.total_cpu, without.total_cpu * 0.9);
+}
+
+TEST(Engine, ReportAggregatesAreConsistent) {
+  const auto r = run("bayes", gib(8), tuned_config());
+  ASSERT_TRUE(r.success);
+  Seconds cpu = 0.0;
+  simcore::Bytes shuffle = 0;
+  for (const auto& s : r.stages) {
+    cpu += s.cpu_seconds;
+    shuffle += s.shuffle_read_bytes;
+  }
+  EXPECT_DOUBLE_EQ(cpu, r.total_cpu);
+  EXPECT_EQ(shuffle, r.total_shuffle_read);
+  const double fraction_sum = r.cpu_fraction() + r.gc_fraction() + r.disk_fraction() +
+                              r.net_fraction() + r.spill_fraction();
+  EXPECT_LE(fraction_sum, 1.0 + 1e-9);
+}
+
+TEST(Engine, StageStartsRespectDependencies) {
+  const auto r = run("pagerank", gib(4), tuned_config());
+  ASSERT_TRUE(r.success);
+  for (std::size_t i = 1; i < r.stages.size(); ++i) {
+    EXPECT_GE(r.stages[i].start + 1e-9, r.stages[0].start);
+  }
+  EXPECT_GT(r.stages.size(), 10u);  // iterative job: many stages (Fig. 2)
+}
+
+TEST(Engine, CostTracksRuntimeAndClusterPrice) {
+  const auto r = run("wordcount", gib(8), tuned_config());
+  ASSERT_TRUE(r.success);
+  EXPECT_NEAR(r.cost, testbed().cost_of(r.runtime), 1e-9);
+}
+
+TEST(Engine, WavesReflectSlotCount) {
+  const auto r = run("sort", gib(16), tuned_config());
+  ASSERT_TRUE(r.success);
+  for (const auto& s : r.stages) {
+    if (s.tasks > 0) {
+      EXPECT_EQ(s.waves, (s.tasks + r.total_slots - 1) / r.total_slots);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stune::disc

@@ -1,0 +1,111 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "disc/eventlog.hpp"
+#include "workload/execute.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::disc {
+namespace {
+
+using simcore::gib;
+
+ExecutionReport sample_report(const std::string& workload = "bayes", bool crash = false) {
+  auto conf = config::spark_space()->default_config();
+  if (!crash) {
+    conf.set(config::spark::kExecutorInstances, 16);
+    conf.set(config::spark::kExecutorCores, 4);
+    conf.set(config::spark::kExecutorMemoryGiB, 13.0);
+    conf.set(config::spark::kDefaultParallelism, 256);
+    conf.set(config::spark::kDriverMemoryGiB, 8.0);
+  } else {
+    conf.set(config::spark::kExecutorInstances, 8);
+    conf.set(config::spark::kExecutorCores, 8);
+    conf.set(config::spark::kMemoryFraction, 0.3);
+    conf.set(config::spark::kDefaultParallelism, 8);
+  }
+  const SparkSimulator sim(cluster::Cluster::from_spec({"h1.4xlarge", 4}));
+  return workload::execute(*workload::make_workload(workload), gib(crash ? 64 : 8), sim, conf);
+}
+
+TEST(EventLog, RoundTripsASuccessfulRun) {
+  const auto original = sample_report();
+  ASSERT_TRUE(original.success);
+  const auto parsed = from_event_log(to_event_log(original));
+
+  EXPECT_EQ(parsed.success, original.success);
+  EXPECT_NEAR(parsed.runtime, original.runtime, 1e-6);
+  EXPECT_NEAR(parsed.cost, original.cost, 1e-9);
+  EXPECT_EQ(parsed.executors, original.executors);
+  EXPECT_EQ(parsed.total_slots, original.total_slots);
+  ASSERT_EQ(parsed.stages.size(), original.stages.size());
+  for (std::size_t i = 0; i < parsed.stages.size(); ++i) {
+    EXPECT_EQ(parsed.stages[i].label, original.stages[i].label);
+    EXPECT_EQ(parsed.stages[i].tasks, original.stages[i].tasks);
+    EXPECT_NEAR(parsed.stages[i].duration, original.stages[i].duration, 1e-6);
+    EXPECT_EQ(parsed.stages[i].shuffle_read_bytes, original.stages[i].shuffle_read_bytes);
+    EXPECT_EQ(parsed.stages[i].spilled_bytes, original.stages[i].spilled_bytes);
+  }
+  // Aggregates must be rebuilt on parse.
+  EXPECT_NEAR(parsed.total_cpu, original.total_cpu, 1e-6);
+  EXPECT_EQ(parsed.total_shuffle_read, original.total_shuffle_read);
+}
+
+TEST(EventLog, RoundTripsAFailedRunWithReason) {
+  const auto original = sample_report("sort", /*crash=*/true);
+  ASSERT_FALSE(original.success);
+  const auto parsed = from_event_log(to_event_log(original));
+  EXPECT_FALSE(parsed.success);
+  EXPECT_EQ(parsed.failure_reason, original.failure_reason);
+}
+
+TEST(EventLog, LogIsOneJsonObjectPerLine) {
+  const auto log = to_event_log(sample_report());
+  std::size_t lines = 0;
+  std::istringstream in(log);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"event\":"), std::string::npos);
+  }
+  // job_start + stages + job_end
+  EXPECT_EQ(lines, sample_report().stages.size() + 2);
+}
+
+TEST(EventLog, EscapesSpecialCharactersInLabels) {
+  ExecutionReport r;
+  r.success = true;
+  r.runtime = 1.0;
+  StageMetrics s;
+  s.stage_id = 0;
+  s.label = "weird \"label\" with \\ and\nnewline";
+  s.tasks = 1;
+  r.stages.push_back(s);
+  const auto parsed = from_event_log(to_event_log(r));
+  EXPECT_EQ(parsed.stages[0].label, s.label);
+}
+
+TEST(EventLog, RejectsMalformedInput) {
+  EXPECT_THROW(from_event_log(""), std::invalid_argument);
+  EXPECT_THROW(from_event_log("{\"event\":\"job_start\"}"), std::invalid_argument);
+  EXPECT_THROW(from_event_log("{\"event\":\"alien\"}\n"), std::invalid_argument);
+  // Stage line with a missing required key.
+  const std::string bad =
+      "{\"event\":\"job_start\",\"executors\":1,\"total_slots\":1,"
+      "\"exec_mem_per_task\":1,\"storage_mem_total\":1,\"cache_hit\":1}\n"
+      "{\"event\":\"stage_completed\",\"stage_id\":0}\n"
+      "{\"event\":\"job_end\",\"success\":1,\"runtime\":1,\"cost\":0}\n";
+  EXPECT_THROW(from_event_log(bad), std::invalid_argument);
+}
+
+TEST(EventLog, ParseIsIdempotentThroughASecondRoundTrip) {
+  const auto original = sample_report("pagerank");
+  const auto once = to_event_log(from_event_log(to_event_log(original)));
+  EXPECT_EQ(once, to_event_log(original));
+}
+
+}  // namespace
+}  // namespace stune::disc

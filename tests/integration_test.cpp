@@ -1,0 +1,223 @@
+// Cross-module integration tests that pin the *shapes* the paper reports —
+// the same properties the benchmarks regenerate, asserted at reduced scale
+// so they stay fast.
+#include <gtest/gtest.h>
+
+#include "config/spark_space.hpp"
+#include "disc/engine.hpp"
+#include "service/tuning_service.hpp"
+#include "simcore/rng.hpp"
+#include "tuning/tuners.hpp"
+#include "workload/execute.hpp"
+#include "workload/workload.hpp"
+
+namespace stune {
+namespace {
+
+using simcore::gib;
+
+const cluster::Cluster& testbed() {
+  static const cluster::Cluster c = cluster::Cluster::from_spec({"h1.4xlarge", 4});
+  return c;
+}
+
+/// Mean runtime over a few engine seeds (run-to-run environmental noise);
+/// failed if any seed fails.
+struct AvgOutcome {
+  double runtime = 0.0;
+  bool success = true;
+};
+
+AvgOutcome averaged_runtime(const workload::Workload& w, simcore::Bytes size,
+                            const config::Configuration& c) {
+  AvgOutcome out;
+  for (std::uint64_t seed = 42; seed < 45; ++seed) {
+    disc::EngineOptions opts;
+    opts.seed = seed;
+    const disc::SparkSimulator sim(testbed(), opts);
+    const auto r = workload::execute(w, size, sim, c);
+    out.runtime += r.runtime / 3.0;
+    out.success &= r.success;
+  }
+  return out;
+}
+
+/// Best mean runtime over n random configurations (the paper's Table I
+/// protocol), plus the best configuration itself.
+std::pair<double, config::Configuration> best_of_random(const workload::Workload& w,
+                                                        simcore::Bytes size, int n,
+                                                        std::uint64_t seed) {
+  const auto space = config::spark_space();
+  simcore::Rng rng(seed);
+  double best = std::numeric_limits<double>::infinity();
+  config::Configuration best_config = space->default_config();
+  for (int i = 0; i < n; ++i) {
+    const auto c = space->sample(rng);
+    const auto r = averaged_runtime(w, size, c);
+    if (r.success && r.runtime < best) {
+      best = r.runtime;
+      best_config = c;
+    }
+  }
+  return {best, best_config};
+}
+
+TEST(TableOne, RetuningSavingsGrowWithInputAndDependOnWorkload) {
+  // Reduced protocol: 80 random configs (paper: 100), DS1 vs DS3. A reused
+  // configuration that crashes at the larger scale counts as 100% potential
+  // saving (re-tuning is then not merely faster but necessary).
+  const int kConfigs = 80;
+  auto savings = [&](const std::string& name) {
+    const auto w = workload::make_workload(name);
+    const auto [best1, config1] = best_of_random(*w, gib(4), kConfigs, 17);
+    const auto [best3, config3] = best_of_random(*w, gib(64), kConfigs, 17);
+    const auto reused = averaged_runtime(*w, gib(64), config1);
+    if (!reused.success) return 1.0;
+    return (reused.runtime - best3) / reused.runtime;
+  };
+  const double pagerank = savings("pagerank");
+  const double wordcount = savings("wordcount");
+  // Paper Table I: Pagerank 56%, Wordcount 3% at DS3. We require the
+  // qualitative ordering and rough magnitudes.
+  EXPECT_GT(pagerank, 0.15);
+  EXPECT_LT(wordcount, 0.15);
+  EXPECT_GT(pagerank, wordcount);
+}
+
+TEST(Misconfiguration, DefaultsCostAnOrderOfMagnitude) {
+  // §I: "suboptimal framework configurations can lead to 89X performance
+  // degradation"; we require >= 5x at this reduced scale.
+  const auto w = workload::make_workload("pagerank");
+  const auto [best, config] = best_of_random(*w, gib(16), 40, 23);
+  const auto def = averaged_runtime(*w, gib(16), config::spark_space()->default_config());
+  ASSERT_TRUE(def.success);
+  EXPECT_GT(def.runtime / best, 5.0);
+}
+
+TEST(Misconfiguration, SomeConfigurationsCrash) {
+  const disc::SparkSimulator sim(testbed());
+  const auto space = config::spark_space();
+  simcore::Rng rng(31);
+  const auto w = workload::make_workload("sort");
+  int failures = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto r = workload::execute(*w, gib(64), sim, space->sample(rng));
+    failures += r.success ? 0 : 1;
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, 60);
+}
+
+TEST(Transfer, WarmStartAcceleratesConvergence) {
+  // §V-B: knowledge from a similar workload makes tuning more data
+  // efficient. Tune sort at DS2 with knowledge from DS1.
+  const auto w = workload::make_workload("sort");
+  const disc::SparkSimulator sim(testbed());
+  const auto space = config::spark_space();
+
+  tuning::Objective obj_small = [&](const config::Configuration& c) -> tuning::EvalOutcome {
+    const auto r = workload::execute(*w, gib(4), sim, c);
+    return {r.runtime, !r.success};
+  };
+  tuning::Objective obj_big = [&](const config::Configuration& c) -> tuning::EvalOutcome {
+    const auto r = workload::execute(*w, gib(16), sim, c);
+    return {r.runtime, !r.success};
+  };
+
+  tuning::TuneOptions donor_opts;
+  donor_opts.budget = 30;
+  donor_opts.seed = 5;
+  const auto donor = tuning::BayesOptTuner().tune(space, obj_small, donor_opts);
+
+  tuning::TuneOptions cold;
+  cold.budget = 8;
+  cold.seed = 6;
+  tuning::TuneOptions warm = cold;
+  for (const auto& o : donor.history) {
+    if (!o.failed && warm.warm_start.size() < 5) warm.warm_start.push_back(o);
+  }
+  double cold_best = 0.0, warm_best = 0.0;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    cold.seed = s;
+    warm.seed = s;
+    cold_best += tuning::BayesOptTuner().tune(space, obj_big, cold).best_runtime;
+    warm_best += tuning::BayesOptTuner().tune(space, obj_big, warm).best_runtime;
+  }
+  EXPECT_LE(warm_best, cold_best * 1.05);
+}
+
+TEST(Service, AmortizesTuningForFrequentlyRunWorkloads) {
+  // §IV-C: tuning pays for itself within the workload's lifetime when the
+  // baseline is what an untuned user would run.
+  service::ServiceOptions opts;
+  opts.tuning_budget = 15;
+  opts.cloud.budget = 6;
+  opts.ledger_baseline = service::ServiceOptions::Baseline::kSparkDefault;
+  service::TuningService svc(opts);
+  const int h = svc.submit("acme", workload::make_workload("pagerank"), gib(8));
+  for (int i = 0; i < 30; ++i) svc.run_once(h);
+  EXPECT_TRUE(svc.ledger(h).amortized());
+  ASSERT_TRUE(svc.status(h).break_even_run.has_value());
+  EXPECT_LE(*svc.status(h).break_even_run, 30u);
+}
+
+TEST(Service, CrossTenantTransferHelpsUnderTightBudgets) {
+  // §V-B's payoff shows when the new tenant cannot afford much exploration:
+  // a tight tuning budget plus knowledge from a similar tenant must reach a
+  // configuration at least as good as the same budget cold.
+  service::ServiceOptions opts;
+  opts.tuning_budget = 8;
+  opts.tune_cloud = false;  // same cluster for both tenants
+  opts.default_cluster = {"h1.4xlarge", 4};
+  service::TuningService with_transfer(opts);
+  auto no_transfer_opts = opts;
+  no_transfer_opts.enable_transfer = false;
+  service::TuningService without_transfer(no_transfer_opts);
+
+  // Tenant 1 accumulates knowledge; tenant 2 runs the same workload type.
+  auto tuned_quality_of_second_tenant = [&](service::TuningService& svc) {
+    const int h1 = svc.submit("acme", workload::make_workload("pagerank"), gib(8));
+    for (int i = 0; i < 4; ++i) svc.run_once(h1);
+    const int h2 = svc.submit("globex", workload::make_workload("pagerank"), gib(8));
+    svc.run_once(h2);
+    return svc.status(h2).best_runtime;
+  };
+  const double with = tuned_quality_of_second_tenant(with_transfer);
+  const double without = tuned_quality_of_second_tenant(without_transfer);
+  EXPECT_LE(with, without * 1.05);
+  EXPECT_EQ(with_transfer.knowledge_base().tenant_count(), 2u);
+}
+
+TEST(SloMetric, TunedServiceStaysNearTheBestKnownRuntime) {
+  // §IV-D's caveat applies to us too: the reference is the *luckiest* run
+  // of a similar workload, so per-run attainment at a tight fraction is
+  // noisy by construction. We require the service to attain 25% most of
+  // the time and to stay well under 30% excess on average.
+  service::ServiceOptions opts;
+  opts.tuning_budget = 20;
+  opts.cloud.budget = 8;
+  opts.slo.within_fraction = 0.25;
+  service::TuningService svc(opts);
+  const int h = svc.submit("acme", workload::make_workload("bayes"), gib(8));
+  for (int i = 0; i < 12; ++i) svc.run_once(h);
+  EXPECT_GE(svc.slo_tracker(h).attainment(), 0.6);
+  EXPECT_LT(svc.slo_tracker(h).mean_excess_fraction(), 0.3);
+  EXPECT_EQ(svc.slo_tracker(h).runs_with_reference(), 12u);
+}
+
+TEST(Engine, ThroughputIsFastEnoughForTuningResearch) {
+  // The whole point of the simulator substrate: an "execution" must cost
+  // microseconds, not minutes, or the 100-config protocols are unusable.
+  const auto w = workload::make_workload("bayes");
+  const disc::SparkSimulator sim(testbed());
+  const auto conf = config::spark_space()->default_config();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 200; ++i) {
+    (void)workload::execute(*w, gib(8), sim, conf);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 2000);
+}
+
+}  // namespace
+}  // namespace stune

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "model/kmedoids.hpp"
+#include "simcore/rng.hpp"
+
+namespace stune::model {
+namespace {
+
+std::vector<std::vector<double>> two_blobs(simcore::Rng& rng) {
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back({rng.normal(0.0, 0.1), rng.normal(0.0, 0.1)});
+  for (int i = 0; i < 20; ++i) pts.push_back({rng.normal(5.0, 0.1), rng.normal(5.0, 0.1)});
+  return pts;
+}
+
+TEST(KMedoids, SeparatesWellSeparatedBlobs) {
+  simcore::Rng rng(1);
+  const auto pts = two_blobs(rng);
+  const auto r = kmedoids(pts, 2, simcore::Rng(2));
+  // All of the first 20 share a cluster; all of the last 20 share the other.
+  for (int i = 1; i < 20; ++i) EXPECT_EQ(r.assignment[i], r.assignment[0]);
+  for (int i = 21; i < 40; ++i) EXPECT_EQ(r.assignment[i], r.assignment[20]);
+  EXPECT_NE(r.assignment[0], r.assignment[20]);
+}
+
+TEST(KMedoids, MedoidsAreInputPoints) {
+  simcore::Rng rng(3);
+  const auto pts = two_blobs(rng);
+  const auto r = kmedoids(pts, 2, simcore::Rng(4));
+  for (const auto m : r.medoids) EXPECT_LT(m, pts.size());
+}
+
+TEST(KMedoids, CostDecreasesWithMoreClusters) {
+  simcore::Rng rng(5);
+  const auto pts = two_blobs(rng);
+  const auto r1 = kmedoids(pts, 1, simcore::Rng(6));
+  const auto r4 = kmedoids(pts, 4, simcore::Rng(6));
+  EXPECT_LT(r4.total_cost, r1.total_cost);
+}
+
+TEST(KMedoids, DeterministicGivenRng) {
+  simcore::Rng rng(7);
+  const auto pts = two_blobs(rng);
+  const auto a = kmedoids(pts, 2, simcore::Rng(8));
+  const auto b = kmedoids(pts, 2, simcore::Rng(8));
+  EXPECT_EQ(a.medoids, b.medoids);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KMedoids, ValidatesK) {
+  const std::vector<std::vector<double>> pts = {{0.0}, {1.0}};
+  EXPECT_THROW(kmedoids(pts, 0, simcore::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(kmedoids(pts, 3, simcore::Rng(1)), std::invalid_argument);
+}
+
+TEST(Distances, EuclideanAndCosine) {
+  EXPECT_DOUBLE_EQ(euclidean({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_NEAR(cosine_similarity({1.0, 0.0}, {1.0, 0.0}), 1.0, 1e-12);
+  EXPECT_NEAR(cosine_similarity({1.0, 0.0}, {0.0, 1.0}), 0.0, 1e-12);
+  EXPECT_EQ(cosine_similarity({0.0, 0.0}, {1.0, 1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace stune::model

@@ -1,0 +1,184 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "simcore/rng.hpp"
+
+namespace stune::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, simcore::Rng& rng) {
+  // A^T A + n I is symmetric positive definite.
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  Matrix spd = a.gram();
+  spd.add_to_diagonal(static_cast<double>(n));
+  return spd;
+}
+
+TEST(Matrix, MatvecAndTranspose) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  const Vector y = m.matvec({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  const Vector z = m.matvec_transposed({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(z[0], 5.0);
+  EXPECT_DOUBLE_EQ(z[1], 7.0);
+  EXPECT_DOUBLE_EQ(z[2], 9.0);
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, GramEqualsExplicitProduct) {
+  simcore::Rng rng(3);
+  Matrix m(4, 3);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 3; ++j) m(i, j) = rng.normal();
+  const Matrix g = m.gram();
+  const Matrix g2 = m.transposed().multiply(m);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(g(i, j), g2(i, j), 1e-12);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  Vector a = {1.0, 2.0, 3.0};
+  const Vector b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  axpy(2.0, b, a);
+  EXPECT_DOUBLE_EQ(a[0], 9.0);
+  EXPECT_DOUBLE_EQ(subtract(a, b)[1], 7.0);
+  EXPECT_DOUBLE_EQ(scaled(b, 0.5)[2], 3.0);
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  simcore::Rng rng(7);
+  const Matrix a = random_spd(6, rng);
+  const Matrix l = cholesky(a);
+  const Matrix llt = l.multiply(l.transposed());
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_NEAR(llt(i, j), a(i, j), 1e-9);
+}
+
+TEST(Cholesky, LowerTriangular) {
+  simcore::Rng rng(7);
+  const Matrix l = cholesky(random_spd(5, rng));
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = i + 1; j < 5; ++j) EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(1, 0) = 2.0;
+  m(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(m), std::runtime_error);
+}
+
+TEST(CholeskySolve, SolvesLinearSystem) {
+  simcore::Rng rng(11);
+  const Matrix a = random_spd(8, rng);
+  Vector x_true(8);
+  for (auto& v : x_true) v = rng.normal();
+  const Vector b = a.matvec(x_true);
+  const Vector x = cholesky_solve(cholesky(a), b);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(TriangularSolves, ForwardBackwardRoundtrip) {
+  simcore::Rng rng(13);
+  const Matrix l = cholesky(random_spd(5, rng));
+  Vector y_true(5);
+  for (auto& v : y_true) v = rng.normal();
+  const Vector b = l.matvec(y_true);
+  const Vector y = solve_lower(l, b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(y[i], y_true[i], 1e-10);
+  // L^T x = y roundtrip
+  const Vector bt = l.transposed().matvec(y_true);
+  const Vector x = solve_lower_transposed(l, bt);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x[i], y_true[i], 1e-10);
+}
+
+TEST(Ridge, RecoversLinearModelAtSmallLambda) {
+  simcore::Rng rng(17);
+  const std::size_t n = 60, d = 4;
+  Matrix x(n, d);
+  Vector w_true = {2.0, -1.0, 0.5, 3.0};
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      x(i, j) = rng.normal();
+      acc += x(i, j) * w_true[j];
+    }
+    y[i] = acc;
+  }
+  const Vector w = ridge_solve(x, y, 1e-8);
+  for (std::size_t j = 0; j < d; ++j) EXPECT_NEAR(w[j], w_true[j], 1e-5);
+}
+
+TEST(Ridge, LargeLambdaShrinksTowardZero) {
+  simcore::Rng rng(19);
+  Matrix x(20, 2);
+  Vector y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+    y[i] = 3.0 * x(i, 0);
+  }
+  const Vector small = ridge_solve(x, y, 1e-6);
+  const Vector big = ridge_solve(x, y, 1e6);
+  EXPECT_LT(std::abs(big[0]), std::abs(small[0]) * 0.01);
+}
+
+TEST(Nnls, ExactRecoveryOfNonnegativeWeights) {
+  simcore::Rng rng(23);
+  const std::size_t n = 50;
+  Matrix x(n, 3);
+  const Vector w_true = {1.5, 0.0, 2.5};
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      x(i, j) = std::abs(rng.normal());
+      acc += x(i, j) * w_true[j];
+    }
+    y[i] = acc;
+  }
+  const Vector w = nnls(x, y);
+  EXPECT_NEAR(w[0], 1.5, 1e-4);
+  EXPECT_NEAR(w[1], 0.0, 1e-4);
+  EXPECT_NEAR(w[2], 2.5, 1e-4);
+}
+
+TEST(Nnls, ClampsNegativeComponents) {
+  // y = -2 * x: best nonnegative weight is 0.
+  Matrix x(10, 1);
+  Vector y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i + 1);
+    y[i] = -2.0 * x(i, 0);
+  }
+  const Vector w = nnls(x, y);
+  EXPECT_GE(w[0], 0.0);
+  EXPECT_NEAR(w[0], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace stune::linalg

@@ -1,0 +1,113 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/gp.hpp"
+#include "simcore/rng.hpp"
+
+namespace stune::model {
+namespace {
+
+Dataset smooth_1d(std::size_t n, simcore::Rng& rng) {
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform();
+    d.add({x}, std::sin(4.0 * x));
+  }
+  return d;
+}
+
+TEST(GaussianProcess, InterpolatesTrainingPoints) {
+  simcore::Rng rng(1);
+  const auto d = smooth_1d(30, rng);
+  GaussianProcess gp;
+  gp.fit(d);
+  for (std::size_t i = 0; i < d.size(); i += 5) {
+    const auto p = gp.predict(d.row(i));
+    EXPECT_NEAR(p.mean, d.target(i), 0.08);
+  }
+}
+
+TEST(GaussianProcess, PredictsSmoothFunctionBetweenPoints) {
+  simcore::Rng rng(2);
+  const auto d = smooth_1d(60, rng);
+  GaussianProcess gp;
+  gp.fit(d);
+  for (int i = 1; i < 10; ++i) {
+    const double x = i / 10.0;
+    EXPECT_NEAR(gp.predict({x}).mean, std::sin(4.0 * x), 0.1);
+  }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData) {
+  Dataset d;
+  simcore::Rng rng(3);
+  for (int i = 0; i < 25; ++i) {
+    const double x = rng.uniform(0.0, 0.3);
+    d.add({x}, x);
+  }
+  GaussianProcess gp;
+  gp.fit(d);
+  EXPECT_GT(gp.predict({0.95}).variance, gp.predict({0.15}).variance * 1.5);
+}
+
+TEST(GaussianProcess, VarianceIsNonNegative) {
+  simcore::Rng rng(4);
+  const auto d = smooth_1d(40, rng);
+  GaussianProcess gp;
+  gp.fit(d);
+  for (int i = 0; i <= 20; ++i) {
+    EXPECT_GE(gp.predict({i / 20.0}).variance, 0.0);
+  }
+}
+
+TEST(GaussianProcess, HandlesConstantTargets) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) d.add({i / 10.0}, 5.0);
+  GaussianProcess gp;
+  gp.fit(d);
+  EXPECT_NEAR(gp.predict({0.5}).mean, 5.0, 0.2);
+}
+
+TEST(GaussianProcess, SelectsLengthscaleByLml) {
+  simcore::Rng rng(5);
+  const auto d = smooth_1d(50, rng);
+  GaussianProcess gp;
+  gp.fit(d);
+  EXPECT_GT(gp.lengthscale(), 0.0);
+  EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood()));
+}
+
+TEST(GaussianProcess, MisuseThrows) {
+  GaussianProcess gp;
+  EXPECT_THROW(gp.predict({0.5}), std::logic_error);
+  EXPECT_THROW(gp.fit(Dataset{}), std::invalid_argument);
+}
+
+TEST(ExpectedImprovement, ZeroVarianceNoImprovement) {
+  // Prediction equals the incumbent with no uncertainty: EI ~ 0.
+  EXPECT_NEAR(expected_improvement(10.0, 0.0, 10.0), 0.0, 1e-6);
+  // Worse mean, no variance: still ~0.
+  EXPECT_NEAR(expected_improvement(15.0, 0.0, 10.0), 0.0, 1e-6);
+}
+
+TEST(ExpectedImprovement, BetterMeanGivesPositiveEi) {
+  EXPECT_GT(expected_improvement(5.0, 1.0, 10.0), 4.0);
+}
+
+TEST(ExpectedImprovement, MoreUncertaintyMoreEiAtSameMean) {
+  const double lo = expected_improvement(10.0, 0.01, 10.0);
+  const double hi = expected_improvement(10.0, 4.0, 10.0);
+  EXPECT_GT(hi, lo);
+}
+
+TEST(ExpectedImprovement, IsNonNegative) {
+  for (double mean : {0.0, 5.0, 20.0}) {
+    for (double var : {0.0, 0.5, 10.0}) {
+      EXPECT_GE(expected_improvement(mean, var, 8.0), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stune::model

@@ -1,0 +1,118 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/linear.hpp"
+#include "simcore/rng.hpp"
+
+namespace stune::model {
+namespace {
+
+TEST(Dataset, RejectsInconsistentDimensions) {
+  Dataset d;
+  d.add({1.0, 2.0}, 3.0);
+  EXPECT_THROW(d.add({1.0}, 2.0), std::invalid_argument);
+}
+
+TEST(Dataset, DesignMatrixWithBias) {
+  Dataset d;
+  d.add({2.0, 3.0}, 1.0);
+  const auto m = d.design_matrix(true);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+}
+
+TEST(TargetScaler, NormalizesRoundTrip) {
+  const auto s = TargetScaler::fit({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(s.mean, 20.0);
+  EXPECT_NEAR(s.to_raw(s.to_normalized(25.0)), 25.0, 1e-12);
+}
+
+TEST(TargetScaler, ConstantTargetsAreSafe) {
+  const auto s = TargetScaler::fit({5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.stddev, 1.0);
+  EXPECT_DOUBLE_EQ(s.to_normalized(5.0), 0.0);
+}
+
+TEST(RidgeRegression, RecoversAffineFunction) {
+  simcore::Rng rng(1);
+  Dataset d;
+  for (int i = 0; i < 80; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    d.add({x0, x1}, 4.0 + 2.0 * x0 - 3.0 * x1);
+  }
+  RidgeRegression model(1e-8);
+  model.fit(d);
+  EXPECT_NEAR(model.predict({0.5, 0.5}), 4.0 + 1.0 - 1.5, 1e-4);
+  EXPECT_NEAR(model.weights()[0], 4.0, 1e-3);
+  EXPECT_NEAR(model.weights()[1], 2.0, 1e-3);
+  EXPECT_NEAR(model.weights()[2], -3.0, 1e-3);
+}
+
+TEST(RidgeRegression, ErrorsOnMisuse) {
+  RidgeRegression model;
+  EXPECT_THROW(model.predict({1.0}), std::logic_error);
+  EXPECT_THROW(model.fit(Dataset{}), std::invalid_argument);
+  Dataset d;
+  d.add({1.0}, 2.0);
+  d.add({2.0}, 4.0);
+  model.fit(d);
+  EXPECT_THROW(model.predict({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ErnestModel, RecoversItsOwnBasis) {
+  // t(d, m) = 5 + 3 d/m + 2 log m + 0.5 m
+  ErnestModel model;
+  simcore::Rng rng(2);
+  for (int i = 0; i < 60; ++i) {
+    const double data = rng.uniform(1.0, 64.0);
+    const double machines = static_cast<double>(rng.uniform_int(1, 16));
+    const double t = 5.0 + 3.0 * data / machines + 2.0 * std::log(machines) + 0.5 * machines;
+    model.add_observation(data, machines, t);
+  }
+  model.fit();
+  for (int i = 0; i < 10; ++i) {
+    const double data = rng.uniform(1.0, 64.0);
+    const double machines = static_cast<double>(rng.uniform_int(1, 16));
+    const double truth = 5.0 + 3.0 * data / machines + 2.0 * std::log(machines) + 0.5 * machines;
+    EXPECT_NEAR(model.predict(data, machines), truth, 0.05 * truth);
+  }
+}
+
+TEST(ErnestModel, WeightsAreNonNegative) {
+  ErnestModel model;
+  simcore::Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const double data = rng.uniform(1.0, 32.0);
+    const double machines = static_cast<double>(rng.uniform_int(1, 8));
+    // Pure parallel work: the log/machine terms should get ~zero weight,
+    // never negative.
+    model.add_observation(data, machines, 10.0 * data / machines);
+  }
+  model.fit();
+  for (const double w : model.weights()) EXPECT_GE(w, 0.0);
+}
+
+TEST(ErnestModel, CapturesDiminishingReturnsOfScaleOut) {
+  ErnestModel model;
+  for (int m = 1; m <= 16; ++m) {
+    model.add_observation(32.0, m, 4.0 + 32.0 * 6.0 / m + 1.5 * m);
+  }
+  model.fit();
+  // More machines help at small scale...
+  EXPECT_LT(model.predict(32.0, 8), model.predict(32.0, 2));
+  // ...but the per-machine coordination term eventually dominates.
+  EXPECT_GT(model.predict(32.0, 128), model.predict(32.0, 8));
+}
+
+TEST(ErnestModel, ThrowsBeforeFit) {
+  ErnestModel model;
+  EXPECT_THROW(model.predict(1.0, 1.0), std::logic_error);
+  EXPECT_THROW(model.fit(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace stune::model

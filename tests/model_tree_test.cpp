@@ -1,0 +1,155 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/tree.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/stats.hpp"
+
+namespace stune::model {
+namespace {
+
+Dataset step_function_data(std::size_t n, simcore::Rng& rng) {
+  // y = 10 if x0 > 0.5 else 2; x1 is pure noise.
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    d.add({x0, x1}, x0 > 0.5 ? 10.0 : 2.0);
+  }
+  return d;
+}
+
+TEST(RegressionTree, LearnsAStepFunction) {
+  simcore::Rng rng(1);
+  const auto d = step_function_data(200, rng);
+  RegressionTree tree;
+  tree.fit(d);
+  EXPECT_NEAR(tree.predict({0.9, 0.5}), 10.0, 0.5);
+  EXPECT_NEAR(tree.predict({0.1, 0.5}), 2.0, 0.5);
+}
+
+TEST(RegressionTree, SplitsOnTheInformativeFeature) {
+  simcore::Rng rng(2);
+  const auto d = step_function_data(300, rng);
+  RegressionTree tree;
+  tree.fit(d);
+  const auto imp = tree.feature_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[0], imp[1] * 10.0);
+}
+
+TEST(RegressionTree, RespectsMaxDepth) {
+  simcore::Rng rng(3);
+  Dataset d;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform();
+    d.add({x}, std::sin(12.0 * x));
+  }
+  RegressionTree shallow(TreeOptions{.max_depth = 2});
+  shallow.fit(d);
+  EXPECT_LE(shallow.depth(), 2u);
+  RegressionTree deep(TreeOptions{.max_depth = 9});
+  deep.fit(d);
+  EXPECT_GT(deep.node_count(), shallow.node_count());
+}
+
+TEST(RegressionTree, MinSamplesLeafBoundsLeafSize) {
+  simcore::Rng rng(4);
+  Dataset d;
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.uniform();
+    d.add({x}, x);
+  }
+  RegressionTree coarse(TreeOptions{.max_depth = 20, .min_samples_leaf = 15,
+                                    .min_samples_split = 30});
+  coarse.fit(d);
+  // 40 samples with >=15 per leaf allows at most one split level.
+  EXPECT_LE(coarse.node_count(), 3u);
+}
+
+TEST(RegressionTree, PureTargetsYieldALeaf) {
+  Dataset d;
+  for (int i = 0; i < 20; ++i) d.add({static_cast<double>(i)}, 7.0);
+  RegressionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict({3.0}), 7.0);
+}
+
+TEST(RegressionTree, DeterministicGivenSameRng) {
+  simcore::Rng rng(5);
+  const auto d = step_function_data(150, rng);
+  RegressionTree a, b;
+  a.fit(d, simcore::Rng(9));
+  b.fit(d, simcore::Rng(9));
+  for (int i = 0; i < 20; ++i) {
+    const double x = i / 20.0;
+    EXPECT_DOUBLE_EQ(a.predict({x, 0.5}), b.predict({x, 0.5}));
+  }
+}
+
+TEST(RegressionTree, MisuseThrows) {
+  RegressionTree tree;
+  EXPECT_THROW(tree.predict({1.0}), std::logic_error);
+  EXPECT_THROW(tree.fit(Dataset{}), std::invalid_argument);
+}
+
+TEST(RandomForest, SmoothsAndFitsQuadratic) {
+  simcore::Rng rng(6);
+  Dataset d;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform();
+    d.add({x}, (x - 0.5) * (x - 0.5) + rng.normal(0.0, 0.01));
+  }
+  RandomForest forest;
+  forest.fit(d, simcore::Rng(1));
+  simcore::RunningStats err;
+  for (int i = 0; i <= 50; ++i) {
+    const double x = i / 50.0;
+    err.add(std::abs(forest.predict({x}) - (x - 0.5) * (x - 0.5)));
+  }
+  EXPECT_LT(err.mean(), 0.02);
+}
+
+TEST(RandomForest, PredictDistIsConsistentWithPredict) {
+  simcore::Rng rng(7);
+  Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform();
+    d.add({x}, 3.0 * x + rng.normal(0.0, 0.2));
+  }
+  RandomForest forest;
+  forest.fit(d, simcore::Rng(2));
+  for (int i = 0; i <= 10; ++i) {
+    const double x = i / 10.0;
+    double mean = 0.0, var = 0.0;
+    forest.predict_dist({x}, &mean, &var);
+    EXPECT_DOUBLE_EQ(mean, forest.predict({x}));
+    EXPECT_GE(var, 0.0);
+  }
+}
+
+TEST(RandomForest, ImportanceFindsSignal) {
+  simcore::Rng rng(8);
+  Dataset d;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform();
+    const double b = rng.uniform();
+    const double c = rng.uniform();
+    d.add({a, b, c}, 5.0 * b);
+  }
+  RandomForest forest(ForestOptions{
+      .trees = 20, .tree = TreeOptions{.feature_subsample = 0.67}, .bootstrap_fraction = 1.0});
+  forest.fit(d, simcore::Rng(3));
+  const auto imp = forest.feature_importance();
+  EXPECT_GT(imp[1], imp[0]);
+  EXPECT_GT(imp[1], imp[2]);
+}
+
+TEST(RandomForest, RejectsZeroTrees) {
+  EXPECT_THROW(RandomForest(ForestOptions{.trees = 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stune::model

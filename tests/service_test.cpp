@@ -1,0 +1,344 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "service/cloud_tuner.hpp"
+#include "service/cost_ledger.hpp"
+#include "service/knowledge_base.hpp"
+#include "service/slo.hpp"
+#include "service/tuning_service.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::service {
+namespace {
+
+using simcore::gib;
+
+ExecutionRecord make_record(const std::string& tenant, const std::string& label, double runtime,
+                            simcore::Bytes input, transfer::Signature sig = {}) {
+  ExecutionRecord r;
+  r.tenant = tenant;
+  r.workload_label = label;
+  r.config = config::spark_space()->default_config();
+  r.input_bytes = input;
+  r.runtime = runtime;
+  r.signature = sig;
+  return r;
+}
+
+// -- KnowledgeBase -----------------------------------------------------------------
+
+TEST(KnowledgeBase, AssignsMonotonicSequences) {
+  KnowledgeBase kb;
+  const auto s1 = kb.record(make_record("a", "w", 10.0, gib(1)));
+  const auto s2 = kb.record(make_record("a", "w", 11.0, gib(1)));
+  EXPECT_LT(s1, s2);
+  EXPECT_EQ(kb.size(), 2u);
+}
+
+TEST(KnowledgeBase, DonorsExcludeFailuresAndLabel) {
+  KnowledgeBase kb;
+  kb.record(make_record("a", "w1", 10.0, gib(1)));
+  auto failed = make_record("a", "w2", 5.0, gib(1));
+  failed.failed = true;
+  kb.record(std::move(failed));
+  EXPECT_EQ(kb.donors_for().size(), 1u);
+  EXPECT_TRUE(kb.donors_for(std::optional<std::string>("w1")).empty());
+}
+
+TEST(KnowledgeBase, BestSimilarRuntimeFiltersBySize) {
+  KnowledgeBase kb;
+  transfer::Signature sig;  // all-zero signatures are identical -> similarity 1
+  kb.record(make_record("a", "w", 100.0, gib(4), sig));
+  kb.record(make_record("a", "w", 40.0, gib(4), sig));
+  kb.record(make_record("a", "w", 5.0, gib(64), sig));  // wrong scale
+  const auto best = kb.best_similar_runtime(sig, gib(4));
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(*best, 40.0);
+  EXPECT_FALSE(kb.best_similar_runtime(sig, gib(1024)).has_value());
+}
+
+TEST(KnowledgeBase, BestSimilarRuntimeFiltersBySimilarity) {
+  KnowledgeBase kb;
+  transfer::Signature near_sig;
+  transfer::Signature far_sig;
+  far_sig.cpu_fraction = 1.0;
+  far_sig.shuffle_per_input = 3.0;
+  kb.record(make_record("a", "w", 40.0, gib(4), far_sig));
+  transfer::Signature target;
+  EXPECT_FALSE(kb.best_similar_runtime(target, gib(4), 0.9).has_value());
+  kb.record(make_record("a", "w", 70.0, gib(4), near_sig));
+  const auto best = kb.best_similar_runtime(target, gib(4), 0.9);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(*best, 70.0);
+}
+
+TEST(KnowledgeBase, SaveLoadRoundTrip) {
+  KnowledgeBase kb;
+  transfer::Signature sig;
+  sig.cpu_fraction = 0.42;
+  sig.shuffle_per_input = 1.5;
+  auto rec = make_record("acme", "pagerank", 123.5, gib(8), sig);
+  rec.cost = 0.25;
+  rec.from_tuning = true;
+  rec.config.set(config::spark::kExecutorMemoryGiB, 13.0);
+  kb.record(std::move(rec));
+  kb.record(make_record("globex", "sort", 55.0, gib(16)));
+
+  std::stringstream buffer;
+  kb.save(buffer);
+  const auto loaded = KnowledgeBase::load(buffer, config::spark_space());
+
+  ASSERT_EQ(loaded.size(), 2u);
+  const auto& r0 = loaded.records()[0];
+  EXPECT_EQ(r0.tenant, "acme");
+  EXPECT_EQ(r0.workload_label, "pagerank");
+  EXPECT_DOUBLE_EQ(r0.runtime, 123.5);
+  EXPECT_DOUBLE_EQ(r0.cost, 0.25);
+  EXPECT_TRUE(r0.from_tuning);
+  EXPECT_DOUBLE_EQ(r0.signature.cpu_fraction, 0.42);
+  EXPECT_DOUBLE_EQ(r0.signature.shuffle_per_input, 1.5);
+  EXPECT_DOUBLE_EQ(r0.config.get(config::spark::kExecutorMemoryGiB), 13.0);
+  EXPECT_EQ(loaded.tenant_count(), 2u);
+}
+
+TEST(KnowledgeBase, SaveRejectsSeparatorInLabels) {
+  KnowledgeBase kb;
+  kb.record(make_record("bad|tenant", "w", 1.0, gib(1)));
+  std::stringstream buffer;
+  EXPECT_THROW(kb.save(buffer), std::invalid_argument);
+}
+
+TEST(KnowledgeBase, LoadValidatesInput) {
+  std::stringstream bad("not|enough|fields\n");
+  EXPECT_THROW(KnowledgeBase::load(bad, config::spark_space()), std::invalid_argument);
+  std::stringstream empty;
+  EXPECT_EQ(KnowledgeBase::load(empty, config::spark_space()).size(), 0u);
+  std::stringstream any;
+  EXPECT_THROW(KnowledgeBase::load(any, nullptr), std::invalid_argument);
+}
+
+TEST(KnowledgeBase, CountsTenants) {
+  KnowledgeBase kb;
+  kb.record(make_record("a", "w", 1.0, gib(1)));
+  kb.record(make_record("b", "w", 1.0, gib(1)));
+  kb.record(make_record("a", "w", 1.0, gib(1)));
+  EXPECT_EQ(kb.tenant_count(), 2u);
+}
+
+// -- Slo --------------------------------------------------------------------------
+
+TEST(Slo, AttainmentAgainstReference) {
+  Slo slo;
+  slo.within_fraction = 0.10;
+  EXPECT_TRUE(evaluate_slo(slo, 105.0, 1.0, 100.0).attained);
+  EXPECT_FALSE(evaluate_slo(slo, 115.0, 1.0, 100.0).attained);
+}
+
+TEST(Slo, NoReferenceIsVacuouslyAttainedButFlagged) {
+  const auto e = evaluate_slo(Slo{}, 500.0, 1.0, std::nullopt);
+  EXPECT_TRUE(e.attained);
+  EXPECT_FALSE(e.had_reference);
+}
+
+TEST(Slo, AbsoluteCeilingsApply) {
+  Slo slo;
+  slo.max_runtime_s = 60.0;
+  EXPECT_FALSE(evaluate_slo(slo, 90.0, 1.0, 100.0).attained);
+  Slo cost_slo;
+  cost_slo.max_cost_dollars = 0.5;
+  EXPECT_FALSE(evaluate_slo(cost_slo, 10.0, 1.0, std::nullopt).attained);
+}
+
+TEST(SloTracker, AggregatesStrictAttainment) {
+  Slo slo_spec;
+  slo_spec.within_fraction = 0.10;
+  SloTracker t(slo_spec);
+  t.observe(100.0, 1.0, 100.0);          // attained
+  t.observe(150.0, 1.0, 100.0);          // violated
+  t.observe(42.0, 1.0, std::nullopt);    // vacuous
+  EXPECT_EQ(t.runs(), 3u);
+  EXPECT_EQ(t.runs_with_reference(), 2u);
+  EXPECT_DOUBLE_EQ(t.attainment(), 0.5);
+  EXPECT_NEAR(t.mean_excess_fraction(), 0.25, 1e-12);
+}
+
+// -- CostLedger ----------------------------------------------------------------------
+
+TEST(CostLedger, BreakEvenAccounting) {
+  CostLedger l;
+  l.add_tuning_run(100.0, 3.0);
+  l.add_tuning_run(100.0, 3.0);
+  EXPECT_EQ(l.tuning_runs(), 2u);
+  EXPECT_DOUBLE_EQ(l.tuning_cost(), 6.0);
+  EXPECT_FALSE(l.amortized());
+  l.add_production_run(10.0, 1.0, 50.0, 5.0);  // saves $4
+  EXPECT_FALSE(l.amortized());
+  l.add_production_run(10.0, 1.0, 50.0, 5.0);  // cumulative $8 >= $6
+  EXPECT_TRUE(l.amortized());
+  ASSERT_TRUE(l.break_even_run().has_value());
+  EXPECT_EQ(*l.break_even_run(), 2u);
+}
+
+TEST(CostLedger, NegativeSavingsNeverAmortize) {
+  CostLedger l;
+  l.add_tuning_run(10.0, 1.0);
+  for (int i = 0; i < 5; ++i) l.add_production_run(10.0, 2.0, 10.0, 1.0);
+  EXPECT_FALSE(l.amortized());
+  EXPECT_FALSE(l.break_even_run().has_value());
+}
+
+// -- CloudTuner ------------------------------------------------------------------------
+
+TEST(CloudSpace, EncodesCatalogAndCount) {
+  const auto space = cloud_space(2, 8);
+  EXPECT_EQ(space->size(), 2u);
+  const auto spec = to_cluster_spec(space->default_config());
+  EXPECT_GE(spec.vm_count, 2);
+  EXPECT_LE(spec.vm_count, 8);
+  EXPECT_NO_THROW(cluster::find_instance(spec.instance));
+  EXPECT_THROW(cloud_space(4, 2), std::invalid_argument);
+}
+
+TEST(ProviderAutoConfig, IsViableOnEveryCatalogType) {
+  for (const auto& t : cluster::instance_catalog()) {
+    const cluster::Cluster c(t, 4);
+    const auto conf = provider_auto_config(c);
+    const auto dep =
+        disc::resolve_deployment(config::SparkConf(conf), c);
+    EXPECT_TRUE(dep.viable) << t.name << ": " << dep.failure;
+    EXPECT_GT(dep.total_slots, 0) << t.name;
+  }
+}
+
+TEST(CloudTuner, PicksAClusterThatRunsTheWorkload) {
+  CloudTunerOptions opts;
+  opts.budget = 8;
+  const CloudTuner tuner(opts);
+  const auto choice = tuner.choose(*workload::make_workload("wordcount"), gib(8));
+  EXPECT_GT(choice.runtime, 0.0);
+  EXPECT_GT(choice.cost, 0.0);
+  EXPECT_EQ(choice.trials, 8u);
+  EXPECT_GT(choice.trial_cost, 0.0);
+  EXPECT_NO_THROW(cluster::find_instance(choice.spec.instance));
+}
+
+TEST(CloudTuner, MemoryHungryWorkloadAvoidsTinyMemoryFamilies) {
+  CloudTunerOptions opts;
+  opts.budget = 14;
+  opts.objective = CloudObjective::kRuntime;
+  const CloudTuner tuner(opts);
+  const auto choice = tuner.choose(*workload::make_workload("pagerank"), gib(32));
+  const auto& t = cluster::find_instance(choice.spec.instance);
+  // PageRank at 32 GiB caches ~54 GiB of objects: a c5.large fleet cannot
+  // win on runtime.
+  EXPECT_GT(t.memory_gib * choice.spec.vm_count, 64.0);
+}
+
+// -- TuningService end-to-end --------------------------------------------------------------
+
+ServiceOptions fast_options() {
+  ServiceOptions o;
+  o.tuning_budget = 15;
+  o.retuning_budget = 8;
+  o.cloud.budget = 6;
+  return o;
+}
+
+TEST(TuningService, ValidatesSubmissions) {
+  TuningService svc(fast_options());
+  EXPECT_THROW(svc.submit("t", nullptr, gib(1)), std::invalid_argument);
+  EXPECT_THROW(svc.submit("t", workload::make_workload("sort"), 0), std::invalid_argument);
+  EXPECT_THROW(svc.run_once(99), std::out_of_range);
+}
+
+TEST(TuningService, FirstRunTunesThenReusesConfiguration) {
+  TuningService svc(fast_options());
+  const int h = svc.submit("acme", workload::make_workload("sort"), gib(8));
+  svc.run_once(h);
+  const auto after_first = svc.status(h);
+  EXPECT_TRUE(after_first.tuned);
+  EXPECT_EQ(after_first.tunings, 1u);
+  const auto tuning_runs = svc.ledger(h).tuning_runs();
+  svc.run_once(h);
+  svc.run_once(h);
+  // Stable input: no re-tuning, no extra tuning spend.
+  EXPECT_EQ(svc.status(h).tunings, 1u);
+  EXPECT_EQ(svc.ledger(h).tuning_runs(), tuning_runs);
+  EXPECT_EQ(svc.status(h).production_runs, 3u);
+}
+
+TEST(TuningService, TunedRunsBeatTheUntunedBaseline) {
+  auto opts = fast_options();
+  opts.ledger_baseline = ServiceOptions::Baseline::kSparkDefault;
+  TuningService svc(opts);
+  const int h = svc.submit("acme", workload::make_workload("pagerank"), gib(8));
+  for (int i = 0; i < 5; ++i) svc.run_once(h);
+  EXPECT_GT(svc.status(h).cumulative_savings, 0.0);
+}
+
+TEST(TuningService, InputGrowthTriggersRetuning) {
+  TuningService svc(fast_options());
+  const int h = svc.submit("acme", workload::make_workload("pagerank"), gib(4));
+  for (int i = 0; i < 6; ++i) svc.run_once(h);
+  const auto before = svc.status(h).tunings;
+  for (int i = 0; i < 8; ++i) svc.run_once(h, gib(64));
+  EXPECT_GT(svc.status(h).tunings, before);
+}
+
+TEST(TuningService, KnowledgeAccumulatesAcrossTenants) {
+  TuningService svc(fast_options());
+  const int h1 = svc.submit("acme", workload::make_workload("sort"), gib(8));
+  svc.run_once(h1);
+  const auto kb_after_one = svc.knowledge_base().size();
+  EXPECT_GT(kb_after_one, 0u);
+  const int h2 = svc.submit("globex", workload::make_workload("terasort"), gib(8));
+  svc.run_once(h2);
+  EXPECT_GT(svc.knowledge_base().size(), kb_after_one);
+  EXPECT_EQ(svc.knowledge_base().tenant_count(), 2u);
+}
+
+TEST(TuningService, SloTrackerSeesEveryProductionRun) {
+  TuningService svc(fast_options());
+  const int h = svc.submit("acme", workload::make_workload("wordcount"), gib(4));
+  for (int i = 0; i < 4; ++i) svc.run_once(h);
+  EXPECT_EQ(svc.slo_tracker(h).runs(), 4u);
+}
+
+TEST(TuningService, DeterministicGivenSeed) {
+  auto opts = fast_options();
+  opts.seed = 1234;
+  TuningService a(opts), b(opts);
+  const int ha = a.submit("t", workload::make_workload("bayes"), gib(8));
+  const int hb = b.submit("t", workload::make_workload("bayes"), gib(8));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(a.run_once(ha).runtime, b.run_once(hb).runtime);
+  }
+}
+
+TEST(TuningService, AromaTransferStrategyWorksEndToEnd) {
+  auto opts = fast_options();
+  opts.transfer_strategy = ServiceOptions::TransferStrategy::kAroma;
+  opts.tune_cloud = false;
+  opts.default_cluster = {"h1.4xlarge", 4};
+  TuningService svc(opts);
+  const int h1 = svc.submit("acme", workload::make_workload("sort"), gib(8));
+  for (int i = 0; i < 3; ++i) svc.run_once(h1);
+  const int h2 = svc.submit("globex", workload::make_workload("terasort"), gib(8));
+  const auto r = svc.run_once(h2);
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(svc.status(h2).best_runtime, 0.0);
+}
+
+TEST(TuningService, StatusReflectsClusterChoice) {
+  auto opts = fast_options();
+  opts.tune_cloud = false;
+  opts.default_cluster = {"r5.2xlarge", 6};
+  TuningService svc(opts);
+  const int h = svc.submit("acme", workload::make_workload("kmeans"), gib(8));
+  svc.run_once(h);
+  EXPECT_EQ(svc.status(h).cluster, (cluster::ClusterSpec{"r5.2xlarge", 6}));
+}
+
+}  // namespace
+}  // namespace stune::service

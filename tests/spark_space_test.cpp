@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "config/spark_space.hpp"
+
+namespace stune::config {
+namespace {
+
+TEST(SparkSpace, IsASingleton) {
+  EXPECT_EQ(spark_space().get(), spark_space().get());
+}
+
+TEST(SparkSpace, HasTheDocumentedDimensionality) {
+  // 28 knobs, matching the DESIGN.md inventory (the surveyed tuners handle
+  // 16-41 parameters; the paper quotes ~200 total in Spark).
+  EXPECT_EQ(spark_space()->size(), 28u);
+}
+
+TEST(SparkSpace, DefaultsMatchSparkDocumentation) {
+  const auto c = spark_space()->default_config();
+  EXPECT_EQ(c.get_int(spark::kExecutorInstances), 2);
+  EXPECT_EQ(c.get_int(spark::kExecutorCores), 1);
+  EXPECT_DOUBLE_EQ(c.get(spark::kExecutorMemoryGiB), 1.0);
+  EXPECT_DOUBLE_EQ(c.get(spark::kMemoryFraction), 0.6);
+  EXPECT_DOUBLE_EQ(c.get(spark::kMemoryStorageFraction), 0.5);
+  EXPECT_EQ(c.get_int(spark::kSqlShufflePartitions), 200);
+  EXPECT_TRUE(c.get_bool(spark::kShuffleCompress));
+  EXPECT_FALSE(c.get_bool(spark::kRddCompress));
+  EXPECT_EQ(c.get_label(spark::kIoCompressionCodec), "lz4");
+  EXPECT_EQ(c.get_label(spark::kSerializer), "java");
+  EXPECT_DOUBLE_EQ(c.get(spark::kShuffleFileBufferKiB), 32.0);
+  EXPECT_DOUBLE_EQ(c.get(spark::kReducerMaxSizeInFlightMiB), 48.0);
+  EXPECT_FALSE(c.get_bool(spark::kSpeculation));
+  EXPECT_DOUBLE_EQ(c.get(spark::kLocalityWait), 3.0);
+  EXPECT_EQ(c.get_int(spark::kTaskMaxFailures), 4);
+}
+
+TEST(SparkSpace, EveryParamHasDescription) {
+  for (const auto& p : spark_space()->params()) {
+    EXPECT_FALSE(p.description.empty()) << p.name;
+  }
+}
+
+TEST(SparkConf, ParsesDefaultsConsistently) {
+  const SparkConf conf(spark_space()->default_config());
+  EXPECT_EQ(conf.executor_instances, 2);
+  EXPECT_EQ(conf.executor_cores, 1);
+  EXPECT_EQ(conf.codec, Codec::kLz4);
+  EXPECT_EQ(conf.serializer, Serializer::kJava);
+  EXPECT_TRUE(conf.shuffle_compress);
+  EXPECT_FALSE(conf.dynamic_allocation);
+  EXPECT_EQ(conf.task_cpus, 1);
+}
+
+TEST(SparkConf, ReflectsOverrides) {
+  auto c = spark_space()->default_config();
+  c.set(spark::kSerializer, 1.0);
+  c.set(spark::kIoCompressionCodec, 2.0);
+  c.set(spark::kExecutorMemoryGiB, 16.0);
+  const SparkConf conf(c);
+  EXPECT_EQ(conf.serializer, Serializer::kKryo);
+  EXPECT_EQ(conf.codec, Codec::kZstd);
+  EXPECT_DOUBLE_EQ(conf.executor_memory_gib, 16.0);
+}
+
+TEST(CodecProfile, ZstdIsDensestLz4IsCheapest) {
+  const auto lz4 = codec_profile(Codec::kLz4, 3);
+  const auto snappy = codec_profile(Codec::kSnappy, 3);
+  const auto zstd = codec_profile(Codec::kZstd, 3);
+  EXPECT_LT(zstd.ratio, lz4.ratio);
+  EXPECT_LT(zstd.ratio, snappy.ratio);
+  EXPECT_LT(lz4.compress_cpb, zstd.compress_cpb);
+  EXPECT_LT(lz4.decompress_cpb, zstd.decompress_cpb);
+}
+
+TEST(CodecProfile, ZstdLevelTradesCpuForRatio) {
+  const auto low = codec_profile(Codec::kZstd, 1);
+  const auto high = codec_profile(Codec::kZstd, 9);
+  EXPECT_LT(high.ratio, low.ratio);
+  EXPECT_GT(high.compress_cpb, low.compress_cpb);
+}
+
+TEST(CodecProfile, RatiosAreCompressive) {
+  for (const auto codec : {Codec::kLz4, Codec::kSnappy, Codec::kZstd}) {
+    const auto p = codec_profile(codec, 5);
+    EXPECT_GT(p.ratio, 0.2);
+    EXPECT_LT(p.ratio, 1.0);
+  }
+}
+
+TEST(SparkSpace, FeasibilityRangesAreWide) {
+  // The search space must include both crash-prone and viable settings —
+  // tuners are expected to meet failures (paper: "crashes when choosing
+  // incorrectly").
+  const auto space = spark_space();
+  const auto& mem = space->param(space->require_index(spark::kExecutorMemoryGiB));
+  EXPECT_LE(mem.min_value, 1.0);
+  EXPECT_GE(mem.max_value, 48.0);
+  const auto& par = space->param(space->require_index(spark::kDefaultParallelism));
+  EXPECT_GE(par.max_value / par.min_value, 100.0);
+}
+
+}  // namespace
+}  // namespace stune::config

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "service/tradeoff.hpp"
+
+namespace stune::service {
+namespace {
+
+using simcore::gib;
+
+TradeoffPoint pt(double runtime, double cost) {
+  TradeoffPoint p;
+  p.runtime = runtime;
+  p.cost = cost;
+  return p;
+}
+
+TEST(ParetoFrontier, KeepsOnlyNonDominatedPoints) {
+  ParetoFrontier f;
+  EXPECT_TRUE(f.insert(pt(100.0, 1.0)));
+  EXPECT_TRUE(f.insert(pt(50.0, 2.0)));   // faster, pricier: joins
+  EXPECT_FALSE(f.insert(pt(120.0, 1.5))); // dominated by (100, 1)
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(ParetoFrontier, NewPointEvictsDominated) {
+  ParetoFrontier f;
+  f.insert(pt(100.0, 1.0));
+  f.insert(pt(50.0, 2.0));
+  EXPECT_TRUE(f.insert(pt(40.0, 0.5)));  // dominates both
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.points()[0].runtime, 40.0);
+}
+
+TEST(ParetoFrontier, PointsOrderedByRuntimeWithDescendingCost) {
+  ParetoFrontier f;
+  f.insert(pt(100.0, 1.0));
+  f.insert(pt(50.0, 2.0));
+  f.insert(pt(25.0, 4.0));
+  const auto& pts = f.points();
+  ASSERT_EQ(pts.size(), 3u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].runtime, pts[i - 1].runtime);
+    EXPECT_LT(pts[i].cost, pts[i - 1].cost);
+  }
+}
+
+TEST(ParetoFrontier, AnswersBudgetAndDeadlineQueries) {
+  ParetoFrontier f;
+  f.insert(pt(100.0, 1.0));
+  f.insert(pt(50.0, 2.0));
+  f.insert(pt(25.0, 4.0));
+
+  const auto cheap_fast = f.fastest_under_cost(2.5);
+  ASSERT_TRUE(cheap_fast.has_value());
+  EXPECT_DOUBLE_EQ(cheap_fast->runtime, 50.0);
+
+  const auto in_time = f.cheapest_under_runtime(60.0);
+  ASSERT_TRUE(in_time.has_value());
+  EXPECT_DOUBLE_EQ(in_time->cost, 2.0);
+
+  EXPECT_FALSE(f.fastest_under_cost(0.1).has_value());
+  EXPECT_FALSE(f.cheapest_under_runtime(10.0).has_value());
+}
+
+TEST(ParetoFrontier, EqualPointIsDominated) {
+  ParetoFrontier f;
+  EXPECT_TRUE(f.insert(pt(10.0, 1.0)));
+  EXPECT_FALSE(f.insert(pt(10.0, 1.0)));
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(ExploreTradeoff, ProducesADiverseValidFrontier) {
+  TradeoffExplorerOptions opts;
+  opts.budget = 40;
+  const auto frontier = explore_tradeoff(*workload::make_workload("bayes"), gib(8), opts);
+  ASSERT_GE(frontier.size(), 3u);
+  for (const auto& p : frontier.points()) {
+    EXPECT_GT(p.runtime, 0.0);
+    EXPECT_GT(p.cost, 0.0);
+    EXPECT_NO_THROW(cluster::find_instance(p.cluster.instance));
+  }
+  // The frontier must actually span a trade-off, not collapse to one point.
+  const auto& pts = frontier.points();
+  EXPECT_GT(pts.front().cost / pts.back().cost, 1.3);
+  EXPECT_GT(pts.back().runtime / pts.front().runtime, 1.3);
+}
+
+TEST(ExploreTradeoff, DeterministicGivenSeed) {
+  TradeoffExplorerOptions opts;
+  opts.budget = 25;
+  opts.seed = 77;
+  const auto a = explore_tradeoff(*workload::make_workload("sort"), gib(8), opts);
+  const auto b = explore_tradeoff(*workload::make_workload("sort"), gib(8), opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points()[i].runtime, b.points()[i].runtime);
+  }
+}
+
+TEST(ExploreTradeoff, FastestPointUsesMoreExpensiveResourcesThanCheapest) {
+  TradeoffExplorerOptions opts;
+  opts.budget = 40;
+  const auto frontier = explore_tradeoff(*workload::make_workload("pagerank"), gib(8), opts);
+  ASSERT_GE(frontier.size(), 2u);
+  const auto& fastest = frontier.points().front();
+  const auto& cheapest = frontier.points().back();
+  const auto fast_cluster = cluster::Cluster::from_spec(fastest.cluster);
+  const auto cheap_cluster = cluster::Cluster::from_spec(cheapest.cluster);
+  EXPECT_GE(fast_cluster.cost_per_hour(), cheap_cluster.cost_per_hour());
+}
+
+}  // namespace
+}  // namespace stune::service

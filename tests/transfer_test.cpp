@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "config/spark_space.hpp"
+#include "disc/engine.hpp"
+#include "transfer/characterization.hpp"
+#include "transfer/warm_start.hpp"
+#include "workload/execute.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::transfer {
+namespace {
+
+namespace k = config::spark;
+using simcore::gib;
+
+disc::ExecutionReport run(const std::string& name, simcore::Bytes input) {
+  auto conf = config::spark_space()->default_config();
+  conf.set(k::kExecutorInstances, 16);
+  conf.set(k::kExecutorCores, 4);
+  conf.set(k::kExecutorMemoryGiB, 13.0);
+  conf.set(k::kDefaultParallelism, 256);
+  conf.set(k::kDriverMemoryGiB, 8.0);
+  const disc::SparkSimulator sim(cluster::Cluster::from_spec({"h1.4xlarge", 4}));
+  return workload::execute(*workload::make_workload(name), input, sim, conf);
+}
+
+TEST(Signature, SameWorkloadDifferentSizesAreSimilar) {
+  const auto s1 = characterize(run("wordcount", gib(4)));
+  const auto s2 = characterize(run("wordcount", gib(16)));
+  EXPECT_GT(similarity(s1, s2), 0.6);
+}
+
+TEST(Signature, DifferentWorkloadProfilesAreDistant) {
+  const auto wc = characterize(run("wordcount", gib(8)));
+  const auto pr = characterize(run("pagerank", gib(8)));
+  const auto so = characterize(run("sort", gib(8)));
+  EXPECT_LT(similarity(wc, pr), similarity(wc, wc));
+  // Wordcount (scan) must be farther from sort (shuffle) than sort is from
+  // itself at another size.
+  const auto so2 = characterize(run("sort", gib(16)));
+  EXPECT_GT(similarity(so, so2), similarity(so, wc));
+}
+
+TEST(Signature, ComponentsAreScaleFreeFractions) {
+  const auto s = characterize(run("bayes", gib(8)));
+  EXPECT_GE(s.cpu_fraction, 0.0);
+  EXPECT_LE(s.cpu_fraction, 1.0);
+  EXPECT_GE(s.cache_pressure, 0.0);
+  EXPECT_LE(s.cache_pressure, 1.0);
+  EXPECT_GE(s.shuffle_per_input, 0.0);
+}
+
+TEST(Signature, ShuffleHeavyWorkloadScoresHighShuffleRatio) {
+  const auto so = characterize(run("sort", gib(8)));
+  const auto wc = characterize(run("wordcount", gib(8)));
+  EXPECT_GT(so.shuffle_per_input, wc.shuffle_per_input * 3.0);
+}
+
+TEST(Signature, DescribeAndVectorAgree) {
+  const auto s = characterize(run("kmeans", gib(4)));
+  EXPECT_EQ(s.as_vector().size(), Signature::kDims);
+  EXPECT_FALSE(s.describe().empty());
+}
+
+TEST(Distance, IdentityAndSymmetry) {
+  const auto a = characterize(run("join", gib(4)));
+  const auto b = characterize(run("sort", gib(4)));
+  EXPECT_DOUBLE_EQ(distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+  EXPECT_NEAR(similarity(a, a), 1.0, 1e-12);
+}
+
+// -- warm-start selection ----------------------------------------------------------
+
+DonorObservation donor(const Signature& sig, double runtime, double a_value) {
+  DonorObservation d;
+  auto c = config::spark_space()->default_config();
+  c.set(k::kExecutorMemoryGiB, a_value);
+  d.observation.config = c;
+  d.observation.runtime = runtime;
+  d.observation.objective = runtime;
+  d.signature = sig;
+  return d;
+}
+
+TEST(WarmStart, FiltersByNegativeTransferGuard) {
+  const auto target = characterize(run("sort", gib(8)));
+  const auto similar = characterize(run("sort", gib(16)));
+  const auto dissimilar = characterize(run("wordcount", gib(8)));
+
+  const std::vector<DonorObservation> donors = {donor(similar, 100.0, 2.0),
+                                                donor(dissimilar, 50.0, 3.0)};
+  TransferPolicy policy;
+  policy.min_similarity = 0.7;
+  const auto picked = select_warm_start(target, donors, policy);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_DOUBLE_EQ(picked[0].runtime, 100.0);
+}
+
+TEST(WarmStart, RespectsMaxObservations) {
+  const auto target = characterize(run("sort", gib(8)));
+  std::vector<DonorObservation> donors;
+  for (int i = 0; i < 30; ++i) {
+    donors.push_back(donor(target, 100.0 + i, 1.0 + 0.5 * i));
+  }
+  TransferPolicy policy;
+  policy.max_observations = 5;
+  EXPECT_EQ(select_warm_start(target, donors, policy).size(), 5u);
+}
+
+TEST(WarmStart, DeduplicatesIdenticalConfigs) {
+  const auto target = characterize(run("sort", gib(8)));
+  const std::vector<DonorObservation> donors = {donor(target, 100.0, 2.0),
+                                                donor(target, 90.0, 2.0)};
+  EXPECT_EQ(select_warm_start(target, donors).size(), 1u);
+}
+
+TEST(WarmStart, SkipsFailedDonorsByDefault) {
+  const auto target = characterize(run("sort", gib(8)));
+  auto failed = donor(target, 10.0, 2.0);
+  failed.observation.failed = true;
+  EXPECT_TRUE(select_warm_start(target, {failed}).empty());
+}
+
+TEST(WarmStart, EmptyDonorsGiveEmptyResult) {
+  const auto target = characterize(run("sort", gib(8)));
+  EXPECT_TRUE(select_warm_start(target, {}).empty());
+}
+
+}  // namespace
+}  // namespace stune::transfer

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "disc/whatif.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/stats.hpp"
+#include "workload/execute.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::disc {
+namespace {
+
+namespace k = config::spark;
+using simcore::gib;
+
+const cluster::Cluster& testbed() {
+  static const cluster::Cluster c = cluster::Cluster::from_spec({"h1.4xlarge", 4});
+  return c;
+}
+
+config::Configuration base_config() {
+  auto c = config::spark_space()->default_config();
+  c.set(k::kExecutorInstances, 16);
+  c.set(k::kExecutorCores, 4);
+  c.set(k::kExecutorMemoryGiB, 13.0);
+  c.set(k::kDefaultParallelism, 256);
+  c.set(k::kSerializer, 1.0);
+  c.set(k::kDriverMemoryGiB, 8.0);
+  return c;
+}
+
+struct Profiled {
+  ExecutionReport report;
+  config::SparkConf conf;
+};
+
+Profiled profile(const std::string& workload, simcore::Bytes input,
+                 const config::Configuration& c) {
+  const SparkSimulator sim(testbed());
+  return Profiled{workload::execute(*workload::make_workload(workload), input, sim, c),
+                  config::SparkConf(c)};
+}
+
+double actual_runtime(const std::string& workload, simcore::Bytes input,
+                      const config::Configuration& c) {
+  const SparkSimulator sim(testbed());
+  return workload::execute(*workload::make_workload(workload), input, sim, c).runtime;
+}
+
+TEST(WhatIf, SelfPredictionIsClose) {
+  // Predicting A from A's own profile only reshuffles observed numbers; it
+  // must land near the observed runtime.
+  const auto p = profile("sort", gib(16), base_config());
+  ASSERT_TRUE(p.report.success);
+  const WhatIfEngine engine(testbed());
+  const auto pred = engine.predict(p.report, p.conf, p.conf);
+  EXPECT_TRUE(pred.feasible);
+  EXPECT_NEAR(pred.runtime, p.report.runtime, 0.35 * p.report.runtime);
+}
+
+TEST(WhatIf, PredictsDirectionOfSlotChanges) {
+  const auto p = profile("wordcount", gib(16), base_config());
+  const WhatIfEngine engine(testbed());
+  auto fewer = base_config();
+  fewer.set(k::kExecutorInstances, 2);
+  fewer.set(k::kExecutorCores, 1);
+  const auto pred = engine.predict(p.report, p.conf, config::SparkConf(fewer));
+  // 2 slots instead of 64: predicted much slower.
+  EXPECT_GT(pred.runtime, p.report.runtime * 4.0);
+}
+
+TEST(WhatIf, PredictsSerializerEffectDirection) {
+  const auto p = profile("sort", gib(16), base_config());  // kryo
+  const WhatIfEngine engine(testbed());
+  auto java = base_config();
+  java.set(k::kSerializer, 0.0);
+  const auto pred = engine.predict(p.report, p.conf, config::SparkConf(java));
+  EXPECT_GT(pred.runtime, p.report.runtime);
+}
+
+TEST(WhatIf, FlagsInfeasibleTargets) {
+  const auto p = profile("sort", gib(8), base_config());
+  const WhatIfEngine engine(testbed());
+  auto bad = base_config();
+  bad.set(k::kExecutorMemoryGiB, 48.0);
+  bad.set(k::kMemoryOverheadFactor, 0.25);
+  const WhatIfEngine small_engine(cluster::Cluster::from_spec({"c5.large", 2}));
+  const auto small_profile = [&] {
+    auto c = config::spark_space()->default_config();
+    const SparkSimulator sim(cluster::Cluster::from_spec({"c5.large", 2}));
+    return workload::execute(*workload::make_workload("wordcount"), gib(1), sim, c);
+  }();
+  const auto pred = small_engine.predict(small_profile, config::SparkConf(base_config()),
+                                         config::SparkConf(bad));
+  EXPECT_FALSE(pred.feasible);
+}
+
+TEST(WhatIf, PredictsOomForAbsurdMemoryStarvation) {
+  const auto p = profile("sort", gib(64), base_config());
+  ASSERT_TRUE(p.report.success);
+  const WhatIfEngine engine(testbed());
+  auto starved = base_config();
+  starved.set(k::kExecutorMemoryGiB, 1.0);
+  starved.set(k::kMemoryFraction, 0.3);
+  starved.set(k::kDefaultParallelism, 8);
+  const auto pred = engine.predict(p.report, p.conf, config::SparkConf(starved));
+  EXPECT_TRUE(pred.predicted_oom);
+}
+
+TEST(WhatIf, RefusesFailedProfiles) {
+  auto fatal = config::spark_space()->default_config();
+  fatal.set(k::kExecutorInstances, 8);
+  fatal.set(k::kExecutorCores, 8);
+  fatal.set(k::kMemoryFraction, 0.3);
+  fatal.set(k::kDefaultParallelism, 8);
+  const auto p = profile("sort", gib(64), fatal);
+  ASSERT_FALSE(p.report.success);
+  const WhatIfEngine engine(testbed());
+  const auto pred = engine.predict(p.report, p.conf, config::SparkConf(base_config()));
+  EXPECT_FALSE(pred.feasible);
+}
+
+TEST(WhatIf, RanksConfigurationsUsefully) {
+  // Starfish's job: given one profile, order candidate configurations.
+  // Require rank correlation with ground truth over a random candidate set.
+  const auto p = profile("sort", gib(16), base_config());
+  const WhatIfEngine engine(testbed());
+  const auto space = config::spark_space();
+  simcore::Rng rng(3);
+  std::vector<double> predicted, actual;
+  for (int i = 0; i < 30; ++i) {
+    const auto c = space->sample(rng);
+    const auto pred = engine.predict(p.report, p.conf, config::SparkConf(c));
+    if (!pred.feasible || pred.predicted_oom) continue;
+    const double truth = actual_runtime("sort", gib(16), c);
+    predicted.push_back(pred.runtime);
+    actual.push_back(truth);
+  }
+  ASSERT_GT(predicted.size(), 10u);
+  EXPECT_GT(simcore::pearson(predicted, actual), 0.5);
+}
+
+TEST(WhatIf, AccuracyDegradesFarFromTheProfiledConfig) {
+  // The paper's Starfish criticism: what-if accuracy suffers under
+  // configurations unlike the profiled one. Compare relative error for
+  // near neighbours vs. far-away random configs.
+  const auto p = profile("bayes", gib(16), base_config());
+  const WhatIfEngine engine(testbed());
+  const auto space = config::spark_space();
+  simcore::Rng rng(7);
+  auto mean_error = [&](bool near) {
+    double total = 0.0;
+    int n = 0;
+    for (int i = 0; i < 40; ++i) {
+      const auto c = near ? space->neighbor(base_config(), 0.05, 1, rng) : space->sample(rng);
+      const auto pred = engine.predict(p.report, p.conf, config::SparkConf(c));
+      if (!pred.feasible || pred.predicted_oom) continue;
+      const double truth = actual_runtime("bayes", gib(16), c);
+      total += std::abs(pred.runtime - truth) / truth;
+      ++n;
+    }
+    return n > 0 ? total / n : 1e9;
+  };
+  EXPECT_LT(mean_error(true), mean_error(false));
+}
+
+}  // namespace
+}  // namespace stune::disc

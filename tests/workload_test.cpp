@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "config/spark_space.hpp"
+#include "workload/execute.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::workload {
+namespace {
+
+namespace k = config::spark;
+using simcore::gib;
+
+TEST(Registry, AllNamesConstruct) {
+  for (const auto& name : workload_names()) {
+    const auto w = make_workload(name);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_workload("matrixfactorization"), std::invalid_argument);
+}
+
+TEST(Registry, EvolvingSizesGrow) {
+  const auto sizes = evolving_sizes();
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_LT(sizes[0], sizes[1]);
+  EXPECT_LT(sizes[1], sizes[2]);
+}
+
+// Every workload must produce a plannable, runnable lineage at every size.
+class WorkloadPlanning : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadPlanning, PlansAtAllEvolvingSizes) {
+  const auto w = make_workload(GetParam());
+  for (const auto size : evolving_sizes()) {
+    const auto plan = w->plan(size);
+    EXPECT_FALSE(plan.stages.empty());
+    EXPECT_EQ(plan.input_bytes, size);
+    // First stage reads the source; exactly one stage carries the action
+    // result.
+    int result_stages = 0;
+    for (const auto& s : plan.stages) result_stages += (s.result_bytes > 0) ? 1 : 0;
+    EXPECT_EQ(result_stages, 1);
+  }
+}
+
+TEST_P(WorkloadPlanning, ExecutesSuccessfullyOnAReasonableConfig) {
+  const auto w = make_workload(GetParam());
+  auto conf = config::spark_space()->default_config();
+  conf.set(k::kExecutorInstances, 16);
+  conf.set(k::kExecutorCores, 4);
+  conf.set(k::kExecutorMemoryGiB, 13.0);
+  conf.set(k::kDefaultParallelism, 256);
+  conf.set(k::kSqlShufflePartitions, 256);
+  conf.set(k::kDriverMemoryGiB, 8.0);
+  const disc::SparkSimulator sim(cluster::Cluster::from_spec({"h1.4xlarge", 4}));
+  const auto r = execute(*w, gib(8), sim, conf);
+  EXPECT_TRUE(r.success) << r.failure_reason;
+  EXPECT_GT(r.runtime, 1.0);
+  EXPECT_LT(r.runtime, 3600.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadPlanning,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(WordCount, HasTinyShuffleAndNoCache) {
+  const auto plan = WordCount().plan(gib(8));
+  EXPECT_EQ(plan.total_cache_bytes(), 0u);
+  EXPECT_LT(static_cast<double>(plan.total_shuffle_bytes()),
+            0.1 * static_cast<double>(plan.input_bytes));
+}
+
+TEST(Sort, ShufflesEverything) {
+  const auto plan = Sort().plan(gib(8));
+  EXPECT_GE(static_cast<double>(plan.total_shuffle_bytes()),
+            0.9 * static_cast<double>(plan.input_bytes));
+}
+
+TEST(PageRank, IsIterativeCacheAndShuffleHeavy) {
+  const PageRank w(5);
+  const auto plan = w.plan(gib(8));
+  // 5 iterations x (resend + join + reduce) + preamble stages.
+  EXPECT_GE(plan.stages.size(), 3u * 5u);
+  EXPECT_GT(plan.total_cache_bytes(), 0u);
+  // Each iteration re-shuffles the adjacency lists: aggregate shuffle far
+  // exceeds the input.
+  EXPECT_GT(plan.total_shuffle_bytes(), plan.input_bytes);
+}
+
+TEST(PageRank, StageCountScalesWithIterations) {
+  EXPECT_GT(PageRank(8).plan(gib(1)).stages.size(), PageRank(3).plan(gib(1)).stages.size());
+}
+
+TEST(KMeans, CachesThePoints) {
+  const auto plan = KMeans(4).plan(gib(8));
+  EXPECT_NEAR(static_cast<double>(plan.total_cache_bytes()),
+              static_cast<double>(plan.input_bytes), 0.05 * plan.input_bytes);
+}
+
+TEST(SqlJoin, BroadcastThresholdSwitchesJoinStrategy) {
+  const SqlJoin w;
+  auto base = config::spark_space()->default_config();
+
+  base.set(k::kAutoBroadcastJoinThresholdMiB, 0.0);  // broadcast disabled
+  const config::SparkConf shuffle_conf(base);
+  const auto shuffle_plan = w.plan(EvolvingSizes::kDS1, &shuffle_conf);
+
+  base.set(k::kAutoBroadcastJoinThresholdMiB, 256.0);
+  const config::SparkConf bcast_conf(base);
+  const auto bcast_plan = w.plan(EvolvingSizes::kDS1, &bcast_conf);
+
+  EXPECT_GT(shuffle_plan.total_shuffle_bytes(), bcast_plan.total_shuffle_bytes());
+  bool has_broadcast = false;
+  for (const auto& s : bcast_plan.stages) has_broadcast |= s.broadcast_bytes > 0;
+  EXPECT_TRUE(has_broadcast);
+}
+
+TEST(SqlJoin, UsesSqlShufflePartitions) {
+  const auto plan = SqlJoin().plan(gib(4));
+  EXPECT_TRUE(plan.is_sql);
+}
+
+TEST(Scan, IsASingleStageNoShuffleJob) {
+  const auto plan = Scan().plan(gib(8));
+  EXPECT_EQ(plan.stages.size(), 1u);
+  EXPECT_EQ(plan.total_shuffle_bytes(), 0u);
+  EXPECT_EQ(plan.total_cache_bytes(), 0u);
+  // Output is tiny: a grep keeps ~1% of its input.
+  EXPECT_LT(static_cast<double>(plan.stages[0].result_bytes),
+            0.02 * static_cast<double>(plan.input_bytes));
+}
+
+TEST(SqlAggregation, UsesSqlPartitionsAndCombinesHard) {
+  const auto plan = SqlAggregation().plan(gib(8));
+  EXPECT_TRUE(plan.is_sql);
+  EXPECT_LT(static_cast<double>(plan.total_shuffle_bytes()),
+            0.12 * static_cast<double>(plan.input_bytes));
+  EXPECT_EQ(plan.action, dag::ActionKind::kCollect);
+}
+
+TEST(Workloads, ResourceProfilesDiffer) {
+  // The characterization premise: wordcount is CPU/scan bound, sort is
+  // shuffle bound. Their plans must reflect that.
+  const auto wc = WordCount().plan(gib(8));
+  const auto so = Sort().plan(gib(8));
+  const double wc_shuffle_ratio =
+      static_cast<double>(wc.total_shuffle_bytes()) / static_cast<double>(wc.input_bytes);
+  const double so_shuffle_ratio =
+      static_cast<double>(so.total_shuffle_bytes()) / static_cast<double>(so.input_bytes);
+  EXPECT_LT(wc_shuffle_ratio, so_shuffle_ratio / 5.0);
+}
+
+}  // namespace
+}  // namespace stune::workload
