@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cloudconfig.dir/bench_cloudconfig.cpp.o"
+  "CMakeFiles/bench_cloudconfig.dir/bench_cloudconfig.cpp.o.d"
+  "bench_cloudconfig"
+  "bench_cloudconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cloudconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interpretability.dir/bench_interpretability.cpp.o"
+  "CMakeFiles/bench_interpretability.dir/bench_interpretability.cpp.o.d"
+  "bench_interpretability"
+  "bench_interpretability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interpretability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

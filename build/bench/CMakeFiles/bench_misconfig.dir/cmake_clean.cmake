@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_misconfig.dir/bench_misconfig.cpp.o"
+  "CMakeFiles/bench_misconfig.dir/bench_misconfig.cpp.o.d"
+  "bench_misconfig"
+  "bench_misconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

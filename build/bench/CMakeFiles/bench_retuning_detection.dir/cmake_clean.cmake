@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retuning_detection.dir/bench_retuning_detection.cpp.o"
+  "CMakeFiles/bench_retuning_detection.dir/bench_retuning_detection.cpp.o.d"
+  "bench_retuning_detection"
+  "bench_retuning_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retuning_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

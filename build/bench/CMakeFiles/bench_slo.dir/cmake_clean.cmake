@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slo.dir/bench_slo.cpp.o"
+  "CMakeFiles/bench_slo.dir/bench_slo.cpp.o.d"
+  "bench_slo"
+  "bench_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tuner_comparison.dir/bench_tuner_comparison.cpp.o"
+  "CMakeFiles/bench_tuner_comparison.dir/bench_tuner_comparison.cpp.o.d"
+  "bench_tuner_comparison"
+  "bench_tuner_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tuner_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolving_input.dir/evolving_input.cpp.o"
+  "CMakeFiles/evolving_input.dir/evolving_input.cpp.o.d"
+  "evolving_input"
+  "evolving_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolving_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

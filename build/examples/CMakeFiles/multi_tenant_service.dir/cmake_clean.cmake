@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_service.dir/multi_tenant_service.cpp.o"
+  "CMakeFiles/multi_tenant_service.dir/multi_tenant_service.cpp.o.d"
+  "multi_tenant_service"
+  "multi_tenant_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

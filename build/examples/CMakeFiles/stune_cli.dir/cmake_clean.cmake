@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stune_cli.dir/stune_cli.cpp.o"
+  "CMakeFiles/stune_cli.dir/stune_cli.cpp.o.d"
+  "stune_cli"
+  "stune_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

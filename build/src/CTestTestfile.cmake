@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("simcore")
+subdirs("linalg")
+subdirs("cluster")
+subdirs("config")
+subdirs("dag")
+subdirs("disc")
+subdirs("workload")
+subdirs("model")
+subdirs("tuning")
+subdirs("adaptive")
+subdirs("transfer")
+subdirs("service")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/change_detector.cpp" "src/adaptive/CMakeFiles/stune_adaptive.dir/change_detector.cpp.o" "gcc" "src/adaptive/CMakeFiles/stune_adaptive.dir/change_detector.cpp.o.d"
+  "/root/repo/src/adaptive/retuning_policy.cpp" "src/adaptive/CMakeFiles/stune_adaptive.dir/retuning_policy.cpp.o" "gcc" "src/adaptive/CMakeFiles/stune_adaptive.dir/retuning_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/stune_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

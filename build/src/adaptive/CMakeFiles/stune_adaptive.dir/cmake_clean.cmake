@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stune_adaptive.dir/change_detector.cpp.o"
+  "CMakeFiles/stune_adaptive.dir/change_detector.cpp.o.d"
+  "CMakeFiles/stune_adaptive.dir/retuning_policy.cpp.o"
+  "CMakeFiles/stune_adaptive.dir/retuning_policy.cpp.o.d"
+  "libstune_adaptive.a"
+  "libstune_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stune_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stune_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/stune_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/stune_cluster.dir/contention.cpp.o"
+  "CMakeFiles/stune_cluster.dir/contention.cpp.o.d"
+  "CMakeFiles/stune_cluster.dir/instance_type.cpp.o"
+  "CMakeFiles/stune_cluster.dir/instance_type.cpp.o.d"
+  "libstune_cluster.a"
+  "libstune_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stune_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

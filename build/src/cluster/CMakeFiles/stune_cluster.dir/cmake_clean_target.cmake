@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstune_cluster.a"
+)

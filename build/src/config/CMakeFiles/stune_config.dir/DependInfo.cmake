@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/config_space.cpp" "src/config/CMakeFiles/stune_config.dir/config_space.cpp.o" "gcc" "src/config/CMakeFiles/stune_config.dir/config_space.cpp.o.d"
+  "/root/repo/src/config/param.cpp" "src/config/CMakeFiles/stune_config.dir/param.cpp.o" "gcc" "src/config/CMakeFiles/stune_config.dir/param.cpp.o.d"
+  "/root/repo/src/config/spark_space.cpp" "src/config/CMakeFiles/stune_config.dir/spark_space.cpp.o" "gcc" "src/config/CMakeFiles/stune_config.dir/spark_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/stune_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

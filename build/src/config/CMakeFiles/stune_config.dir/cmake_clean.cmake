@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stune_config.dir/config_space.cpp.o"
+  "CMakeFiles/stune_config.dir/config_space.cpp.o.d"
+  "CMakeFiles/stune_config.dir/param.cpp.o"
+  "CMakeFiles/stune_config.dir/param.cpp.o.d"
+  "CMakeFiles/stune_config.dir/spark_space.cpp.o"
+  "CMakeFiles/stune_config.dir/spark_space.cpp.o.d"
+  "libstune_config.a"
+  "libstune_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stune_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstune_config.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stune_dag.dir/plan.cpp.o"
+  "CMakeFiles/stune_dag.dir/plan.cpp.o.d"
+  "CMakeFiles/stune_dag.dir/rdd.cpp.o"
+  "CMakeFiles/stune_dag.dir/rdd.cpp.o.d"
+  "libstune_dag.a"
+  "libstune_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stune_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disc/deployment.cpp" "src/disc/CMakeFiles/stune_disc.dir/deployment.cpp.o" "gcc" "src/disc/CMakeFiles/stune_disc.dir/deployment.cpp.o.d"
+  "/root/repo/src/disc/engine.cpp" "src/disc/CMakeFiles/stune_disc.dir/engine.cpp.o" "gcc" "src/disc/CMakeFiles/stune_disc.dir/engine.cpp.o.d"
+  "/root/repo/src/disc/eventlog.cpp" "src/disc/CMakeFiles/stune_disc.dir/eventlog.cpp.o" "gcc" "src/disc/CMakeFiles/stune_disc.dir/eventlog.cpp.o.d"
+  "/root/repo/src/disc/metrics.cpp" "src/disc/CMakeFiles/stune_disc.dir/metrics.cpp.o" "gcc" "src/disc/CMakeFiles/stune_disc.dir/metrics.cpp.o.d"
+  "/root/repo/src/disc/whatif.cpp" "src/disc/CMakeFiles/stune_disc.dir/whatif.cpp.o" "gcc" "src/disc/CMakeFiles/stune_disc.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/stune_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/stune_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/stune_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/stune_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

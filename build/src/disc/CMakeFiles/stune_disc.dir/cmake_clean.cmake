@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stune_disc.dir/deployment.cpp.o"
+  "CMakeFiles/stune_disc.dir/deployment.cpp.o.d"
+  "CMakeFiles/stune_disc.dir/engine.cpp.o"
+  "CMakeFiles/stune_disc.dir/engine.cpp.o.d"
+  "CMakeFiles/stune_disc.dir/eventlog.cpp.o"
+  "CMakeFiles/stune_disc.dir/eventlog.cpp.o.d"
+  "CMakeFiles/stune_disc.dir/metrics.cpp.o"
+  "CMakeFiles/stune_disc.dir/metrics.cpp.o.d"
+  "CMakeFiles/stune_disc.dir/whatif.cpp.o"
+  "CMakeFiles/stune_disc.dir/whatif.cpp.o.d"
+  "libstune_disc.a"
+  "libstune_disc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stune_disc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stune_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/stune_linalg.dir/matrix.cpp.o.d"
+  "libstune_linalg.a"
+  "libstune_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stune_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

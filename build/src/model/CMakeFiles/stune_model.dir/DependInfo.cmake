@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/additive_gp.cpp" "src/model/CMakeFiles/stune_model.dir/additive_gp.cpp.o" "gcc" "src/model/CMakeFiles/stune_model.dir/additive_gp.cpp.o.d"
+  "/root/repo/src/model/dataset.cpp" "src/model/CMakeFiles/stune_model.dir/dataset.cpp.o" "gcc" "src/model/CMakeFiles/stune_model.dir/dataset.cpp.o.d"
+  "/root/repo/src/model/gp.cpp" "src/model/CMakeFiles/stune_model.dir/gp.cpp.o" "gcc" "src/model/CMakeFiles/stune_model.dir/gp.cpp.o.d"
+  "/root/repo/src/model/kmedoids.cpp" "src/model/CMakeFiles/stune_model.dir/kmedoids.cpp.o" "gcc" "src/model/CMakeFiles/stune_model.dir/kmedoids.cpp.o.d"
+  "/root/repo/src/model/linear.cpp" "src/model/CMakeFiles/stune_model.dir/linear.cpp.o" "gcc" "src/model/CMakeFiles/stune_model.dir/linear.cpp.o.d"
+  "/root/repo/src/model/tree.cpp" "src/model/CMakeFiles/stune_model.dir/tree.cpp.o" "gcc" "src/model/CMakeFiles/stune_model.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/stune_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/stune_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stune_model.dir/additive_gp.cpp.o"
+  "CMakeFiles/stune_model.dir/additive_gp.cpp.o.d"
+  "CMakeFiles/stune_model.dir/dataset.cpp.o"
+  "CMakeFiles/stune_model.dir/dataset.cpp.o.d"
+  "CMakeFiles/stune_model.dir/gp.cpp.o"
+  "CMakeFiles/stune_model.dir/gp.cpp.o.d"
+  "CMakeFiles/stune_model.dir/kmedoids.cpp.o"
+  "CMakeFiles/stune_model.dir/kmedoids.cpp.o.d"
+  "CMakeFiles/stune_model.dir/linear.cpp.o"
+  "CMakeFiles/stune_model.dir/linear.cpp.o.d"
+  "CMakeFiles/stune_model.dir/tree.cpp.o"
+  "CMakeFiles/stune_model.dir/tree.cpp.o.d"
+  "libstune_model.a"
+  "libstune_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stune_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

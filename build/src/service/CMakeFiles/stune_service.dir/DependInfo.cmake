@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/cloud_tuner.cpp" "src/service/CMakeFiles/stune_service.dir/cloud_tuner.cpp.o" "gcc" "src/service/CMakeFiles/stune_service.dir/cloud_tuner.cpp.o.d"
+  "/root/repo/src/service/cost_ledger.cpp" "src/service/CMakeFiles/stune_service.dir/cost_ledger.cpp.o" "gcc" "src/service/CMakeFiles/stune_service.dir/cost_ledger.cpp.o.d"
+  "/root/repo/src/service/knowledge_base.cpp" "src/service/CMakeFiles/stune_service.dir/knowledge_base.cpp.o" "gcc" "src/service/CMakeFiles/stune_service.dir/knowledge_base.cpp.o.d"
+  "/root/repo/src/service/slo.cpp" "src/service/CMakeFiles/stune_service.dir/slo.cpp.o" "gcc" "src/service/CMakeFiles/stune_service.dir/slo.cpp.o.d"
+  "/root/repo/src/service/tradeoff.cpp" "src/service/CMakeFiles/stune_service.dir/tradeoff.cpp.o" "gcc" "src/service/CMakeFiles/stune_service.dir/tradeoff.cpp.o.d"
+  "/root/repo/src/service/tuning_service.cpp" "src/service/CMakeFiles/stune_service.dir/tuning_service.cpp.o" "gcc" "src/service/CMakeFiles/stune_service.dir/tuning_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/stune_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/stune_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/disc/CMakeFiles/stune_disc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/stune_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/stune_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/stune_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/stune_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/stune_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/stune_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/stune_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/stune_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stune_service.dir/cloud_tuner.cpp.o"
+  "CMakeFiles/stune_service.dir/cloud_tuner.cpp.o.d"
+  "CMakeFiles/stune_service.dir/cost_ledger.cpp.o"
+  "CMakeFiles/stune_service.dir/cost_ledger.cpp.o.d"
+  "CMakeFiles/stune_service.dir/knowledge_base.cpp.o"
+  "CMakeFiles/stune_service.dir/knowledge_base.cpp.o.d"
+  "CMakeFiles/stune_service.dir/slo.cpp.o"
+  "CMakeFiles/stune_service.dir/slo.cpp.o.d"
+  "CMakeFiles/stune_service.dir/tradeoff.cpp.o"
+  "CMakeFiles/stune_service.dir/tradeoff.cpp.o.d"
+  "CMakeFiles/stune_service.dir/tuning_service.cpp.o"
+  "CMakeFiles/stune_service.dir/tuning_service.cpp.o.d"
+  "libstune_service.a"
+  "libstune_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stune_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

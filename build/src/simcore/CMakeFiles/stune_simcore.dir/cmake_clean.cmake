@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stune_simcore.dir/rng.cpp.o"
+  "CMakeFiles/stune_simcore.dir/rng.cpp.o.d"
+  "CMakeFiles/stune_simcore.dir/stats.cpp.o"
+  "CMakeFiles/stune_simcore.dir/stats.cpp.o.d"
+  "CMakeFiles/stune_simcore.dir/units.cpp.o"
+  "CMakeFiles/stune_simcore.dir/units.cpp.o.d"
+  "libstune_simcore.a"
+  "libstune_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stune_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transfer/aroma.cpp" "src/transfer/CMakeFiles/stune_transfer.dir/aroma.cpp.o" "gcc" "src/transfer/CMakeFiles/stune_transfer.dir/aroma.cpp.o.d"
+  "/root/repo/src/transfer/characterization.cpp" "src/transfer/CMakeFiles/stune_transfer.dir/characterization.cpp.o" "gcc" "src/transfer/CMakeFiles/stune_transfer.dir/characterization.cpp.o.d"
+  "/root/repo/src/transfer/warm_start.cpp" "src/transfer/CMakeFiles/stune_transfer.dir/warm_start.cpp.o" "gcc" "src/transfer/CMakeFiles/stune_transfer.dir/warm_start.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disc/CMakeFiles/stune_disc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/stune_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/stune_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/stune_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/stune_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/stune_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/stune_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/stune_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stune_transfer.dir/aroma.cpp.o"
+  "CMakeFiles/stune_transfer.dir/aroma.cpp.o.d"
+  "CMakeFiles/stune_transfer.dir/characterization.cpp.o"
+  "CMakeFiles/stune_transfer.dir/characterization.cpp.o.d"
+  "CMakeFiles/stune_transfer.dir/warm_start.cpp.o"
+  "CMakeFiles/stune_transfer.dir/warm_start.cpp.o.d"
+  "libstune_transfer.a"
+  "libstune_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stune_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

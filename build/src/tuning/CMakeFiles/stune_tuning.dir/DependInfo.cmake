@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuning/bayesopt.cpp" "src/tuning/CMakeFiles/stune_tuning.dir/bayesopt.cpp.o" "gcc" "src/tuning/CMakeFiles/stune_tuning.dir/bayesopt.cpp.o.d"
+  "/root/repo/src/tuning/bestconfig.cpp" "src/tuning/CMakeFiles/stune_tuning.dir/bestconfig.cpp.o" "gcc" "src/tuning/CMakeFiles/stune_tuning.dir/bestconfig.cpp.o.d"
+  "/root/repo/src/tuning/genetic.cpp" "src/tuning/CMakeFiles/stune_tuning.dir/genetic.cpp.o" "gcc" "src/tuning/CMakeFiles/stune_tuning.dir/genetic.cpp.o.d"
+  "/root/repo/src/tuning/rl.cpp" "src/tuning/CMakeFiles/stune_tuning.dir/rl.cpp.o" "gcc" "src/tuning/CMakeFiles/stune_tuning.dir/rl.cpp.o.d"
+  "/root/repo/src/tuning/rtree.cpp" "src/tuning/CMakeFiles/stune_tuning.dir/rtree.cpp.o" "gcc" "src/tuning/CMakeFiles/stune_tuning.dir/rtree.cpp.o.d"
+  "/root/repo/src/tuning/simple_tuners.cpp" "src/tuning/CMakeFiles/stune_tuning.dir/simple_tuners.cpp.o" "gcc" "src/tuning/CMakeFiles/stune_tuning.dir/simple_tuners.cpp.o.d"
+  "/root/repo/src/tuning/tuner.cpp" "src/tuning/CMakeFiles/stune_tuning.dir/tuner.cpp.o" "gcc" "src/tuning/CMakeFiles/stune_tuning.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/stune_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/stune_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/stune_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/stune_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

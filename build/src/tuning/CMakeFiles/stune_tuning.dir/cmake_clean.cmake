@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stune_tuning.dir/bayesopt.cpp.o"
+  "CMakeFiles/stune_tuning.dir/bayesopt.cpp.o.d"
+  "CMakeFiles/stune_tuning.dir/bestconfig.cpp.o"
+  "CMakeFiles/stune_tuning.dir/bestconfig.cpp.o.d"
+  "CMakeFiles/stune_tuning.dir/genetic.cpp.o"
+  "CMakeFiles/stune_tuning.dir/genetic.cpp.o.d"
+  "CMakeFiles/stune_tuning.dir/rl.cpp.o"
+  "CMakeFiles/stune_tuning.dir/rl.cpp.o.d"
+  "CMakeFiles/stune_tuning.dir/rtree.cpp.o"
+  "CMakeFiles/stune_tuning.dir/rtree.cpp.o.d"
+  "CMakeFiles/stune_tuning.dir/simple_tuners.cpp.o"
+  "CMakeFiles/stune_tuning.dir/simple_tuners.cpp.o.d"
+  "CMakeFiles/stune_tuning.dir/tuner.cpp.o"
+  "CMakeFiles/stune_tuning.dir/tuner.cpp.o.d"
+  "libstune_tuning.a"
+  "libstune_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stune_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

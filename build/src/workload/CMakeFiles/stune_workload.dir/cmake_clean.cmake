@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stune_workload.dir/execute.cpp.o"
+  "CMakeFiles/stune_workload.dir/execute.cpp.o.d"
+  "CMakeFiles/stune_workload.dir/workload.cpp.o"
+  "CMakeFiles/stune_workload.dir/workload.cpp.o.d"
+  "libstune_workload.a"
+  "libstune_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stune_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

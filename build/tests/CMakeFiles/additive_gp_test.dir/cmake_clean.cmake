@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/additive_gp_test.dir/additive_gp_test.cpp.o"
+  "CMakeFiles/additive_gp_test.dir/additive_gp_test.cpp.o.d"
+  "additive_gp_test"
+  "additive_gp_test.pdb"
+  "additive_gp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/additive_gp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_gp_test.dir/model_gp_test.cpp.o"
+  "CMakeFiles/model_gp_test.dir/model_gp_test.cpp.o.d"
+  "model_gp_test"
+  "model_gp_test.pdb"
+  "model_gp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_gp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

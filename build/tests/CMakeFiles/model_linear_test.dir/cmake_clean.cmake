@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_linear_test.dir/model_linear_test.cpp.o"
+  "CMakeFiles/model_linear_test.dir/model_linear_test.cpp.o.d"
+  "model_linear_test"
+  "model_linear_test.pdb"
+  "model_linear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_linear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_tree_test.dir/model_tree_test.cpp.o"
+  "CMakeFiles/model_tree_test.dir/model_tree_test.cpp.o.d"
+  "model_tree_test"
+  "model_tree_test.pdb"
+  "model_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

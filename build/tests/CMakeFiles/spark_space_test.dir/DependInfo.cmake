@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spark_space_test.cpp" "tests/CMakeFiles/spark_space_test.dir/spark_space_test.cpp.o" "gcc" "tests/CMakeFiles/spark_space_test.dir/spark_space_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/service/CMakeFiles/stune_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/stune_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/stune_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/stune_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/stune_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/disc/CMakeFiles/stune_disc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/stune_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/stune_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/stune_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/stune_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/stune_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/stune_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

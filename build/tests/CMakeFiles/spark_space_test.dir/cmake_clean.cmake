@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_space_test.dir/spark_space_test.cpp.o"
+  "CMakeFiles/spark_space_test.dir/spark_space_test.cpp.o.d"
+  "spark_space_test"
+  "spark_space_test.pdb"
+  "spark_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

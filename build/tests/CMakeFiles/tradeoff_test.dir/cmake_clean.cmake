@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_test.dir/tradeoff_test.cpp.o"
+  "CMakeFiles/tradeoff_test.dir/tradeoff_test.cpp.o.d"
+  "tradeoff_test"
+  "tradeoff_test.pdb"
+  "tradeoff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

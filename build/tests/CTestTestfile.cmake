@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simcore_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/spark_space_test[1]_include.cmake")
+include("/root/repo/build/tests/dag_test[1]_include.cmake")
+include("/root/repo/build/tests/deployment_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/model_linear_test[1]_include.cmake")
+include("/root/repo/build/tests/model_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/model_gp_test[1]_include.cmake")
+include("/root/repo/build/tests/kmedoids_test[1]_include.cmake")
+include("/root/repo/build/tests/tuning_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_test[1]_include.cmake")
+include("/root/repo/build/tests/transfer_test[1]_include.cmake")
+include("/root/repo/build/tests/service_test[1]_include.cmake")
+include("/root/repo/build/tests/whatif_test[1]_include.cmake")
+include("/root/repo/build/tests/eventlog_test[1]_include.cmake")
+include("/root/repo/build/tests/tradeoff_test[1]_include.cmake")
+include("/root/repo/build/tests/aroma_test[1]_include.cmake")
+include("/root/repo/build/tests/additive_gp_test[1]_include.cmake")
+include("/root/repo/build/tests/cloud_strategy_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
