@@ -54,12 +54,12 @@ int main() {
         ++referenced;
         ok += (e.excess_fraction <= x) ? 1 : 0;
       }
-      return referenced ? static_cast<double>(ok) / referenced : 1.0;
+      return referenced ? static_cast<double>(ok) / static_cast<double>(referenced) : 1.0;
     };
     const double a10 = attainment_at(0.10), a25 = attainment_at(0.25), a50 = attainment_at(0.50);
-    overall10 += a10 / tenants.size();
-    overall25 += a25 / tenants.size();
-    overall50 += a50 / tenants.size();
+    overall10 += a10 / static_cast<double>(tenants.size());
+    overall25 += a25 / static_cast<double>(tenants.size());
+    overall50 += a50 / static_cast<double>(tenants.size());
     table.add_row({t.workload, fmt("%.0f", static_cast<double>(tracker.runs())),
                    pct(tracker.mean_excess_fraction()), pct(a10), pct(a25), pct(a50),
                    fmt("%.2f", svc.ledger(t.handle).cumulative_savings())});

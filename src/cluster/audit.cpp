@@ -1,0 +1,68 @@
+#include "cluster/audit.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace stune::cluster {
+
+namespace {
+
+template <typename... Args>
+void report(std::vector<std::string>& out, Args&&... args) {
+  std::ostringstream msg;
+  (msg << ... << args);
+  out.push_back(msg.str());
+}
+
+}  // namespace
+
+std::vector<std::string> audit(const Cluster& cluster) {
+  std::vector<std::string> v;
+  const InstanceType& t = cluster.type();
+  if (cluster.vm_count() <= 0) report(v, "cluster has non-positive vm_count ", cluster.vm_count());
+  if (t.vcpus <= 0) report(v, "instance type '", t.name, "' has non-positive vcpus ", t.vcpus);
+  if (!(t.memory_gib > 0.0)) {
+    report(v, "instance type '", t.name, "' has non-positive memory ", t.memory_gib, " GiB");
+  }
+  if (t.usable_memory_bytes() > t.memory_bytes()) {
+    report(v, "instance type '", t.name, "' reports more usable memory than physical memory");
+  }
+  if (!(t.core_speed > 0.0 && std::isfinite(t.core_speed))) {
+    report(v, "instance type '", t.name, "' has invalid core_speed ", t.core_speed);
+  }
+  if (!(t.disk_bw > 0.0)) report(v, "instance type '", t.name, "' has non-positive disk bandwidth");
+  if (!(t.net_bw > 0.0)) report(v, "instance type '", t.name, "' has non-positive net bandwidth");
+  if (!(t.price_per_hour > 0.0)) {
+    report(v, "instance type '", t.name, "' has non-positive price ", t.price_per_hour);
+  }
+  return v;
+}
+
+std::vector<std::string> audit_packing(const Cluster& cluster, int executors_per_vm,
+                                       int cores_per_executor, Bytes container_bytes) {
+  std::vector<std::string> v;
+  if (executors_per_vm <= 0) {
+    report(v, "packing places ", executors_per_vm, " executors on a VM");
+    return v;
+  }
+  if (cores_per_executor <= 0) {
+    report(v, "executors have non-positive core count ", cores_per_executor);
+    return v;
+  }
+  const InstanceType& t = cluster.type();
+  const long packed_cores =
+      static_cast<long>(executors_per_vm) * static_cast<long>(cores_per_executor);
+  if (packed_cores > t.vcpus) {
+    report(v, "core oversubscription: ", executors_per_vm, " executors x ", cores_per_executor,
+           " cores = ", packed_cores, " > ", t.vcpus, " vcpus on ", t.name);
+  }
+  const Bytes packed_mem = static_cast<Bytes>(executors_per_vm) * container_bytes;
+  if (packed_mem > cluster.usable_memory_per_vm()) {
+    report(v, "memory oversubscription: ", executors_per_vm, " containers x ", container_bytes,
+           " bytes = ", packed_mem, " > ", cluster.usable_memory_per_vm(),
+           " usable bytes on ", t.name);
+  }
+  return v;
+}
+
+}  // namespace stune::cluster

@@ -1,0 +1,28 @@
+// Invariant auditor for clusters and executor packing.
+//
+// A cluster's catalog-derived resource figures must be physically sensible
+// (positive cores, memory, bandwidth, price), and any packing of executor
+// containers onto its VMs must not oversubscribe cores or memory — the
+// YARN-container property resolve_deployment relies on. Returns violations
+// instead of throwing; pass through simcore::enforce_invariants for
+// fail-stop use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace stune::cluster {
+
+/// Audit a cluster's resource figures.
+std::vector<std::string> audit(const Cluster& cluster);
+
+/// Audit a proposed per-VM packing: `executors_per_vm` containers of
+/// `cores_per_executor` cores and `container_bytes` memory each must fit a
+/// single VM of this cluster without oversubscribing vcpus or usable
+/// memory.
+std::vector<std::string> audit_packing(const Cluster& cluster, int executors_per_vm,
+                                       int cores_per_executor, Bytes container_bytes);
+
+}  // namespace stune::cluster

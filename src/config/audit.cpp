@@ -1,0 +1,121 @@
+#include "config/audit.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace stune::config {
+
+namespace {
+
+template <typename... Args>
+void report(std::vector<std::string>& out, Args&&... args) {
+  std::ostringstream msg;
+  (msg << ... << args);
+  out.push_back(msg.str());
+}
+
+}  // namespace
+
+std::vector<std::string> audit(const ParamDef& def) {
+  std::vector<std::string> v;
+  const std::string who = "param '" + def.name + "'";
+  if (def.name.empty()) report(v, "parameter with empty name");
+
+  switch (def.type) {
+    case ParamType::kInt:
+    case ParamType::kFloat:
+      if (!(std::isfinite(def.min_value) && std::isfinite(def.max_value))) {
+        report(v, who, " has non-finite bounds [", def.min_value, ", ", def.max_value, "]");
+        break;
+      }
+      if (def.min_value > def.max_value) {
+        report(v, who, " has inverted bounds [", def.min_value, ", ", def.max_value, "]");
+      }
+      if (def.log_scale && def.min_value <= 0.0) {
+        report(v, who, " is log-scale but its range includes ", def.min_value, " <= 0");
+      }
+      if (def.default_value < def.min_value || def.default_value > def.max_value) {
+        report(v, who, " default ", def.default_value, " lies outside [", def.min_value, ", ",
+               def.max_value, "]");
+      }
+      break;
+    case ParamType::kBool:
+      if (def.default_value != 0.0 && def.default_value != 1.0) {
+        report(v, who, " is boolean but defaults to ", def.default_value);
+      }
+      break;
+    case ParamType::kCategorical: {
+      if (def.categories.empty()) {
+        report(v, who, " is categorical with no categories");
+        break;
+      }
+      const auto idx = def.default_value;
+      if (idx < 0.0 || idx >= static_cast<double>(def.categories.size()) ||
+          idx != std::floor(idx)) {
+        report(v, who, " categorical default index ", idx, " is not a valid index into ",
+               def.categories.size(), " categories");
+      }
+      std::set<std::string> seen;
+      for (const auto& c : def.categories) {
+        if (c.empty()) report(v, who, " has an empty category label");
+        if (!seen.insert(c).second) report(v, who, " repeats category label '", c, "'");
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+std::vector<std::string> audit(const ConfigSpace& space) {
+  std::vector<std::string> v;
+  if (space.size() == 0) report(v, "configuration space has no parameters");
+
+  std::set<std::string> names;
+  std::size_t encoded = 0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const ParamDef& def = space.param(i);
+    for (auto& violation : audit(def)) v.push_back(std::move(violation));
+    if (!names.insert(def.name).second) report(v, "duplicate parameter name '", def.name, "'");
+    encoded += def.type == ParamType::kCategorical ? def.categories.size() : 1;
+  }
+  if (encoded != space.encoded_size()) {
+    report(v, "encoded_size ", space.encoded_size(), " does not match the ", encoded,
+           " features implied by the parameter list");
+  }
+  return v;
+}
+
+std::vector<std::string> audit_values(const ConfigSpace& space, const std::vector<double>& values) {
+  std::vector<std::string> v;
+  if (values.size() != space.size()) {
+    report(v, "value vector holds ", values.size(), " values for a space of ", space.size(),
+           " parameters");
+    return v;
+  }
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const ParamDef& def = space.param(i);
+    const double raw = values[i];
+    if (!std::isfinite(raw)) {
+      report(v, "param '", def.name, "' holds non-finite value ", raw);
+      continue;
+    }
+    const double sane = def.sanitize(raw);
+    if (raw != sane) {
+      report(v, "param '", def.name, "' holds out-of-domain value ", raw, " (sanitizes to ",
+             sane, ")");
+    }
+  }
+  return v;
+}
+
+std::vector<std::string> audit(const Configuration& c) {
+  std::vector<std::string> v;
+  if (c.empty()) {
+    report(v, "configuration has no space");
+    return v;
+  }
+  return audit_values(c.space(), c.values());
+}
+
+}  // namespace stune::config

@@ -1,0 +1,38 @@
+// Invariant auditor for configuration spaces and configurations.
+//
+// Validates the bounds metadata every tuner's sampling, encoding and
+// neighbourhood operations assume: well-ordered ranges, positive log-scale
+// domains, in-range defaults, and — for concrete configurations — values
+// that lie inside their parameter's domain. Returns violations instead of
+// throwing; pass through simcore::enforce_invariants for fail-stop use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/config_space.hpp"
+#include "config/param.hpp"
+
+namespace stune::config {
+
+/// Audit one parameter definition (used by the space audit; exposed for
+/// tests that construct ParamDefs directly).
+std::vector<std::string> audit(const ParamDef& def);
+
+/// Audit a whole space: every parameter definition, plus cross-parameter
+/// rules (unique non-empty names, encoded_size consistency).
+std::vector<std::string> audit(const ConfigSpace& space);
+
+/// Audit a raw value vector against a space: value count matches the
+/// parameter count and every value is a fixed point of sanitize() (i.e. it
+/// lies in the parameter's stored domain). This is the validation point for
+/// values arriving from outside the process (event logs, service requests,
+/// serialized observations) before a Configuration is constructed — the
+/// Configuration constructor itself sanitizes, so corruption can only be
+/// observed on the raw vector.
+std::vector<std::string> audit_values(const ConfigSpace& space, const std::vector<double>& values);
+
+/// Audit a configuration against its own space (delegates to audit_values).
+std::vector<std::string> audit(const Configuration& c);
+
+}  // namespace stune::config

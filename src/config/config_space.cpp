@@ -1,10 +1,11 @@
 #include "config/config_space.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+
+#include "simcore/check.hpp"
 
 namespace stune::config {
 
@@ -159,7 +160,7 @@ std::vector<Configuration> ConfigSpace::divide_and_diverge(std::size_t n,
 }
 
 std::vector<double> ConfigSpace::encode(const Configuration& c) const {
-  assert(&c.space() == this);
+  STUNE_CHECK(&c.space() == this) << " configuration belongs to a different space";
   std::vector<double> features;
   features.reserve(encoded_size_);
   for (std::size_t i = 0; i < params_.size(); ++i) {
@@ -197,7 +198,7 @@ Configuration ConfigSpace::from_unit(const std::vector<double>& unit) const {
 }
 
 std::vector<double> ConfigSpace::to_unit(const Configuration& c) const {
-  assert(&c.space() == this);
+  STUNE_CHECK(&c.space() == this) << " configuration belongs to a different space";
   std::vector<double> unit(params_.size());
   for (std::size_t i = 0; i < params_.size(); ++i) unit[i] = params_[i].to_unit(c[i]);
   return unit;
@@ -205,7 +206,7 @@ std::vector<double> ConfigSpace::to_unit(const Configuration& c) const {
 
 Configuration ConfigSpace::neighbor(const Configuration& c, double step_frac,
                                     std::size_t mutations, simcore::Rng& rng) const {
-  assert(&c.space() == this);
+  STUNE_CHECK(&c.space() == this) << " configuration belongs to a different space";
   mutations = std::max<std::size_t>(1, std::min(mutations, params_.size()));
   std::vector<std::size_t> dims(params_.size());
   std::iota(dims.begin(), dims.end(), std::size_t{0});

@@ -1,10 +1,11 @@
 #include "config/param.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+
+#include "simcore/check.hpp"
 
 namespace stune::config {
 
@@ -118,7 +119,7 @@ std::string ParamDef::format_value(double value) const {
     case ParamType::kBool: return v >= 0.5 ? "true" : "false";
     case ParamType::kCategorical: {
       const auto idx = static_cast<std::size_t>(v);
-      assert(idx < categories.size());
+      STUNE_CHECK_LT(idx, categories.size());
       return categories[idx];
     }
     case ParamType::kInt: return std::to_string(static_cast<long>(v));

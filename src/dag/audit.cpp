@@ -1,0 +1,101 @@
+#include "dag/audit.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace stune::dag {
+
+namespace {
+
+template <typename... Args>
+void report(std::vector<std::string>& out, Args&&... args) {
+  std::ostringstream msg;
+  (msg << ... << args);
+  out.push_back(msg.str());
+}
+
+bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
+
+}  // namespace
+
+std::vector<std::string> audit(const PhysicalPlan& plan) {
+  std::vector<std::string> v;
+  if (plan.stages.empty()) {
+    report(v, "plan '", plan.workload, "' has no stages");
+    return v;
+  }
+  if (plan.input_bytes == 0) report(v, "plan input_bytes is zero");
+
+  const auto n = static_cast<int>(plan.stages.size());
+  for (int i = 0; i < n; ++i) {
+    const StagePlan& s = plan.stages[static_cast<std::size_t>(i)];
+    if (s.id != i) {
+      report(v, "stage at position ", i, " has id ", s.id,
+             " (stages must be topologically ordered with id == position)");
+      continue;  // downstream id-based checks would misfire
+    }
+
+    std::set<int> seen_parents;
+    for (const int p : s.parent_stages) {
+      if (p < 0 || p >= n) {
+        report(v, "stage ", i, " references out-of-range parent ", p);
+      } else if (p >= i) {
+        report(v, "stage ", i, " depends on stage ", p,
+               p == i ? " (self-loop)" : " (back edge: cycle or broken topological order)");
+      }
+      if (!seen_parents.insert(p).second) {
+        report(v, "stage ", i, " lists parent ", p, " more than once");
+      }
+    }
+
+    for (const auto& in : s.shuffle_inputs) {
+      if (in.from_stage < 0 || in.from_stage >= n) {
+        report(v, "stage ", i, " reads a shuffle from out-of-range stage ", in.from_stage);
+        continue;
+      }
+      if (seen_parents.count(in.from_stage) == 0) {
+        report(v, "stage barrier violation: stage ", i, " reads a shuffle from stage ",
+               in.from_stage, " without listing it as a parent");
+      }
+    }
+
+    if (!finite_nonneg(s.cpu_ref_seconds)) {
+      report(v, "stage ", i, " has invalid cpu_ref_seconds ", s.cpu_ref_seconds);
+    }
+    if (!finite_nonneg(s.records)) report(v, "stage ", i, " has invalid records ", s.records);
+    if (!finite_nonneg(s.skew_sigma)) {
+      report(v, "stage ", i, " has invalid skew_sigma ", s.skew_sigma);
+    }
+    if (!(std::isfinite(s.record_size) && s.record_size > 0.0)) {
+      report(v, "stage ", i, " has non-positive record_size ", s.record_size);
+    }
+    if (!finite_nonneg(s.recompute_cpu_per_gib)) {
+      report(v, "stage ", i, " has invalid recompute_cpu_per_gib ", s.recompute_cpu_per_gib);
+    }
+    if (s.materialized_read_bytes == 0 && s.materialized_parent_cached) {
+      report(v, "stage ", i, " claims a cached materialized parent but reads no bytes from it");
+    }
+  }
+
+  // Shuffle conservation: everything a stage writes is read exactly once
+  // downstream, and nothing is read that was never written.
+  std::vector<Bytes> consumed(static_cast<std::size_t>(n), 0);
+  for (const auto& s : plan.stages) {
+    for (const auto& in : s.shuffle_inputs) {
+      if (in.from_stage >= 0 && in.from_stage < n) {
+        consumed[static_cast<std::size_t>(in.from_stage)] += in.bytes;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const Bytes written = plan.stages[static_cast<std::size_t>(i)].shuffle_write_bytes;
+    if (consumed[static_cast<std::size_t>(i)] != written) {
+      report(v, "shuffle conservation violation: stage ", i, " wrote ", written,
+             " bytes but consumers read ", consumed[static_cast<std::size_t>(i)]);
+    }
+  }
+  return v;
+}
+
+}  // namespace stune::dag

@@ -1,0 +1,33 @@
+// Invariant auditor for physical plans.
+//
+// Checks the structural properties build_physical_plan guarantees and the
+// engine depends on: stages are topologically ordered and acyclic, shuffle
+// edges respect stage barriers, and the per-stage cost annotations are
+// finite and non-negative. Returns the violations instead of throwing so
+// tests can inject broken plans and assert on what the auditor reports;
+// pass the result through simcore::enforce_invariants for fail-stop use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/plan.hpp"
+
+namespace stune::dag {
+
+/// Audit a physical plan. Empty result == all invariants hold.
+///
+/// Invariant catalog:
+///  - plan has at least one stage; stage ids equal their position (the
+///    topological order contract), so any parent reference p < id proves
+///    acyclicity and any p >= id is a back/self edge;
+///  - parent ids are in range and listed at most once;
+///  - stage-barrier consistency: every ShuffleInput.from_stage is also a
+///    parent stage (a stage cannot read a shuffle it does not wait for);
+///  - shuffle conservation: the bytes consumers read from stage k sum to
+///    exactly what stage k wrote (no shuffle data invented or lost);
+///  - cost annotations (cpu_ref_seconds, records, skew_sigma, record_size,
+///    recompute_cpu_per_gib) are finite and non-negative.
+std::vector<std::string> audit(const PhysicalPlan& plan);
+
+}  // namespace stune::dag

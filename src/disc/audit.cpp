@@ -1,0 +1,203 @@
+#include "disc/audit.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "cluster/audit.hpp"
+
+namespace stune::disc {
+
+namespace {
+
+constexpr Bytes kReservedPerExecutor = 300ULL * 1024 * 1024;
+
+template <typename... Args>
+void report(std::vector<std::string>& out, Args&&... args) {
+  std::ostringstream msg;
+  (msg << ... << args);
+  out.push_back(msg.str());
+}
+
+bool finite_nonneg(double x) { return std::isfinite(x) && x >= 0.0; }
+
+/// Relative comparison for rolled-up double sums.
+bool close(double a, double b) {
+  return std::abs(a - b) <= 1e-6 + 1e-9 * std::max(std::abs(a), std::abs(b));
+}
+
+void check_seconds(std::vector<std::string>& v, int stage_id, const char* what, double value) {
+  if (!finite_nonneg(value)) {
+    report(v, "stage ", stage_id, " has invalid ", what, " ", value);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> audit(const Deployment& d, const config::SparkConf& conf,
+                               const cluster::Cluster& cluster) {
+  std::vector<std::string> v;
+  if (!d.viable) {
+    if (d.failure.empty()) report(v, "non-viable deployment carries no failure reason");
+    return v;
+  }
+  if (!d.failure.empty()) report(v, "viable deployment carries failure reason '", d.failure, "'");
+
+  if (d.executors <= 0) report(v, "viable deployment has ", d.executors, " executors");
+  if (d.executors_per_vm <= 0) report(v, "viable deployment packs ", d.executors_per_vm, "/VM");
+  if (d.slots_per_executor <= 0) {
+    report(v, "viable deployment has ", d.slots_per_executor, " slots per executor");
+  }
+  if (d.total_slots != d.executors * d.slots_per_executor) {
+    report(v, "slot arithmetic broken: total_slots ", d.total_slots, " != executors ",
+           d.executors, " x slots_per_executor ", d.slots_per_executor);
+  }
+  if (d.slots_per_vm != d.executors_per_vm * d.slots_per_executor) {
+    report(v, "slot arithmetic broken: slots_per_vm ", d.slots_per_vm, " != executors_per_vm ",
+           d.executors_per_vm, " x slots_per_executor ", d.slots_per_executor);
+  }
+  if (d.executors > d.executors_per_vm * cluster.vm_count()) {
+    report(v, "fleet of ", d.executors, " exceeds per-VM packing x vm_count = ",
+           d.executors_per_vm * cluster.vm_count());
+  }
+
+  // Memory conservation within one executor: reserve + unified <= heap,
+  // storage target inside the unified region.
+  if (d.heap_per_executor <= kReservedPerExecutor) {
+    report(v, "executor heap ", d.heap_per_executor, " does not cover Spark's reserve ",
+           kReservedPerExecutor);
+  } else if (d.unified_per_executor > d.heap_per_executor - kReservedPerExecutor) {
+    report(v, "memory conservation violation: unified region ", d.unified_per_executor,
+           " + reserve ", kReservedPerExecutor, " exceeds heap ", d.heap_per_executor);
+  }
+  if (d.storage_target_per_executor > d.unified_per_executor) {
+    report(v, "storage target ", d.storage_target_per_executor, " exceeds unified region ",
+           d.unified_per_executor);
+  }
+
+  // Packing against the physical VM (core and container-memory bounds).
+  const auto container = static_cast<Bytes>(
+      static_cast<double>(d.heap_per_executor) * (1.0 + conf.memory_overhead_factor));
+  for (auto& violation :
+       cluster::audit_packing(cluster, d.executors_per_vm, conf.executor_cores, container)) {
+    v.push_back(std::move(violation));
+  }
+  return v;
+}
+
+std::vector<std::string> audit_stage(const StageMetrics& m, int total_slots) {
+  std::vector<std::string> v;
+  if (m.tasks <= 0) report(v, "stage ", m.stage_id, " launched ", m.tasks, " tasks");
+  if (m.failed_tasks < 0 || m.failed_tasks > m.tasks) {
+    report(v, "task conservation violation: stage ", m.stage_id, " reports ", m.failed_tasks,
+           " failed of ", m.tasks, " launched");
+  }
+  if (total_slots > 0 && m.tasks > 0 && m.waves > 0) {
+    const int expected = (m.tasks + total_slots - 1) / total_slots;
+    if (m.waves != expected) {
+      report(v, "stage ", m.stage_id, " reports ", m.waves, " waves for ", m.tasks,
+             " tasks on ", total_slots, " slots (expected ", expected, ")");
+    }
+  }
+  check_seconds(v, m.stage_id, "start", m.start);
+  check_seconds(v, m.stage_id, "duration", m.duration);
+  check_seconds(v, m.stage_id, "cpu_seconds", m.cpu_seconds);
+  check_seconds(v, m.stage_id, "gc_seconds", m.gc_seconds);
+  check_seconds(v, m.stage_id, "disk_seconds", m.disk_seconds);
+  check_seconds(v, m.stage_id, "net_seconds", m.net_seconds);
+  check_seconds(v, m.stage_id, "spill_seconds", m.spill_seconds);
+  check_seconds(v, m.stage_id, "overhead_seconds", m.overhead_seconds);
+  if (!(m.cache_hit_fraction >= 0.0 && m.cache_hit_fraction <= 1.0)) {
+    report(v, "stage ", m.stage_id, " cache_hit_fraction ", m.cache_hit_fraction,
+           " outside [0, 1]");
+  }
+  // Spill conservation: the engine only spills aggregation state built from
+  // shuffle reads, so spilled bytes imply shuffle input.
+  if (m.spilled_bytes > 0 && m.shuffle_read_bytes == 0) {
+    report(v, "stage ", m.stage_id, " spilled ", m.spilled_bytes,
+           " bytes without reading any shuffle data");
+  }
+  // (sub-millisecond spill time can round to zero whole bytes; ignore it)
+  if (m.spill_seconds > 1e-3 && m.spilled_bytes == 0) {
+    report(v, "stage ", m.stage_id, " charged ", m.spill_seconds,
+           " spill seconds without spilling bytes");
+  }
+  return v;
+}
+
+std::vector<std::string> audit(const ExecutionReport& report_in) {
+  std::vector<std::string> v;
+  if (report_in.success && !report_in.failure_reason.empty()) {
+    report(v, "successful report carries failure reason '", report_in.failure_reason, "'");
+  }
+  if (!report_in.success && report_in.failure_reason.empty()) {
+    report(v, "failed report carries no failure reason");
+  }
+  if (!finite_nonneg(report_in.runtime)) report(v, "invalid runtime ", report_in.runtime);
+  if (!finite_nonneg(report_in.cost)) report(v, "invalid cost ", report_in.cost);
+  if (!(report_in.cache_hit_fraction >= 0.0 && report_in.cache_hit_fraction <= 1.0)) {
+    report(v, "cache_hit_fraction ", report_in.cache_hit_fraction, " outside [0, 1]");
+  }
+  if (report_in.success && report_in.total_slots <= 0) {
+    report(v, "successful report with ", report_in.total_slots, " slots");
+  }
+
+  // Stage-level sanity (waves are not re-checked here: failure reports may
+  // legitimately contain a partially-scheduled final stage).
+  Seconds cpu = 0.0, gc = 0.0, disk = 0.0, net = 0.0, spill = 0.0, overhead = 0.0;
+  Bytes input = 0, sread = 0, swrite = 0, spilled = 0;
+  for (const StageMetrics& m : report_in.stages) {
+    for (auto& violation : audit_stage(m, 0)) v.push_back(std::move(violation));
+    if (report_in.success &&
+        m.start + m.duration > report_in.runtime * (1.0 + 1e-9) + 1e-6) {
+      report(v, "stage ", m.stage_id, " finishes at ", m.start + m.duration,
+             " after the reported runtime ", report_in.runtime);
+    }
+    cpu += m.cpu_seconds;
+    gc += m.gc_seconds;
+    disk += m.disk_seconds;
+    net += m.net_seconds;
+    spill += m.spill_seconds;
+    overhead += m.overhead_seconds;
+    input += m.input_bytes;
+    sread += m.shuffle_read_bytes;
+    swrite += m.shuffle_write_bytes;
+    spilled += m.spilled_bytes;
+  }
+
+  // Aggregate conservation: report totals must equal the stage roll-up.
+  if (!close(report_in.total_cpu, cpu)) {
+    report(v, "aggregate cpu ", report_in.total_cpu, " != stage roll-up ", cpu);
+  }
+  if (!close(report_in.total_gc, gc)) {
+    report(v, "aggregate gc ", report_in.total_gc, " != stage roll-up ", gc);
+  }
+  if (!close(report_in.total_disk, disk)) {
+    report(v, "aggregate disk ", report_in.total_disk, " != stage roll-up ", disk);
+  }
+  if (!close(report_in.total_net, net)) {
+    report(v, "aggregate net ", report_in.total_net, " != stage roll-up ", net);
+  }
+  if (!close(report_in.total_spill, spill)) {
+    report(v, "aggregate spill ", report_in.total_spill, " != stage roll-up ", spill);
+  }
+  if (!close(report_in.total_overhead, overhead)) {
+    report(v, "aggregate overhead ", report_in.total_overhead, " != stage roll-up ", overhead);
+  }
+  if (report_in.total_input != input) {
+    report(v, "aggregate input bytes ", report_in.total_input, " != stage roll-up ", input);
+  }
+  if (report_in.total_shuffle_read != sread) {
+    report(v, "aggregate shuffle-read bytes ", report_in.total_shuffle_read,
+           " != stage roll-up ", sread);
+  }
+  if (report_in.total_shuffle_write != swrite) {
+    report(v, "aggregate shuffle-write bytes ", report_in.total_shuffle_write,
+           " != stage roll-up ", swrite);
+  }
+  if (report_in.total_spilled != spilled) {
+    report(v, "aggregate spilled bytes ", report_in.total_spilled, " != stage roll-up ", spilled);
+  }
+  return v;
+}
+
+}  // namespace stune::disc

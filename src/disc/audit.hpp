@@ -1,0 +1,45 @@
+// Invariant auditors for the execution layer: executor deployments and
+// engine execution reports.
+//
+// Deployment audit — memory-accounting conservation: the unified region
+// plus Spark's fixed reserve fits the heap, the storage target fits the
+// unified region, containers fit their VM, and the slot arithmetic is
+// internally consistent (no core or memory oversubscription, delegated to
+// cluster::audit_packing).
+//
+// Report audit — engine conservation laws: per-stage resource seconds are
+// finite and non-negative, task counts are conserved across retries and
+// OOMs (failed <= launched), spill only occurs where shuffle data was
+// read, stage-level totals roll up exactly into the report aggregates, and
+// simulated time is consistent (no stage finishes after the reported
+// runtime).
+//
+// All auditors return violations instead of throwing; pass the result
+// through simcore::enforce_invariants for fail-stop use. The engine does
+// exactly that at stage boundaries when simcore::audit_enabled().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "config/spark_space.hpp"
+#include "disc/deployment.hpp"
+#include "disc/metrics.hpp"
+
+namespace stune::disc {
+
+/// Audit a resolved deployment against the configuration and cluster that
+/// produced it.
+std::vector<std::string> audit(const Deployment& d, const config::SparkConf& conf,
+                               const cluster::Cluster& cluster);
+
+/// Audit one completed stage's metrics (called by the engine at each stage
+/// boundary). `total_slots` is the fleet-wide slot count used to check the
+/// wave arithmetic.
+std::vector<std::string> audit_stage(const StageMetrics& m, int total_slots);
+
+/// Audit a finalized execution report.
+std::vector<std::string> audit(const ExecutionReport& report);
+
+}  // namespace stune::disc

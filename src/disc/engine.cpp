@@ -1,11 +1,16 @@
 #include "disc/engine.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "cluster/audit.hpp"
+#include "config/audit.hpp"
+#include "dag/audit.hpp"
+#include "disc/audit.hpp"
+#include "simcore/check.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/stats.hpp"
 
@@ -70,6 +75,9 @@ SparkSimulator::SparkSimulator(cluster::Cluster cluster, EngineOptions options)
 
 ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
                                     const config::Configuration& conf) const {
+  if (simcore::audit_enabled()) {
+    simcore::enforce_invariants(config::audit(conf), "configuration");
+  }
   return run(plan, config::SparkConf(conf));
 }
 
@@ -78,13 +86,27 @@ ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
   const CostModel& cm = options_.cost;
   ExecutionReport report;
 
+  // When auditing is on, every report leaves through this gate; the
+  // conservation laws are re-checked on failure reports too.
+  const bool auditing = simcore::audit_enabled();
+  auto finish = [auditing](ExecutionReport r) {
+    r.finalize_aggregates();
+    if (auditing) simcore::enforce_invariants(audit(r), "execution report");
+    return r;
+  };
+  if (auditing) {
+    simcore::enforce_invariants(dag::audit(plan), "physical plan");
+    simcore::enforce_invariants(cluster::audit(cluster_), "cluster");
+  }
+
   const Deployment dep = resolve_deployment(conf, cluster_);
+  if (auditing) simcore::enforce_invariants(audit(dep, conf, cluster_), "deployment");
   if (!dep.viable) {
     // The cluster manager rejects the request after a short negotiation.
     report.failure_reason = dep.failure;
     report.runtime = 45.0;
     report.cost = cluster_.cost_of(report.runtime);
-    return report;
+    return finish(std::move(report));
   }
   report.executors = dep.executors;
   report.total_slots = dep.total_slots;
@@ -171,8 +193,7 @@ ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
         report.runtime = start + 5.0;
         report.cost = cluster_.cost_of(report.runtime);
         report.stages.push_back(m);
-        report.finalize_aggregates();
-        return report;
+        return finish(std::move(report));
       }
       const double block = conf.broadcast_block_size_mib * kMiBf;
       const double blocks = std::max(1.0, b / block);
@@ -342,8 +363,7 @@ ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
       report.failure_reason = "task OOM: aggregation working set exceeds execution memory";
       report.runtime = start + elapsed;
       report.cost = cluster_.cost_of(report.runtime);
-      report.finalize_aggregates();
-      return report;
+      return finish(std::move(report));
     }
 
     int waves = 0;
@@ -385,8 +405,7 @@ ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
         report.runtime = start + makespan;
         report.cost = cluster_.cost_of(report.runtime);
         report.stages.push_back(m);
-        report.finalize_aggregates();
-        return report;
+        return finish(std::move(report));
       }
       const double xfer = b / (cluster_.net_bw_per_vm() * cont.net_factor);
       makespan += xfer;
@@ -396,14 +415,14 @@ ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
     m.duration = makespan;
     stage_finish[static_cast<std::size_t>(s.id)] = start + makespan;
     clock = std::max(clock, start + makespan);
+    if (auditing) simcore::enforce_invariants(audit_stage(m, dep.total_slots), "stage metrics");
     report.stages.push_back(m);
   }
 
   report.success = true;
   report.runtime = clock;
   report.cost = cluster_.cost_of(report.runtime);
-  report.finalize_aggregates();
-  return report;
+  return finish(std::move(report));
 }
 
 }  // namespace stune::disc

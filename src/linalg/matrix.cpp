@@ -1,8 +1,9 @@
 #include "linalg/matrix.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "simcore/check.hpp"
 
 namespace stune::linalg {
 
@@ -16,7 +17,7 @@ Matrix Matrix::identity(std::size_t n) {
 }
 
 Vector Matrix::matvec(const Vector& x) const {
-  assert(x.size() == cols_);
+  STUNE_CHECK_EQ(x.size(), cols_);
   Vector y(rows_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
@@ -28,7 +29,7 @@ Vector Matrix::matvec(const Vector& x) const {
 }
 
 Vector Matrix::matvec_transposed(const Vector& x) const {
-  assert(x.size() == rows_);
+  STUNE_CHECK_EQ(x.size(), rows_);
   Vector y(cols_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* row = &data_[r * cols_];
@@ -46,7 +47,7 @@ Matrix Matrix::transposed() const {
 }
 
 Matrix Matrix::multiply(const Matrix& other) const {
-  assert(cols_ == other.rows_);
+  STUNE_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t k = 0; k < cols_; ++k) {
@@ -79,7 +80,7 @@ void Matrix::add_to_diagonal(double value) {
 }
 
 double dot(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  STUNE_CHECK_EQ(a.size(), b.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
@@ -88,12 +89,12 @@ double dot(const Vector& a, const Vector& b) {
 double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
 
 void axpy(double alpha, const Vector& x, Vector& y) {
-  assert(x.size() == y.size());
+  STUNE_CHECK_EQ(x.size(), y.size());
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
 Vector subtract(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  STUNE_CHECK_EQ(a.size(), b.size());
   Vector out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
   return out;
@@ -106,7 +107,7 @@ Vector scaled(const Vector& a, double alpha) {
 }
 
 Matrix cholesky(const Matrix& a) {
-  assert(a.rows() == a.cols());
+  STUNE_CHECK_EQ(a.rows(), a.cols());
   const std::size_t n = a.rows();
   Matrix l(n, n);
   for (std::size_t j = 0; j < n; ++j) {
@@ -126,7 +127,7 @@ Matrix cholesky(const Matrix& a) {
 }
 
 Vector solve_lower(const Matrix& l, const Vector& b) {
-  assert(l.rows() == l.cols() && b.size() == l.rows());
+  STUNE_CHECK(l.rows() == l.cols() && b.size() == l.rows());
   const std::size_t n = l.rows();
   Vector y(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -138,7 +139,7 @@ Vector solve_lower(const Matrix& l, const Vector& b) {
 }
 
 Vector solve_lower_transposed(const Matrix& l, const Vector& y) {
-  assert(l.rows() == l.cols() && y.size() == l.rows());
+  STUNE_CHECK(l.rows() == l.cols() && y.size() == l.rows());
   const std::size_t n = l.rows();
   Vector x(n);
   for (std::size_t ii = n; ii > 0; --ii) {
@@ -155,7 +156,7 @@ Vector cholesky_solve(const Matrix& l, const Vector& b) {
 }
 
 Vector ridge_solve(const Matrix& x, const Vector& y, double lambda) {
-  assert(x.rows() == y.size());
+  STUNE_CHECK_EQ(x.rows(), y.size());
   Matrix gram = x.gram();
   gram.add_to_diagonal(lambda);
   const Vector xty = x.matvec_transposed(y);
@@ -164,7 +165,7 @@ Vector ridge_solve(const Matrix& x, const Vector& y, double lambda) {
 }
 
 Vector nnls(const Matrix& x, const Vector& y, std::size_t max_iters) {
-  assert(x.rows() == y.size());
+  STUNE_CHECK_EQ(x.rows(), y.size());
   const std::size_t d = x.cols();
   // Precompute Gram and X^T y; coordinate descent on the quadratic objective
   // with projection onto w >= 0.

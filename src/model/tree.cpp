@@ -62,7 +62,7 @@ int RegressionTree::build(const Dataset& data, std::vector<std::size_t>& indices
   std::size_t n_feats = dim_;
   if (options_.feature_subsample < 1.0) {
     n_feats = std::max<std::size_t>(
-        1, static_cast<std::size_t>(std::ceil(options_.feature_subsample * dim_)));
+        1, static_cast<std::size_t>(std::ceil(options_.feature_subsample * static_cast<double>(dim_))));
     rng.shuffle(features);
     features.resize(n_feats);
   }

@@ -1,0 +1,60 @@
+#include "simcore/check.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace stune::simcore {
+
+namespace {
+
+/// -1 = not forced, follow the environment; 0/1 = forced off/on.
+std::atomic<int> g_audit_override{-1};
+
+bool audit_env_enabled() {
+  const char* v = std::getenv("STUNE_AUDIT");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "ON") == 0 || std::strcmp(v, "TRUE") == 0;
+}
+
+}  // namespace
+
+bool audit_enabled() {
+  const int forced = g_audit_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = audit_env_enabled();
+  return from_env;
+}
+
+void set_audit_enabled(bool enabled) {
+  g_audit_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void enforce_invariants(const std::vector<std::string>& violations, std::string_view subject) {
+  if (violations.empty()) return;
+  std::ostringstream msg;
+  msg << "STUNE_INVARIANT failed: " << subject << " violates " << violations.size()
+      << " invariant" << (violations.size() == 1 ? "" : "s") << ":";
+  for (const auto& v : violations) msg << "\n  - " << v;
+  throw CheckError(msg.str());
+}
+
+namespace check_detail {
+
+Failure::Failure(const char* kind, const char* expr, const char* file, int line) {
+  // Trim directories so messages are stable across checkouts.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/' || *p == '\\') base = p + 1;
+  }
+  stream_ << kind << " failed at " << base << ":" << line << ": (" << expr << ")";
+}
+
+Failure::~Failure() noexcept(false) {
+  throw CheckError(stream_.str());
+}
+
+}  // namespace check_detail
+
+}  // namespace stune::simcore

@@ -1,0 +1,133 @@
+// Contract checking: the project's replacement for bare assert().
+//
+// Three macro families, all of which capture the failed expression text and
+// the file:line where it fired, and allow streaming extra context:
+//
+//   STUNE_CHECK(cond) << "context";       always on, any build type
+//   STUNE_DCHECK(cond) << "context";      on unless NDEBUG (hot paths)
+//   STUNE_INVARIANT(cond) << "context";   always on, tagged as an invariant
+//                                          (used by the audit subsystem)
+//
+// Binary comparison forms additionally format both operands into the
+// failure message, so "expected a <= b" failures show the actual values:
+//
+//   STUNE_CHECK_EQ(a, b)   STUNE_CHECK_NE(a, b)
+//   STUNE_CHECK_LT(a, b)   STUNE_CHECK_LE(a, b)
+//   STUNE_CHECK_GT(a, b)   STUNE_CHECK_GE(a, b)
+//
+// A failed check throws simcore::CheckError (a std::logic_error) rather
+// than aborting: the tuning service treats a contract violation in one
+// simulated execution as a failed execution, not a dead process, and tests
+// can assert on violations directly. Unlike assert(), STUNE_CHECK stays on
+// in release builds — the simulator substrate is the measurement instrument
+// every tuner comparison rests on, so it must fail loudly, not silently.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stune::simcore {
+
+/// Thrown when a STUNE_CHECK / STUNE_DCHECK / STUNE_INVARIANT fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& message) : std::logic_error(message) {}
+};
+
+/// Whether runtime invariant audits (the audit() entry points the engine
+/// calls at stage boundaries) are enabled. Defaults to the STUNE_AUDIT
+/// environment variable ("1"/"on"/"true", read once); set_audit_enabled
+/// overrides it for the process (tests, long-running services).
+bool audit_enabled();
+void set_audit_enabled(bool enabled);
+
+/// Throw CheckError listing every violation if the list is non-empty.
+/// The convention used by the per-subsystem audit() entry points: they
+/// *return* violations (so tests can inspect them), and callers that want
+/// fail-stop semantics pass the result through enforce_invariants.
+void enforce_invariants(const std::vector<std::string>& violations, std::string_view subject);
+
+namespace check_detail {
+
+/// Accumulates the failure message; throws CheckError from its destructor,
+/// which runs at the end of the full expression — after any streamed
+/// context has been appended.
+class Failure {
+ public:
+  Failure(const char* kind, const char* expr, const char* file, int line);
+  Failure(const Failure&) = delete;
+  Failure& operator=(const Failure&) = delete;
+  [[noreturn]] ~Failure() noexcept(false);
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lowest-precedence void sink so the ternary in STUNE_CHECK type-checks:
+/// binary & binds looser than <<, so every streamed chain collapses to void.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+template <typename T>
+void format_operand(std::ostream& os, const T& v) {
+  os << v;
+}
+// Print bools/chars as values, not mangled stream defaults.
+inline void format_operand(std::ostream& os, bool v) { os << (v ? "true" : "false"); }
+
+template <typename A, typename B>
+std::ostream& binary_failure(Failure& f, const A& a, const B& b) {
+  f.stream() << " [";
+  format_operand(f.stream(), a);
+  f.stream() << " vs ";
+  format_operand(f.stream(), b);
+  f.stream() << "]";
+  return f.stream();
+}
+
+}  // namespace check_detail
+}  // namespace stune::simcore
+
+#define STUNE_CHECK_IMPL(kind, cond)                                            \
+  (static_cast<bool>(cond))                                                     \
+      ? (void)0                                                                 \
+      : ::stune::simcore::check_detail::Voidify() &                             \
+            ::stune::simcore::check_detail::Failure(kind, #cond, __FILE__, __LINE__).stream()
+
+#define STUNE_CHECK(cond) STUNE_CHECK_IMPL("STUNE_CHECK", cond)
+#define STUNE_INVARIANT(cond) STUNE_CHECK_IMPL("STUNE_INVARIANT", cond)
+
+#ifdef NDEBUG
+// Compiled out, but still odr-uses the expression so it cannot rot.
+#define STUNE_DCHECK(cond)                                   \
+  (true || static_cast<bool>(cond))                          \
+      ? (void)0                                              \
+      : ::stune::simcore::check_detail::Voidify() &          \
+            ::stune::simcore::check_detail::Failure("STUNE_DCHECK", #cond, __FILE__, __LINE__).stream()
+#else
+#define STUNE_DCHECK(cond) STUNE_CHECK_IMPL("STUNE_DCHECK", cond)
+#endif
+
+// Binary comparisons with operand capture. Implemented as an immediately
+// invoked lambda so operands are evaluated exactly once and remain usable
+// in the failure message.
+#define STUNE_CHECK_OP_IMPL(opname, op, a, b)                                         \
+  [&](const auto& stune_lhs_, const auto& stune_rhs_) {                               \
+    if (stune_lhs_ op stune_rhs_) return;                                             \
+    ::stune::simcore::check_detail::Failure f_("STUNE_CHECK_" opname, #a " " #op " " #b, \
+                                               __FILE__, __LINE__);                   \
+    ::stune::simcore::check_detail::binary_failure(f_, stune_lhs_, stune_rhs_);       \
+  }((a), (b))
+
+#define STUNE_CHECK_EQ(a, b) STUNE_CHECK_OP_IMPL("EQ", ==, a, b)
+#define STUNE_CHECK_NE(a, b) STUNE_CHECK_OP_IMPL("NE", !=, a, b)
+#define STUNE_CHECK_LT(a, b) STUNE_CHECK_OP_IMPL("LT", <, a, b)
+#define STUNE_CHECK_LE(a, b) STUNE_CHECK_OP_IMPL("LE", <=, a, b)
+#define STUNE_CHECK_GT(a, b) STUNE_CHECK_OP_IMPL("GT", >, a, b)
+#define STUNE_CHECK_GE(a, b) STUNE_CHECK_OP_IMPL("GE", >=, a, b)

@@ -1,10 +1,11 @@
 #include "simcore/rng.hpp"
 
 #include <bit>
-#include <cassert>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+
+#include "simcore/check.hpp"
 
 namespace stune::simcore {
 
@@ -61,7 +62,7 @@ double Rng::uniform() {
 double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  STUNE_CHECK_LE(lo, hi);
   const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
   if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
   // Lemire's method would be faster; modulo bias is negligible for our ranges
@@ -87,7 +88,7 @@ double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigm
 bool Rng::bernoulli(double p) { return uniform() < p; }
 
 double Rng::exponential(double lambda) {
-  assert(lambda > 0.0);
+  STUNE_CHECK_GT(lambda, 0.0);
   double u = uniform();
   while (u <= 0.0) u = uniform();
   return -std::log(u) / lambda;
@@ -96,7 +97,7 @@ double Rng::exponential(double lambda) {
 std::size_t Rng::categorical(const std::vector<double>& weights) {
   double total = 0.0;
   for (const double w : weights) {
-    assert(w >= 0.0);
+    STUNE_CHECK_GE(w, 0.0);
     total += w;
   }
   if (total <= 0.0) throw std::invalid_argument("categorical: all weights are zero");

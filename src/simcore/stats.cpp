@@ -1,10 +1,11 @@
 #include "simcore/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#include "simcore/check.hpp"
 
 namespace stune::simcore {
 
@@ -101,7 +102,7 @@ double stddev_of(const std::vector<double>& values) {
 }
 
 double pearson(const std::vector<double>& x, const std::vector<double>& y) {
-  assert(x.size() == y.size());
+  STUNE_CHECK_EQ(x.size(), y.size());
   if (x.size() < 2) return 0.0;
   const double mx = mean_of(x);
   const double my = mean_of(y);

@@ -9,10 +9,10 @@ namespace stune::tuning {
 std::vector<double> TuneResult::best_curve() const {
   std::vector<double> curve;
   curve.reserve(history.size());
-  double best = std::numeric_limits<double>::infinity();
+  double best_so_far = std::numeric_limits<double>::infinity();
   for (const auto& o : history) {
-    if (!o.failed && o.runtime < best) best = o.runtime;
-    curve.push_back(best);
+    if (!o.failed && o.runtime < best_so_far) best_so_far = o.runtime;
+    curve.push_back(best_so_far);
   }
   return curve;
 }

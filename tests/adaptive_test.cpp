@@ -61,8 +61,8 @@ TEST_P(DetectorContract, UsableAgainAfterReset) {
 
 INSTANTIATE_TEST_SUITE_P(AllDetectors, DetectorContract,
                          ::testing::ValuesIn(detector_names()),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           std::string n = info.param;
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string n = param_info.param;
                            for (auto& c : n) {
                              if (c == '-') c = '_';
                            }

@@ -1,0 +1,434 @@
+// Tests for the correctness tooling layer: the STUNE_CHECK contract macros,
+// the per-subsystem invariant auditors (exercised by injecting violations),
+// the engine's STUNE_AUDIT stage-boundary hook, and the run-twice
+// determinism regression the sanitizers cannot see.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "cluster/audit.hpp"
+#include "cluster/cluster.hpp"
+#include "config/audit.hpp"
+#include "config/spark_space.hpp"
+#include "dag/audit.hpp"
+#include "disc/audit.hpp"
+#include "disc/engine.hpp"
+#include "simcore/check.hpp"
+#include "simcore/rng.hpp"
+#include "workload/execute.hpp"
+#include "workload/workload.hpp"
+
+namespace stune {
+namespace {
+
+namespace k = config::spark;
+using simcore::CheckError;
+using simcore::gib;
+
+// -- contract macros -----------------------------------------------------------
+
+TEST(Check, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(STUNE_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(STUNE_CHECK_EQ(4, 4));
+  EXPECT_NO_THROW(STUNE_CHECK_LE(1.0, 2.0));
+  EXPECT_NO_THROW(STUNE_INVARIANT(true));
+}
+
+TEST(Check, FailureCapturesExpressionAndLocation) {
+  try {
+    STUNE_CHECK(2 + 2 == 5);
+    FAIL() << "STUNE_CHECK did not throw";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 + 2 == 5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("audit_test.cpp"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("STUNE_CHECK"), std::string::npos) << msg;
+  }
+}
+
+TEST(Check, StreamedContextIsAppended) {
+  try {
+    const int executors = 3;
+    STUNE_CHECK(executors > 7) << " fleet too small: " << executors;
+    FAIL() << "STUNE_CHECK did not throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("fleet too small: 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Check, BinaryFormsCaptureOperandValues) {
+  try {
+    STUNE_CHECK_LE(10 * 10, 99);
+    FAIL() << "STUNE_CHECK_LE did not throw";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("[100 vs 99]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("10 * 10 <= 99"), std::string::npos) << msg;
+  }
+}
+
+TEST(Check, BinaryFormsEvaluateOperandsOnce) {
+  int calls = 0;
+  const auto count = [&calls] { return ++calls; };
+  STUNE_CHECK_GE(count(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, EnforceInvariantsListsEveryViolation) {
+  EXPECT_NO_THROW(simcore::enforce_invariants({}, "clean subsystem"));
+  try {
+    simcore::enforce_invariants({"first law broken", "second law broken"}, "engine");
+    FAIL() << "enforce_invariants did not throw";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("engine"), std::string::npos);
+    EXPECT_NE(msg.find("first law broken"), std::string::npos);
+    EXPECT_NE(msg.find("second law broken"), std::string::npos);
+  }
+}
+
+// -- DAG auditor ---------------------------------------------------------------
+
+dag::PhysicalPlan tiny_valid_plan() {
+  dag::PhysicalPlan p;
+  p.workload = "synthetic";
+  p.input_bytes = gib(1);
+  dag::StagePlan s0;
+  s0.id = 0;
+  s0.source_read_bytes = gib(1);
+  s0.shuffle_write_bytes = gib(0.5);
+  s0.cpu_ref_seconds = 10.0;
+  dag::StagePlan s1;
+  s1.id = 1;
+  s1.parent_stages = {0};
+  s1.shuffle_inputs = {{0, gib(0.5)}};
+  s1.cpu_ref_seconds = 5.0;
+  s1.result_bytes = 1;
+  p.stages = {s0, s1};
+  return p;
+}
+
+bool mentions(const std::vector<std::string>& violations, std::string_view needle) {
+  for (const auto& v : violations) {
+    if (v.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(DagAudit, ValidPlanIsClean) {
+  EXPECT_TRUE(dag::audit(tiny_valid_plan()).empty());
+  for (const auto& name : workload::workload_names()) {
+    const auto plan = workload::make_workload(name)->plan(gib(4));
+    EXPECT_TRUE(dag::audit(plan).empty()) << name;
+  }
+}
+
+TEST(DagAudit, DetectsCycle) {
+  auto p = tiny_valid_plan();
+  p.stages[0].parent_stages = {1};  // 0 <- 1 <- 0
+  const auto v = dag::audit(p);
+  ASSERT_FALSE(v.empty());
+  EXPECT_TRUE(mentions(v, "back edge")) << v.front();
+}
+
+TEST(DagAudit, DetectsSelfLoop) {
+  auto p = tiny_valid_plan();
+  p.stages[1].parent_stages = {1, 0};
+  EXPECT_TRUE(mentions(dag::audit(p), "self-loop"));
+}
+
+TEST(DagAudit, DetectsBarrierViolation) {
+  auto p = tiny_valid_plan();
+  p.stages[1].parent_stages.clear();  // reads stage 0's shuffle without waiting for it
+  EXPECT_TRUE(mentions(dag::audit(p), "stage barrier violation"));
+}
+
+TEST(DagAudit, DetectsShuffleConservationViolation) {
+  auto p = tiny_valid_plan();
+  p.stages[1].shuffle_inputs[0].bytes = gib(0.25);  // reads less than stage 0 wrote
+  EXPECT_TRUE(mentions(dag::audit(p), "shuffle conservation violation"));
+}
+
+TEST(DagAudit, DetectsBrokenTopologicalIds) {
+  auto p = tiny_valid_plan();
+  p.stages[0].id = 7;
+  EXPECT_TRUE(mentions(dag::audit(p), "topologically ordered"));
+}
+
+// -- config auditor ------------------------------------------------------------
+
+TEST(ConfigAudit, SparkSpaceIsClean) {
+  EXPECT_TRUE(config::audit(*config::spark_space()).empty());
+  EXPECT_TRUE(config::audit(config::spark_space()->default_config()).empty());
+}
+
+TEST(ConfigAudit, DetectsInvertedBounds) {
+  auto def = config::ParamDef::real("broken", 0.0, 1.0, 0.5);
+  def.min_value = 2.0;
+  EXPECT_TRUE(mentions(config::audit(def), "inverted bounds"));
+}
+
+TEST(ConfigAudit, DetectsNonPositiveLogRange) {
+  auto def = config::ParamDef::real("mem", 1.0, 64.0, 4.0, /*log_scale=*/true);
+  def.min_value = 0.0;
+  EXPECT_TRUE(mentions(config::audit(def), "log-scale"));
+}
+
+TEST(ConfigAudit, DetectsDefaultOutsideRange) {
+  auto def = config::ParamDef::integer("cores", 1, 8, 4);
+  def.default_value = 12.0;
+  EXPECT_TRUE(mentions(config::audit(def), "outside"));
+}
+
+TEST(ConfigAudit, DetectsBadCategoricalDefault) {
+  auto def = config::ParamDef::categorical("codec", {"lz4", "zstd"}, 0);
+  def.default_value = 5.0;
+  EXPECT_TRUE(mentions(config::audit(def), "not a valid index"));
+}
+
+TEST(ConfigAudit, DetectsOutOfBoundsRawValues) {
+  // Raw vectors are how configurations arrive from outside the process
+  // (event logs, service requests); audit_values is the validation gate.
+  const auto space = config::spark_space();
+  auto values = space->default_config().values();
+  values[space->require_index(k::kExecutorCores)] = 1e9;
+  EXPECT_TRUE(mentions(config::audit_values(*space, values), "out-of-domain"));
+  values[space->require_index(k::kExecutorCores)] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(mentions(config::audit_values(*space, values), "non-finite"));
+  values.pop_back();
+  EXPECT_TRUE(mentions(config::audit_values(*space, values), "parameters"));
+}
+
+TEST(ConfigAudit, ConstructorSanitizesSoConfigurationsStayClean) {
+  // Defense in depth: the Configuration constructor clamps raw values, so a
+  // corrupt vector that slips past validation still yields a clean config.
+  const auto space = config::spark_space();
+  auto values = space->default_config().values();
+  values[space->require_index(k::kExecutorCores)] = 1e9;
+  const config::Configuration clamped(space, std::move(values));
+  EXPECT_TRUE(config::audit(clamped).empty());
+}
+
+// -- cluster auditor -----------------------------------------------------------
+
+TEST(ClusterAudit, CatalogClustersAreClean) {
+  for (const auto& t : cluster::instance_catalog()) {
+    const cluster::Cluster c(t, 4);
+    EXPECT_TRUE(cluster::audit(c).empty()) << t.name;
+  }
+}
+
+TEST(ClusterAudit, DetectsCoreOversubscription) {
+  const auto c = cluster::Cluster::from_spec({"h1.4xlarge", 4});  // 16 vcpus
+  const auto v = cluster::audit_packing(c, /*executors_per_vm=*/5, /*cores_per_executor=*/4,
+                                        simcore::gib(8));
+  EXPECT_TRUE(mentions(v, "core oversubscription"));
+}
+
+TEST(ClusterAudit, DetectsMemoryOversubscription) {
+  const auto c = cluster::Cluster::from_spec({"h1.4xlarge", 4});
+  const auto v = cluster::audit_packing(c, /*executors_per_vm=*/4, /*cores_per_executor=*/4,
+                                        c.usable_memory_per_vm());
+  EXPECT_TRUE(mentions(v, "memory oversubscription"));
+}
+
+// -- deployment auditor --------------------------------------------------------
+
+config::SparkConf default_spark_conf() {
+  return config::SparkConf(config::spark_space()->default_config());
+}
+
+TEST(DeploymentAudit, ResolvedDeploymentsAreClean) {
+  const auto cluster = cluster::Cluster::from_spec({"h1.4xlarge", 4});
+  simcore::Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const config::SparkConf conf(config::spark_space()->sample(rng));
+    const auto d = disc::resolve_deployment(conf, cluster);
+    EXPECT_TRUE(disc::audit(d, conf, cluster).empty());
+  }
+}
+
+TEST(DeploymentAudit, DetectsBrokenSlotArithmetic) {
+  const auto cluster = cluster::Cluster::from_spec({"h1.4xlarge", 4});
+  const auto conf = default_spark_conf();
+  auto d = disc::resolve_deployment(conf, cluster);
+  ASSERT_TRUE(d.viable);
+  d.total_slots += 3;
+  EXPECT_TRUE(mentions(disc::audit(d, conf, cluster), "slot arithmetic"));
+}
+
+TEST(DeploymentAudit, DetectsMemoryConservationViolation) {
+  const auto cluster = cluster::Cluster::from_spec({"h1.4xlarge", 4});
+  const auto conf = default_spark_conf();
+  auto d = disc::resolve_deployment(conf, cluster);
+  ASSERT_TRUE(d.viable);
+  d.unified_per_executor = d.heap_per_executor;  // no room left for the reserve
+  EXPECT_TRUE(mentions(disc::audit(d, conf, cluster), "memory conservation violation"));
+}
+
+TEST(DeploymentAudit, DetectsOversubscribedFleet) {
+  const auto cluster = cluster::Cluster::from_spec({"h1.4xlarge", 4});
+  const auto conf = default_spark_conf();
+  auto d = disc::resolve_deployment(conf, cluster);
+  ASSERT_TRUE(d.viable);
+  d.executors = d.executors_per_vm * cluster.vm_count() + 1;
+  d.total_slots = d.executors * d.slots_per_executor;
+  EXPECT_TRUE(mentions(disc::audit(d, conf, cluster), "exceeds per-VM packing"));
+}
+
+// -- report auditor ------------------------------------------------------------
+
+disc::ExecutionReport healthy_report() {
+  const disc::SparkSimulator sim(cluster::Cluster::from_spec({"h1.4xlarge", 4}));
+  const auto w = workload::make_workload("terasort");
+  return workload::execute(*w, gib(8), sim, config::spark_space()->default_config());
+}
+
+TEST(ReportAudit, EngineReportsAreClean) {
+  const auto r = healthy_report();
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(disc::audit(r).empty());
+}
+
+TEST(ReportAudit, DetectsAggregateDrift) {
+  auto r = healthy_report();
+  r.total_cpu += 100.0;  // aggregates no longer roll up from stages
+  EXPECT_TRUE(mentions(disc::audit(r), "aggregate cpu"));
+}
+
+TEST(ReportAudit, DetectsTaskConservationViolation) {
+  auto r = healthy_report();
+  ASSERT_FALSE(r.stages.empty());
+  r.stages[0].failed_tasks = r.stages[0].tasks + 1;
+  EXPECT_TRUE(mentions(disc::audit(r), "task conservation violation"));
+}
+
+TEST(ReportAudit, DetectsImpossibleSpill) {
+  auto r = healthy_report();
+  ASSERT_FALSE(r.stages.empty());
+  auto& first = r.stages[0];
+  first.shuffle_read_bytes = 0;
+  first.spilled_bytes = gib(1);
+  r.finalize_aggregates();
+  EXPECT_TRUE(mentions(disc::audit(r), "without reading any shuffle data"));
+}
+
+TEST(ReportAudit, DetectsStageOutrunningRuntime) {
+  auto r = healthy_report();
+  ASSERT_FALSE(r.stages.empty());
+  r.stages.back().duration = r.runtime * 2.0;
+  EXPECT_TRUE(mentions(disc::audit(r), "after the reported runtime"));
+}
+
+// -- engine STUNE_AUDIT hook ---------------------------------------------------
+
+/// RAII guard so a failing test cannot leak audit mode into other tests.
+struct AuditScope {
+  explicit AuditScope(bool on) { simcore::set_audit_enabled(on); }
+  ~AuditScope() { simcore::set_audit_enabled(false); }
+};
+
+TEST(EngineAudit, FullSuiteRunsCleanUnderAudit) {
+  AuditScope audit(true);
+  const disc::SparkSimulator sim(cluster::Cluster::from_spec({"h1.4xlarge", 4}));
+  for (const auto& name : workload::workload_names()) {
+    const auto w = workload::make_workload(name);
+    EXPECT_NO_THROW({
+      const auto r = workload::execute(*w, gib(4), sim, config::spark_space()->default_config());
+      (void)r;
+    }) << name;
+  }
+}
+
+TEST(EngineAudit, FailedExecutionsStillSatisfyInvariants) {
+  AuditScope audit(true);
+  const disc::SparkSimulator sim(cluster::Cluster::from_spec({"h1.4xlarge", 4}));
+  auto c = config::spark_space()->default_config();
+  c.set(k::kExecutorMemoryGiB, 1.0);  // OOM territory for a shuffle-heavy job
+  c.set(k::kDefaultParallelism, 20);
+  const auto w = workload::make_workload("terasort");
+  disc::ExecutionReport r;
+  EXPECT_NO_THROW(r = workload::execute(*w, gib(64), sim, c));
+  // Whether or not this configuration survives, the report passed the audit
+  // gate inside the engine; double-check from the outside too.
+  EXPECT_TRUE(disc::audit(r).empty());
+}
+
+TEST(EngineAudit, RejectsCorruptPlanWhenEnabled) {
+  AuditScope audit(true);
+  const disc::SparkSimulator sim(cluster::Cluster::from_spec({"h1.4xlarge", 4}));
+  auto plan = tiny_valid_plan();
+  plan.stages[1].parent_stages.clear();  // barrier violation
+  EXPECT_THROW(sim.run(plan, default_spark_conf()), CheckError);
+  // With auditing off the engine trusts its caller (no throw).
+  simcore::set_audit_enabled(false);
+  EXPECT_NO_THROW(sim.run(plan, default_spark_conf()));
+}
+
+// -- determinism regression ----------------------------------------------------
+
+/// Order-sensitive 64-bit hash of every numeric field of a report, bit-exact
+/// for doubles: two runs agree iff the simulated executions are identical.
+std::uint64_t fingerprint(const disc::ExecutionReport& r) {
+  std::uint64_t h = simcore::hash_string(r.failure_reason);
+  const auto mix_u64 = [&h](std::uint64_t v) { h = simcore::hash_combine(h, v); };
+  const auto mix_d = [&mix_u64](double v) { mix_u64(std::bit_cast<std::uint64_t>(v)); };
+  mix_u64(r.success ? 1 : 0);
+  mix_d(r.runtime);
+  mix_d(r.cost);
+  mix_u64(static_cast<std::uint64_t>(r.executors));
+  mix_u64(static_cast<std::uint64_t>(r.total_slots));
+  mix_d(r.cache_hit_fraction);
+  for (const auto& s : r.stages) {
+    mix_u64(static_cast<std::uint64_t>(s.tasks));
+    mix_u64(static_cast<std::uint64_t>(s.waves));
+    mix_u64(static_cast<std::uint64_t>(s.failed_tasks));
+    mix_d(s.start);
+    mix_d(s.duration);
+    mix_d(s.cpu_seconds);
+    mix_d(s.gc_seconds);
+    mix_d(s.disk_seconds);
+    mix_d(s.net_seconds);
+    mix_d(s.spill_seconds);
+    mix_d(s.overhead_seconds);
+    mix_u64(s.input_bytes);
+    mix_u64(s.shuffle_read_bytes);
+    mix_u64(s.shuffle_write_bytes);
+    mix_u64(s.spilled_bytes);
+  }
+  return h;
+}
+
+TEST(Determinism, IdenticalSeededRunsProduceBitIdenticalMetrics) {
+  // Fresh simulator objects on purpose: determinism must hold across engine
+  // instances, not just across calls on one instance. Sanitizers cannot see
+  // this class of bug (uninitialized padding, iteration-order dependence,
+  // hidden global state) — only a run-twice comparison can.
+  for (const auto& name : {"pagerank", "terasort", "join"}) {
+    disc::EngineOptions opts;
+    opts.seed = 1234;
+    const disc::SparkSimulator a(cluster::Cluster::from_spec({"h1.4xlarge", 4}), opts);
+    const disc::SparkSimulator b(cluster::Cluster::from_spec({"h1.4xlarge", 4}), opts);
+    const auto w = workload::make_workload(name);
+    const auto ra = workload::execute(*w, gib(8), a, config::spark_space()->default_config());
+    const auto rb = workload::execute(*w, gib(8), b, config::spark_space()->default_config());
+    EXPECT_EQ(fingerprint(ra), fingerprint(rb)) << name;
+  }
+}
+
+TEST(Determinism, DifferentSeedsProduceDifferentMetrics) {
+  disc::EngineOptions o1, o2;
+  o1.seed = 1;
+  o2.seed = 2;
+  const disc::SparkSimulator a(cluster::Cluster::from_spec({"h1.4xlarge", 4}), o1);
+  const disc::SparkSimulator b(cluster::Cluster::from_spec({"h1.4xlarge", 4}), o2);
+  const auto w = workload::make_workload("sort");
+  const auto ra = workload::execute(*w, gib(8), a, config::spark_space()->default_config());
+  const auto rb = workload::execute(*w, gib(8), b, config::spark_space()->default_config());
+  EXPECT_NE(fingerprint(ra), fingerprint(rb));
+}
+
+}  // namespace
+}  // namespace stune

@@ -33,8 +33,8 @@ TEST_P(CatalogInvariants, NameBeginsWithFamily) {
 
 INSTANTIATE_TEST_SUITE_P(AllTypes, CatalogInvariants,
                          ::testing::ValuesIn(instance_catalog()),
-                         [](const ::testing::TestParamInfo<InstanceType>& info) {
-                           std::string n = info.param.name;
+                         [](const ::testing::TestParamInfo<InstanceType>& param_info) {
+                           std::string n = param_info.param.name;
                            for (auto& c : n) {
                              if (c == '.') c = '_';
                            }

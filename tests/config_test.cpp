@@ -81,7 +81,7 @@ INSTANTIATE_TEST_SUITE_P(
                       ParamDef::real("log_float", 1.0, 48.0, 2.0, true),
                       ParamDef::boolean("flag", false),
                       ParamDef::categorical("cat", {"a", "b", "c", "d"}, 1)),
-    [](const ::testing::TestParamInfo<ParamDef>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<ParamDef>& param_info) { return param_info.param.name; });
 
 TEST(ParamDef, FormatValue) {
   EXPECT_EQ(ParamDef::boolean("b", true).format_value(1.0), "true");

@@ -137,8 +137,8 @@ TEST_P(EngineProperties, EventLogRoundTripsEveryWorkloadShape) {
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, EngineProperties,
                          ::testing::ValuesIn(workload::workload_names()),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           return info.param;
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           return param_info.param;
                          });
 
 TEST(ExecutorFailures, HitCachedWorkloadsHarderThanStatelessOnes) {

@@ -3,6 +3,8 @@
 // so they stay fast.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "config/spark_space.hpp"
 #include "disc/engine.hpp"
 #include "service/tuning_service.hpp"

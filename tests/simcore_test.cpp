@@ -151,7 +151,7 @@ TEST(RunningStats, MatchesDirectComputation) {
   // Sample variance computed by hand.
   double sse = 0.0;
   for (const double x : xs) sse += (x - 3.875) * (x - 3.875);
-  EXPECT_NEAR(s.variance(), sse / (xs.size() - 1), 1e-12);
+  EXPECT_NEAR(s.variance(), sse / static_cast<double>(xs.size() - 1), 1e-12);
 }
 
 TEST(RunningStats, MergeEqualsSequential) {

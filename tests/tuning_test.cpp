@@ -9,13 +9,20 @@ namespace stune::tuning {
 namespace {
 
 std::shared_ptr<const config::ConfigSpace> synthetic_space() {
-  std::vector<config::ParamDef> params;
-  params.push_back(config::ParamDef::real("a", 0.0, 1.0, 0.1));
-  params.push_back(config::ParamDef::real("b", 0.0, 1.0, 0.9));
-  params.push_back(config::ParamDef::integer("c", 0, 100, 0));
-  params.push_back(config::ParamDef::boolean("flag", false));
-  params.push_back(config::ParamDef::categorical("mode", {"x", "y", "z"}, 0));
-  return config::ConfigSpace::create(std::move(params));
+  // One shared instance, like the real spark_space(): configurations are
+  // bound to their space by identity, and tuners encode warm-start
+  // observations against the space they are handed (STUNE_CHECK enforces
+  // this — a fresh space per call trips it).
+  static const auto space = [] {
+    std::vector<config::ParamDef> params;
+    params.push_back(config::ParamDef::real("a", 0.0, 1.0, 0.1));
+    params.push_back(config::ParamDef::real("b", 0.0, 1.0, 0.9));
+    params.push_back(config::ParamDef::integer("c", 0, 100, 0));
+    params.push_back(config::ParamDef::boolean("flag", false));
+    params.push_back(config::ParamDef::categorical("mode", {"x", "y", "z"}, 0));
+    return config::ConfigSpace::create(std::move(params));
+  }();
+  return space;
 }
 
 /// A smooth bowl with a known optimum plus discrete bonuses: minimum at
@@ -177,8 +184,8 @@ TEST_P(TunerContract, IgnoresAllFailedWarmStarts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTuners, TunerContract, ::testing::ValuesIn(tuner_names()),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           return info.param;
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           return param_info.param;
                          });
 
 TEST(TunerRegistry, AllNamesConstructAndMatch) {

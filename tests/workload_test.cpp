@@ -64,8 +64,8 @@ TEST_P(WorkloadPlanning, ExecutesSuccessfullyOnAReasonableConfig) {
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadPlanning,
                          ::testing::ValuesIn(workload_names()),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           return info.param;
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           return param_info.param;
                          });
 
 TEST(WordCount, HasTinyShuffleAndNoCache) {
@@ -99,7 +99,7 @@ TEST(PageRank, StageCountScalesWithIterations) {
 TEST(KMeans, CachesThePoints) {
   const auto plan = KMeans(4).plan(gib(8));
   EXPECT_NEAR(static_cast<double>(plan.total_cache_bytes()),
-              static_cast<double>(plan.input_bytes), 0.05 * plan.input_bytes);
+              static_cast<double>(plan.input_bytes), 0.05 * static_cast<double>(plan.input_bytes));
 }
 
 TEST(SqlJoin, BroadcastThresholdSwitchesJoinStrategy) {
