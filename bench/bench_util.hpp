@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <vector>
@@ -112,6 +113,17 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Parse `--jobs N` from a bench's argv; returns `fallback` when absent.
+/// 0 means hardware concurrency (the TrialExecutor convention).
+inline std::size_t parse_jobs(int argc, char** argv, std::size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs") {
+      return static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return fallback;
+}
 
 inline std::string fmt(const char* format, double value) {
   char buf[64];

@@ -6,13 +6,19 @@
 //   stune_cli tune  <workload> <GiB> <tuner> <budget>          DISC tuning
 //   stune_cli serve <workload> <GiB> <runs>                    seamless service
 //   stune_cli list                                             catalogs
+//
+// tune/serve accept --jobs N (N = 0 means hardware concurrency): trials of
+// a batch evaluate on N threads. Results are identical for every N.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "disc/eventlog.hpp"
 #include "service/tuning_service.hpp"
+#include "tuning/trial_executor.hpp"
 #include "tuning/tuner.hpp"
+#include "workload/eval_cache.hpp"
 #include "workload/execute.hpp"
 
 namespace {
@@ -23,9 +29,12 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  stune_cli run   <workload> <GiB> [instance] [vms]\n"
-               "  stune_cli tune  <workload> <GiB> <tuner> <budget>\n"
-               "  stune_cli serve <workload> <GiB> <runs>\n"
-               "  stune_cli list\n");
+               "  stune_cli tune  <workload> <GiB> <tuner> <budget> [--jobs N]\n"
+               "  stune_cli serve <workload> <GiB> <runs> [--jobs N]\n"
+               "  stune_cli list\n"
+               "options:\n"
+               "  --jobs N   evaluate tuning trials on N threads (0 = all cores;\n"
+               "             default 1; identical results for every N)\n");
   return 2;
 }
 
@@ -33,6 +42,21 @@ simcore::Bytes parse_gib(const char* arg) {
   const double gib = std::strtod(arg, nullptr);
   if (gib <= 0.0) throw std::invalid_argument("input size must be positive GiB");
   return static_cast<simcore::Bytes>(gib * 1024.0 * 1024.0 * 1024.0);
+}
+
+/// Extract `--jobs N` anywhere after the positional arguments; removes the
+/// pair from argv so positional indexing stays simple. Defaults to 1.
+std::size_t parse_jobs(int& argc, char** argv) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") != 0) continue;
+    if (i + 1 >= argc) throw std::invalid_argument("--jobs requires a value");
+    const long n = std::strtol(argv[i + 1], nullptr, 10);
+    if (n < 0) throw std::invalid_argument("--jobs must be >= 0");
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    return static_cast<std::size_t>(n);
+  }
+  return 1;
 }
 
 int cmd_list() {
@@ -63,6 +87,7 @@ int cmd_run(int argc, char** argv) {
 }
 
 int cmd_tune(int argc, char** argv) {
+  const std::size_t jobs = parse_jobs(argc, argv);
   if (argc < 6) return usage();
   const auto w = workload::make_workload(argv[2]);
   const auto input = parse_gib(argv[3]);
@@ -70,34 +95,43 @@ int cmd_tune(int argc, char** argv) {
   const auto cl = cluster::Cluster::from_spec({"h1.4xlarge", 4});
   const disc::SparkSimulator sim(cl);
 
+  workload::EvalCache cache;
   tuning::Objective obj = [&](const config::Configuration& c) -> tuning::EvalOutcome {
-    const auto r = workload::execute(*w, input, sim, c);
+    const auto r = workload::execute(*w, input, sim, c, cache);
     return {r.runtime, !r.success};
   };
   tuning::TuneOptions opts;
   opts.budget = static_cast<std::size_t>(std::atoi(argv[5]));
-  const auto result = tuner->tune(config::spark_space(), obj, opts);
+  tuning::TrialExecutor executor(tuning::ExecutorOptions{.jobs = jobs});
+  const auto result = executor.run(*tuner, config::spark_space(), obj, opts);
 
   const auto def = workload::execute(*w, input, sim, config::spark_space()->default_config());
-  std::printf("tuner=%s budget=%zu best=%.1fs default=%.1fs%s speedup=%.1fx\n",
-              tuner->name().c_str(), opts.budget, result.best_runtime, def.runtime,
-              def.success ? "" : "(crash)", def.runtime / result.best_runtime);
+  std::printf("tuner=%s budget=%zu jobs=%zu best=%.1fs default=%.1fs%s speedup=%.1fx\n",
+              tuner->name().c_str(), opts.budget, executor.jobs(), result.best_runtime,
+              def.runtime, def.success ? "" : "(crash)", def.runtime / result.best_runtime);
   std::printf("best configuration:\n%s", result.best.describe().c_str());
   return 0;
 }
 
 int cmd_serve(int argc, char** argv) {
+  const std::size_t jobs = parse_jobs(argc, argv);
   if (argc < 5) return usage();
-  service::TuningService svc({});
+  service::ServiceOptions sopts;
+  sopts.jobs = jobs;
+  service::TuningService svc(sopts);
   const int h = svc.submit("cli", workload::make_workload(argv[2]), parse_gib(argv[3]));
   const int runs = std::atoi(argv[4]);
   for (int i = 0; i < runs; ++i) {
     std::printf("run %2d: %s\n", i + 1, svc.run_once(h).summary().c_str());
   }
   const auto s = svc.status(h);
+  const auto cs = svc.eval_cache_stats();
   std::printf("cluster=%s tunings=%zu tuning_cost=$%.2f savings=$%.2f slo=%.0f%%\n",
               s.cluster.to_string().c_str(), s.tunings, s.tuning_cost, s.cumulative_savings,
               s.slo_attainment * 100.0);
+  std::printf("eval cache: %llu hits / %llu misses (%.0f%% hit rate)\n",
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses), cs.hit_rate() * 100.0);
   return 0;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "simcore/rng.hpp"
+
 namespace stune::cluster {
 
 std::string ClusterSpec::to_string() const {
@@ -22,6 +24,11 @@ Dollars Cluster::cost_per_hour() const {
 
 Dollars Cluster::cost_of(simcore::Seconds runtime) const {
   return cost_per_hour() * runtime / 3600.0;
+}
+
+std::uint64_t Cluster::fingerprint() const {
+  return simcore::hash_combine(simcore::hash_string(type_->name),
+                               static_cast<std::uint64_t>(vm_count_));
 }
 
 }  // namespace stune::cluster

@@ -40,6 +40,11 @@ class Cluster {
   Dollars cost_per_hour() const;
   Dollars cost_of(simcore::Seconds runtime) const;
 
+  /// Stable hash of the provisioned hardware (instance type identity plus
+  /// VM count; the type's parameters live in the static catalog, so its
+  /// name identifies them). Keys cached execution reports.
+  std::uint64_t fingerprint() const;
+
  private:
   const InstanceType* type_;  // points into the static catalog
   int vm_count_;

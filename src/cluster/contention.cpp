@@ -14,6 +14,17 @@ double factor(double load, double weight) { return 1.0 / (1.0 + weight * load); 
 
 }  // namespace
 
+std::uint64_t ContentionParams::fingerprint() const {
+  using simcore::hash_combine;
+  using simcore::hash_double;
+  std::uint64_t h = hash_double(mean_load);
+  h = hash_combine(h, hash_double(volatility));
+  h = hash_combine(h, hash_double(cpu_weight));
+  h = hash_combine(h, hash_double(disk_weight));
+  h = hash_combine(h, hash_double(net_weight));
+  return h;
+}
+
 ContentionProcess::ContentionProcess(const ContentionParams& params, simcore::Rng rng)
     : params_(params), rng_(rng), load_(clamp_load(params.mean_load)) {}
 

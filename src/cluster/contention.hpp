@@ -23,6 +23,10 @@ struct ContentionParams {
   static ContentionParams light() { return ContentionParams{.mean_load = 0.1}; }
   static ContentionParams moderate() { return ContentionParams{.mean_load = 0.25}; }
   static ContentionParams heavy() { return ContentionParams{.mean_load = 0.5}; }
+
+  /// Stable hash over every field; part of the engine context fingerprint
+  /// that keys cached execution reports.
+  std::uint64_t fingerprint() const;
 };
 
 /// Multiplicative slow-down factors in (0, 1]; 1 = no interference.

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "simcore/rng.hpp"
 #include "simcore/units.hpp"
 
 namespace stune::dag {
@@ -72,6 +73,39 @@ std::string PhysicalPlan::describe() const {
     out << '\n';
   }
   return out.str();
+}
+
+std::uint64_t PhysicalPlan::fingerprint() const {
+  using simcore::hash_combine;
+  using simcore::hash_double;
+  std::uint64_t h = simcore::hash_string(workload);
+  h = hash_combine(h, is_sql ? 1ULL : 0ULL);
+  h = hash_combine(h, input_bytes);
+  h = hash_combine(h, static_cast<std::uint64_t>(action));
+  for (const auto& s : stages) {
+    h = hash_combine(h, static_cast<std::uint64_t>(s.id));
+    h = hash_combine(h, simcore::hash_string(s.label));
+    for (const int r : s.rdd_ids) h = hash_combine(h, static_cast<std::uint64_t>(r));
+    for (const int p : s.parent_stages) h = hash_combine(h, static_cast<std::uint64_t>(p));
+    h = hash_combine(h, s.source_read_bytes);
+    h = hash_combine(h, s.materialized_read_bytes);
+    h = hash_combine(h, s.materialized_parent_cached ? 1ULL : 0ULL);
+    h = hash_combine(h, hash_double(s.recompute_cpu_per_gib));
+    for (const auto& in : s.shuffle_inputs) {
+      h = hash_combine(h, static_cast<std::uint64_t>(in.from_stage));
+      h = hash_combine(h, in.bytes);
+    }
+    h = hash_combine(h, s.broadcast_bytes);
+    h = hash_combine(h, hash_double(s.cpu_ref_seconds));
+    h = hash_combine(h, hash_double(s.records));
+    h = hash_combine(h, hash_double(s.agg_memory_factor));
+    h = hash_combine(h, hash_double(s.skew_sigma));
+    h = hash_combine(h, hash_double(s.record_size));
+    h = hash_combine(h, s.shuffle_write_bytes);
+    h = hash_combine(h, s.cache_write_bytes);
+    h = hash_combine(h, s.result_bytes);
+  }
+  return h;
 }
 
 PhysicalPlan build_physical_plan(const LogicalPlan& plan, Bytes input_bytes) {

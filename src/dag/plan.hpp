@@ -77,6 +77,10 @@ struct PhysicalPlan {
   Bytes total_shuffle_bytes() const;
   /// Multi-line human-readable rendering (used by the Fig. 2 bench).
   std::string describe() const;
+  /// Stable hash over every field of the plan and all its stages; two plans
+  /// with equal fingerprints describe the same simulated work. Keys cached
+  /// execution reports.
+  std::uint64_t fingerprint() const;
 };
 
 /// Split a logical plan into sized stages for a concrete input size.

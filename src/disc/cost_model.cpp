@@ -1,0 +1,27 @@
+#include "disc/cost_model.hpp"
+
+#include "simcore/rng.hpp"
+
+namespace stune::disc {
+
+std::uint64_t CostModel::fingerprint() const {
+  using simcore::hash_combine;
+  using simcore::hash_double;
+  std::uint64_t h = hash_double(static_cast<double>(input_split));
+  for (const double v :
+       {cached_read_bw, deser_expansion, java_ser, java_deser, kryo_ser, kryo_deser,
+        java_gc_penalty, per_record_cpu, task_overhead, stage_overhead, per_task_driver,
+        job_overhead, flush_seek_hdd, flush_seek_ebs, flush_seek_nvme, shuffle_sort_cpu,
+        fetch_overhead_mib, conn_penalty, spill_pass_cost, spill_oom_headroom,
+        oom_attempt_fraction, gc_base, gc_coef, straggler_prob, straggler_slowdown,
+        speculation_tax, executor_failure_rate, failure_rerun_fraction, remote_read_base,
+        locality_decay, locality_wait_cost, broadcast_block_overhead, broadcast_pipeline_stall}) {
+    h = hash_combine(h, hash_double(v));
+  }
+  const std::uint64_t gates = (enable_recompute_penalty ? 1ULL : 0ULL) |
+                              (enable_spill ? 2ULL : 0ULL) | (enable_gc ? 4ULL : 0ULL) |
+                              (enable_oom ? 8ULL : 0ULL);
+  return hash_combine(h, gates);
+}
+
+}  // namespace stune::disc

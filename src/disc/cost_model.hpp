@@ -100,6 +100,11 @@ struct CostModel {
   bool enable_spill = true;
   bool enable_gc = true;
   bool enable_oom = true;
+
+  /// Stable hash over every field; part of the engine context fingerprint
+  /// that keys cached execution reports. Must be updated whenever a field
+  /// is added, or stale cache hits follow.
+  std::uint64_t fingerprint() const;
 };
 
 }  // namespace stune::disc

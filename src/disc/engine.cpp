@@ -73,6 +73,13 @@ SerializerCosts serializer_costs(const CostModel& cm, config::Serializer s) {
 SparkSimulator::SparkSimulator(cluster::Cluster cluster, EngineOptions options)
     : cluster_(std::move(cluster)), options_(options) {}
 
+std::uint64_t SparkSimulator::context_fingerprint() const {
+  std::uint64_t h = cluster_.fingerprint();
+  h = simcore::hash_combine(h, options_.cost.fingerprint());
+  h = simcore::hash_combine(h, options_.contention.fingerprint());
+  return h;
+}
+
 ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
                                     const config::Configuration& conf) const {
   if (simcore::audit_enabled()) {

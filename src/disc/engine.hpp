@@ -51,6 +51,13 @@ class SparkSimulator {
   const cluster::Cluster& cluster() const { return cluster_; }
   const EngineOptions& options() const { return options_; }
 
+  /// Stable hash of everything that shapes a run besides the plan, the
+  /// configuration and the seed: cluster hardware, cost-model constants and
+  /// contention parameters. Two simulators with equal context fingerprints
+  /// given equal (plan, config, seed) produce bitwise-identical reports, so
+  /// (context, plan, seed, config) keys an execution cache safely.
+  std::uint64_t context_fingerprint() const;
+
  private:
   cluster::Cluster cluster_;
   EngineOptions options_;

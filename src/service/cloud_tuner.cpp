@@ -90,21 +90,35 @@ struct Outcome {
 
 CloudChoice CloudTuner::choose(const workload::Workload& workload,
                                simcore::Bytes input_bytes) const {
+  workload::EvalCache cache;
+  tuning::TrialExecutor executor;
+  return choose(workload, input_bytes, cache, executor);
+}
+
+CloudChoice CloudTuner::choose(const workload::Workload& workload, simcore::Bytes input_bytes,
+                               workload::EvalCache& cache,
+                               tuning::TrialExecutor& executor) const {
   double trial_time = 0.0;
   double trial_cost = 0.0;
   std::size_t trials = 0;
-  auto evaluate_spec = [&](const cluster::ClusterSpec& spec) -> Outcome {
+  // Pure evaluation: safe to call from executor worker threads.
+  auto run_spec = [&](const cluster::ClusterSpec& spec) -> disc::ExecutionReport {
     const cluster::Cluster cl = cluster::Cluster::from_spec(spec);
     disc::EngineOptions eopts;
     eopts.cost = options_.cost_model;
     eopts.contention = options_.contention;
     eopts.seed = options_.seed;
     const disc::SparkSimulator sim(cl, eopts);
-    const auto report =
-        workload::execute(workload, input_bytes, sim, provider_auto_config(cl));
+    return workload::execute(workload, input_bytes, sim, provider_auto_config(cl), cache);
+  };
+  auto count_trial = [&](const disc::ExecutionReport& report) {
     trial_time += report.runtime;
     trial_cost += report.cost;
     ++trials;
+  };
+  auto evaluate_spec = [&](const cluster::ClusterSpec& spec) -> Outcome {
+    const auto report = run_spec(spec);
+    count_trial(report);
     return Outcome{report.runtime, report.cost, !report.success};
   };
   auto score_of = [&](double runtime, double cost) {
@@ -121,8 +135,14 @@ CloudChoice CloudTuner::choose(const workload::Workload& workload,
     case CloudStrategy::kBayesOpt: {
       const auto space = cloud_space(options_.min_vms, options_.max_vms);
       tuning::Objective objective = [&](const config::Configuration& c) -> tuning::EvalOutcome {
-        const Outcome o = evaluate_spec(to_cluster_spec(c));
-        return tuning::EvalOutcome{score_of(o.runtime, o.cost), o.failed};
+        const auto report = run_spec(to_cluster_spec(c));
+        return tuning::EvalOutcome{score_of(report.runtime, report.cost), !report.success};
+      };
+      // Trial accounting happens at commit time on the driver thread; the
+      // re-fetch is a guaranteed cache hit of the report the objective
+      // just produced.
+      tuning::TrialExecutor::CommitHook hook = [&](const tuning::Observation& o) {
+        count_trial(run_spec(to_cluster_spec(o.config)));
       };
       tuning::BayesOptTuner tuner(tuning::BayesOptTuner::Params{
           .init_samples = std::max<std::size_t>(4, options_.budget / 3),
@@ -131,7 +151,7 @@ CloudChoice CloudTuner::choose(const workload::Workload& workload,
       tuning::TuneOptions topts;
       topts.budget = options_.budget;
       topts.seed = options_.seed;
-      picked = to_cluster_spec(tuner.tune(space, objective, topts).best);
+      picked = to_cluster_spec(executor.run(tuner, space, objective, topts, hook).best);
       break;
     }
     case CloudStrategy::kRandom: {

@@ -15,6 +15,8 @@
 #include "cluster/contention.hpp"
 #include "config/config_space.hpp"
 #include "disc/cost_model.hpp"
+#include "tuning/trial_executor.hpp"
+#include "workload/eval_cache.hpp"
 #include "workload/workload.hpp"
 
 namespace stune::service {
@@ -79,6 +81,12 @@ class CloudTuner {
   CloudTuner() : CloudTuner(CloudTunerOptions{}) {}
 
   CloudChoice choose(const workload::Workload& workload, simcore::Bytes input_bytes) const;
+
+  /// Same search, but trial evaluations go through a shared executor and
+  /// execution cache (the service passes its own, so stage-1 probes are
+  /// batched across configurations and replayed across tenants).
+  CloudChoice choose(const workload::Workload& workload, simcore::Bytes input_bytes,
+                     workload::EvalCache& cache, tuning::TrialExecutor& executor) const;
 
  private:
   CloudTunerOptions options_;

@@ -7,7 +7,9 @@
 
 namespace stune::service {
 
-TuningService::TuningService(ServiceOptions options) : options_(std::move(options)) {}
+TuningService::TuningService(ServiceOptions options)
+    : options_(std::move(options)),
+      executor_(tuning::ExecutorOptions{.jobs = options_.jobs}) {}
 
 int TuningService::submit(std::string tenant, std::shared_ptr<const workload::Workload> workload,
                           simcore::Bytes initial_input) {
@@ -43,7 +45,7 @@ disc::ExecutionReport TuningService::execute(const Entry& e, const config::Confi
   eopts.contention = options_.contention;
   eopts.seed = simcore::hash_combine(options_.seed, seed_salt);
   const disc::SparkSimulator simulator(cluster::Cluster::from_spec(e.cluster), eopts);
-  return workload::execute(*e.workload, e.input_bytes, simulator, conf);
+  return workload::execute(*e.workload, e.input_bytes, simulator, conf, cache_);
 }
 
 void TuningService::record_to_kb(const Entry& e, const config::Configuration& conf,
@@ -69,7 +71,7 @@ void TuningService::provision(Entry& e) {
     copts.contention = options_.contention;
     copts.cost_model = options_.cost_model;
     const CloudTuner cloud(copts);
-    const CloudChoice choice = cloud.choose(*e.workload, e.input_bytes);
+    const CloudChoice choice = cloud.choose(*e.workload, e.input_bytes, cache_, executor_);
     e.cluster = choice.spec;
     // Stage-1 exploration is tuning spend too.
     e.ledger.add_tuning_run(choice.trial_time, choice.trial_cost);
@@ -115,15 +117,23 @@ void TuningService::tune_disc(Entry& e, std::size_t budget) {
     }
   }
 
+  // The objective is pure — execute() memoizes through the shared cache and
+  // touches no per-entry state — so trials can run on executor worker
+  // threads. Ledger and knowledge-base bookkeeping happen at commit time on
+  // this thread, in suggestion order; re-fetching the report there is a
+  // guaranteed cache hit of the run the objective just produced.
   tuning::Objective objective = [&](const config::Configuration& c) -> tuning::EvalOutcome {
     const auto report = execute(e, c, /*seed_salt=*/0);
-    e.ledger.add_tuning_run(report.runtime, report.cost);
-    record_to_kb(e, c, report, /*from_tuning=*/true);
     return tuning::EvalOutcome{report.runtime, !report.success};
+  };
+  tuning::TrialExecutor::CommitHook hook = [&](const tuning::Observation& o) {
+    const auto report = execute(e, o.config, /*seed_salt=*/0);
+    e.ledger.add_tuning_run(report.runtime, report.cost);
+    record_to_kb(e, o.config, report, /*from_tuning=*/true);
   };
 
   const auto tuner = tuning::make_tuner(options_.tuner);
-  const auto result = tuner->tune(space, objective, topts);
+  const auto result = executor_.run(*tuner, space, objective, topts, hook);
   if (result.found_feasible && result.best_runtime < incumbent_runtime) {
     e.config = result.best;
     e.best_runtime = result.best_runtime;

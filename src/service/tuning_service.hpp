@@ -28,7 +28,9 @@
 #include "service/slo.hpp"
 #include "transfer/aroma.hpp"
 #include "transfer/warm_start.hpp"
+#include "tuning/trial_executor.hpp"
 #include "tuning/tuner.hpp"
+#include "workload/eval_cache.hpp"
 #include "workload/workload.hpp"
 
 namespace stune::service {
@@ -42,6 +44,10 @@ struct ServiceOptions {
   std::string tuner = "bayesopt";
   std::size_t tuning_budget = 30;
   std::size_t retuning_budget = 15;
+  /// Worker threads evaluating tuning trials; 0 = hardware concurrency.
+  /// Results are identical for every value — batches commit in suggestion
+  /// order — so this is purely a wall-clock knob.
+  std::size_t jobs = 1;
 
   std::string detector = "cusum";
   adaptive::RetuningController::Options retuning{};
@@ -112,6 +118,8 @@ class TuningService {
   const CostLedger& ledger(int handle) const;
   const SloTracker& slo_tracker(int handle) const;
   const ServiceOptions& options() const { return options_; }
+  /// Hit/miss statistics of the shared execution cache (all tenants).
+  workload::EvalCacheStats eval_cache_stats() const { return cache_.stats(); }
 
  private:
   struct Entry {
@@ -149,6 +157,13 @@ class TuningService {
                     const disc::ExecutionReport& report, bool from_tuning);
 
   ServiceOptions options_;
+  /// One execution cache and one trial executor shared by every tenant:
+  /// the cache replays identical probes across re-tunes (and across
+  /// tenants whose plans coincide); the executor owns the worker pool.
+  /// Mutable because a cache hit inside the logically-const execute()
+  /// mutates only memoization state.
+  mutable workload::EvalCache cache_;
+  tuning::TrialExecutor executor_;
   KnowledgeBase kb_;
   std::map<int, Entry> entries_;
   int next_handle_ = 1;

@@ -31,6 +31,11 @@ std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
   return splitmix64(s);
 }
 
+std::uint64_t hash_double(double v) {
+  std::uint64_t s = std::bit_cast<std::uint64_t>(v);
+  return splitmix64(s);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

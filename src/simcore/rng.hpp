@@ -24,6 +24,10 @@ std::uint64_t hash_string(std::string_view s);
 /// Combine two 64-bit values into one seed (order sensitive).
 std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
 
+/// Stable 64-bit hash of a double's bit pattern. Bitwise, so -0.0 and 0.0
+/// hash differently — callers comparing "the same value" must canonicalize.
+std::uint64_t hash_double(double v);
+
 /// xoshiro256** generator with convenience distributions.
 ///
 /// Satisfies UniformRandomBitGenerator, so it can also be plugged into

@@ -1,0 +1,51 @@
+// A fixed-size worker pool for running independent tasks concurrently.
+//
+// Built for the tuning layer's TrialExecutor: a batch of workload
+// simulations is submitted, each worker runs tasks to completion, and the
+// caller joins on the returned futures. The pool is deliberately minimal —
+// no priorities, no work stealing — because trial batches are coarse
+// (milliseconds to seconds each) and throughput is bounded by the engine,
+// not the queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stune::simcore {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue one task. The future resolves when the task finishes; an
+  /// exception thrown by the task is captured and rethrown on future.get().
+  std::future<void> submit(std::function<void()> fn);
+
+  /// std::thread::hardware_concurrency with a sane floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace stune::simcore

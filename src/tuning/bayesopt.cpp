@@ -1,76 +1,94 @@
 // CherryPick-style Bayesian optimization: GP surrogate on the one-hot
 // encoded configuration, expected-improvement acquisition maximized over a
 // random candidate pool plus local perturbations of the incumbent.
+//
+// Staged shape: warm-start probe, then the LHS bootstrap as one parallel
+// stage, then sequential model-guided probes (each fit needs the previous
+// outcome, so the BO loop proper has batch size 1).
 #include <algorithm>
 
-#include "model/dataset.hpp"
 #include "model/gp.hpp"
 #include "tuning/tuners.hpp"
 
 namespace stune::tuning {
 
-TuneResult BayesOptTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
-                               const Objective& objective, const TuneOptions& options) {
-  EvalTracker tracker(objective, options);
-  simcore::Rng rng(options.seed);
+void BayesOptTuner::start() {
+  rng_ = simcore::Rng(opts().seed);
+  data_ = model::Dataset();
+  warm_.reset();
+  did_warm_ = false;
+  did_bootstrap_ = false;
 
-  // Bootstrap: warm-start observations cost nothing; fill the rest with a
-  // Latin hypercube so the surrogate sees the whole space.
-  model::Dataset data;
+  // Warm-start observations cost nothing; feed them straight to the
+  // surrogate and remember the favourite for a real probe.
   const Observation* best_warm = nullptr;
-  for (const auto& o : options.warm_start) {
-    data.add(space->encode(o.config), tracker.penalize(o.runtime, o.failed));
+  for (const auto& o : opts().warm_start) {
+    data_.add(space().encode(o.config), penalize_warm(o.runtime, o.failed));
     if (!o.failed && (best_warm == nullptr || o.runtime < best_warm->runtime)) best_warm = &o;
   }
+  if (best_warm != nullptr) warm_ = best_warm->config;
+}
+
+void BayesOptTuner::record(const Observation& observation) {
+  data_.add(space().encode(observation.config), observation.objective);
+}
+
+void BayesOptTuner::plan() {
   // Validate the transferred favourite on *this* workload right away: if it
   // transfers well it becomes the incumbent the acquisition exploits.
-  if (best_warm != nullptr && !tracker.exhausted()) {
-    const auto& o = tracker.evaluate(best_warm->config);
-    data.add(space->encode(o.config), o.objective);
+  if (!did_warm_) {
+    did_warm_ = true;
+    if (warm_.has_value()) {
+      propose(*warm_);
+      return;
+    }
   }
-  const std::size_t bootstrap =
-      std::min(options.budget, options.warm_start.empty() ? params_.init_samples
-                                                          : std::max<std::size_t>(3, params_.init_samples / 2));
-  for (const auto& c : space->latin_hypercube(bootstrap, rng)) {
-    if (tracker.exhausted()) break;
-    const auto& o = tracker.evaluate(c);
-    data.add(space->encode(o.config), o.objective);
+  // One Latin-hypercube stage so the surrogate sees the whole space; the
+  // samples are mutually independent and evaluate in parallel.
+  if (!did_bootstrap_) {
+    did_bootstrap_ = true;
+    const std::size_t bootstrap = std::min(
+        opts().budget, opts().warm_start.empty()
+                           ? params_.init_samples
+                           : std::max<std::size_t>(3, params_.init_samples / 2));
+    bool proposed = false;
+    for (auto& c : space().latin_hypercube(bootstrap, rng_)) {
+      propose(std::move(c));
+      proposed = true;
+    }
+    if (proposed) return;
   }
 
-  while (!tracker.exhausted()) {
-    model::GaussianProcess gp;
-    bool surrogate_ok = true;
-    try {
-      gp.fit(data);
-    } catch (const std::runtime_error&) {
-      surrogate_ok = false;  // degenerate data (e.g. all targets equal)
-    }
-    config::Configuration next;
-    if (surrogate_ok) {
-      const double best = tracker.best_objective();
-      double best_ei = -1.0;
-      auto consider = [&](const config::Configuration& c) {
-        const auto pred = gp.predict(space->encode(c));
-        const double ei = model::expected_improvement(pred.mean, pred.variance, best);
-        if (ei > best_ei) {
-          best_ei = ei;
-          next = c;
-        }
-      };
-      for (std::size_t i = 0; i < params_.candidates; ++i) consider(space->sample(rng));
-      // Exploit around the incumbent.
-      const TuneResult so_far = tracker.result();
-      if (so_far.found_feasible) {
-        for (std::size_t i = 0; i < params_.local_candidates; ++i) {
-          consider(space->neighbor(so_far.best, 0.1, 2, rng));
-        }
+  // Model-guided probe: fit, maximize EI, suggest one configuration.
+  model::GaussianProcess gp;
+  bool surrogate_ok = true;
+  try {
+    gp.fit(data_);
+  } catch (const std::runtime_error&) {
+    surrogate_ok = false;  // degenerate data (e.g. all targets equal)
+  }
+  config::Configuration next;
+  if (surrogate_ok) {
+    const double best = best_objective();
+    double best_ei = -1.0;
+    auto consider = [&](const config::Configuration& c) {
+      const auto pred = gp.predict(space().encode(c));
+      const double ei = model::expected_improvement(pred.mean, pred.variance, best);
+      if (ei > best_ei) {
+        best_ei = ei;
+        next = c;
+      }
+    };
+    for (std::size_t i = 0; i < params_.candidates; ++i) consider(space().sample(rng_));
+    // Exploit around the incumbent.
+    if (have_success()) {
+      for (std::size_t i = 0; i < params_.local_candidates; ++i) {
+        consider(space().neighbor(best_success().config, 0.1, 2, rng_));
       }
     }
-    if (next.empty()) next = space->sample(rng);
-    const auto& o = tracker.evaluate(next);
-    data.add(space->encode(o.config), o.objective);
   }
-  return tracker.result();
+  if (next.empty()) next = space().sample(rng_);
+  propose(std::move(next));
 }
 
 }  // namespace stune::tuning

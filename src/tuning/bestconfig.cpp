@@ -1,7 +1,12 @@
 // BestConfig (Zhu et al., SoCC'17): divide-and-diverge sampling over the
 // current bounds, then recursive bound-and-search — shrink the bounds
 // around the incumbent and resample — until the budget is gone.
+//
+// Staged shape: each DDS round is generated entirely from the bounds fixed
+// before the round, so the whole round evaluates in parallel; bounds update
+// at round boundaries.
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "tuning/tuners.hpp"
@@ -10,27 +15,12 @@ namespace stune::tuning {
 
 namespace {
 
-/// Per-dimension unit-interval bounds the search is currently confined to.
-struct Bounds {
-  std::vector<double> lo;
-  std::vector<double> hi;
-
-  explicit Bounds(std::size_t dims) : lo(dims, 0.0), hi(dims, 1.0) {}
-
-  void shrink_around(const std::vector<double>& center, double factor) {
-    for (std::size_t d = 0; d < lo.size(); ++d) {
-      const double half = 0.5 * (hi[d] - lo[d]) * factor;
-      lo[d] = std::clamp(center[d] - half, 0.0, 1.0);
-      hi[d] = std::clamp(center[d] + half, lo[d] + 1e-9, 1.0);
-    }
-  }
-};
-
 /// Divide-and-diverge inside bounds: n strata per dimension, one sample per
 /// stratum, stratum assignment permuted per dimension.
 std::vector<config::Configuration> dds_in_bounds(const config::ConfigSpace& space,
                                                  std::shared_ptr<const config::ConfigSpace> sp,
-                                                 const Bounds& b, std::size_t n,
+                                                 const std::vector<double>& lo,
+                                                 const std::vector<double>& hi, std::size_t n,
                                                  simcore::Rng& rng) {
   std::vector<std::vector<std::size_t>> strata(space.size());
   for (auto& perm : strata) {
@@ -45,7 +35,7 @@ std::vector<config::Configuration> dds_in_bounds(const config::ConfigSpace& spac
     for (std::size_t d = 0; d < space.size(); ++d) {
       const double frac =
           (static_cast<double>(strata[d][s]) + rng.uniform()) / static_cast<double>(n);
-      unit[d] = b.lo[d] + frac * (b.hi[d] - b.lo[d]);
+      unit[d] = lo[d] + frac * (hi[d] - lo[d]);
     }
     out.push_back(sp->from_unit(unit));
   }
@@ -54,61 +44,91 @@ std::vector<config::Configuration> dds_in_bounds(const config::ConfigSpace& spac
 
 }  // namespace
 
-TuneResult BestConfigTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
-                                 const Objective& objective, const TuneOptions& options) {
-  EvalTracker tracker(objective, options);
-  simcore::Rng rng(options.seed);
+void BestConfigTuner::start() {
+  rng_ = simcore::Rng(opts().seed);
+  lo_.assign(space().size(), 0.0);
+  hi_.assign(space().size(), 1.0);
+  incumbent_obj_ = std::numeric_limits<double>::infinity();
+  incumbent_unit_.clear();
+  warm_.reset();
+  round_count_ = 0;
+  stage_start_ = 0;
+  warm_stage_ = false;
+  round_stage_ = false;
+  did_warm_ = false;
 
-  Bounds bounds(space->size());
+  if (const Observation* warm = best_warm_start(opts())) warm_ = warm->config;
+}
+
+void BestConfigTuner::shrink_bounds(double factor) {
+  for (std::size_t d = 0; d < lo_.size(); ++d) {
+    const double half = 0.5 * (hi_[d] - lo_[d]) * factor;
+    lo_[d] = std::clamp(incumbent_unit_[d] - half, 0.0, 1.0);
+    hi_[d] = std::clamp(incumbent_unit_[d] + half, lo_[d] + 1e-9, 1.0);
+  }
+}
+
+void BestConfigTuner::finalize_stage() {
+  if (used() <= stage_start_) return;
+  if (warm_stage_) {
+    // Warm start: adopt the probe as incumbent and search around it.
+    warm_stage_ = false;
+    const Observation& o = history()[stage_start_];
+    incumbent_obj_ = o.objective;
+    incumbent_unit_ = space().to_unit(o.config);
+    shrink_bounds(0.8);
+    return;
+  }
+  if (!round_stage_) return;  // tail stages spend the remainder, no zooming
+  round_stage_ = false;
+  bool improved = false;
+  for (std::size_t i = stage_start_; i < used(); ++i) {
+    const Observation& o = history()[i];
+    if (o.objective < incumbent_obj_) {
+      incumbent_obj_ = o.objective;
+      incumbent_unit_ = space().to_unit(o.config);
+      improved = true;
+    }
+  }
+  if (incumbent_unit_.empty()) return;
+  if (improved) {
+    // Recursive bound-and-search: zoom into the promising region.
+    shrink_bounds(params_.shrink);
+  } else {
+    // Diverge: restart from the full space to escape a local region.
+    lo_.assign(space().size(), 0.0);
+    hi_.assign(space().size(), 1.0);
+  }
+}
+
+void BestConfigTuner::plan() {
+  finalize_stage();
+
+  if (!did_warm_) {
+    did_warm_ = true;
+    if (warm_.has_value()) {
+      warm_stage_ = true;
+      stage_start_ = used();
+      propose(*warm_);
+      return;
+    }
+  }
+
   const std::size_t rounds = std::max<std::size_t>(1, params_.rounds);
-  const std::size_t per_round = std::max<std::size_t>(1, options.budget / rounds);
-
-  double incumbent_obj = std::numeric_limits<double>::infinity();
-  std::vector<double> incumbent_unit;
-
-  // Warm start: evaluate the transferred configuration and search around it.
-  const Observation* warm = nullptr;
-  for (const auto& o : options.warm_start) {
-    if (!o.failed && (warm == nullptr || o.runtime < warm->runtime)) warm = &o;
+  const std::size_t per_round = std::max<std::size_t>(1, opts().budget / rounds);
+  std::size_t n;
+  if (round_count_ < rounds) {
+    ++round_count_;
+    round_stage_ = true;
+    n = std::min(per_round, std::max<std::size_t>(1, remaining()));
+  } else {
+    // Integer division can strand a remainder; spend it in the final bounds.
+    n = std::min<std::size_t>(std::max<std::size_t>(1, remaining()), 8);
   }
-  if (warm != nullptr && !tracker.exhausted()) {
-    const auto& o = tracker.evaluate(warm->config);
-    incumbent_obj = o.objective;
-    incumbent_unit = space->to_unit(o.config);
-    bounds.shrink_around(incumbent_unit, 0.8);
+  stage_start_ = used();
+  for (auto& c : dds_in_bounds(space(), space_ptr(), lo_, hi_, n, rng_)) {
+    propose(std::move(c));
   }
-
-  for (std::size_t round = 0; round < rounds && !tracker.exhausted(); ++round) {
-    const std::size_t n = std::min(per_round, tracker.remaining());
-    bool improved = false;
-    for (const auto& c : dds_in_bounds(*space, space, bounds, n, rng)) {
-      if (tracker.exhausted()) break;
-      const auto& o = tracker.evaluate(c);
-      if (o.objective < incumbent_obj) {
-        incumbent_obj = o.objective;
-        incumbent_unit = space->to_unit(o.config);
-        improved = true;
-      }
-    }
-    if (!incumbent_unit.empty()) {
-      if (improved) {
-        // Recursive bound-and-search: zoom into the promising region.
-        bounds.shrink_around(incumbent_unit, params_.shrink);
-      } else {
-        // Diverge: restart from the full space to escape a local region.
-        bounds = Bounds(space->size());
-      }
-    }
-  }
-  // Integer division can strand a remainder; spend it in the final bounds.
-  while (!tracker.exhausted()) {
-    for (const auto& c :
-         dds_in_bounds(*space, space, bounds, std::min<std::size_t>(tracker.remaining(), 8), rng)) {
-      if (tracker.exhausted()) break;
-      tracker.evaluate(c);
-    }
-  }
-  return tracker.result();
 }
 
 }  // namespace stune::tuning

@@ -1,10 +1,15 @@
 // Evolutionary tuners: a plain genetic algorithm on live executions, and
 // the DAC-style variant that evolves against a random-forest surrogate and
 // spends real executions only on validating the model's favourites.
+//
+// Both are naturally staged: a GA generation's children are bred from the
+// *previous* generation's fitness, so a whole generation evaluates in
+// parallel; DAC's bootstrap and per-round validation sets likewise.
 #include <algorithm>
 #include <numeric>
 
 #include "model/tree.hpp"
+#include "simcore/check.hpp"
 #include "tuning/tuners.hpp"
 
 namespace stune::tuning {
@@ -34,145 +39,178 @@ std::size_t tournament_pick(const std::vector<double>& fitness, std::size_t k, s
 
 }  // namespace
 
-TuneResult GeneticTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
-                              const Objective& objective, const TuneOptions& options) {
-  EvalTracker tracker(objective, options);
-  simcore::Rng rng(options.seed);
+// -- GeneticTuner -------------------------------------------------------------
 
-  const std::size_t pop_n = std::max<std::size_t>(4, std::min(params_.population, options.budget));
-  std::vector<config::Configuration> population;
-  std::vector<double> fitness;
-
-  // Seed the population: transferred configs first, then random.
-  for (const auto& o : options.warm_start) {
-    if (population.size() >= pop_n / 2) break;
-    if (!o.failed) population.push_back(o.config);
-  }
-  while (population.size() < pop_n) population.push_back(space->sample(rng));
-  for (const auto& c : population) {
-    if (tracker.exhausted()) return tracker.result();
-    fitness.push_back(tracker.evaluate(c).objective);
-  }
-
-  while (!tracker.exhausted()) {
-    // Order by fitness to find the elites.
-    std::vector<std::size_t> order(population.size());
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::sort(order.begin(), order.end(),
-              [&](std::size_t a, std::size_t b) { return fitness[a] < fitness[b]; });
-
-    std::vector<config::Configuration> next;
-    std::vector<double> next_fitness;
-    for (std::size_t e = 0; e < std::min(params_.elites, order.size()); ++e) {
-      next.push_back(population[order[e]]);
-      next_fitness.push_back(fitness[order[e]]);
-    }
-    while (next.size() < pop_n && !tracker.exhausted()) {
-      const auto& a = population[tournament_pick(fitness, params_.tournament, rng)];
-      const auto& b = population[tournament_pick(fitness, params_.tournament, rng)];
-      config::Configuration child = rng.bernoulli(params_.crossover_rate)
-                                        ? crossover(*space, a, b, rng)
-                                        : a;
-      if (rng.bernoulli(params_.mutation_rate)) {
-        child = space->neighbor(child, 0.2, 2, rng);
-      }
-      next_fitness.push_back(tracker.evaluate(child).objective);
-      next.push_back(std::move(child));
-    }
-    population = std::move(next);
-    fitness = std::move(next_fitness);
-  }
-  return tracker.result();
+void GeneticTuner::start() {
+  rng_ = simcore::Rng(opts().seed);
+  population_.clear();
+  fitness_.clear();
+  pending_.clear();
+  elite_fitness_.clear();
+  stage_obj_.clear();
+  initialized_ = false;
 }
 
-TuneResult DacTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
-                          const Objective& objective, const TuneOptions& options) {
-  EvalTracker tracker(objective, options);
-  simcore::Rng rng(options.seed);
+void GeneticTuner::record(const Observation& observation) {
+  stage_obj_.push_back(observation.objective);
+}
 
-  model::Dataset data;
+void GeneticTuner::plan() {
+  const std::size_t pop_n = std::max<std::size_t>(4, std::min(params_.population, opts().budget));
+
+  if (!initialized_) {
+    initialized_ = true;
+    // Seed the population: transferred configs first, then random.
+    for (const auto& o : opts().warm_start) {
+      if (population_.size() >= pop_n / 2) break;
+      if (!o.failed) population_.push_back(o.config);
+    }
+    while (population_.size() < pop_n) population_.push_back(space().sample(rng_));
+    stage_obj_.clear();
+    for (const auto& c : population_) propose(c);
+    return;
+  }
+
+  // Seal the previous stage: the current generation's fitness is the
+  // carried elite scores plus this stage's observations, in order.
+  fitness_ = elite_fitness_;
+  fitness_.insert(fitness_.end(), stage_obj_.begin(), stage_obj_.end());
+  if (!pending_.empty()) population_ = std::move(pending_);
+  STUNE_DCHECK(fitness_.size() == population_.size());
+  stage_obj_.clear();
+
+  // Order by fitness to find the elites; breed the rest from the sealed
+  // generation (selection reads only its fitness, so children are
+  // independent of each other and evaluate in parallel).
+  std::vector<std::size_t> order(population_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return fitness_[a] < fitness_[b]; });
+
+  pending_.clear();
+  elite_fitness_.clear();
+  for (std::size_t e = 0; e < std::min(params_.elites, order.size()); ++e) {
+    pending_.push_back(population_[order[e]]);
+    elite_fitness_.push_back(fitness_[order[e]]);
+  }
+  while (pending_.size() < pop_n) {
+    const auto& a = population_[tournament_pick(fitness_, params_.tournament, rng_)];
+    const auto& b = population_[tournament_pick(fitness_, params_.tournament, rng_)];
+    config::Configuration child =
+        rng_.bernoulli(params_.crossover_rate) ? crossover(space(), a, b, rng_) : a;
+    if (rng_.bernoulli(params_.mutation_rate)) {
+      child = space().neighbor(child, 0.2, 2, rng_);
+    }
+    propose(child);
+    pending_.push_back(std::move(child));
+  }
+}
+
+// -- DacTuner -----------------------------------------------------------------
+
+void DacTuner::start() {
+  rng_ = simcore::Rng(opts().seed);
+  data_ = model::Dataset();
+  warm_.reset();
+  did_warm_ = false;
+  did_bootstrap_ = false;
+
   const Observation* best_warm = nullptr;
-  for (const auto& o : options.warm_start) {
-    data.add(space->encode(o.config), tracker.penalize(o.runtime, o.failed));
+  for (const auto& o : opts().warm_start) {
+    data_.add(space().encode(o.config), penalize_warm(o.runtime, o.failed));
     if (!o.failed && (best_warm == nullptr || o.runtime < best_warm->runtime)) best_warm = &o;
   }
+  if (best_warm != nullptr) warm_ = best_warm->config;
+}
+
+void DacTuner::record(const Observation& observation) {
+  data_.add(space().encode(observation.config), observation.objective);
+}
+
+void DacTuner::plan() {
   // A transferred configuration is worth one validation up front.
-  if (best_warm != nullptr && !tracker.exhausted()) {
-    const auto& o = tracker.evaluate(best_warm->config);
-    data.add(space->encode(o.config), o.objective);
+  if (!did_warm_) {
+    did_warm_ = true;
+    if (warm_.has_value()) {
+      propose(*warm_);
+      return;
+    }
   }
 
-  // Phase 1: random training set for the surrogate.
-  const auto bootstrap = std::max<std::size_t>(
-      5, static_cast<std::size_t>(params_.bootstrap_fraction * static_cast<double>(options.budget)));
-  for (const auto& c : space->latin_hypercube(std::min(bootstrap, options.budget), rng)) {
-    if (tracker.exhausted()) break;
-    const auto& o = tracker.evaluate(c);
-    data.add(space->encode(o.config), o.objective);
+  // Phase 1: random training set for the surrogate (one parallel stage).
+  if (!did_bootstrap_) {
+    did_bootstrap_ = true;
+    const auto bootstrap = std::max<std::size_t>(
+        5,
+        static_cast<std::size_t>(params_.bootstrap_fraction * static_cast<double>(opts().budget)));
+    bool proposed = false;
+    for (auto& c : space().latin_hypercube(std::min(bootstrap, opts().budget), rng_)) {
+      propose(std::move(c));
+      proposed = true;
+    }
+    if (proposed) return;
   }
 
-  // Phase 2: repeat { fit forest; GA on the model; validate the winners }.
-  while (!tracker.exhausted()) {
-    model::RandomForest forest(model::ForestOptions{
-        .trees = 30,
-        .tree = model::TreeOptions{.max_depth = 12, .min_samples_leaf = 2, .min_samples_split = 4,
-                                   .feature_subsample = 0.5},
-        .bootstrap_fraction = 1.0});
-    forest.fit(data, rng.fork(tracker.used()));
-    auto model_score = [&](const config::Configuration& c) {
-      return forest.predict(space->encode(c));
-    };
+  // Phase 2: fit forest; GA on the model; validate the winners.
+  model::RandomForest forest(model::ForestOptions{
+      .trees = 30,
+      .tree = model::TreeOptions{.max_depth = 12, .min_samples_leaf = 2, .min_samples_split = 4,
+                                 .feature_subsample = 0.5},
+      .bootstrap_fraction = 1.0});
+  forest.fit(data_, rng_.fork(used()));
+  auto model_score = [&](const config::Configuration& c) {
+    return forest.predict(space().encode(c));
+  };
 
-    // Model-driven GA (free: no real executions).
-    std::vector<config::Configuration> pop;
-    std::vector<double> fit;
-    pop.reserve(params_.model_population);
-    // Seed with the best observed configs plus randoms.
-    std::vector<const Observation*> seen;
-    for (const auto& o : tracker.history()) seen.push_back(&o);
-    std::sort(seen.begin(), seen.end(),
-              [](const Observation* a, const Observation* b) { return a->objective < b->objective; });
-    for (std::size_t i = 0; i < std::min<std::size_t>(seen.size(), params_.model_population / 4); ++i) {
-      pop.push_back(seen[i]->config);
-    }
-    while (pop.size() < params_.model_population) pop.push_back(space->sample(rng));
-    for (const auto& c : pop) fit.push_back(model_score(c));
+  // Model-driven GA (free: no real executions).
+  std::vector<config::Configuration> pop;
+  std::vector<double> fit;
+  pop.reserve(params_.model_population);
+  // Seed with the best observed configs plus randoms.
+  std::vector<const Observation*> seen;
+  for (const auto& o : history()) seen.push_back(&o);
+  std::sort(seen.begin(), seen.end(),
+            [](const Observation* a, const Observation* b) { return a->objective < b->objective; });
+  for (std::size_t i = 0; i < std::min<std::size_t>(seen.size(), params_.model_population / 4);
+       ++i) {
+    pop.push_back(seen[i]->config);
+  }
+  while (pop.size() < params_.model_population) pop.push_back(space().sample(rng_));
+  for (const auto& c : pop) fit.push_back(model_score(c));
 
-    for (std::size_t g = 0; g < params_.model_generations; ++g) {
-      std::vector<config::Configuration> next;
-      std::vector<double> next_fit;
-      // Keep the two best.
-      std::vector<std::size_t> order(pop.size());
-      std::iota(order.begin(), order.end(), std::size_t{0});
-      std::sort(order.begin(), order.end(),
-                [&](std::size_t a, std::size_t b) { return fit[a] < fit[b]; });
-      for (std::size_t e = 0; e < 2; ++e) {
-        next.push_back(pop[order[e]]);
-        next_fit.push_back(fit[order[e]]);
-      }
-      while (next.size() < pop.size()) {
-        const auto& a = pop[tournament_pick(fit, 3, rng)];
-        const auto& b = pop[tournament_pick(fit, 3, rng)];
-        config::Configuration child = crossover(*space, a, b, rng);
-        if (rng.bernoulli(0.2)) child = space->neighbor(child, 0.15, 2, rng);
-        next_fit.push_back(model_score(child));
-        next.push_back(std::move(child));
-      }
-      pop = std::move(next);
-      fit = std::move(next_fit);
-    }
-
-    // Validate the model's favourites on the real system and grow the data.
+  for (std::size_t g = 0; g < params_.model_generations; ++g) {
+    std::vector<config::Configuration> next;
+    std::vector<double> next_fit;
+    // Keep the two best.
     std::vector<std::size_t> order(pop.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(),
               [&](std::size_t a, std::size_t b) { return fit[a] < fit[b]; });
-    for (std::size_t i = 0; i < params_.validations_per_round && !tracker.exhausted(); ++i) {
-      const auto& o = tracker.evaluate(pop[order[i]]);
-      data.add(space->encode(o.config), o.objective);
+    for (std::size_t e = 0; e < 2; ++e) {
+      next.push_back(pop[order[e]]);
+      next_fit.push_back(fit[order[e]]);
     }
+    while (next.size() < pop.size()) {
+      const auto& a = pop[tournament_pick(fit, 3, rng_)];
+      const auto& b = pop[tournament_pick(fit, 3, rng_)];
+      config::Configuration child = crossover(space(), a, b, rng_);
+      if (rng_.bernoulli(0.2)) child = space().neighbor(child, 0.15, 2, rng_);
+      next_fit.push_back(model_score(child));
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+    fit = std::move(next_fit);
   }
-  return tracker.result();
+
+  // Validate the model's favourites on the real system (one parallel
+  // stage); the observations grow the data via record().
+  std::vector<std::size_t> order(pop.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return fit[a] < fit[b]; });
+  for (std::size_t i = 0; i < std::min(params_.validations_per_round, pop.size()); ++i) {
+    propose(pop[order[i]]);
+  }
 }
 
 }  // namespace stune::tuning

@@ -1,0 +1,152 @@
+// Iterated zoom grid search: full-factorial rounds over the current
+// unit-space bounds. Numeric parameters get L evenly spaced levels (L sized
+// so the round roughly fits the remaining budget); bool/categorical
+// parameters enumerate every value. After a round the bounds shrink around
+// the incumbent if it improved, or reset to the full space otherwise.
+//
+// Deliberately deterministic and repetitive — the classic exhaustive
+// baseline. Zoomed rounds often re-propose the same sanitized
+// configuration (integer grids collapse under fine bounds), which is
+// exactly the access pattern the evaluation cache turns into free lookups.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tuning/tuners.hpp"
+
+namespace stune::tuning {
+
+namespace {
+
+bool is_enumerated(const config::ParamDef& def) {
+  return def.type == config::ParamType::kBool || def.type == config::ParamType::kCategorical;
+}
+
+}  // namespace
+
+void GridSearchTuner::start() {
+  lo_.assign(space().size(), 0.0);
+  hi_.assign(space().size(), 1.0);
+  incumbent_unit_.clear();
+  incumbent_obj_ = std::numeric_limits<double>::infinity();
+  stage_start_ = 0;
+  warm_stage_ = false;
+  round_stage_ = false;
+  first_plan_ = true;
+}
+
+void GridSearchTuner::plan() {
+  finalize_stage();
+  if (first_plan_) {
+    first_plan_ = false;
+    if (const Observation* warm = best_warm_start(opts())) {
+      warm_stage_ = true;
+      stage_start_ = used();
+      propose(warm->config);
+      return;
+    }
+  }
+  build_round();
+}
+
+void GridSearchTuner::finalize_stage() {
+  const bool had_stage = warm_stage_ || round_stage_;
+  if (!had_stage || used() <= stage_start_) return;
+
+  bool improved = false;
+  for (std::size_t i = stage_start_; i < used(); ++i) {
+    const Observation& o = history()[i];
+    if (o.objective < incumbent_obj_) {
+      incumbent_obj_ = o.objective;
+      incumbent_unit_ = space().to_unit(o.config);
+      improved = true;
+    }
+  }
+  if (warm_stage_) {
+    // Search near the transferred configuration first, but not too tightly.
+    warm_stage_ = false;
+    if (improved) shrink_around(0.8);
+    return;
+  }
+  round_stage_ = false;
+  if (incumbent_unit_.empty()) return;
+  if (improved) {
+    shrink_around(params_.shrink);
+  } else {
+    lo_.assign(space().size(), 0.0);  // diverge: restart from the full space
+    hi_.assign(space().size(), 1.0);
+  }
+}
+
+void GridSearchTuner::shrink_around(double factor) {
+  for (std::size_t d = 0; d < lo_.size(); ++d) {
+    const double half = 0.5 * (hi_[d] - lo_[d]) * factor;
+    lo_[d] = std::clamp(incumbent_unit_[d] - half, 0.0, 1.0);
+    hi_[d] = std::clamp(incumbent_unit_[d] + half, lo_[d] + 1e-9, 1.0);
+  }
+}
+
+void GridSearchTuner::build_round() {
+  round_stage_ = true;
+  stage_start_ = used();
+  const std::size_t cap = std::max<std::size_t>(1, remaining());
+
+  // Enumerated dimensions fix their factor of the grid; the numeric level
+  // count L is then sized so the full factorial roughly fits the budget.
+  std::vector<std::size_t> levels(space().size(), 1);
+  double enumerated_product = 1.0;
+  std::size_t numeric_dims = 0;
+  for (std::size_t d = 0; d < space().size(); ++d) {
+    const auto& def = space().param(d);
+    if (is_enumerated(def)) {
+      levels[d] = std::max<std::size_t>(1, std::min(def.cardinality(), params_.max_levels));
+      enumerated_product = std::min(enumerated_product * static_cast<double>(levels[d]), 1e18);
+    } else {
+      ++numeric_dims;
+    }
+  }
+  std::size_t numeric_levels = 2;
+  if (numeric_dims > 0) {
+    const double per_numeric =
+        std::max(1.0, static_cast<double>(cap) / enumerated_product);
+    numeric_levels = static_cast<std::size_t>(
+        std::floor(std::pow(per_numeric, 1.0 / static_cast<double>(numeric_dims))));
+    numeric_levels = std::clamp<std::size_t>(numeric_levels, 2, params_.max_levels);
+  }
+  double total = 1.0;
+  for (std::size_t d = 0; d < space().size(); ++d) {
+    const auto& def = space().param(d);
+    if (!is_enumerated(def)) {
+      levels[d] = numeric_levels;
+      if (def.type == config::ParamType::kInt) {
+        levels[d] = std::min(levels[d], std::max<std::size_t>(2, def.cardinality()));
+      }
+    }
+    total = std::min(total * static_cast<double>(levels[d]), 1e18);
+  }
+
+  // Mixed-radix enumeration, dimension 0 varying fastest, truncated to the
+  // budget. Numeric levels are endpoint grids in the current bounds;
+  // enumerated levels pick the category by centre fraction.
+  const std::size_t count =
+      total < static_cast<double>(cap) ? static_cast<std::size_t>(total) : cap;
+  std::vector<double> unit(space().size());
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t index = i;
+    for (std::size_t d = 0; d < space().size(); ++d) {
+      const std::size_t digit = index % levels[d];
+      index /= levels[d];
+      if (is_enumerated(space().param(d))) {
+        unit[d] = (static_cast<double>(digit) + 0.5) / static_cast<double>(levels[d]);
+      } else if (levels[d] == 1) {
+        unit[d] = 0.5 * (lo_[d] + hi_[d]);
+      } else {
+        unit[d] = lo_[d] + (hi_[d] - lo_[d]) * static_cast<double>(digit) /
+                               static_cast<double>(levels[d] - 1);
+      }
+    }
+    propose(space().from_unit(unit));
+  }
+}
+
+}  // namespace stune::tuning

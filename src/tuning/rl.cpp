@@ -7,8 +7,8 @@
 // Q-table scores {down, stay, up} (categorical/bool: {resample, stay}).
 // Steps round-robin through parameters, pick actions epsilon-greedily,
 // execute the resulting configuration, and reward relative runtime
-// improvement. This is online tuning: the system being tuned serves the
-// evaluations, so every step costs one execution.
+// improvement. This is online tuning: every step depends on the previous
+// reward, so the loop stays serial behind a SequentialAdapter.
 #include <algorithm>
 #include <cmath>
 
@@ -37,31 +37,24 @@ double value_at(const config::ParamDef& def, std::size_t level) {
   return def.from_unit(u);
 }
 
-}  // namespace
-
-TuneResult RlTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
-                         const Objective& objective, const TuneOptions& options) {
-  EvalTracker tracker(objective, options);
+void rl_serial(const RlTuner::Params& params, std::shared_ptr<const config::ConfigSpace> space,
+               SerialSession& session, const TuneOptions& options) {
   simcore::Rng rng(options.seed);
 
   // Start from the best transferred configuration if one exists.
   config::Configuration current = space->default_config();
-  const Observation* best_warm = nullptr;
-  for (const auto& o : options.warm_start) {
-    if (!o.failed && (best_warm == nullptr || o.runtime < best_warm->runtime)) best_warm = &o;
-  }
-  if (best_warm != nullptr) current = best_warm->config;
-  if (tracker.exhausted()) return tracker.result();
-  double current_obj = tracker.evaluate(current).objective;
+  if (const Observation* best_warm = best_warm_start(options)) current = best_warm->config;
+  if (session.exhausted()) return;
+  double current_obj = session.evaluate(current).objective;
 
   std::vector<ParamAgent> agents(space->size());
   for (std::size_t d = 0; d < space->size(); ++d) {
     agents[d].level = level_of(space->param(d), current[d]);
   }
 
-  double epsilon = params_.epsilon;
+  double epsilon = params.epsilon;
   std::size_t d = 0;
-  while (!tracker.exhausted()) {
+  while (!session.exhausted()) {
     auto& agent = agents[d % space->size()];
     const auto& def = space->param(d % space->size());
     const std::size_t dim = d % space->size();
@@ -94,21 +87,38 @@ TuneResult RlTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
       trial.set(dim, value_at(def, next_level));
     }
 
-    const auto& o = tracker.evaluate(trial);
+    const auto& o = session.evaluate(trial);
     // Reward: relative improvement of the objective (negative when worse).
     const double reward = (current_obj - o.objective) / std::max(current_obj, 1e-9);
     const double best_next = *std::max_element(agent.q[next_level], agent.q[next_level] + kActions);
     double& q = agent.q[agent.level][action];
-    q += params_.learning_rate * (reward + params_.discount * best_next - q);
+    q += params.learning_rate * (reward + params.discount * best_next - q);
 
     if (o.objective < current_obj) {
       current = o.config;
       current_obj = o.objective;
       agent.level = next_level;
     }
-    epsilon = std::max(params_.min_epsilon, epsilon * params_.epsilon_decay);
+    epsilon = std::max(params.min_epsilon, epsilon * params.epsilon_decay);
   }
-  return tracker.result();
 }
+
+}  // namespace
+
+RlTuner::RlTuner(Params params)
+    : adapter_("rl", [params](std::shared_ptr<const config::ConfigSpace> space,
+                              SerialSession& session, const TuneOptions& options) {
+        rl_serial(params, std::move(space), session, options);
+      }) {}
+
+void RlTuner::begin(std::shared_ptr<const config::ConfigSpace> space, const TuneOptions& options) {
+  adapter_.begin(std::move(space), options);
+}
+
+std::vector<config::Configuration> RlTuner::suggest(std::size_t max_batch) {
+  return adapter_.suggest(max_batch);
+}
+
+void RlTuner::observe(const std::vector<Observation>& trials) { adapter_.observe(trials); }
 
 }  // namespace stune::tuning

@@ -1,6 +1,9 @@
 // Wang et al. (HPCC'16): fit a regression tree to observed (configuration,
 // runtime) samples, score a large candidate pool through the tree, and
 // spend real executions on the best-scored candidates; refit as data grows.
+//
+// Staged shape: the bootstrap is one parallel stage; each refit round
+// proposes its probes together (they are scored by the same frozen tree).
 #include <algorithm>
 #include <numeric>
 
@@ -9,52 +12,56 @@
 
 namespace stune::tuning {
 
-TuneResult RegressionTreeTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
-                                     const Objective& objective, const TuneOptions& options) {
-  EvalTracker tracker(objective, options);
-  simcore::Rng rng(options.seed);
-
-  model::Dataset data;
-  for (const auto& o : options.warm_start) {
-    data.add(space->encode(o.config), tracker.penalize(o.runtime, o.failed));
+void RegressionTreeTuner::start() {
+  rng_ = simcore::Rng(opts().seed);
+  data_ = model::Dataset();
+  did_bootstrap_ = false;
+  for (const auto& o : opts().warm_start) {
+    data_.add(space().encode(o.config), penalize_warm(o.runtime, o.failed));
   }
+}
 
-  const auto bootstrap = std::max<std::size_t>(
-      6, static_cast<std::size_t>(params_.bootstrap_fraction * static_cast<double>(options.budget)));
-  for (const auto& c : space->latin_hypercube(std::min(bootstrap, options.budget), rng)) {
-    if (tracker.exhausted()) break;
-    const auto& o = tracker.evaluate(c);
-    data.add(space->encode(o.config), o.objective);
-  }
+void RegressionTreeTuner::record(const Observation& observation) {
+  data_.add(space().encode(observation.config), observation.objective);
+}
 
-  while (!tracker.exhausted()) {
-    model::RegressionTree tree(
-        model::TreeOptions{.max_depth = 10, .min_samples_leaf = 2, .min_samples_split = 4});
-    tree.fit(data, rng.fork(tracker.used()));
-
-    // Score a candidate pool; also explore around the best observation.
-    std::vector<config::Configuration> pool;
-    pool.reserve(params_.candidates);
-    for (std::size_t i = 0; i < params_.candidates; ++i) pool.push_back(space->sample(rng));
-    const TuneResult so_far = tracker.result();
-    if (so_far.found_feasible) {
-      for (std::size_t i = 0; i < params_.candidates / 8; ++i) {
-        pool.push_back(space->neighbor(so_far.best, 0.15, 3, rng));
-      }
+void RegressionTreeTuner::plan() {
+  if (!did_bootstrap_) {
+    did_bootstrap_ = true;
+    const auto bootstrap = std::max<std::size_t>(
+        6,
+        static_cast<std::size_t>(params_.bootstrap_fraction * static_cast<double>(opts().budget)));
+    bool proposed = false;
+    for (auto& c : space().latin_hypercube(std::min(bootstrap, opts().budget), rng_)) {
+      propose(std::move(c));
+      proposed = true;
     }
-    std::vector<double> scores(pool.size());
-    for (std::size_t i = 0; i < pool.size(); ++i) scores[i] = tree.predict(space->encode(pool[i]));
-    std::vector<std::size_t> order(pool.size());
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::sort(order.begin(), order.end(),
-              [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+    if (proposed) return;
+  }
 
-    for (std::size_t i = 0; i < params_.probes_per_round && !tracker.exhausted(); ++i) {
-      const auto& o = tracker.evaluate(pool[order[i]]);
-      data.add(space->encode(o.config), o.objective);
+  model::RegressionTree tree(
+      model::TreeOptions{.max_depth = 10, .min_samples_leaf = 2, .min_samples_split = 4});
+  tree.fit(data_, rng_.fork(used()));
+
+  // Score a candidate pool; also explore around the best observation.
+  std::vector<config::Configuration> pool;
+  pool.reserve(params_.candidates);
+  for (std::size_t i = 0; i < params_.candidates; ++i) pool.push_back(space().sample(rng_));
+  if (have_success()) {
+    for (std::size_t i = 0; i < params_.candidates / 8; ++i) {
+      pool.push_back(space().neighbor(best_success().config, 0.15, 3, rng_));
     }
   }
-  return tracker.result();
+  std::vector<double> scores(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) scores[i] = tree.predict(space().encode(pool[i]));
+  std::vector<std::size_t> order(pool.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  for (std::size_t i = 0; i < std::min(params_.probes_per_round, pool.size()); ++i) {
+    propose(pool[order[i]]);
+  }
 }
 
 }  // namespace stune::tuning

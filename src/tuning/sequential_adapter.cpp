@@ -1,0 +1,111 @@
+#include "tuning/sequential_adapter.hpp"
+
+#include "simcore/check.hpp"
+
+namespace stune::tuning {
+
+const Observation& SerialSession::evaluate(const config::Configuration& c) {
+  SequentialAdapter& a = owner_;
+  std::unique_lock<std::mutex> lock(a.mu_);
+  if (a.cancel_) throw Cancelled{};
+  STUNE_CHECK(a.history_.size() < a.options_.budget)
+      << a.name_ << ": serial body evaluated past its budget";
+  a.pending_ = c;
+  a.turn_ = SequentialAdapter::Turn::kDriver;
+  a.cv_.notify_all();
+  a.cv_.wait(lock, [&a] { return a.turn_ == SequentialAdapter::Turn::kBody || a.cancel_; });
+  if (a.cancel_) throw Cancelled{};
+  return a.history_.back();
+}
+
+bool SerialSession::exhausted() const { return remaining() == 0; }
+
+std::size_t SerialSession::remaining() const {
+  const std::lock_guard<std::mutex> lock(owner_.mu_);
+  return owner_.options_.budget - owner_.history_.size();
+}
+
+std::size_t SerialSession::used() const {
+  const std::lock_guard<std::mutex> lock(owner_.mu_);
+  return owner_.history_.size();
+}
+
+const std::vector<Observation>& SerialSession::history() const {
+  const std::lock_guard<std::mutex> lock(owner_.mu_);
+  return owner_.history_;
+}
+
+SequentialAdapter::SequentialAdapter(std::string name, SerialBody body)
+    : name_(std::move(name)), body_(std::move(body)) {
+  STUNE_CHECK(body_ != nullptr) << name_ << ": null serial body";
+}
+
+SequentialAdapter::~SequentialAdapter() { shutdown(); }
+
+void SequentialAdapter::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    cancel_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  cancel_ = false;
+}
+
+void SequentialAdapter::begin(std::shared_ptr<const config::ConfigSpace> space,
+                              const TuneOptions& options) {
+  STUNE_CHECK(space != nullptr) << name_ << ": begin() with null space";
+  shutdown();  // abandon any previous session's body
+  space_ = std::move(space);
+  options_ = options;
+  session_ = std::unique_ptr<SerialSession>(new SerialSession(*this));
+  history_.clear();
+  // Reference stability: evaluate() returns history_.back() and the body
+  // may hold it across later evaluations; at most `budget` commits happen.
+  history_.reserve(options_.budget);
+  body_error_ = nullptr;
+  pending_ = config::Configuration();
+  turn_ = Turn::kBody;
+  thread_ = std::thread([this] {
+    try {
+      body_(space_, *session_, options_);
+    } catch (const SerialSession::Cancelled&) {
+      // Session torn down (destructor or restart) — normal unwind.
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      body_error_ = std::current_exception();
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    turn_ = Turn::kFinished;
+    cv_.notify_all();
+  });
+}
+
+std::vector<config::Configuration> SequentialAdapter::suggest(std::size_t max_batch) {
+  STUNE_CHECK(max_batch > 0) << name_ << ": suggest() with zero batch";
+  std::unique_lock<std::mutex> lock(mu_);
+  STUNE_CHECK(thread_.joinable()) << name_ << ": suggest() before begin()";
+  cv_.wait(lock, [this] { return turn_ == Turn::kDriver || turn_ == Turn::kFinished; });
+  if (body_error_ != nullptr) {
+    const std::exception_ptr error = body_error_;
+    body_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  if (turn_ == Turn::kFinished) {
+    // The body returned early (defensive: none of ours do while budget
+    // remains). Keep the protocol alive with a default configuration.
+    return {space_->default_config()};
+  }
+  return {pending_};
+}
+
+void SequentialAdapter::observe(const std::vector<Observation>& trials) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& o : trials) history_.push_back(o);
+  if (turn_ == Turn::kDriver) {
+    turn_ = Turn::kBody;
+    cv_.notify_all();
+  }
+}
+
+}  // namespace stune::tuning

@@ -1,0 +1,93 @@
+// Adapter that lets an inherently serial search loop (hill climbing, OFAT
+// sweeps, online RL — strategies whose every decision depends on the
+// previous outcome) speak the ask/tell protocol.
+//
+// The serial body runs on its own thread and calls SerialSession::evaluate()
+// wherever it used to call the objective. evaluate() parks the thread at a
+// rendezvous: the pending configuration becomes the next suggest() result
+// (batches of one — the strategy genuinely cannot use more), and the
+// matching observe() delivers the outcome and wakes the body. From the
+// driver's side the adapter is an ordinary Tuner; from the strategy's side
+// nothing changed but the spelling of "evaluate".
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "tuning/tuner.hpp"
+
+namespace stune::tuning {
+
+class SequentialAdapter;
+
+/// Handle the serial body evaluates through. All methods are called from
+/// the body's thread only.
+class SerialSession {
+ public:
+  /// Block until the driver evaluates `c`; returns the committed
+  /// observation (reference stable for the session: storage is reserved up
+  /// front). Throws Cancelled if the session is torn down mid-run.
+  const Observation& evaluate(const config::Configuration& c);
+
+  bool exhausted() const;
+  std::size_t remaining() const;
+  std::size_t used() const;
+  const std::vector<Observation>& history() const;
+
+  /// Thrown out of evaluate() to unwind an abandoned body; the adapter
+  /// catches it at the thread root. Bodies must let it propagate.
+  struct Cancelled {};
+
+ private:
+  friend class SequentialAdapter;
+  explicit SerialSession(SequentialAdapter& owner) : owner_(owner) {}
+  SequentialAdapter& owner_;
+};
+
+class SequentialAdapter final : public Tuner {
+ public:
+  using SerialBody = std::function<void(std::shared_ptr<const config::ConfigSpace>,
+                                        SerialSession&, const TuneOptions&)>;
+
+  SequentialAdapter(std::string name, SerialBody body);
+  ~SequentialAdapter() override;
+
+  SequentialAdapter(const SequentialAdapter&) = delete;
+  SequentialAdapter& operator=(const SequentialAdapter&) = delete;
+
+  std::string name() const override { return name_; }
+  void begin(std::shared_ptr<const config::ConfigSpace> space, const TuneOptions& options) override;
+  std::vector<config::Configuration> suggest(std::size_t max_batch) override;
+  void observe(const std::vector<Observation>& trials) override;
+
+ private:
+  friend class SerialSession;
+
+  /// Whose move it is at the rendezvous.
+  enum class Turn { kBody, kDriver, kFinished };
+
+  void shutdown();  // cancel a live body and join its thread
+
+  const std::string name_;
+  const SerialBody body_;
+
+  std::unique_ptr<SerialSession> session_;
+  std::shared_ptr<const config::ConfigSpace> space_;
+  TuneOptions options_;
+  std::thread thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Turn turn_ = Turn::kFinished;
+  bool cancel_ = false;
+  std::exception_ptr body_error_;
+  config::Configuration pending_;
+  std::vector<Observation> history_;  // committed observations, in order
+};
+
+}  // namespace stune::tuning

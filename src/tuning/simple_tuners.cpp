@@ -1,66 +1,60 @@
-// Random search, coordinate sweep and hill climbing.
+// Random search (a staged, fully batchable stream) plus the serial
+// coordinate-sweep and hill-climbing loops behind SequentialAdapter.
 #include <algorithm>
 
 #include "tuning/tuners.hpp"
 
 namespace stune::tuning {
 
+// -- random -------------------------------------------------------------------
+
+void RandomSearchTuner::start() {
+  rng_ = simcore::Rng(opts().seed);
+  first_plan_ = true;
+}
+
+void RandomSearchTuner::plan() {
+  if (first_plan_) {
+    first_plan_ = false;
+    // A transferred configuration is worth trying first: it costs one sample
+    // and often lands near-optimal for similar workloads.
+    if (const Observation* warm = best_warm_start(opts())) propose(warm->config);
+  }
+  // One stage covering the whole remaining budget: pure random samples are
+  // independent, so the entire stream can be evaluated concurrently.
+  while (queued() < remaining()) propose(space().sample(rng_));
+}
+
 namespace {
 
-/// Best warm-start config (ignoring failures), or nullptr.
-const Observation* best_warm_start(const TuneOptions& options) {
-  const Observation* best = nullptr;
-  for (const auto& o : options.warm_start) {
-    if (o.failed) continue;
-    if (best == nullptr || o.runtime < best->runtime) best = &o;
-  }
-  return best;
-}
+constexpr std::size_t kSweepDefaultLevels = 4;
 
-}  // namespace
-
-TuneResult RandomSearchTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
-                                   const Objective& objective, const TuneOptions& options) {
-  EvalTracker tracker(objective, options);
-  simcore::Rng rng(options.seed);
-  // A transferred configuration is worth trying first: it costs one sample
-  // and often lands near-optimal for similar workloads.
-  if (const Observation* warm = best_warm_start(options); warm != nullptr && !tracker.exhausted()) {
-    tracker.evaluate(warm->config);
-  }
-  while (!tracker.exhausted()) tracker.evaluate(space->sample(rng));
-  return tracker.result();
-}
-
-TuneResult CoordinateSweepTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
-                                      const Objective& objective, const TuneOptions& options) {
-  EvalTracker tracker(objective, options);
+void sweep_serial(std::size_t levels_, std::shared_ptr<const config::ConfigSpace> space,
+                  SerialSession& session, const TuneOptions& options) {
   simcore::Rng rng(options.seed);
 
   config::Configuration incumbent = space->default_config();
-  if (const Observation* warm = best_warm_start(options); warm != nullptr) {
-    incumbent = warm->config;
-  }
-  if (tracker.exhausted()) return tracker.result();
-  double incumbent_obj = tracker.evaluate(incumbent).objective;
+  if (const Observation* warm = best_warm_start(options)) incumbent = warm->config;
+  if (session.exhausted()) return;
+  double incumbent_obj = session.evaluate(incumbent).objective;
 
   // Repeated one-factor-at-a-time passes: for each parameter, probe a few
   // levels across its range holding everything else at the incumbent. When
   // a full pass stops improving, restart the sweep from a random point so
   // the whole budget is spent (like an expert trying a fresh baseline).
-  while (!tracker.exhausted()) {
+  while (!session.exhausted()) {
     bool improved_any = false;
-    for (std::size_t d = 0; d < space->size() && !tracker.exhausted(); ++d) {
+    for (std::size_t d = 0; d < space->size() && !session.exhausted(); ++d) {
       const auto& def = space->param(d);
       const std::size_t levels =
           def.cardinality() > 0 ? std::min(levels_, def.cardinality()) : levels_;
-      for (std::size_t l = 0; l < levels && !tracker.exhausted(); ++l) {
+      for (std::size_t l = 0; l < levels && !session.exhausted(); ++l) {
         const double u = levels == 1 ? 0.5
                                      : static_cast<double>(l) / static_cast<double>(levels - 1);
         config::Configuration trial = incumbent;
         trial.set(d, def.from_unit(u));
         if (trial.values()[d] == incumbent.values()[d]) continue;
-        const auto& o = tracker.evaluate(trial);
+        const auto& o = session.evaluate(trial);
         if (o.objective < incumbent_obj) {
           incumbent = o.config;
           incumbent_obj = o.objective;
@@ -68,75 +62,108 @@ TuneResult CoordinateSweepTuner::tune(std::shared_ptr<const config::ConfigSpace>
         }
       }
     }
-    if (!improved_any && !tracker.exhausted()) {
-      const auto& o = tracker.evaluate(space->sample(rng));
+    if (!improved_any && !session.exhausted()) {
+      const auto& o = session.evaluate(space->sample(rng));
       incumbent = o.config;
       incumbent_obj = o.objective;
     }
   }
-  return tracker.result();
 }
 
-TuneResult HillClimbTuner::tune(std::shared_ptr<const config::ConfigSpace> space,
-                                const Objective& objective, const TuneOptions& options) {
-  EvalTracker tracker(objective, options);
+void hill_climb_serial(const HillClimbTuner::Params& params,
+                       std::shared_ptr<const config::ConfigSpace> space, SerialSession& session,
+                       const TuneOptions& options) {
   simcore::Rng rng(options.seed);
 
   config::Configuration current;
-  if (const Observation* warm = best_warm_start(options); warm != nullptr) {
+  if (const Observation* warm = best_warm_start(options)) {
     current = warm->config;
   } else {
     current = space->default_config();
   }
-  if (tracker.exhausted()) return tracker.result();
-  double current_obj = tracker.evaluate(current).objective;
+  if (session.exhausted()) return;
+  double current_obj = session.evaluate(current).objective;
   double best_obj = current_obj;
   config::Configuration best = current;
 
-  double step = params_.initial_step;
+  double step = params.initial_step;
   std::size_t stalls = 0;
   std::size_t hops = 0;
-  while (!tracker.exhausted()) {
+  while (!session.exhausted()) {
     // MROnline-style: perturb parameters, accept improvements, decay the
     // step while stuck. Near convergence (small step) mutate only one
     // parameter so good coordinates are not wrecked by a bad companion move.
     const std::size_t mutations =
         step > 0.1 ? static_cast<std::size_t>(rng.uniform_int(1, 2)) : 1;
     const config::Configuration neighbor = space->neighbor(current, step, mutations, rng);
-    const auto& o = tracker.evaluate(neighbor);
+    const auto& o = session.evaluate(neighbor);
     if (o.objective < current_obj) {
       current = o.config;
       current_obj = o.objective;
       stalls = 0;
       // 1/5-rule-style adaptation: success means the step is productive,
       // so grow it back; failures shrink it toward fine-grained search.
-      step = std::min(2.0 * params_.initial_step, step * 1.3);
+      step = std::min(2.0 * params.initial_step, step * 1.3);
       if (current_obj < best_obj) {
         best_obj = current_obj;
         best = current;
       }
     } else {
       ++stalls;
-      step = std::max(params_.min_step, step * params_.step_decay);
+      step = std::max(params.min_step, step * params.step_decay);
     }
-    if (stalls >= params_.stall_limit) {
+    if (stalls >= params.stall_limit) {
       // Basin hop: usually re-inflate the step around the global best;
       // periodically take a genuinely random restart for diversity.
       ++hops;
       if (hops % 3 == 0) {
-        if (tracker.exhausted()) break;
-        const auto& r = tracker.evaluate(space->sample(rng));
+        if (session.exhausted()) break;
+        const auto& r = session.evaluate(space->sample(rng));
         current = r.config;
         current_obj = r.objective;
       } else {
         current = best;
         current_obj = best_obj;
       }
-      step = params_.initial_step;
+      step = params.initial_step;
       stalls = 0;
     }
   }
-  return tracker.result();
 }
+
+}  // namespace
+
+CoordinateSweepTuner::CoordinateSweepTuner(std::size_t levels)
+    : adapter_("sweep", [levels](std::shared_ptr<const config::ConfigSpace> space,
+                                 SerialSession& session, const TuneOptions& options) {
+        sweep_serial(levels == 0 ? kSweepDefaultLevels : levels, std::move(space), session,
+                     options);
+      }) {}
+
+void CoordinateSweepTuner::begin(std::shared_ptr<const config::ConfigSpace> space,
+                                 const TuneOptions& options) {
+  adapter_.begin(std::move(space), options);
+}
+std::vector<config::Configuration> CoordinateSweepTuner::suggest(std::size_t max_batch) {
+  return adapter_.suggest(max_batch);
+}
+void CoordinateSweepTuner::observe(const std::vector<Observation>& trials) {
+  adapter_.observe(trials);
+}
+
+HillClimbTuner::HillClimbTuner(Params params)
+    : adapter_("hillclimb", [params](std::shared_ptr<const config::ConfigSpace> space,
+                                     SerialSession& session, const TuneOptions& options) {
+        hill_climb_serial(params, std::move(space), session, options);
+      }) {}
+
+void HillClimbTuner::begin(std::shared_ptr<const config::ConfigSpace> space,
+                           const TuneOptions& options) {
+  adapter_.begin(std::move(space), options);
+}
+std::vector<config::Configuration> HillClimbTuner::suggest(std::size_t max_batch) {
+  return adapter_.suggest(max_batch);
+}
+void HillClimbTuner::observe(const std::vector<Observation>& trials) { adapter_.observe(trials); }
 
 }  // namespace stune::tuning

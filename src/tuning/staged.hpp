@@ -1,0 +1,117 @@
+// Helper base for natively batch-capable strategies.
+//
+// A staged strategy thinks in stages: a warm-start probe, an LHS bootstrap,
+// a GA generation, a grid round — each generated entirely from the history
+// committed *before* the stage, so every configuration in a stage can be
+// evaluated concurrently. StagedTuner keeps the queue and the common
+// bookkeeping (history mirror, best-so-far); subclasses implement
+//
+//   start()   — reset strategy state for a new session,
+//   plan()    — called with an empty queue and budget remaining; must
+//               propose() at least one configuration,
+//   record(o) — optional per-observation hook (e.g. grow a model dataset).
+//
+// The driver's protocol guarantees plan() only runs when every previously
+// suggested configuration has been observed, so a stage's contents are a
+// pure function of committed history and results are independent of
+// evaluation concurrency.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "simcore/check.hpp"
+#include "tuning/tuner.hpp"
+
+namespace stune::tuning {
+
+class StagedTuner : public Tuner {
+ public:
+  void begin(std::shared_ptr<const config::ConfigSpace> space, const TuneOptions& options) final {
+    STUNE_CHECK(space != nullptr) << name() << ": begin() with null space";
+    space_ = std::move(space);
+    options_ = options;  // owned by value for the session's lifetime
+    history_.clear();
+    history_.reserve(options_.budget);
+    queue_.clear();
+    best_index_ = npos;
+    least_index_ = npos;
+    start();
+  }
+
+  std::vector<config::Configuration> suggest(std::size_t max_batch) final {
+    STUNE_CHECK(max_batch > 0) << name() << ": suggest() with zero batch";
+    if (queue_.empty()) plan();
+    STUNE_CHECK(!queue_.empty()) << name() << ": plan() proposed no configurations";
+    const std::size_t n = std::min(max_batch, queue_.size());
+    std::vector<config::Configuration> batch(queue_.begin(),
+                                             queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    return batch;
+  }
+
+  void observe(const std::vector<Observation>& trials) final {
+    for (const auto& o : trials) {
+      history_.push_back(o);
+      const std::size_t i = history_.size() - 1;
+      if (!o.failed && (best_index_ == npos || o.runtime < history_[best_index_].runtime)) {
+        best_index_ = i;
+      }
+      if (least_index_ == npos || o.objective < history_[least_index_].objective) {
+        least_index_ = i;
+      }
+      record(history_[i]);
+    }
+  }
+
+ protected:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  virtual void start() = 0;
+  virtual void plan() = 0;
+  virtual void record(const Observation& observation) { (void)observation; }
+
+  /// Enqueue a configuration for the current stage.
+  void propose(config::Configuration c) { queue_.push_back(std::move(c)); }
+  /// Configurations proposed but not yet handed to the driver.
+  std::size_t queued() const { return queue_.size(); }
+
+  const config::ConfigSpace& space() const { return *space_; }
+  std::shared_ptr<const config::ConfigSpace> space_ptr() const { return space_; }
+  const TuneOptions& opts() const { return options_; }
+
+  std::size_t used() const { return history_.size(); }
+  std::size_t remaining() const {
+    return options_.budget > history_.size() ? options_.budget - history_.size() : 0;
+  }
+  const std::vector<Observation>& history() const { return history_; }
+
+  bool have_success() const { return best_index_ != npos; }
+  const Observation& best_success() const {
+    STUNE_CHECK(best_index_ != npos) << name() << ": no successful observation yet";
+    return history_[best_index_];
+  }
+  /// Best successful runtime, or (with no success yet) the least-bad
+  /// penalized score — the incumbent value acquisition functions improve on.
+  double best_objective() const {
+    if (best_index_ != npos) return history_[best_index_].runtime;
+    if (least_index_ != npos) return history_[least_index_].objective;
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// Warm-start scoring (no real run has happened yet; see cold_penalty).
+  double penalize_warm(double runtime, bool failed) const {
+    return cold_penalty(options_, runtime, failed);
+  }
+
+ private:
+  std::shared_ptr<const config::ConfigSpace> space_;
+  TuneOptions options_;
+  std::deque<config::Configuration> queue_;
+  std::vector<Observation> history_;
+  std::size_t best_index_ = npos;
+  std::size_t least_index_ = npos;
+};
+
+}  // namespace stune::tuning

@@ -1,0 +1,114 @@
+#include "tuning/trial_executor.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "simcore/check.hpp"
+
+namespace stune::tuning {
+
+SessionLedger::SessionLedger(TuneOptions options) : options_(std::move(options)) {
+  history_.reserve(options_.budget);
+}
+
+double SessionLedger::penalize(double runtime, bool failed) const {
+  if (!failed) return runtime;
+  const double base = worst_success_ > 0.0 ? worst_success_ : runtime;
+  return std::max(base, runtime) * options_.failure_penalty_factor;
+}
+
+const Observation& SessionLedger::commit(const config::Configuration& c,
+                                         const EvalOutcome& outcome) {
+  STUNE_CHECK(!exhausted()) << "SessionLedger: budget exhausted";
+  ++used_;
+  Observation o;
+  o.config = c;
+  o.runtime = outcome.runtime;
+  o.failed = outcome.failed;
+  if (!outcome.failed && outcome.runtime > worst_success_) worst_success_ = outcome.runtime;
+  o.objective = penalize(outcome.runtime, outcome.failed);
+  history_.push_back(std::move(o));
+  const auto& rec = history_.back();
+  if (!rec.failed &&
+      (best_index_ == static_cast<std::size_t>(-1) || rec.runtime < history_[best_index_].runtime)) {
+    best_index_ = history_.size() - 1;
+  }
+  return rec;
+}
+
+TuneResult SessionLedger::result() const {
+  TuneResult r;
+  r.history = history_;
+  if (best_index_ != static_cast<std::size_t>(-1)) {
+    r.best = history_[best_index_].config;
+    r.best_runtime = history_[best_index_].runtime;
+    r.found_feasible = true;
+  } else if (!history_.empty()) {
+    // Nothing succeeded; surface the least-penalized configuration.
+    std::size_t least = 0;
+    for (std::size_t i = 1; i < history_.size(); ++i) {
+      if (history_[i].objective < history_[least].objective) least = i;
+    }
+    r.best = history_[least].config;
+    r.best_runtime = history_[least].runtime;
+  }
+  return r;
+}
+
+TrialExecutor::TrialExecutor(ExecutorOptions options)
+    : jobs_(options.jobs == 0 ? simcore::ThreadPool::hardware_threads() : options.jobs) {}
+
+TuneResult TrialExecutor::run(Tuner& tuner, std::shared_ptr<const config::ConfigSpace> space,
+                              const Objective& objective, const TuneOptions& options,
+                              const CommitHook& on_commit) {
+  SessionLedger ledger(options);
+  tuner.begin(space, options);
+
+  std::vector<Observation> batch_observations;
+  while (!ledger.exhausted()) {
+    const std::vector<config::Configuration> batch = tuner.suggest(ledger.remaining());
+    STUNE_CHECK(!batch.empty()) << tuner.name() << ": suggest() returned no configurations";
+    STUNE_CHECK_LE(batch.size(), ledger.remaining());
+
+    std::vector<EvalOutcome> outcomes(batch.size());
+    if (jobs_ <= 1 || batch.size() == 1) {
+      for (std::size_t i = 0; i < batch.size(); ++i) outcomes[i] = objective(batch[i]);
+    } else {
+      if (pool_ == nullptr) pool_ = std::make_unique<simcore::ThreadPool>(jobs_);
+      std::vector<std::future<void>> futures;
+      futures.reserve(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        futures.push_back(
+            pool_->submit([&objective, &batch, &outcomes, i] { outcomes[i] = objective(batch[i]); }));
+      }
+      // Join every future before rethrowing so no task still references the
+      // batch/outcome vectors when an exception unwinds this frame.
+      std::exception_ptr first_error;
+      for (auto& f : futures) {
+        try {
+          f.get();
+        } catch (...) {
+          if (first_error == nullptr) first_error = std::current_exception();
+        }
+      }
+      if (first_error != nullptr) std::rethrow_exception(first_error);
+    }
+
+    // Serial commit, in suggestion order: penalties, best-so-far and any
+    // caller side effects observe one deterministic interleaving.
+    batch_observations.clear();
+    batch_observations.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Observation& o = ledger.commit(batch[i], outcomes[i]);
+      if (on_commit) on_commit(o);
+      batch_observations.push_back(o);
+    }
+    tuner.observe(batch_observations);
+  }
+  return ledger.result();
+}
+
+}  // namespace stune::tuning

@@ -1,0 +1,86 @@
+// The evaluation side of the ask/tell protocol: TrialExecutor drives a
+// Tuner session, runs each suggested batch — on a simcore::ThreadPool when
+// jobs > 1 — and commits observations back in suggestion order.
+//
+// Determinism argument: the engine is a pure function of (cluster, plan,
+// config, seed), so a trial's outcome does not depend on when or where it
+// runs. The only scheduling-sensitive state is the session bookkeeping
+// (budget, failure penalties, best-so-far), and that is updated serially,
+// in suggestion order, after the whole batch has finished. Hence jobs=1 and
+// jobs=N produce bitwise-identical histories and results.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "simcore/thread_pool.hpp"
+#include "tuning/tuner.hpp"
+
+namespace stune::tuning {
+
+/// Per-session bookkeeping: budget, failure penalization and best-so-far.
+/// Owns its options by value — the EvalTracker it replaces held
+/// `const Objective&`/`const TuneOptions&` members that dangled whenever
+/// the tracker outlived the caller's frame.
+class SessionLedger {
+ public:
+  explicit SessionLedger(TuneOptions options);
+
+  bool exhausted() const { return used_ >= options_.budget; }
+  std::size_t remaining() const { return options_.budget - used_; }
+  std::size_t used() const { return used_; }
+
+  /// Score an outcome the way commit() will, given the penalties seen so
+  /// far. Path dependent: a failure is scored off the worst *successful*
+  /// runtime observed before it.
+  double penalize(double runtime, bool failed) const;
+
+  /// Record one evaluated trial (consumes budget; must be called in
+  /// suggestion order). Returns the stored observation.
+  const Observation& commit(const config::Configuration& c, const EvalOutcome& outcome);
+
+  /// Result assembled from everything committed so far.
+  TuneResult result() const;
+
+  const std::vector<Observation>& history() const { return history_; }
+  const TuneOptions& options() const { return options_; }
+
+ private:
+  TuneOptions options_;  // owned by value, not a reference
+  std::vector<Observation> history_;
+  std::size_t used_ = 0;
+  std::size_t best_index_ = static_cast<std::size_t>(-1);
+  double worst_success_ = 0.0;
+};
+
+struct ExecutorOptions {
+  /// Worker threads evaluating a suggested batch. 1 = serial (no pool is
+  /// created); 0 = one per hardware thread.
+  std::size_t jobs = 1;
+};
+
+class TrialExecutor {
+ public:
+  /// Called serially, in suggestion order, once per committed observation —
+  /// the place for side effects (ledgers, knowledge bases) that must not
+  /// run concurrently or out of order.
+  using CommitHook = std::function<void(const Observation&)>;
+
+  explicit TrialExecutor(ExecutorOptions options = {});
+
+  /// Drive one complete tuning session. The objective must be safe to call
+  /// from multiple threads when jobs > 1 (pure simulation runs are).
+  TuneResult run(Tuner& tuner, std::shared_ptr<const config::ConfigSpace> space,
+                 const Objective& objective, const TuneOptions& options,
+                 const CommitHook& on_commit = {});
+
+  /// Resolved worker count (0 in the options maps to hardware threads).
+  std::size_t jobs() const { return jobs_; }
+
+ private:
+  std::size_t jobs_;
+  std::unique_ptr<simcore::ThreadPool> pool_;  // created on first parallel batch
+};
+
+}  // namespace stune::tuning

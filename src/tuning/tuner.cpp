@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "tuning/trial_executor.hpp"
 #include "tuning/tuners.hpp"
 
 namespace stune::tuning {
@@ -17,72 +18,33 @@ std::vector<double> TuneResult::best_curve() const {
   return curve;
 }
 
-EvalTracker::EvalTracker(const Objective& objective, const TuneOptions& options)
-    : objective_(objective), options_(options) {
-  history_.reserve(options.budget);
+TuneResult Tuner::tune(std::shared_ptr<const config::ConfigSpace> space,
+                       const Objective& objective, const TuneOptions& options) {
+  TrialExecutor executor;  // serial: jobs = 1, no cache
+  return executor.run(*this, std::move(space), objective, options);
 }
 
-double EvalTracker::penalize(double runtime, bool failed) const {
-  if (!failed) return runtime;
-  const double base = worst_success_ > 0.0 ? worst_success_ : runtime;
-  return std::max(base, runtime) * options_.failure_penalty_factor;
+double cold_penalty(const TuneOptions& options, double runtime, bool failed) {
+  return failed ? runtime * options.failure_penalty_factor : runtime;
 }
 
-const Observation& EvalTracker::evaluate(const config::Configuration& c) {
-  if (exhausted()) throw std::logic_error("EvalTracker: budget exhausted");
-  const EvalOutcome out = objective_(c);
-  ++used_;
-  Observation o;
-  o.config = c;
-  o.runtime = out.runtime;
-  o.failed = out.failed;
-  if (!out.failed && out.runtime > worst_success_) worst_success_ = out.runtime;
-  o.objective = penalize(out.runtime, out.failed);
-  history_.push_back(std::move(o));
-  const auto& rec = history_.back();
-  if (!rec.failed &&
-      (best_index_ == static_cast<std::size_t>(-1) || rec.runtime < history_[best_index_].runtime)) {
-    best_index_ = history_.size() - 1;
+const Observation* best_warm_start(const TuneOptions& options) {
+  const Observation* best = nullptr;
+  for (const auto& o : options.warm_start) {
+    if (o.failed) continue;
+    if (best == nullptr || o.runtime < best->runtime) best = &o;
   }
-  return rec;
-}
-
-double EvalTracker::best_objective() const {
-  if (best_index_ == static_cast<std::size_t>(-1)) {
-    // No success yet: the least-bad penalized score.
-    double best = std::numeric_limits<double>::infinity();
-    for (const auto& o : history_) best = std::min(best, o.objective);
-    return best;
-  }
-  return history_[best_index_].runtime;
-}
-
-TuneResult EvalTracker::result() const {
-  TuneResult r;
-  r.history = history_;
-  if (best_index_ != static_cast<std::size_t>(-1)) {
-    r.best = history_[best_index_].config;
-    r.best_runtime = history_[best_index_].runtime;
-    r.found_feasible = true;
-  } else if (!history_.empty()) {
-    // Nothing succeeded; surface the least-penalized configuration.
-    std::size_t least = 0;
-    for (std::size_t i = 1; i < history_.size(); ++i) {
-      if (history_[i].objective < history_[least].objective) least = i;
-    }
-    r.best = history_[least].config;
-    r.best_runtime = history_[least].runtime;
-  }
-  return r;
+  return best;
 }
 
 std::vector<std::string> tuner_names() {
-  return {"random", "sweep",      "hillclimb", "bayesopt", "genetic",
-          "dac",    "bestconfig", "rtree",     "rl"};
+  return {"random", "grid", "sweep",      "hillclimb", "bayesopt",
+          "genetic", "dac", "bestconfig", "rtree",     "rl"};
 }
 
 std::unique_ptr<Tuner> make_tuner(std::string_view name) {
   if (name == "random") return std::make_unique<RandomSearchTuner>();
+  if (name == "grid") return std::make_unique<GridSearchTuner>();
   if (name == "sweep") return std::make_unique<CoordinateSweepTuner>();
   if (name == "hillclimb") return std::make_unique<HillClimbTuner>();
   if (name == "bayesopt") return std::make_unique<BayesOptTuner>();

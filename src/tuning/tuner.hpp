@@ -6,6 +6,14 @@
 // Objectives are minimized and measured in seconds of workload runtime;
 // failed executions (OOM, infeasible deployment) are first-class — tuners
 // see them and must not treat a crash as a good time.
+//
+// Strategies speak an ask/tell protocol: the driver (TrialExecutor) calls
+// suggest() for a batch of configurations, evaluates them — possibly in
+// parallel, possibly answering from a cache — and hands the scored
+// observations back through observe(). Every suggested configuration is
+// observed, in suggestion order, before the next suggest(), so a strategy's
+// decision stream is a pure function of its committed history and results
+// are identical whatever the evaluation concurrency.
 #pragma once
 
 #include <functional>
@@ -55,42 +63,47 @@ struct TuneResult {
   std::vector<double> best_curve() const;
 };
 
+/// A configuration-search strategy, driven ask/tell style.
+///
+/// Session shape (enforced by the driver):
+///   begin(space, options);
+///   while budget remains:
+///     batch = suggest(remaining);     // 1 <= batch.size() <= remaining
+///     observe(scored batch);          // same configs, suggestion order
+///
+/// suggest() returns the strategy's natural batch — a whole random stage, a
+/// GA generation, a single model-guided probe — and must never exceed
+/// `max_batch`. observe() delivers every outcome of the previous suggest()
+/// before the next suggest() is made, so strategies never see partial or
+/// reordered batches.
 class Tuner {
  public:
   virtual ~Tuner() = default;
   virtual std::string name() const = 0;
-  virtual TuneResult tune(std::shared_ptr<const config::ConfigSpace> space,
-                          const Objective& objective, const TuneOptions& options) = 0;
+
+  /// Start (or restart) a tuning session. Resets all per-session state.
+  virtual void begin(std::shared_ptr<const config::ConfigSpace> space,
+                     const TuneOptions& options) = 0;
+  /// Next configurations to evaluate; non-empty, at most max_batch.
+  virtual std::vector<config::Configuration> suggest(std::size_t max_batch) = 0;
+  /// Scored outcomes of the previous suggest(), in suggestion order.
+  virtual void observe(const std::vector<Observation>& trials) = 0;
+
+  /// Convenience: run a complete serial session (the pre-ask/tell `tune`
+  /// signature, kept so call sites that do not care about parallelism or
+  /// caching stay one-liners). Implemented on top of TrialExecutor.
+  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
+                  const TuneOptions& options);
 };
 
-/// Budget/penalty bookkeeping shared by tuner implementations.
-class EvalTracker {
- public:
-  EvalTracker(const Objective& objective, const TuneOptions& options);
+/// Score an outcome the way the executor scores it before any success has
+/// been observed (used to score warm-start observations, which arrive
+/// before the session has a "worst successful runtime").
+double cold_penalty(const TuneOptions& options, double runtime, bool failed);
 
-  /// Run one evaluation (consumes budget). Returns the recorded observation.
-  const Observation& evaluate(const config::Configuration& c);
-  bool exhausted() const { return used_ >= options_.budget; }
-  std::size_t remaining() const { return options_.budget - used_; }
-  std::size_t used() const { return used_; }
-
-  /// Score an outcome the way evaluate() does (used to score warm starts).
-  double penalize(double runtime, bool failed) const;
-
-  /// Result assembled from everything evaluated so far.
-  TuneResult result() const;
-
-  const std::vector<Observation>& history() const { return history_; }
-  double best_objective() const;
-
- private:
-  const Objective& objective_;
-  const TuneOptions& options_;
-  std::vector<Observation> history_;
-  std::size_t used_ = 0;
-  std::size_t best_index_ = static_cast<std::size_t>(-1);
-  double worst_success_ = 0.0;
-};
+/// Best non-failed warm-start observation, or nullptr. The shared "is the
+/// transferred configuration worth a probe?" helper.
+const Observation* best_warm_start(const TuneOptions& options);
 
 /// Registry of every implemented strategy, for benches that sweep tuners.
 std::vector<std::unique_ptr<Tuner>> all_tuners();

@@ -1,8 +1,12 @@
 // The configuration-tuning strategies surveyed in paper §II, implemented
-// against the common Tuner interface:
+// against the common ask/tell Tuner interface:
 //
 //  - RandomSearchTuner    : uniform random sampling (the paper's Table I
 //                           protocol uses 100 random configurations).
+//  - GridSearchTuner      : iterated zoom grid — full-factorial rounds over
+//                           the current bounds, shrinking around the
+//                           incumbent (the classic exhaustive baseline;
+//                           batch-friendly and cache-friendly).
 //  - CoordinateSweepTuner : one-factor-at-a-time expert sweep (the "manual
 //                           measurement" baseline of §II).
 //  - HillClimbTuner       : modified hill climbing with restarts (MROnline).
@@ -16,29 +20,76 @@
 //                           bound-and-search (BestConfig).
 //  - RegressionTreeTuner  : Wang et al. — fit a regression tree, probe its
 //                           most promising leaves.
+//  - RlTuner              : Bu et al. — online coordinate-wise Q-learning.
+//
+// Batch-capable strategies (random, grid, bayesopt, genetic, dac,
+// bestconfig, rtree) extend StagedTuner and emit whole stages; inherently
+// serial ones (sweep, hillclimb, rl — every decision depends on the
+// previous outcome) keep their loop bodies verbatim behind a
+// SequentialAdapter.
 #pragma once
 
+#include <optional>
+
+#include "model/dataset.hpp"
+#include "tuning/sequential_adapter.hpp"
+#include "tuning/staged.hpp"
 #include "tuning/tuner.hpp"
 
 namespace stune::tuning {
 
-class RandomSearchTuner final : public Tuner {
+class RandomSearchTuner final : public StagedTuner {
  public:
   std::string name() const override { return "random"; }
-  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
-                  const TuneOptions& options) override;
+
+ private:
+  void start() override;
+  void plan() override;
+
+  simcore::Rng rng_{0};
+  bool first_plan_ = true;
+};
+
+class GridSearchTuner final : public StagedTuner {
+ public:
+  struct Params {
+    /// Cap on levels per dimension (and per categorical enumeration).
+    std::size_t max_levels = 64;
+    /// Bound shrink factor around the incumbent after an improving round.
+    double shrink = 0.5;
+  };
+  GridSearchTuner() : GridSearchTuner(Params{}) {}
+  explicit GridSearchTuner(Params params) : params_(params) {}
+  std::string name() const override { return "grid"; }
+
+ private:
+  void start() override;
+  void plan() override;
+  void finalize_stage();
+  void shrink_around(double factor);
+  void build_round();
+
+  Params params_;
+  std::vector<double> lo_, hi_;  // unit-space bounds, one pair per parameter
+  std::vector<double> incumbent_unit_;
+  double incumbent_obj_ = 0.0;
+  std::size_t stage_start_ = 0;
+  bool warm_stage_ = false;
+  bool round_stage_ = false;
+  bool first_plan_ = true;
 };
 
 class CoordinateSweepTuner final : public Tuner {
  public:
   /// Levels probed per parameter during a sweep.
-  explicit CoordinateSweepTuner(std::size_t levels = 4) : levels_(levels) {}
+  explicit CoordinateSweepTuner(std::size_t levels = 4);
   std::string name() const override { return "sweep"; }
-  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
-                  const TuneOptions& options) override;
+  void begin(std::shared_ptr<const config::ConfigSpace> space, const TuneOptions& options) override;
+  std::vector<config::Configuration> suggest(std::size_t max_batch) override;
+  void observe(const std::vector<Observation>& trials) override;
 
  private:
-  std::size_t levels_;
+  SequentialAdapter adapter_;
 };
 
 class HillClimbTuner final : public Tuner {
@@ -50,33 +101,41 @@ class HillClimbTuner final : public Tuner {
     std::size_t stall_limit = 14;  // non-improving moves before restart
   };
   HillClimbTuner() : HillClimbTuner(Params{}) {}
-  explicit HillClimbTuner(Params params) : params_(params) {}
+  explicit HillClimbTuner(Params params);
   std::string name() const override { return "hillclimb"; }
-  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
-                  const TuneOptions& options) override;
+  void begin(std::shared_ptr<const config::ConfigSpace> space, const TuneOptions& options) override;
+  std::vector<config::Configuration> suggest(std::size_t max_batch) override;
+  void observe(const std::vector<Observation>& trials) override;
 
  private:
-  Params params_;
+  SequentialAdapter adapter_;
 };
 
-class BayesOptTuner final : public Tuner {
+class BayesOptTuner final : public StagedTuner {
  public:
   struct Params {
-    std::size_t init_samples = 10;   // LHS bootstrap
-    std::size_t candidates = 512;    // acquisition pool size
+    std::size_t init_samples = 10;      // LHS bootstrap
+    std::size_t candidates = 512;       // acquisition pool size
     std::size_t local_candidates = 64;  // neighbours of the incumbent
   };
   BayesOptTuner() : BayesOptTuner(Params{}) {}
   explicit BayesOptTuner(Params params) : params_(params) {}
   std::string name() const override { return "bayesopt"; }
-  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
-                  const TuneOptions& options) override;
 
  private:
+  void start() override;
+  void plan() override;
+  void record(const Observation& observation) override;
+
   Params params_;
+  simcore::Rng rng_{0};
+  model::Dataset data_;
+  std::optional<config::Configuration> warm_;
+  bool did_warm_ = false;
+  bool did_bootstrap_ = false;
 };
 
-class GeneticTuner final : public Tuner {
+class GeneticTuner final : public StagedTuner {
  public:
   struct Params {
     std::size_t population = 20;
@@ -88,14 +147,23 @@ class GeneticTuner final : public Tuner {
   GeneticTuner() : GeneticTuner(Params{}) {}
   explicit GeneticTuner(Params params) : params_(params) {}
   std::string name() const override { return "genetic"; }
-  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
-                  const TuneOptions& options) override;
 
  private:
+  void start() override;
+  void plan() override;
+  void record(const Observation& observation) override;
+
   Params params_;
+  simcore::Rng rng_{0};
+  std::vector<config::Configuration> population_;  // current generation
+  std::vector<double> fitness_;                    // its fully-known fitness
+  std::vector<config::Configuration> pending_;     // next generation (elites + children)
+  std::vector<double> elite_fitness_;              // carried over without re-evaluation
+  std::vector<double> stage_obj_;                  // objectives observed this stage
+  bool initialized_ = false;
 };
 
-class DacTuner final : public Tuner {
+class DacTuner final : public StagedTuner {
  public:
   struct Params {
     /// Fraction of budget spent on the initial random training set.
@@ -108,14 +176,21 @@ class DacTuner final : public Tuner {
   DacTuner() : DacTuner(Params{}) {}
   explicit DacTuner(Params params) : params_(params) {}
   std::string name() const override { return "dac"; }
-  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
-                  const TuneOptions& options) override;
 
  private:
+  void start() override;
+  void plan() override;
+  void record(const Observation& observation) override;
+
   Params params_;
+  simcore::Rng rng_{0};
+  model::Dataset data_;
+  std::optional<config::Configuration> warm_;
+  bool did_warm_ = false;
+  bool did_bootstrap_ = false;
 };
 
-class BestConfigTuner final : public Tuner {
+class BestConfigTuner final : public StagedTuner {
  public:
   struct Params {
     std::size_t rounds = 4;
@@ -125,11 +200,24 @@ class BestConfigTuner final : public Tuner {
   BestConfigTuner() : BestConfigTuner(Params{}) {}
   explicit BestConfigTuner(Params params) : params_(params) {}
   std::string name() const override { return "bestconfig"; }
-  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
-                  const TuneOptions& options) override;
 
  private:
+  void start() override;
+  void plan() override;
+  void finalize_stage();
+  void shrink_bounds(double factor);
+
   Params params_;
+  simcore::Rng rng_{0};
+  std::vector<double> lo_, hi_;  // unit-space search bounds
+  double incumbent_obj_ = 0.0;
+  std::vector<double> incumbent_unit_;
+  std::optional<config::Configuration> warm_;
+  std::size_t round_count_ = 0;
+  std::size_t stage_start_ = 0;
+  bool warm_stage_ = false;
+  bool round_stage_ = false;
+  bool did_warm_ = false;
 };
 
 /// Bu et al. (ICDCS'09)-style online reinforcement learning: coordinate-wise
@@ -144,16 +232,17 @@ class RlTuner final : public Tuner {
     double min_epsilon = 0.1;
   };
   RlTuner() : RlTuner(Params{}) {}
-  explicit RlTuner(Params params) : params_(params) {}
+  explicit RlTuner(Params params);
   std::string name() const override { return "rl"; }
-  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
-                  const TuneOptions& options) override;
+  void begin(std::shared_ptr<const config::ConfigSpace> space, const TuneOptions& options) override;
+  std::vector<config::Configuration> suggest(std::size_t max_batch) override;
+  void observe(const std::vector<Observation>& trials) override;
 
  private:
-  Params params_;
+  SequentialAdapter adapter_;
 };
 
-class RegressionTreeTuner final : public Tuner {
+class RegressionTreeTuner final : public StagedTuner {
  public:
   struct Params {
     double bootstrap_fraction = 0.4;
@@ -163,11 +252,16 @@ class RegressionTreeTuner final : public Tuner {
   RegressionTreeTuner() : RegressionTreeTuner(Params{}) {}
   explicit RegressionTreeTuner(Params params) : params_(params) {}
   std::string name() const override { return "rtree"; }
-  TuneResult tune(std::shared_ptr<const config::ConfigSpace> space, const Objective& objective,
-                  const TuneOptions& options) override;
 
  private:
+  void start() override;
+  void plan() override;
+  void record(const Observation& observation) override;
+
   Params params_;
+  simcore::Rng rng_{0};
+  model::Dataset data_;
+  bool did_bootstrap_ = false;
 };
 
 }  // namespace stune::tuning

@@ -1,0 +1,67 @@
+#include "workload/eval_cache.hpp"
+
+#include "simcore/rng.hpp"
+
+namespace stune::workload {
+
+namespace {
+
+std::uint64_t key_fingerprint(const EvalKey& key) {
+  using simcore::hash_combine;
+  std::uint64_t h = hash_combine(key.context, key.plan);
+  h = hash_combine(h, key.seed);
+  for (const double v : key.config) h = hash_combine(h, simcore::hash_double(v));
+  return h;
+}
+
+}  // namespace
+
+std::size_t EvalCache::KeyHash::operator()(const EvalKey& key) const {
+  return static_cast<std::size_t>(key_fingerprint(key));
+}
+
+EvalCache::Shard& EvalCache::shard_of(const EvalKey& key) {
+  // Use high bits for the shard so the map's bucket choice (low bits)
+  // stays independent of it.
+  return shards_[(key_fingerprint(key) >> 60) % kShards];
+}
+
+std::optional<disc::ExecutionReport> EvalCache::lookup(const EvalKey& key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void EvalCache::insert(const EvalKey& key, const disc::ExecutionReport& report) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(key, report);
+}
+
+EvalCacheStats EvalCache::stats() const {
+  EvalCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.entries += shard.map.size();
+  }
+  return s;
+}
+
+void EvalCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace stune::workload

@@ -1,0 +1,83 @@
+// A sharded, thread-safe memo of simulated executions.
+//
+// The engine is a pure function of (cluster+cost-model+contention context,
+// physical plan, configuration, seed) — see SparkSimulator's determinism
+// contract — so a report computed once can be replayed for any later
+// request with the same key. That is what makes re-tuning cheap for a
+// provider-side service: a grid re-tune over a workload it has already
+// profiled mostly replays stored reports.
+//
+// Keys compare the full canonical configuration vector (not a hash of it),
+// so a hit can never alias two distinct configurations; fingerprints only
+// pick the shard and bucket. Sharding keeps concurrent TrialExecutor
+// batches from serializing on one mutex.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "disc/metrics.hpp"
+
+namespace stune::workload {
+
+/// Everything a simulated execution depends on, canonically.
+struct EvalKey {
+  std::uint64_t context = 0;  // SparkSimulator::context_fingerprint()
+  std::uint64_t plan = 0;     // dag::PhysicalPlan::fingerprint()
+  std::uint64_t seed = 0;     // EngineOptions::seed
+  std::vector<double> config;  // sanitized stored values, full precision
+
+  bool operator==(const EvalKey&) const = default;
+};
+
+struct EvalCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+
+  double hit_rate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+class EvalCache {
+ public:
+  EvalCache() = default;
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Returns the stored report, or nullopt (counting a miss).
+  std::optional<disc::ExecutionReport> lookup(const EvalKey& key);
+
+  /// Stores a report; the first insert for a key wins (reports for equal
+  /// keys are identical by the determinism contract, so losing a race to
+  /// another thread changes nothing).
+  void insert(const EvalKey& key, const disc::ExecutionReport& report);
+
+  EvalCacheStats stats() const;
+  void clear();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const EvalKey& key) const;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<EvalKey, disc::ExecutionReport, KeyHash> map;
+  };
+
+  Shard& shard_of(const EvalKey& key);
+
+  static constexpr std::size_t kShards = 16;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace stune::workload

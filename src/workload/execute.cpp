@@ -10,4 +10,17 @@ disc::ExecutionReport execute(const Workload& workload, Bytes input_bytes,
   return simulator.run(plan, parsed);
 }
 
+disc::ExecutionReport execute(const Workload& workload, Bytes input_bytes,
+                              const disc::SparkSimulator& simulator,
+                              const config::Configuration& conf, EvalCache& cache) {
+  const config::SparkConf parsed(conf);
+  const dag::PhysicalPlan plan = workload.plan(input_bytes, &parsed);
+  const EvalKey key{simulator.context_fingerprint(), plan.fingerprint(),
+                    simulator.options().seed, conf.values()};
+  if (auto hit = cache.lookup(key)) return *std::move(hit);
+  disc::ExecutionReport report = simulator.run(plan, parsed);
+  cache.insert(key, report);
+  return report;
+}
+
 }  // namespace stune::workload

@@ -4,6 +4,7 @@
 
 #include "config/config_space.hpp"
 #include "disc/engine.hpp"
+#include "workload/eval_cache.hpp"
 #include "workload/workload.hpp"
 
 namespace stune::workload {
@@ -12,5 +13,15 @@ namespace stune::workload {
 disc::ExecutionReport execute(const Workload& workload, Bytes input_bytes,
                               const disc::SparkSimulator& simulator,
                               const config::Configuration& conf);
+
+/// Cached variant: replays the stored report when this exact
+/// (simulator context, plan, seed, configuration) has run before;
+/// otherwise runs and stores. Safe because the engine is deterministic in
+/// exactly that tuple. Planning still happens on every call (the plan
+/// depends on the configuration and its fingerprint is part of the key);
+/// only the simulated execution is memoized.
+disc::ExecutionReport execute(const Workload& workload, Bytes input_bytes,
+                              const disc::SparkSimulator& simulator,
+                              const config::Configuration& conf, EvalCache& cache);
 
 }  // namespace stune::workload

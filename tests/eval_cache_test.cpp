@@ -1,0 +1,165 @@
+// The execution cache is only sound because the engine is a pure function
+// of (context, plan, config, seed): these tests pin the replay guarantee
+// (bitwise-identical reports on a hit), the key's sensitivity to every
+// component, and thread safety under concurrent lookups.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "config/spark_space.hpp"
+#include "workload/eval_cache.hpp"
+#include "workload/execute.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::workload {
+namespace {
+
+disc::SparkSimulator testbed_simulator(std::uint64_t seed = 42,
+                                       const std::string& instance = "h1.4xlarge") {
+  disc::EngineOptions opts;
+  opts.seed = seed;
+  return disc::SparkSimulator(cluster::Cluster::from_spec({instance, 4}), opts);
+}
+
+void expect_identical(const disc::ExecutionReport& a, const disc::ExecutionReport& b) {
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.failure_reason, b.failure_reason);
+  EXPECT_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.executors, b.executors);
+  EXPECT_EQ(a.total_slots, b.total_slots);
+  EXPECT_EQ(a.execution_memory_per_task, b.execution_memory_per_task);
+  EXPECT_EQ(a.storage_memory_total, b.storage_memory_total);
+  EXPECT_EQ(a.cache_hit_fraction, b.cache_hit_fraction);
+  EXPECT_EQ(a.total_cpu, b.total_cpu);
+  EXPECT_EQ(a.total_gc, b.total_gc);
+  EXPECT_EQ(a.total_disk, b.total_disk);
+  EXPECT_EQ(a.total_net, b.total_net);
+  EXPECT_EQ(a.total_spill, b.total_spill);
+  EXPECT_EQ(a.total_overhead, b.total_overhead);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_EQ(a.stages[i].stage_id, b.stages[i].stage_id);
+    EXPECT_EQ(a.stages[i].tasks, b.stages[i].tasks);
+    EXPECT_EQ(a.stages[i].start, b.stages[i].start);
+    EXPECT_EQ(a.stages[i].duration, b.stages[i].duration);
+    EXPECT_EQ(a.stages[i].cpu_seconds, b.stages[i].cpu_seconds);
+    EXPECT_EQ(a.stages[i].spilled_bytes, b.stages[i].spilled_bytes);
+    EXPECT_EQ(a.stages[i].failed_tasks, b.stages[i].failed_tasks);
+  }
+}
+
+TEST(EvalCache, SecondExecutionIsAHitAndReplaysBitwise) {
+  EvalCache cache;
+  const auto w = make_workload("sort");
+  const auto sim = testbed_simulator();
+  const auto conf = config::spark_space()->default_config();
+  const simcore::Bytes input = 8ULL << 30;
+
+  const auto first = execute(*w, input, sim, conf, cache);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  const auto second = execute(*w, input, sim, conf, cache);
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  expect_identical(first, second);
+
+  // And the cached overload agrees with the uncached one.
+  expect_identical(first, execute(*w, input, sim, conf));
+}
+
+TEST(EvalCache, KeyIsSensitiveToEveryComponent) {
+  EvalCache cache;
+  const auto w = make_workload("sort");
+  const auto space = config::spark_space();
+  const auto conf = space->default_config();
+  const simcore::Bytes input = 8ULL << 30;
+
+  execute(*w, input, testbed_simulator(), conf, cache);  // seed the cache
+
+  // Different engine seed -> different key.
+  execute(*w, input, testbed_simulator(43), conf, cache);
+  // Different cluster (context fingerprint) -> different key.
+  execute(*w, input, testbed_simulator(42, "m5.2xlarge"), conf, cache);
+  // Different input size (plan fingerprint) -> different key.
+  execute(*w, input * 2, testbed_simulator(), conf, cache);
+  // Different configuration -> different key.
+  simcore::Rng rng(1);
+  execute(*w, input, testbed_simulator(), space->sample(rng), cache);
+  // Different workload (plan fingerprint) -> different key.
+  execute(*make_workload("pagerank"), input, testbed_simulator(), conf, cache);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 6u);
+  EXPECT_EQ(stats.entries, 6u);
+}
+
+TEST(EvalCache, ClearResetsEntriesAndCounters) {
+  EvalCache cache;
+  const auto w = make_workload("sort");
+  const auto sim = testbed_simulator();
+  const auto conf = config::spark_space()->default_config();
+  execute(*w, 8ULL << 30, sim, conf, cache);
+  execute(*w, 8ULL << 30, sim, conf, cache);
+  cache.clear();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hit_rate(), 0.0);
+}
+
+TEST(EvalCache, ConcurrentLookupsAccountEveryRequest) {
+  EvalCache cache;
+  const auto w = make_workload("sort");
+  const auto space = config::spark_space();
+  const simcore::Bytes input = 4ULL << 30;
+
+  // A small pool of distinct configurations hammered from many threads.
+  std::vector<config::Configuration> confs;
+  simcore::Rng rng(9);
+  for (int i = 0; i < 4; ++i) confs.push_back(space->sample(rng));
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto sim = testbed_simulator();
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const auto& conf = confs[static_cast<std::size_t>((t + i) % 4)];
+        const auto report = execute(*w, input, sim, conf, cache);
+        (void)report;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kItersPerThread);
+  // Every distinct key was computed at least once; racing threads may both
+  // miss the same key before either inserts, so misses can exceed 4 but
+  // never the request count.
+  EXPECT_GE(stats.misses, 4u);
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_GT(stats.hit_rate(), 0.0);
+}
+
+TEST(EvalKey, FullVectorEqualityNotJustHash) {
+  EvalKey a{1, 2, 3, {0.5, 1.0}};
+  EvalKey b{1, 2, 3, {0.5, 1.0}};
+  EvalKey c{1, 2, 3, {0.5, 1.0000000001}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace stune::workload

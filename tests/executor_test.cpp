@@ -1,0 +1,218 @@
+// The ask/tell contract: the TrialExecutor owns evaluation, tuners only
+// suggest and observe. The load-bearing property is that the worker count
+// is invisible — observations commit in suggestion order, so every tuner's
+// decision stream is a pure function of its committed history and jobs=N
+// reproduces jobs=1 bitwise.
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "simcore/thread_pool.hpp"
+#include "tuning/trial_executor.hpp"
+#include "tuning/tuner.hpp"
+#include "tuning/tuners.hpp"
+
+namespace stune::tuning {
+namespace {
+
+std::shared_ptr<const config::ConfigSpace> synthetic_space() {
+  static const auto space = [] {
+    std::vector<config::ParamDef> params;
+    params.push_back(config::ParamDef::real("a", 0.0, 1.0, 0.1));
+    params.push_back(config::ParamDef::real("b", 0.0, 1.0, 0.9));
+    params.push_back(config::ParamDef::integer("c", 0, 100, 0));
+    params.push_back(config::ParamDef::boolean("flag", false));
+    params.push_back(config::ParamDef::categorical("mode", {"x", "y", "z"}, 0));
+    return config::ConfigSpace::create(std::move(params));
+  }();
+  return space;
+}
+
+/// Thread-safe bowl objective; crashes in a configuration-determined band
+/// so failure paths are exercised identically at every jobs count.
+Objective bowl(bool with_failures = false) {
+  return [with_failures](const config::Configuration& c) -> EvalOutcome {
+    const double a = c.get("a"), b = c.get("b");
+    const double cc = c.get("c") / 100.0;
+    double v = 1.0 + 40.0 * ((a - 0.7) * (a - 0.7) + (b - 0.3) * (b - 0.3) +
+                             (cc - 0.4) * (cc - 0.4));
+    if (!c.get_bool("flag")) v += 3.0;
+    if (c.get_label("mode") != "y") v += 2.0;
+    const bool failed = with_failures && a > 0.85 && b > 0.85;
+    return {v, failed};
+  };
+}
+
+TuneResult run_with_jobs(const std::string& tuner_name, std::size_t jobs, bool with_failures) {
+  TuneOptions opts;
+  opts.budget = 40;
+  opts.seed = 7;
+  TrialExecutor executor(ExecutorOptions{.jobs = jobs});
+  const auto tuner = make_tuner(tuner_name);
+  return executor.run(*tuner, synthetic_space(), bowl(with_failures), opts);
+}
+
+class ExecutorDeterminism : public ::testing::TestWithParam<std::string> {};
+
+// The tentpole guarantee: for EVERY tuner, evaluating batches on 8 threads
+// yields the same TuneResult, observation for observation, as 1 thread.
+TEST_P(ExecutorDeterminism, JobsCountNeverChangesResults) {
+  for (const bool with_failures : {false, true}) {
+    const TuneResult serial = run_with_jobs(GetParam(), 1, with_failures);
+    const TuneResult parallel = run_with_jobs(GetParam(), 8, with_failures);
+
+    ASSERT_EQ(serial.history.size(), parallel.history.size());
+    for (std::size_t i = 0; i < serial.history.size(); ++i) {
+      EXPECT_EQ(serial.history[i].config.values(), parallel.history[i].config.values())
+          << "trial " << i;
+      EXPECT_EQ(serial.history[i].runtime, parallel.history[i].runtime) << "trial " << i;
+      EXPECT_EQ(serial.history[i].failed, parallel.history[i].failed) << "trial " << i;
+      EXPECT_EQ(serial.history[i].objective, parallel.history[i].objective) << "trial " << i;
+    }
+    EXPECT_EQ(serial.best_curve(), parallel.best_curve());
+    EXPECT_EQ(serial.best.values(), parallel.best.values());
+    EXPECT_EQ(serial.best_runtime, parallel.best_runtime);
+    EXPECT_EQ(serial.found_feasible, parallel.found_feasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTuners, ExecutorDeterminism, ::testing::ValuesIn(tuner_names()),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           return param_info.param;
+                         });
+
+// A tuner that emits one distinctive batch and checks observation order.
+class OrderProbeTuner final : public Tuner {
+ public:
+  std::string name() const override { return "order-probe"; }
+
+  void begin(std::shared_ptr<const config::ConfigSpace> space, const TuneOptions&) override {
+    space_ = std::move(space);
+    emitted_ = 0;
+  }
+
+  std::vector<config::Configuration> suggest(std::size_t max_batch) override {
+    std::vector<config::Configuration> batch;
+    for (std::size_t i = 0; i < max_batch; ++i) {
+      auto c = space_->default_config();
+      c.set(2, static_cast<double>(emitted_++));  // "c" tags suggestion order
+      batch.push_back(std::move(c));
+    }
+    return batch;
+  }
+
+  void observe(const std::vector<Observation>& trials) override {
+    for (const auto& o : trials) observed_.push_back(o.config.get("c"));
+  }
+
+  const std::vector<double>& observed() const { return observed_; }
+
+ private:
+  std::shared_ptr<const config::ConfigSpace> space_;
+  std::size_t emitted_ = 0;
+  std::vector<double> observed_;
+};
+
+// Trials that finish out of order (later suggestions sleep less) must still
+// be committed and observed in suggestion order.
+TEST(TrialExecutor, CommitsInSuggestionOrderDespiteCompletionOrder) {
+  OrderProbeTuner tuner;
+  Objective obj = [](const config::Configuration& c) -> EvalOutcome {
+    const auto tag = static_cast<int>(c.get("c"));
+    std::this_thread::sleep_for(std::chrono::milliseconds((16 - tag % 16) * 2));
+    return {1.0 + tag, false};
+  };
+  TuneOptions opts;
+  opts.budget = 16;
+  TrialExecutor executor(ExecutorOptions{.jobs = 8});
+  const auto result = executor.run(tuner, synthetic_space(), obj, opts);
+
+  ASSERT_EQ(tuner.observed().size(), 16u);
+  for (std::size_t i = 0; i < tuner.observed().size(); ++i) {
+    EXPECT_EQ(tuner.observed()[i], static_cast<double>(i));
+  }
+  ASSERT_EQ(result.history.size(), 16u);
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    EXPECT_EQ(result.history[i].runtime, 1.0 + static_cast<double>(i));
+  }
+}
+
+// The commit hook fires once per observation, in order, on the driver.
+TEST(TrialExecutor, CommitHookSeesEveryObservationInOrder) {
+  std::vector<double> seen;
+  TrialExecutor::CommitHook hook = [&](const Observation& o) { seen.push_back(o.objective); };
+  TuneOptions opts;
+  opts.budget = 20;
+  opts.seed = 3;
+  TrialExecutor executor(ExecutorOptions{.jobs = 4});
+  RandomSearchTuner tuner;
+  const auto result = executor.run(tuner, synthetic_space(), bowl(), opts, hook);
+  ASSERT_EQ(seen.size(), result.history.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], result.history[i].objective);
+  }
+}
+
+// An objective that throws must not deadlock or leak threads; the error
+// surfaces to the caller.
+TEST(TrialExecutor, ObjectiveExceptionPropagates) {
+  Objective obj = [](const config::Configuration&) -> EvalOutcome {
+    throw std::runtime_error("objective blew up");
+  };
+  TuneOptions opts;
+  opts.budget = 8;
+  TrialExecutor executor(ExecutorOptions{.jobs = 4});
+  RandomSearchTuner tuner;
+  EXPECT_THROW(executor.run(tuner, synthetic_space(), obj, opts), std::runtime_error);
+}
+
+// Serial-adapter tuners must survive an early teardown: an executor run
+// that throws mid-session leaves the body thread parked; the next begin()
+// (or destruction) must cancel it cleanly. This is the hang-regression test
+// for SequentialAdapter.
+TEST(TrialExecutor, SerialAdapterSurvivesAbortedRunAndReuse) {
+  HillClimbTuner tuner;
+  int calls = 0;
+  Objective flaky = [&calls](const config::Configuration& c) -> EvalOutcome {
+    if (++calls == 5) throw std::runtime_error("transient");
+    return {c.get("a") + 1.0, false};
+  };
+  TuneOptions opts;
+  opts.budget = 12;
+  TrialExecutor executor(ExecutorOptions{.jobs = 1});
+  EXPECT_THROW(executor.run(tuner, synthetic_space(), flaky, opts), std::runtime_error);
+
+  // Reuse after the aborted session must restart cleanly and complete.
+  const auto result = executor.run(tuner, synthetic_space(), bowl(), opts);
+  EXPECT_EQ(result.history.size(), opts.budget);
+  EXPECT_TRUE(result.found_feasible);
+}
+
+TEST(TrialExecutor, JobsZeroMeansHardwareConcurrency) {
+  TrialExecutor executor(ExecutorOptions{.jobs = 0});
+  EXPECT_EQ(executor.jobs(), simcore::ThreadPool::hardware_threads());
+  EXPECT_GE(executor.jobs(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  simcore::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&done] { done.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionsSurfaceThroughFutures) {
+  simcore::ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace stune::tuning

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "tuning/trial_executor.hpp"
 #include "tuning/tuner.hpp"
 #include "tuning/tuners.hpp"
 
@@ -196,46 +197,38 @@ TEST(TunerRegistry, AllNamesConstructAndMatch) {
   EXPECT_EQ(all_tuners().size(), tuner_names().size());
 }
 
-TEST(EvalTracker, PenalizesFailuresAboveWorstSuccess) {
+TEST(SessionLedger, PenalizesFailuresAboveWorstSuccess) {
   TuneOptions opts;
   opts.budget = 10;
   opts.failure_penalty_factor = 3.0;
-  int calls = 0;
-  Objective obj = [&calls](const config::Configuration&) -> EvalOutcome {
-    ++calls;
-    if (calls == 2) return {1.0, true};  // fast crash must not look good
-    return {10.0, false};
-  };
-  EvalTracker tracker(obj, opts);
+  SessionLedger ledger(opts);
   const auto space = synthetic_space();
   simcore::Rng rng(1);
-  tracker.evaluate(space->sample(rng));
-  const auto& failed = tracker.evaluate(space->sample(rng));
+  ledger.commit(space->sample(rng), {10.0, false});
+  const auto& failed = ledger.commit(space->sample(rng), {1.0, true});  // fast crash
   EXPECT_TRUE(failed.failed);
   EXPECT_GE(failed.objective, 30.0);  // 3x worst success, not 1 second
 }
 
-TEST(EvalTracker, ThrowsWhenBudgetExceeded) {
+TEST(SessionLedger, ThrowsWhenBudgetExceeded) {
   TuneOptions opts;
   opts.budget = 1;
-  Objective obj = [](const config::Configuration&) -> EvalOutcome { return {1.0, false}; };
-  EvalTracker tracker(obj, opts);
+  SessionLedger ledger(opts);
   const auto space = synthetic_space();
   simcore::Rng rng(1);
-  tracker.evaluate(space->sample(rng));
-  EXPECT_TRUE(tracker.exhausted());
-  EXPECT_THROW(tracker.evaluate(space->sample(rng)), std::logic_error);
+  ledger.commit(space->sample(rng), {1.0, false});
+  EXPECT_TRUE(ledger.exhausted());
+  EXPECT_THROW(ledger.commit(space->sample(rng), {1.0, false}), std::logic_error);
 }
 
-TEST(EvalTracker, AllFailuresStillProducesAResult) {
+TEST(SessionLedger, AllFailuresStillProducesAResult) {
   TuneOptions opts;
   opts.budget = 5;
-  Objective obj = [](const config::Configuration&) -> EvalOutcome { return {2.0, true}; };
-  EvalTracker tracker(obj, opts);
+  SessionLedger ledger(opts);
   const auto space = synthetic_space();
   simcore::Rng rng(1);
-  while (!tracker.exhausted()) tracker.evaluate(space->sample(rng));
-  const auto r = tracker.result();
+  while (!ledger.exhausted()) ledger.commit(space->sample(rng), {2.0, true});
+  const auto r = ledger.result();
   EXPECT_FALSE(r.found_feasible);
   EXPECT_FALSE(r.best.empty());
 }
