@@ -10,6 +10,10 @@
 // indeed fails to amortize within the 90-run lifetime.
 #include "service/tuning_service.hpp"
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include "bench_util.hpp"
 
 namespace {

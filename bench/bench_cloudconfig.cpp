@@ -4,6 +4,8 @@
 // objective. The claim under test: BO finds near-optimal cloud configs with
 // ~10 trials where exhaustive search needs the whole catalog.
 #include <cmath>
+#include <cstddef>
+#include <string>
 
 #include "service/cloud_tuner.hpp"
 #include "tuning/tuners.hpp"

@@ -5,6 +5,9 @@
 // stage's outcome and the end-to-end gain over a naive deployment (a fixed
 // general-purpose cluster running framework defaults).
 #include "service/cloud_tuner.hpp"
+
+#include <cstddef>
+#include <string>
 #include "tuning/tuners.hpp"
 
 #include "bench_util.hpp"

@@ -5,6 +5,8 @@
 // the per-stage, per-resource timing the driver's UI would show.
 #include "dag/plan.hpp"
 
+#include <cstddef>
+
 #include "bench_util.hpp"
 
 int main() {

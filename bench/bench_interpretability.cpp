@@ -12,7 +12,10 @@
 // matter for shuffle-heavy workloads; SQL knobs only for SQL workloads.
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "model/additive_gp.hpp"
 #include "model/tree.hpp"

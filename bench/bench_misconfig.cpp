@@ -9,6 +9,7 @@
 // rate. A second table ablates the engine mechanisms (spill, GC, OOM) that
 // DESIGN.md credits for the heavy tail, showing each one's contribution.
 #include <algorithm>
+#include <vector>
 
 #include "bench_util.hpp"
 

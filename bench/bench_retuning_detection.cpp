@@ -11,7 +11,10 @@
 // and score every detector on false alarms (streams with no real drift) and
 // detection delay (runs after onset).
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "adaptive/change_detector.hpp"
 

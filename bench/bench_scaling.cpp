@@ -5,6 +5,9 @@
 //   quality per workload — quantifying when analytic extrapolation is safe
 //   (clean scale-out) and when it is not (cache cliffs, §II-A's criticism).
 #include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
 
 #include "model/linear.hpp"
 #include "service/cloud_tuner.hpp"

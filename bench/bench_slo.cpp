@@ -9,6 +9,10 @@
 // needs (references available, mean excess).
 #include "service/tuning_service.hpp"
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include "bench_util.hpp"
 
 int main() {

@@ -15,6 +15,10 @@
 // reused configuration that crashes at scale counts as 100% saving.
 #include "bench_util.hpp"
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 namespace {
 
 using namespace stune;

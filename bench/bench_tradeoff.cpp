@@ -9,6 +9,8 @@
 // budget, cheapest under a deadline.
 #include "service/tradeoff.hpp"
 
+#include <string>
+
 #include "bench_util.hpp"
 
 int main() {

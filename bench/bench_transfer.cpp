@@ -9,6 +9,11 @@
 // characterization-similarity pipeline. We report best-found runtime per
 // budget and the executions needed to get within 10% of the known best.
 #include "transfer/aroma.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
 #include "transfer/characterization.hpp"
 #include "transfer/warm_start.hpp"
 #include "tuning/tuners.hpp"

@@ -10,6 +10,10 @@
 // configuration.
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "simcore/thread_pool.hpp"
 #include "tuning/trial_executor.hpp"
@@ -149,6 +153,14 @@ int main(int argc, char** argv) {
                  fmt("%.1f", at_checkpoint[2]), fmt("%.1f", at_checkpoint[3]),
                  def.success ? fmt("%.1fx", def.runtime / final_best) : "recovers crash",
                  fmt("%.0f", crashes)});
+      // Machine-readable record for tracking tuner convergence over time.
+      std::printf(
+          "{\"bench\":\"tuner_comparison\",\"workload\":\"%s\",\"tuner\":\"%s\","
+          "\"budget\":%zu,\"best_at_10\":%.3f,\"best_at_25\":%.3f,\"best_at_50\":%.3f,"
+          "\"best_at_100\":%.3f,\"default_runtime\":%.3f,\"crashes\":%.2f}\n",
+          workload_name.c_str(), tuner_name.c_str(), kBudget, at_checkpoint[0],
+          at_checkpoint[1], at_checkpoint[2], at_checkpoint[3],
+          def.success ? def.runtime : -1.0, crashes);
     }
     t.print();
   }

@@ -2,6 +2,8 @@
 // multi-seed execution protocol and simple table rendering.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>

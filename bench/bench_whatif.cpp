@@ -10,7 +10,10 @@
 // payoff: a Starfish-style tuner (profile once, search predictions, validate
 // the top few) against BO at the same *real-execution* budget.
 #include <algorithm>
+#include <cstddef>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "disc/whatif.hpp"
 #include "simcore/stats.hpp"

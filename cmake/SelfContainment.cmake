@@ -1,0 +1,34 @@
+# Header self-containment check: every header under src/ must compile on
+# its own, with nothing included before it. For each src/**/*.hpp we
+# generate a one-line translation unit `#include "<header>"` and compile
+# them all into an OBJECT library — a header that leans on a transitive
+# include (or on being included after something else) fails the build
+# right here instead of in whichever TU happens to reorder its includes.
+#
+# The generated TUs live under the build tree and are only rewritten when
+# missing or stale, so incremental builds don't churn.
+function(stune_add_self_containment_check)
+  find_package(Threads REQUIRED)
+  file(GLOB_RECURSE _stune_headers CONFIGURE_DEPENDS
+       ${CMAKE_SOURCE_DIR}/src/*.hpp)
+
+  set(_stune_tus "")
+  foreach(_header IN LISTS _stune_headers)
+    file(RELATIVE_PATH _rel ${CMAKE_SOURCE_DIR}/src ${_header})
+    set(_tu ${CMAKE_BINARY_DIR}/self_containment/${_rel}.cpp)
+    set(_body "#include \"${_rel}\"  // self-containment check\n")
+    if(EXISTS ${_tu})
+      file(READ ${_tu} _existing)
+    else()
+      set(_existing "")
+    endif()
+    if(NOT _existing STREQUAL _body)
+      file(WRITE ${_tu} "${_body}")
+    endif()
+    list(APPEND _stune_tus ${_tu})
+  endforeach()
+
+  add_library(stune_self_containment OBJECT ${_stune_tus})
+  target_include_directories(stune_self_containment PRIVATE ${CMAKE_SOURCE_DIR}/src)
+  target_link_libraries(stune_self_containment PRIVATE Threads::Threads)
+endfunction()

@@ -9,6 +9,7 @@
 //
 // tune/serve accept --jobs N (N = 0 means hardware concurrency): trials of
 // a batch evaluate on N threads. Results are identical for every N.
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>

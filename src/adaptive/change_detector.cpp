@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace stune::adaptive {
 

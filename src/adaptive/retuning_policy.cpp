@@ -1,5 +1,6 @@
 #include "adaptive/retuning_policy.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 namespace stune::adaptive {

@@ -4,6 +4,7 @@
 // for auditability.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>

@@ -1,6 +1,8 @@
 #include "cluster/cluster.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "simcore/rng.hpp"
 

@@ -4,6 +4,7 @@
 // symmetric, which matches the paper's 4x h1.4xlarge testbed.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "cluster/instance_type.hpp"

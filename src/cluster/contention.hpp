@@ -8,6 +8,8 @@
 // from neighbours, CPU least, matching public noisy-neighbour studies).
 #pragma once
 
+#include <cstdint>
+
 #include "simcore/rng.hpp"
 
 namespace stune::cluster {

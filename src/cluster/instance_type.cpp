@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace stune::cluster {
 

@@ -2,6 +2,8 @@
 // and neighbourhood operations used by every tuner.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>

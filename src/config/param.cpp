@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "simcore/check.hpp"
 

@@ -1,6 +1,8 @@
 #include "config/spark_space.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 namespace stune::config {
 

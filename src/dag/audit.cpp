@@ -1,8 +1,11 @@
 #include "dag/audit.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace stune::dag {
 

@@ -3,6 +3,7 @@
 // selectivities — what Spark's DAGScheduler produces (paper Fig. 2).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

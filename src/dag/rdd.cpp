@@ -1,6 +1,9 @@
 #include "dag/rdd.hpp"
 
+#include <cstddef>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace stune::dag {
 

@@ -6,6 +6,7 @@
 // behaviour) that the physical planner propagates into sized stages.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

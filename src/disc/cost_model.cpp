@@ -1,5 +1,7 @@
 #include "disc/cost_model.hpp"
 
+#include <cstdint>
+
 #include "simcore/rng.hpp"
 
 namespace stune::disc {

@@ -7,6 +7,8 @@
 // m5 vCPU (InstanceType::core_speed == 1.0).
 #pragma once
 
+#include <cstdint>
+
 #include "simcore/units.hpp"
 
 namespace stune::disc {

@@ -1,8 +1,11 @@
 #include "disc/eventlog.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace stune::disc {
 

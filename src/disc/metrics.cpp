@@ -1,6 +1,7 @@
 #include "disc/metrics.hpp"
 
 #include <sstream>
+#include <string>
 
 namespace stune::disc {
 

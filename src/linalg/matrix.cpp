@@ -1,6 +1,7 @@
 #include "linalg/matrix.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
 
 #include "simcore/check.hpp"

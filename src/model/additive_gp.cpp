@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <numbers>
 #include <numeric>
 #include <stdexcept>
+#include <vector>
 
 namespace stune::model {
 

@@ -11,6 +11,7 @@
 // vector — which configuration parameters the runtime actually responds to.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "linalg/matrix.hpp"

@@ -1,7 +1,9 @@
 #include "model/dataset.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 #include "simcore/stats.hpp"
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <numbers>
 #include <stdexcept>
+#include <vector>
 
 namespace stune::model {
 

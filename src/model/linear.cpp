@@ -1,7 +1,9 @@
 #include "model/linear.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 namespace stune::model {
 

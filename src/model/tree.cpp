@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <vector>
 
 namespace stune::model {
 

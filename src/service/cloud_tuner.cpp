@@ -1,9 +1,13 @@
 #include "service/cloud_tuner.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <cmath>
+#include <cstddef>
+#include <limits>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "config/spark_space.hpp"
 #include "disc/deployment.hpp"

@@ -8,8 +8,11 @@
 // the infrastructure choice from DISC tuning.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "cluster/contention.hpp"
@@ -75,6 +78,11 @@ std::shared_ptr<const config::ConfigSpace> cloud_space(int min_vms, int max_vms)
 /// Resolve a point of cloud_space() to a ClusterSpec.
 cluster::ClusterSpec to_cluster_spec(const config::Configuration& c);
 
+/// Thread-safety: const and stateless after construction — both choose()
+/// overloads only read options_ and work through their arguments, so a
+/// CloudTuner needs no mutex of its own. The shared-state overload inherits
+/// its safety from the EvalCache's sharded locks and the TrialExecutor's
+/// session serialization (both annotated; see thread_annotations.hpp).
 class CloudTuner {
  public:
   explicit CloudTuner(CloudTunerOptions options) : options_(options) {}

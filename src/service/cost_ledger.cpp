@@ -1,5 +1,8 @@
 #include "service/cost_ledger.hpp"
 
+#include <cstddef>
+#include <optional>
+
 namespace stune::service {
 
 void CostLedger::add_tuning_run(simcore::Seconds runtime, simcore::Dollars cost) {

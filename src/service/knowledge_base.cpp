@@ -1,10 +1,16 @@
 #include "service/knowledge_base.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <istream>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace stune::service {
 

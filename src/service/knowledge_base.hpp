@@ -9,8 +9,10 @@
 // cross-tenant knowledge transfer possible without inspecting user code.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>

@@ -1,5 +1,8 @@
 #include "service/slo.hpp"
 
+#include <cstddef>
+#include <optional>
+
 namespace stune::service {
 
 SloEvaluation evaluate_slo(const Slo& slo, double runtime, double cost,

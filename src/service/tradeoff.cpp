@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <optional>
+#include <vector>
 
 #include "disc/engine.hpp"
 #include "service/cloud_tuner.hpp"

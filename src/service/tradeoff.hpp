@@ -10,6 +10,8 @@
 // without the tenant ever seeing a knob.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 

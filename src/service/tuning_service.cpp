@@ -1,11 +1,20 @@
 #include "service/tuning_service.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "simcore/mutex.hpp"
 #include "workload/execute.hpp"
 
 namespace stune::service {
+
+using simcore::MutexLock;
 
 TuningService::TuningService(ServiceOptions options)
     : options_(std::move(options)),
@@ -15,6 +24,7 @@ int TuningService::submit(std::string tenant, std::shared_ptr<const workload::Wo
                           simcore::Bytes initial_input) {
   if (workload == nullptr) throw std::invalid_argument("submit: null workload");
   if (initial_input == 0) throw std::invalid_argument("submit: input size must be positive");
+  const MutexLock lock(mu_);
   const int handle = next_handle_++;
   auto [it, inserted] = entries_.emplace(handle, Entry(options_.slo));
   Entry& e = it->second;
@@ -119,21 +129,29 @@ void TuningService::tune_disc(Entry& e, std::size_t budget) {
 
   // The objective is pure — execute() memoizes through the shared cache and
   // touches no per-entry state — so trials can run on executor worker
-  // threads. Ledger and knowledge-base bookkeeping happen at commit time on
-  // this thread, in suggestion order; re-fetching the report there is a
+  // threads. The commit hook runs serially in suggestion order on this
+  // thread; it only gathers the committed observations (lambdas are
+  // analyzed as separate functions, so they cannot carry mu_'s capability
+  // into record_to_kb). Ledger and knowledge-base bookkeeping replay the
+  // gathered order right after the session — re-fetching each report is a
   // guaranteed cache hit of the run the objective just produced.
   tuning::Objective objective = [&](const config::Configuration& c) -> tuning::EvalOutcome {
     const auto report = execute(e, c, /*seed_salt=*/0);
     return tuning::EvalOutcome{report.runtime, !report.success};
   };
-  tuning::TrialExecutor::CommitHook hook = [&](const tuning::Observation& o) {
-    const auto report = execute(e, o.config, /*seed_salt=*/0);
-    e.ledger.add_tuning_run(report.runtime, report.cost);
-    record_to_kb(e, o.config, report, /*from_tuning=*/true);
+  std::vector<tuning::Observation> committed;
+  committed.reserve(budget);
+  tuning::TrialExecutor::CommitHook hook = [&committed](const tuning::Observation& o) {
+    committed.push_back(o);
   };
 
   const auto tuner = tuning::make_tuner(options_.tuner);
   const auto result = executor_.run(*tuner, space, objective, topts, hook);
+  for (const auto& o : committed) {
+    const auto report = execute(e, o.config, /*seed_salt=*/0);
+    e.ledger.add_tuning_run(report.runtime, report.cost);
+    record_to_kb(e, o.config, report, /*from_tuning=*/true);
+  }
   if (result.found_feasible && result.best_runtime < incumbent_runtime) {
     e.config = result.best;
     e.best_runtime = result.best_runtime;
@@ -144,6 +162,7 @@ void TuningService::tune_disc(Entry& e, std::size_t budget) {
 }
 
 disc::ExecutionReport TuningService::run_once(int handle, simcore::Bytes input_bytes) {
+  const MutexLock lock(mu_);
   Entry& e = entry(handle);
   if (input_bytes != 0) e.input_bytes = input_bytes;
 
@@ -195,6 +214,7 @@ disc::ExecutionReport TuningService::run_once(int handle, simcore::Bytes input_b
 }
 
 WorkloadStatus TuningService::status(int handle) const {
+  const MutexLock lock(mu_);
   const Entry& e = entry(handle);
   WorkloadStatus s;
   s.tenant = e.tenant;
@@ -213,8 +233,19 @@ WorkloadStatus TuningService::status(int handle) const {
   return s;
 }
 
-const CostLedger& TuningService::ledger(int handle) const { return entry(handle).ledger; }
+const KnowledgeBase& TuningService::knowledge_base() const {
+  const MutexLock lock(mu_);
+  return kb_;
+}
 
-const SloTracker& TuningService::slo_tracker(int handle) const { return entry(handle).slo; }
+const CostLedger& TuningService::ledger(int handle) const {
+  const MutexLock lock(mu_);
+  return entry(handle).ledger;
+}
+
+const SloTracker& TuningService::slo_tracker(int handle) const {
+  const MutexLock lock(mu_);
+  return entry(handle).slo;
+}
 
 }  // namespace stune::service

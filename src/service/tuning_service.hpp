@@ -14,10 +14,15 @@
 // The tenant never sees a configuration parameter — that is the point.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+
+#include "simcore/mutex.hpp"
+#include "simcore/thread_annotations.hpp"
 
 #include "adaptive/retuning_policy.hpp"
 #include "cluster/contention.hpp"
@@ -98,6 +103,15 @@ struct WorkloadStatus {
   std::optional<std::size_t> break_even_run;
 };
 
+/// Thread-safety: every public entry point locks the service mutex, so
+/// tenants may submit and run workloads from concurrent threads. Sessions
+/// are coarse-grained — a run_once() holds the lock for its whole tuning —
+/// because the shared TrialExecutor serializes sessions anyway; the win is
+/// that concurrent callers are *correct*, not that they overlap. Accessors
+/// returning references (knowledge_base, ledger, slo_tracker) hand out
+/// storage-stable references (entries are never erased; std::map does not
+/// relocate), but reading them while another thread runs workloads is the
+/// caller's race to avoid.
 class TuningService {
  public:
   explicit TuningService(ServiceOptions options);
@@ -105,18 +119,18 @@ class TuningService {
   /// Register a recurring workload. `initial_input` sizes the first tuning.
   /// Returns a handle for run_once/status.
   int submit(std::string tenant, std::shared_ptr<const workload::Workload> workload,
-             simcore::Bytes initial_input);
+             simcore::Bytes initial_input) STUNE_EXCLUDES(mu_);
 
   /// Execute the workload once. On the first call the service performs the
   /// full two-stage tuning; later calls execute the tuned configuration,
   /// watch for drift and re-tune when the detector fires. `input_bytes == 0`
   /// reuses the previous size (recurring job with stable input).
-  disc::ExecutionReport run_once(int handle, simcore::Bytes input_bytes = 0);
+  disc::ExecutionReport run_once(int handle, simcore::Bytes input_bytes = 0) STUNE_EXCLUDES(mu_);
 
-  WorkloadStatus status(int handle) const;
-  const KnowledgeBase& knowledge_base() const { return kb_; }
-  const CostLedger& ledger(int handle) const;
-  const SloTracker& slo_tracker(int handle) const;
+  WorkloadStatus status(int handle) const STUNE_EXCLUDES(mu_);
+  const KnowledgeBase& knowledge_base() const STUNE_EXCLUDES(mu_);
+  const CostLedger& ledger(int handle) const STUNE_EXCLUDES(mu_);
+  const SloTracker& slo_tracker(int handle) const STUNE_EXCLUDES(mu_);
   const ServiceOptions& options() const { return options_; }
   /// Hit/miss statistics of the shared execution cache (all tenants).
   workload::EvalCacheStats eval_cache_stats() const { return cache_.stats(); }
@@ -142,32 +156,38 @@ class TuningService {
     explicit Entry(Slo slo_spec) : slo(slo_spec) {}
   };
 
-  Entry& entry(int handle);
-  const Entry& entry(int handle) const;
+  Entry& entry(int handle) STUNE_REQUIRES(mu_);
+  const Entry& entry(int handle) const STUNE_REQUIRES(mu_);
 
-  void provision(Entry& e);
+  void provision(Entry& e) STUNE_REQUIRES(mu_);
   /// Stage-2 DISC tuning at the entry's current input size.
-  void tune_disc(Entry& e, std::size_t budget);
+  void tune_disc(Entry& e, std::size_t budget) STUNE_REQUIRES(mu_);
   /// One raw execution on the entry's cluster. `seed_salt` decorrelates
   /// production runs (contention, stragglers); tuning uses salt 0 so a
   /// configuration's score is stable within a tuning round.
+  ///
+  /// Touches no guarded state (options_ is immutable, the cache has its own
+  /// sharding) — deliberately, because tuning objectives call it from
+  /// executor worker threads while the driver holds mu_.
   disc::ExecutionReport execute(const Entry& e, const config::Configuration& conf,
                                 std::uint64_t seed_salt) const;
   void record_to_kb(const Entry& e, const config::Configuration& conf,
-                    const disc::ExecutionReport& report, bool from_tuning);
+                    const disc::ExecutionReport& report, bool from_tuning) STUNE_REQUIRES(mu_);
 
-  ServiceOptions options_;
+  const ServiceOptions options_;  // immutable after construction
   /// One execution cache and one trial executor shared by every tenant:
   /// the cache replays identical probes across re-tunes (and across
   /// tenants whose plans coincide); the executor owns the worker pool.
-  /// Mutable because a cache hit inside the logically-const execute()
-  /// mutates only memoization state.
+  /// Both are internally synchronized, so they sit outside mu_. Mutable
+  /// because a cache hit inside the logically-const execute() mutates only
+  /// memoization state.
   mutable workload::EvalCache cache_;
   tuning::TrialExecutor executor_;
-  KnowledgeBase kb_;
-  std::map<int, Entry> entries_;
-  int next_handle_ = 1;
-  std::uint64_t tune_counter_ = 0;  // decorrelates successive tuning seeds
+  mutable simcore::Mutex mu_;
+  KnowledgeBase kb_ STUNE_GUARDED_BY(mu_);
+  std::map<int, Entry> entries_ STUNE_GUARDED_BY(mu_);
+  int next_handle_ STUNE_GUARDED_BY(mu_) = 1;
+  std::uint64_t tune_counter_ STUNE_GUARDED_BY(mu_) = 0;  // decorrelates successive tuning seeds
 };
 
 }  // namespace stune::service

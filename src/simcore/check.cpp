@@ -3,6 +3,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace stune::simcore {
 

@@ -1,0 +1,87 @@
+// Annotated mutex primitives for the concurrent tuning surface.
+//
+// simcore::Mutex is std::mutex wearing the Clang thread-safety-analysis
+// capability attributes (thread_annotations.hpp); simcore::MutexLock is the
+// RAII guard the analysis understands; simcore::CondVar is a condition
+// variable that waits on a Mutex. Code on the concurrent surface uses these
+// instead of the std types directly because libstdc++'s std::mutex carries
+// no annotations — locking it is invisible to the analysis, so guarded
+// members could be touched unguarded without a diagnostic.
+//
+// Waiting pattern: the analysis cannot see through wait predicates (a
+// lambda is analyzed as its own function, outside the critical section), so
+// waits are written as explicit loops where the guarded reads are visibly
+// under the lock:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.wait(mu_);
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "simcore/thread_annotations.hpp"
+
+namespace stune::simcore {
+
+class CondVar;
+
+/// std::mutex with capability annotations. Lock through MutexLock; the raw
+/// lock()/unlock() exist for the guard and CondVar only.
+class STUNE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() STUNE_ACQUIRE() { mu_.lock(); }            // stune-lint: allow(lock-discipline)
+  void unlock() STUNE_RELEASE() { mu_.unlock(); }        // stune-lint: allow(lock-discipline)
+  bool try_lock() STUNE_TRY_ACQUIRE(true) { return mu_.try_lock(); }  // stune-lint: allow(lock-discipline)
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII critical section over a simcore::Mutex.
+class STUNE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) STUNE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }  // stune-lint: allow(lock-discipline)
+  ~MutexLock() STUNE_RELEASE() { mu_.unlock(); }         // stune-lint: allow(lock-discipline)
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over simcore::Mutex. wait() atomically releases the
+/// mutex while parked and re-acquires before returning, exactly like
+/// std::condition_variable — the caller holds the lock across the call from
+/// the analysis's point of view, which matches the visible state at every
+/// sequence point in the caller.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) STUNE_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the guard in the caller's frame
+    // remains the sole owner. The body touches only the unannotated
+    // std::mutex, so no analysis diagnostics can arise here.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace stune::simcore

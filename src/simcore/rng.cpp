@@ -2,8 +2,12 @@
 
 #include <bit>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <numbers>
 #include <stdexcept>
+#include <string_view>
+#include <vector>
 
 #include "simcore/check.hpp"
 

@@ -1,0 +1,59 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// Annotating which mutex guards which member turns lock discipline into a
+// compile-time property: a read of a STUNE_GUARDED_BY(mu_) field outside a
+// critical section is a build error under Clang with -Wthread-safety (the
+// STUNE_THREAD_SAFETY CMake option promotes it to -Werror=thread-safety).
+// On compilers without the analysis (GCC) every macro expands to nothing,
+// so annotations cost nothing and cannot bit-rot the portable build; the
+// clang CI job keeps them honest.
+//
+// Conventions (see DESIGN.md "Static analysis"):
+//   - every member whose writes happen under a mutex is STUNE_GUARDED_BY it;
+//   - private helpers called with the lock held are STUNE_REQUIRES(mu_);
+//   - public entry points that take the lock themselves are
+//     STUNE_EXCLUDES(mu_) so accidental re-entry cannot deadlock;
+//   - members touched only before any thread is spawned (or after join) are
+//     left unannotated with a comment saying which happens-before edge
+//     protects them — the analysis has no vocabulary for thread lifetimes.
+#pragma once
+
+#if defined(__clang__)
+#define STUNE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define STUNE_THREAD_ANNOTATION(x)  // no-op: analysis is Clang-only
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define STUNE_CAPABILITY(x) STUNE_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor releases.
+#define STUNE_SCOPED_CAPABILITY STUNE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read/written while holding the given mutex.
+#define STUNE_GUARDED_BY(x) STUNE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the pointee (not the pointer) is guarded.
+#define STUNE_PT_GUARDED_BY(x) STUNE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the given mutex(es) to be held by the caller.
+#define STUNE_REQUIRES(...) STUNE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the given mutex(es) held.
+#define STUNE_EXCLUDES(...) STUNE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the mutex (and does not release it before returning).
+#define STUNE_ACQUIRE(...) STUNE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a mutex the caller holds.
+#define STUNE_RELEASE(...) STUNE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the mutex iff it returns the given value.
+#define STUNE_TRY_ACQUIRE(...) STUNE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Accessor returns a reference to the named mutex.
+#define STUNE_RETURN_CAPABILITY(x) STUNE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: suppress the analysis for one function. Every use must
+/// carry a comment explaining which invariant makes it sound.
+#define STUNE_NO_THREAD_SAFETY_ANALYSIS STUNE_THREAD_ANNOTATION(no_thread_safety_analysis)

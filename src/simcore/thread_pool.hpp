@@ -8,14 +8,15 @@
 // not the queue.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "simcore/mutex.hpp"
+#include "simcore/thread_annotations.hpp"
 
 namespace stune::simcore {
 
@@ -33,19 +34,23 @@ class ThreadPool {
 
   /// Enqueue one task. The future resolves when the task finishes; an
   /// exception thrown by the task is captured and rethrown on future.get().
-  std::future<void> submit(std::function<void()> fn);
+  std::future<void> submit(std::function<void()> fn) STUNE_EXCLUDES(mu_);
 
   /// std::thread::hardware_concurrency with a sane floor of 1.
   static std::size_t hardware_threads();
 
  private:
-  void worker_loop();
+  void worker_loop() STUNE_EXCLUDES(mu_);
 
+  // Written only in the constructor, before any worker can observe it, and
+  // read after join in the destructor: protected by thread creation/join
+  // happens-before edges, not by mu_.
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ STUNE_GUARDED_BY(mu_);
+  bool stop_ STUNE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace stune::simcore

@@ -1,7 +1,9 @@
 #include "simcore/units.hpp"
 
 #include <array>
+#include <cstddef>
 #include <cstdio>
+#include <string>
 
 namespace stune::simcore {
 

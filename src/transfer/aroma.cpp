@@ -1,8 +1,10 @@
 #include "transfer/aroma.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "model/kmedoids.hpp"
 

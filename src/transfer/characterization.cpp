@@ -1,7 +1,11 @@
 #include "transfer/characterization.hpp"
 
+#include <array>
 #include <cmath>
+#include <cstddef>
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace stune::transfer {
 

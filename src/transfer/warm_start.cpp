@@ -1,6 +1,7 @@
 #include "transfer/warm_start.hpp"
 
 #include <algorithm>
+#include <vector>
 
 namespace stune::transfer {
 

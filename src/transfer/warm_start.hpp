@@ -7,6 +7,7 @@
 // the paper cites Ge et al. on negative transfer).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "transfer/characterization.hpp"

@@ -6,6 +6,7 @@
 // stage, then sequential model-guided probes (each fit needs the previous
 // outcome, so the BO loop proper has batch size 1).
 #include <algorithm>
+#include <cstddef>
 
 #include "model/gp.hpp"
 #include "tuning/tuners.hpp"

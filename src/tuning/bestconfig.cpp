@@ -6,8 +6,11 @@
 // before the round, so the whole round evaluates in parallel; bounds update
 // at round boundaries.
 #include <algorithm>
+#include <cstddef>
 #include <limits>
+#include <memory>
 #include <numeric>
+#include <vector>
 
 #include "tuning/tuners.hpp"
 

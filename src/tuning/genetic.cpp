@@ -6,7 +6,10 @@
 // *previous* generation's fitness, so a whole generation evaluates in
 // parallel; DAC's bootstrap and per-round validation sets likewise.
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
+#include <vector>
 
 #include "model/tree.hpp"
 #include "simcore/check.hpp"

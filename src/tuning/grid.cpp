@@ -10,7 +10,9 @@
 // exactly the access pattern the evaluation cache turns into free lookups.
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <vector>
 
 #include "tuning/tuners.hpp"
 

@@ -11,6 +11,10 @@
 // reward, so the loop stays serial behind a SequentialAdapter.
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "tuning/tuners.hpp"
 

@@ -5,7 +5,9 @@
 // Staged shape: the bootstrap is one parallel stage; each refit round
 // proposes its probes together (they are scored by the same frozen tree).
 #include <algorithm>
+#include <cstddef>
 #include <numeric>
+#include <vector>
 
 #include "model/tree.hpp"
 #include "tuning/tuners.hpp"

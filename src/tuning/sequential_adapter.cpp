@@ -1,19 +1,27 @@
 #include "tuning/sequential_adapter.hpp"
 
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "simcore/check.hpp"
 
 namespace stune::tuning {
 
+using simcore::MutexLock;
+
 const Observation& SerialSession::evaluate(const config::Configuration& c) {
   SequentialAdapter& a = owner_;
-  std::unique_lock<std::mutex> lock(a.mu_);
+  const MutexLock lock(a.mu_);
   if (a.cancel_) throw Cancelled{};
   STUNE_CHECK(a.history_.size() < a.options_.budget)
       << a.name_ << ": serial body evaluated past its budget";
   a.pending_ = c;
   a.turn_ = SequentialAdapter::Turn::kDriver;
   a.cv_.notify_all();
-  a.cv_.wait(lock, [&a] { return a.turn_ == SequentialAdapter::Turn::kBody || a.cancel_; });
+  while (a.turn_ != SequentialAdapter::Turn::kBody && !a.cancel_) a.cv_.wait(a.mu_);
   if (a.cancel_) throw Cancelled{};
   return a.history_.back();
 }
@@ -21,17 +29,20 @@ const Observation& SerialSession::evaluate(const config::Configuration& c) {
 bool SerialSession::exhausted() const { return remaining() == 0; }
 
 std::size_t SerialSession::remaining() const {
-  const std::lock_guard<std::mutex> lock(owner_.mu_);
+  const MutexLock lock(owner_.mu_);
   return owner_.options_.budget - owner_.history_.size();
 }
 
 std::size_t SerialSession::used() const {
-  const std::lock_guard<std::mutex> lock(owner_.mu_);
+  const MutexLock lock(owner_.mu_);
   return owner_.history_.size();
 }
 
 const std::vector<Observation>& SerialSession::history() const {
-  const std::lock_guard<std::mutex> lock(owner_.mu_);
+  // The reference is safe to hold only while the body is the active side of
+  // the rendezvous (the driver mutates history_ exclusively while the body
+  // is parked in evaluate()).
+  const MutexLock lock(owner_.mu_);
   return owner_.history_;
 }
 
@@ -44,11 +55,14 @@ SequentialAdapter::~SequentialAdapter() { shutdown(); }
 
 void SequentialAdapter::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     cancel_ = true;
+    cv_.notify_all();
   }
-  cv_.notify_all();
   if (thread_.joinable()) thread_.join();
+  // Re-arm for the next session. Under the lock for the analysis's benefit;
+  // at runtime the body thread is already joined.
+  const MutexLock lock(mu_);
   cancel_ = false;
 }
 
@@ -56,26 +70,38 @@ void SequentialAdapter::begin(std::shared_ptr<const config::ConfigSpace> space,
                               const TuneOptions& options) {
   STUNE_CHECK(space != nullptr) << name_ << ": begin() with null space";
   shutdown();  // abandon any previous session's body
-  space_ = std::move(space);
-  options_ = options;
   session_ = std::unique_ptr<SerialSession>(new SerialSession(*this));
-  history_.clear();
-  // Reference stability: evaluate() returns history_.back() and the body
-  // may hold it across later evaluations; at most `budget` commits happen.
-  history_.reserve(options_.budget);
-  body_error_ = nullptr;
-  pending_ = config::Configuration();
-  turn_ = Turn::kBody;
-  thread_ = std::thread([this] {
+
+  // The body must not read adapter fields directly (that would race with a
+  // later begin() resetting them), so it gets its own copies.
+  std::shared_ptr<const config::ConfigSpace> body_space;
+  TuneOptions body_options;
+  {
+    const MutexLock lock(mu_);
+    space_ = std::move(space);
+    options_ = options;
+    history_.clear();
+    // Reference stability: evaluate() returns history_.back() and the body
+    // may hold it across later evaluations; at most `budget` commits happen.
+    history_.reserve(options_.budget);
+    body_error_ = nullptr;
+    pending_ = config::Configuration();
+    turn_ = Turn::kBody;
+    body_space = space_;
+    body_options = options_;
+  }
+
+  thread_ = std::thread([this, body_space = std::move(body_space),
+                         body_options = std::move(body_options), session = session_.get()] {
     try {
-      body_(space_, *session_, options_);
+      body_(body_space, *session, body_options);
     } catch (const SerialSession::Cancelled&) {
       // Session torn down (destructor or restart) — normal unwind.
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       body_error_ = std::current_exception();
     }
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     turn_ = Turn::kFinished;
     cv_.notify_all();
   });
@@ -83,9 +109,9 @@ void SequentialAdapter::begin(std::shared_ptr<const config::ConfigSpace> space,
 
 std::vector<config::Configuration> SequentialAdapter::suggest(std::size_t max_batch) {
   STUNE_CHECK(max_batch > 0) << name_ << ": suggest() with zero batch";
-  std::unique_lock<std::mutex> lock(mu_);
   STUNE_CHECK(thread_.joinable()) << name_ << ": suggest() before begin()";
-  cv_.wait(lock, [this] { return turn_ == Turn::kDriver || turn_ == Turn::kFinished; });
+  const MutexLock lock(mu_);
+  while (turn_ != Turn::kDriver && turn_ != Turn::kFinished) cv_.wait(mu_);
   if (body_error_ != nullptr) {
     const std::exception_ptr error = body_error_;
     body_error_ = nullptr;
@@ -100,7 +126,7 @@ std::vector<config::Configuration> SequentialAdapter::suggest(std::size_t max_ba
 }
 
 void SequentialAdapter::observe(const std::vector<Observation>& trials) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (const auto& o : trials) history_.push_back(o);
   if (turn_ == Turn::kDriver) {
     turn_ = Turn::kBody;

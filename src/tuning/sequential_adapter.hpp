@@ -11,14 +11,17 @@
 // nothing changed but the spelling of "evaluate".
 #pragma once
 
-#include <condition_variable>
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
+#include "simcore/mutex.hpp"
+#include "simcore/thread_annotations.hpp"
 #include "tuning/tuner.hpp"
 
 namespace stune::tuning {
@@ -71,23 +74,30 @@ class SequentialAdapter final : public Tuner {
   /// Whose move it is at the rendezvous.
   enum class Turn { kBody, kDriver, kFinished };
 
-  void shutdown();  // cancel a live body and join its thread
+  void shutdown() STUNE_EXCLUDES(mu_);  // cancel a live body and join its thread
 
   const std::string name_;
   const SerialBody body_;
 
+  // Driver-thread only: (re)created in begin() after the previous body has
+  // been joined, so the new body observes it via the thread-creation
+  // happens-before edge. The body receives the raw pointer by capture and
+  // never touches this field.
   std::unique_ptr<SerialSession> session_;
-  std::shared_ptr<const config::ConfigSpace> space_;
-  TuneOptions options_;
+  // Driver-thread only: joined/created in shutdown()/begin().
   std::thread thread_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  Turn turn_ = Turn::kFinished;
-  bool cancel_ = false;
-  std::exception_ptr body_error_;
-  config::Configuration pending_;
-  std::vector<Observation> history_;  // committed observations, in order
+  mutable simcore::Mutex mu_;
+  simcore::CondVar cv_;
+  std::shared_ptr<const config::ConfigSpace> space_ STUNE_GUARDED_BY(mu_);
+  TuneOptions options_ STUNE_GUARDED_BY(mu_);
+  Turn turn_ STUNE_GUARDED_BY(mu_) = Turn::kFinished;
+  bool cancel_ STUNE_GUARDED_BY(mu_) = false;
+  std::exception_ptr body_error_ STUNE_GUARDED_BY(mu_);
+  config::Configuration pending_ STUNE_GUARDED_BY(mu_);
+  // Committed observations, in order. reserve(budget) in begin() keeps
+  // references returned by evaluate() stable for the whole session.
+  std::vector<Observation> history_ STUNE_GUARDED_BY(mu_);
 };
 
 }  // namespace stune::tuning

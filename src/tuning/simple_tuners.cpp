@@ -1,6 +1,9 @@
 // Random search (a staged, fully batchable stream) plus the serial
 // coordinate-sweep and hill-climbing loops behind SequentialAdapter.
 #include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
 
 #include "tuning/tuners.hpp"
 

@@ -18,8 +18,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <deque>
 #include <limits>
+#include <memory>
+#include <vector>
 
 #include "simcore/check.hpp"
 #include "tuning/tuner.hpp"

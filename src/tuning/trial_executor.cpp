@@ -1,12 +1,15 @@
 #include "tuning/trial_executor.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <exception>
 #include <future>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "simcore/check.hpp"
+#include "simcore/mutex.hpp"
 
 namespace stune::tuning {
 
@@ -64,6 +67,7 @@ TrialExecutor::TrialExecutor(ExecutorOptions options)
 TuneResult TrialExecutor::run(Tuner& tuner, std::shared_ptr<const config::ConfigSpace> space,
                               const Objective& objective, const TuneOptions& options,
                               const CommitHook& on_commit) {
+  const simcore::MutexLock session_lock(mu_);
   SessionLedger ledger(options);
   tuner.begin(space, options);
 

@@ -13,7 +13,10 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <vector>
 
+#include "simcore/mutex.hpp"
+#include "simcore/thread_annotations.hpp"
 #include "simcore/thread_pool.hpp"
 #include "tuning/tuner.hpp"
 
@@ -71,16 +74,22 @@ class TrialExecutor {
 
   /// Drive one complete tuning session. The objective must be safe to call
   /// from multiple threads when jobs > 1 (pure simulation runs are).
+  ///
+  /// Thread-safe: a shared executor (the TuningService keeps one for all
+  /// tenants) serializes whole sessions under mu_, so two callers can never
+  /// interleave suggest/observe on the worker pool or race its lazy
+  /// construction.
   TuneResult run(Tuner& tuner, std::shared_ptr<const config::ConfigSpace> space,
                  const Objective& objective, const TuneOptions& options,
-                 const CommitHook& on_commit = {});
+                 const CommitHook& on_commit = {}) STUNE_EXCLUDES(mu_);
 
   /// Resolved worker count (0 in the options maps to hardware threads).
   std::size_t jobs() const { return jobs_; }
 
  private:
-  std::size_t jobs_;
-  std::unique_ptr<simcore::ThreadPool> pool_;  // created on first parallel batch
+  const std::size_t jobs_;  // immutable after construction
+  simcore::Mutex mu_;       // serializes sessions on a shared executor
+  std::unique_ptr<simcore::ThreadPool> pool_ STUNE_GUARDED_BY(mu_);  // created on first parallel batch
 };
 
 }  // namespace stune::tuning

@@ -1,6 +1,10 @@
 #include "tuning/tuner.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "tuning/trial_executor.hpp"
 #include "tuning/tuners.hpp"

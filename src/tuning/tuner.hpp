@@ -16,10 +16,13 @@
 // are identical whatever the evaluation concurrency.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "config/config_space.hpp"

@@ -29,7 +29,11 @@
 // SequentialAdapter.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "model/dataset.hpp"
 #include "tuning/sequential_adapter.hpp"

@@ -1,5 +1,10 @@
 #include "workload/eval_cache.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "simcore/mutex.hpp"
 #include "simcore/rng.hpp"
 
 namespace stune::workload {
@@ -28,7 +33,7 @@ EvalCache::Shard& EvalCache::shard_of(const EvalKey& key) {
 
 std::optional<disc::ExecutionReport> EvalCache::lookup(const EvalKey& key) {
   Shard& shard = shard_of(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const simcore::MutexLock lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -40,7 +45,7 @@ std::optional<disc::ExecutionReport> EvalCache::lookup(const EvalKey& key) {
 
 void EvalCache::insert(const EvalKey& key, const disc::ExecutionReport& report) {
   Shard& shard = shard_of(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const simcore::MutexLock lock(shard.mu);
   shard.map.emplace(key, report);
 }
 
@@ -49,7 +54,7 @@ EvalCacheStats EvalCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    const simcore::MutexLock lock(shard.mu);
     s.entries += shard.map.size();
   }
   return s;
@@ -57,7 +62,7 @@ EvalCacheStats EvalCache::stats() const {
 
 void EvalCache::clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    const simcore::MutexLock lock(shard.mu);
     shard.map.clear();
   }
   hits_.store(0, std::memory_order_relaxed);

@@ -15,13 +15,15 @@
 
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "disc/metrics.hpp"
+#include "simcore/mutex.hpp"
+#include "simcore/thread_annotations.hpp"
 
 namespace stune::workload {
 
@@ -68,14 +70,19 @@ class EvalCache {
     std::size_t operator()(const EvalKey& key) const;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<EvalKey, disc::ExecutionReport, KeyHash> map;
+    mutable simcore::Mutex mu;
+    std::unordered_map<EvalKey, disc::ExecutionReport, KeyHash> map STUNE_GUARDED_BY(mu);
   };
 
   Shard& shard_of(const EvalKey& key);
 
   static constexpr std::size_t kShards = 16;
   std::array<Shard, kShards> shards_;
+  // Atomic rather than guarded: counters are bumped on the lookup fast path
+  // of every shard, and exactness only needs each increment to be
+  // indivisible, not ordered against the shard maps. stats() still reports
+  // exact totals once concurrent lookups have completed (asserted by
+  // eval_cache_test).
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };

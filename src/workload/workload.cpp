@@ -1,6 +1,10 @@
 #include "workload/workload.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace stune::workload {
 

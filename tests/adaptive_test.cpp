@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
 #include "adaptive/change_detector.hpp"
 #include "adaptive/retuning_policy.hpp"
 #include "simcore/rng.hpp"

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "config/spark_space.hpp"
 #include "transfer/aroma.hpp"
 

@@ -7,6 +7,9 @@
 #include <bit>
 #include <cstdint>
 #include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "cluster/audit.hpp"
 #include "cluster/cluster.hpp"

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <string>
+
 #include "cluster/cluster.hpp"
 #include "cluster/contention.hpp"
 #include "cluster/instance_type.hpp"

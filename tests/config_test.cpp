@@ -1,6 +1,10 @@
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <memory>
 #include <set>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "dag/plan.hpp"
 #include "dag/rdd.hpp"
 #include "simcore/units.hpp"

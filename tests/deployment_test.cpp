@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "cluster/cluster.hpp"
 #include "config/spark_space.hpp"
 #include "disc/deployment.hpp"

@@ -2,6 +2,10 @@
 // property tests), including fault injection.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
 #include "disc/eventlog.hpp"
 #include "workload/execute.hpp"
 #include "workload/workload.hpp"

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <string>
+
 #include "cluster/cluster.hpp"
 #include "config/spark_space.hpp"
 #include "disc/engine.hpp"

@@ -2,6 +2,9 @@
 // of (context, plan, config, seed): these tests pin the replay guarantee
 // (bitwise-identical reports on a hit), the key's sensitivity to every
 // component, and thread safety under concurrent lookups.
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -151,6 +154,59 @@ TEST(EvalCache, ConcurrentLookupsAccountEveryRequest) {
   EXPECT_GE(stats.misses, 4u);
   EXPECT_EQ(stats.entries, 4u);
   EXPECT_GT(stats.hit_rate(), 0.0);
+}
+
+// With every key pre-warmed, the hit count under concurrency is exact, not
+// merely bounded: N threads x M lookups of cached keys must report exactly
+// N*M hits and zero new misses. Concurrent stats() readers ride along to
+// check the counters are safe to sample mid-flight.
+TEST(EvalCache, WarmedCacheCountsHitsExactlyUnderConcurrency) {
+  EvalCache cache;
+  const auto w = make_workload("sort");
+  const auto space = config::spark_space();
+  const simcore::Bytes input = 4ULL << 30;
+
+  std::vector<config::Configuration> confs;
+  simcore::Rng rng(9);
+  for (int i = 0; i < 4; ++i) confs.push_back(space->sample(rng));
+
+  // Warm serially: one miss per key, no racing double-computes possible.
+  {
+    const auto sim = testbed_simulator();
+    for (const auto& conf : confs) (void)execute(*w, input, sim, conf, cache);
+  }
+  const auto warmed = cache.stats();
+  ASSERT_EQ(warmed.misses, 4u);
+  ASSERT_EQ(warmed.hits, 0u);
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto sim = testbed_simulator();
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const auto& conf = confs[static_cast<std::size_t>((t + i) % 4)];
+        (void)execute(*w, input, sim, conf, cache);
+      }
+    });
+  }
+  // A reader sampling stats() while the lookups run: totals only grow and
+  // never exceed the request count.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 200; ++i) {
+      const auto s = cache.stats();
+      EXPECT_LE(s.hits, static_cast<std::uint64_t>(kThreads * kItersPerThread));
+      EXPECT_EQ(s.misses, 4u);
+    }
+  });
+  for (auto& thread : threads) thread.join();
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads * kItersPerThread));
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.entries, 4u);
 }
 
 TEST(EvalKey, FullVectorEqualityNotJustHash) {

@@ -1,4 +1,6 @@
+#include <cstddef>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 

@@ -5,8 +5,14 @@
 // reproduces jobs=1 bitwise.
 #include <atomic>
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -195,6 +201,41 @@ TEST(TrialExecutor, JobsZeroMeansHardwareConcurrency) {
   TrialExecutor executor(ExecutorOptions{.jobs = 0});
   EXPECT_EQ(executor.jobs(), simcore::ThreadPool::hardware_threads());
   EXPECT_GE(executor.jobs(), 1u);
+}
+
+// Regression: the shared executor used to create its worker pool lazily with
+// no synchronization, so two sessions starting together could race the
+// construction and interleave their batches on one pool. Sessions are now
+// serialized under the executor mutex: running two sessions concurrently on
+// one executor must give exactly the results each session gets alone.
+TEST(TrialExecutor, SharedExecutorSerializesConcurrentSessions) {
+  TrialExecutor shared(ExecutorOptions{.jobs = 2});
+  auto session = [&](std::uint64_t seed) {
+    TuneOptions opts;
+    opts.budget = 24;
+    opts.seed = seed;
+    const auto tuner = make_tuner("bayesopt");
+    return shared.run(*tuner, synthetic_space(), bowl(true), opts);
+  };
+  const TuneResult solo_a = session(3);
+  const TuneResult solo_b = session(11);
+
+  for (int round = 0; round < 4; ++round) {
+    TuneResult a, b;
+    std::thread ta([&] { a = session(3); });
+    std::thread tb([&] { b = session(11); });
+    ta.join();
+    tb.join();
+    ASSERT_EQ(a.history.size(), solo_a.history.size());
+    ASSERT_EQ(b.history.size(), solo_b.history.size());
+    for (std::size_t i = 0; i < a.history.size(); ++i) {
+      EXPECT_EQ(a.history[i].config.values(), solo_a.history[i].config.values());
+      EXPECT_EQ(a.history[i].objective, solo_a.history[i].objective);
+    }
+    EXPECT_EQ(a.best_runtime, solo_a.best_runtime);
+    EXPECT_EQ(b.best_runtime, solo_b.best_runtime);
+    EXPECT_EQ(b.best.values(), solo_b.best.values());
+  }
 }
 
 TEST(ThreadPool, RunsEverySubmittedTask) {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
+#include <string>
 
 #include "config/spark_space.hpp"
 #include "disc/engine.hpp"
@@ -213,11 +215,11 @@ TEST(Engine, ThroughputIsFastEnoughForTuningResearch) {
   const auto w = workload::make_workload("bayes");
   const disc::SparkSimulator sim(testbed());
   const auto conf = config::spark_space()->default_config();
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = std::chrono::steady_clock::now();  // stune-lint: allow(no-wall-clock)
   for (int i = 0; i < 200; ++i) {
     (void)workload::execute(*w, gib(8), sim, conf);
   }
-  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const auto elapsed = std::chrono::steady_clock::now() - start;  // stune-lint: allow(no-wall-clock)
   EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 2000);
 }
 

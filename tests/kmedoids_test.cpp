@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "model/kmedoids.hpp"
 #include "simcore/rng.hpp"
 

@@ -1,0 +1,268 @@
+// Golden-fixture tests for every stune_lint rule (tools/lint/lint.hpp).
+// Each fixture is a tiny synthetic source whose banned construct lives in
+// real code position; the expected rule id and line are asserted exactly.
+// Fixture text is held in string literals, which the linter strips before
+// scanning — so this file is itself lint-clean despite naming every banned
+// construct.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace stune::lint {
+namespace {
+
+std::vector<Violation> lint_as(const std::string& path, const std::string& src) {
+  return lint_content(path, src, classify(path));
+}
+
+bool has_rule(const std::vector<Violation>& vs, const std::string& rule) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const Violation& v) { return v.rule == rule; });
+}
+
+const Violation& only(const std::vector<Violation>& vs, const std::string& rule) {
+  const Violation* found = nullptr;
+  for (const auto& v : vs) {
+    if (v.rule == rule) {
+      EXPECT_EQ(found, nullptr) << "more than one [" << rule << "] violation";
+      found = &v;
+    }
+  }
+  EXPECT_NE(found, nullptr) << "no [" << rule << "] violation";
+  static const Violation none{};
+  return found != nullptr ? *found : none;
+}
+
+// ---------------------------------------------------------------------------
+// classify
+// ---------------------------------------------------------------------------
+
+TEST(LintClassify, PathDrivesRuleGroups) {
+  const FileClass lib_header = classify("src/disc/engine.hpp");
+  EXPECT_TRUE(lib_header.header);
+  EXPECT_TRUE(lib_header.library_code);
+  EXPECT_FALSE(lib_header.wall_clock_exempt);
+
+  const FileClass simcore_src = classify("src/simcore/thread_pool.cpp");
+  EXPECT_TRUE(simcore_src.library_code);
+  EXPECT_TRUE(simcore_src.wall_clock_exempt);
+
+  const FileClass bench = classify("bench/bench_table1.cpp");
+  EXPECT_FALSE(bench.library_code);
+  EXPECT_TRUE(bench.wall_clock_exempt);
+
+  const FileClass test = classify("tests/engine_test.cpp");
+  EXPECT_FALSE(test.header);
+  EXPECT_FALSE(test.library_code);
+  EXPECT_FALSE(test.wall_clock_exempt);
+}
+
+// ---------------------------------------------------------------------------
+// strip_comments_and_literals
+// ---------------------------------------------------------------------------
+
+TEST(LintStrip, BlanksCommentsAndLiteralsButKeepsLines) {
+  const std::string src =
+      "int a; // assert(x)\n"
+      "/* rand() */ int b;\n"
+      "const char* s = \"std::cout\";\n";
+  const std::string code = strip_comments_and_literals(src);
+  EXPECT_EQ(std::count(code.begin(), code.end(), '\n'), 3);
+  EXPECT_EQ(code.find("assert"), std::string::npos);
+  EXPECT_EQ(code.find("rand"), std::string::npos);
+  EXPECT_EQ(code.find("cout"), std::string::npos);
+  EXPECT_NE(code.find("int b;"), std::string::npos);
+}
+
+TEST(LintStrip, HandlesRawStringsAndEscapes) {
+  const std::string src =
+      "auto r = R\"(rand() \" still a string)\";\n"
+      "char c = '\\''; int rand_free = 0;\n";
+  const std::string code = strip_comments_and_literals(src);
+  EXPECT_EQ(code.find("rand()"), std::string::npos);
+  EXPECT_NE(code.find("rand_free"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// One fixture per rule
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, PragmaOnce) {
+  const auto vs = lint_as("src/x/x.hpp", "#ifndef X_HPP\n#define X_HPP\n#endif\n");
+  EXPECT_EQ(only(vs, "pragma-once").line, 1u);
+  EXPECT_TRUE(lint_as("src/x/x.hpp", "#pragma once\n").empty());
+  // .cpp files are not headers; no pragma needed.
+  EXPECT_FALSE(has_rule(lint_as("src/x/x.cpp", "int x;\n"), "pragma-once"));
+}
+
+TEST(LintRules, NoBareAssert) {
+  const std::string src = "#include <cassert>\nvoid f(int x) {\n  assert(x > 0);\n}\n";
+  EXPECT_EQ(only(lint_as("src/x/x.cpp", src), "no-bare-assert").line, 3u);
+  // Test code may assert freely (gtest macros aside, it is not library code).
+  EXPECT_FALSE(has_rule(lint_as("tests/x_test.cpp", src), "no-bare-assert"));
+  // Identifiers containing 'assert' are not calls of assert.
+  EXPECT_FALSE(has_rule(lint_as("src/x/x.cpp", "void my_assert_like(int);\n"),
+                        "no-bare-assert"));
+}
+
+TEST(LintRules, NoUnseededRng) {
+  EXPECT_EQ(only(lint_as("src/x/x.cpp", "int r() { return rand(); }\n"),
+                 "no-unseeded-rng").line, 1u);
+  // random_device is banned even in tests — determinism is repo-wide.
+  EXPECT_TRUE(has_rule(lint_as("tests/x_test.cpp", "std::random_device rd;\n"),
+                       "no-unseeded-rng"));
+  EXPECT_FALSE(has_rule(lint_as("src/x/x.cpp", "int grand(); int x = grand();\n"),
+                        "no-unseeded-rng"));
+}
+
+TEST(LintRules, NoStdout) {
+  const std::string src = "#include <iostream>\nvoid f() { std::cout << 1; }\n";
+  const auto vs = lint_as("src/x/x.cpp", src);
+  EXPECT_EQ(only(vs, "no-stdout").line, 2u);
+  // CLI/bench/test code prints by design.
+  EXPECT_FALSE(has_rule(lint_as("examples/cli.cpp", src), "no-stdout"));
+}
+
+TEST(LintRules, IncludeWhatYouUse) {
+  const std::string src = "#include <memory>\nstd::vector<std::unique_ptr<int>> v;\n";
+  const auto& v = only(lint_as("src/x/x.cpp", src), "include-what-you-use");
+  EXPECT_EQ(v.line, 2u);  // anchored at first use of std::vector
+  EXPECT_NE(v.message.find("<vector>"), std::string::npos);
+  EXPECT_TRUE(lint_as("src/x/x.cpp",
+                      "#include <memory>\n#include <vector>\n"
+                      "std::vector<std::unique_ptr<int>> v;\n")
+                  .empty());
+}
+
+TEST(LintRules, IncludeWhatYouUseReportsEachMissingHeaderOnce) {
+  const std::string src =
+      "std::string a;\nstd::string b;\nstd::vector<int> c;\n";
+  const auto vs = lint_as("src/x/x.cpp", src);
+  std::size_t iwyu = 0;
+  for (const auto& v : vs) iwyu += v.rule == "include-what-you-use" ? 1 : 0;
+  EXPECT_EQ(iwyu, 2u);  // one for <string>, one for <vector>, not one per use
+}
+
+TEST(LintRules, NoIostreamInHeader) {
+  const std::string src = "#pragma once\n#include <iostream>\n";
+  const auto& v = only(lint_as("src/x/x.hpp", src), "no-iostream-in-header");
+  EXPECT_EQ(v.line, 2u);  // anchored at the #include directive
+  EXPECT_FALSE(has_rule(lint_as("src/x/x.cpp", "#include <iostream>\n"),
+                        "no-iostream-in-header"));
+}
+
+TEST(LintRules, NoWallClock) {
+  const std::string src =
+      "#include <chrono>\nauto t = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(only(lint_as("src/disc/x.cpp", src), "no-wall-clock").line, 2u);
+  // simcore owns the clock; bench code times real executions.
+  EXPECT_FALSE(has_rule(lint_as("src/simcore/x.cpp", src), "no-wall-clock"));
+  EXPECT_FALSE(has_rule(lint_as("bench/bench_x.cpp", src), "no-wall-clock"));
+  // time() the call is banned; 'time' the identifier is not.
+  EXPECT_TRUE(has_rule(lint_as("src/x/x.cpp", "auto t = time(nullptr);\n"),
+                       "no-wall-clock"));
+  EXPECT_FALSE(has_rule(lint_as("src/x/x.cpp", "double time = 0.0;\n"),
+                        "no-wall-clock"));
+}
+
+TEST(LintRules, LockDiscipline) {
+  const std::string src =
+      "#include <mutex>\nvoid f(std::mutex& m) {\n  m.lock();\n  m.unlock();\n}\n";
+  const auto vs = lint_as("src/x/x.cpp", src);
+  std::vector<std::size_t> lines;
+  for (const auto& v : vs) {
+    if (v.rule == "lock-discipline") lines.push_back(v.line);
+  }
+  EXPECT_EQ(lines, (std::vector<std::size_t>{3, 4}));
+  // RAII guards are the sanctioned form.
+  EXPECT_FALSE(has_rule(
+      lint_as("src/x/x.cpp",
+              "#include <mutex>\nvoid f(std::mutex& m) { std::lock_guard<std::mutex> l(m); }\n"),
+      "lock-discipline"));
+  // Tests and benches may drive locks directly.
+  EXPECT_FALSE(has_rule(lint_as("tests/x_test.cpp", src), "lock-discipline"));
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppress, AllowExemptsThatRuleOnThatLine) {
+  const std::string src =
+      "int a = rand();  // stune-lint: allow(no-unseeded-rng)\n"
+      "int b = rand();\n";
+  const auto vs = lint_as("src/x/x.cpp", src);
+  EXPECT_EQ(only(vs, "no-unseeded-rng").line, 2u);
+}
+
+TEST(LintSuppress, AllowListAndWildcard) {
+  EXPECT_TRUE(lint_as("src/x/x.cpp",
+                      "int a = rand(); std::cout << a;  "
+                      "// stune-lint: allow(no-unseeded-rng, no-stdout, include-what-you-use)\n")
+                  .empty());
+  EXPECT_TRUE(lint_as("src/x/x.cpp",
+                      "int a = rand(); std::cout << a;  // stune-lint: allow(*)\n")
+                  .empty());
+}
+
+TEST(LintSuppress, AllowDoesNotCoverOtherRules) {
+  const auto vs = lint_as(
+      "src/x/x.cpp", "int a = rand();  // stune-lint: allow(no-stdout)\n");
+  EXPECT_TRUE(has_rule(vs, "no-unseeded-rng"));
+}
+
+// ---------------------------------------------------------------------------
+// Output formats and ordering
+// ---------------------------------------------------------------------------
+
+TEST(LintOutput, ViolationsSortedByFileThenLine) {
+  const auto vs = lint_as("src/x/x.cpp",
+                          "void f(std::mutex& m) {\n  m.unlock();\n  m.lock();\n}\n");
+  ASSERT_GE(vs.size(), 2u);
+  for (std::size_t i = 1; i < vs.size(); ++i) {
+    EXPECT_LE(vs[i - 1].line, vs[i].line);
+  }
+}
+
+TEST(LintOutput, TextFormat) {
+  const std::vector<Violation> vs = {{"src/a.cpp", 3, "no-stdout", "msg"}};
+  const std::string text = format_text(vs, 7);
+  EXPECT_NE(text.find("src/a.cpp:3: [no-stdout] msg"), std::string::npos);
+  EXPECT_NE(text.find("scanned 7 files, 1 violation"), std::string::npos);
+}
+
+TEST(LintOutput, JsonShape) {
+  const std::vector<Violation> vs = {
+      {"src/a.cpp", 3, "no-stdout", "say \"hi\""},
+      {"src/b.hpp", 1, "pragma-once", "header does not use #pragma once"},
+  };
+  const std::string json = format_json(vs, 9);
+  EXPECT_NE(json.find("\"files_scanned\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"violation_count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"src/a.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"pragma-once\""), std::string::npos);
+  // Quotes in messages are escaped.
+  EXPECT_NE(json.find("say \\\"hi\\\""), std::string::npos);
+  // Balanced braces/brackets at top level.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.size() - 2], '}');
+}
+
+TEST(LintOutput, JsonEmptyViolations) {
+  const std::string json = format_json({}, 4);
+  EXPECT_NE(json.find("\"violation_count\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"violations\": []"), std::string::npos);
+}
+
+TEST(LintRules, CatalogueListsEightRules) {
+  EXPECT_EQ(rule_ids().size(), 8u);
+}
+
+}  // namespace
+}  // namespace stune::lint

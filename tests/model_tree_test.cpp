@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstddef>
 
 #include <gtest/gtest.h>
 

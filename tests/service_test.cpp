@@ -1,4 +1,10 @@
+#include <cstddef>
+#include <optional>
+#include <set>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -328,6 +334,48 @@ TEST(TuningService, AromaTransferStrategyWorksEndToEnd) {
   const auto r = svc.run_once(h2);
   EXPECT_TRUE(r.success);
   EXPECT_GT(svc.status(h2).best_runtime, 0.0);
+}
+
+// Regression: submit/run_once/status used to mutate entries_, the knowledge
+// base and the tuning counter with no lock, so concurrent tenants corrupted
+// the handle map. Every public entry point now takes the service mutex; this
+// drives all of them from concurrent threads (TSan job covers the schedule
+// space) and checks the per-tenant results are intact.
+TEST(TuningService, ConcurrentTenantsSubmitAndRunSafely) {
+  auto opts = fast_options();
+  opts.tune_cloud = false;  // keep each thread's work small
+  opts.default_cluster = {"h1.4xlarge", 4};
+  opts.tuning_budget = 6;
+  TuningService svc(opts);
+
+  constexpr int kTenants = 4;
+  constexpr int kRuns = 3;
+  std::vector<int> handles(kTenants, -1);
+  std::vector<std::thread> tenants;
+  tenants.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    tenants.emplace_back([&svc, &handles, t] {
+      const int h = svc.submit("tenant-" + std::to_string(t),
+                               workload::make_workload("sort"), gib(4));
+      handles[static_cast<std::size_t>(t)] = h;
+      for (int i = 0; i < kRuns; ++i) {
+        const auto r = svc.run_once(h);
+        EXPECT_TRUE(r.success);
+        (void)svc.status(h);
+      }
+    });
+  }
+  for (auto& th : tenants) th.join();
+
+  std::set<int> distinct(handles.begin(), handles.end());
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kTenants));
+  for (const int h : handles) {
+    const auto s = svc.status(h);
+    EXPECT_TRUE(s.tuned);
+    EXPECT_EQ(s.production_runs, static_cast<std::size_t>(kRuns));
+    EXPECT_GT(s.best_runtime, 0.0);
+  }
+  EXPECT_EQ(svc.knowledge_base().tenant_count(), static_cast<std::size_t>(kTenants));
 }
 
 TEST(TuningService, StatusReflectsClusterChoice) {

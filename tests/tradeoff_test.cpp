@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
+
 #include "service/tradeoff.hpp"
 
 namespace stune::service {

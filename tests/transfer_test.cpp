@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "config/spark_space.hpp"
 #include "disc/engine.hpp"
 #include "transfer/characterization.hpp"

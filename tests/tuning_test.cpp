@@ -1,4 +1,9 @@
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "disc/whatif.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/stats.hpp"

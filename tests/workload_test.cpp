@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "config/spark_space.hpp"
 #include "workload/execute.hpp"
 #include "workload/workload.hpp"

@@ -1,0 +1,496 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stune::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexical helpers
+// ---------------------------------------------------------------------------
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t line_of(const std::string& code, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(code.begin(), code.begin() + static_cast<long>(pos), '\n'));
+}
+
+/// Find calls of `name`: an identifier immediately before '(' (allowing
+/// spaces) that is not part of a longer identifier.
+std::vector<std::size_t> find_calls(const std::string& code, const std::string& name) {
+  std::vector<std::size_t> lines;
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const std::size_t end = pos + name.size();
+    const bool starts_ident = pos > 0 && ident_char(code[pos - 1]);
+    std::size_t after = end;
+    while (after < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[after])) != 0 &&
+           code[after] != '\n') {
+      ++after;
+    }
+    const bool is_call = after < code.size() && code[after] == '(';
+    if (!starts_ident && is_call && (end >= code.size() || !ident_char(code[end]))) {
+      lines.push_back(line_of(code, pos));
+    }
+    pos = end;
+  }
+  return lines;
+}
+
+/// Find `token` with identifier boundaries on both sides.
+std::vector<std::size_t> find_token(const std::string& code, const std::string& token) {
+  std::vector<std::size_t> lines;
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool starts_ident = pos > 0 && ident_char(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool ends_ident = end < code.size() && ident_char(code[end]);
+    if (!starts_ident && !ends_ident) lines.push_back(line_of(code, pos));
+    pos = end;
+  }
+  return lines;
+}
+
+/// First line on which `token` occurs (0 if absent).
+std::size_t first_token_line(const std::string& code, const std::string& token) {
+  const auto lines = find_token(code, token);
+  return lines.empty() ? 0 : lines.front();
+}
+
+/// Headers named in #include directives (the bare name, no brackets).
+std::set<std::string> included_headers(const std::string& raw) {
+  std::set<std::string> headers;
+  std::istringstream in(raw);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos || line[i] != '#') continue;
+    i = line.find_first_not_of(" \t", i + 1);
+    if (i == std::string::npos || line.compare(i, 7, "include") != 0) continue;
+    i = line.find_first_of("<\"", i + 7);
+    if (i == std::string::npos) continue;
+    const char closer = line[i] == '<' ? '>' : '"';
+    const std::size_t end = line.find(closer, i + 1);
+    if (end == std::string::npos) continue;
+    headers.insert(line.substr(i + 1, end - i - 1));
+  }
+  return headers;
+}
+
+/// Line number of the `#include <name>` directive (for violation anchoring).
+std::size_t include_line(const std::string& raw, const std::string& name) {
+  std::istringstream in(raw);
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    if (line.find("#include") != std::string::npos &&
+        line.find("<" + name + ">") != std::string::npos) {
+      return number;
+    }
+  }
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression comments: `// stune-lint: allow(rule-a, rule-b)` or allow(*).
+// Parsed from the raw text (they live inside comments by construction).
+// ---------------------------------------------------------------------------
+
+std::map<std::size_t, std::set<std::string>> allowed_rules(const std::string& raw) {
+  std::map<std::size_t, std::set<std::string>> allow;
+  std::istringstream in(raw);
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    const std::size_t tag = line.find("stune-lint:");
+    if (tag == std::string::npos) continue;
+    const std::size_t open = line.find("allow(", tag);
+    if (open == std::string::npos) continue;
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string list = line.substr(open + 6, close - open - 6);
+    std::string rule;
+    std::istringstream rules(list);
+    while (std::getline(rules, rule, ',')) {
+      const std::size_t b = rule.find_first_not_of(" \t");
+      const std::size_t e = rule.find_last_not_of(" \t");
+      if (b != std::string::npos) allow[number].insert(rule.substr(b, e - b + 1));
+    }
+  }
+  return allow;
+}
+
+// ---------------------------------------------------------------------------
+// Passes. Each receives the same pre-lexed input and appends violations.
+// ---------------------------------------------------------------------------
+
+struct LintInput {
+  const std::string& file;           // display path
+  const std::string& raw;            // original contents
+  const std::string& code;           // comments/literals stripped
+  const FileClass& cls;
+  const std::set<std::string>& includes;
+};
+
+void pass_pragma_once(const LintInput& in, std::vector<Violation>& out) {
+  if (!in.cls.header) return;
+  if (in.raw.find("#pragma once") == std::string::npos) {
+    out.push_back({in.file, 1, "pragma-once", "header does not use #pragma once"});
+  }
+}
+
+void pass_no_bare_assert(const LintInput& in, std::vector<Violation>& out) {
+  if (!in.cls.library_code) return;
+  for (const std::size_t line : find_calls(in.code, "assert")) {
+    out.push_back({in.file, line, "no-bare-assert",
+                   "use STUNE_CHECK/STUNE_DCHECK/STUNE_INVARIANT from simcore/check.hpp"});
+  }
+}
+
+void pass_no_unseeded_rng(const LintInput& in, std::vector<Violation>& out) {
+  for (const auto* banned : {"rand", "srand"}) {
+    for (const std::size_t line : find_calls(in.code, banned)) {
+      out.push_back({in.file, line, "no-unseeded-rng",
+                     std::string(banned) + "() bypasses simcore::Rng; simulations must be "
+                                           "deterministic in their seed"});
+    }
+  }
+  for (const std::size_t line : find_token(in.code, "random_device")) {
+    out.push_back({in.file, line, "no-unseeded-rng",
+                   "std::random_device is unseedable; derive streams from simcore::Rng::fork"});
+  }
+}
+
+void pass_no_stdout(const LintInput& in, std::vector<Violation>& out) {
+  if (!in.cls.library_code) return;
+  for (const auto* stream : {"std::cout", "std::cerr"}) {
+    for (const std::size_t line : find_token(in.code, stream)) {
+      out.push_back({in.file, line, "no-stdout",
+                     std::string(stream) + " in library code; report through metrics/returns"});
+    }
+  }
+  for (const std::size_t line : find_calls(in.code, "puts")) {
+    out.push_back({in.file, line, "no-stdout", "puts() in library code"});
+  }
+}
+
+/// The curated symbol→header table for include-what-you-use. Deliberately
+/// vocabulary types and their factories — symbols whose owning header is
+/// unambiguous — rather than an exhaustive std index.
+struct SymbolHeader {
+  const char* symbol;
+  const char* header;
+};
+
+constexpr SymbolHeader kSymbolTable[] = {
+    {"std::string", "string"},
+    {"std::string_view", "string_view"},
+    {"std::vector", "vector"},
+    {"std::array", "array"},
+    {"std::deque", "deque"},
+    {"std::map", "map"},
+    {"std::set", "set"},
+    {"std::unordered_map", "unordered_map"},
+    {"std::unordered_set", "unordered_set"},
+    {"std::optional", "optional"},
+    {"std::nullopt", "optional"},
+    {"std::unique_ptr", "memory"},
+    {"std::shared_ptr", "memory"},
+    {"std::weak_ptr", "memory"},
+    {"std::make_unique", "memory"},
+    {"std::make_shared", "memory"},
+    {"std::function", "functional"},
+    {"std::thread", "thread"},
+    {"std::mutex", "mutex"},
+    {"std::lock_guard", "mutex"},
+    {"std::unique_lock", "mutex"},
+    {"std::scoped_lock", "mutex"},
+    {"std::condition_variable", "condition_variable"},
+    {"std::condition_variable_any", "condition_variable"},
+    {"std::atomic", "atomic"},
+    {"std::future", "future"},
+    {"std::promise", "future"},
+    {"std::packaged_task", "future"},
+    {"std::async", "future"},
+    {"std::uint8_t", "cstdint"},
+    {"std::uint16_t", "cstdint"},
+    {"std::uint32_t", "cstdint"},
+    {"std::uint64_t", "cstdint"},
+    {"std::int32_t", "cstdint"},
+    {"std::int64_t", "cstdint"},
+    {"std::size_t", "cstddef"},
+    {"std::ptrdiff_t", "cstddef"},
+    {"std::ostringstream", "sstream"},
+    {"std::istringstream", "sstream"},
+    {"std::stringstream", "sstream"},
+    {"std::ofstream", "fstream"},
+    {"std::ifstream", "fstream"},
+    {"std::cout", "iostream"},
+    {"std::cerr", "iostream"},
+    {"std::cin", "iostream"},
+    {"std::chrono", "chrono"},
+    {"std::filesystem", "filesystem"},
+};
+
+void pass_include_what_you_use(const LintInput& in, std::vector<Violation>& out) {
+  std::set<std::string> reported;  // one violation per missing header
+  for (const auto& entry : kSymbolTable) {
+    if (in.includes.count(entry.header) != 0) continue;
+    const std::size_t line = first_token_line(in.code, entry.symbol);
+    if (line == 0) continue;
+    if (!reported.insert(entry.header).second) continue;
+    out.push_back({in.file, line, "include-what-you-use",
+                   std::string("uses ") + entry.symbol + " but does not include <" +
+                       entry.header + "> directly"});
+  }
+}
+
+void pass_no_iostream_in_header(const LintInput& in, std::vector<Violation>& out) {
+  if (!in.cls.header) return;
+  if (in.includes.count("iostream") != 0) {
+    out.push_back({in.file, include_line(in.raw, "iostream"), "no-iostream-in-header",
+                   "headers must not include <iostream>; stream types come from <ostream> "
+                   "or <sstream>, and library code reports through returns anyway"});
+  }
+}
+
+void pass_no_wall_clock(const LintInput& in, std::vector<Violation>& out) {
+  if (in.cls.wall_clock_exempt) return;
+  for (const auto* clock : {"system_clock", "steady_clock", "high_resolution_clock"}) {
+    for (const std::size_t line : find_token(in.code, clock)) {
+      out.push_back({in.file, line, "no-wall-clock",
+                     std::string("std::chrono::") + clock + " reads the wall clock; simulated "
+                         "time is virtual (simcore), so results would depend on the host"});
+    }
+  }
+  for (const auto* fn : {"time", "gettimeofday", "clock_gettime", "localtime", "gmtime"}) {
+    for (const std::size_t line : find_calls(in.code, fn)) {
+      out.push_back({in.file, line, "no-wall-clock",
+                     std::string(fn) + "() reads the wall clock; use virtual time"});
+    }
+  }
+}
+
+void pass_lock_discipline(const LintInput& in, std::vector<Violation>& out) {
+  if (!in.cls.library_code) return;
+  for (const auto* pattern : {".lock(", "->lock(", ".unlock(", "->unlock(", ".try_lock(",
+                              "->try_lock("}) {
+    std::size_t pos = 0;
+    while ((pos = in.code.find(pattern, pos)) != std::string::npos) {
+      out.push_back({in.file, line_of(in.code, pos), "lock-discipline",
+                     "raw mutex lock/unlock call; critical sections are RAII "
+                     "(simcore::MutexLock) so early returns and exceptions cannot leak a "
+                     "held lock"});
+      pos += std::string(pattern).size();
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::string strip_comments_and_literals(const std::string& in) {
+  std::string out = in;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;
+  std::size_t i = 0;
+  const std::size_t n = in.size();
+  auto blank = [&](std::size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  while (i < n) {
+    const char c = in[i];
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+          state = State::kLineComment;
+          blank(i);
+        } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+          state = State::kBlockComment;
+          blank(i);
+        } else if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(in[i - 1])) &&
+                               in[i - 1] != '_'))) {
+          // Raw string: R"delim( ... )delim"
+          std::size_t j = i + 2;
+          raw_delim.clear();
+          while (j < n && in[j] != '(') raw_delim += in[j++];
+          state = State::kRawString;
+          i = j;  // keep the prefix; contents get blanked from here
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') state = State::kCode;
+        else blank(i);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && in[i + 1] == '/') {
+          blank(i);
+          blank(i + 1);
+          ++i;
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      case State::kRawString: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (in.compare(i, closer.size(), closer) == 0) {
+          i += closer.size() - 1;
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      }
+    }
+    ++i;
+  }
+  return out;
+}
+
+FileClass classify(const std::string& relative_path) {
+  FileClass cls;
+  cls.header = relative_path.size() >= 4 &&
+               relative_path.compare(relative_path.size() - 4, 4, ".hpp") == 0;
+  cls.library_code = relative_path.rfind("src/", 0) == 0;
+  cls.wall_clock_exempt = relative_path.rfind("src/simcore/", 0) == 0 ||
+                          relative_path.rfind("bench/", 0) == 0;
+  return cls;
+}
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> ids = {
+      "pragma-once",        "no-bare-assert",         "no-unseeded-rng",
+      "no-stdout",          "include-what-you-use",   "no-iostream-in-header",
+      "no-wall-clock",      "lock-discipline",
+  };
+  return ids;
+}
+
+std::vector<Violation> lint_content(const std::string& display_path, const std::string& raw,
+                                    const FileClass& cls) {
+  const std::string code = strip_comments_and_literals(raw);
+  const std::set<std::string> includes = included_headers(raw);
+  const LintInput in{display_path, raw, code, cls, includes};
+
+  std::vector<Violation> found;
+  pass_pragma_once(in, found);
+  pass_no_bare_assert(in, found);
+  pass_no_unseeded_rng(in, found);
+  pass_no_stdout(in, found);
+  pass_include_what_you_use(in, found);
+  pass_no_iostream_in_header(in, found);
+  pass_no_wall_clock(in, found);
+  pass_lock_discipline(in, found);
+
+  const auto allow = allowed_rules(raw);
+  std::vector<Violation> kept;
+  kept.reserve(found.size());
+  for (auto& v : found) {
+    const auto it = allow.find(v.line);
+    if (it != allow.end() && (it->second.count(v.rule) != 0 || it->second.count("*") != 0)) {
+      continue;
+    }
+    kept.push_back(std::move(v));
+  }
+  std::stable_sort(kept.begin(), kept.end(), [](const Violation& a, const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    return a.line < b.line;
+  });
+  return kept;
+}
+
+std::string format_text(const std::vector<Violation>& violations, std::size_t files_scanned) {
+  std::ostringstream out;
+  for (const auto& v : violations) {
+    out << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
+  }
+  out << "stune_lint: scanned " << files_scanned << " files, " << violations.size()
+      << " violation" << (violations.size() == 1 ? "" : "s") << "\n";
+  return out.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::ostringstream out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf] << "0123456789abcdef"[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string format_json(const std::vector<Violation>& violations, std::size_t files_scanned) {
+  std::ostringstream out;
+  out << "{\n  \"files_scanned\": " << files_scanned
+      << ",\n  \"violation_count\": " << violations.size() << ",\n  \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const auto& v = violations[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"file\": \"" << json_escape(v.file)
+        << "\", \"line\": " << v.line << ", \"rule\": \"" << json_escape(v.rule)
+        << "\", \"message\": \"" << json_escape(v.message) << "\"}";
+  }
+  out << (violations.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+}  // namespace stune::lint

@@ -1,0 +1,75 @@
+// stune_lint v2 — the project's multi-pass source analyzer, usable as a
+// library (tests/lint_test.cpp drives each rule on golden fixtures) and as
+// the stune_lint executable registered as a ctest.
+//
+// Passes (rule ids):
+//   [pragma-once]            every header uses #pragma once;
+//   [no-bare-assert]         library code uses STUNE_CHECK/STUNE_DCHECK/
+//                            STUNE_INVARIANT, never assert();
+//   [no-unseeded-rng]        no rand()/srand()/std::random_device anywhere —
+//                            stochasticity flows through simcore::Rng;
+//   [no-stdout]              no std::cout/std::cerr/puts in library code;
+//   [include-what-you-use]   a file using a symbol from the curated
+//                            symbol→header table must include that header
+//                            directly, not lean on transitive includes;
+//   [no-iostream-in-header]  headers never include <iostream> (it drags a
+//                            static-init fiasco guard into every TU);
+//   [no-wall-clock]          system_clock/steady_clock/time() are banned
+//                            outside simcore/ and bench/ — simulation
+//                            determinism rests on virtual time;
+//   [lock-discipline]        no raw .lock()/.unlock() member calls in
+//                            library code: critical sections are RAII
+//                            (simcore::MutexLock), the textual complement
+//                            to the Clang thread-safety analysis for
+//                            non-Clang builds.
+//
+// Suppression: append `// stune-lint: allow(<rule>)` (comma-separated list,
+// or `allow(*)`) to a line to exempt that line. Comments and string/char
+// literals are stripped before token scanning, so documentation may mention
+// banned constructs freely.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stune::lint {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Which rule groups apply to a file, derived from its path.
+struct FileClass {
+  bool header = false;            // *.hpp: pragma-once, no-iostream-in-header
+  bool library_code = false;      // src/**: no-bare-assert, no-stdout, lock-discipline
+  bool wall_clock_exempt = false; // src/simcore/** and bench/**: own the clock
+};
+
+/// Classify by path relative to the repo root (e.g. "src/disc/engine.cpp").
+FileClass classify(const std::string& relative_path);
+
+/// Run every applicable pass over one file's contents. `display_path` is
+/// used verbatim in violations (tests pass synthetic names).
+std::vector<Violation> lint_content(const std::string& display_path, const std::string& raw,
+                                    const FileClass& cls);
+
+/// Replace comment bodies and string/char literal contents with spaces,
+/// preserving newlines so line numbers survive. Exposed for tests.
+std::string strip_comments_and_literals(const std::string& in);
+
+/// All rule ids, in reporting order.
+const std::vector<std::string>& rule_ids();
+
+/// Render violations as "file:line: [rule] message" lines plus a summary.
+std::string format_text(const std::vector<Violation>& violations, std::size_t files_scanned);
+
+/// Render as a machine-readable JSON document:
+///   {"files_scanned": N, "violation_count": M, "violations": [
+///     {"file": "...", "line": L, "rule": "...", "message": "..."}, ...]}
+std::string format_json(const std::vector<Violation>& violations, std::size_t files_scanned);
+
+}  // namespace stune::lint

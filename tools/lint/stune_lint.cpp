@@ -1,28 +1,9 @@
-// stune_lint: the project's source-tree lint pass, registered as a ctest.
+// stune_lint CLI — walks the tree, classifies each file by path, runs the
+// lint library's passes (see lint.hpp for the rule catalogue) and reports.
 //
-// Enforces rules the compiler cannot:
-//   [no-bare-assert]   library code under src/ must use STUNE_CHECK /
-//                      STUNE_DCHECK / STUNE_INVARIANT (simcore/check.hpp),
-//                      never bare assert() — assert vanishes under NDEBUG,
-//                      and the simulator substrate must fail loudly in
-//                      release builds too;
-//   [no-unseeded-rng]  no rand()/srand()/std::random_device anywhere: all
-//                      stochasticity flows through simcore::Rng so runs are
-//                      deterministic in their seed (the determinism every
-//                      tuner A/B comparison rests on);
-//   [no-stdout]        no std::cout / std::cerr / puts in library code
-//                      under src/ — libraries report through return values
-//                      and metrics, not a global stream;
-//   [pragma-once]      every header uses #pragma once.
-//
-// Comments and string/char literals are stripped before token scanning, so
-// documentation may mention the banned constructs.
-//
-// Usage: stune_lint <repo-root>
-// Exit status: 0 clean, 1 violations found (printed file:line: [rule] msg),
-// 2 usage/IO error.
-#include <algorithm>
-#include <cctype>
+// Usage: stune_lint [--format=text|json] <repo-root>
+// Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -30,242 +11,70 @@
 #include <string>
 #include <vector>
 
+#include "lint.hpp"
+
 namespace {
 
 namespace fs = std::filesystem;
-
-struct Violation {
-  std::string file;
-  std::size_t line;
-  std::string rule;
-  std::string message;
-};
-
-/// Replace comment bodies and string/char literal contents with spaces,
-/// preserving newlines so line numbers survive. Handles //, /*...*/,
-/// "...", '...', and R"delim(...)delim" raw strings.
-std::string strip_comments_and_literals(const std::string& in) {
-  std::string out = in;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;
-  std::size_t i = 0;
-  const std::size_t n = in.size();
-  auto blank = [&](std::size_t pos) {
-    if (out[pos] != '\n') out[pos] = ' ';
-  };
-  while (i < n) {
-    const char c = in[i];
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && i + 1 < n && in[i + 1] == '/') {
-          state = State::kLineComment;
-          blank(i);
-        } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
-          state = State::kBlockComment;
-          blank(i);
-        } else if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(in[i - 1])) &&
-                               in[i - 1] != '_'))) {
-          // Raw string: R"delim( ... )delim"
-          std::size_t j = i + 2;
-          raw_delim.clear();
-          while (j < n && in[j] != '(') raw_delim += in[j++];
-          state = State::kRawString;
-          i = j;  // keep the prefix; contents get blanked from here
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') state = State::kCode;
-        else blank(i);
-        break;
-      case State::kBlockComment:
-        if (c == '*' && i + 1 < n && in[i + 1] == '/') {
-          blank(i);
-          blank(i + 1);
-          ++i;
-          state = State::kCode;
-        } else {
-          blank(i);
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && i + 1 < n) {
-          blank(i);
-          blank(i + 1);
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        } else {
-          blank(i);
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && i + 1 < n) {
-          blank(i);
-          blank(i + 1);
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else {
-          blank(i);
-        }
-        break;
-      case State::kRawString: {
-        const std::string closer = ")" + raw_delim + "\"";
-        if (in.compare(i, closer.size(), closer) == 0) {
-          i += closer.size() - 1;
-          state = State::kCode;
-        } else {
-          blank(i);
-        }
-        break;
-      }
-    }
-    ++i;
-  }
-  return out;
-}
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Find calls of `name` (identifier immediately before a '(' allowing
-/// whitespace) that are not part of a longer identifier. `allow_scoped`
-/// controls whether a preceding "::" still counts (std::rand does; there is
-/// no std::assert).
-std::vector<std::size_t> find_calls(const std::string& code, const std::string& name) {
-  std::vector<std::size_t> lines;
-  std::size_t pos = 0;
-  while ((pos = code.find(name, pos)) != std::string::npos) {
-    const std::size_t end = pos + name.size();
-    const bool starts_ident = pos > 0 && ident_char(code[pos - 1]);
-    std::size_t after = end;
-    while (after < code.size() &&
-           std::isspace(static_cast<unsigned char>(code[after])) != 0 &&
-           code[after] != '\n') {
-      ++after;
-    }
-    const bool is_call = after < code.size() && code[after] == '(';
-    if (!starts_ident && is_call && (end >= code.size() || !ident_char(code[end]))) {
-      lines.push_back(1 + static_cast<std::size_t>(
-                              std::count(code.begin(), code.begin() + static_cast<long>(pos), '\n')));
-    }
-    pos = end;
-  }
-  return lines;
-}
-
-std::vector<std::size_t> find_token(const std::string& code, const std::string& token) {
-  std::vector<std::size_t> lines;
-  std::size_t pos = 0;
-  while ((pos = code.find(token, pos)) != std::string::npos) {
-    const bool starts_ident = pos > 0 && ident_char(code[pos - 1]);
-    const std::size_t end = pos + token.size();
-    const bool ends_ident = end < code.size() && ident_char(code[end]);
-    if (!starts_ident && !ends_ident) {
-      lines.push_back(1 + static_cast<std::size_t>(
-                              std::count(code.begin(), code.begin() + static_cast<long>(pos), '\n')));
-    }
-    pos = end;
-  }
-  return lines;
-}
-
-void lint_file(const fs::path& path, bool library_code, std::vector<Violation>& out) {
-  std::ifstream f(path);
-  if (!f) {
-    out.push_back({path.string(), 0, "io", "cannot open file"});
-    return;
-  }
-  std::ostringstream buf;
-  buf << f.rdbuf();
-  const std::string raw = buf.str();
-  const std::string code = strip_comments_and_literals(raw);
-  const std::string file = path.string();
-
-  if (path.extension() == ".hpp" && raw.find("#pragma once") == std::string::npos) {
-    out.push_back({file, 1, "pragma-once", "header does not use #pragma once"});
-  }
-
-  for (const auto& banned : {"rand", "srand"}) {
-    for (const std::size_t line : find_calls(code, banned)) {
-      out.push_back({file, line, "no-unseeded-rng",
-                     std::string(banned) + "() bypasses simcore::Rng; simulations must be "
-                                           "deterministic in their seed"});
-    }
-  }
-  for (const std::size_t line : find_token(code, "random_device")) {
-    out.push_back({file, line, "no-unseeded-rng",
-                   "std::random_device is unseedable; derive streams from simcore::Rng::fork"});
-  }
-
-  if (library_code) {
-    for (const std::size_t line : find_calls(code, "assert")) {
-      out.push_back({file, line, "no-bare-assert",
-                     "use STUNE_CHECK/STUNE_DCHECK/STUNE_INVARIANT from simcore/check.hpp"});
-    }
-    for (const auto& stream : {"std::cout", "std::cerr"}) {
-      std::size_t pos = 0;
-      while ((pos = code.find(stream, pos)) != std::string::npos) {
-        out.push_back({file,
-                       1 + static_cast<std::size_t>(std::count(
-                               code.begin(), code.begin() + static_cast<long>(pos), '\n')),
-                       "no-stdout",
-                       std::string(stream) + " in library code; report through metrics/returns"});
-        pos += std::string(stream).size();
-      }
-    }
-    for (const std::size_t line : find_calls(code, "puts")) {
-      out.push_back({file, line, "no-stdout", "puts() in library code"});
-    }
-  }
-}
 
 bool source_file(const fs::path& p) {
   return p.extension() == ".cpp" || p.extension() == ".hpp";
 }
 
-void lint_tree(const fs::path& root, bool library_code, std::vector<Violation>& out,
-               std::size_t& files_scanned) {
-  if (!fs::exists(root)) return;
-  for (const auto& entry : fs::recursive_directory_iterator(root)) {
-    if (entry.is_regular_file() && source_file(entry.path())) {
-      lint_file(entry.path(), library_code, out);
-      ++files_scanned;
+void lint_tree(const fs::path& root, const fs::path& subtree,
+               std::vector<stune::lint::Violation>& out, std::size_t& files_scanned) {
+  if (!fs::exists(root / subtree)) return;
+  for (const auto& entry : fs::recursive_directory_iterator(root / subtree)) {
+    if (!entry.is_regular_file() || !source_file(entry.path())) continue;
+    ++files_scanned;
+    std::ifstream f(entry.path());
+    if (!f) {
+      out.push_back({entry.path().string(), 0, "io", "cannot open file"});
+      continue;
     }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    const std::string relative =
+        fs::relative(entry.path(), root).generic_string();
+    const auto violations =
+        stune::lint::lint_content(relative, buf.str(), stune::lint::classify(relative));
+    out.insert(out.end(), violations.begin(), violations.end());
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: stune_lint <repo-root>\n";
+  std::string format = "text";
+  std::string root_arg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (root_arg.empty()) {
+      root_arg = arg;
+    } else {
+      root_arg.clear();
+      break;
+    }
+  }
+  if (root_arg.empty() || (format != "text" && format != "json")) {
+    std::cerr << "usage: stune_lint [--format=text|json] <repo-root>\n";
     return 2;
   }
-  const fs::path root = argv[1];
+  const fs::path root = root_arg;
   if (!fs::exists(root / "src")) {
     std::cerr << "stune_lint: " << (root / "src").string() << " does not exist\n";
     return 2;
   }
 
-  std::vector<Violation> violations;
+  std::vector<stune::lint::Violation> violations;
   std::size_t files_scanned = 0;
-  lint_tree(root / "src", /*library_code=*/true, violations, files_scanned);
-  for (const auto* dir : {"tests", "bench", "examples", "tools"}) {
-    lint_tree(root / dir, /*library_code=*/false, violations, files_scanned);
+  for (const auto* dir : {"src", "tests", "bench", "examples", "tools"}) {
+    lint_tree(root, dir, violations, files_scanned);
   }
 
-  for (const auto& v : violations) {
-    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
-  }
-  std::cout << "stune_lint: scanned " << files_scanned << " files, " << violations.size()
-            << " violation" << (violations.size() == 1 ? "" : "s") << "\n";
+  std::cout << (format == "json" ? stune::lint::format_json(violations, files_scanned)
+                                 : stune::lint::format_text(violations, files_scanned));
   return violations.empty() ? 0 : 1;
 }
