@@ -1,0 +1,233 @@
+// Chaos benchmark: how the resilient trial pipeline behaves as the
+// environmental fault rate climbs. Two sections:
+//
+//   1. Tuner resilience — every tuner runs the same budget on a faulty
+//      testbed at increasing chaos levels (0%, 5%, 15%, 30% per-trial
+//      infra-fault probability, plus proportional executor loss, spot
+//      revocations and stragglers). Reported per tuner: best-found
+//      runtime, its ratio to the fault-free best, and the retry-pipeline
+//      accounting (infra vs config faults, retries, simulated backoff).
+//      The headline claim — infra faults are retried and scored neutrally,
+//      never charged as configuration penalties — shows up as best-found
+//      runtimes that degrade gently with the weather instead of collapsing.
+//
+//   2. Service degradation — a TuningService with per-tenant circuit
+//      breakers runs recurring workloads through the same storm levels.
+//      Reported per level: breaker trips, degraded (breaker-open) runs,
+//      and whether tenants still end up tuned and feasible.
+//
+// `--smoke` shrinks budgets and levels for CI; the full sweep feeds
+// BENCH_chaos.json.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+#include "config/config_space.hpp"
+#include "config/spark_space.hpp"
+#include "disc/engine.hpp"
+#include "disc/metrics.hpp"
+#include "service/tuning_service.hpp"
+#include "simcore/fault.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/units.hpp"
+#include "tuning/trial_executor.hpp"
+#include "tuning/tuner.hpp"
+#include "workload/execute.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::bench {
+namespace {
+
+constexpr std::uint64_t kBenchSeed = 42;
+
+struct TunerChaosOutcome {
+  double best = 0.0;
+  bool feasible = false;
+  tuning::ResilienceStats stats;
+};
+
+/// One full tuning session against a faulty engine. The fault plan is a
+/// pure function of (config fingerprint, attempt), so the session is
+/// deterministic and jobs-invariant like every other pipeline in the repo.
+TunerChaosOutcome tune_under_chaos(const std::string& tuner_name, const workload::Workload& w,
+                                   simcore::Bytes input, const cluster::Cluster& cluster,
+                                   double level, std::size_t budget, std::size_t jobs) {
+  const auto space = config::spark_space();
+  const simcore::FaultProfile profile = simcore::FaultProfile::chaos(level);
+  const simcore::FaultInjector injector(profile, kBenchSeed);
+  const std::uint64_t workload_fp = simcore::hash_string(w.name());
+
+  tuning::TrialObjective objective = [&](const config::Configuration& c,
+                                         int attempt) -> tuning::EvalOutcome {
+    disc::EngineOptions eopts;
+    eopts.seed = kBenchSeed;
+    if (profile.active()) {
+      eopts.faults = injector.plan(simcore::hash_combine(workload_fp, c.fingerprint()), attempt);
+    }
+    const disc::SparkSimulator sim(cluster, eopts);
+    const auto r = workload::execute(w, input, sim, c);
+    tuning::EvalOutcome out{r.runtime, !r.success};
+    out.fault = r.success                ? tuning::FaultClass::kNone
+                : r.infra_fault          ? tuning::FaultClass::kInfra
+                                         : tuning::FaultClass::kConfig;
+    return out;
+  };
+
+  tuning::TuneOptions topts;
+  topts.budget = budget;
+  topts.seed = 7;
+  topts.retry.max_attempts = 3;
+  tuning::TrialExecutor executor({jobs});
+  const auto tuner = tuning::make_tuner(tuner_name);
+  const auto result = executor.run(*tuner, space, objective, topts);
+
+  TunerChaosOutcome out;
+  out.best = result.best_runtime;
+  out.feasible = result.found_feasible;
+  out.stats = result.resilience;
+  return out;
+}
+
+void bench_tuner_resilience(const std::vector<double>& levels, std::size_t budget,
+                            std::size_t jobs) {
+  const auto cluster = paper_testbed();
+  const auto w = workload::make_workload("sort");
+  const simcore::Bytes input = 16ULL << 30;
+
+  // Fault-free reference per tuner, so each storm level reports a ratio
+  // against the same tuner's own calm-weather result. Doubles as the 0%
+  // row of the sweep.
+  std::vector<TunerChaosOutcome> calm;
+  for (const auto& tuner_name : tuning::tuner_names()) {
+    calm.push_back(tune_under_chaos(tuner_name, *w, input, cluster, 0.0, budget, jobs));
+  }
+
+  for (const double level : levels) {
+    section("tuner resilience on sort (16 GiB), chaos level " + pct(level) +
+            ", budget " + std::to_string(budget));
+    Table t({"tuner", "best", "vs calm", "feasible", "infra", "config", "retries",
+             "backoff"});
+    std::size_t i = 0;
+    for (const auto& tuner_name : tuning::tuner_names()) {
+      const auto r =
+          level == 0.0 ? calm[i]
+                       : tune_under_chaos(tuner_name, *w, input, cluster, level, budget, jobs);
+      const double calm_best = calm[i++].best;
+      t.add_row({tuner_name, r.feasible ? fmt("%.1fs", r.best) : "none",
+                 r.feasible && calm_best > 0.0 ? fmt("%.2fx", r.best / calm_best) : "-",
+                 r.feasible ? "yes" : "NO", fmt("%.0f", static_cast<double>(r.stats.infra_faults)),
+                 fmt("%.0f", static_cast<double>(r.stats.config_faults)),
+                 fmt("%.0f", static_cast<double>(r.stats.retries)),
+                 fmt("%.0fs", r.stats.backoff_seconds)});
+      // Machine-readable record for tracking resilience over time.
+      std::printf(
+          "{\"bench\":\"chaos_tuning\",\"workload\":\"sort\",\"tuner\":\"%s\","
+          "\"level\":%.2f,\"budget\":%zu,\"best\":%.3f,\"feasible\":%s,"
+          "\"vs_calm\":%.3f,\"infra_faults\":%zu,\"config_faults\":%zu,"
+          "\"retries\":%zu,\"deadline_hits\":%zu,\"backoff_s\":%.1f}\n",
+          tuner_name.c_str(), level, budget, r.feasible ? r.best : -1.0,
+          r.feasible ? "true" : "false",
+          r.feasible && calm_best > 0.0 ? r.best / calm_best : -1.0, r.stats.infra_faults,
+          r.stats.config_faults, r.stats.retries, r.stats.deadline_hits,
+          r.stats.backoff_seconds);
+    }
+    t.print();
+  }
+}
+
+void bench_service_degradation(const std::vector<double>& levels, std::size_t runs,
+                               std::size_t jobs) {
+  for (const double level : levels) {
+    section("service under chaos level " + pct(level) + " (" + std::to_string(runs) +
+            " runs per tenant)");
+    service::ServiceOptions opts;
+    opts.tune_cloud = false;
+    opts.default_cluster = {"h1.4xlarge", 4};
+    opts.tuning_budget = 12;
+    opts.retuning_budget = 6;
+    opts.jobs = jobs;
+    opts.faults = simcore::FaultProfile::chaos(level);
+    opts.retry.max_attempts = 3;
+    service::TuningService svc(opts);
+
+    struct Tenant {
+      const char* name;
+      const char* wl;
+      int handle = 0;
+    };
+    std::vector<Tenant> tenants = {{"acme", "sort"}, {"globex", "pagerank"}};
+    for (auto& tn : tenants) {
+      tn.handle = svc.submit(tn.name, workload::make_workload(tn.wl), 8ULL << 30);
+    }
+    for (std::size_t i = 0; i < runs; ++i) {
+      for (const auto& tn : tenants) svc.run_once(tn.handle);
+    }
+
+    const auto health = svc.health();
+    Table t({"tenant", "workload", "tuned", "best", "breaker", "trips", "degraded runs"});
+    for (const auto& tn : tenants) {
+      const auto st = svc.status(tn.handle);
+      const service::TenantHealth* th = nullptr;
+      for (const auto& cand : health.per_tenant) {
+        if (cand.tenant == tn.name) th = &cand;
+      }
+      const char* breaker = !th                                               ? "?"
+                            : th->breaker == service::BreakerState::kOpen     ? "open"
+                            : th->breaker == service::BreakerState::kHalfOpen ? "half-open"
+                                                                              : "closed";
+      t.add_row({tn.name, tn.wl, st.tuned ? "yes" : "NO",
+                 st.best_runtime > 0.0 ? fmt("%.1fs", st.best_runtime) : "none", breaker,
+                 th ? fmt("%.0f", static_cast<double>(th->trips)) : "?",
+                 fmt("%.0f", static_cast<double>(st.degraded_runs))});
+      // Machine-readable record for tracking degradation over time.
+      std::printf(
+          "{\"bench\":\"chaos_service\",\"tenant\":\"%s\",\"workload\":\"%s\","
+          "\"level\":%.2f,\"runs\":%zu,\"tuned\":%s,\"best\":%.3f,"
+          "\"breaker\":\"%s\",\"trips\":%d,\"degraded_runs\":%zu,"
+          "\"open_breakers\":%zu,\"total_degraded_runs\":%zu}\n",
+          tn.name, tn.wl, level, runs, st.tuned ? "true" : "false",
+          st.best_runtime > 0.0 ? st.best_runtime : -1.0, breaker, th ? th->trips : -1,
+          st.degraded_runs, health.open_breakers, health.total_degraded_runs);
+    }
+    t.print();
+  }
+}
+
+}  // namespace
+}  // namespace stune::bench
+
+int main(int argc, char** argv) {
+  using namespace stune;
+  using namespace stune::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  const std::size_t jobs = parse_jobs(argc, argv, 1);
+
+  // The issue's sweep: calm, light, the acceptance bar (15%) and heavy.
+  const std::vector<double> levels =
+      smoke ? std::vector<double>{0.0, 0.15} : std::vector<double>{0.0, 0.05, 0.15, 0.30};
+  const std::size_t budget = smoke ? 8 : 40;
+  const std::size_t service_runs = smoke ? 2 : 4;
+
+  bench_tuner_resilience(levels, budget, jobs);
+  // The service sweep adds a storm level past the acceptance bar so the
+  // circuit breaker actually trips on record.
+  auto service_levels = levels;
+  service_levels.push_back(0.85);
+  bench_service_degradation(service_levels, service_runs, jobs);
+
+  std::printf(
+      "\nreading: best-found runtimes should degrade gently with the fault rate —\n"
+      "infra faults are retried with backoff and scored neutrally, so the tuner\n"
+      "never learns to avoid a configuration because a spot instance vanished.\n"
+      "Breaker trips and degraded runs should stay at zero through 15%% and only\n"
+      "appear in genuinely heavy weather.\n");
+  return 0;
+}

@@ -4,24 +4,34 @@
 #include <stdexcept>
 #include <string>
 
+#include "cluster/spot_market.hpp"
 #include "simcore/rng.hpp"
 
 namespace stune::cluster {
 
 std::string ClusterSpec::to_string() const {
-  return std::to_string(vm_count) + "x " + instance;
+  std::string s = std::to_string(vm_count) + "x " + instance;
+  if (spot) s += " (spot)";
+  return s;
 }
 
-Cluster::Cluster(const InstanceType& type, int vm_count) : type_(&type), vm_count_(vm_count) {
+Cluster::Cluster(const InstanceType& type, int vm_count, bool spot)
+    : type_(&type), vm_count_(vm_count), spot_(spot) {
   if (vm_count <= 0) throw std::invalid_argument("cluster needs at least one VM");
 }
 
 Cluster Cluster::from_spec(const ClusterSpec& spec) {
-  return Cluster(find_instance(spec.instance), spec.vm_count);
+  return Cluster(find_instance(spec.instance), spec.vm_count, spec.spot);
+}
+
+double Cluster::revocation_hazard() const {
+  return spot_ ? spot_quote(type_->family).hazard_weight : 0.0;
 }
 
 Dollars Cluster::cost_per_hour() const {
-  return type_->price_per_hour * static_cast<double>(vm_count_);
+  const double unit = spot_ ? type_->price_per_hour * spot_quote(type_->family).price_fraction
+                            : type_->price_per_hour;
+  return unit * static_cast<double>(vm_count_);
 }
 
 Dollars Cluster::cost_of(simcore::Seconds runtime) const {
@@ -29,8 +39,9 @@ Dollars Cluster::cost_of(simcore::Seconds runtime) const {
 }
 
 std::uint64_t Cluster::fingerprint() const {
-  return simcore::hash_combine(simcore::hash_string(type_->name),
-                               static_cast<std::uint64_t>(vm_count_));
+  const std::uint64_t h = simcore::hash_combine(simcore::hash_string(type_->name),
+                                                static_cast<std::uint64_t>(vm_count_));
+  return simcore::hash_combine(h, spot_ ? 1ULL : 0ULL);
 }
 
 }  // namespace stune::cluster

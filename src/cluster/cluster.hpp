@@ -12,10 +12,12 @@
 
 namespace stune::cluster {
 
-/// What a user asks a cloud for: an instance type name and a VM count.
+/// What a user asks a cloud for: an instance type name, a VM count, and
+/// whether to buy from the spot market (discounted, revocable).
 struct ClusterSpec {
   std::string instance = "m5.2xlarge";
   int vm_count = 4;
+  bool spot = false;
 
   bool operator==(const ClusterSpec&) const = default;
   std::string to_string() const;
@@ -24,13 +26,18 @@ struct ClusterSpec {
 class Cluster {
  public:
   /// Throws std::invalid_argument on unknown type or non-positive count.
-  Cluster(const InstanceType& type, int vm_count);
+  Cluster(const InstanceType& type, int vm_count, bool spot = false);
 
   static Cluster from_spec(const ClusterSpec& spec);
 
   const InstanceType& type() const { return *type_; }
   int vm_count() const { return vm_count_; }
-  ClusterSpec spec() const { return ClusterSpec{type_->name, vm_count_}; }
+  /// Spot capacity: cheaper per cost_per_hour(), revocable mid-run when a
+  /// fault plan carries a spot_revocation_rate.
+  bool spot() const { return spot_; }
+  /// The family's relative revocation hazard; 0 for on-demand capacity.
+  double revocation_hazard() const;
+  ClusterSpec spec() const { return ClusterSpec{type_->name, vm_count_, spot_}; }
 
   int total_vcpus() const { return type_->vcpus * vm_count_; }
   Bytes total_memory() const { return type_->memory_bytes() * static_cast<Bytes>(vm_count_); }
@@ -42,13 +49,14 @@ class Cluster {
   Dollars cost_of(simcore::Seconds runtime) const;
 
   /// Stable hash of the provisioned hardware (instance type identity plus
-  /// VM count; the type's parameters live in the static catalog, so its
-  /// name identifies them). Keys cached execution reports.
+  /// VM count and market; the type's parameters live in the static
+  /// catalog, so its name identifies them). Keys cached execution reports.
   std::uint64_t fingerprint() const;
 
  private:
   const InstanceType* type_;  // points into the static catalog
   int vm_count_;
+  bool spot_;
 };
 
 }  // namespace stune::cluster

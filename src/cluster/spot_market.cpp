@@ -1,0 +1,18 @@
+#include "cluster/spot_market.hpp"
+
+#include <string_view>
+
+namespace stune::cluster {
+
+SpotQuote spot_quote(std::string_view family) {
+  // Fractions approximate 2019-era EC2 spot pricing; hazards encode the
+  // folklore ordering: compute pools churn hardest, storage pools least.
+  if (family == "m5") return {.price_fraction = 0.38, .hazard_weight = 1.0};
+  if (family == "c5") return {.price_fraction = 0.34, .hazard_weight = 1.6};
+  if (family == "r5") return {.price_fraction = 0.40, .hazard_weight = 1.2};
+  if (family == "h1") return {.price_fraction = 0.45, .hazard_weight = 0.6};
+  if (family == "i3") return {.price_fraction = 0.42, .hazard_weight = 0.9};
+  return {.price_fraction = 1.0, .hazard_weight = 1.0};
+}
+
+}  // namespace stune::cluster

@@ -1,0 +1,29 @@
+// Spot-market model over the instance catalog.
+//
+// Spot capacity is the economic reason tuning services run in harm's way:
+// steep discounts bought with a revocation hazard. The model is per-family
+// (matching how EC2 prices interruptible capacity): a price discount and a
+// relative revocation hazard. Compute-optimized capacity churns the most
+// (it is the first reclaimed when on-demand demand spikes); dense-storage
+// families sit in quieter pools. The hazard weight multiplies
+// FaultProfile::spot_revocation_rate, so on-demand clusters (weight unused)
+// and spot clusters under a zero-rate profile are both revocation-free.
+#pragma once
+
+#include <string_view>
+
+namespace stune::cluster {
+
+struct SpotQuote {
+  /// Spot price as a fraction of on-demand (0.35 = pay 35%).
+  double price_fraction = 1.0;
+  /// Relative revocation hazard; 1.0 = the market's baseline churn.
+  double hazard_weight = 0.0;
+};
+
+/// Quote for an instance family ("m5", "c5", ...). Unknown families get a
+/// conservative default (no discount, baseline hazard) rather than an
+/// error, so the catalog can grow without touching the market model.
+SpotQuote spot_quote(std::string_view family);
+
+}  // namespace stune::cluster

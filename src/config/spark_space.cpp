@@ -76,6 +76,11 @@ std::shared_ptr<const ConfigSpace> build_spark_space() {
   params.push_back(P::real(k::kAutoBroadcastJoinThresholdMiB, 0.0, 256.0, 10.0, false, "MiB",
                            "broadcast-join a table smaller than this"));
 
+  // Appended after the original 28 parameters: Configuration values are
+  // positional, so new knobs must extend the space at the end.
+  params.push_back(P::real(k::kSpeculationQuantile, 0.5, 0.95, 0.75, false, "",
+                           "fraction of tasks that must finish before speculating"));
+
   return ConfigSpace::create(std::move(params));
 }
 
@@ -127,6 +132,7 @@ SparkConf::SparkConf(const Configuration& c)
           static_cast<int>(c.get_int(spark::kShuffleSortBypassMergeThreshold))),
       speculation(c.get_bool(spark::kSpeculation)),
       speculation_multiplier(c.get(spark::kSpeculationMultiplier)),
+      speculation_quantile(c.get(spark::kSpeculationQuantile)),
       locality_wait_s(c.get(spark::kLocalityWait)),
       broadcast_block_size_mib(c.get(spark::kBroadcastBlockSizeMiB)),
       auto_broadcast_join_threshold_mib(c.get(spark::kAutoBroadcastJoinThresholdMiB)),

@@ -1,6 +1,6 @@
 // The concrete DISC (Spark-like) configuration space.
 //
-// 28 parameters modeled on real spark.* knobs: names, types, ranges and
+// 29 parameters modeled on real spark.* knobs: names, types, ranges and
 // defaults follow the Spark 2.x documentation the paper cites ("Spark has
 // 200 configuration parameters", of which the surveyed tuners tune 16-41).
 // SparkConf is the typed, engine-facing view of a Configuration — parsed
@@ -37,6 +37,7 @@ inline constexpr const char* kShuffleSortBypassMergeThreshold =
     "spark.shuffle.sort.bypassMergeThreshold";
 inline constexpr const char* kSpeculation = "spark.speculation";
 inline constexpr const char* kSpeculationMultiplier = "spark.speculation.multiplier";
+inline constexpr const char* kSpeculationQuantile = "spark.speculation.quantile";
 inline constexpr const char* kLocalityWait = "spark.locality.wait";
 inline constexpr const char* kBroadcastBlockSizeMiB = "spark.broadcast.blockSize";
 inline constexpr const char* kAutoBroadcastJoinThresholdMiB =
@@ -91,6 +92,7 @@ struct SparkConf {
   int sort_bypass_merge_threshold;
   bool speculation;
   double speculation_multiplier;
+  double speculation_quantile;
   double locality_wait_s;
   double broadcast_block_size_mib;
   double auto_broadcast_join_threshold_mib;

@@ -108,6 +108,20 @@ std::vector<std::string> audit_stage(const StageMetrics& m, int total_slots) {
   check_seconds(v, m.stage_id, "net_seconds", m.net_seconds);
   check_seconds(v, m.stage_id, "spill_seconds", m.spill_seconds);
   check_seconds(v, m.stage_id, "overhead_seconds", m.overhead_seconds);
+  check_seconds(v, m.stage_id, "recovery_seconds", m.recovery_seconds);
+  if (m.lost_executors < 0) {
+    report(v, "stage ", m.stage_id, " lost ", m.lost_executors, " executors");
+  }
+  if (m.lost_vms < 0) report(v, "stage ", m.stage_id, " lost ", m.lost_vms, " VMs");
+  if (m.speculative_tasks < 0 || m.speculative_tasks > m.tasks) {
+    report(v, "speculation conservation violation: stage ", m.stage_id, " speculated ",
+           m.speculative_tasks, " of ", m.tasks, " tasks");
+  }
+  // Recovery work only exists when something was lost.
+  if (m.recovery_seconds > 1e-9 && m.lost_executors == 0 && m.lost_vms == 0) {
+    report(v, "stage ", m.stage_id, " charged ", m.recovery_seconds,
+           " recovery seconds without losing an executor or VM");
+  }
   if (!(m.cache_hit_fraction >= 0.0 && m.cache_hit_fraction <= 1.0)) {
     report(v, "stage ", m.stage_id, " cache_hit_fraction ", m.cache_hit_fraction,
            " outside [0, 1]");
@@ -136,6 +150,9 @@ std::vector<std::string> audit(const ExecutionReport& report_in) {
   }
   if (!finite_nonneg(report_in.runtime)) report(v, "invalid runtime ", report_in.runtime);
   if (!finite_nonneg(report_in.cost)) report(v, "invalid cost ", report_in.cost);
+  if (report_in.success && report_in.infra_fault) {
+    report(v, "successful report blames an infrastructure fault");
+  }
   if (!(report_in.cache_hit_fraction >= 0.0 && report_in.cache_hit_fraction <= 1.0)) {
     report(v, "cache_hit_fraction ", report_in.cache_hit_fraction, " outside [0, 1]");
   }
@@ -146,7 +163,9 @@ std::vector<std::string> audit(const ExecutionReport& report_in) {
   // Stage-level sanity (waves are not re-checked here: failure reports may
   // legitimately contain a partially-scheduled final stage).
   Seconds cpu = 0.0, gc = 0.0, disk = 0.0, net = 0.0, spill = 0.0, overhead = 0.0;
+  Seconds recovery = 0.0;
   Bytes input = 0, sread = 0, swrite = 0, spilled = 0;
+  int lost_executors = 0, lost_vms = 0, speculative = 0;
   for (const StageMetrics& m : report_in.stages) {
     for (auto& violation : audit_stage(m, 0)) v.push_back(std::move(violation));
     if (report_in.success &&
@@ -164,6 +183,10 @@ std::vector<std::string> audit(const ExecutionReport& report_in) {
     sread += m.shuffle_read_bytes;
     swrite += m.shuffle_write_bytes;
     spilled += m.spilled_bytes;
+    recovery += m.recovery_seconds;
+    lost_executors += m.lost_executors;
+    lost_vms += m.lost_vms;
+    speculative += m.speculative_tasks;
   }
 
   // Aggregate conservation: report totals must equal the stage roll-up.
@@ -198,6 +221,20 @@ std::vector<std::string> audit(const ExecutionReport& report_in) {
   }
   if (report_in.total_spilled != spilled) {
     report(v, "aggregate spilled bytes ", report_in.total_spilled, " != stage roll-up ", spilled);
+  }
+  if (!close(report_in.total_recovery, recovery)) {
+    report(v, "aggregate recovery ", report_in.total_recovery, " != stage roll-up ", recovery);
+  }
+  if (report_in.total_lost_executors != lost_executors) {
+    report(v, "aggregate lost executors ", report_in.total_lost_executors, " != stage roll-up ",
+           lost_executors);
+  }
+  if (report_in.total_lost_vms != lost_vms) {
+    report(v, "aggregate lost VMs ", report_in.total_lost_vms, " != stage roll-up ", lost_vms);
+  }
+  if (report_in.total_speculative_tasks != speculative) {
+    report(v, "aggregate speculative tasks ", report_in.total_speculative_tasks,
+           " != stage roll-up ", speculative);
   }
   return v;
 }

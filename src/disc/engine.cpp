@@ -79,6 +79,7 @@ std::uint64_t SparkSimulator::context_fingerprint() const {
   std::uint64_t h = cluster_.fingerprint();
   h = simcore::hash_combine(h, options_.cost.fingerprint());
   h = simcore::hash_combine(h, options_.contention.fingerprint());
+  h = simcore::hash_combine(h, options_.faults.fingerprint());
   return h;
 }
 
@@ -150,13 +151,72 @@ ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
   const int reducers = plan.is_sql ? conf.sql_shuffle_partitions : conf.default_parallelism;
   const double seek = flush_seek(cm, cluster_.type().storage);
 
+  // -- injected faults ---------------------------------------------------------------
+  // All fault logic is gated on `chaos`; with an inactive plan the run is
+  // bitwise identical to a faultless build (no extra draws, same fleet).
+  const simcore::FaultPlan& fplan = options_.faults;
+  const bool chaos = fplan.active();
+  const double vm_hazard = cluster_.revocation_hazard();
+  int vms_alive = vms;
+  int executors_alive = dep.executors;
+  int slots_alive = dep.total_slots;
+  const int abort_stage =
+      chaos && fplan.transient_error()
+          ? static_cast<int>(fplan.error_position() * static_cast<double>(plan.stages.size()))
+          : -1;
+
   std::vector<double> stage_finish(plan.stages.size(), 0.0);
   double clock = cm.job_overhead;
 
+  int stage_index = -1;
   for (const auto& s : plan.stages) {
+    ++stage_index;
+    if (stage_index == abort_stage) {
+      // The cluster manager drops the stage submission (network partition,
+      // control-plane hiccup): nothing the configuration did, so the
+      // failure is blamed on the infrastructure.
+      report.failure_reason = "transient infrastructure error during stage submission";
+      report.infra_fault = true;
+      report.runtime = clock + 2.0;
+      report.cost = cluster_.cost_of(report.runtime);
+      return finish(std::move(report));
+    }
+
     StageMetrics m;
     m.stage_id = s.id;
     m.label = s.label;
+
+    simcore::StageFaults sfaults;
+    if (chaos) {
+      sfaults = fplan.stage_faults(s.id, executors_alive, vms_alive, vm_hazard);
+      if (sfaults.lost_vms > 0) {
+        // Spot revocation: permanent for the rest of the run. The fleet
+        // shrinks before this stage schedules; shuffle and cached blocks on
+        // the reclaimed VMs are recovered below with the executor-loss work.
+        m.lost_vms = std::min(sfaults.lost_vms, vms_alive);
+        vms_alive -= m.lost_vms;
+        if (vms_alive == 0) {
+          report.failure_reason = "all spot capacity revoked mid-run";
+          report.infra_fault = true;
+          report.runtime = clock + 30.0;  // drain + surrender
+          report.cost = cluster_.cost_of(report.runtime);
+          report.stages.push_back(m);
+          return finish(std::move(report));
+        }
+        executors_alive = std::max(1, std::min(executors_alive, dep.executors_per_vm * vms_alive));
+        slots_alive = executors_alive * dep.slots_per_executor;
+      }
+      if (sfaults.lost_executors > 0) {
+        // Executor processes crash mid-wave; the driver respawns them after
+        // the stage, so the loss is transient but the in-flight work is not.
+        m.lost_executors = std::min(sfaults.lost_executors, executors_alive);
+      }
+    }
+    // Slots this stage actually schedules on: the surviving fleet minus the
+    // executors that die mid-wave (at least one executor keeps going).
+    const int sched_slots =
+        std::max(dep.slots_per_executor,
+                 slots_alive - m.lost_executors * dep.slots_per_executor);
 
     simcore::Rng srng = rng.fork(static_cast<std::uint64_t>(s.id) + 1);
     const auto cont = contention.next();
@@ -181,7 +241,7 @@ ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
     // Bandwidth shares: tasks running concurrently on one VM divide its
     // disk and NIC.
     const int concurrent_per_vm = std::max(
-        1, std::min(dep.slots_per_vm, static_cast<int>((tasks + vms - 1) / vms)));
+        1, std::min(dep.slots_per_vm, static_cast<int>((tasks + vms_alive - 1) / vms_alive)));
     const double disk_share =
         cluster_.disk_bw_per_vm() * cont.disk_factor / concurrent_per_vm;
     const double net_share = cluster_.net_bw_per_vm() * cont.net_factor / concurrent_per_vm;
@@ -207,7 +267,7 @@ ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
       const double block = conf.broadcast_block_size_mib * kMiBf;
       const double blocks = std::max(1.0, b / block);
       const double vm_net = cluster_.net_bw_per_vm() * cont.net_factor;
-      const double torrent_rounds = 1.0 + std::log2(std::max(2.0, static_cast<double>(vms)));
+      const double torrent_rounds = 1.0 + std::log2(std::max(2.0, static_cast<double>(vms_alive)));
       const double xfer = b / vm_net * torrent_rounds;
       const double control = blocks * cm.broadcast_block_overhead +
                              block / vm_net * cm.broadcast_pipeline_stall;
@@ -375,9 +435,49 @@ ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
       return finish(std::move(report));
     }
 
+    // Injected straggler burst: a deterministic subset of tasks runs slower.
+    // With speculation on, a backup attempt launches once the configured
+    // quantile of the wave has finished, bounding the damage — an earlier
+    // quantile gives a tighter bound (and is what the new knob tunes).
+    if (chaos && sfaults.straggler_factor > 1.0) {
+      simcore::Rng vrng = fplan.stage_stream(s.id, 0x76696374696dULL);  // victims
+      const double cap = conf.speculation_multiplier +
+                         conf.speculation_quantile * (sfaults.straggler_factor - 1.0);
+      for (double& d : durations) {
+        if (!vrng.bernoulli(fplan.profile().straggler_victim_fraction)) continue;
+        if (conf.speculation && cap < sfaults.straggler_factor) {
+          d *= cap;
+          ++m.speculative_tasks;
+        } else {
+          d *= sfaults.straggler_factor;
+        }
+      }
+    }
+
     int waves = 0;
-    double makespan = schedule_tasks(durations, dep.total_slots, &waves);
+    double makespan = schedule_tasks(durations, sched_slots, &waves);
     m.waves = waves;
+
+    // Recover work lost to executor crashes and revoked VMs: lost in-flight
+    // tasks reschedule onto the surviving slots and lost shuffle partitions
+    // recompute through lineage. The recovery is charged as extra makespan
+    // plus a resubmit round-trip, and the cached blocks that died with the
+    // fleet degrade the hit rate of later stages.
+    if (chaos && (m.lost_executors > 0 || m.lost_vms > 0)) {
+      const int lost_units = m.lost_executors + m.lost_vms * dep.executors_per_vm;
+      const double lost_fraction =
+          std::min(1.0, static_cast<double>(lost_units) / static_cast<double>(dep.executors));
+      double task_seconds = 0.0;
+      for (const double t : durations) task_seconds += t;
+      const double redo = task_seconds * lost_fraction * cm.failure_rerun_fraction / sched_slots;
+      makespan += redo + cm.stage_overhead;
+      m.recovery_seconds = redo * sched_slots;
+      m.failed_tasks = std::min(
+          m.tasks, m.failed_tasks +
+                       static_cast<int>(lost_fraction * tasks * cm.failure_rerun_fraction));
+      cache_hit *= 1.0 - lost_fraction;
+      report.cache_hit_fraction = cache_hit;
+    }
 
     // Executor failures mid-stage: lost in-flight work re-runs (lineage
     // makes this transparent but not free), and cached partitions held by
@@ -424,8 +524,19 @@ ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
     m.duration = makespan;
     stage_finish[static_cast<std::size_t>(s.id)] = start + makespan;
     clock = std::max(clock, start + makespan);
-    if (auditing) simcore::enforce_invariants(audit_stage(m, dep.total_slots), "stage metrics");
+    if (auditing) simcore::enforce_invariants(audit_stage(m, sched_slots), "stage metrics");
     report.stages.push_back(m);
+  }
+
+  if (chaos && fplan.timeout()) {
+    // The run hangs near the end (executors stop heartbeating); the driver
+    // burns a multiple of the nominal runtime before giving up. Another
+    // infrastructure fault: the configuration did its work.
+    report.failure_reason = "trial timeout: executors stopped heartbeating";
+    report.infra_fault = true;
+    report.runtime = clock * fplan.profile().timeout_hang_factor;
+    report.cost = cluster_.cost_of(report.runtime);
+    return finish(std::move(report));
   }
 
   report.success = true;

@@ -20,6 +20,7 @@
 #include "disc/cost_model.hpp"
 #include "disc/deployment.hpp"
 #include "disc/metrics.hpp"
+#include "simcore/fault.hpp"
 
 namespace stune::disc {
 
@@ -27,6 +28,12 @@ struct EngineOptions {
   CostModel cost{};
   cluster::ContentionParams contention = cluster::ContentionParams::none();
   std::uint64_t seed = 42;
+  /// Injected fault schedule for this run. Default-constructed plans are
+  /// inactive: the engine takes bitwise-identical paths to a build without
+  /// fault injection. Active plans can lose executors and spot VMs
+  /// mid-wave, slow tasks down, or kill the trial outright — the engine
+  /// recovers from the survivable ones and records the recovery work.
+  simcore::FaultPlan faults{};
 };
 
 class SparkSimulator {

@@ -142,6 +142,16 @@ std::string to_event_log(const ExecutionReport& r) {
     append_kv(out, "spilled", s.spilled_bytes, &first);
     append_kv(out, "cache_hit", s.cache_hit_fraction, &first);
     append_kv(out, "failed_tasks", static_cast<std::uint64_t>(s.failed_tasks), &first);
+    // Fault-recovery fields are elided on fault-free stages to keep the
+    // common-case log compact (the parser treats absence as zero).
+    if (s.lost_executors > 0) {
+      append_kv(out, "lost_executors", static_cast<std::uint64_t>(s.lost_executors), &first);
+    }
+    if (s.lost_vms > 0) append_kv(out, "lost_vms", static_cast<std::uint64_t>(s.lost_vms), &first);
+    if (s.speculative_tasks > 0) {
+      append_kv(out, "speculative_tasks", static_cast<std::uint64_t>(s.speculative_tasks), &first);
+    }
+    if (s.recovery_seconds > 0.0) append_kv(out, "recovery", s.recovery_seconds, &first);
     out << "}\n";
   }
   {
@@ -152,6 +162,7 @@ std::string to_event_log(const ExecutionReport& r) {
     append_kv(out, "runtime", r.runtime, &first);
     append_kv(out, "cost", r.cost, &first);
     if (!r.failure_reason.empty()) append_kv(out, "failure", r.failure_reason, &first);
+    if (r.infra_fault) append_kv(out, "infra_fault", std::uint64_t{1}, &first);
     out << "}\n";
   }
   return out.str();
@@ -193,6 +204,14 @@ ExecutionReport from_event_log(const std::string& log) {
       s.spilled_bytes = line.integer("spilled");
       s.cache_hit_fraction = line.number("cache_hit");
       s.failed_tasks = static_cast<int>(line.integer("failed_tasks"));
+      if (line.has("lost_executors")) {
+        s.lost_executors = static_cast<int>(line.integer("lost_executors"));
+      }
+      if (line.has("lost_vms")) s.lost_vms = static_cast<int>(line.integer("lost_vms"));
+      if (line.has("speculative_tasks")) {
+        s.speculative_tasks = static_cast<int>(line.integer("speculative_tasks"));
+      }
+      if (line.has("recovery")) s.recovery_seconds = line.number("recovery");
       r.stages.push_back(std::move(s));
     } else if (event == "job_end") {
       saw_end = true;
@@ -200,6 +219,7 @@ ExecutionReport from_event_log(const std::string& log) {
       r.runtime = line.number("runtime");
       r.cost = line.number("cost");
       if (line.has("failure")) r.failure_reason = line.string("failure");
+      if (line.has("infra_fault")) r.infra_fault = line.integer("infra_fault") != 0;
     } else {
       throw std::invalid_argument("event log: unknown event '" + event + "'");
     }

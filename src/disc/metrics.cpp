@@ -8,6 +8,8 @@ namespace stune::disc {
 void ExecutionReport::finalize_aggregates() {
   total_cpu = total_gc = total_disk = total_net = total_spill = total_overhead = 0.0;
   total_input = total_shuffle_read = total_shuffle_write = total_spilled = 0;
+  total_lost_executors = total_lost_vms = total_speculative_tasks = 0;
+  total_recovery = 0.0;
   for (const auto& s : stages) {
     total_cpu += s.cpu_seconds;
     total_gc += s.gc_seconds;
@@ -19,6 +21,10 @@ void ExecutionReport::finalize_aggregates() {
     total_shuffle_read += s.shuffle_read_bytes;
     total_shuffle_write += s.shuffle_write_bytes;
     total_spilled += s.spilled_bytes;
+    total_lost_executors += s.lost_executors;
+    total_lost_vms += s.lost_vms;
+    total_speculative_tasks += s.speculative_tasks;
+    total_recovery += s.recovery_seconds;
   }
 }
 

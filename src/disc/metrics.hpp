@@ -40,11 +40,22 @@ struct StageMetrics {
   Bytes spilled_bytes = 0;
   double cache_hit_fraction = 1.0;  // for stages reading cached data
   int failed_tasks = 0;             // OOM attempts (retried)
+
+  // -- injected-fault recovery (zero on fault-free runs) -------------------------
+  int lost_executors = 0;     // executor processes that died this stage
+  int lost_vms = 0;           // spot VMs revoked this stage (permanent)
+  int speculative_tasks = 0;  // straggler victims bounded by speculation
+  Seconds recovery_seconds = 0.0;  // task-seconds re-run to recover lost work
 };
 
 struct ExecutionReport {
   bool success = false;
   std::string failure_reason;
+  /// A failed run's blame: true when the failure was injected by the
+  /// environment (transient error, timeout, revoked capacity) rather than
+  /// caused by the configuration. Tuners must not penalize a configuration
+  /// for an infra fault; the trial pipeline retries these instead.
+  bool infra_fault = false;
 
   Seconds runtime = 0.0;
   Dollars cost = 0.0;
@@ -69,6 +80,10 @@ struct ExecutionReport {
   Bytes total_shuffle_read = 0;
   Bytes total_shuffle_write = 0;
   Bytes total_spilled = 0;
+  int total_lost_executors = 0;
+  int total_lost_vms = 0;
+  int total_speculative_tasks = 0;
+  Seconds total_recovery = 0.0;
 
   /// Sum of per-resource task-seconds (the denominator of the fraction
   /// helpers below).

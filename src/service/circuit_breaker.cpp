@@ -1,0 +1,54 @@
+#include "service/circuit_breaker.hpp"
+
+#include <algorithm>
+
+namespace stune::service {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options) : options_(options) {
+  options_.open_after = std::max(1, options_.open_after);
+  options_.cooldown_runs = std::max(0, options_.cooldown_runs);
+}
+
+void CircuitBreaker::open() {
+  state_ = BreakerState::kOpen;
+  cooldown_waited_ = 0;
+  ++trips_;
+}
+
+bool CircuitBreaker::allow_request() {
+  switch (state_) {
+    case BreakerState::kClosed: return true;
+    case BreakerState::kHalfOpen:
+      // The probe is in flight (the service is single-threaded per tenant);
+      // keep allowing until its outcome is recorded.
+      return true;
+    case BreakerState::kOpen:
+      if (++cooldown_waited_ > options_.cooldown_runs) {
+        state_ = BreakerState::kHalfOpen;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  consecutive_faults_ = 0;
+  state_ = BreakerState::kClosed;
+}
+
+void CircuitBreaker::record_infra_fault() {
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: straight back to open, cooldown restarts.
+    consecutive_faults_ = 0;
+    open();
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // already tripped
+  if (++consecutive_faults_ >= options_.open_after) {
+    consecutive_faults_ = 0;
+    open();
+  }
+}
+
+}  // namespace stune::service

@@ -1,0 +1,61 @@
+// Per-tenant circuit breaker over infrastructure faults.
+//
+// When a tenant's trials keep dying to the environment (revocations,
+// transient errors, timeouts), spending tuning budget is throwing money
+// into the weather: the breaker opens after N consecutive infra faults and
+// the service degrades gracefully (runs the knowledge-base/default
+// configuration, skips tuning) until a half-open probe succeeds.
+//
+// The state machine is the classic one:
+//
+//   closed --(N consecutive infra faults)--> open
+//   open   --(cooldown elapses)-----------> half-open
+//   half-open --(success)--> closed
+//   half-open --(infra fault)--> open (cooldown restarts)
+//
+// Time is counted in allow_request() calls (i.e. run_once invocations),
+// not wall clock — the simulator has no wall clock, and a recurring
+// workload's natural cadence is its runs.
+#pragma once
+
+namespace stune::service {
+
+struct CircuitBreakerOptions {
+  /// Consecutive infra faults that open the breaker.
+  int open_after = 3;
+  /// Denied requests to sit out before a half-open probe is allowed.
+  int cooldown_runs = 2;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  BreakerState state() const { return state_; }
+
+  /// May the protected operation run now? Advances the cooldown clock when
+  /// open; flips to half-open (and allows one probe) once the cooldown has
+  /// elapsed.
+  bool allow_request();
+
+  /// Report the protected operation's outcome back.
+  void record_success();
+  void record_infra_fault();
+
+  int consecutive_infra_faults() const { return consecutive_faults_; }
+  /// Times the breaker has opened (including re-opens from half-open).
+  int trips() const { return trips_; }
+
+ private:
+  void open();
+
+  CircuitBreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_faults_ = 0;
+  int cooldown_waited_ = 0;
+  int trips_ = 0;
+};
+
+}  // namespace stune::service

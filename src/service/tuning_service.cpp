@@ -1,8 +1,10 @@
 #include "service/tuning_service.hpp"
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -15,6 +17,14 @@
 namespace stune::service {
 
 using simcore::MutexLock;
+
+namespace {
+
+// Domain tag separating the fault-injection seed from every other stream
+// derived from ServiceOptions::seed.
+constexpr std::uint64_t kFaultSeedTag = 0xFA171ULL;
+
+}  // namespace
 
 TuningService::TuningService(ServiceOptions options)
     : options_(std::move(options)),
@@ -49,13 +59,48 @@ const TuningService::Entry& TuningService::entry(int handle) const {
 }
 
 disc::ExecutionReport TuningService::execute(const Entry& e, const config::Configuration& conf,
-                                             std::uint64_t seed_salt) const {
+                                             std::uint64_t seed_salt, int attempt) const {
   disc::EngineOptions eopts;
   eopts.cost = options_.cost_model;
   eopts.contention = options_.contention;
   eopts.seed = simcore::hash_combine(options_.seed, seed_salt);
+  if (options_.faults.active()) {
+    // The fault plan is a pure function of (service seed, what runs): the
+    // same trial replayed sees the same weather, a retry (attempt > 0)
+    // re-rolls it, and the plan fingerprints into the engine context so the
+    // shared cache never serves attempt A's outcome for attempt B.
+    const std::uint64_t trial_fp = simcore::hash_combine(
+        simcore::hash_combine(simcore::hash_string(e.workload->name()), conf.fingerprint()),
+        simcore::hash_combine(static_cast<std::uint64_t>(e.input_bytes), seed_salt));
+    const simcore::FaultInjector injector(options_.faults,
+                                          simcore::hash_combine(options_.seed, kFaultSeedTag));
+    eopts.faults = injector.plan(trial_fp, attempt);
+  }
   const disc::SparkSimulator simulator(cluster::Cluster::from_spec(e.cluster), eopts);
   return workload::execute(*e.workload, e.input_bytes, simulator, conf, cache_);
+}
+
+void TuningService::degrade(Entry& e) {
+  ++e.degraded_runs;
+  if (!options_.enable_transfer || kb_.size() == 0 || !e.signature.has_value()) return;
+  // Best similar successful configuration anybody has run — the same donor
+  // pool warm starts draw from, but used directly instead of as a seed.
+  const auto donors = kb_.donors_for();
+  const auto picks = transfer::select_warm_start(*e.signature, donors, options_.transfer);
+  const tuning::Observation* best = nullptr;
+  for (const auto& o : picks) {
+    if (o.failed) continue;
+    if (best == nullptr || o.runtime < best->runtime) best = &o;
+  }
+  if (best != nullptr) e.config = best->config;
+}
+
+CircuitBreaker& TuningService::breaker_for(const std::string& tenant) {
+  auto it = breakers_.find(tenant);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(tenant, CircuitBreaker(options_.breaker)).first;
+  }
+  return it->second;
 }
 
 void TuningService::record_to_kb(const Entry& e, const config::Configuration& conf,
@@ -98,6 +143,7 @@ void TuningService::tune_disc(Entry& e, std::size_t budget) {
 
   tuning::TuneOptions topts;
   topts.budget = budget;
+  topts.retry = options_.retry;
   topts.seed = simcore::hash_combine(
       options_.seed, simcore::hash_combine(simcore::hash_string(e.workload->name()),
                                            ++tune_counter_));
@@ -110,6 +156,11 @@ void TuningService::tune_disc(Entry& e, std::size_t budget) {
   const double incumbent_runtime = probe.success
                                        ? probe.runtime
                                        : std::numeric_limits<double>::infinity();
+  // Scale the failure-penalty floor to this workload: an instantly-crashing
+  // trial must score no better than the incumbent actually runs.
+  if (probe.success) {
+    topts.failure_penalty_floor = std::max(topts.failure_penalty_floor, probe.runtime);
+  }
 
   // Warm start from the knowledge base: pull donors similar to this
   // workload's signature (possibly from other tenants).
@@ -135,9 +186,14 @@ void TuningService::tune_disc(Entry& e, std::size_t budget) {
   // into record_to_kb). Ledger and knowledge-base bookkeeping replay the
   // gathered order right after the session — re-fetching each report is a
   // guaranteed cache hit of the run the objective just produced.
-  tuning::Objective objective = [&](const config::Configuration& c) -> tuning::EvalOutcome {
-    const auto report = execute(e, c, /*seed_salt=*/0);
-    return tuning::EvalOutcome{report.runtime, !report.success};
+  tuning::TrialObjective objective = [&](const config::Configuration& c,
+                                         int attempt) -> tuning::EvalOutcome {
+    const auto report = execute(e, c, /*seed_salt=*/0, attempt);
+    tuning::EvalOutcome out{report.runtime, !report.success};
+    out.fault = report.success ? tuning::FaultClass::kNone
+                : report.infra_fault ? tuning::FaultClass::kInfra
+                                     : tuning::FaultClass::kConfig;
+    return out;
   };
   std::vector<tuning::Observation> committed;
   committed.reserve(budget);
@@ -147,10 +203,28 @@ void TuningService::tune_disc(Entry& e, std::size_t budget) {
 
   const auto tuner = tuning::make_tuner(options_.tuner);
   const auto result = executor_.run(*tuner, space, objective, topts, hook);
+  CircuitBreaker& breaker = breaker_for(e.tenant);
   for (const auto& o : committed) {
-    const auto report = execute(e, o.config, /*seed_salt=*/0);
-    e.ledger.add_tuning_run(report.runtime, report.cost);
-    record_to_kb(e, o.config, report, /*from_tuning=*/true);
+    // Replay every attempt (guaranteed cache hits): retries burned real
+    // cluster time and money even though only the final attempt scored.
+    for (int attempt = 0; attempt < o.attempts; ++attempt) {
+      const auto report = execute(e, o.config, /*seed_salt=*/0, attempt);
+      const double charged = std::min(report.runtime, topts.retry.trial_deadline_s);
+      e.ledger.add_tuning_run(charged, report.cost);
+      // The knowledge base keeps the settled outcome only, and never an
+      // infra fault — a revoked VM says nothing about the configuration,
+      // and a poisoned record would mislead every future warm start.
+      if (attempt + 1 == o.attempts && o.fault != tuning::FaultClass::kInfra) {
+        record_to_kb(e, o.config, report, /*from_tuning=*/true);
+      }
+    }
+    // Health bookkeeping: only the environment moves the breaker. A config
+    // fault means the infrastructure executed the trial faithfully.
+    if (o.fault == tuning::FaultClass::kInfra) {
+      breaker.record_infra_fault();
+    } else {
+      breaker.record_success();
+    }
   }
   if (result.found_feasible && result.best_runtime < incumbent_runtime) {
     e.config = result.best;
@@ -167,7 +241,16 @@ disc::ExecutionReport TuningService::run_once(int handle, simcore::Bytes input_b
   if (input_bytes != 0) e.input_bytes = input_bytes;
 
   if (!e.provisioned) provision(e);
-  if (!e.tuned) tune_disc(e, options_.tuning_budget);
+  if (!e.tuned) {
+    // Tuning spends budget into the environment; an open breaker means the
+    // environment is eating trials, so degrade to a known-good config and
+    // try again next run (the denied request advances the cooldown).
+    if (breaker_for(e.tenant).allow_request()) {
+      tune_disc(e, options_.tuning_budget);
+    } else {
+      degrade(e);
+    }
+  }
 
   const auto report = execute(e, e.config, /*seed_salt=*/1 + e.production_runs);
   ++e.production_runs;
@@ -202,13 +285,26 @@ disc::ExecutionReport TuningService::run_once(int handle, simcore::Bytes input_b
   }
   e.ledger.add_production_run(report.runtime, report.cost, baseline_runtime, baseline_cost);
 
+  // The production run's outcome is health evidence too: an infra fault
+  // pushes the breaker toward open, a clean run heals it.
+  CircuitBreaker& breaker = breaker_for(e.tenant);
+  if (!report.success && report.infra_fault) {
+    breaker.record_infra_fault();
+  } else {
+    breaker.record_success();
+  }
+
   // Drift watch: crashed runs demand re-tuning unconditionally.
   const bool drift = e.controller->observe(report.runtime);
   if (drift || !report.success) {
     if (options_.reprovision_on_drift) {
       provision(e);  // elastic response: rethink the cluster itself
     }
-    tune_disc(e, options_.retuning_budget);
+    if (breaker.allow_request()) {
+      tune_disc(e, options_.retuning_budget);
+    } else {
+      degrade(e);
+    }
   }
   return report;
 }
@@ -230,7 +326,36 @@ WorkloadStatus TuningService::status(int handle) const {
   s.tuning_cost = e.ledger.tuning_cost();
   s.cumulative_savings = e.ledger.cumulative_savings();
   s.break_even_run = e.ledger.break_even_run();
+  s.degraded_runs = e.degraded_runs;
   return s;
+}
+
+ServiceHealth TuningService::health() const {
+  const MutexLock lock(mu_);
+  // Group the per-entry counters by tenant; std::map iteration keeps the
+  // snapshot sorted by tenant name.
+  std::map<std::string, TenantHealth> by_tenant;
+  for (const auto& [handle, e] : entries_) {
+    TenantHealth& t = by_tenant[e.tenant];
+    t.tenant = e.tenant;
+    ++t.workloads;
+    t.degraded_runs += e.degraded_runs;
+  }
+  for (const auto& [tenant, breaker] : breakers_) {
+    TenantHealth& t = by_tenant[tenant];
+    t.tenant = tenant;
+    t.breaker = breaker.state();
+    t.trips = breaker.trips();
+    t.consecutive_infra_faults = breaker.consecutive_infra_faults();
+  }
+  ServiceHealth h;
+  h.tenants = by_tenant.size();
+  for (auto& [tenant, t] : by_tenant) {
+    if (t.breaker == BreakerState::kOpen) ++h.open_breakers;
+    h.total_degraded_runs += t.degraded_runs;
+    h.per_tenant.push_back(std::move(t));
+  }
+  return h;
 }
 
 const KnowledgeBase& TuningService::knowledge_base() const {

@@ -20,13 +20,16 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "simcore/fault.hpp"
 #include "simcore/mutex.hpp"
 #include "simcore/thread_annotations.hpp"
 
 #include "adaptive/retuning_policy.hpp"
 #include "cluster/contention.hpp"
 #include "disc/engine.hpp"
+#include "service/circuit_breaker.hpp"
 #include "service/cloud_tuner.hpp"
 #include "service/cost_ledger.hpp"
 #include "service/knowledge_base.hpp"
@@ -84,6 +87,17 @@ struct ServiceOptions {
   std::uint64_t seed = 42;
   cluster::ContentionParams contention{};
   disc::CostModel cost_model{};
+
+  /// Environmental fault model applied to every execution (tuning trials
+  /// and production runs alike). Inactive by default; see
+  /// simcore::FaultProfile::chaos() for a one-knob chaos level.
+  simcore::FaultProfile faults{};
+  /// Retry/backoff/deadline policy for tuning trials that die to the
+  /// infrastructure.
+  tuning::RetryPolicy retry{};
+  /// Per-tenant circuit breaker over consecutive infra faults; while open,
+  /// tuning is skipped and the tenant runs a known-good configuration.
+  CircuitBreakerOptions breaker{};
 };
 
 /// Public per-workload status snapshot.
@@ -101,6 +115,27 @@ struct WorkloadStatus {
   simcore::Dollars tuning_cost = 0.0;
   simcore::Dollars cumulative_savings = 0.0;
   std::optional<std::size_t> break_even_run;
+  /// Runs that wanted tuning but were degraded because the tenant's
+  /// circuit breaker was open.
+  std::size_t degraded_runs = 0;
+};
+
+/// Per-tenant slice of the service health snapshot.
+struct TenantHealth {
+  std::string tenant;
+  BreakerState breaker = BreakerState::kClosed;
+  int trips = 0;
+  int consecutive_infra_faults = 0;
+  std::size_t degraded_runs = 0;
+  std::size_t workloads = 0;
+};
+
+/// Service-wide health snapshot (the operator's view of the weather).
+struct ServiceHealth {
+  std::size_t tenants = 0;
+  std::size_t open_breakers = 0;
+  std::size_t total_degraded_runs = 0;
+  std::vector<TenantHealth> per_tenant;  // sorted by tenant name
 };
 
 /// Thread-safety: every public entry point locks the service mutex, so
@@ -128,6 +163,9 @@ class TuningService {
   disc::ExecutionReport run_once(int handle, simcore::Bytes input_bytes = 0) STUNE_EXCLUDES(mu_);
 
   WorkloadStatus status(int handle) const STUNE_EXCLUDES(mu_);
+  /// Resilience snapshot: per-tenant breaker states, trips and degraded
+  /// runs. The operator-facing half of the fault tolerance story.
+  ServiceHealth health() const STUNE_EXCLUDES(mu_);
   const KnowledgeBase& knowledge_base() const STUNE_EXCLUDES(mu_);
   const CostLedger& ledger(int handle) const STUNE_EXCLUDES(mu_);
   const SloTracker& slo_tracker(int handle) const STUNE_EXCLUDES(mu_);
@@ -146,6 +184,7 @@ class TuningService {
     bool tuned = false;
     std::size_t tunings = 0;
     std::size_t production_runs = 0;
+    std::size_t degraded_runs = 0;
     double last_runtime = 0.0;
     double best_runtime = 0.0;
     std::optional<transfer::Signature> signature;
@@ -164,13 +203,21 @@ class TuningService {
   void tune_disc(Entry& e, std::size_t budget) STUNE_REQUIRES(mu_);
   /// One raw execution on the entry's cluster. `seed_salt` decorrelates
   /// production runs (contention, stragglers); tuning uses salt 0 so a
-  /// configuration's score is stable within a tuning round.
+  /// configuration's score is stable within a tuning round. `attempt`
+  /// re-rolls the fault plan on retries (the weather changes; the
+  /// configuration does not), and is folded into the engine context so the
+  /// shared cache never aliases attempts.
   ///
   /// Touches no guarded state (options_ is immutable, the cache has its own
   /// sharding) — deliberately, because tuning objectives call it from
   /// executor worker threads while the driver holds mu_.
   disc::ExecutionReport execute(const Entry& e, const config::Configuration& conf,
-                                std::uint64_t seed_salt) const;
+                                std::uint64_t seed_salt, int attempt = 0) const;
+  /// Breaker-open fallback: fall back to the best similar successful
+  /// configuration in the knowledge base (or keep the current one) instead
+  /// of spending tuning budget into a storm.
+  void degrade(Entry& e) STUNE_REQUIRES(mu_);
+  CircuitBreaker& breaker_for(const std::string& tenant) STUNE_REQUIRES(mu_);
   void record_to_kb(const Entry& e, const config::Configuration& conf,
                     const disc::ExecutionReport& report, bool from_tuning) STUNE_REQUIRES(mu_);
 
@@ -186,6 +233,7 @@ class TuningService {
   mutable simcore::Mutex mu_;
   KnowledgeBase kb_ STUNE_GUARDED_BY(mu_);
   std::map<int, Entry> entries_ STUNE_GUARDED_BY(mu_);
+  std::map<std::string, CircuitBreaker> breakers_ STUNE_GUARDED_BY(mu_);
   int next_handle_ STUNE_GUARDED_BY(mu_) = 1;
   std::uint64_t tune_counter_ STUNE_GUARDED_BY(mu_) = 0;  // decorrelates successive tuning seeds
 };

@@ -1,0 +1,96 @@
+#include "simcore/fault.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace stune::simcore {
+
+namespace {
+
+// Domain-separation tags for the plan's substreams. Arbitrary but fixed:
+// changing them changes every injected schedule.
+constexpr std::uint64_t kTrialTag = 0x747269616cULL;     // "trial"
+constexpr std::uint64_t kStageTag = 0x7374616765ULL;     // "stage"
+constexpr std::uint64_t kAttemptTag = 0x617474656dULL;   // "attem"
+
+}  // namespace
+
+bool FaultProfile::active() const {
+  return executor_loss_rate > 0.0 || spot_revocation_rate > 0.0 || straggler_rate > 0.0 ||
+         transient_error_rate > 0.0 || timeout_rate > 0.0;
+}
+
+std::uint64_t FaultProfile::fingerprint() const {
+  std::uint64_t h = hash_double(executor_loss_rate);
+  for (const double v : {spot_revocation_rate, straggler_rate, straggler_slowdown,
+                         straggler_victim_fraction, transient_error_rate, timeout_rate,
+                         timeout_hang_factor}) {
+    h = hash_combine(h, hash_double(v));
+  }
+  return h;
+}
+
+FaultProfile FaultProfile::chaos(double level) {
+  const double l = std::clamp(level, 0.0, 1.0);
+  FaultProfile p;
+  // Trial-fatal events sum to ~level: that is the per-trial infra-fault
+  // probability benches sweep.
+  p.transient_error_rate = 0.75 * l;
+  p.timeout_rate = 0.25 * l;
+  // Survivable events scale along; rates are per-executor/per-VM/per-stage
+  // so they stay far below 1 even at level = 1.
+  p.executor_loss_rate = 0.05 * l;
+  p.spot_revocation_rate = 0.04 * l;
+  p.straggler_rate = std::min(0.9, 1.5 * l);
+  return p;
+}
+
+FaultPlan::FaultPlan(const FaultProfile& profile, std::uint64_t stream)
+    : profile_(profile), stream_(stream), active_(profile.active()) {
+  if (!active_) return;
+  Rng trial(hash_combine(stream_, kTrialTag));
+  transient_error_ = trial.bernoulli(profile_.transient_error_rate);
+  error_position_ = trial.uniform();
+  timeout_ = trial.bernoulli(profile_.timeout_rate);
+}
+
+std::uint64_t FaultPlan::fingerprint() const {
+  if (!active_) return 0;  // every inactive plan is the same plan
+  return hash_combine(profile_.fingerprint(), stream_);
+}
+
+StageFaults FaultPlan::stage_faults(int stage_id, int executors_alive, int vms_alive,
+                                    double vm_hazard_weight) const {
+  StageFaults f;
+  if (!active_) return f;
+  Rng rng = stage_stream(stage_id, kStageTag);
+  for (int i = 0; i < executors_alive; ++i) {
+    if (rng.bernoulli(profile_.executor_loss_rate)) ++f.lost_executors;
+  }
+  const double revoke = std::clamp(profile_.spot_revocation_rate * vm_hazard_weight, 0.0, 1.0);
+  for (int i = 0; i < vms_alive; ++i) {
+    if (rng.bernoulli(revoke)) ++f.lost_vms;
+  }
+  if (rng.bernoulli(profile_.straggler_rate)) {
+    // Bursts vary in severity between half and full configured slowdown.
+    f.straggler_factor =
+        1.0 + (profile_.straggler_slowdown - 1.0) * (0.5 + 0.5 * rng.uniform());
+  }
+  return f;
+}
+
+Rng FaultPlan::stage_stream(int stage_id, std::uint64_t tag) const {
+  return Rng(hash_combine(hash_combine(stream_, static_cast<std::uint64_t>(stage_id) + 1), tag));
+}
+
+FaultInjector::FaultInjector(const FaultProfile& profile, std::uint64_t seed)
+    : profile_(profile), seed_(seed) {}
+
+FaultPlan FaultInjector::plan(std::uint64_t trial_fingerprint, int attempt) const {
+  const std::uint64_t stream = hash_combine(
+      hash_combine(seed_, trial_fingerprint),
+      hash_combine(kAttemptTag, static_cast<std::uint64_t>(attempt)));
+  return FaultPlan(profile_, stream);
+}
+
+}  // namespace stune::simcore

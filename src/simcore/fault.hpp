@@ -1,0 +1,137 @@
+// Deterministic fault injection.
+//
+// Elastic clouds are exactly where tuning trials die: spot capacity gets
+// revoked, executors crash, tasks straggle, and submissions hit transient
+// infrastructure errors. This module schedules those events *by seed*: a
+// FaultInjector is a pure function from (seed, trial fingerprint, attempt)
+// to a FaultPlan, and a FaultPlan is a pure function from (stage, fleet
+// state) to the faults that strike that stage. Nothing here holds mutable
+// state, so the same seed reproduces the same faults bitwise and an
+// evaluation gives identical results whether it runs on 1 worker or N.
+//
+// Retry attempts get fresh draws (the attempt index is folded into the
+// plan's stream), which is what makes retrying an infra fault meaningful:
+// attempt 2 of the same trial sees a different — but still deterministic —
+// fault schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/rng.hpp"
+
+namespace stune::simcore {
+
+/// Taxonomy of injected faults. Executor loss and stragglers are survivable
+/// (the engine recovers and records the cost); spot revocation permanently
+/// shrinks the fleet; transient errors and timeouts kill the whole trial
+/// and are classified as infrastructure faults upstream.
+enum class FaultKind {
+  kExecutorLoss,    // executor process dies mid-stage; respawned after
+  kSpotRevocation,  // spot VM reclaimed; permanent for the rest of the run
+  kStraggler,       // a burst of tasks runs straggler_slowdown times slower
+  kTransientError,  // the trial aborts with a transient submission error
+  kTimeout,         // the trial hangs past any useful deadline
+};
+
+/// Rates of the injected fault mix. All draws are per-plan deterministic;
+/// rates are probabilities per the unit noted on each field.
+struct FaultProfile {
+  /// Probability that any given live executor dies during a stage.
+  double executor_loss_rate = 0.0;
+  /// Baseline probability that a live spot VM is revoked during a stage
+  /// (multiplied by the instance family's hazard weight; zero effect on
+  /// on-demand clusters).
+  double spot_revocation_rate = 0.0;
+  /// Probability that a stage suffers a straggler burst.
+  double straggler_rate = 0.0;
+  /// Slowdown factor applied to afflicted tasks during a burst.
+  double straggler_slowdown = 4.0;
+  /// Fraction of a stage's tasks hit by a burst.
+  double straggler_victim_fraction = 0.2;
+  /// Probability that a whole trial aborts with a transient error.
+  double transient_error_rate = 0.0;
+  /// Probability that a whole trial hangs (classified as a timeout).
+  double timeout_rate = 0.0;
+  /// A hung trial burns this multiple of its nominal progress in time.
+  double timeout_hang_factor = 8.0;
+
+  /// True when any rate is non-zero (i.e. injecting this profile can
+  /// change an execution).
+  bool active() const;
+
+  /// Stable hash over every field; folded into the engine's context
+  /// fingerprint so cached reports never alias across fault profiles.
+  std::uint64_t fingerprint() const;
+
+  static FaultProfile none() { return {}; }
+
+  /// Canonical chaos mix where `level` is approximately the per-trial
+  /// infrastructure-fault probability (0.15 = "15% fault rate"). Survivable
+  /// faults (executor loss, stragglers, revocations) scale along.
+  static FaultProfile chaos(double level);
+};
+
+/// Faults striking one stage, given the fleet state when it starts.
+struct StageFaults {
+  int lost_executors = 0;      // processes that die this stage (respawned)
+  int lost_vms = 0;            // spot VMs revoked this stage (permanent)
+  double straggler_factor = 1.0;  // > 1 when a burst hits this stage
+};
+
+/// The deterministic fault schedule of one trial attempt. Value type;
+/// default-constructed plans are inactive and inject nothing.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(const FaultProfile& profile, std::uint64_t stream);
+
+  bool active() const { return active_; }
+  const FaultProfile& profile() const { return profile_; }
+  std::uint64_t fingerprint() const;
+
+  /// Trial-level events, drawn once at construction.
+  bool transient_error() const { return transient_error_; }
+  /// Where the transient error strikes, as a fraction of stages completed.
+  double error_position() const { return error_position_; }
+  bool timeout() const { return timeout_; }
+
+  /// Stage-level events. Pure in (this, arguments): callers may invoke in
+  /// any order or repeatedly and get the same answer. `vm_hazard_weight`
+  /// is 0 for on-demand clusters, the family's spot hazard otherwise.
+  StageFaults stage_faults(int stage_id, int executors_alive, int vms_alive,
+                           double vm_hazard_weight) const;
+
+  /// Independent per-stage substream for auxiliary draws (e.g. picking
+  /// straggler victims) that must not disturb the engine's own streams.
+  Rng stage_stream(int stage_id, std::uint64_t tag) const;
+
+ private:
+  FaultProfile profile_{};
+  std::uint64_t stream_ = 0;
+  bool active_ = false;
+  bool transient_error_ = false;
+  double error_position_ = 0.0;
+  bool timeout_ = false;
+};
+
+/// Factory of FaultPlans: one per (trial fingerprint, attempt). Stateless
+/// apart from its construction parameters, hence safe to share across
+/// threads and to rebuild anywhere — two injectors with equal (profile,
+/// seed) produce bitwise-equal plans.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultProfile& profile, std::uint64_t seed);
+
+  /// The fault schedule of one trial attempt. Deterministic in
+  /// (this->seed, trial_fingerprint, attempt); attempts re-roll the faults
+  /// so retrying an infra fault can succeed.
+  FaultPlan plan(std::uint64_t trial_fingerprint, int attempt = 0) const;
+
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  FaultProfile profile_;
+  std::uint64_t seed_;
+};
+
+}  // namespace stune::simcore

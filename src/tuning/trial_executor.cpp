@@ -1,7 +1,9 @@
 #include "tuning/trial_executor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <future>
 #include <memory>
@@ -10,8 +12,59 @@
 
 #include "simcore/check.hpp"
 #include "simcore/mutex.hpp"
+#include "simcore/rng.hpp"
 
 namespace stune::tuning {
+
+namespace {
+
+// Domain tag for backoff-jitter streams (distinct from every engine seed).
+constexpr std::uint64_t kBackoffTag = 0x6261636b6f6666ULL;  // "backoff"
+
+}  // namespace
+
+TrialResult evaluate_with_retry(const TrialObjective& objective, const config::Configuration& c,
+                                const TuneOptions& options) {
+  const RetryPolicy& rp = options.retry;
+  TrialResult trial;
+  for (int attempt = 0;; ++attempt) {
+    EvalOutcome out = objective(c, attempt);
+    // Normalize the classification: legacy objectives report failed without
+    // blame, and that blame belongs to the configuration; successes carry
+    // no fault by definition.
+    if (out.failed && out.fault == FaultClass::kNone) out.fault = FaultClass::kConfig;
+    if (!out.failed) out.fault = FaultClass::kNone;
+
+    // Per-trial deadline: the harness kills any attempt running past it and
+    // only charges the deadline's worth of time. A run that would have
+    // *succeeded* past the deadline is useless-by-configuration (config
+    // fault); an infra hang keeps its classification and stays retryable.
+    if (out.runtime > rp.trial_deadline_s) {
+      trial.deadline_hit = true;
+      out.runtime = rp.trial_deadline_s;
+      if (out.fault != FaultClass::kInfra) {
+        out.failed = true;
+        out.fault = FaultClass::kConfig;
+      }
+    }
+
+    trial.outcome = out;
+    trial.attempts = attempt + 1;
+    if (!out.failed || out.fault != FaultClass::kInfra) return trial;
+    if (attempt + 1 >= std::max(1, rp.max_attempts)) return trial;
+
+    // Capped exponential backoff with deterministic jitter, in simulated
+    // time. The jitter stream depends only on (seed, config, attempt), so
+    // the same trial backs off identically at any jobs count.
+    double backoff = std::min(
+        rp.max_backoff_s, rp.base_backoff_s * std::pow(rp.backoff_multiplier, attempt));
+    simcore::Rng jitter(simcore::hash_combine(
+        simcore::hash_combine(options.seed, c.fingerprint()),
+        simcore::hash_combine(kBackoffTag, static_cast<std::uint64_t>(attempt))));
+    backoff *= 1.0 + rp.jitter_fraction * (2.0 * jitter.uniform() - 1.0);
+    trial.backoff_seconds += std::max(0.0, backoff);
+  }
+}
 
 SessionLedger::SessionLedger(TuneOptions options) : options_(std::move(options)) {
   history_.reserve(options_.budget);
@@ -19,20 +72,52 @@ SessionLedger::SessionLedger(TuneOptions options) : options_(std::move(options))
 
 double SessionLedger::penalize(double runtime, bool failed) const {
   if (!failed) return runtime;
-  const double base = worst_success_ > 0.0 ? worst_success_ : runtime;
+  const double base =
+      worst_success_ > 0.0 ? worst_success_ : options_.failure_penalty_floor;
   return std::max(base, runtime) * options_.failure_penalty_factor;
 }
 
+double SessionLedger::neutral_objective() const {
+  return success_count_ > 0 ? success_sum_ / static_cast<double>(success_count_)
+                            : options_.failure_penalty_floor;
+}
+
 const Observation& SessionLedger::commit(const config::Configuration& c,
-                                         const EvalOutcome& outcome) {
+                                         const TrialResult& trial) {
   STUNE_CHECK(!exhausted()) << "SessionLedger: budget exhausted";
   ++used_;
+  const EvalOutcome& outcome = trial.outcome;
   Observation o;
   o.config = c;
   o.runtime = outcome.runtime;
   o.failed = outcome.failed;
-  if (!outcome.failed && outcome.runtime > worst_success_) worst_success_ = outcome.runtime;
-  o.objective = penalize(outcome.runtime, outcome.failed);
+  o.fault = outcome.failed ? outcome.fault : FaultClass::kNone;
+  o.attempts = trial.attempts;
+  o.backoff_seconds = trial.backoff_seconds;
+  if (!outcome.failed) {
+    if (outcome.runtime > worst_success_) worst_success_ = outcome.runtime;
+    success_sum_ += outcome.runtime;
+    ++success_count_;
+  }
+  // Scoring: successes score their runtime; config faults are penalized;
+  // infra faults get a neutral score — the weather is not the
+  // configuration's fault, and a penalty would teach the tuner to avoid
+  // whatever it happened to be trying when the cloud hiccuped.
+  if (o.fault == FaultClass::kInfra) {
+    o.objective = neutral_objective();
+  } else {
+    o.objective = penalize(outcome.runtime, outcome.failed);
+  }
+  resilience_.retries += static_cast<std::size_t>(std::max(0, trial.attempts - 1));
+  resilience_.backoff_seconds += trial.backoff_seconds;
+  if (trial.deadline_hit) ++resilience_.deadline_hits;
+  if (o.failed) {
+    if (o.fault == FaultClass::kInfra) {
+      ++resilience_.infra_faults;
+    } else {
+      ++resilience_.config_faults;
+    }
+  }
   history_.push_back(std::move(o));
   const auto& rec = history_.back();
   if (!rec.failed &&
@@ -42,9 +127,20 @@ const Observation& SessionLedger::commit(const config::Configuration& c,
   return rec;
 }
 
+const Observation& SessionLedger::commit(const config::Configuration& c,
+                                         const EvalOutcome& outcome) {
+  TrialResult trial;
+  trial.outcome = outcome;
+  if (trial.outcome.failed && trial.outcome.fault == FaultClass::kNone) {
+    trial.outcome.fault = FaultClass::kConfig;
+  }
+  return commit(c, trial);
+}
+
 TuneResult SessionLedger::result() const {
   TuneResult r;
   r.history = history_;
+  r.resilience = resilience_;
   if (best_index_ != static_cast<std::size_t>(-1)) {
     r.best = history_[best_index_].config;
     r.best_runtime = history_[best_index_].runtime;
@@ -65,7 +161,7 @@ TrialExecutor::TrialExecutor(ExecutorOptions options)
     : jobs_(options.jobs == 0 ? simcore::ThreadPool::hardware_threads() : options.jobs) {}
 
 TuneResult TrialExecutor::run(Tuner& tuner, std::shared_ptr<const config::ConfigSpace> space,
-                              const Objective& objective, const TuneOptions& options,
+                              const TrialObjective& objective, const TuneOptions& options,
                               const CommitHook& on_commit) {
   const simcore::MutexLock session_lock(mu_);
   SessionLedger ledger(options);
@@ -77,19 +173,22 @@ TuneResult TrialExecutor::run(Tuner& tuner, std::shared_ptr<const config::Config
     STUNE_CHECK(!batch.empty()) << tuner.name() << ": suggest() returned no configurations";
     STUNE_CHECK_LE(batch.size(), ledger.remaining());
 
-    std::vector<EvalOutcome> outcomes(batch.size());
+    std::vector<TrialResult> trials(batch.size());
     if (jobs_ <= 1 || batch.size() == 1) {
-      for (std::size_t i = 0; i < batch.size(); ++i) outcomes[i] = objective(batch[i]);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        trials[i] = evaluate_with_retry(objective, batch[i], options);
+      }
     } else {
       if (pool_ == nullptr) pool_ = std::make_unique<simcore::ThreadPool>(jobs_);
       std::vector<std::future<void>> futures;
       futures.reserve(batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        futures.push_back(
-            pool_->submit([&objective, &batch, &outcomes, i] { outcomes[i] = objective(batch[i]); }));
+        futures.push_back(pool_->submit([&objective, &batch, &trials, &options, i] {
+          trials[i] = evaluate_with_retry(objective, batch[i], options);
+        }));
       }
       // Join every future before rethrowing so no task still references the
-      // batch/outcome vectors when an exception unwinds this frame.
+      // batch/trial vectors when an exception unwinds this frame.
       std::exception_ptr first_error;
       for (auto& f : futures) {
         try {
@@ -106,13 +205,21 @@ TuneResult TrialExecutor::run(Tuner& tuner, std::shared_ptr<const config::Config
     batch_observations.clear();
     batch_observations.reserve(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      const Observation& o = ledger.commit(batch[i], outcomes[i]);
+      const Observation& o = ledger.commit(batch[i], trials[i]);
       if (on_commit) on_commit(o);
       batch_observations.push_back(o);
     }
     tuner.observe(batch_observations);
   }
   return ledger.result();
+}
+
+TuneResult TrialExecutor::run(Tuner& tuner, std::shared_ptr<const config::ConfigSpace> space,
+                              const Objective& objective, const TuneOptions& options,
+                              const CommitHook& on_commit) {
+  const TrialObjective adapted = [&objective](const config::Configuration& c,
+                                              int /*attempt*/) { return objective(c); };
+  return run(tuner, std::move(space), adapted, options, on_commit);
 }
 
 }  // namespace stune::tuning

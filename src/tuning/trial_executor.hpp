@@ -2,12 +2,22 @@
 // Tuner session, runs each suggested batch — on a simcore::ThreadPool when
 // jobs > 1 — and commits observations back in suggestion order.
 //
+// Resilience: each trial is evaluated through a retry loop that classifies
+// failures (ConfigFault vs InfraFault), retries infra faults with capped
+// exponential backoff plus deterministic jitter (in simulated time), and
+// enforces a per-trial deadline. Only config faults are charged a penalty;
+// an infra fault that exhausts its retries consumes a budget slot but gets
+// a neutral objective, so the tuner neither rewards nor blames the
+// configuration for the weather.
+//
 // Determinism argument: the engine is a pure function of (cluster, plan,
-// config, seed), so a trial's outcome does not depend on when or where it
-// runs. The only scheduling-sensitive state is the session bookkeeping
-// (budget, failure penalties, best-so-far), and that is updated serially,
-// in suggestion order, after the whole batch has finished. Hence jobs=1 and
-// jobs=N produce bitwise-identical histories and results.
+// config, seed), and the retry loop is a pure function of (objective,
+// config, options) — backoff jitter derives from (seed, config, attempt),
+// never from wall clocks. The only scheduling-sensitive state is the
+// session bookkeeping (budget, failure penalties, best-so-far), and that is
+// updated serially, in suggestion order, after the whole batch has
+// finished. Hence jobs=1 and jobs=N produce bitwise-identical histories and
+// results, faults or no faults.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +32,20 @@
 
 namespace stune::tuning {
 
+/// Outcome of one trial after the retry loop settled it.
+struct TrialResult {
+  EvalOutcome outcome;         // final attempt (classification normalized)
+  int attempts = 1;            // evaluations consumed, including retries
+  double backoff_seconds = 0.0;  // simulated wait between attempts
+  bool deadline_hit = false;   // some attempt ran past the trial deadline
+};
+
+/// Run one trial to completion under the session's retry policy. Pure in
+/// its arguments (thread-safe when the objective is), which is what lets
+/// worker threads evaluate trials concurrently without ordering effects.
+TrialResult evaluate_with_retry(const TrialObjective& objective, const config::Configuration& c,
+                                const TuneOptions& options);
+
 /// Per-session bookkeeping: budget, failure penalization and best-so-far.
 /// Owns its options by value — the EvalTracker it replaces held
 /// `const Objective&`/`const TuneOptions&` members that dangled whenever
@@ -34,13 +58,21 @@ class SessionLedger {
   std::size_t remaining() const { return options_.budget - used_; }
   std::size_t used() const { return used_; }
 
-  /// Score an outcome the way commit() will, given the penalties seen so
-  /// far. Path dependent: a failure is scored off the worst *successful*
-  /// runtime observed before it.
+  /// Score a config-fault outcome the way commit() will, given the
+  /// penalties seen so far. Path dependent: a failure is scored off the
+  /// worst *successful* runtime observed before it, floored by
+  /// options.failure_penalty_floor so a trial that crashes instantly
+  /// before any success cannot score near zero.
   double penalize(double runtime, bool failed) const;
+
+  /// Objective granted to a trial the infrastructure killed: the mean
+  /// successful runtime so far (the floor before any success). Neutral by
+  /// construction — neither a penalty nor a reward.
+  double neutral_objective() const;
 
   /// Record one evaluated trial (consumes budget; must be called in
   /// suggestion order). Returns the stored observation.
+  const Observation& commit(const config::Configuration& c, const TrialResult& trial);
   const Observation& commit(const config::Configuration& c, const EvalOutcome& outcome);
 
   /// Result assembled from everything committed so far.
@@ -48,13 +80,17 @@ class SessionLedger {
 
   const std::vector<Observation>& history() const { return history_; }
   const TuneOptions& options() const { return options_; }
+  const ResilienceStats& resilience() const { return resilience_; }
 
  private:
   TuneOptions options_;  // owned by value, not a reference
   std::vector<Observation> history_;
+  ResilienceStats resilience_;
   std::size_t used_ = 0;
   std::size_t best_index_ = static_cast<std::size_t>(-1);
   double worst_success_ = 0.0;
+  double success_sum_ = 0.0;
+  std::size_t success_count_ = 0;
 };
 
 struct ExecutorOptions {
@@ -79,6 +115,12 @@ class TrialExecutor {
   /// tenants) serializes whole sessions under mu_, so two callers can never
   /// interleave suggest/observe on the worker pool or race its lazy
   /// construction.
+  TuneResult run(Tuner& tuner, std::shared_ptr<const config::ConfigSpace> space,
+                 const TrialObjective& objective, const TuneOptions& options,
+                 const CommitHook& on_commit = {}) STUNE_EXCLUDES(mu_);
+
+  /// Attempt-blind convenience overload for objectives that predate fault
+  /// injection (every attempt would see the same outcome anyway).
   TuneResult run(Tuner& tuner, std::shared_ptr<const config::ConfigSpace> space,
                  const Objective& objective, const TuneOptions& options,
                  const CommitHook& on_commit = {}) STUNE_EXCLUDES(mu_);

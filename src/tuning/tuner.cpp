@@ -1,5 +1,6 @@
 #include "tuning/tuner.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -29,7 +30,8 @@ TuneResult Tuner::tune(std::shared_ptr<const config::ConfigSpace> space,
 }
 
 double cold_penalty(const TuneOptions& options, double runtime, bool failed) {
-  return failed ? runtime * options.failure_penalty_factor : runtime;
+  if (!failed) return runtime;
+  return std::max(options.failure_penalty_floor, runtime) * options.failure_penalty_factor;
 }
 
 const Observation* best_warm_start(const TuneOptions& options) {

@@ -30,18 +30,51 @@
 
 namespace stune::tuning {
 
+/// Blame assignment for a failed evaluation. A ConfigFault is the
+/// configuration's doing (OOM, infeasible deployment, past-deadline run)
+/// and must be penalized so the tuner learns to avoid it. An InfraFault
+/// (spot revocation, transient error, timeout) says nothing about the
+/// configuration: the executor retries it and never charges a penalty.
+enum class FaultClass { kNone, kConfig, kInfra };
+
 struct EvalOutcome {
   double runtime = 0.0;  // seconds (time burned, even when failed)
   bool failed = false;
+  /// Classification of a failure. kNone on a failed outcome is normalized
+  /// to kConfig by the executor (legacy objectives predate the taxonomy).
+  FaultClass fault = FaultClass::kNone;
 };
 
 using Objective = std::function<EvalOutcome(const config::Configuration&)>;
+/// Objective that sees the retry attempt index (0 = first try), so fault
+/// injection can re-roll its draws per attempt.
+using TrialObjective = std::function<EvalOutcome(const config::Configuration&, int attempt)>;
 
 struct Observation {
   config::Configuration config;
-  double runtime = 0.0;    // raw outcome
+  double runtime = 0.0;    // raw outcome (final attempt)
   bool failed = false;
   double objective = 0.0;  // penalized score tuners rank/fit on
+  FaultClass fault = FaultClass::kNone;  // blame for a failed outcome
+  int attempts = 1;                      // evaluations consumed incl. retries
+  double backoff_seconds = 0.0;          // simulated wait between attempts
+};
+
+/// Retry discipline for infrastructure faults: capped exponential backoff
+/// with deterministic jitter, all in simulated time (nothing sleeps).
+struct RetryPolicy {
+  /// Total attempts per trial (1 = never retry).
+  int max_attempts = 3;
+  double base_backoff_s = 5.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 120.0;
+  /// Jitter as a fraction of the backoff (+/-), derived deterministically
+  /// from (seed, config, attempt) so jobs=N replays jobs=1.
+  double jitter_fraction = 0.25;
+  /// Kill any attempt running past this; a successful-but-late run counts
+  /// as a config fault (the configuration is too slow to be useful), an
+  /// infra hang keeps its infra classification and is retried.
+  double trial_deadline_s = std::numeric_limits<double>::infinity();
 };
 
 struct TuneOptions {
@@ -53,6 +86,23 @@ struct TuneOptions {
   std::vector<Observation> warm_start;
   /// Failed runs are scored as factor * (worst successful runtime so far).
   double failure_penalty_factor = 3.0;
+  /// Penalty base before any success exists. Without a floor an instantly
+  /// crashing trial (runtime ~ 0) would score near zero and could be
+  /// crowned by the all-failures fallback; the floor pins early failures
+  /// to at least the scale of a plausible real runtime.
+  double failure_penalty_floor = 600.0;
+  RetryPolicy retry{};
+};
+
+/// Fault accounting of one tuning session.
+struct ResilienceStats {
+  std::size_t config_faults = 0;  // trials charged to the configuration
+  std::size_t infra_faults = 0;   // trials lost to infrastructure (retries exhausted)
+  std::size_t retries = 0;        // extra attempts consumed by infra faults
+  std::size_t deadline_hits = 0;  // attempts killed by the trial deadline
+  double backoff_seconds = 0.0;   // total simulated backoff wait
+
+  bool operator==(const ResilienceStats&) const = default;
 };
 
 struct TuneResult {
@@ -60,6 +110,7 @@ struct TuneResult {
   double best_runtime = std::numeric_limits<double>::infinity();
   bool found_feasible = false;
   std::vector<Observation> history;  // evaluation order
+  ResilienceStats resilience;
 
   /// Best successful runtime after each evaluation (infinity until the
   /// first success) — the convergence curve benchmarks plot.

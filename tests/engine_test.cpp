@@ -139,6 +139,38 @@ TEST(Engine, ExtremeMemoryStarvationOoms) {
   EXPECT_GT(r.cost, 0.0);
 }
 
+TEST(Engine, OomRetriesBurnMonotonicTimeAndFailDeterministically) {
+  // Adversarial retry coverage: when every task attempt OOMs, raising
+  // spark.task.maxFailures only burns more time — success never comes, the
+  // burned runtime is monotone in the attempt budget, and the failure path
+  // is exactly as deterministic as the success path.
+  auto fatal = config::spark_space()->default_config();
+  fatal.set(k::kExecutorInstances, 8);
+  fatal.set(k::kExecutorCores, 8);
+  fatal.set(k::kExecutorMemoryGiB, 1.0);
+  fatal.set(k::kMemoryFraction, 0.3);
+  fatal.set(k::kDefaultParallelism, 8);
+  double burned_so_far = 0.0;
+  for (const int max_failures : {1, 2, 4, 8}) {
+    fatal.set(k::kTaskMaxFailures, max_failures);
+    const auto first = run("sort", gib(64), fatal);
+    const auto second = run("sort", gib(64), fatal);
+    ASSERT_FALSE(first.success) << "retries-all-fail must stay failed";
+    EXPECT_NE(first.failure_reason.find("OOM"), std::string::npos);
+    // Run-twice determinism on the failure path.
+    EXPECT_DOUBLE_EQ(first.runtime, second.runtime);
+    EXPECT_EQ(first.failure_reason, second.failure_reason);
+    ASSERT_EQ(first.stages.size(), second.stages.size());
+    for (std::size_t i = 0; i < first.stages.size(); ++i) {
+      EXPECT_DOUBLE_EQ(first.stages[i].duration, second.stages[i].duration);
+      EXPECT_EQ(first.stages[i].failed_tasks, second.stages[i].failed_tasks);
+    }
+    // More permitted attempts strictly burn more time (and money).
+    EXPECT_GT(first.runtime, burned_so_far);
+    burned_so_far = first.runtime;
+  }
+}
+
 TEST(Engine, InfeasibleDeploymentFailsFast) {
   auto bad = tuned_config();
   bad.set(k::kExecutorMemoryGiB, 48.0);

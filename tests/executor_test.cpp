@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "simcore/rng.hpp"
 #include "simcore/thread_pool.hpp"
 #include "tuning/trial_executor.hpp"
 #include "tuning/tuner.hpp"
@@ -86,6 +87,72 @@ TEST_P(ExecutorDeterminism, JobsCountNeverChangesResults) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTuners, ExecutorDeterminism, ::testing::ValuesIn(tuner_names()),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           return param_info.param;
+                         });
+
+/// The bowl with deterministic weather: a slice of configurations infra-
+/// faults on early attempts (clearing after a retry), another slice
+/// config-faults outright. Pure in (config, attempt), so every jobs count
+/// sees the same storms.
+TrialObjective chaotic_bowl() {
+  const Objective base = bowl(false);
+  return [base](const config::Configuration& c, int attempt) -> EvalOutcome {
+    EvalOutcome out = base(c);
+    const std::uint64_t roll = simcore::hash_combine(c.fingerprint(), 0xBADC10ULL);
+    if (roll % 5 == 0 && attempt < static_cast<int>(roll % 3)) {
+      out.failed = true;
+      out.fault = FaultClass::kInfra;
+    } else if (roll % 11 == 0) {
+      out.failed = true;  // config fault (left unclassified on purpose)
+    }
+    return out;
+  };
+}
+
+class ExecutorChaosDeterminism : public ::testing::TestWithParam<std::string> {};
+
+// Under fault injection plus retry/backoff, the worker count must STILL be
+// invisible: histories (including fault classes, attempt counts and backoff
+// charges) and the aggregate resilience stats match bitwise.
+TEST_P(ExecutorChaosDeterminism, JobsCountNeverChangesResultsUnderChaos) {
+  auto run_chaotic = [&](std::size_t jobs) {
+    TuneOptions opts;
+    opts.budget = 40;
+    opts.seed = 7;
+    opts.retry.max_attempts = 3;
+    TrialExecutor executor(ExecutorOptions{.jobs = jobs});
+    const auto tuner = make_tuner(GetParam());
+    return executor.run(*tuner, synthetic_space(), chaotic_bowl(), opts);
+  };
+  const TuneResult serial = run_chaotic(1);
+  const TuneResult parallel = run_chaotic(8);
+
+  ASSERT_EQ(serial.history.size(), parallel.history.size());
+  bool saw_infra = false, saw_retry = false;
+  for (std::size_t i = 0; i < serial.history.size(); ++i) {
+    const Observation& s = serial.history[i];
+    const Observation& p = parallel.history[i];
+    EXPECT_EQ(s.config.values(), p.config.values()) << "trial " << i;
+    EXPECT_EQ(s.runtime, p.runtime) << "trial " << i;
+    EXPECT_EQ(s.failed, p.failed) << "trial " << i;
+    EXPECT_EQ(s.fault, p.fault) << "trial " << i;
+    EXPECT_EQ(s.attempts, p.attempts) << "trial " << i;
+    EXPECT_EQ(s.backoff_seconds, p.backoff_seconds) << "trial " << i;
+    EXPECT_EQ(s.objective, p.objective) << "trial " << i;
+    saw_infra = saw_infra || s.fault == FaultClass::kInfra;
+    saw_retry = saw_retry || s.attempts > 1;
+  }
+  EXPECT_TRUE(serial.resilience == parallel.resilience);
+  EXPECT_EQ(serial.best.values(), parallel.best.values());
+  EXPECT_EQ(serial.best_runtime, parallel.best_runtime);
+  EXPECT_EQ(serial.found_feasible, parallel.found_feasible);
+  // The fixture must actually exercise the machinery it claims to cover.
+  EXPECT_TRUE(saw_retry) << "chaotic_bowl produced no retries at budget 40";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTuners, ExecutorChaosDeterminism,
+                         ::testing::ValuesIn(tuner_names()),
                          [](const ::testing::TestParamInfo<std::string>& param_info) {
                            return param_info.param;
                          });

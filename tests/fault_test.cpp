@@ -1,0 +1,565 @@
+// End-to-end coverage of the fault-injection and resilience stack:
+//   - simcore::FaultInjector / FaultPlan determinism and purity,
+//   - every FaultKind driven through the engine (recovery, metrics,
+//     eventlog round trip),
+//   - the trial retry pipeline (classification, backoff, deadlines,
+//     neutral scoring of infra faults, the penalty floor),
+//   - the per-tenant circuit breaker state machine,
+//   - TuningService under chaos: graceful degradation and health().
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "config/spark_space.hpp"
+#include "disc/engine.hpp"
+#include "disc/eventlog.hpp"
+#include "service/circuit_breaker.hpp"
+#include "service/tuning_service.hpp"
+#include "simcore/fault.hpp"
+#include "tuning/trial_executor.hpp"
+#include "tuning/tuner.hpp"
+#include "workload/execute.hpp"
+#include "workload/workload.hpp"
+
+namespace stune {
+namespace {
+
+namespace k = config::spark;
+using simcore::FaultPlan;
+using simcore::FaultProfile;
+using simcore::gib;
+
+config::Configuration tuned_config() {
+  auto c = config::spark_space()->default_config();
+  c.set(k::kExecutorInstances, 16);
+  c.set(k::kExecutorCores, 4);
+  c.set(k::kExecutorMemoryGiB, 13.0);
+  c.set(k::kDefaultParallelism, 256);
+  c.set(k::kSerializer, 1.0);  // kryo
+  c.set(k::kDriverMemoryGiB, 4.0);
+  return c;
+}
+
+disc::ExecutionReport run_with_plan(const FaultPlan& plan,
+                                    const cluster::ClusterSpec& spec = {"h1.4xlarge", 4},
+                                    const config::Configuration& conf = tuned_config(),
+                                    const std::string& workload = "sort") {
+  disc::EngineOptions opts;
+  opts.faults = plan;
+  const disc::SparkSimulator sim(cluster::Cluster::from_spec(spec), opts);
+  return workload::execute(*workload::make_workload(workload), gib(16), sim, conf);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector / FaultPlan
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, SameSeedReproducesFaultsBitwise) {
+  const FaultProfile profile = FaultProfile::chaos(0.4);
+  const simcore::FaultInjector a(profile, 99);
+  const simcore::FaultInjector b(profile, 99);
+  for (const std::uint64_t trial : {1ULL, 77ULL, 123456789ULL}) {
+    for (const int attempt : {0, 1, 2}) {
+      const FaultPlan pa = a.plan(trial, attempt);
+      const FaultPlan pb = b.plan(trial, attempt);
+      EXPECT_EQ(pa.transient_error(), pb.transient_error());
+      EXPECT_DOUBLE_EQ(pa.error_position(), pb.error_position());
+      EXPECT_EQ(pa.timeout(), pb.timeout());
+      EXPECT_EQ(pa.fingerprint(), pb.fingerprint());
+      for (int stage = 0; stage < 20; ++stage) {
+        const auto fa = pa.stage_faults(stage, 16, 4, 1.0);
+        const auto fb = pb.stage_faults(stage, 16, 4, 1.0);
+        EXPECT_EQ(fa.lost_executors, fb.lost_executors);
+        EXPECT_EQ(fa.lost_vms, fb.lost_vms);
+        EXPECT_DOUBLE_EQ(fa.straggler_factor, fb.straggler_factor);
+      }
+    }
+  }
+}
+
+TEST(FaultPlan, StageFaultsArePureAndOrderIndependent) {
+  const FaultPlan plan(FaultProfile::chaos(0.6), 1234);
+  const auto forward = plan.stage_faults(3, 16, 4, 1.0);
+  // Query other stages in between; stage 3 must not care.
+  plan.stage_faults(9, 16, 4, 1.0);
+  plan.stage_faults(0, 16, 4, 1.0);
+  const auto again = plan.stage_faults(3, 16, 4, 1.0);
+  EXPECT_EQ(forward.lost_executors, again.lost_executors);
+  EXPECT_EQ(forward.lost_vms, again.lost_vms);
+  EXPECT_DOUBLE_EQ(forward.straggler_factor, again.straggler_factor);
+}
+
+TEST(FaultPlan, AttemptsRerollTheSchedule) {
+  // Retrying an infra fault only helps if attempt 2 sees different weather.
+  FaultProfile profile;
+  profile.transient_error_rate = 0.5;
+  const simcore::FaultInjector injector(profile, 7);
+  bool any_differs = false;
+  for (std::uint64_t trial = 0; trial < 32 && !any_differs; ++trial) {
+    any_differs = injector.plan(trial, 0).transient_error() !=
+                  injector.plan(trial, 1).transient_error();
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(FaultPlan, InactivePlanInjectsNothingAndFingerprintsToZero) {
+  const FaultPlan inactive;
+  EXPECT_FALSE(inactive.active());
+  EXPECT_EQ(inactive.fingerprint(), 0u);
+  EXPECT_FALSE(inactive.transient_error());
+  EXPECT_FALSE(inactive.timeout());
+  const auto f = inactive.stage_faults(0, 16, 4, 1.0);
+  EXPECT_EQ(f.lost_executors, 0);
+  EXPECT_EQ(f.lost_vms, 0);
+  EXPECT_DOUBLE_EQ(f.straggler_factor, 1.0);
+  EXPECT_FALSE(FaultProfile::none().active());
+  EXPECT_TRUE(FaultProfile::chaos(0.1).active());
+}
+
+TEST(FaultProfile, FingerprintSeparatesProfilesAndLevels) {
+  EXPECT_NE(FaultProfile::chaos(0.1).fingerprint(), FaultProfile::chaos(0.2).fingerprint());
+  FaultProfile a = FaultProfile::chaos(0.3);
+  FaultProfile b = a;
+  b.straggler_slowdown *= 2.0;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Engine under each fault kind
+// ---------------------------------------------------------------------------
+
+TEST(EngineFaults, TransientErrorAbortsTheTrialAsInfraFault) {
+  FaultProfile profile;
+  profile.transient_error_rate = 1.0;
+  const auto r = run_with_plan(FaultPlan(profile, 5));
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.infra_fault);
+  EXPECT_NE(r.failure_reason.find("transient"), std::string::npos);
+  EXPECT_GT(r.runtime, 0.0);  // aborted runs still burn time
+}
+
+TEST(EngineFaults, TimeoutHangsFarPastTheNominalRuntime) {
+  FaultProfile profile;
+  profile.timeout_rate = 1.0;
+  profile.timeout_hang_factor = 8.0;
+  const auto hung = run_with_plan(FaultPlan(profile, 5));
+  const auto clean = run_with_plan(FaultPlan());
+  ASSERT_TRUE(clean.success);
+  EXPECT_FALSE(hung.success);
+  EXPECT_TRUE(hung.infra_fault);
+  EXPECT_NE(hung.failure_reason.find("timeout"), std::string::npos);
+  EXPECT_GT(hung.runtime, 4.0 * clean.runtime);
+}
+
+TEST(EngineFaults, ExecutorLossIsSurvivedAndRecoveryIsRecorded) {
+  FaultProfile profile;
+  profile.executor_loss_rate = 0.4;
+  const auto r = run_with_plan(FaultPlan(profile, 11));
+  const auto clean = run_with_plan(FaultPlan());
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_GT(r.total_lost_executors, 0);
+  EXPECT_GT(r.total_recovery, 0.0);
+  EXPECT_GT(r.runtime, clean.runtime);  // recovery is not free
+  // Recovery only appears on stages that actually lost executors.
+  for (const auto& s : r.stages) {
+    if (s.recovery_seconds > 0.0) {
+      EXPECT_TRUE(s.lost_executors > 0 || s.lost_vms > 0);
+    }
+  }
+}
+
+TEST(EngineFaults, SpotRevocationKillsTheFleetButSparesOnDemand) {
+  FaultProfile profile;
+  profile.spot_revocation_rate = 1.0;
+  // Every VM of a spot fleet is revoked in stage one: an infra fault.
+  const auto spot = run_with_plan(FaultPlan(profile, 3), {"m5.2xlarge", 4, true});
+  EXPECT_FALSE(spot.success);
+  EXPECT_TRUE(spot.infra_fault);
+  EXPECT_NE(spot.failure_reason.find("revoked"), std::string::npos);
+  EXPECT_GT(spot.total_lost_vms, 0);
+  // The same profile cannot touch an on-demand fleet (hazard weight 0), so
+  // the run is bitwise identical to a fault-free one.
+  const auto on_demand = run_with_plan(FaultPlan(profile, 3), {"m5.2xlarge", 4});
+  const auto clean = run_with_plan(FaultPlan(), {"m5.2xlarge", 4});
+  ASSERT_TRUE(on_demand.success);
+  EXPECT_DOUBLE_EQ(on_demand.runtime, clean.runtime);
+  EXPECT_EQ(on_demand.total_lost_vms, 0);
+}
+
+TEST(EngineFaults, PartialRevocationShrinksTheFleetAndRunsOn) {
+  // A milder hazard: some VMs go, the run reschedules onto survivors.
+  FaultProfile profile;
+  profile.spot_revocation_rate = 0.12;
+  bool survived_a_loss = false;
+  for (std::uint64_t stream = 1; stream <= 12 && !survived_a_loss; ++stream) {
+    const auto r = run_with_plan(FaultPlan(profile, stream), {"m5.2xlarge", 8, true});
+    if (r.success && r.total_lost_vms > 0) {
+      survived_a_loss = true;
+      EXPECT_GT(r.total_recovery, 0.0);
+    }
+  }
+  EXPECT_TRUE(survived_a_loss)
+      << "no stream produced a survivable partial revocation";
+}
+
+TEST(EngineFaults, SpeculationTamesInjectedStragglersViaTheQuantileKnob) {
+  FaultProfile profile;
+  profile.straggler_rate = 1.0;
+  profile.straggler_slowdown = 6.0;
+  profile.straggler_victim_fraction = 0.4;
+  const FaultPlan plan(profile, 17);
+
+  auto base = tuned_config();
+  base.set(k::kSpeculationMultiplier, 1.2);
+  auto off = base;
+  off.set(k::kSpeculation, 0.0);
+  auto tight = base;
+  tight.set(k::kSpeculation, 1.0);
+  tight.set(k::kSpeculationQuantile, 0.5);
+  auto loose = base;
+  loose.set(k::kSpeculation, 1.0);
+  loose.set(k::kSpeculationQuantile, 0.95);
+
+  const auto r_off = run_with_plan(plan, {"h1.4xlarge", 4}, off);
+  const auto r_tight = run_with_plan(plan, {"h1.4xlarge", 4}, tight);
+  const auto r_loose = run_with_plan(plan, {"h1.4xlarge", 4}, loose);
+  ASSERT_TRUE(r_off.success);
+  ASSERT_TRUE(r_tight.success);
+  ASSERT_TRUE(r_loose.success);
+  EXPECT_GT(r_tight.total_speculative_tasks, 0);
+  // Speculation bounds straggler damage; a tighter quantile bounds it more.
+  EXPECT_LT(r_tight.runtime, r_off.runtime);
+  EXPECT_LE(r_tight.runtime, r_loose.runtime);
+}
+
+TEST(EngineFaults, SamePlanReproducesTheRunBitwise) {
+  const FaultPlan plan(FaultProfile::chaos(0.5), 21);
+  const auto a = run_with_plan(plan);
+  const auto b = run_with_plan(plan);
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.infra_fault, b.infra_fault);
+  EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.stages[i].duration, b.stages[i].duration);
+    EXPECT_EQ(a.stages[i].lost_executors, b.stages[i].lost_executors);
+    EXPECT_EQ(a.stages[i].lost_vms, b.stages[i].lost_vms);
+    EXPECT_DOUBLE_EQ(a.stages[i].recovery_seconds, b.stages[i].recovery_seconds);
+  }
+}
+
+TEST(EngineFaults, EventLogRoundTripsFaultTelemetry) {
+  FaultProfile profile;
+  profile.executor_loss_rate = 0.4;
+  const auto r = run_with_plan(FaultPlan(profile, 11));
+  ASSERT_TRUE(r.success);
+  ASSERT_GT(r.total_lost_executors, 0);
+  const auto parsed = disc::from_event_log(disc::to_event_log(r));
+  EXPECT_EQ(parsed.total_lost_executors, r.total_lost_executors);
+  EXPECT_EQ(parsed.total_lost_vms, r.total_lost_vms);
+  EXPECT_EQ(parsed.total_speculative_tasks, r.total_speculative_tasks);
+  EXPECT_NEAR(parsed.total_recovery, r.total_recovery, 1e-3 * (1.0 + r.total_recovery));
+  // And the infra-fault flag survives on a failed run.
+  FaultProfile fatal;
+  fatal.timeout_rate = 1.0;
+  const auto hung = run_with_plan(FaultPlan(fatal, 5));
+  ASSERT_FALSE(hung.success);
+  const auto hung_parsed = disc::from_event_log(disc::to_event_log(hung));
+  EXPECT_TRUE(hung_parsed.infra_fault);
+  EXPECT_FALSE(hung_parsed.success);
+}
+
+// ---------------------------------------------------------------------------
+// Retry pipeline
+// ---------------------------------------------------------------------------
+
+using tuning::EvalOutcome;
+using tuning::FaultClass;
+using tuning::TrialObjective;
+using tuning::TuneOptions;
+
+config::Configuration any_config() { return config::spark_space()->default_config(); }
+
+TEST(RetryPipeline, InfraFaultsRetryUntilSuccess) {
+  const TrialObjective flaky = [](const config::Configuration&, int attempt) -> EvalOutcome {
+    EvalOutcome out{100.0, attempt < 2};
+    if (out.failed) out.fault = FaultClass::kInfra;
+    return out;
+  };
+  TuneOptions opts;
+  opts.retry.max_attempts = 4;
+  const auto trial = tuning::evaluate_with_retry(flaky, any_config(), opts);
+  EXPECT_FALSE(trial.outcome.failed);
+  EXPECT_EQ(trial.attempts, 3);
+  EXPECT_GT(trial.backoff_seconds, 0.0);
+  // Deterministic: the identical call produces the identical trial.
+  const auto again = tuning::evaluate_with_retry(flaky, any_config(), opts);
+  EXPECT_EQ(again.attempts, trial.attempts);
+  EXPECT_DOUBLE_EQ(again.backoff_seconds, trial.backoff_seconds);
+}
+
+TEST(RetryPipeline, ConfigFaultsAreNeverRetried) {
+  int calls = 0;
+  const TrialObjective crash = [&calls](const config::Configuration&, int) -> EvalOutcome {
+    ++calls;
+    return {5.0, true};  // failed without blame: classified as config fault
+  };
+  TuneOptions opts;
+  opts.retry.max_attempts = 5;
+  const auto trial = tuning::evaluate_with_retry(crash, any_config(), opts);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(trial.attempts, 1);
+  EXPECT_EQ(trial.outcome.fault, FaultClass::kConfig);
+  EXPECT_DOUBLE_EQ(trial.backoff_seconds, 0.0);
+}
+
+TEST(RetryPipeline, ExhaustedRetriesStayClassifiedAsInfra) {
+  const TrialObjective storm = [](const config::Configuration&, int) -> EvalOutcome {
+    EvalOutcome out{50.0, true};
+    out.fault = FaultClass::kInfra;
+    return out;
+  };
+  TuneOptions opts;
+  opts.retry.max_attempts = 3;
+  const auto trial = tuning::evaluate_with_retry(storm, any_config(), opts);
+  EXPECT_TRUE(trial.outcome.failed);
+  EXPECT_EQ(trial.outcome.fault, FaultClass::kInfra);
+  EXPECT_EQ(trial.attempts, 3);
+}
+
+TEST(RetryPipeline, BackoffIsCappedExponentialWithBoundedJitter) {
+  const TrialObjective storm = [](const config::Configuration&, int) -> EvalOutcome {
+    EvalOutcome out{50.0, true};
+    out.fault = FaultClass::kInfra;
+    return out;
+  };
+  TuneOptions opts;
+  opts.retry.max_attempts = 6;
+  opts.retry.base_backoff_s = 10.0;
+  opts.retry.backoff_multiplier = 2.0;
+  opts.retry.max_backoff_s = 40.0;
+  opts.retry.jitter_fraction = 0.25;
+  const auto trial = tuning::evaluate_with_retry(storm, any_config(), opts);
+  // Five waits: 10+20+40+40+40 = 150 nominal, jitter within ±25%.
+  EXPECT_GE(trial.backoff_seconds, 150.0 * 0.75);
+  EXPECT_LE(trial.backoff_seconds, 150.0 * 1.25);
+}
+
+TEST(RetryPipeline, DeadlineConvertsSlowSuccessToConfigFault) {
+  const TrialObjective slow = [](const config::Configuration&, int) -> EvalOutcome {
+    return {1000.0, false};
+  };
+  TuneOptions opts;
+  opts.retry.trial_deadline_s = 400.0;
+  const auto trial = tuning::evaluate_with_retry(slow, any_config(), opts);
+  EXPECT_TRUE(trial.deadline_hit);
+  EXPECT_TRUE(trial.outcome.failed);
+  EXPECT_EQ(trial.outcome.fault, FaultClass::kConfig);
+  EXPECT_DOUBLE_EQ(trial.outcome.runtime, 400.0);  // only the deadline is charged
+}
+
+TEST(RetryPipeline, DeadlineKeepsInfraHangsRetryable) {
+  const TrialObjective hang = [](const config::Configuration&, int attempt) -> EvalOutcome {
+    if (attempt == 0) {
+      EvalOutcome out{1e9, true};  // hung well past any deadline
+      out.fault = FaultClass::kInfra;
+      return out;
+    }
+    return {120.0, false};
+  };
+  TuneOptions opts;
+  opts.retry.trial_deadline_s = 500.0;
+  opts.retry.max_attempts = 3;
+  const auto trial = tuning::evaluate_with_retry(hang, any_config(), opts);
+  EXPECT_TRUE(trial.deadline_hit);
+  EXPECT_FALSE(trial.outcome.failed);  // the retry succeeded
+  EXPECT_EQ(trial.attempts, 2);
+}
+
+TEST(SessionLedger, PenaltyFloorStopsInstantCrashesFromScoringWell) {
+  // Regression: before the floor, a trial that crashed at t=0.1 scored
+  // 0.1 * factor — the *best* objective of an all-failure session, so the
+  // least-penalized fallback crowned the worst configuration.
+  TuneOptions opts;
+  opts.budget = 4;
+  opts.failure_penalty_floor = 600.0;
+  opts.failure_penalty_factor = 3.0;
+  tuning::SessionLedger ledger(opts);
+  EXPECT_GE(ledger.penalize(0.1, true), 600.0 * 3.0);
+  // Crashing fast earns nothing: every sub-floor failure scores the same.
+  EXPECT_DOUBLE_EQ(ledger.penalize(0.1, true), ledger.penalize(500.0, true));
+  // Slower-than-floor failures score worse, successes score their runtime.
+  EXPECT_GT(ledger.penalize(900.0, true), ledger.penalize(500.0, true));
+  EXPECT_DOUBLE_EQ(ledger.penalize(123.0, false), 123.0);
+}
+
+TEST(SessionLedger, InfraFaultsScoreNeutralNotPenalized) {
+  TuneOptions opts;
+  opts.budget = 6;
+  opts.failure_penalty_floor = 600.0;
+  opts.failure_penalty_factor = 3.0;
+  tuning::SessionLedger ledger(opts);
+  const auto space = config::spark_space();
+
+  tuning::TrialResult infra;
+  infra.outcome = {50.0, true};
+  infra.outcome.fault = FaultClass::kInfra;
+  infra.attempts = 3;
+  infra.backoff_seconds = 12.0;
+
+  // Before any success the neutral objective is the floor — not the
+  // penalty, and not the suspiciously-fast failed runtime.
+  const auto& first = ledger.commit(space->default_config(), infra);
+  EXPECT_DOUBLE_EQ(first.objective, 600.0);
+  // After successes it is their mean.
+  ledger.commit(space->default_config(), tuning::EvalOutcome{100.0, false});
+  ledger.commit(space->default_config(), tuning::EvalOutcome{200.0, false});
+  const auto& later = ledger.commit(space->default_config(), infra);
+  EXPECT_DOUBLE_EQ(later.objective, 150.0);
+  // Config faults still get the full penalty treatment.
+  const auto& config_fault =
+      ledger.commit(space->default_config(), tuning::EvalOutcome{1.0, true});
+  EXPECT_GT(config_fault.objective, 599.0);
+
+  const auto& stats = ledger.resilience();
+  EXPECT_EQ(stats.infra_faults, 2u);
+  EXPECT_EQ(stats.config_faults, 1u);
+  EXPECT_EQ(stats.retries, 4u);
+  EXPECT_DOUBLE_EQ(stats.backoff_seconds, 24.0);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+using service::BreakerState;
+using service::CircuitBreaker;
+using service::CircuitBreakerOptions;
+
+TEST(CircuitBreaker, OpensAfterConsecutiveInfraFaultsOnly) {
+  CircuitBreaker cb(CircuitBreakerOptions{.open_after = 3, .cooldown_runs = 2});
+  cb.record_infra_fault();
+  cb.record_infra_fault();
+  cb.record_success();  // the streak resets
+  cb.record_infra_fault();
+  cb.record_infra_fault();
+  EXPECT_EQ(cb.state(), BreakerState::kClosed);
+  EXPECT_TRUE(cb.allow_request());
+  cb.record_infra_fault();
+  EXPECT_EQ(cb.state(), BreakerState::kOpen);
+  EXPECT_EQ(cb.trips(), 1);
+}
+
+TEST(CircuitBreaker, CooldownThenHalfOpenProbe) {
+  CircuitBreaker cb(CircuitBreakerOptions{.open_after = 1, .cooldown_runs = 2});
+  cb.record_infra_fault();
+  ASSERT_EQ(cb.state(), BreakerState::kOpen);
+  EXPECT_FALSE(cb.allow_request());
+  EXPECT_FALSE(cb.allow_request());
+  EXPECT_TRUE(cb.allow_request());  // cooldown elapsed: half-open probe
+  EXPECT_EQ(cb.state(), BreakerState::kHalfOpen);
+  cb.record_success();
+  EXPECT_EQ(cb.state(), BreakerState::kClosed);
+  EXPECT_TRUE(cb.allow_request());
+}
+
+TEST(CircuitBreaker, FailedProbeReopensAndRestartsCooldown) {
+  CircuitBreaker cb(CircuitBreakerOptions{.open_after = 1, .cooldown_runs = 1});
+  cb.record_infra_fault();
+  EXPECT_FALSE(cb.allow_request());
+  EXPECT_TRUE(cb.allow_request());  // probe
+  cb.record_infra_fault();          // probe fails
+  EXPECT_EQ(cb.state(), BreakerState::kOpen);
+  EXPECT_EQ(cb.trips(), 2);
+  EXPECT_FALSE(cb.allow_request());  // cooldown restarted
+}
+
+// ---------------------------------------------------------------------------
+// TuningService under chaos
+// ---------------------------------------------------------------------------
+
+service::ServiceOptions chaos_service_options(double level) {
+  service::ServiceOptions opts;
+  opts.tune_cloud = false;
+  opts.default_cluster = {"h1.4xlarge", 4};
+  opts.tuning_budget = 12;
+  opts.retuning_budget = 6;
+  opts.faults = FaultProfile::chaos(level);
+  return opts;
+}
+
+TEST(ServiceChaos, ModerateFaultRateDegradesGracefully) {
+  // The acceptance bar: at a 15% infra-fault rate the service still tunes,
+  // still finds a feasible configuration, and lands within 2x of its own
+  // fault-free result.
+  service::TuningService clean(chaos_service_options(0.0));
+  const int hc = clean.submit("acme", workload::make_workload("pagerank"), gib(8));
+  clean.run_once(hc);
+  const double clean_best = clean.status(hc).best_runtime;
+  ASSERT_GT(clean_best, 0.0);
+
+  service::TuningService stormy(chaos_service_options(0.15));
+  const int hs = stormy.submit("acme", workload::make_workload("pagerank"), gib(8));
+  for (int i = 0; i < 3; ++i) stormy.run_once(hs);
+  const auto status = stormy.status(hs);
+  EXPECT_TRUE(status.tuned);
+  ASSERT_GT(status.best_runtime, 0.0) << "no feasible configuration under 15% faults";
+  EXPECT_LE(status.best_runtime, 2.0 * clean_best);
+}
+
+TEST(ServiceChaos, HeavyWeatherTripsTheBreakerAndHealthReportsIt) {
+  auto opts = chaos_service_options(0.95);
+  opts.retry.max_attempts = 2;
+  opts.breaker.open_after = 2;
+  opts.breaker.cooldown_runs = 1;
+  service::TuningService svc(opts);
+  const int h = svc.submit("acme", workload::make_workload("wordcount"), gib(4));
+  for (int i = 0; i < 6; ++i) svc.run_once(h);
+
+  const auto health = svc.health();
+  ASSERT_EQ(health.tenants, 1u);
+  ASSERT_EQ(health.per_tenant.size(), 1u);
+  EXPECT_EQ(health.per_tenant[0].tenant, "acme");
+  EXPECT_EQ(health.per_tenant[0].workloads, 1u);
+  EXPECT_GE(health.per_tenant[0].trips, 1) << "a 95% fault rate must trip the breaker";
+  EXPECT_GE(health.total_degraded_runs, 1u);
+  EXPECT_EQ(svc.status(h).degraded_runs, health.total_degraded_runs);
+}
+
+TEST(ServiceChaos, FaultFreeServiceReportsHealthyBreakers) {
+  service::TuningService svc(chaos_service_options(0.0));
+  const int h = svc.submit("acme", workload::make_workload("sort"), gib(4));
+  svc.run_once(h);
+  const auto health = svc.health();
+  EXPECT_EQ(health.open_breakers, 0u);
+  EXPECT_EQ(health.total_degraded_runs, 0u);
+  ASSERT_EQ(health.per_tenant.size(), 1u);
+  EXPECT_EQ(health.per_tenant[0].breaker, BreakerState::kClosed);
+  EXPECT_EQ(health.per_tenant[0].trips, 0);
+}
+
+TEST(ServiceChaos, ChaosRunsAreDeterministic) {
+  auto make = [] {
+    return service::TuningService(chaos_service_options(0.3));
+  };
+  auto run = [](service::TuningService& svc) {
+    const int h = svc.submit("acme", workload::make_workload("join"), gib(8));
+    for (int i = 0; i < 3; ++i) svc.run_once(h);
+    return svc.status(h);
+  };
+  auto a = make();
+  auto b = make();
+  const auto sa = run(a);
+  const auto sb = run(b);
+  EXPECT_DOUBLE_EQ(sa.best_runtime, sb.best_runtime);
+  EXPECT_DOUBLE_EQ(sa.last_runtime, sb.last_runtime);
+  EXPECT_EQ(sa.tunings, sb.tunings);
+  EXPECT_EQ(sa.degraded_runs, sb.degraded_runs);
+  EXPECT_EQ(sa.config.values(), sb.config.values());
+}
+
+}  // namespace
+}  // namespace stune

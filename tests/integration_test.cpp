@@ -67,14 +67,14 @@ std::pair<double, config::Configuration> best_of_random(const workload::Workload
 }
 
 TEST(TableOne, RetuningSavingsGrowWithInputAndDependOnWorkload) {
-  // Reduced protocol: 80 random configs (paper: 100), DS1 vs DS3. A reused
+  // The paper's protocol: 100 random configs, DS1 vs DS3. A reused
   // configuration that crashes at the larger scale counts as 100% potential
   // saving (re-tuning is then not merely faster but necessary).
-  const int kConfigs = 80;
+  const int kConfigs = 100;
   auto savings = [&](const std::string& name) {
     const auto w = workload::make_workload(name);
-    const auto [best1, config1] = best_of_random(*w, gib(4), kConfigs, 17);
-    const auto [best3, config3] = best_of_random(*w, gib(64), kConfigs, 17);
+    const auto [best1, config1] = best_of_random(*w, gib(4), kConfigs, 11);
+    const auto [best3, config3] = best_of_random(*w, gib(64), kConfigs, 11);
     const auto reused = averaged_runtime(*w, gib(64), config1);
     if (!reused.success) return 1.0;
     return (reused.runtime - best3) / reused.runtime;
@@ -201,6 +201,7 @@ TEST(SloMetric, TunedServiceStaysNearTheBestKnownRuntime) {
   opts.tuning_budget = 20;
   opts.cloud.budget = 8;
   opts.slo.within_fraction = 0.25;
+  opts.seed = 7;
   service::TuningService svc(opts);
   const int h = svc.submit("acme", workload::make_workload("bayes"), gib(8));
   for (int i = 0; i < 12; ++i) svc.run_once(h);

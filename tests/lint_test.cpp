@@ -188,6 +188,49 @@ TEST(LintRules, LockDiscipline) {
   EXPECT_FALSE(has_rule(lint_as("tests/x_test.cpp", src), "lock-discipline"));
 }
 
+TEST(LintRules, NoSwallowedException) {
+  // A catch-all that does nothing with the exception is a bug factory.
+  const std::string swallow =
+      "void f() {\n  try {\n    g();\n  } catch (...) {\n    count++;\n  }\n}\n";
+  EXPECT_EQ(only(lint_as("src/x/x.cpp", swallow), "no-swallowed-exception").line, 4u);
+  // Rethrowing or capturing for later rethrow is sanctioned.
+  EXPECT_FALSE(has_rule(
+      lint_as("src/x/x.cpp",
+              "void f() {\n  try {\n    g();\n  } catch (...) {\n    throw;\n  }\n}\n"),
+      "no-swallowed-exception"));
+  EXPECT_FALSE(has_rule(
+      lint_as("src/x/x.cpp",
+              "void f() {\n  try {\n    g();\n  } catch (...) {\n"
+              "    err = std::current_exception();\n  }\n}\n"),
+      "no-swallowed-exception"));
+  EXPECT_FALSE(has_rule(
+      lint_as("src/x/x.cpp",
+              "void f(std::exception_ptr e) {\n  try {\n    g();\n  } catch (...) {\n"
+              "    std::rethrow_exception(e);\n  }\n}\n"),
+      "no-swallowed-exception"));
+  // Typed handlers state what they expect and may absorb it.
+  EXPECT_FALSE(has_rule(
+      lint_as("src/x/x.cpp",
+              "void f() {\n  try {\n    g();\n  } catch (const std::exception& e) {\n"
+              "    note(e);\n  }\n}\n"),
+      "no-swallowed-exception"));
+  // Library-only: tests and benches may swallow freely (EXPECT_THROW et al).
+  EXPECT_FALSE(has_rule(lint_as("tests/x_test.cpp", swallow), "no-swallowed-exception"));
+  // Nested braces inside the handler do not confuse the matcher.
+  EXPECT_TRUE(has_rule(
+      lint_as("src/x/x.cpp",
+              "void f() {\n  try {\n    g();\n  } catch (...) {\n"
+              "    if (q) {\n      count++;\n    }\n  }\n}\n"),
+      "no-swallowed-exception"));
+  // The escape hatch works like every other rule's.
+  EXPECT_FALSE(has_rule(
+      lint_as("src/x/x.cpp",
+              "void f() {\n  try {\n    g();\n"
+              "  } catch (...) {  // stune-lint: allow(no-swallowed-exception)\n"
+              "    count++;\n  }\n}\n"),
+      "no-swallowed-exception"));
+}
+
 // ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
@@ -260,8 +303,8 @@ TEST(LintOutput, JsonEmptyViolations) {
   EXPECT_NE(json.find("\"violations\": []"), std::string::npos);
 }
 
-TEST(LintRules, CatalogueListsEightRules) {
-  EXPECT_EQ(rule_ids().size(), 8u);
+TEST(LintRules, CatalogueListsNineRules) {
+  EXPECT_EQ(rule_ids().size(), 9u);
 }
 
 }  // namespace

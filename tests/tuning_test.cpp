@@ -209,8 +209,8 @@ TEST(SessionLedger, PenalizesFailuresAboveWorstSuccess) {
   SessionLedger ledger(opts);
   const auto space = synthetic_space();
   simcore::Rng rng(1);
-  ledger.commit(space->sample(rng), {10.0, false});
-  const auto& failed = ledger.commit(space->sample(rng), {1.0, true});  // fast crash
+  ledger.commit(space->sample(rng), EvalOutcome{10.0, false});
+  const auto& failed = ledger.commit(space->sample(rng), EvalOutcome{1.0, true});  // fast crash
   EXPECT_TRUE(failed.failed);
   EXPECT_GE(failed.objective, 30.0);  // 3x worst success, not 1 second
 }
@@ -221,9 +221,9 @@ TEST(SessionLedger, ThrowsWhenBudgetExceeded) {
   SessionLedger ledger(opts);
   const auto space = synthetic_space();
   simcore::Rng rng(1);
-  ledger.commit(space->sample(rng), {1.0, false});
+  ledger.commit(space->sample(rng), EvalOutcome{1.0, false});
   EXPECT_TRUE(ledger.exhausted());
-  EXPECT_THROW(ledger.commit(space->sample(rng), {1.0, false}), std::logic_error);
+  EXPECT_THROW(ledger.commit(space->sample(rng), EvalOutcome{1.0, false}), std::logic_error);
 }
 
 TEST(SessionLedger, AllFailuresStillProducesAResult) {
@@ -232,7 +232,7 @@ TEST(SessionLedger, AllFailuresStillProducesAResult) {
   SessionLedger ledger(opts);
   const auto space = synthetic_space();
   simcore::Rng rng(1);
-  while (!ledger.exhausted()) ledger.commit(space->sample(rng), {2.0, true});
+  while (!ledger.exhausted()) ledger.commit(space->sample(rng), EvalOutcome{2.0, true});
   const auto r = ledger.result();
   EXPECT_FALSE(r.found_feasible);
   EXPECT_FALSE(r.best.empty());

@@ -286,6 +286,60 @@ void pass_no_wall_clock(const LintInput& in, std::vector<Violation>& out) {
   }
 }
 
+void pass_no_swallowed_exception(const LintInput& in, std::vector<Violation>& out) {
+  if (!in.cls.library_code) return;
+  const std::string& code = in.code;
+  std::size_t pos = 0;
+  while ((pos = code.find("catch", pos)) != std::string::npos) {
+    const std::size_t kw_end = pos + 5;
+    if ((pos > 0 && ident_char(code[pos - 1])) ||
+        (kw_end < code.size() && ident_char(code[kw_end]))) {
+      pos = kw_end;
+      continue;
+    }
+    // Only catch-all handlers: catch (...) — a typed catch states what it
+    // expects and is allowed to absorb it.
+    std::size_t i = kw_end;
+    while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])) != 0) ++i;
+    if (i >= code.size() || code[i] != '(') {
+      pos = kw_end;
+      continue;
+    }
+    const std::size_t close = code.find(')', i);
+    if (close == std::string::npos) break;
+    std::string decl = code.substr(i + 1, close - i - 1);
+    decl.erase(std::remove_if(decl.begin(), decl.end(),
+                              [](char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }),
+               decl.end());
+    if (decl != "...") {
+      pos = kw_end;
+      continue;
+    }
+    // Brace-match the handler body.
+    std::size_t open = code.find('{', close);
+    if (open == std::string::npos) break;
+    int depth = 0;
+    std::size_t end = open;
+    for (; end < code.size(); ++end) {
+      if (code[end] == '{') ++depth;
+      else if (code[end] == '}' && --depth == 0) break;
+    }
+    const std::string body = code.substr(open, end - open);
+    // The handler must do *something* with the exception: rethrow it, or
+    // capture it for someone who will (std::current_exception).
+    const bool handles = !find_token(body, "throw").empty() ||
+                         !find_token(body, "rethrow_exception").empty() ||
+                         !find_token(body, "current_exception").empty();
+    if (!handles) {
+      out.push_back({in.file, line_of(code, pos), "no-swallowed-exception",
+                     "catch (...) neither rethrows nor captures the exception "
+                     "(std::current_exception); a silently swallowed error turns a crash "
+                     "into wrong results"});
+    }
+    pos = end == code.size() ? end : end + 1;
+  }
+}
+
 void pass_lock_discipline(const LintInput& in, std::vector<Violation>& out) {
   if (!in.cls.library_code) return;
   for (const auto* pattern : {".lock(", "->lock(", ".unlock(", "->unlock(", ".try_lock(",
@@ -408,7 +462,7 @@ const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
       "pragma-once",        "no-bare-assert",         "no-unseeded-rng",
       "no-stdout",          "include-what-you-use",   "no-iostream-in-header",
-      "no-wall-clock",      "lock-discipline",
+      "no-wall-clock",      "lock-discipline",        "no-swallowed-exception",
   };
   return ids;
 }
@@ -428,6 +482,7 @@ std::vector<Violation> lint_content(const std::string& display_path, const std::
   pass_no_iostream_in_header(in, found);
   pass_no_wall_clock(in, found);
   pass_lock_discipline(in, found);
+  pass_no_swallowed_exception(in, found);
 
   const auto allow = allowed_rules(raw);
   std::vector<Violation> kept;

@@ -21,7 +21,11 @@
 //                            library code: critical sections are RAII
 //                            (simcore::MutexLock), the textual complement
 //                            to the Clang thread-safety analysis for
-//                            non-Clang builds.
+//                            non-Clang builds;
+//   [no-swallowed-exception] a `catch (...)` in library code must rethrow
+//                            or capture (std::current_exception) — a
+//                            silently swallowed error turns crashes into
+//                            wrong results.
 //
 // Suppression: append `// stune-lint: allow(<rule>)` (comma-separated list,
 // or `allow(*)`) to a line to exempt that line. Comments and string/char
