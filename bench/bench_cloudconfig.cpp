@@ -5,6 +5,7 @@
 // ~10 trials where exhaustive search needs the whole catalog.
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <string>
 
 #include "service/cloud_tuner.hpp"

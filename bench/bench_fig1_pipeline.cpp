@@ -7,6 +7,7 @@
 #include "service/cloud_tuner.hpp"
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include "tuning/tuners.hpp"
 

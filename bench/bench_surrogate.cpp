@@ -1,0 +1,408 @@
+// Surrogate hot-path microbenchmarks (DESIGN.md §10): how the incremental
+// Gaussian-process pipeline — rank-1 Cholesky appends, the cached distance
+// matrix and batched acquisition scoring — compares against the seed
+// implementation it replaced, which refactorized the kernel matrix from
+// scratch under a full lengthscale-grid search on every observation and
+// scored acquisition candidates one scalar predict() at a time.
+//
+// Three sweeps over n ∈ {32, 64, 128, 256, 512} training points:
+//   1. cholesky        — blocked vs unblocked factorization.
+//   2. surrogate parts — fit, incremental observe vs frozen-hyperparameter
+//                        rebuild, batched vs looped prediction.
+//   3. suggest step    — the end-to-end BO inner loop (model update + EI
+//                        scoring of the candidate pool): seed baseline vs
+//                        incremental path. The n=256 row carries the
+//                        acceptance bar (>= 5x).
+//
+// `--smoke` shrinks the sweep for CI; `--json PATH` writes
+// BENCH_surrogate.json records.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdarg>
+#include <cstddef>
+#include <cstdio>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "linalg/matrix.hpp"
+#include "model/gp.hpp"
+#include "simcore/rng.hpp"
+
+namespace stune::bench {
+namespace {
+
+constexpr std::size_t kDim = 12;  // typical one-hot encoded config width
+
+// -- The seed implementation, kept verbatim as the baseline -----------------
+// (unblocked Cholesky; per-observation grid refit over vector-of-vectors
+// features; one scalar predict per acquisition candidate.)
+namespace seed {
+
+double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double matern52(double r, double lengthscale) {
+  const double s = std::sqrt(5.0) * r / lengthscale;
+  return (1.0 + s + s * s / 3.0) * std::exp(-s);
+}
+
+linalg::Matrix cholesky(const linalg::Matrix& a) {
+  const std::size_t n = a.rows();
+  linalg::Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      throw std::runtime_error("cholesky: matrix is not positive definite");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / l(j, j);
+    }
+  }
+  return l;
+}
+
+struct Gp {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  double lengthscale = 1.0;
+  double noise = 1e-2;
+  linalg::Matrix chol;
+  linalg::Vector alpha;
+
+  double kernel(const std::vector<double>& a, const std::vector<double>& b) const {
+    return matern52(std::sqrt(sq_dist(a, b)), lengthscale);
+  }
+
+  /// The seed's fit(): median heuristic, then a kernel build + full
+  /// factorization per lengthscale-grid entry (distances recomputed each
+  /// time — no cache).
+  void fit() {
+    const std::size_t n = x.size();
+    std::vector<double> dists;
+    const std::size_t stride = n > 64 ? n / 64 : 1;
+    for (std::size_t i = 0; i < n; i += stride) {
+      for (std::size_t j = i + stride; j < n; j += stride) {
+        dists.push_back(std::sqrt(sq_dist(x[i], x[j])));
+      }
+    }
+    double median = 1.0;
+    if (!dists.empty()) {
+      std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(dists.size() / 2),
+                       dists.end());
+      median = std::max(1e-6, dists[dists.size() / 2]);
+    }
+    double best_lml = -std::numeric_limits<double>::infinity();
+    double best_ls = median;
+    linalg::Matrix best_chol;
+    linalg::Vector best_alpha;
+    for (const double mult : {0.3, 1.0, 3.0}) {
+      lengthscale = median * mult;
+      linalg::Matrix k(n, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+          const double v = kernel(x[i], x[j]);
+          k(i, j) = v;
+          k(j, i) = v;
+        }
+        k(i, i) += noise + 1e-8;
+      }
+      linalg::Matrix l;
+      try {
+        l = seed::cholesky(k);  // qualified: ADL would also find linalg::cholesky
+      } catch (const std::runtime_error&) {
+        continue;
+      }
+      const linalg::Vector a = linalg::cholesky_solve(l, y);
+      double lml = -0.5 * linalg::dot(y, a);
+      for (std::size_t i = 0; i < n; ++i) lml -= std::log(l(i, i));
+      lml -= 0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+      if (lml > best_lml) {
+        best_lml = lml;
+        best_ls = lengthscale;
+        best_chol = l;
+        best_alpha = a;
+      }
+    }
+    lengthscale = best_ls;
+    chol = std::move(best_chol);
+    alpha = std::move(best_alpha);
+  }
+
+  model::GpPrediction predict(const std::vector<double>& q) const {
+    const std::size_t n = x.size();
+    linalg::Vector k_star(n);
+    for (std::size_t i = 0; i < n; ++i) k_star[i] = kernel(q, x[i]);
+    const double mean = linalg::dot(k_star, alpha);
+    const linalg::Vector v = linalg::solve_lower(chol, k_star);
+    return {mean, std::max(1e-10, kernel(q, q) + noise - linalg::dot(v, v))};
+  }
+};
+
+}  // namespace seed
+
+// -- Harness ----------------------------------------------------------------
+
+double synthetic_target(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    acc += std::sin(3.0 * x[d] + static_cast<double>(d));
+  }
+  return acc;
+}
+
+std::vector<std::vector<double>> make_points(std::size_t n, simcore::Rng& rng) {
+  std::vector<std::vector<double>> pts(n, std::vector<double>(kDim));
+  for (auto& p : pts) {
+    for (auto& v : p) v = rng.uniform();
+  }
+  return pts;
+}
+
+linalg::Matrix to_matrix(const std::vector<std::vector<double>>& pts) {
+  linalg::Matrix m(pts.size(), kDim);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = 0; j < kDim; ++j) m(i, j) = pts[i][j];
+  }
+  return m;
+}
+
+template <typename Fn>
+double time_ms(std::size_t reps, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) fn(r);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count() /
+         static_cast<double>(reps);
+}
+
+struct JsonRecord {
+  std::string body;  // rendered key/value pairs, without braces
+};
+
+std::vector<JsonRecord> g_records;
+
+void record(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  g_records.push_back({buf});
+}
+
+linalg::Matrix random_spd(std::size_t n, simcore::Rng& rng) {
+  linalg::Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += b(i, k) * b(j, k);
+      a(i, j) = acc;
+    }
+    a(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+void bench_cholesky(const std::vector<std::size_t>& sizes, std::size_t reps) {
+  section("blocked vs unblocked Cholesky factorization");
+  Table t({"n", "unblocked (ms)", "blocked (ms)", "speedup"});
+  simcore::Rng rng(42);
+  for (const std::size_t n : sizes) {
+    const auto a = random_spd(n, rng);
+    const double naive_ms = time_ms(reps, [&](std::size_t) { seed::cholesky(a); });
+    const double blocked_ms = time_ms(reps, [&](std::size_t) { linalg::cholesky(a); });
+    const double speedup = naive_ms / blocked_ms;
+    t.add_row({fmt("%.0f", static_cast<double>(n)), fmt("%.3f", naive_ms),
+               fmt("%.3f", blocked_ms), fmt("%.2fx", speedup)});
+    record("\"bench\": \"cholesky\", \"n\": %zu, \"unblocked_ms\": %.4f, "
+           "\"blocked_ms\": %.4f, \"speedup\": %.3f",
+           n, naive_ms, blocked_ms, speedup);
+  }
+  t.print();
+}
+
+void bench_surrogate_parts(const std::vector<std::size_t>& sizes, std::size_t candidates,
+                           std::size_t reps) {
+  section("surrogate parts: fit / observe / predict scaling");
+  Table t({"n", "fit (ms)", "observe incr (ms)", "observe rebuild (ms)", "predict loop (ms)",
+           "predict batch (ms)"});
+  for (const std::size_t n : sizes) {
+    simcore::Rng rng(42);
+    const auto pts = make_points(n + reps, rng);
+    model::Dataset data;
+    for (std::size_t i = 0; i < n; ++i) data.add(pts[i], synthetic_target(pts[i]));
+
+    const double fit_ms = time_ms(std::max<std::size_t>(reps / 2, 1), [&](std::size_t) {
+      model::GaussianProcess gp;
+      gp.fit(data);
+    });
+
+    // Isolate the factor-update cost: refreshes pushed out of the window so
+    // each observe() is purely a rank-1 append (or a frozen-hyperparameter
+    // refactorization for the rebuild baseline).
+    model::GaussianProcess::Options frozen;
+    frozen.refresh_interval = 1u << 20;
+    frozen.lml_drop_per_point = 1e18;
+    model::GaussianProcess inc(frozen);
+    inc.fit(data);
+    const double observe_inc_ms = time_ms(reps, [&](std::size_t r) {
+      inc.observe(pts[n + r], synthetic_target(pts[n + r]));
+    });
+
+    auto rebuild_opts = frozen;
+    rebuild_opts.incremental = false;
+    model::GaussianProcess rebuild(rebuild_opts);
+    rebuild.fit(data);
+    const double observe_rebuild_ms = time_ms(reps, [&](std::size_t r) {
+      rebuild.observe(pts[n + r], synthetic_target(pts[n + r]));
+    });
+
+    model::GaussianProcess gp;
+    gp.fit(data);
+    simcore::Rng crng(7);
+    const auto cand = to_matrix(make_points(candidates, crng));
+    const double loop_ms = time_ms(std::max<std::size_t>(reps / 2, 1), [&](std::size_t) {
+      for (std::size_t i = 0; i < cand.rows(); ++i) gp.predict(cand.row(i));
+    });
+    const double batch_ms = time_ms(std::max<std::size_t>(reps / 2, 1),
+                                    [&](std::size_t) { gp.predict_batch(cand); });
+
+    t.add_row({fmt("%.0f", static_cast<double>(n)), fmt("%.3f", fit_ms),
+               fmt("%.3f", observe_inc_ms), fmt("%.3f", observe_rebuild_ms), fmt("%.3f", loop_ms),
+               fmt("%.3f", batch_ms)});
+    record("\"bench\": \"surrogate_parts\", \"n\": %zu, \"fit_ms\": %.4f, "
+           "\"observe_incremental_ms\": %.4f, \"observe_rebuild_ms\": %.4f, "
+           "\"predict_loop_ms\": %.4f, \"predict_batch_ms\": %.4f",
+           n, fit_ms, observe_inc_ms, observe_rebuild_ms, loop_ms, batch_ms);
+  }
+  t.print();
+}
+
+void bench_suggest_step(const std::vector<std::size_t>& sizes, std::size_t candidates,
+                        std::size_t reps) {
+  section("BO suggest step: seed full-refit baseline vs incremental path");
+  std::printf("one step = model update with the newest observation + EI scoring of a %zu-"
+              "candidate pool\n\n",
+              candidates);
+  Table t({"n", "seed baseline (ms)", "incremental (ms)", "speedup"});
+  for (const std::size_t n : sizes) {
+    simcore::Rng rng(42);
+    const auto pts = make_points(n + reps, rng);
+    simcore::Rng crng(7);
+    const auto cand_rows = make_points(candidates, crng);
+    const auto cand = to_matrix(cand_rows);
+
+    // Seed path: every suggest refits the grid from scratch and scores the
+    // pool one scalar predict at a time.
+    seed::Gp baseline;
+    for (std::size_t i = 0; i < n; ++i) {
+      baseline.x.push_back(pts[i]);
+      baseline.y.push_back(synthetic_target(pts[i]));
+    }
+    double sink = 0.0;
+    const double baseline_ms = time_ms(reps, [&](std::size_t r) {
+      baseline.x.push_back(pts[n + r]);
+      baseline.y.push_back(synthetic_target(pts[n + r]));
+      baseline.fit();
+      double best_ei = -1.0;
+      for (const auto& c : cand_rows) {
+        const auto p = baseline.predict(c);
+        best_ei = std::max(best_ei, model::expected_improvement(p.mean, p.variance, 0.0));
+      }
+      sink += best_ei;
+    });
+
+    // Incremental path under the production refresh policy (every 8th
+    // observe pays a full refresh — the average is the honest cost).
+    model::GaussianProcess gp;
+    model::Dataset data;
+    for (std::size_t i = 0; i < n; ++i) data.add(pts[i], synthetic_target(pts[i]));
+    gp.fit(data);
+    const double incremental_ms = time_ms(reps, [&](std::size_t r) {
+      gp.observe(pts[n + r], synthetic_target(pts[n + r]));
+      const auto preds = gp.predict_batch(cand);
+      double best_ei = -1.0;
+      for (const auto& p : preds) {
+        best_ei = std::max(best_ei, model::expected_improvement(p.mean, p.variance, 0.0));
+      }
+      sink += best_ei;
+    });
+    if (!std::isfinite(sink)) std::printf("(unreachable: %f)\n", sink);
+
+    const double speedup = baseline_ms / incremental_ms;
+    t.add_row({fmt("%.0f", static_cast<double>(n)), fmt("%.3f", baseline_ms),
+               fmt("%.3f", incremental_ms), fmt("%.2fx", speedup)});
+    record("\"bench\": \"suggest_step\", \"n\": %zu, \"candidates\": %zu, "
+           "\"baseline_ms\": %.4f, \"incremental_ms\": %.4f, \"speedup\": %.3f",
+           n, candidates, baseline_ms, incremental_ms, speedup);
+  }
+  t.print();
+}
+
+void write_json(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_surrogate\",\n  \"records\": [\n");
+  for (std::size_t i = 0; i < g_records.size(); ++i) {
+    std::fprintf(f, "    { %s }%s\n", g_records[i].body.c_str(),
+                 i + 1 < g_records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu records)\n", path.c_str(), g_records.size());
+}
+
+}  // namespace
+}  // namespace stune::bench
+
+int main(int argc, char** argv) {
+  using namespace stune::bench;
+
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) json_path = argv[i + 1];
+  }
+
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{32, 64} : std::vector<std::size_t>{32, 64, 128, 256, 512};
+  const std::size_t candidates = smoke ? 192 : 576;
+  const std::size_t reps = smoke ? 4 : 8;
+
+  bench_cholesky(sizes, reps);
+  bench_surrogate_parts(sizes, candidates, reps);
+  bench_suggest_step(sizes, candidates, reps);
+
+  std::printf(
+      "\nreading: observe-incremental should scale ~n^2 against the rebuild column's ~n^3,\n"
+      "and the suggest-step speedup should clear 5x at n=256 — the rank-1 append removes\n"
+      "the per-observation grid refit, and the batched EI scoring turns %zu scalar\n"
+      "triangular solves into one cache-friendly multi-RHS sweep.\n",
+      candidates);
+
+  if (!json_path.empty()) write_json(json_path);
+  return 0;
+}

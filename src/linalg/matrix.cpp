@@ -1,12 +1,43 @@
 #include "linalg/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 #include "simcore/check.hpp"
 
 namespace stune::linalg {
+
+namespace {
+
+/// acc + a·b as one hardware fused multiply-add when this TU is built with
+/// FMA support, and as a plainly rounded multiply + add otherwise. The
+/// optimizer's implicit contraction makes the fuse/don't-fuse choice per
+/// generated loop version (a vectorized body and its scalar epilogue can
+/// disagree), which would let the same column come out bitwise different
+/// depending on how many columns ride along. An explicit call pins one
+/// semantics for every path, so the multi-RHS tile, its tail, and the
+/// single-vector solve stay mutually bitwise identical.
+inline double fma_acc(double acc, double a, double b) {
+#ifdef __FMA__
+  return __builtin_fma(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
+/// acc - a·b with the same pinned-contraction contract as fma_acc.
+inline double fnma_acc(double acc, double a, double b) {
+#ifdef __FMA__
+  return __builtin_fma(-a, b, acc);
+#else
+  return acc - a * b;
+#endif
+}
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -14,6 +45,15 @@ Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
 Matrix Matrix::identity(std::size_t n) {
   Matrix m(n, n);
   for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_flat(std::vector<double> data, std::size_t rows, std::size_t cols) {
+  STUNE_CHECK_EQ(data.size(), rows * cols);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
   return m;
 }
 
@@ -35,7 +75,7 @@ Vector Matrix::matvec_transposed(const Vector& x) const {
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* row = &data_[r * cols_];
     const double xr = x[r];
-    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] = fma_acc(y[c], row[c], xr);
   }
   return y;
 }
@@ -107,24 +147,104 @@ Vector scaled(const Vector& a, double alpha) {
   return out;
 }
 
+namespace {
+
+/// Panel width of the blocked Cholesky. 32 columns keep the diagonal block,
+/// one panel row and one trailing row (~8 KiB together at n=512) resident in
+/// L1 while the rank-k update streams over contiguous rows.
+constexpr std::size_t kCholeskyBlock = 32;
+
+}  // namespace
+
 Matrix cholesky(const Matrix& a) {
   STUNE_CHECK_EQ(a.rows(), a.cols());
   const std::size_t n = a.rows();
-  Matrix l(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (diag <= 0.0 || !std::isfinite(diag)) {
-      throw std::runtime_error("cholesky: matrix is not positive definite");
+  // Factor in place on a working copy; the strict upper triangle still holds
+  // A's entries during the sweep and is zeroed before returning.
+  Matrix l = a;
+  for (std::size_t j0 = 0; j0 < n; j0 += kCholeskyBlock) {
+    const std::size_t jb = std::min(kCholeskyBlock, n - j0);
+    const std::size_t jend = j0 + jb;
+    // Factor the diagonal block (unblocked; prior blocks already applied
+    // their trailing updates, so only in-block contributions remain).
+    for (std::size_t j = j0; j < jend; ++j) {
+      const double* lj = l.row_ptr(j);
+      double diag = lj[j];
+      for (std::size_t k = j0; k < j; ++k) diag -= lj[k] * lj[k];
+      if (diag <= 0.0 || !std::isfinite(diag)) {
+        throw std::runtime_error("cholesky: matrix is not positive definite");
+      }
+      const double root = std::sqrt(diag);
+      l(j, j) = root;
+      for (std::size_t i = j + 1; i < jend; ++i) {
+        double* li = l.row_ptr(i);
+        double acc = li[j];
+        for (std::size_t k = j0; k < j; ++k) acc -= li[k] * lj[k];
+        li[j] = acc / root;
+      }
     }
-    l(j, j) = std::sqrt(diag);
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double acc = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
-      l(i, j) = acc / l(j, j);
+    // Panel solve: L21 := A21 L11^-T (trsm, one contiguous row at a time).
+    for (std::size_t i = jend; i < n; ++i) {
+      double* li = l.row_ptr(i);
+      for (std::size_t j = j0; j < jend; ++j) {
+        const double* lj = l.row_ptr(j);
+        double acc = li[j];
+        for (std::size_t k = j0; k < j; ++k) acc -= li[k] * lj[k];
+        li[j] = acc / lj[j];
+      }
+    }
+    // Trailing update: A22 -= L21 L21ᵀ (symmetric rank-jb, lower triangle).
+    // Row-major dot products over the panel columns — the cache-friendly
+    // O(n³) bulk of the factorization.
+    for (std::size_t i = jend; i < n; ++i) {
+      const double* li = l.row_ptr(i);
+      for (std::size_t j = jend; j <= i; ++j) {
+        const double* lj = l.row_ptr(j);
+        double acc = 0.0;
+        for (std::size_t k = j0; k < jend; ++k) acc += li[k] * lj[k];
+        l(i, j) -= acc;
+      }
     }
   }
+  for (std::size_t i = 0; i < n; ++i) {
+    double* li = l.row_ptr(i);
+    for (std::size_t j = i + 1; j < n; ++j) li[j] = 0.0;
+  }
   return l;
+}
+
+Matrix cholesky_append(const Matrix& l, const Vector& new_row) {
+  STUNE_CHECK_EQ(l.rows(), l.cols());
+  STUNE_CHECK_EQ(new_row.size(), l.rows() + 1);
+  const std::size_t n = l.rows();
+  const Vector k12(new_row.begin(), new_row.begin() + static_cast<std::ptrdiff_t>(n));
+  const Vector l12 = solve_lower(l, k12);
+  const double diag = new_row[n] - dot(l12, l12);
+  if (diag <= 0.0 || !std::isfinite(diag)) {
+    throw std::runtime_error("cholesky_append: extended matrix is not positive definite");
+  }
+  Matrix out(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(l.row_ptr(i), l.row_ptr(i) + i + 1, out.row_ptr(i));
+  }
+  std::copy(l12.begin(), l12.end(), out.row_ptr(n));
+  out(n, n) = std::sqrt(diag);
+  return out;
+}
+
+void syrk_sub_lower(const Matrix& a, Matrix& c) {
+  STUNE_CHECK(c.rows() == c.cols() && a.rows() == c.rows());
+  const std::size_t n = c.rows();
+  const std::size_t k = a.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ai = a.row_ptr(i);
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double* aj = a.row_ptr(j);
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * aj[p];
+      c(i, j) -= acc;
+    }
+  }
 }
 
 Vector solve_lower(const Matrix& l, const Vector& b) {
@@ -133,9 +253,94 @@ Vector solve_lower(const Matrix& l, const Vector& b) {
   Vector y(n);
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[i];
-    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    for (std::size_t k = 0; k < i; ++k) acc = fnma_acc(acc, l(i, k), y[k]);
     y[i] = acc / l(i, i);
   }
+  return y;
+}
+
+namespace {
+
+/// Forward-substitution over one tile of `W` right-hand-side columns,
+/// starting at column `j0`. Per column this is exactly the vector overload's
+/// recurrence — subtract l(i,k)·y(k,·) for k ascending, then divide — so each
+/// column matches the scalar solve bitwise (no skips, no reassociation).
+/// Keeping the k-loop innermost holds the W running columns of row i in
+/// registers instead of re-loading and re-storing them once per k, which is
+/// what makes the multi-RHS solve cache- and port-bound instead of
+/// latency-bound.
+template <std::size_t W>
+void solve_lower_tile(const Matrix& l, Matrix& y, std::size_t j0) {
+  const std::size_t n = l.rows();
+  // Panel the k-dimension so the 32×W panel of finished y-rows stays in L1
+  // while it is subtracted from every later row (the unpaneled sweep re-reads
+  // the whole upper part of y from L2 for each output row). Each column
+  // still sees its subtractions in ascending-k order, one individually
+  // rounded op each — storing the running value between panels does not
+  // change it — so the result is bitwise identical to the unpaneled solve.
+  constexpr std::size_t kPanel = 32;
+  for (std::size_t kb = 0; kb < n; kb += kPanel) {
+    const std::size_t ke = std::min(kb + kPanel, n);
+    // Diagonal block: finish rows kb..ke (earlier panels already applied).
+    for (std::size_t i = kb; i < ke; ++i) {
+      const double* li = l.row_ptr(i);
+      double* __restrict yi = y.row_ptr(i) + j0;
+      double acc[W];
+      for (std::size_t j = 0; j < W; ++j) acc[j] = yi[j];
+      for (std::size_t k = kb; k < i; ++k) {
+        const double lik = li[k];
+        const double* __restrict yk = y.row_ptr(k) + j0;
+        for (std::size_t j = 0; j < W; ++j) acc[j] = fnma_acc(acc[j], lik, yk[j]);
+      }
+      const double lii = li[i];
+      for (std::size_t j = 0; j < W; ++j) yi[j] = acc[j] / lii;
+    }
+    // Panel update: subtract the finished panel from all later rows.
+    for (std::size_t i = ke; i < n; ++i) {
+      const double* li = l.row_ptr(i);
+      double* __restrict yi = y.row_ptr(i) + j0;
+      double acc[W];
+      for (std::size_t j = 0; j < W; ++j) acc[j] = yi[j];
+      for (std::size_t k = kb; k < ke; ++k) {
+        const double lik = li[k];
+        const double* __restrict yk = y.row_ptr(k) + j0;
+        for (std::size_t j = 0; j < W; ++j) acc[j] = fnma_acc(acc[j], lik, yk[j]);
+      }
+      for (std::size_t j = 0; j < W; ++j) yi[j] = acc[j];
+    }
+  }
+}
+
+/// Runtime-width tail of the tiled solve (w < the compile-time tile width).
+/// Same per-column operation sequence as solve_lower_tile.
+void solve_lower_tail(const Matrix& l, Matrix& y, std::size_t j0, std::size_t w) {
+  const std::size_t n = l.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = l.row_ptr(i);
+    double* __restrict yi = y.row_ptr(i) + j0;
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = li[k];
+      const double* __restrict yk = y.row_ptr(k) + j0;
+      for (std::size_t j = 0; j < w; ++j) yi[j] = fnma_acc(yi[j], lik, yk[j]);
+    }
+    const double lii = li[i];
+    for (std::size_t j = 0; j < w; ++j) yi[j] /= lii;
+  }
+}
+
+}  // namespace
+
+Matrix solve_lower(const Matrix& l, const Matrix& b) {
+  STUNE_CHECK(l.rows() == l.cols() && b.rows() == l.rows());
+  const std::size_t m = b.cols();
+  Matrix y = b;
+  // Column tiling only changes which columns are in flight together; the
+  // arithmetic inside any one column is tile-width independent, so the result
+  // is bitwise identical for every tiling (and to the vector overload).
+  constexpr std::size_t kTile = 32;
+  std::size_t j0 = 0;
+  for (; j0 + kTile <= m; j0 += kTile) solve_lower_tile<kTile>(l, y, j0);
+  if (j0 < m) solve_lower_tail(l, y, j0, m - j0);
   return y;
 }
 

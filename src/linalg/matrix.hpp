@@ -1,10 +1,14 @@
 // Minimal dense linear algebra for the performance models (ridge regression,
 // Gaussian processes, NNLS). Matrices are small here (a few hundred rows at
-// most), so a straightforward row-major implementation is both sufficient
-// and easy to audit.
+// most), so a flat row-major implementation is both sufficient and easy to
+// audit. The Cholesky path is the surrogate hot loop and gets the blocked
+// treatment: a right-looking blocked factorization, a multi-RHS triangular
+// solve (trsm-style), a symmetric rank-k trailing update and a rank-1
+// `cholesky_append` that extends an existing factor in O(n²).
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace stune::linalg {
@@ -17,12 +21,21 @@ class Matrix {
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
 
   static Matrix identity(std::size_t n);
+  /// Adopt a flat row-major buffer; data.size() must equal rows * cols.
+  static Matrix from_flat(std::vector<double> data, std::size_t rows, std::size_t cols);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 
   double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Contiguous view of one row (row-major storage makes this free).
+  std::span<const double> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+  /// The flat row-major buffer backing the matrix.
+  const std::vector<double>& flat() const { return data_; }
 
   /// this * x. Requires x.size() == cols().
   Vector matvec(const Vector& x) const;
@@ -54,11 +67,33 @@ Vector scaled(const Vector& a, double alpha);
 // -- Factorizations ---------------------------------------------------------
 
 /// Cholesky factorization of a symmetric positive definite matrix: A = L L^T.
+/// Blocked right-looking variant: panel factorizations feed a symmetric
+/// rank-k trailing update whose inner loops run over contiguous rows, so the
+/// O(n³) bulk is cache-friendly instead of strided.
 /// Throws std::runtime_error if A is not (numerically) positive definite.
 Matrix cholesky(const Matrix& a);
 
+/// Extend the Cholesky factor L of an n×n SPD matrix A to the factor of the
+/// (n+1)×(n+1) matrix obtained by appending `new_row` as the last row and
+/// column (new_row = [a_{n+1,1..n}, a_{n+1,n+1}]). One forward solve plus a
+/// dot product: O(n²) instead of refactorizing in O(n³).
+/// Throws std::runtime_error if the extended matrix is not positive definite
+/// (the existing factor is left untouched — the call is purely functional).
+Matrix cholesky_append(const Matrix& l, const Vector& new_row);
+
+/// C -= A Aᵀ restricted to the lower triangle (symmetric rank-k update, the
+/// trailing-update kernel of the blocked Cholesky). Requires a.rows() ==
+/// c.rows() == c.cols(); the strict upper triangle of C is not referenced.
+void syrk_sub_lower(const Matrix& a, Matrix& c);
+
 /// Solve L y = b for lower-triangular L (forward substitution).
 Vector solve_lower(const Matrix& l, const Vector& b);
+
+/// Multi-RHS forward substitution: solve L Y = B column-wise for an n×m B
+/// (trsm-style). Each column reproduces the vector overload bitwise — the
+/// per-element operation sequence is identical — so batched consumers can
+/// assert exact agreement with their scalar paths.
+Matrix solve_lower(const Matrix& l, const Matrix& b);
 
 /// Solve L^T x = y for lower-triangular L (backward substitution).
 Vector solve_lower_transposed(const Matrix& l, const Vector& y);

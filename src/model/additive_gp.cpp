@@ -6,6 +6,7 @@
 #include <limits>
 #include <numbers>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -18,25 +19,32 @@ double matern52(double r) {
   return (1.0 + s + s * s / 3.0) * std::exp(-s);
 }
 
+double log_marginal(const linalg::Matrix& l, const std::vector<double>& y,
+                    const linalg::Vector& alpha) {
+  double value = -0.5 * linalg::dot(y, alpha);
+  for (std::size_t i = 0; i < l.rows(); ++i) value -= std::log(l(i, i));
+  value -= 0.5 * static_cast<double>(l.rows()) * std::log(2.0 * std::numbers::pi);
+  return value;
+}
+
 }  // namespace
 
-double AdditiveGaussianProcess::kernel(const std::vector<double>& a,
-                                       const std::vector<double>& b) const {
+double AdditiveGaussianProcess::kernel(const double* a, const double* b) const {
   double acc = 0.0;
-  for (std::size_t d = 0; d < a.size(); ++d) {
+  for (std::size_t d = 0; d < dim_; ++d) {
     if (weights_[d] <= 0.0) continue;
     acc += weights_[d] * matern52(std::abs(a[d] - b[d]) / lengthscales_[d]);
   }
   return acc;
 }
 
-bool AdditiveGaussianProcess::refit(const std::vector<double>& y, double* lml) {
-  const std::size_t n = x_.size();
-  linalg::Matrix k(n, n);
+bool AdditiveGaussianProcess::refit() {
+  linalg::Matrix k(n_, n_);
   const double noise = noise_ + 1e-8;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i; j < n; ++j) {
-      const double v = kernel(x_[i], x_[j]);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* xi = x_.data() + i * dim_;
+    for (std::size_t j = i; j < n_; ++j) {
+      const double v = kernel(xi, x_.data() + j * dim_);
       k(i, j) = v;
       k(j, i) = v;
     }
@@ -47,40 +55,46 @@ bool AdditiveGaussianProcess::refit(const std::vector<double>& y, double* lml) {
   } catch (const std::runtime_error&) {
     return false;
   }
-  alpha_ = linalg::cholesky_solve(chol_, y);
-  double value = -0.5 * linalg::dot(y, alpha_);
-  for (std::size_t i = 0; i < n; ++i) value -= std::log(chol_(i, i));
-  value -= 0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
-  *lml = value;
+  alpha_ = linalg::cholesky_solve(chol_, y_);
+  lml_ = log_marginal(chol_, y_, alpha_);
   return true;
 }
 
-void AdditiveGaussianProcess::fit(const Dataset& data, std::vector<std::size_t> feature_owners) {
-  if (data.empty()) throw std::invalid_argument("AdditiveGaussianProcess: empty dataset");
-  x_ = data.features();
-  const std::size_t dims = data.dim();
-  if (feature_owners.empty()) {
-    feature_owners.resize(dims);
-    std::iota(feature_owners.begin(), feature_owners.end(), std::size_t{0});
+bool AdditiveGaussianProcess::extend_factor() {
+  y_.push_back(scaler_.to_normalized(y_raw_.back()));
+  linalg::Vector row(n_);
+  const double* xn = x_.data() + (n_ - 1) * dim_;
+  for (std::size_t i = 0; i + 1 < n_; ++i) row[i] = kernel(xn, x_.data() + i * dim_);
+  row[n_ - 1] = kernel(xn, xn) + noise_ + 1e-8;
+  try {
+    chol_ = linalg::cholesky_append(chol_, row);
+  } catch (const std::runtime_error&) {
+    return false;
   }
-  if (feature_owners.size() != dims) {
-    throw std::invalid_argument("AdditiveGaussianProcess: owners size mismatch");
-  }
-  owners_ = std::move(feature_owners);
-  groups_ = owners_.empty() ? 0 : *std::max_element(owners_.begin(), owners_.end()) + 1;
+  alpha_ = linalg::cholesky_solve(chol_, y_);
+  lml_ = log_marginal(chol_, y_, alpha_);
+  return true;
+}
 
-  scaler_ = TargetScaler::fit(data.targets());
-  std::vector<double> y(data.size());
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] = scaler_.to_normalized(data.target(i));
+bool AdditiveGaussianProcess::full_fit() {
+  if (owners_.size() != dim_) {
+    owners_.resize(dim_);
+    std::iota(owners_.begin(), owners_.end(), std::size_t{0});
+    groups_ = dim_;
+  }
+
+  scaler_ = TargetScaler::fit(y_raw_);
+  y_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) y_[i] = scaler_.to_normalized(y_raw_[i]);
 
   // Per-dimension lengthscales from the median absolute difference.
-  lengthscales_.assign(dims, 1.0);
-  for (std::size_t d = 0; d < dims; ++d) {
+  lengthscales_.assign(dim_, 1.0);
+  for (std::size_t d = 0; d < dim_; ++d) {
     std::vector<double> diffs;
-    const std::size_t stride = x_.size() > 48 ? x_.size() / 48 : 1;
-    for (std::size_t i = 0; i < x_.size(); i += stride) {
-      for (std::size_t j = i + stride; j < x_.size(); j += stride) {
-        diffs.push_back(std::abs(x_[i][d] - x_[j][d]));
+    const std::size_t stride = n_ > 48 ? n_ / 48 : 1;
+    for (std::size_t i = 0; i < n_; i += stride) {
+      for (std::size_t j = i + stride; j < n_; j += stride) {
+        diffs.push_back(std::abs(x_[i * dim_ + d] - x_[j * dim_ + d]));
       }
     }
     double median = 0.3;
@@ -97,8 +111,8 @@ void AdditiveGaussianProcess::fit(const Dataset& data, std::vector<std::size_t> 
   // dimension always renormalizes the vector to sum 1, so the search
   // compares relative importances rather than total signal variance
   // (targets are normalized to unit variance already).
-  const double base = 1.0 / static_cast<double>(dims);
-  std::vector<double> raw(dims, base);
+  const double base = 1.0 / static_cast<double>(dim_);
+  std::vector<double> raw(dim_, base);
   auto normalized = [&](const std::vector<double>& w) {
     double total = 0.0;
     for (const double v : w) total += v;
@@ -121,9 +135,8 @@ void AdditiveGaussianProcess::fit(const Dataset& data, std::vector<std::size_t> 
     double best_noise = options_.noise_grid.front();
     for (const double candidate : options_.noise_grid) {
       noise_ = candidate;
-      double lml = 0.0;
-      if (refit(y, &lml) && lml > best) {
-        best = lml;
+      if (refit() && lml_ > best) {
+        best = lml_;
         best_noise = candidate;
       }
     }
@@ -132,16 +145,15 @@ void AdditiveGaussianProcess::fit(const Dataset& data, std::vector<std::size_t> 
   };
   tune_noise();
   for (std::size_t sweep = 0; sweep < options_.sweeps; ++sweep) {
-    for (std::size_t d = 0; d < dims; ++d) {
+    for (std::size_t d = 0; d < dim_; ++d) {
       const double saved = raw[d];
       double best_raw = saved;
       for (const double mult : options_.weight_grid) {
         raw[d] = base * mult;
         if (raw[d] == saved) continue;
         weights_ = normalized(raw);
-        double lml = 0.0;
-        if (refit(y, &lml) && lml > best_lml) {
-          best_lml = lml;
+        if (refit() && lml_ > best_lml) {
+          best_lml = lml_;
           best_raw = raw[d];
         }
       }
@@ -151,25 +163,103 @@ void AdditiveGaussianProcess::fit(const Dataset& data, std::vector<std::size_t> 
   // Leave the state consistent with the final weights.
   weights_ = normalized(raw);
   tune_noise();
-  if (!refit(y, &best_lml)) {
-    throw std::runtime_error("AdditiveGaussianProcess: degenerate final kernel");
-  }
-  lml_ = best_lml;
-  fitted_ = true;
+  if (!refit()) return false;
+  since_refresh_ = 0;
+  lml_per_point_at_refresh_ = lml_ / static_cast<double>(n_);
+  ++refreshes_;
+  return true;
 }
 
-GpPrediction AdditiveGaussianProcess::predict(const std::vector<double>& x) const {
+void AdditiveGaussianProcess::fit(const Dataset& data, std::vector<std::size_t> feature_owners) {
+  if (data.empty()) throw std::invalid_argument("AdditiveGaussianProcess: empty dataset");
+  if (!feature_owners.empty() && feature_owners.size() != data.dim()) {
+    throw std::invalid_argument("AdditiveGaussianProcess: owners size mismatch");
+  }
+  x_ = data.feature_data();
+  y_raw_ = data.targets();
+  n_ = data.size();
+  dim_ = data.dim();
+  if (feature_owners.empty()) {
+    feature_owners.resize(dim_);
+    std::iota(feature_owners.begin(), feature_owners.end(), std::size_t{0});
+  }
+  owners_ = std::move(feature_owners);
+  groups_ = owners_.empty() ? 0 : *std::max_element(owners_.begin(), owners_.end()) + 1;
+  refreshes_ = 0;
+  fitted_ = full_fit();
+  if (!fitted_) throw std::runtime_error("AdditiveGaussianProcess: degenerate final kernel");
+}
+
+void AdditiveGaussianProcess::observe(std::span<const double> x, double y) {
+  if (n_ > 0 && x.size() != dim_) {
+    throw std::invalid_argument("AdditiveGaussianProcess: inconsistent feature dimension");
+  }
+  if (n_ == 0) dim_ = x.size();
+  x_.insert(x_.end(), x.begin(), x.end());
+  y_raw_.push_back(y);
+  ++n_;
+  ++since_refresh_;
+  if (fitted_ && since_refresh_ < options_.refresh_interval) {
+    bool ok = false;
+    if (options_.incremental) {
+      ok = extend_factor();
+    } else {
+      y_.push_back(scaler_.to_normalized(y));
+      ok = refit();
+    }
+    if (ok &&
+        lml_ / static_cast<double>(n_) >= lml_per_point_at_refresh_ - options_.lml_drop_per_point) {
+      return;
+    }
+  }
+  fitted_ = full_fit();
+}
+
+void AdditiveGaussianProcess::predict_range(const linalg::Matrix& candidates, std::size_t begin,
+                                            std::size_t end, std::span<GpPrediction> out) const {
+  const std::size_t m = end - begin;
+  linalg::Matrix kstar(n_, m);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* xi = x_.data() + i * dim_;
+    double* ki = kstar.row_ptr(i);
+    for (std::size_t j = 0; j < m; ++j) ki[j] = kernel(xi, candidates.row_ptr(begin + j));
+  }
+  const linalg::Vector mean_z = kstar.matvec_transposed(alpha_);
+  const linalg::Matrix v = linalg::solve_lower(chol_, kstar);
+  for (std::size_t j = 0; j < m; ++j) {
+    double vtv = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double vij = v(i, j);
+      vtv += vij * vij;
+    }
+    const double* c = candidates.row_ptr(begin + j);
+    const double var_z = std::max(1e-10, kernel(c, c) + noise_ - vtv);
+    out[j].mean = scaler_.to_raw(mean_z[j]);
+    out[j].variance = var_z * scaler_.stddev * scaler_.stddev;
+  }
+}
+
+GpPrediction AdditiveGaussianProcess::predict(std::span<const double> x) const {
   if (!fitted_) throw std::logic_error("AdditiveGaussianProcess: predict before fit");
-  const std::size_t n = x_.size();
-  linalg::Vector k_star(n);
-  for (std::size_t i = 0; i < n; ++i) k_star[i] = kernel(x, x_[i]);
-  const double mean_z = linalg::dot(k_star, alpha_);
-  const linalg::Vector v = linalg::solve_lower(chol_, k_star);
-  const double var_z = std::max(1e-10, kernel(x, x) + noise_ - linalg::dot(v, v));
+  if (x.size() != dim_) {
+    throw std::invalid_argument("AdditiveGaussianProcess: inconsistent feature dimension");
+  }
+  linalg::Matrix c(1, dim_);
+  std::copy(x.begin(), x.end(), c.row_ptr(0));
   GpPrediction p;
-  p.mean = scaler_.to_raw(mean_z);
-  p.variance = var_z * scaler_.stddev * scaler_.stddev;
+  predict_range(c, 0, 1, {&p, 1});
   return p;
+}
+
+std::vector<GpPrediction> AdditiveGaussianProcess::predict_batch(
+    const linalg::Matrix& candidates) const {
+  if (!fitted_) throw std::logic_error("AdditiveGaussianProcess: predict before fit");
+  if (candidates.cols() != dim_) {
+    throw std::invalid_argument("AdditiveGaussianProcess: inconsistent feature dimension");
+  }
+  std::vector<GpPrediction> out(candidates.rows());
+  if (!out.empty()) predict_range(candidates, 0, candidates.rows(), out);
+  return out;
 }
 
 std::vector<double> AdditiveGaussianProcess::relevance() const {

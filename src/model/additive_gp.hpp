@@ -9,9 +9,16 @@
 // Per-dimension weights w_d are fit by coordinate ascent on the log
 // marginal likelihood; the normalized weights are the model's *relevance*
 // vector — which configuration parameters the runtime actually responds to.
+//
+// Like GaussianProcess, the model is incremental: observe() appends one
+// kernel row and extends the Cholesky factor in O(n²), and the expensive
+// coordinate-ascent refit only re-runs every `refresh_interval`
+// observations or when the per-point log marginal likelihood degrades.
 #pragma once
 
 #include <cstddef>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -30,6 +37,15 @@ class AdditiveGaussianProcess {
     /// Multiplier grid tried per dimension weight during coordinate ascent.
     std::vector<double> weight_grid = {0.0, 0.25, 1.0, 3.0};
     std::size_t sweeps = 2;
+    /// observe(): coordinate-ascent refreshes run every this many
+    /// observations; in between the factor is extended incrementally under
+    /// frozen weights, lengthscales and noise.
+    std::size_t refresh_interval = 8;
+    /// Early-refresh trigger, in nats of per-point LML degradation.
+    double lml_drop_per_point = 1.0;
+    /// When false, observe() refactorizes from scratch each observation
+    /// (same schedule, frozen hyperparameters) — the benchmark baseline.
+    bool incremental = true;
   };
 
   AdditiveGaussianProcess() : AdditiveGaussianProcess(Options{}) {}
@@ -40,25 +56,58 @@ class AdditiveGaussianProcess {
   /// reported per group. Empty = one group per feature.
   void fit(const Dataset& data, std::vector<std::size_t> feature_owners = {});
 
-  GpPrediction predict(const std::vector<double>& x) const;
+  /// Append one observation and update the factorization in O(n²); see
+  /// GaussianProcess::observe for the failure contract (never throws on
+  /// numerical failure, check fitted()).
+  void observe(std::span<const double> x, double y);
+  void observe(std::initializer_list<double> x, double y) {
+    observe(std::span<const double>(x.begin(), x.size()), y);
+  }
+
+  GpPrediction predict(std::span<const double> x) const;
+  GpPrediction predict(std::initializer_list<double> x) const {
+    return predict(std::span<const double>(x.begin(), x.size()));
+  }
+  /// Score every candidate row through one kernel-block build and one
+  /// multi-RHS triangular solve; bitwise identical to looped predict().
+  std::vector<GpPrediction> predict_batch(const linalg::Matrix& candidates) const;
+
   bool fitted() const { return fitted_; }
+  std::size_t size() const { return n_; }
   double log_marginal_likelihood() const { return lml_; }
+  /// Full coordinate-ascent refreshes performed so far (fit() counts one).
+  std::size_t refreshes() const { return refreshes_; }
 
   /// Normalized per-group kernel weights (sums to 1): the fraction of the
   /// model's explained variance attributable to each parameter.
   std::vector<double> relevance() const;
 
  private:
-  double kernel(const std::vector<double>& a, const std::vector<double>& b) const;
-  /// LML of the current weights; false if the kernel matrix went indefinite.
-  bool refit(const std::vector<double>& y, double* lml);
+  double kernel(const double* a, const double* b) const;
+  /// Factorize the current kernel over stored data into chol_/alpha_/lml_;
+  /// false if the kernel matrix went indefinite.
+  bool refit();
+  /// Full hyperparameter search (scaler, lengthscales, weight ascent,
+  /// noise); false if no configuration factorizes.
+  bool full_fit();
+  /// Rank-1 extension of the factor by the newly appended row.
+  bool extend_factor();
+  void predict_range(const linalg::Matrix& candidates, std::size_t begin, std::size_t end,
+                     std::span<GpPrediction> out) const;
 
   Options options_;
   bool fitted_ = false;
   double lml_ = 0.0;
+  double lml_per_point_at_refresh_ = 0.0;
   double noise_ = 0.1;
+  std::size_t n_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t since_refresh_ = 0;
+  std::size_t refreshes_ = 0;
   TargetScaler scaler_;
-  std::vector<std::vector<double>> x_;
+  std::vector<double> x_;      // flat row-major features, n_ × dim_
+  std::vector<double> y_raw_;  // raw targets (refreshes re-normalize)
+  std::vector<double> y_;      // targets under the frozen scaler_
   std::vector<double> lengthscales_;  // per feature
   std::vector<double> weights_;       // per feature
   std::vector<std::size_t> owners_;   // feature -> group

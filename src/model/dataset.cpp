@@ -1,7 +1,7 @@
 #include "model/dataset.hpp"
 
-#include <cmath>
 #include <cstddef>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -9,16 +9,17 @@
 
 namespace stune::model {
 
-void Dataset::add(std::vector<double> x, double y) {
-  if (!x_.empty() && x.size() != x_.front().size()) {
+void Dataset::add(std::span<const double> x, double y) {
+  if (!y_.empty() && x.size() != dim_) {
     throw std::invalid_argument("Dataset: inconsistent feature dimension");
   }
-  x_.push_back(std::move(x));
+  if (y_.empty()) dim_ = x.size();
+  x_.insert(x_.end(), x.begin(), x.end());
   y_.push_back(y);
 }
 
 void Dataset::reserve(std::size_t n) {
-  x_.reserve(n);
+  x_.reserve(n * (dim_ > 0 ? dim_ : 1));
   y_.reserve(n);
 }
 
@@ -28,7 +29,7 @@ linalg::Matrix Dataset::design_matrix(bool add_bias) const {
   for (std::size_t r = 0; r < size(); ++r) {
     std::size_t c = 0;
     if (add_bias) m(r, c++) = 1.0;
-    for (const double v : x_[r]) m(r, c++) = v;
+    for (const double v : row(r)) m(r, c++) = v;
   }
   return m;
 }

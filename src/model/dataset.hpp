@@ -2,32 +2,41 @@
 #pragma once
 
 #include <cstddef>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 
 namespace stune::model {
 
-/// A supervised regression dataset: rows of features plus a target.
+/// A supervised regression dataset: rows of features plus a target. Features
+/// live in one flat row-major buffer — no per-row allocations, and models
+/// that scan all rows (kernels, tree splits) walk contiguous memory.
 class Dataset {
  public:
-  void add(std::vector<double> x, double y);
+  void add(std::span<const double> x, double y);
+  void add(std::initializer_list<double> x, double y) {
+    add(std::span<const double>(x.begin(), x.size()), y);
+  }
   void reserve(std::size_t n);
 
   std::size_t size() const { return y_.size(); }
   bool empty() const { return y_.empty(); }
-  std::size_t dim() const { return x_.empty() ? 0 : x_.front().size(); }
+  std::size_t dim() const { return dim_; }
 
-  const std::vector<std::vector<double>>& features() const { return x_; }
+  /// The flat row-major feature buffer (size() * dim() doubles).
+  const std::vector<double>& feature_data() const { return x_; }
   const std::vector<double>& targets() const { return y_; }
-  const std::vector<double>& row(std::size_t i) const { return x_[i]; }
+  std::span<const double> row(std::size_t i) const { return {x_.data() + i * dim_, dim_}; }
   double target(std::size_t i) const { return y_[i]; }
 
   /// Dense matrix view (copies), optionally with a leading 1-bias column.
   linalg::Matrix design_matrix(bool add_bias) const;
 
  private:
-  std::vector<std::vector<double>> x_;
+  std::size_t dim_ = 0;
+  std::vector<double> x_;  // flat row-major, size() * dim_
   std::vector<double> y_;
 };
 

@@ -1,28 +1,108 @@
 #include "model/gp.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <limits>
 #include <numbers>
+#include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "simcore/check.hpp"
+#include "simcore/thread_pool.hpp"
 
 namespace stune::model {
 
 namespace {
 
-double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+/// acc + a·b with pinned contraction: one hardware fused multiply-add when
+/// this TU is built with FMA support, a plainly rounded multiply + add
+/// otherwise. Implicit contraction lets the optimizer fuse per generated
+/// loop version (vectorized body vs scalar epilogue), which would make a
+/// candidate's prediction depend on how many candidates share its block.
+/// Every loop below whose trip count is the candidate-block width goes
+/// through this helper (or contains no fusable pattern), which is what makes
+/// scalar predict() bitwise identical to predict_batch() by construction.
+inline double fma_acc(double acc, double a, double b) {
+#ifdef __FMA__
+  return __builtin_fma(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
+/// acc - a·b with the same pinned-contraction contract as fma_acc.
+inline double fnma_acc(double acc, double a, double b) {
+#ifdef __FMA__
+  return __builtin_fma(-a, b, acc);
+#else
+  return acc - a * b;
+#endif
+}
+
+double euclidean(const double* a, const double* b, std::size_t d) {
   double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
   }
-  return acc;
+  return std::sqrt(acc);
+}
+
+/// exp(x) for non-positive x as straight-line arithmetic — no libm call, so
+/// the compiler can vectorize kernel-evaluation loops over it (a libm call
+/// pins the whole loop to scalar code). Cody–Waite argument reduction plus a
+/// degree-13 Horner in 1/k!; within ~2 ulp of std::exp over [-708, 0] and
+/// exactly 1.0 at 0 (each Horner step is p·0 + 1/k!). The argument is
+/// clamped to [-708, 0] — std::exp would keep descending into subnormals
+/// until -745, but a correlation of 3e-308 and one of 1e-320 are equally
+/// dead zeros for the kernel, and the clamp keeps the function a straight
+/// max/floor/fma/bit-op chain with no branch for the vectorizer to trip on.
+/// Every Matérn evaluation (training and prediction) goes through this one
+/// definition, so the two paths stay mutually consistent.
+inline double exp_nonpositive(double x) {
+  constexpr double kLog2e = 1.4426950408889634074;
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  x = std::max(x, -708.0);
+  const double kd = std::floor(fma_acc(0.5, x, kLog2e));
+  const double r = fnma_acc(fnma_acc(x, kd, kLn2Hi), kd, kLn2Lo);
+  double p = 1.0 / 6227020800.0;  // 1/13!
+  p = fma_acc(1.0 / 479001600.0, p, r);
+  p = fma_acc(1.0 / 39916800.0, p, r);
+  p = fma_acc(1.0 / 3628800.0, p, r);
+  p = fma_acc(1.0 / 362880.0, p, r);
+  p = fma_acc(1.0 / 40320.0, p, r);
+  p = fma_acc(1.0 / 5040.0, p, r);
+  p = fma_acc(1.0 / 720.0, p, r);
+  p = fma_acc(1.0 / 120.0, p, r);
+  p = fma_acc(1.0 / 24.0, p, r);
+  p = fma_acc(1.0 / 6.0, p, r);
+  p = fma_acc(0.5, p, r);
+  p = fma_acc(1.0, p, r);
+  p = fma_acc(1.0, p, r);
+  // 2^k via the exponent field; after the clamp the biased exponent 1023+k
+  // stays in [1, 1023]. kd is extracted through the 1.5·2^52 magic constant
+  // instead of a double→int64 cast because AVX2 has no packed conversion —
+  // the cast would force the whole kernel loop scalar. Adding the magic puts
+  // the integer kd into the low mantissa bits (mod 2^11 is enough for the
+  // exponent field), and the remaining ops are plain integer add/and/shift
+  // the vectorizer handles.
+  constexpr double kMagic = 6755399441055744.0;  // 1.5·2^52
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(kd + kMagic);
+  const double two_k = std::bit_cast<double>(((bits + 1023) & 0x7FFULL) << 52);
+  return p * two_k;
 }
 
 double matern52(double r, double lengthscale) {
   const double s = std::sqrt(5.0) * r / lengthscale;
-  return (1.0 + s + s * s / 3.0) * std::exp(-s);
+  return (1.0 + s + s * s / 3.0) * exp_nonpositive(-s);
 }
 
 double standard_normal_pdf(double z) {
@@ -31,28 +111,53 @@ double standard_normal_pdf(double z) {
 
 double standard_normal_cdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
 
-}  // namespace
-
-double GaussianProcess::kernel(const std::vector<double>& a, const std::vector<double>& b) const {
-  return signal_var_ * matern52(std::sqrt(sq_dist(a, b)), lengthscale_);
+double log_marginal(const linalg::Matrix& l, const std::vector<double>& y,
+                    const linalg::Vector& alpha) {
+  double lml = -0.5 * linalg::dot(y, alpha);
+  for (std::size_t i = 0; i < l.rows(); ++i) lml -= std::log(l(i, i));
+  lml -= 0.5 * static_cast<double>(l.rows()) * std::log(2.0 * std::numbers::pi);
+  return lml;
 }
 
-void GaussianProcess::fit(const Dataset& data) {
-  if (data.empty()) throw std::invalid_argument("GaussianProcess: empty dataset");
-  x_ = data.features();
-  scaler_ = TargetScaler::fit(data.targets());
-  std::vector<double> y(data.size());
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] = scaler_.to_normalized(data.target(i));
+}  // namespace
+
+void GaussianProcess::append_point(std::span<const double> x, double y) {
+  if (n_ == 0) {
+    dim_ = x.size();
+  } else if (x.size() != dim_) {
+    throw std::invalid_argument("GaussianProcess: feature dimension mismatch");
+  }
+  // Extend the cached distance matrix from n×n to (n+1)×(n+1): re-stride the
+  // existing rows, then one O(n·d) pass for the new row and column.
+  const std::size_t n = n_;
+  std::vector<double> grown((n + 1) * (n + 1), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(dist_.data() + i * n, dist_.data() + i * n + n, grown.data() + i * (n + 1));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = euclidean(x.data(), x_.data() + i * dim_, dim_);
+    grown[n * (n + 1) + i] = r;
+    grown[i * (n + 1) + n] = r;
+  }
+  dist_ = std::move(grown);
+  x_.insert(x_.end(), x.begin(), x.end());
+  y_raw_.push_back(y);
+  ++n_;
+}
+
+bool GaussianProcess::refresh_hyperparameters() {
+  const std::size_t n = n_;
+  scaler_ = TargetScaler::fit(y_raw_);
+  y_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) y_[i] = scaler_.to_normalized(y_raw_[i]);
   signal_var_ = 1.0;  // targets are normalized
 
-  // Median pairwise distance heuristic (subsampled for large n).
+  // Median pairwise distance heuristic (subsampled for large n), read
+  // straight from the distance cache.
   std::vector<double> dists;
-  const std::size_t n = x_.size();
   const std::size_t stride = n > 64 ? n / 64 : 1;
   for (std::size_t i = 0; i < n; i += stride) {
-    for (std::size_t j = i + stride; j < n; j += stride) {
-      dists.push_back(std::sqrt(sq_dist(x_[i], x_[j])));
-    }
+    for (std::size_t j = i + stride; j < n; j += stride) dists.push_back(dist_[i * n + j]);
   }
   double median = 1.0;
   if (!dists.empty()) {
@@ -66,16 +171,17 @@ void GaussianProcess::fit(const Dataset& data) {
   linalg::Vector best_alpha;
   double best_ls = median;
 
+  linalg::Matrix k(n, n);
   for (const double mult : options_.lengthscale_grid) {
-    lengthscale_ = median * mult;
-    linalg::Matrix k(n, n);
+    // The grid entry is an explicit parameter of the kernel build — member
+    // state is only written once the winner is known, so entries could be
+    // scored concurrently and kernel() can never read a half-updated grid.
+    const double ls = median * mult;
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i; j < n; ++j) {
-        const double v = kernel(x_[i], x_[j]);
-        k(i, j) = v;
-        k(j, i) = v;
-      }
-      k(i, i) += options_.noise * signal_var_ + 1e-8;
+      double* ki = k.row_ptr(i);
+      const double* di = dist_.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) ki[j] = signal_var_ * matern52(di[j], ls);
+      ki[i] += options_.noise * signal_var_ + 1e-8;
     }
     linalg::Matrix l;
     try {
@@ -83,40 +189,229 @@ void GaussianProcess::fit(const Dataset& data) {
     } catch (const std::runtime_error&) {
       continue;  // numerically bad lengthscale; try the next one
     }
-    const linalg::Vector alpha = linalg::cholesky_solve(l, y);
-    double lml = -0.5 * linalg::dot(y, alpha);
-    for (std::size_t i = 0; i < n; ++i) lml -= std::log(l(i, i));
-    lml -= 0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+    linalg::Vector alpha = linalg::cholesky_solve(l, y_);
+    const double lml = log_marginal(l, y_, alpha);
     if (lml > best_lml) {
       best_lml = lml;
-      best_chol = l;
-      best_alpha = alpha;
-      best_ls = lengthscale_;
+      best_chol = std::move(l);
+      best_alpha = std::move(alpha);
+      best_ls = ls;
     }
   }
-  if (!std::isfinite(best_lml)) {
-    throw std::runtime_error("GaussianProcess: no viable lengthscale (degenerate data)");
-  }
+  if (!std::isfinite(best_lml)) return false;
   lengthscale_ = best_ls;
   lml_ = best_lml;
   chol_ = std::move(best_chol);
   alpha_ = std::move(best_alpha);
-  fitted_ = true;
+  since_refresh_ = 0;
+  lml_per_point_at_refresh_ = lml_ / static_cast<double>(n);
+  ++refreshes_;
+  return true;
 }
 
-GpPrediction GaussianProcess::predict(const std::vector<double>& x) const {
+bool GaussianProcess::rebuild_factor() {
+  const std::size_t n = n_;
+  y_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) y_[i] = scaler_.to_normalized(y_raw_[i]);
+  linalg::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double* ki = k.row_ptr(i);
+    const double* di = dist_.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) ki[j] = signal_var_ * matern52(di[j], lengthscale_);
+    ki[i] += options_.noise * signal_var_ + 1e-8;
+  }
+  linalg::Matrix l;
+  try {
+    l = linalg::cholesky(k);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  chol_ = std::move(l);
+  alpha_ = linalg::cholesky_solve(chol_, y_);
+  lml_ = log_marginal(chol_, y_, alpha_);
+  return true;
+}
+
+bool GaussianProcess::extend_factor() {
+  const std::size_t n = n_;  // already includes the appended point
+  y_.push_back(scaler_.to_normalized(y_raw_.back()));
+  linalg::Vector row(n);
+  const double* dlast = dist_.data() + (n - 1) * n;
+  for (std::size_t i = 0; i + 1 < n; ++i) row[i] = signal_var_ * matern52(dlast[i], lengthscale_);
+  row[n - 1] = signal_var_ + options_.noise * signal_var_ + 1e-8;
+  linalg::Matrix grown;
+  try {
+    grown = linalg::cholesky_append(chol_, row);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  chol_ = std::move(grown);
+  alpha_ = linalg::cholesky_solve(chol_, y_);
+  lml_ = log_marginal(chol_, y_, alpha_);
+  return true;
+}
+
+void GaussianProcess::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("GaussianProcess: empty dataset");
+  n_ = data.size();
+  dim_ = data.dim();
+  x_ = data.feature_data();  // one flat copy — no per-row allocations
+  y_raw_ = data.targets();
+  y_.clear();
+  since_refresh_ = 0;
+  refreshes_ = 0;
+  dist_.assign(n_ * n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      const double r = euclidean(x_.data() + i * dim_, x_.data() + j * dim_, dim_);
+      dist_[i * n_ + j] = r;
+      dist_[j * n_ + i] = r;
+    }
+  }
+  fitted_ = refresh_hyperparameters();
+  if (!fitted_) {
+    throw std::runtime_error("GaussianProcess: no viable lengthscale (degenerate data)");
+  }
+}
+
+void GaussianProcess::observe(std::span<const double> x, double y) {
+  append_point(x, y);
+  ++since_refresh_;
+  if (fitted_ && since_refresh_ < options_.refresh_interval) {
+    const bool ok = options_.incremental ? extend_factor() : rebuild_factor();
+    // The factor can be numerically sound yet no longer explain the data;
+    // a large per-point LML drop forces an early hyperparameter refresh.
+    if (ok && lml_ / static_cast<double>(n_) >=
+                  lml_per_point_at_refresh_ - options_.lml_drop_per_point) {
+      return;
+    }
+  }
+  fitted_ = refresh_hyperparameters();
+}
+
+void GaussianProcess::predict_range(const linalg::Matrix& candidates, std::size_t begin,
+                                    std::size_t end, std::span<GpPrediction> out) const {
+  const std::size_t n = n_;
+  if (end == begin) return;
+  // Candidates are processed in column blocks so the k* block and the
+  // multi-RHS solve's working set stay cache-resident; every per-candidate
+  // operation sequence is independent of the block width, so any blocking
+  // (including the 1-wide block scalar predict() takes) is bitwise
+  // identical.
+  constexpr std::size_t kPredictBlock = 64;
+  // Squared training-row norms for the Gram-trick distances:
+  // ||x_i - c_j||² = ||x_i||² + ||c_j||² - 2 x_i·c_j, which turns the
+  // O(n·m·d) pairwise pass into a j-contiguous rank-d update.
+  std::vector<double> xsq(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* xi = x_.data() + i * dim_;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < dim_; ++k) acc += xi[k] * xi[k];
+    xsq[i] = acc;
+  }
+  const double inv_ls = 1.0 / lengthscale_;
+  // matern52(0) is exactly 1, so k(x, x) is exactly signal_var_ — no
+  // per-candidate self-kernel evaluation.
+  const double prior = signal_var_ + options_.noise * signal_var_;
+  std::vector<double> ct(dim_ * kPredictBlock);  // block staged transposed
+  std::vector<double> csq(kPredictBlock);
+  for (std::size_t b0 = begin; b0 < end; b0 += kPredictBlock) {
+    const std::size_t w = std::min(end - b0, kPredictBlock);
+    for (std::size_t j = 0; j < w; ++j) {
+      const double* cj = candidates.row_ptr(b0 + j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < dim_; ++k) {
+        ct[k * w + j] = cj[k];
+        acc = fma_acc(acc, cj[k], cj[k]);
+      }
+      csq[j] = acc;
+    }
+    // The k* block for these candidates: squared distances via the staged
+    // cross products, then one fused sqrt per entry (s = sqrt(5·q)/ell).
+    linalg::Matrix kstar(n, w);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* xi = x_.data() + i * dim_;
+      double* __restrict ki = kstar.row_ptr(i);
+      for (std::size_t j = 0; j < w; ++j) ki[j] = xsq[i] + csq[j];
+      for (std::size_t k = 0; k < dim_; ++k) {
+        const double m2 = -2.0 * xi[k];
+        const double* __restrict ctk = ct.data() + k * w;
+        for (std::size_t j = 0; j < w; ++j) ki[j] = fma_acc(ki[j], m2, ctk[j]);
+      }
+      for (std::size_t j = 0; j < w; ++j) {
+        const double q = std::max(ki[j], 0.0);  // cancellation guard
+        const double s = std::sqrt(5.0 * q) * inv_ls;
+        ki[j] = signal_var_ * ((1.0 + s + s * s / 3.0) * exp_nonpositive(-s));
+      }
+    }
+    // All means in one matrix-vector product (the i-ascending accumulation
+    // matches the scalar dot(k_star, alpha) bitwise), all variances via one
+    // multi-RHS triangular solve.
+    const linalg::Vector mean_z = kstar.matvec_transposed(alpha_);
+    const linalg::Matrix v = linalg::solve_lower(chol_, kstar);
+    std::vector<double> vtv(w, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* vi = v.row_ptr(i);
+      for (std::size_t j = 0; j < w; ++j) vtv[j] = fma_acc(vtv[j], vi[j], vi[j]);
+    }
+    for (std::size_t j = 0; j < w; ++j) {
+      const double var_z = std::max(1e-10, prior - vtv[j]);
+      // to_raw is z·stddev + mean — spelled via fma_acc so the un-scaling
+      // also rounds identically at every block width.
+      out[b0 + j].mean = fma_acc(scaler_.mean, mean_z[j], scaler_.stddev);
+      out[b0 + j].variance = var_z * scaler_.stddev * scaler_.stddev;
+    }
+  }
+}
+
+GpPrediction GaussianProcess::predict(std::span<const double> x) const {
   if (!fitted_) throw std::logic_error("GaussianProcess: predict before fit");
-  const std::size_t n = x_.size();
-  linalg::Vector k_star(n);
-  for (std::size_t i = 0; i < n; ++i) k_star[i] = kernel(x, x_[i]);
-  const double mean_z = linalg::dot(k_star, alpha_);
-  const linalg::Vector v = linalg::solve_lower(chol_, k_star);
-  const double var_z =
-      std::max(1e-10, kernel(x, x) + options_.noise * signal_var_ - linalg::dot(v, v));
-  GpPrediction p;
-  p.mean = scaler_.to_raw(mean_z);
-  p.variance = var_z * scaler_.stddev * scaler_.stddev;
-  return p;
+  if (x.size() != dim_) {
+    throw std::invalid_argument("GaussianProcess: feature dimension mismatch");
+  }
+  linalg::Matrix c(1, dim_);
+  std::copy(x.begin(), x.end(), c.row_ptr(0));
+  GpPrediction out;
+  predict_range(c, 0, 1, std::span<GpPrediction>(&out, 1));
+  return out;
+}
+
+std::vector<GpPrediction> GaussianProcess::predict_batch(const linalg::Matrix& candidates,
+                                                         simcore::ThreadPool* pool) const {
+  if (!fitted_) throw std::logic_error("GaussianProcess: predict before fit");
+  STUNE_CHECK_EQ(candidates.cols(), dim_);
+  const std::size_t m = candidates.rows();
+  std::vector<GpPrediction> out(m);
+  if (pool == nullptr || pool->size() <= 1 || m < 64) {
+    predict_range(candidates, 0, m, out);
+    return out;
+  }
+  // Contiguous shards, each worker writing a disjoint output slice: the
+  // per-candidate arithmetic never depends on shard boundaries, so jobs=1
+  // and jobs=N are bitwise identical.
+  const std::size_t shard = (m + pool->size() - 1) / pool->size();
+  std::vector<std::future<void>> futures;
+  futures.reserve(pool->size());
+  const std::span<GpPrediction> slice(out);
+  for (std::size_t begin = 0; begin < m; begin += shard) {
+    const std::size_t end = std::min(m, begin + shard);
+    futures.push_back(
+        pool->submit([this, &candidates, begin, end, slice] {
+          predict_range(candidates, begin, end, slice);
+        }));
+  }
+  // Join every future before rethrowing so no task still references the
+  // stack-owned output when an exception unwinds.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+  return out;
 }
 
 double expected_improvement(double mean, double variance, double best) {

@@ -2,6 +2,18 @@
 // improvement acquisition — the machinery behind CherryPick's Bayesian
 // optimization (paper §II-A).
 //
+// The surrogate is the tuning service's own CPU hot path (it runs on every
+// observation of every tenant), so the fit is incremental: observe() appends
+// one kernel row and extends the Cholesky factor in O(n²) via
+// linalg::cholesky_append, and the full hyperparameter search (target
+// rescaling, median heuristic, lengthscale grid) only re-runs every
+// `refresh_interval` observations — or earlier, when the per-point log
+// marginal likelihood degrades past a threshold. Both triggers are pure
+// functions of the committed observation sequence, so the policy is
+// deterministic and invariant to evaluation concurrency. A cached pairwise-
+// distance matrix, maintained incrementally, is shared across the grid
+// entries of a refresh: each kernel build is O(n²) instead of O(n²·d).
+//
 // Hyperparameters are set pragmatically: the lengthscale from the median
 // pairwise distance scaled over a small grid chosen by log marginal
 // likelihood, signal variance from the target variance, and a fixed
@@ -9,10 +21,17 @@
 // optimizer" engineering reality while staying fully deterministic.
 #pragma once
 
+#include <cstddef>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 #include "model/dataset.hpp"
+
+namespace stune::simcore {
+class ThreadPool;
+}
 
 namespace stune::model {
 
@@ -28,28 +47,92 @@ class GaussianProcess {
     double noise = 1e-2;
     /// Lengthscale multipliers tried around the median heuristic.
     std::vector<double> lengthscale_grid = {0.3, 1.0, 3.0};
+    /// observe(): full hyperparameter refreshes run every this many
+    /// observations; in between, the factor is extended incrementally
+    /// under frozen hyperparameters.
+    std::size_t refresh_interval = 8;
+    /// Early-refresh trigger: refresh when the per-point log marginal
+    /// likelihood drops this far (nats per observation) below its value at
+    /// the last refresh — the frozen hyperparameters no longer explain the
+    /// data.
+    double lml_drop_per_point = 1.0;
+    /// When false, observe() rebuilds the factorization from scratch at
+    /// every observation under the same refresh schedule and frozen
+    /// hyperparameters — the full-refactorization baseline the incremental
+    /// path is benchmarked (and golden-tested) against.
+    bool incremental = true;
   };
 
   GaussianProcess() : GaussianProcess(Options{}) {}
   explicit GaussianProcess(Options options) : options_(std::move(options)) {}
 
+  /// Full fit: loads the dataset, builds the distance cache and runs one
+  /// hyperparameter refresh. Throws std::invalid_argument on an empty
+  /// dataset and std::runtime_error when no grid entry yields a positive-
+  /// definite kernel (degenerate data).
   void fit(const Dataset& data);
-  GpPrediction predict(const std::vector<double>& x) const;
+
+  /// Append one observation and update the factorization in O(n²) (see the
+  /// header comment for the refresh policy). Never throws on numerical
+  /// failure: a failed incremental step falls back to a full refresh, and a
+  /// failed refresh leaves the model unfitted — check fitted() — until more
+  /// data arrives. Throws std::invalid_argument on a dimension mismatch.
+  void observe(std::span<const double> x, double y);
+  void observe(std::initializer_list<double> x, double y) {
+    observe(std::span<const double>(x.begin(), x.size()), y);
+  }
+
+  GpPrediction predict(std::span<const double> x) const;
+  GpPrediction predict(std::initializer_list<double> x) const {
+    return predict(std::span<const double>(x.begin(), x.size()));
+  }
+
+  /// Score every row of `candidates` in one pass: all k*-vectors as one
+  /// kernel-block build, all means as one matrix-vector product, all
+  /// variances through one multi-RHS triangular solve. With a pool, rows are
+  /// sharded into contiguous ranges whose workers write disjoint output
+  /// slices, so the result is bitwise identical to the serial scan — and to
+  /// looped scalar predict() — for any job count.
+  std::vector<GpPrediction> predict_batch(const linalg::Matrix& candidates,
+                                          simcore::ThreadPool* pool = nullptr) const;
+
   bool fitted() const { return fitted_; }
+  std::size_t size() const { return n_; }
   double lengthscale() const { return lengthscale_; }
-  /// Log marginal likelihood of the selected hyperparameters.
+  /// Log marginal likelihood of the current factorization.
   double log_marginal_likelihood() const { return lml_; }
+  /// Full hyperparameter refreshes performed so far (fit() counts one).
+  std::size_t refreshes() const { return refreshes_; }
 
  private:
-  double kernel(const std::vector<double>& a, const std::vector<double>& b) const;
+  void append_point(std::span<const double> x, double y);
+  /// Re-pick scaler and lengthscale on all data (reads the distance cache);
+  /// false if no grid entry factorizes.
+  bool refresh_hyperparameters();
+  /// Rebuild the factorization from scratch under the frozen
+  /// hyperparameters; false on numeric failure.
+  bool rebuild_factor();
+  /// Extend the factorization by the newly appended row (rank-1 Cholesky
+  /// update); false on numeric failure.
+  bool extend_factor();
+  void predict_range(const linalg::Matrix& candidates, std::size_t begin, std::size_t end,
+                     std::span<GpPrediction> out) const;
 
   Options options_;
   bool fitted_ = false;
+  std::size_t n_ = 0;    // observations
+  std::size_t dim_ = 0;  // feature dimension
   double lengthscale_ = 1.0;
   double signal_var_ = 1.0;
   double lml_ = 0.0;
+  double lml_per_point_at_refresh_ = 0.0;
+  std::size_t since_refresh_ = 0;
+  std::size_t refreshes_ = 0;
   TargetScaler scaler_;
-  std::vector<std::vector<double>> x_;
+  std::vector<double> x_;      // flat row-major features, n_ × dim_
+  std::vector<double> y_raw_;  // raw targets (refreshes re-normalize)
+  std::vector<double> y_;      // targets under the frozen scaler_
+  std::vector<double> dist_;   // flat n_ × n_ pairwise distances (cached)
   linalg::Matrix chol_;        // L of K + noise I
   linalg::Vector alpha_;       // (K + noise I)^-1 y
 };

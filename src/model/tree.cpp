@@ -4,9 +4,14 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
+#include <future>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 #include <vector>
+
+#include "simcore/thread_pool.hpp"
 
 namespace stune::model {
 
@@ -132,15 +137,53 @@ int RegressionTree::build(const Dataset& data, std::vector<std::size_t>& indices
   return id;
 }
 
-double RegressionTree::predict(const std::vector<double>& x) const {
-  if (!fitted()) throw std::logic_error("RegressionTree: predict before fit");
-  if (x.size() != dim_) throw std::invalid_argument("RegressionTree: dimension mismatch");
+double RegressionTree::predict_row(const double* x) const {
   int cur = 0;
   while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
     const auto& nd = nodes_[static_cast<std::size_t>(cur)];
     cur = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left : nd.right;
   }
   return nodes_[static_cast<std::size_t>(cur)].value;
+}
+
+double RegressionTree::predict(const std::vector<double>& x) const {
+  if (!fitted()) throw std::logic_error("RegressionTree: predict before fit");
+  if (x.size() != dim_) throw std::invalid_argument("RegressionTree: dimension mismatch");
+  return predict_row(x.data());
+}
+
+std::vector<double> RegressionTree::predict_batch(const linalg::Matrix& candidates,
+                                                  simcore::ThreadPool* pool) const {
+  if (!fitted()) throw std::logic_error("RegressionTree: predict before fit");
+  if (candidates.cols() != dim_) throw std::invalid_argument("RegressionTree: dimension mismatch");
+  const std::size_t m = candidates.rows();
+  std::vector<double> out(m);
+  if (pool == nullptr || pool->size() <= 1 || m < 64) {
+    for (std::size_t j = 0; j < m; ++j) out[j] = predict_row(candidates.row_ptr(j));
+    return out;
+  }
+  // Contiguous shards writing disjoint output slices; each traversal is
+  // independent, so any job count reproduces the serial scan bitwise.
+  const std::size_t shard = (m + pool->size() - 1) / pool->size();
+  std::vector<std::future<void>> futures;
+  futures.reserve(pool->size());
+  const std::span<double> slice(out);
+  for (std::size_t begin = 0; begin < m; begin += shard) {
+    const std::size_t end = std::min(m, begin + shard);
+    futures.push_back(pool->submit([this, &candidates, begin, end, slice] {
+      for (std::size_t j = begin; j < end; ++j) slice[j] = predict_row(candidates.row_ptr(j));
+    }));
+  }
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+  return out;
 }
 
 std::size_t RegressionTree::depth() const {

@@ -6,8 +6,13 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/matrix.hpp"
 #include "model/dataset.hpp"
 #include "simcore/rng.hpp"
+
+namespace stune::simcore {
+class ThreadPool;
+}
 
 namespace stune::model {
 
@@ -28,6 +33,12 @@ class RegressionTree {
   /// `rng` drives feature subsampling (pass a fork per tree in forests).
   void fit(const Dataset& data, simcore::Rng rng = simcore::Rng(1));
   double predict(const std::vector<double>& x) const;
+  /// Score every row of `candidates` in one traversal pass. With a pool,
+  /// rows are sharded into contiguous ranges whose workers write disjoint
+  /// output slices; each traversal is independent of shard boundaries, so
+  /// the result is bitwise identical to looped predict() at any job count.
+  std::vector<double> predict_batch(const linalg::Matrix& candidates,
+                                    simcore::ThreadPool* pool = nullptr) const;
   bool fitted() const { return !nodes_.empty(); }
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t depth() const;
@@ -50,6 +61,7 @@ class RegressionTree {
 
   int build(const Dataset& data, std::vector<std::size_t>& indices, std::size_t begin,
             std::size_t end, int depth, simcore::Rng& rng);
+  double predict_row(const double* x) const;
 
   TreeOptions options_;
   std::size_t dim_ = 0;

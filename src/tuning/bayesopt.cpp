@@ -5,17 +5,36 @@
 // Staged shape: warm-start probe, then the LHS bootstrap as one parallel
 // stage, then sequential model-guided probes (each fit needs the previous
 // outcome, so the BO loop proper has batch size 1).
+//
+// Surrogate hot path: the GP is persistent — record() feeds it each
+// committed observation through observe(), which extends the Cholesky
+// factor in O(n²) instead of refactorizing per round — and the acquisition
+// pool is encoded into one flat matrix and scored through predict_batch
+// (one kernel-block build + one multi-RHS solve), optionally sharded over a
+// thread pool. Observations are committed in suggestion order by the
+// StagedTuner protocol, so the surrogate state — and every suggestion — is
+// a pure function of the observation sequence, invariant to both trial
+// concurrency and predict_jobs.
 #include <algorithm>
 #include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "model/gp.hpp"
+#include "simcore/thread_pool.hpp"
+#include "tuning/encode.hpp"
 #include "tuning/tuners.hpp"
 
 namespace stune::tuning {
 
 void BayesOptTuner::start() {
   rng_ = simcore::Rng(opts().seed);
-  data_ = model::Dataset();
+  gp_ = model::GaussianProcess(params_.gp);
+  if (params_.predict_jobs > 1 && pool_ == nullptr) {
+    pool_ = std::make_shared<simcore::ThreadPool>(params_.predict_jobs);
+  }
   warm_.reset();
   did_warm_ = false;
   did_bootstrap_ = false;
@@ -24,14 +43,14 @@ void BayesOptTuner::start() {
   // surrogate and remember the favourite for a real probe.
   const Observation* best_warm = nullptr;
   for (const auto& o : opts().warm_start) {
-    data_.add(space().encode(o.config), penalize_warm(o.runtime, o.failed));
+    gp_.observe(space().encode(o.config), penalize_warm(o.runtime, o.failed));
     if (!o.failed && (best_warm == nullptr || o.runtime < best_warm->runtime)) best_warm = &o;
   }
   if (best_warm != nullptr) warm_ = best_warm->config;
 }
 
 void BayesOptTuner::record(const Observation& observation) {
-  data_.add(space().encode(observation.config), observation.objective);
+  gp_.observe(space().encode(observation.config), observation.objective);
 }
 
 void BayesOptTuner::plan() {
@@ -60,31 +79,31 @@ void BayesOptTuner::plan() {
     if (proposed) return;
   }
 
-  // Model-guided probe: fit, maximize EI, suggest one configuration.
-  model::GaussianProcess gp;
-  bool surrogate_ok = true;
-  try {
-    gp.fit(data_);
-  } catch (const std::runtime_error&) {
-    surrogate_ok = false;  // degenerate data (e.g. all targets equal)
-  }
+  // Model-guided probe: maximize EI over the batch-scored pool, suggest one
+  // configuration. gp_.fitted() is false while the data is degenerate (e.g.
+  // all targets equal) — fall back to random until it recovers.
   config::Configuration next;
-  if (surrogate_ok) {
-    const double best = best_objective();
-    double best_ei = -1.0;
-    auto consider = [&](const config::Configuration& c) {
-      const auto pred = gp.predict(space().encode(c));
-      const double ei = model::expected_improvement(pred.mean, pred.variance, best);
-      if (ei > best_ei) {
-        best_ei = ei;
-        next = c;
-      }
-    };
-    for (std::size_t i = 0; i < params_.candidates; ++i) consider(space().sample(rng_));
+  if (gp_.fitted()) {
+    std::vector<config::Configuration> candidates;
+    candidates.reserve(params_.candidates + params_.local_candidates);
+    for (std::size_t i = 0; i < params_.candidates; ++i) candidates.push_back(space().sample(rng_));
     // Exploit around the incumbent.
     if (have_success()) {
       for (std::size_t i = 0; i < params_.local_candidates; ++i) {
-        consider(space().neighbor(best_success().config, 0.1, 2, rng_));
+        candidates.push_back(space().neighbor(best_success().config, 0.1, 2, rng_));
+      }
+    }
+    const linalg::Matrix encoded = encode_pool(space(), candidates);
+    const auto preds = gp_.predict_batch(encoded, pool_.get());
+    const double best = best_objective();
+    double best_ei = -1.0;
+    // Strict > keeps the first-seen argmax, matching the serial scan for
+    // any predict_jobs.
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const double ei = model::expected_improvement(preds[i].mean, preds[i].variance, best);
+      if (ei > best_ei) {
+        best_ei = ei;
+        next = candidates[i];
       }
     }
   }

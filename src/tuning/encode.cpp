@@ -1,0 +1,21 @@
+#include "tuning/encode.hpp"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace stune::tuning {
+
+linalg::Matrix encode_pool(const config::ConfigSpace& space,
+                           const std::vector<config::Configuration>& pool) {
+  const std::size_t d = space.encoded_size();
+  std::vector<double> flat;
+  flat.reserve(pool.size() * d);
+  for (const auto& c : pool) {
+    const auto enc = space.encode(c);
+    flat.insert(flat.end(), enc.begin(), enc.end());
+  }
+  return linalg::Matrix::from_flat(std::move(flat), pool.size(), d);
+}
+
+}  // namespace stune::tuning

@@ -1,0 +1,18 @@
+// Batched candidate encoding: the model-guided tuners score whole candidate
+// pools through predict_batch, which wants one flat row-major matrix rather
+// than a vector of per-candidate encodings.
+#pragma once
+
+#include <vector>
+
+#include "config/config_space.hpp"
+#include "linalg/matrix.hpp"
+
+namespace stune::tuning {
+
+/// Encode every configuration into one row of a pool.size() × encoded_size()
+/// matrix, in pool order.
+linalg::Matrix encode_pool(const config::ConfigSpace& space,
+                           const std::vector<config::Configuration>& pool);
+
+}  // namespace stune::tuning

@@ -4,12 +4,19 @@
 //
 // Staged shape: the bootstrap is one parallel stage; each refit round
 // proposes its probes together (they are scored by the same frozen tree).
+//
+// The candidate pool is encoded into one flat matrix and scored through
+// RegressionTree::predict_batch, optionally sharded over a thread pool;
+// shards write disjoint slices, so probes are identical at any job count.
 #include <algorithm>
 #include <cstddef>
+#include <memory>
 #include <numeric>
 #include <vector>
 
 #include "model/tree.hpp"
+#include "simcore/thread_pool.hpp"
+#include "tuning/encode.hpp"
 #include "tuning/tuners.hpp"
 
 namespace stune::tuning {
@@ -17,6 +24,9 @@ namespace stune::tuning {
 void RegressionTreeTuner::start() {
   rng_ = simcore::Rng(opts().seed);
   data_ = model::Dataset();
+  if (params_.predict_jobs > 1 && pool_ == nullptr) {
+    pool_ = std::make_shared<simcore::ThreadPool>(params_.predict_jobs);
+  }
   did_bootstrap_ = false;
   for (const auto& o : opts().warm_start) {
     data_.add(space().encode(o.config), penalize_warm(o.runtime, o.failed));
@@ -47,15 +57,14 @@ void RegressionTreeTuner::plan() {
 
   // Score a candidate pool; also explore around the best observation.
   std::vector<config::Configuration> pool;
-  pool.reserve(params_.candidates);
+  pool.reserve(params_.candidates + params_.candidates / 8);
   for (std::size_t i = 0; i < params_.candidates; ++i) pool.push_back(space().sample(rng_));
   if (have_success()) {
     for (std::size_t i = 0; i < params_.candidates / 8; ++i) {
       pool.push_back(space().neighbor(best_success().config, 0.15, 3, rng_));
     }
   }
-  std::vector<double> scores(pool.size());
-  for (std::size_t i = 0; i < pool.size(); ++i) scores[i] = tree.predict(space().encode(pool[i]));
+  const std::vector<double> scores = tree.predict_batch(encode_pool(space(), pool), pool_.get());
   std::vector<std::size_t> order(pool.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(),

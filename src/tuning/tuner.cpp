@@ -1,6 +1,7 @@
 #include "tuning/tuner.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>

@@ -33,12 +33,18 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/dataset.hpp"
+#include "model/gp.hpp"
 #include "tuning/sequential_adapter.hpp"
 #include "tuning/staged.hpp"
 #include "tuning/tuner.hpp"
+
+namespace stune::simcore {
+class ThreadPool;
+}
 
 namespace stune::tuning {
 
@@ -121,9 +127,14 @@ class BayesOptTuner final : public StagedTuner {
     std::size_t init_samples = 10;      // LHS bootstrap
     std::size_t candidates = 512;       // acquisition pool size
     std::size_t local_candidates = 64;  // neighbours of the incumbent
+    /// Surrogate options (incremental refresh policy, lengthscale grid).
+    model::GaussianProcess::Options gp{};
+    /// Worker threads for batched acquisition scoring. 1 = serial; any
+    /// value yields bitwise-identical suggestions (disjoint-slice shards).
+    std::size_t predict_jobs = 1;
   };
   BayesOptTuner() : BayesOptTuner(Params{}) {}
-  explicit BayesOptTuner(Params params) : params_(params) {}
+  explicit BayesOptTuner(Params params) : params_(std::move(params)) {}
   std::string name() const override { return "bayesopt"; }
 
  private:
@@ -133,7 +144,10 @@ class BayesOptTuner final : public StagedTuner {
 
   Params params_;
   simcore::Rng rng_{0};
-  model::Dataset data_;
+  /// Persistent incremental surrogate: record() feeds it one observation at
+  /// a time (O(n²) factor extension) instead of refitting per plan() call.
+  model::GaussianProcess gp_;
+  std::shared_ptr<simcore::ThreadPool> pool_;
   std::optional<config::Configuration> warm_;
   bool did_warm_ = false;
   bool did_bootstrap_ = false;
@@ -252,6 +266,9 @@ class RegressionTreeTuner final : public StagedTuner {
     double bootstrap_fraction = 0.4;
     std::size_t candidates = 2000;  // model-scored candidates per round
     std::size_t probes_per_round = 8;
+    /// Worker threads for batched candidate scoring. 1 = serial; any value
+    /// yields bitwise-identical suggestions (disjoint-slice shards).
+    std::size_t predict_jobs = 1;
   };
   RegressionTreeTuner() : RegressionTreeTuner(Params{}) {}
   explicit RegressionTreeTuner(Params params) : params_(params) {}
@@ -265,6 +282,7 @@ class RegressionTreeTuner final : public StagedTuner {
   Params params_;
   simcore::Rng rng_{0};
   model::Dataset data_;
+  std::shared_ptr<simcore::ThreadPool> pool_;
   bool did_bootstrap_ = false;
 };
 

@@ -2,6 +2,8 @@
 // including "Ernest ... has poor adaptivity to other types of workloads").
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "service/cloud_tuner.hpp"
 #include "workload/execute.hpp"
 

@@ -3,6 +3,8 @@
 // so they stay fast.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include <chrono>
 #include <cstdint>
 #include <string>

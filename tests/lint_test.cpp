@@ -130,7 +130,8 @@ TEST(LintRules, NoStdout) {
 
 TEST(LintRules, IncludeWhatYouUse) {
   const std::string src = "#include <memory>\nstd::vector<std::unique_ptr<int>> v;\n";
-  const auto& v = only(lint_as("src/x/x.cpp", src), "include-what-you-use");
+  const auto vs = lint_as("src/x/x.cpp", src);  // keep alive past only()
+  const auto& v = only(vs, "include-what-you-use");
   EXPECT_EQ(v.line, 2u);  // anchored at first use of std::vector
   EXPECT_NE(v.message.find("<vector>"), std::string::npos);
   EXPECT_TRUE(lint_as("src/x/x.cpp",
@@ -150,7 +151,8 @@ TEST(LintRules, IncludeWhatYouUseReportsEachMissingHeaderOnce) {
 
 TEST(LintRules, NoIostreamInHeader) {
   const std::string src = "#pragma once\n#include <iostream>\n";
-  const auto& v = only(lint_as("src/x/x.hpp", src), "no-iostream-in-header");
+  const auto vs = lint_as("src/x/x.hpp", src);  // keep alive past only()
+  const auto& v = only(vs, "no-iostream-in-header");
   EXPECT_EQ(v.line, 2u);  // anchored at the #include directive
   EXPECT_FALSE(has_rule(lint_as("src/x/x.cpp", "#include <iostream>\n"),
                         "no-iostream-in-header"));

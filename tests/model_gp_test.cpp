@@ -79,6 +79,26 @@ TEST(GaussianProcess, SelectsLengthscaleByLml) {
   EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood()));
 }
 
+TEST(GaussianProcess, PriorVarianceIsConstantFarFromData) {
+  // matern52(0) is exactly 1, so the self-kernel k(x, x) is exactly the
+  // signal variance — the predictor uses that constant instead of
+  // re-evaluating the kernel per candidate. Far from all data the k* vector
+  // underflows to exactly zero, exposing the prior directly: any two such
+  // points must get bitwise-identical predictions.
+  simcore::Rng rng(6);
+  const auto d = smooth_1d(30, rng);
+  GaussianProcess gp;
+  gp.fit(d);
+  const auto far_a = gp.predict({1e7});
+  const auto far_b = gp.predict({-1e7});
+  EXPECT_EQ(far_a.variance, far_b.variance);
+  EXPECT_EQ(far_a.mean, far_b.mean);
+  // And the prior ceiling bounds every in-domain predictive variance.
+  for (int i = 0; i <= 10; ++i) {
+    EXPECT_LE(gp.predict({i / 10.0}).variance, far_a.variance * (1.0 + 1e-12));
+  }
+}
+
 TEST(GaussianProcess, MisuseThrows) {
   GaussianProcess gp;
   EXPECT_THROW(gp.predict({0.5}), std::logic_error);

@@ -1,0 +1,441 @@
+// Golden-numeric tests for the incremental surrogate hot path: the blocked
+// Cholesky kernels against naive references, the rank-1 append against full
+// refactorization, the batched predictors against their scalar loops
+// (bitwise), and the incremental observe() path against full refits — up to
+// the end-to-end claim that a Bayesian-optimization run picks the same
+// incumbent either way.
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "model/additive_gp.hpp"
+#include "model/gp.hpp"
+#include "model/tree.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/thread_pool.hpp"
+#include "tuning/tuner.hpp"
+#include "tuning/tuners.hpp"
+
+namespace stune {
+namespace {
+
+/// Random SPD matrix: B Bᵀ + n·I with B entries in [-1, 1].
+linalg::Matrix random_spd(std::size_t n, simcore::Rng& rng) {
+  linalg::Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += b(i, k) * b(j, k);
+      a(i, j) = acc;
+    }
+    a(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+// -- Blocked Cholesky -------------------------------------------------------
+
+TEST(BlockedCholesky, ReconstructsAcrossBlockBoundaries) {
+  simcore::Rng rng(11);
+  // Sizes straddling the 32-wide panel: single partial panel, exact panels,
+  // panels plus remainder.
+  for (const std::size_t n : {1u, 2u, 31u, 32u, 33u, 64u, 65u, 100u}) {
+    const auto a = random_spd(n, rng);
+    const auto l = linalg::cholesky(a);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j > i) {
+          EXPECT_EQ(l(i, j), 0.0) << "upper triangle not cleared at " << i << "," << j;
+          continue;
+        }
+        double acc = 0.0;
+        for (std::size_t k = 0; k <= j; ++k) acc += l(i, k) * l(j, k);
+        EXPECT_NEAR(acc, a(i, j), 1e-9) << "n=" << n << " at " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(BlockedCholesky, RejectsIndefiniteAtBlockedSizes) {
+  simcore::Rng rng(12);
+  auto a = random_spd(48, rng);
+  a(40, 40) = -5.0;
+  EXPECT_THROW(linalg::cholesky(a), std::runtime_error);
+}
+
+TEST(SyrkSubLower, MatchesNaiveRankKUpdate) {
+  simcore::Rng rng(13);
+  const std::size_t n = 17, k = 9;
+  linalg::Matrix a(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) a(i, j) = rng.uniform(-2.0, 2.0);
+  }
+  auto c = random_spd(n, rng);
+  const auto reference = c;
+  linalg::syrk_sub_lower(a, c);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += a(i, p) * a(j, p);
+      EXPECT_NEAR(c(i, j), reference(i, j) - acc, 1e-12);
+    }
+  }
+}
+
+// -- Rank-1 append ----------------------------------------------------------
+
+TEST(CholeskyAppend, MatchesFullFactorizationOver100SeededMatrices) {
+  simcore::Rng rng(21);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(trial % 37);
+    const auto a = random_spd(n + 1, rng);
+
+    // Factor of the leading n×n block, extended by A's last row.
+    linalg::Matrix lead(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) lead(i, j) = a(i, j);
+    }
+    linalg::Vector last_row(n + 1);
+    for (std::size_t j = 0; j <= n; ++j) last_row[j] = a(n, j);
+
+    const auto extended = linalg::cholesky_append(linalg::cholesky(lead), last_row);
+    const auto full = linalg::cholesky(a);
+    ASSERT_EQ(extended.rows(), n + 1);
+    for (std::size_t i = 0; i <= n; ++i) {
+      for (std::size_t j = 0; j <= n; ++j) {
+        EXPECT_NEAR(extended(i, j), full(i, j), 1e-9)
+            << "trial " << trial << " at " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(CholeskyAppend, ThrowsOnIndefiniteExtensionAndLeavesFactorUsable) {
+  simcore::Rng rng(22);
+  const std::size_t n = 8;
+  const auto a = random_spd(n, rng);
+  const auto l = linalg::cholesky(a);
+  // Extend by (almost) a duplicate of row 0 but with a smaller diagonal:
+  // x = e_0 - e_n certifies the extension is indefinite.
+  linalg::Vector bad(n + 1);
+  for (std::size_t j = 0; j < n; ++j) bad[j] = a(0, j);
+  bad[n] = a(0, 0) - 1.0;
+  EXPECT_THROW(linalg::cholesky_append(l, bad), std::runtime_error);
+  // The call is functional: the original factor still extends cleanly.
+  linalg::Vector good(n + 1);
+  for (std::size_t j = 0; j < n; ++j) good[j] = a(0, j) * 0.5;
+  good[n] = a(0, 0) + static_cast<double>(n);
+  EXPECT_NO_THROW(linalg::cholesky_append(l, good));
+}
+
+// -- Multi-RHS solve --------------------------------------------------------
+
+TEST(MultiRhsSolve, BitwiseMatchesVectorSolvePerColumn) {
+  simcore::Rng rng(31);
+  const std::size_t n = 23, m = 7;
+  const auto l = linalg::cholesky(random_spd(n, rng));
+  linalg::Matrix b(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) b(i, j) = rng.uniform(-3.0, 3.0);
+  }
+  const auto y = linalg::solve_lower(l, b);
+  for (std::size_t j = 0; j < m; ++j) {
+    linalg::Vector col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+    const auto ref = linalg::solve_lower(l, col);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y(i, j), ref[i]) << "column " << j << " row " << i;
+    }
+  }
+}
+
+// -- GP batched prediction --------------------------------------------------
+
+model::Dataset smooth_2d(std::size_t n, simcore::Rng& rng) {
+  model::Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(), x1 = rng.uniform();
+    d.add({x0, x1}, std::sin(3.0 * x0) + 0.5 * std::cos(5.0 * x1));
+  }
+  return d;
+}
+
+linalg::Matrix random_candidates(std::size_t m, std::size_t dim, simcore::Rng& rng) {
+  linalg::Matrix c(m, dim);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) c(i, j) = rng.uniform();
+  }
+  return c;
+}
+
+TEST(GpPredictBatch, BitwiseMatchesLoopedScalarPredict) {
+  simcore::Rng rng(41);
+  model::GaussianProcess gp;
+  gp.fit(smooth_2d(40, rng));
+  const auto candidates = random_candidates(100, 2, rng);
+  const auto batch = gp.predict_batch(candidates);
+  ASSERT_EQ(batch.size(), 100u);
+  for (std::size_t i = 0; i < candidates.rows(); ++i) {
+    const auto scalar = gp.predict(candidates.row(i));
+    EXPECT_EQ(batch[i].mean, scalar.mean) << "candidate " << i;
+    EXPECT_EQ(batch[i].variance, scalar.variance) << "candidate " << i;
+  }
+}
+
+TEST(GpPredictBatch, PoolShardingIsBitwiseIdenticalToSerial) {
+  simcore::Rng rng(42);
+  model::GaussianProcess gp;
+  gp.fit(smooth_2d(50, rng));
+  const auto candidates = random_candidates(257, 2, rng);  // odd: ragged last shard
+  const auto serial = gp.predict_batch(candidates);
+  simcore::ThreadPool pool(4);
+  const auto sharded = gp.predict_batch(candidates, &pool);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].mean, sharded[i].mean) << "candidate " << i;
+    EXPECT_EQ(serial[i].variance, sharded[i].variance) << "candidate " << i;
+  }
+}
+
+// -- Incremental observe ----------------------------------------------------
+
+TEST(GpObserve, IncrementalMatchesFullRebuildBetweenRefreshes) {
+  // Same refresh schedule, same frozen hyperparameters: the only difference
+  // is rank-1 extension vs refactorization from scratch. Predictions must
+  // agree to factorization round-off.
+  simcore::Rng rng(51);
+  const auto initial = smooth_2d(12, rng);
+  model::GaussianProcess::Options inc;
+  inc.incremental = true;
+  model::GaussianProcess::Options full = inc;
+  full.incremental = false;
+  model::GaussianProcess gp_inc(inc), gp_full(full);
+  gp_inc.fit(initial);
+  gp_full.fit(initial);
+
+  const auto probes = random_candidates(16, 2, rng);
+  for (int step = 0; step < 30; ++step) {
+    const double x0 = rng.uniform(), x1 = rng.uniform();
+    const double y = std::sin(3.0 * x0) + 0.5 * std::cos(5.0 * x1);
+    gp_inc.observe({x0, x1}, y);
+    gp_full.observe({x0, x1}, y);
+    ASSERT_EQ(gp_inc.fitted(), gp_full.fitted());
+    ASSERT_EQ(gp_inc.refreshes(), gp_full.refreshes());
+    EXPECT_NEAR(gp_inc.log_marginal_likelihood(), gp_full.log_marginal_likelihood(), 1e-8);
+    const auto pi = gp_inc.predict_batch(probes);
+    const auto pf = gp_full.predict_batch(probes);
+    for (std::size_t i = 0; i < pi.size(); ++i) {
+      EXPECT_NEAR(pi[i].mean, pf[i].mean, 1e-9) << "step " << step << " probe " << i;
+      EXPECT_NEAR(pi[i].variance, pf[i].variance, 1e-9) << "step " << step << " probe " << i;
+    }
+  }
+}
+
+TEST(GpObserve, StateAtRefreshBoundaryMatchesFreshFit) {
+  // Disable the LML early trigger so refreshes land exactly on multiples of
+  // refresh_interval; at such a boundary the streamed model just re-ran the
+  // full hyperparameter search and must match a cold fit() on all data.
+  simcore::Rng rng(52);
+  model::GaussianProcess::Options o;
+  o.refresh_interval = 4;
+  o.lml_drop_per_point = 1e18;
+  model::GaussianProcess streamed(o);
+
+  model::Dataset all;
+  simcore::Rng data_rng(53);
+  for (int i = 0; i < 8; ++i) {
+    const double x0 = data_rng.uniform(), x1 = data_rng.uniform();
+    all.add({x0, x1}, std::sin(3.0 * x0) + 0.5 * std::cos(5.0 * x1));
+  }
+  streamed.fit(all);
+  for (int i = 0; i < 8; ++i) {
+    const double x0 = data_rng.uniform(), x1 = data_rng.uniform();
+    const double y = std::sin(3.0 * x0) + 0.5 * std::cos(5.0 * x1);
+    all.add({x0, x1}, y);
+    streamed.observe({x0, x1}, y);
+  }
+  ASSERT_EQ(streamed.size(), 16u);
+  ASSERT_EQ(streamed.refreshes(), 3u);  // fit + observations 4 and 8
+
+  model::GaussianProcess cold(o);
+  cold.fit(all);
+  EXPECT_EQ(streamed.lengthscale(), cold.lengthscale());
+  EXPECT_NEAR(streamed.log_marginal_likelihood(), cold.log_marginal_likelihood(), 1e-9);
+  const auto probes = random_candidates(8, 2, rng);
+  const auto ps = streamed.predict_batch(probes);
+  const auto pc = cold.predict_batch(probes);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_NEAR(ps[i].mean, pc[i].mean, 1e-9);
+    EXPECT_NEAR(ps[i].variance, pc[i].variance, 1e-9);
+  }
+}
+
+TEST(GpObserve, MisuseAndDegenerateInputsThrowCleanly) {
+  model::GaussianProcess gp;
+  EXPECT_THROW(gp.fit(model::Dataset{}), std::invalid_argument);
+  gp.observe({0.5, 0.5}, 1.0);
+  EXPECT_THROW(gp.observe({0.5}, 1.0), std::invalid_argument);  // dim mismatch
+  model::Dataset d;
+  d.add({0.1, 0.2}, 1.0);
+  d.add({0.3, 0.4}, 2.0);
+  gp = model::GaussianProcess();
+  gp.fit(d);
+  EXPECT_THROW(gp.predict({0.5}), std::invalid_argument);
+  EXPECT_THROW(gp.predict_batch(linalg::Matrix(3, 5)), std::logic_error);
+  model::Dataset bad;
+  bad.add({0.1}, 1.0);
+  EXPECT_THROW(bad.add({0.1, 0.2}, 1.0), std::invalid_argument);
+}
+
+// -- Additive GP ------------------------------------------------------------
+
+TEST(AdditiveGpObserve, IncrementalMatchesFullRebuildBetweenRefreshes) {
+  simcore::Rng rng(61);
+  const auto initial = smooth_2d(10, rng);
+  model::AdditiveGaussianProcess::Options inc;
+  inc.incremental = true;
+  model::AdditiveGaussianProcess::Options full = inc;
+  full.incremental = false;
+  model::AdditiveGaussianProcess agp_inc(inc), agp_full(full);
+  agp_inc.fit(initial);
+  agp_full.fit(initial);
+
+  const auto probes = random_candidates(8, 2, rng);
+  for (int step = 0; step < 20; ++step) {
+    const double x0 = rng.uniform(), x1 = rng.uniform();
+    const double y = std::sin(3.0 * x0) + 0.5 * std::cos(5.0 * x1);
+    agp_inc.observe({x0, x1}, y);
+    agp_full.observe({x0, x1}, y);
+    ASSERT_EQ(agp_inc.fitted(), agp_full.fitted());
+    ASSERT_EQ(agp_inc.refreshes(), agp_full.refreshes());
+    const auto pi = agp_inc.predict_batch(probes);
+    const auto pf = agp_full.predict_batch(probes);
+    for (std::size_t i = 0; i < pi.size(); ++i) {
+      EXPECT_NEAR(pi[i].mean, pf[i].mean, 1e-9) << "step " << step << " probe " << i;
+      EXPECT_NEAR(pi[i].variance, pf[i].variance, 1e-9) << "step " << step << " probe " << i;
+    }
+  }
+}
+
+TEST(AdditiveGpPredictBatch, BitwiseMatchesLoopedScalarPredict) {
+  simcore::Rng rng(62);
+  model::AdditiveGaussianProcess agp;
+  agp.fit(smooth_2d(25, rng));
+  const auto candidates = random_candidates(40, 2, rng);
+  const auto batch = agp.predict_batch(candidates);
+  for (std::size_t i = 0; i < candidates.rows(); ++i) {
+    const auto scalar = agp.predict(candidates.row(i));
+    EXPECT_EQ(batch[i].mean, scalar.mean) << "candidate " << i;
+    EXPECT_EQ(batch[i].variance, scalar.variance) << "candidate " << i;
+  }
+}
+
+// -- Regression tree --------------------------------------------------------
+
+TEST(TreePredictBatch, BitwiseMatchesLoopedPredictAtAnyJobCount) {
+  simcore::Rng rng(71);
+  model::Dataset d = smooth_2d(80, rng);
+  model::RegressionTree tree;
+  tree.fit(d, simcore::Rng(7));
+  const auto candidates = random_candidates(301, 2, rng);
+  const auto serial = tree.predict_batch(candidates);
+  ASSERT_EQ(serial.size(), 301u);
+  for (std::size_t i = 0; i < candidates.rows(); ++i) {
+    const auto row = candidates.row(i);
+    EXPECT_EQ(serial[i], tree.predict(std::vector<double>(row.begin(), row.end())));
+  }
+  simcore::ThreadPool pool(3);
+  const auto sharded = tree.predict_batch(candidates, &pool);
+  EXPECT_EQ(serial, sharded);
+}
+
+// -- End-to-end Bayesian optimization ---------------------------------------
+
+std::shared_ptr<const config::ConfigSpace> bo_space() {
+  static const auto space = [] {
+    std::vector<config::ParamDef> params;
+    params.push_back(config::ParamDef::real("a", 0.0, 1.0, 0.1));
+    params.push_back(config::ParamDef::real("b", 0.0, 1.0, 0.9));
+    params.push_back(config::ParamDef::integer("c", 0, 100, 0));
+    return config::ConfigSpace::create(std::move(params));
+  }();
+  return space;
+}
+
+tuning::Objective bo_bowl() {
+  return [](const config::Configuration& c) -> tuning::EvalOutcome {
+    const double a = c.get("a"), b = c.get("b");
+    const double cc = c.get("c") / 100.0;
+    return {1.0 + 30.0 * ((a - 0.6) * (a - 0.6) + (b - 0.4) * (b - 0.4) +
+                          (cc - 0.5) * (cc - 0.5)),
+            false};
+  };
+}
+
+tuning::TuneResult run_bo(tuning::BayesOptTuner::Params params) {
+  tuning::BayesOptTuner tuner(std::move(params));
+  tuning::TuneOptions opts;
+  opts.budget = 45;
+  opts.seed = 17;
+  return tuner.tune(bo_space(), bo_bowl(), opts);
+}
+
+TEST(BayesOptEndToEnd, IncrementalObserveAndFullRefitPickTheSameIncumbent) {
+  tuning::BayesOptTuner::Params inc;
+  inc.gp.incremental = true;
+  tuning::BayesOptTuner::Params full = inc;
+  full.gp.incremental = false;
+  const auto r_inc = run_bo(inc);
+  const auto r_full = run_bo(full);
+  ASSERT_EQ(r_inc.history.size(), r_full.history.size());
+  EXPECT_EQ(bo_space()->encode(r_inc.best), bo_space()->encode(r_full.best));
+  EXPECT_DOUBLE_EQ(r_inc.best_runtime, r_full.best_runtime);
+}
+
+TEST(BayesOptEndToEnd, PredictJobsDoesNotChangeSuggestions) {
+  tuning::BayesOptTuner::Params serial;
+  serial.predict_jobs = 1;
+  tuning::BayesOptTuner::Params parallel = serial;
+  parallel.predict_jobs = 4;
+  const auto r1 = run_bo(serial);
+  const auto r4 = run_bo(parallel);
+  ASSERT_EQ(r1.history.size(), r4.history.size());
+  for (std::size_t i = 0; i < r1.history.size(); ++i) {
+    EXPECT_EQ(bo_space()->encode(r1.history[i].config), bo_space()->encode(r4.history[i].config))
+        << "suggestion " << i << " diverged";
+    EXPECT_EQ(r1.history[i].runtime, r4.history[i].runtime);
+  }
+  EXPECT_EQ(r1.best_runtime, r4.best_runtime);
+}
+
+TEST(RtreeEndToEnd, PredictJobsDoesNotChangeSuggestions) {
+  auto run = [](std::size_t jobs) {
+    tuning::RegressionTreeTuner::Params p;
+    p.predict_jobs = jobs;
+    tuning::RegressionTreeTuner tuner(p);
+    tuning::TuneOptions opts;
+    opts.budget = 40;
+    opts.seed = 23;
+    return tuner.tune(bo_space(), bo_bowl(), opts);
+  };
+  const auto r1 = run(1);
+  const auto r4 = run(4);
+  ASSERT_EQ(r1.history.size(), r4.history.size());
+  for (std::size_t i = 0; i < r1.history.size(); ++i) {
+    EXPECT_EQ(bo_space()->encode(r1.history[i].config), bo_space()->encode(r4.history[i].config))
+        << "suggestion " << i << " diverged";
+  }
+  EXPECT_EQ(r1.best_runtime, r4.best_runtime);
+}
+
+}  // namespace
+}  // namespace stune

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "tuning/trial_executor.hpp"
 #include "tuning/tuner.hpp"
 #include "tuning/tuners.hpp"

@@ -245,6 +245,10 @@ constexpr SymbolHeader kSymbolTable[] = {
     {"std::cin", "iostream"},
     {"std::chrono", "chrono"},
     {"std::filesystem", "filesystem"},
+    {"std::span", "span"},
+    {"std::bit_cast", "bit"},
+    {"std::clamp", "algorithm"},
+    {"std::numeric_limits", "limits"},
 };
 
 void pass_include_what_you_use(const LintInput& in, std::vector<Violation>& out) {
