@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "simcore/fault.hpp"
+#include "simcore/lock_rank.hpp"
 #include "simcore/mutex.hpp"
 #include "simcore/thread_annotations.hpp"
 
@@ -230,7 +231,10 @@ class TuningService {
   /// memoization state.
   mutable workload::EvalCache cache_;
   tuning::TrialExecutor executor_;
-  mutable simcore::Mutex mu_;
+  // The outermost lock in the system (rank table: simcore/lock_rank.hpp):
+  // held across whole tuning sessions, so every other ranked mutex nests
+  // inside it.
+  mutable simcore::Mutex mu_{simcore::lock_rank::kTuningService};
   KnowledgeBase kb_ STUNE_GUARDED_BY(mu_);
   std::map<int, Entry> entries_ STUNE_GUARDED_BY(mu_);
   std::map<std::string, CircuitBreaker> breakers_ STUNE_GUARDED_BY(mu_);

@@ -1,0 +1,63 @@
+#include "simcore/lock_rank.hpp"
+
+#include <cstddef>
+#include <vector>
+
+#include "simcore/check.hpp"
+
+namespace stune::simcore::lock_rank {
+
+namespace {
+
+struct Held {
+  const void* mu;
+  int rank;
+};
+
+// The held stack is tiny (lock nesting depth, <= 3 in this codebase), so a
+// flat vector with linear scans beats any cleverer structure.
+thread_local std::vector<Held> held_stack;
+
+}  // namespace
+
+void on_acquire(const void* mu, int rank) {
+  for (const Held& h : held_stack) {
+    STUNE_CHECK(h.mu != mu)
+        << "lock-rank: re-acquiring a mutex this thread already holds (rank " << rank
+        << ") — guaranteed self-deadlock";
+    if (rank != kUnranked && h.rank != kUnranked) {
+      STUNE_CHECK(h.rank < rank)
+          << "lock-rank: acquiring rank " << rank << " while holding rank " << h.rank
+          << "; ranked mutexes must be acquired in strictly increasing rank order "
+             "(see the table in simcore/lock_rank.hpp)";
+    }
+  }
+  held_stack.push_back({mu, rank});
+}
+
+void on_try_acquire(const void* mu, int rank) noexcept {
+  held_stack.push_back({mu, rank});
+}
+
+void on_release(const void* mu) noexcept {
+  // Releases are LIFO in practice (every critical section is RAII), but a
+  // reverse scan keeps the bookkeeping correct for hand-over-hand patterns.
+  for (std::size_t i = held_stack.size(); i > 0; --i) {
+    if (held_stack[i - 1].mu == mu) {
+      held_stack.erase(held_stack.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+std::size_t held_count() noexcept { return held_stack.size(); }
+
+int max_held_rank() noexcept {
+  int rank = kUnranked;
+  for (const Held& h : held_stack) {
+    if (h.rank > rank) rank = h.rank;
+  }
+  return rank;
+}
+
+}  // namespace stune::simcore::lock_rank

@@ -1,0 +1,67 @@
+// Lock ranks: the runtime half of the project's deadlock-freedom story.
+//
+// Every long-lived mutex in the system is assigned an integer *rank* that
+// encodes its position in the global acquisition order (the table below,
+// mirrored in DESIGN.md §11). The invariant: a thread may only acquire a
+// mutex whose rank is strictly greater than every rank it already holds.
+// Rank kUnranked (0) opts a mutex out — short-lived or test-local mutexes
+// that never nest with the ranked ones.
+//
+// The validator keeps a thread-local stack of held (mutex, rank) pairs.
+// Under the STUNE_DEBUG_LOCK_RANK build option simcore::Mutex wires its
+// lock()/unlock() into on_acquire()/on_release(), so any out-of-order
+// acquisition — i.e. any schedule that could deadlock against another
+// thread taking the same mutexes in the declared order — fails a
+// STUNE_CHECK the moment one thread attempts it, on any schedule, not just
+// the schedule that happens to deadlock. The static complement is
+// stune_analyze's lock-order pass (tools/analyze), which derives the same
+// graph from MutexLock scopes at rest; the two cross-check each other.
+//
+// The validator functions are compiled unconditionally (so unit tests can
+// drive the checking logic in every build); only the Mutex wiring is behind
+// the build option.
+//
+// Rank table (acquired top to bottom; see DESIGN.md §11 for the full map):
+//
+//   10  TuningService::mu_        service-wide tenant/KB/breaker state
+//   20  TrialExecutor::mu_        session serialization on a shared executor
+//   30  SequentialAdapter::mu_    ask/tell rendezvous with the serial body
+//   40  ThreadPool::mu_           task queue of the worker pool
+//   50  EvalCache::Shard::mu      one shard of the execution memo (leaf)
+#pragma once
+
+#include <cstddef>
+
+namespace stune::simcore::lock_rank {
+
+inline constexpr int kUnranked = 0;
+inline constexpr int kTuningService = 10;
+inline constexpr int kTrialExecutor = 20;
+inline constexpr int kSequentialAdapter = 30;
+inline constexpr int kThreadPool = 40;
+inline constexpr int kEvalCacheShard = 50;
+
+/// Validate then record an acquisition by the calling thread. Throws
+/// simcore::CheckError (via STUNE_CHECK) before recording anything if
+/// `rank` is ranked and the thread already holds a mutex of rank >= rank,
+/// or if it already holds `mu` itself (self-deadlock). Called by
+/// Mutex::lock() *before* the native lock, so a violation never leaves the
+/// underlying mutex held.
+void on_acquire(const void* mu, int rank);
+
+/// Record a successful try_lock. No ordering check: a try that cannot
+/// block cannot deadlock, but the held entry must exist so later blocking
+/// acquisitions see it.
+void on_try_acquire(const void* mu, int rank) noexcept;
+
+/// Remove `mu` from the calling thread's held stack (no-op if absent —
+/// e.g. a mutex locked before the validator was wired in).
+void on_release(const void* mu) noexcept;
+
+/// Number of mutexes the calling thread currently holds (tests).
+std::size_t held_count() noexcept;
+
+/// Highest rank the calling thread currently holds; kUnranked when none.
+int max_held_rank() noexcept;
+
+}  // namespace stune::simcore::lock_rank

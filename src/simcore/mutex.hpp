@@ -15,11 +15,20 @@
 //
 //   MutexLock lock(mu_);
 //   while (!ready_) cv_.wait(mu_);
+//
+// Lock ranks: a Mutex may be constructed with an integer rank from
+// simcore/lock_rank.hpp declaring its position in the global acquisition
+// order. Under the STUNE_DEBUG_LOCK_RANK build option every lock()/unlock()
+// is checked against a thread-local held-rank stack and an out-of-order
+// acquisition fails a STUNE_CHECK immediately — the runtime complement of
+// stune_analyze's static lock-order pass. Without the option the rank is a
+// stored int and the checks compile away.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
 
+#include "simcore/lock_rank.hpp"
 #include "simcore/thread_annotations.hpp"
 
 namespace stune::simcore {
@@ -31,16 +40,40 @@ class CondVar;
 class STUNE_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// A ranked mutex participates in the lock-order validation (see
+  /// simcore/lock_rank.hpp for the rank table).
+  explicit Mutex(int rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() STUNE_ACQUIRE() { mu_.lock(); }            // stune-lint: allow(lock-discipline)
-  void unlock() STUNE_RELEASE() { mu_.unlock(); }        // stune-lint: allow(lock-discipline)
-  bool try_lock() STUNE_TRY_ACQUIRE(true) { return mu_.try_lock(); }  // stune-lint: allow(lock-discipline)
+  void lock() STUNE_ACQUIRE() {                          // stune-lint: allow(lock-discipline)
+#if defined(STUNE_DEBUG_LOCK_RANK)
+    // Checked before the native lock: a rank violation throws with the
+    // underlying mutex still unlocked, so the failure is recoverable.
+    lock_rank::on_acquire(this, rank_);
+#endif
+    mu_.lock();                                          // stune-lint: allow(lock-discipline)
+  }
+  void unlock() STUNE_RELEASE() {
+    mu_.unlock();                                        // stune-lint: allow(lock-discipline)
+#if defined(STUNE_DEBUG_LOCK_RANK)
+    lock_rank::on_release(this);
+#endif
+  }
+  bool try_lock() STUNE_TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();                // stune-lint: allow(lock-discipline)
+#if defined(STUNE_DEBUG_LOCK_RANK)
+    if (acquired) lock_rank::on_try_acquire(this, rank_);
+#endif
+    return acquired;
+  }
+
+  int rank() const { return rank_; }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+  const int rank_ = lock_rank::kUnranked;
 };
 
 /// RAII critical section over a simcore::Mutex.

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "simcore/lock_rank.hpp"
 #include "simcore/mutex.hpp"
 #include "simcore/thread_annotations.hpp"
 
@@ -47,7 +48,7 @@ class ThreadPool {
   // happens-before edges, not by mu_.
   std::vector<std::thread> workers_;
 
-  Mutex mu_;
+  Mutex mu_{lock_rank::kThreadPool};
   CondVar cv_;
   std::deque<std::packaged_task<void()>> queue_ STUNE_GUARDED_BY(mu_);
   bool stop_ STUNE_GUARDED_BY(mu_) = false;

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "simcore/lock_rank.hpp"
 #include "simcore/mutex.hpp"
 #include "simcore/thread_annotations.hpp"
 #include "tuning/tuner.hpp"
@@ -87,7 +88,7 @@ class SequentialAdapter final : public Tuner {
   // Driver-thread only: joined/created in shutdown()/begin().
   std::thread thread_;
 
-  mutable simcore::Mutex mu_;
+  mutable simcore::Mutex mu_{simcore::lock_rank::kSequentialAdapter};
   simcore::CondVar cv_;
   std::shared_ptr<const config::ConfigSpace> space_ STUNE_GUARDED_BY(mu_);
   TuneOptions options_ STUNE_GUARDED_BY(mu_);

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "simcore/lock_rank.hpp"
 #include "simcore/mutex.hpp"
 #include "simcore/thread_annotations.hpp"
 #include "simcore/thread_pool.hpp"
@@ -130,7 +131,9 @@ class TrialExecutor {
 
  private:
   const std::size_t jobs_;  // immutable after construction
-  simcore::Mutex mu_;       // serializes sessions on a shared executor
+  // Serializes sessions on a shared executor. Acquired with the service
+  // mutex held (TuningService::tune_disc), before the adapter/pool mutexes.
+  simcore::Mutex mu_{simcore::lock_rank::kTrialExecutor};
   std::unique_ptr<simcore::ThreadPool> pool_ STUNE_GUARDED_BY(mu_);  // created on first parallel batch
 };
 

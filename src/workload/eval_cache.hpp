@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "disc/metrics.hpp"
+#include "simcore/lock_rank.hpp"
 #include "simcore/mutex.hpp"
 #include "simcore/thread_annotations.hpp"
 
@@ -70,7 +71,9 @@ class EvalCache {
     std::size_t operator()(const EvalKey& key) const;
   };
   struct Shard {
-    mutable simcore::Mutex mu;
+    // Leaf rank: shard locks are taken last (often with the service and
+    // executor mutexes held via the tuning objective) and never nest.
+    mutable simcore::Mutex mu{simcore::lock_rank::kEvalCacheShard};
     std::unordered_map<EvalKey, disc::ExecutionReport, KeyHash> map STUNE_GUARDED_BY(mu);
   };
 

@@ -1,0 +1,441 @@
+// Golden-fixture tests for every stune_analyze rule family (tools/analyze).
+// Each fixture is a tiny synthetic program — usually two or three files, so
+// the cross-TU machinery (include graph, call graph, reachability, lock
+// graph) is actually exercised — with the violation in real code position.
+// Fixture text lives in string literals, which both analyzers strip before
+// scanning, so this file stays lint- and analyze-clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+#ifndef STUNE_SOURCE_ROOT
+#define STUNE_SOURCE_ROOT "."
+#endif
+
+namespace stune::analyze {
+namespace {
+
+Program make_program(std::vector<SourceFile> files) {
+  Program p;
+  for (SourceFile& f : files) p.add_file(std::move(f));
+  return p;
+}
+
+bool has_rule(const std::vector<Violation>& vs, const std::string& rule) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const Violation& v) { return v.rule == rule; });
+}
+
+const Violation& only(const std::vector<Violation>& vs, const std::string& rule) {
+  const Violation* found = nullptr;
+  for (const auto& v : vs) {
+    if (v.rule == rule) {
+      EXPECT_EQ(found, nullptr) << "more than one [" << rule << "] violation";
+      found = &v;
+    }
+  }
+  EXPECT_NE(found, nullptr) << "no [" << rule << "] violation";
+  static const Violation none{};
+  return found != nullptr ? *found : none;
+}
+
+// ---------------------------------------------------------------------------
+// Layering manifest
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeManifest, ParsesTheTomlSubset) {
+  LayerManifest m;
+  std::string error;
+  ASSERT_TRUE(parse_manifest(
+      "# comment\n[modules]\nbase = []\nupper = [\"base\", \"other\"]\nother = [\"base\"]\n",
+      m, error))
+      << error;
+  EXPECT_EQ(m.order, (std::vector<std::string>{"base", "upper", "other"}));
+  EXPECT_EQ(m.allowed.at("upper"), (std::set<std::string>{"base", "other"}));
+  EXPECT_TRUE(m.allowed.at("base").empty());
+}
+
+TEST(AnalyzeManifest, RejectsMalformedInput) {
+  LayerManifest m;
+  std::string error;
+  EXPECT_FALSE(parse_manifest("base = []\n", m, error));  // entry outside [modules]
+  EXPECT_FALSE(parse_manifest("[modules]\nbase\n", m, error));
+  EXPECT_FALSE(parse_manifest("[modules]\nbase = [unquoted]\n", m, error));
+  EXPECT_FALSE(parse_manifest("[modules]\na = []\na = []\n", m, error));  // duplicate
+  EXPECT_FALSE(parse_manifest("", m, error));
+}
+
+TEST(AnalyzeManifest, CommittedTomlMatchesCompiledDefault) {
+  // tools/analyze/layers.toml and default_manifest() must describe the same
+  // architecture, or the CLI (which prefers the file) and any embedded user
+  // (which gets the default) would enforce different rules.
+  std::ifstream f(std::string(STUNE_SOURCE_ROOT) + "/tools/analyze/layers.toml");
+  ASSERT_TRUE(f.is_open()) << "cannot open layers.toml under " << STUNE_SOURCE_ROOT;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  LayerManifest committed;
+  std::string error;
+  ASSERT_TRUE(parse_manifest(buf.str(), committed, error)) << error;
+  const LayerManifest compiled = default_manifest();
+  EXPECT_EQ(committed.order, compiled.order);
+  EXPECT_EQ(committed.allowed, compiled.allowed);
+}
+
+TEST(AnalyzeManifest, DefaultManifestIsAcyclic) {
+  const Program empty;
+  EXPECT_TRUE(empty.check_layering(default_manifest()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Layering checks
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeLayering, ReportsBackEdges) {
+  const Program p = make_program({
+      {"src/simcore/clock.hpp", "#pragma once\n#include \"tuning/tuner.hpp\"\n"},
+  });
+  const auto vs = p.check_layering(default_manifest());
+  const Violation& v = only(vs, "layer-back-edge");
+  EXPECT_EQ(v.file, "src/simcore/clock.hpp");
+  EXPECT_EQ(v.line, 2u);
+  EXPECT_NE(v.message.find("tuning"), std::string::npos);
+}
+
+TEST(AnalyzeLayering, PermittedIncludesAndSelfIncludesAreClean) {
+  const Program p = make_program({
+      {"src/disc/engine.hpp",
+       "#pragma once\n#include \"config/space.hpp\"\n#include \"disc/plan.hpp\"\n"},
+  });
+  EXPECT_TRUE(p.check_layering(default_manifest()).empty());
+}
+
+TEST(AnalyzeLayering, ReportsUndeclaredModules) {
+  const Program p = make_program({
+      {"src/rogue/widget.cpp", "int f() { return 1; }\n"},
+      {"src/disc/engine.cpp", "#include \"rogue/widget.hpp\"\n"},
+  });
+  const auto vs = p.check_layering(default_manifest());
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_TRUE(has_rule(vs, "layer-unknown-module"));
+  EXPECT_FALSE(has_rule(vs, "layer-back-edge"));
+}
+
+TEST(AnalyzeLayering, ReportsCyclicManifests) {
+  LayerManifest m;
+  std::string error;
+  ASSERT_TRUE(parse_manifest("[modules]\na = [\"b\"]\nb = [\"a\"]\n", m, error)) << error;
+  const Program empty;
+  const auto vs = empty.check_layering(m);
+  const Violation& v = only(vs, "layer-cycle");
+  EXPECT_EQ(v.file, "<manifest>");
+  EXPECT_NE(v.message.find(" -> "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism checks
+// ---------------------------------------------------------------------------
+
+// A two-file fixture: the fingerprint entry point lives in one TU, the
+// unordered iteration in another, so only cross-TU reachability can see it.
+const char* const kRegistryHeader =
+    "#pragma once\n"
+    "#include <string>\n"
+    "#include <unordered_map>\n"
+    "struct Registry { std::unordered_map<std::string, int> names; };\n"
+    "std::string join_names(const Registry& r);\n";
+
+TEST(AnalyzeDeterminism, FlagsUnorderedIterationReachableFromFingerprint) {
+  const Program p = make_program({
+      {"src/config/registry.hpp", kRegistryHeader},
+      {"src/config/fingerprint.cpp",
+       "#include \"config/registry.hpp\"\n"
+       "std::string fingerprint(const Registry& r) { return join_names(r); }\n"},
+      {"src/config/registry.cpp",
+       "#include \"config/registry.hpp\"\n"
+       "std::string join_names(const Registry& r) {\n"
+       "  std::string out;\n"
+       "  for (const auto& kv : r.names) out += kv.first;\n"
+       "  return out;\n"
+       "}\n"},
+  });
+  const auto vs = p.check_determinism();
+  const Violation& v = only(vs, "det-iter");
+  EXPECT_EQ(v.file, "src/config/registry.cpp");
+  EXPECT_EQ(v.line, 4u);
+  EXPECT_NE(v.message.find("names"), std::string::npos);
+}
+
+TEST(AnalyzeDeterminism, IgnoresUnorderedIterationOffTheFingerprintPaths) {
+  const Program p = make_program({
+      {"src/config/registry.hpp", kRegistryHeader},
+      {"src/config/debug.cpp",
+       "#include \"config/registry.hpp\"\n"
+       "std::string debug_dump(const Registry& r) {\n"
+       "  std::string out;\n"
+       "  for (const auto& kv : r.names) out += kv.first;\n"
+       "  return out;\n"
+       "}\n"},
+  });
+  EXPECT_FALSE(has_rule(p.check_determinism(), "det-iter"));
+}
+
+TEST(AnalyzeDeterminism, AllowCommentSuppressesDetIter) {
+  const Program p = make_program({
+      {"src/config/registry.hpp", kRegistryHeader},
+      {"src/config/fingerprint.cpp",
+       "#include \"config/registry.hpp\"\n"
+       "std::string fingerprint(const Registry& r) {\n"
+       "  std::string out;\n"
+       "  for (const auto& kv : r.names) out += kv.first;  // stune-lint: allow(det-iter)\n"
+       "  return out;\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(has_rule(p.check_determinism(), "det-iter"));  // raw pass still sees it
+  EXPECT_FALSE(has_rule(p.check_all(default_manifest()), "det-iter"));  // check_all honors allow()
+}
+
+TEST(AnalyzeDeterminism, FlagsPointerKeyedContainers) {
+  const Program p = make_program({
+      {"src/dag/index.hpp",
+       "#pragma once\n"
+       "#include <map>\n"
+       "#include <unordered_map>\n"
+       "struct Node;\n"
+       "struct Index {\n"
+       "  std::unordered_map<Node*, int> by_node;\n"
+       "  std::map<const Node*, int> ordered_by_address;\n"
+       "};\n"},
+  });
+  const auto vs = p.check_determinism();
+  EXPECT_EQ(std::count_if(vs.begin(), vs.end(),
+                          [](const Violation& v) { return v.rule == "det-ptr-key"; }),
+            2);
+}
+
+TEST(AnalyzeDeterminism, FlagsDefaultSeededEnginesAndAmbientEntropy) {
+  const Program p = make_program({
+      {"src/model/sampler.cpp",
+       "#include <random>\n"
+       "int draw() {\n"
+       "  std::mt19937 gen;\n"
+       "  std::random_device rd;\n"
+       "  return static_cast<int>(gen() + rd());\n"
+       "}\n"},
+      {"src/model/seeded.cpp",
+       "#include <random>\n"
+       "int draw_seeded(unsigned seed) {\n"
+       "  std::mt19937 gen(seed);\n"
+       "  return static_cast<int>(gen());\n"
+       "}\n"},
+  });
+  const auto vs = p.check_determinism();
+  const auto in_file = [&vs](const std::string& file) {
+    return std::count_if(vs.begin(), vs.end(), [&](const Violation& v) {
+      return v.rule == "det-rng" && v.file == file;
+    });
+  };
+  EXPECT_EQ(in_file("src/model/sampler.cpp"), 2);  // default seed + random_device
+  EXPECT_EQ(in_file("src/model/seeded.cpp"), 0);   // explicitly seeded is fine
+}
+
+TEST(AnalyzeDeterminism, FlagsWallClockReachableFromFingerprint) {
+  const Program p = make_program({
+      {"src/simcore/stamp.cpp",
+       "#include <chrono>\n"
+       "long stamp_now() {\n"
+       "  return std::chrono::system_clock::now().time_since_epoch().count();\n"
+       "}\n"
+       "long fingerprint_stamp() { return stamp_now(); }\n"},
+  });
+  const auto vs = p.check_determinism();
+  const Violation& v = only(vs, "det-wall-clock");
+  EXPECT_EQ(v.file, "src/simcore/stamp.cpp");
+  EXPECT_EQ(v.line, 3u);  // in the callee, reached from the entry point
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order checks
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeLockOrder, ReportsCrossClassCycles) {
+  const Program p = make_program({
+      {"src/service/pair.cpp",
+       "#include \"simcore/mutex.hpp\"\n"
+       "class B;\n"
+       "class A {\n"
+       " public:\n"
+       "  void f() { const simcore::MutexLock lock(mu_); other_->g(); }\n"
+       "  simcore::Mutex mu_;\n"
+       "  B* other_;\n"
+       "};\n"
+       "class B {\n"
+       " public:\n"
+       "  void g() { const simcore::MutexLock lock(mu_); first_->f(); }\n"
+       "  simcore::Mutex mu_;\n"
+       "  A* first_;\n"
+       "};\n"},
+  });
+  const auto edges = p.lock_graph();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].held, "A::mu_");
+  EXPECT_EQ(edges[0].acquired, "B::mu_");
+  const auto vs = p.check_lock_order();
+  const Violation& v = only(vs, "lock-cycle");
+  EXPECT_NE(v.message.find("A::mu_"), std::string::npos);
+  EXPECT_NE(v.message.find("B::mu_"), std::string::npos);
+}
+
+TEST(AnalyzeLockOrder, ReportsDirectNestedReacquisition) {
+  const Program p = make_program({
+      {"src/workload/self.cpp",
+       "#include \"simcore/mutex.hpp\"\n"
+       "class Cache {\n"
+       " public:\n"
+       "  void touch() {\n"
+       "    const simcore::MutexLock outer(mu_);\n"
+       "    { const simcore::MutexLock inner(mu_); }\n"
+       "  }\n"
+       "  simcore::Mutex mu_;\n"
+       "};\n"},
+  });
+  const auto vs = p.check_lock_order();
+  const Violation& v = only(vs, "lock-cycle");
+  EXPECT_EQ(v.line, 6u);
+  EXPECT_NE(v.message.find("re-acquired"), std::string::npos);
+}
+
+TEST(AnalyzeLockOrder, ReportsRankOrderContradictions) {
+  const Program p = make_program({
+      {"src/simcore/ranks.hpp",
+       "#pragma once\n"
+       "namespace lock_rank {\n"
+       "inline constexpr int kFirst = 10;\n"
+       "inline constexpr int kSecond = 20;\n"
+       "}\n"},
+      {"src/service/backwards.cpp",
+       "#include \"simcore/mutex.hpp\"\n"
+       "#include \"simcore/ranks.hpp\"\n"
+       "class Low;\n"
+       "class High {\n"
+       " public:\n"
+       "  void f();\n"
+       "  simcore::Mutex mu_{lock_rank::kSecond};\n"
+       "  Low* low_;\n"
+       "};\n"
+       "class Low {\n"
+       " public:\n"
+       "  void g() { const simcore::MutexLock lock(mu_); }\n"
+       "  simcore::Mutex mu_{lock_rank::kFirst};\n"
+       "};\n"
+       "void High::f() { const simcore::MutexLock lock(mu_); low_->g(); }\n"},
+  });
+  const auto vs = p.check_lock_order();
+  const Violation& v = only(vs, "lock-rank-order");
+  EXPECT_NE(v.message.find("rank 10"), std::string::npos);
+  EXPECT_NE(v.message.find("rank 20"), std::string::npos);
+  EXPECT_FALSE(has_rule(p.check_lock_order(), "lock-cycle"));  // one-directional
+}
+
+TEST(AnalyzeLockOrder, ReportsExcludesCalledWithMutexHeld) {
+  const Program p = make_program({
+      {"src/tuning/reentry.cpp",
+       "#include \"simcore/mutex.hpp\"\n"
+       "#include \"simcore/thread_annotations.hpp\"\n"
+       "class Q {\n"
+       " public:\n"
+       "  void outer() { const simcore::MutexLock lock(mu_); helper(); }\n"
+       "  void helper() STUNE_EXCLUDES(mu_);\n"
+       " private:\n"
+       "  simcore::Mutex mu_;\n"
+       "};\n"},
+  });
+  const auto vs = p.check_lock_order();
+  const Violation& v = only(vs, "lock-excludes");
+  EXPECT_EQ(v.line, 5u);
+  EXPECT_NE(v.message.find("helper"), std::string::npos);
+  EXPECT_NE(v.message.find("Q::mu_"), std::string::npos);
+}
+
+TEST(AnalyzeLockOrder, LocalDeclarationsAreNotCalls) {
+  // `Widget ledger(opts);` must not look like a call to Store::ledger() —
+  // the regression that once wove a phantom edge through the real tree.
+  const Program p = make_program({
+      {"src/service/decl.cpp",
+       "#include \"simcore/mutex.hpp\"\n"
+       "struct Widget { explicit Widget(int); };\n"
+       "class Store {\n"
+       " public:\n"
+       "  void ledger() { const simcore::MutexLock lock(mu_); }\n"
+       "  simcore::Mutex mu_;\n"
+       "};\n"
+       "class User {\n"
+       " public:\n"
+       "  void run() {\n"
+       "    const simcore::MutexLock lock(mu_);\n"
+       "    Widget ledger(42);\n"
+       "  }\n"
+       "  simcore::Mutex mu_;\n"
+       "};\n"},
+  });
+  EXPECT_TRUE(p.lock_graph().empty());
+  EXPECT_TRUE(p.check_lock_order().empty());
+}
+
+TEST(AnalyzeLockOrder, CanonicalizesForeignObjectExpressions) {
+  // SerialSession-style: a helper class locks its owner's mutex through a
+  // reference member; both ids must land on the owning class.
+  const Program p = make_program({
+      {"src/tuning/owner.cpp",
+       "#include \"simcore/mutex.hpp\"\n"
+       "class Owner {\n"
+       " public:\n"
+       "  void direct() { const simcore::MutexLock lock(mu_); }\n"
+       "  simcore::Mutex mu_;\n"
+       "};\n"
+       "class Helper {\n"
+       " public:\n"
+       "  void indirect() { const simcore::MutexLock lock(owner_.mu_); }\n"
+       "  Owner& owner_;\n"
+       "};\n"},
+  });
+  ASSERT_EQ(p.acquisitions().size(), 2u);
+  EXPECT_EQ(p.acquisitions()[0].mutex_id, "Owner::mu_");
+  EXPECT_EQ(p.acquisitions()[1].mutex_id, "Owner::mu_");
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeCheckAll, MergesSortsAndSuppresses) {
+  const Program p = make_program({
+      {"src/simcore/bad.hpp",
+       "#pragma once\n"
+       "#include \"tuning/tuner.hpp\"  // stune-lint: allow(layer-back-edge)\n"
+       "#include \"service/api.hpp\"\n"},
+  });
+  const auto vs = p.check_all(default_manifest());
+  ASSERT_EQ(vs.size(), 1u);  // the allow() line is suppressed, line 3 is not
+  EXPECT_EQ(vs[0].rule, "layer-back-edge");
+  EXPECT_EQ(vs[0].line, 3u);
+}
+
+TEST(AnalyzeRuleIds, CoversEveryFamily) {
+  const auto& ids = rule_ids();
+  for (const char* id : {"layer-back-edge", "layer-unknown-module", "layer-cycle",
+                         "det-iter", "det-ptr-key", "det-rng", "det-wall-clock",
+                         "lock-cycle", "lock-excludes", "lock-rank-order"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end()) << id;
+  }
+}
+
+}  // namespace
+}  // namespace stune::analyze

@@ -234,6 +234,83 @@ TEST(LintRules, NoSwallowedException) {
 }
 
 // ---------------------------------------------------------------------------
+// fix_include_what_you_use (--fix mode): golden before/after fixtures
+// ---------------------------------------------------------------------------
+
+TEST(LintFix, InsertsAfterLastExistingInclude) {
+  const std::string before =
+      "#pragma once\n"
+      "#include <memory>\n"
+      "#include <vector>\n"
+      "\n"
+      "std::vector<std::string> names(std::unique_ptr<int> p);\n";
+  const auto fix = fix_include_what_you_use(before);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->added_headers, (std::vector<std::string>{"string"}));
+  EXPECT_EQ(fix->fixed,
+            "#pragma once\n"
+            "#include <memory>\n"
+            "#include <vector>\n"
+            "#include <string>\n"
+            "\n"
+            "std::vector<std::string> names(std::unique_ptr<int> p);\n");
+  // The fixed file is clean: applying the fix twice is a no-op.
+  EXPECT_FALSE(fix_include_what_you_use(fix->fixed).has_value());
+}
+
+TEST(LintFix, InsertsAfterPragmaOnceWhenNoIncludesExist) {
+  const std::string before =
+      "#pragma once\n"
+      "\n"
+      "std::string greeting();\n";
+  const auto fix = fix_include_what_you_use(before);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->fixed,
+            "#pragma once\n"
+            "#include <string>\n"
+            "\n"
+            "std::string greeting();\n");
+}
+
+TEST(LintFix, InsertsAtTopOfBareFile) {
+  const auto fix = fix_include_what_you_use("std::string s;\n");
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->fixed, "#include <string>\nstd::string s;\n");
+}
+
+TEST(LintFix, AddsEveryMissingHeaderOnceInSortedOrder) {
+  const std::string before =
+      "#include <cstddef>\n"
+      "std::vector<std::string> v;\n"
+      "std::string extra;\n"
+      "std::atomic<std::size_t> n;\n";
+  const auto fix = fix_include_what_you_use(before);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->added_headers,
+            (std::vector<std::string>{"atomic", "string", "vector"}));
+  EXPECT_EQ(fix->fixed,
+            "#include <cstddef>\n"
+            "#include <atomic>\n"
+            "#include <string>\n"
+            "#include <vector>\n"
+            "std::vector<std::string> v;\n"
+            "std::string extra;\n"
+            "std::atomic<std::size_t> n;\n");
+}
+
+TEST(LintFix, CleanFileNeedsNoFix) {
+  EXPECT_FALSE(fix_include_what_you_use("#include <string>\nstd::string s;\n")
+                   .has_value());
+  EXPECT_FALSE(fix_include_what_you_use("int plain = 0;\n").has_value());
+}
+
+TEST(LintFix, SymbolsInsideCommentsAndLiteralsDoNotTriggerAFix) {
+  EXPECT_FALSE(
+      fix_include_what_you_use("// std::vector\nconst char* s = \"std::string\";\n")
+          .has_value());
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 
@@ -278,7 +355,10 @@ TEST(LintOutput, TextFormat) {
   const std::vector<Violation> vs = {{"src/a.cpp", 3, "no-stdout", "msg"}};
   const std::string text = format_text(vs, 7);
   EXPECT_NE(text.find("src/a.cpp:3: [no-stdout] msg"), std::string::npos);
-  EXPECT_NE(text.find("scanned 7 files, 1 violation"), std::string::npos);
+  EXPECT_NE(text.find("stune_lint: scanned 7 files, 1 violation"), std::string::npos);
+  // Other tools reuse the formatter under their own name.
+  const std::string as_analyze = format_text(vs, 7, "stune_analyze");
+  EXPECT_NE(as_analyze.find("stune_analyze: scanned 7 files"), std::string::npos);
 }
 
 TEST(LintOutput, JsonShape) {

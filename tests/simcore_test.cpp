@@ -1,9 +1,14 @@
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "simcore/check.hpp"
+#include "simcore/lock_rank.hpp"
+#include "simcore/mutex.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/stats.hpp"
 #include "simcore/units.hpp"
@@ -240,6 +245,114 @@ TEST(Units, Conversions) {
   EXPECT_EQ(mib(1.5), kMiB + kMiB / 2);
   EXPECT_DOUBLE_EQ(minutes(2.0), 120.0);
   EXPECT_DOUBLE_EQ(hours(1.5), 5400.0);
+}
+
+// -- Lock-rank validator -----------------------------------------------------
+//
+// The validator functions are compiled in every build (only the Mutex wiring
+// is behind STUNE_DEBUG_LOCK_RANK), so these drive the checking logic
+// directly with dummy addresses and the real rank table.
+
+TEST(LockRank, AscendingAcquisitionIsClean) {
+  int a = 0, b = 0, c = 0;
+  lock_rank::on_acquire(&a, lock_rank::kTuningService);
+  lock_rank::on_acquire(&b, lock_rank::kTrialExecutor);
+  lock_rank::on_acquire(&c, lock_rank::kEvalCacheShard);
+  EXPECT_EQ(lock_rank::held_count(), 3u);
+  EXPECT_EQ(lock_rank::max_held_rank(), lock_rank::kEvalCacheShard);
+  lock_rank::on_release(&c);
+  lock_rank::on_release(&b);
+  lock_rank::on_release(&a);
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+  EXPECT_EQ(lock_rank::max_held_rank(), lock_rank::kUnranked);
+}
+
+TEST(LockRank, OutOfOrderAcquisitionThrows) {
+  int pool = 0, service = 0;
+  lock_rank::on_acquire(&pool, lock_rank::kThreadPool);
+  // ThreadPool (40) is held; TuningService (10) must never be taken now.
+  EXPECT_THROW(lock_rank::on_acquire(&service, lock_rank::kTuningService),
+               CheckError);
+  // The failed acquisition recorded nothing, so unwinding stays balanced.
+  EXPECT_EQ(lock_rank::held_count(), 1u);
+  lock_rank::on_release(&pool);
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+}
+
+TEST(LockRank, EqualRankAcquisitionThrows) {
+  // Two distinct mutexes of the same rank can deadlock against each other,
+  // so the order must be strictly increasing.
+  int a = 0, b = 0;
+  lock_rank::on_acquire(&a, lock_rank::kTrialExecutor);
+  EXPECT_THROW(lock_rank::on_acquire(&b, lock_rank::kTrialExecutor), CheckError);
+  lock_rank::on_release(&a);
+}
+
+TEST(LockRank, ReacquiringAHeldMutexThrowsEvenUnranked) {
+  int mu = 0;
+  lock_rank::on_acquire(&mu, lock_rank::kUnranked);
+  EXPECT_THROW(lock_rank::on_acquire(&mu, lock_rank::kUnranked), CheckError);
+  lock_rank::on_release(&mu);
+}
+
+TEST(LockRank, UnrankedMutexesSkipTheOrderCheck) {
+  int ranked = 0, scratch = 0;
+  lock_rank::on_acquire(&ranked, lock_rank::kEvalCacheShard);
+  // An unranked (test-local) mutex may be taken under any held ranks.
+  lock_rank::on_acquire(&scratch, lock_rank::kUnranked);
+  EXPECT_EQ(lock_rank::held_count(), 2u);
+  EXPECT_EQ(lock_rank::max_held_rank(), lock_rank::kEvalCacheShard);
+  lock_rank::on_release(&scratch);
+  lock_rank::on_release(&ranked);
+}
+
+TEST(LockRank, TryAcquireRecordsWithoutChecking) {
+  int pool = 0, service = 0;
+  lock_rank::on_acquire(&pool, lock_rank::kThreadPool);
+  // try_lock cannot block, so recording a lower rank is fine...
+  lock_rank::on_try_acquire(&service, lock_rank::kTuningService);
+  EXPECT_EQ(lock_rank::held_count(), 2u);
+  // ...but blocking acquisitions afterwards still see everything held.
+  int shard = 0;
+  EXPECT_THROW(lock_rank::on_acquire(&shard, lock_rank::kThreadPool), CheckError);
+  lock_rank::on_release(&service);
+  lock_rank::on_release(&pool);
+}
+
+TEST(LockRank, ReleaseOfUnknownMutexIsANoOp) {
+  int stranger = 0;
+  lock_rank::on_release(&stranger);  // locked before the validator existed
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+}
+
+TEST(LockRank, HeldStateIsPerThread) {
+  int mu = 0;
+  lock_rank::on_acquire(&mu, lock_rank::kThreadPool);
+  std::size_t other_thread_held = 99;
+  std::thread peer([&] { other_thread_held = lock_rank::held_count(); });
+  peer.join();
+  EXPECT_EQ(other_thread_held, 0u);
+  lock_rank::on_release(&mu);
+}
+
+// Under STUNE_DEBUG_LOCK_RANK the Mutex wiring itself is live: a plain
+// MutexLock taken out of declared order must fail the check (with the
+// native mutex left unlocked, so the test keeps running).
+TEST(LockRank, MutexWiringCatchesOutOfOrderMutexLock) {
+#if defined(STUNE_DEBUG_LOCK_RANK)
+  Mutex low(lock_rank::kTuningService);
+  Mutex high(lock_rank::kThreadPool);
+  {
+    MutexLock outer(high);
+    EXPECT_THROW({ MutexLock inner(low); }, CheckError);
+  }
+  {  // The declared order is clean, including after the failure above.
+    MutexLock outer(low);
+    MutexLock inner(high);
+  }
+#else
+  GTEST_SKIP() << "Mutex wiring requires -DSTUNE_DEBUG_LOCK_RANK=ON";
+#endif
 }
 
 }  // namespace

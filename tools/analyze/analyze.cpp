@@ -1,0 +1,643 @@
+// Program construction for stune_analyze: per-file textual parsing (class
+// spans, function definitions, call sites, MutexLock acquisitions, mutex
+// member declarations, annotations) plus the layering manifest. The rule
+// families themselves live in analyze_checks.cpp.
+#include "analyze.hpp"
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.hpp"
+#include "text_scan.hpp"
+
+namespace stune::analyze {
+
+namespace {
+
+namespace tx = stune::analyze::text;
+
+// Tokens that look like `name(...)` but never head a function definition or
+// a call we care to resolve.
+bool control_keyword(const std::string& w) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",      "while",  "switch",        "catch",  "return",
+      "sizeof", "alignof",  "new",    "delete",        "throw",  "decltype",
+      "else",   "do",       "case",   "static_assert", "assert", "defined",
+      "alignas", "noexcept"};
+  return kKeywords.count(w) > 0;
+}
+
+bool qualifier_word(const std::string& w) {
+  return w == "const" || w == "noexcept" || w == "override" || w == "final" ||
+         w == "mutable" || w == "throw" || w == "try" || w.rfind("STUNE_", 0) == 0;
+}
+
+// Backward '(' match for `name( ... ) STUNE_EXCLUDES(...)` style scans:
+// with s[close_pos] == ')', returns the offset of the matching '('.
+std::size_t match_backward_paren(const std::string& s, std::size_t close_pos) {
+  std::size_t depth = 0;
+  for (std::size_t p = close_pos + 1; p-- > 0;) {
+    if (s[p] == ')') {
+      ++depth;
+    } else if (s[p] == '(') {
+      if (--depth == 0) return p;
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Layering manifest
+// ---------------------------------------------------------------------------
+
+LayerManifest default_manifest() {
+  LayerManifest m;
+  const auto add = [&m](const std::string& module, std::set<std::string> deps) {
+    m.order.push_back(module);
+    m.allowed.emplace(module, std::move(deps));
+  };
+  add("simcore", {});
+  add("linalg", {"simcore"});
+  add("model", {"linalg", "simcore"});
+  add("dag", {"simcore"});
+  add("config", {"simcore"});
+  add("cluster", {"simcore"});
+  add("disc", {"cluster", "config", "dag", "simcore"});
+  add("workload", {"config", "dag", "disc", "simcore"});
+  add("tuning", {"config", "linalg", "model", "simcore"});
+  add("adaptive", {"simcore"});
+  add("transfer", {"disc", "model", "simcore", "tuning"});
+  add("service", {"adaptive", "cluster", "config", "dag", "disc", "model", "simcore",
+                  "transfer", "tuning", "workload"});
+  return m;
+}
+
+bool parse_manifest(const std::string& toml, LayerManifest& out, std::string& error) {
+  out = LayerManifest{};
+  bool in_modules = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= toml.size()) {
+    const std::size_t eol = toml.find('\n', pos);
+    std::string line = toml.substr(pos, eol == std::string::npos ? eol : eol - pos);
+    pos = eol == std::string::npos ? toml.size() + 1 : eol + 1;
+    ++line_no;
+    // Trim and drop comments.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    std::size_t begin = 0;
+    while (begin < line.size() && (line[begin] == ' ' || line[begin] == '\t')) ++begin;
+    line.erase(0, begin);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      in_modules = (line == "[modules]");
+      if (!in_modules) {
+        error = "line " + std::to_string(line_no) + ": unknown table " + line;
+        return false;
+      }
+      continue;
+    }
+    if (!in_modules) {
+      error = "line " + std::to_string(line_no) + ": entry outside [modules]";
+      return false;
+    }
+    std::size_t cur = 0;
+    const std::string name = tx::read_ident(line, cur);
+    cur = tx::skip_ws(line, cur);
+    if (name.empty() || cur >= line.size() || line[cur] != '=') {
+      error = "line " + std::to_string(line_no) + ": expected `module = [\"dep\", ...]`";
+      return false;
+    }
+    cur = tx::skip_ws(line, cur + 1);
+    if (cur >= line.size() || line[cur] != '[') {
+      error = "line " + std::to_string(line_no) + ": expected a dependency array";
+      return false;
+    }
+    ++cur;
+    std::set<std::string> deps;
+    while (true) {
+      cur = tx::skip_ws(line, cur);
+      if (cur < line.size() && line[cur] == ']') break;
+      if (cur >= line.size() || line[cur] != '"') {
+        error = "line " + std::to_string(line_no) + ": expected a quoted module name";
+        return false;
+      }
+      const std::size_t close = line.find('"', cur + 1);
+      if (close == std::string::npos) {
+        error = "line " + std::to_string(line_no) + ": unterminated string";
+        return false;
+      }
+      deps.insert(line.substr(cur + 1, close - cur - 1));
+      cur = tx::skip_ws(line, close + 1);
+      if (cur < line.size() && line[cur] == ',') ++cur;
+    }
+    if (out.allowed.count(name) != 0) {
+      error = "line " + std::to_string(line_no) + ": duplicate module " + name;
+      return false;
+    }
+    out.order.push_back(name);
+    out.allowed.emplace(name, std::move(deps));
+  }
+  if (out.order.empty()) {
+    error = "no [modules] table";
+    return false;
+  }
+  return true;
+}
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> kIds = {
+      "layer-back-edge", "layer-unknown-module", "layer-cycle",     "det-iter",
+      "det-ptr-key",     "det-rng",              "det-wall-clock",  "lock-cycle",
+      "lock-excludes",   "lock-rank-order"};
+  return kIds;
+}
+
+// ---------------------------------------------------------------------------
+// Program construction
+// ---------------------------------------------------------------------------
+
+void Program::add_file(SourceFile file) {
+  files_.push_back(std::move(file));
+  stripped_.push_back(lint::strip_comments_and_literals(files_.back().content));
+  line_starts_.push_back(tx::line_starts(stripped_.back()));
+  class_spans_.emplace_back();
+  calls_.emplace_back();  // resized by parse_file as functions are found
+  finalized_ = false;     // new declarations may re-resolve old expressions
+  parse_file(files_.size() - 1);
+}
+
+void Program::parse_file(std::size_t file_index) {
+  const std::string& s = stripped_[file_index];
+  const std::vector<std::size_t>& starts = line_starts_[file_index];
+  std::vector<ClassSpan>& spans = class_spans_[file_index];
+
+  const auto innermost_class = [&spans](std::size_t pos) -> std::string {
+    std::string best;
+    std::size_t best_size = 0;
+    for (const ClassSpan& c : spans) {
+      if (pos < c.begin || pos >= c.end) continue;
+      const std::size_t size = c.end - c.begin;
+      if (best.empty() || size < best_size) {
+        best = c.name;
+        best_size = size;
+      }
+    }
+    return best;
+  };
+
+  // -- class/struct spans ---------------------------------------------------
+  for (const char* kw : {"class", "struct"}) {
+    for (std::size_t p = tx::find_token(s, kw); p != std::string::npos;
+         p = tx::find_token(s, kw, p + 1)) {
+      const std::size_t prev = tx::rskip_ws(s, p);
+      if (prev != std::string::npos && tx::ident_char(s[prev]) &&
+          tx::read_ident_backward(s, prev) == "enum") {
+        continue;  // `enum class` is not a scope we attribute members to
+      }
+      // Attribute macros may precede the name; `final` may follow it.
+      std::size_t cur = p + std::string(kw).size();
+      std::vector<std::string> idents;
+      while (true) {
+        cur = tx::skip_ws(s, cur);
+        if (cur >= s.size() || !tx::ident_start(s[cur])) break;
+        idents.push_back(tx::read_ident(s, cur));
+      }
+      while (!idents.empty() && idents.back() == "final") idents.pop_back();
+      if (idents.empty()) continue;  // `template <class T>` and friends
+      const std::string name = idents.back();
+      cur = tx::skip_ws(s, cur);
+      if (cur >= s.size()) continue;
+      if (s[cur] == ':' && cur + 1 < s.size() && s[cur + 1] != ':') {
+        const std::size_t brace = s.find('{', cur);  // base clauses hold no braces
+        if (brace == std::string::npos) continue;
+        cur = brace;
+      }
+      if (s[cur] != '{') continue;  // forward declaration or template parameter
+      const std::size_t end = tx::match_forward(s, cur, '{', '}');
+      if (end == std::string::npos) continue;
+      spans.push_back({name, cur, end});
+    }
+  }
+
+  // -- mutex member declarations (and their lock_rank:: rank refs) ----------
+  for (std::size_t p = tx::find_token(s, "Mutex"); p != std::string::npos;
+       p = tx::find_token(s, "Mutex", p + 1)) {
+    std::size_t cur = tx::skip_ws(s, p + 5);
+    if (cur >= s.size() || !tx::ident_start(s[cur])) continue;  // MutexLock ctor params etc.
+    const std::string member = tx::read_ident(s, cur);
+    cur = tx::skip_ws(s, cur);
+    if (cur >= s.size() || (s[cur] != ';' && s[cur] != '{')) continue;
+    const std::string owner = innermost_class(p);
+    if (owner.empty()) continue;  // locals are canonicalized by use site
+    mutex_members_[member].insert(owner);
+    if (s[cur] == '{') {
+      const std::size_t end = tx::match_forward(s, cur, '{', '}');
+      if (end == std::string::npos) continue;
+      const std::string init = s.substr(cur, end - cur);
+      const std::size_t rank_ref = init.find("lock_rank::");
+      if (rank_ref != std::string::npos) {
+        std::size_t rp = rank_ref + 11;
+        const std::string rank = tx::read_ident(init, rp);
+        if (!rank.empty()) mutex_rank_name_[owner + "::" + member] = rank;
+      }
+    }
+  }
+
+  // -- rank constants: `constexpr int kName = N;` ---------------------------
+  for (std::size_t p = tx::find_token(s, "constexpr"); p != std::string::npos;
+       p = tx::find_token(s, "constexpr", p + 1)) {
+    std::size_t cur = tx::skip_ws(s, p + 9);
+    if (tx::read_ident(s, cur) != "int") continue;
+    cur = tx::skip_ws(s, cur);
+    const std::string name = tx::read_ident(s, cur);
+    cur = tx::skip_ws(s, cur);
+    if (name.empty() || cur >= s.size() || s[cur] != '=') continue;
+    cur = tx::skip_ws(s, cur + 1);
+    int value = 0;
+    bool any = false;
+    while (cur < s.size() && s[cur] >= '0' && s[cur] <= '9') {
+      value = value * 10 + (s[cur] - '0');
+      any = true;
+      ++cur;
+    }
+    if (any) rank_values_[name] = value;
+  }
+
+  // -- STUNE_EXCLUDES annotations -------------------------------------------
+  for (std::size_t p = tx::find_token(s, "STUNE_EXCLUDES"); p != std::string::npos;
+       p = tx::find_token(s, "STUNE_EXCLUDES", p + 1)) {
+    const std::size_t open = tx::skip_ws(s, p + 14);
+    if (open >= s.size() || s[open] != '(') continue;
+    const std::size_t close = tx::match_forward(s, open, '(', ')');
+    if (close == std::string::npos) continue;
+    // Walk back over trailing qualifiers to the parameter list, then to the
+    // declared function's name.
+    std::size_t cur = tx::rskip_ws(s, p);
+    while (cur != std::string::npos && tx::ident_char(s[cur])) {
+      const std::string w = tx::read_ident_backward(s, cur);
+      if (!qualifier_word(w)) break;
+      cur = tx::rskip_ws(s, cur - w.size() + 1);
+    }
+    if (cur == std::string::npos || s[cur] != ')') continue;
+    const std::size_t params_open = match_backward_paren(s, cur);
+    if (params_open == std::string::npos || params_open == 0) continue;
+    const std::size_t name_end = tx::rskip_ws(s, params_open);
+    if (name_end == std::string::npos) continue;
+    const std::string function = tx::read_ident_backward(s, name_end);
+    if (function.empty()) continue;
+    const std::string cls = innermost_class(p);
+    // Each top-level comma-separated argument is one excluded mutex.
+    const std::string args = s.substr(open + 1, close - open - 2);
+    int depth = 0;
+    std::size_t arg_begin = 0;
+    for (std::size_t q = 0; q <= args.size(); ++q) {
+      if (q < args.size()) {
+        const char c = args[q];
+        if (c == '(' || c == '<' || c == '[') ++depth;
+        if (c == ')' || c == '>' || c == ']') --depth;
+        if (c != ',' || depth != 0) continue;
+      }
+      std::string expr = args.substr(arg_begin, q - arg_begin);
+      arg_begin = q + 1;
+      if (!tx::last_segment(expr).empty()) {
+        raw_excludes_.push_back({function, std::move(expr), cls});
+      }
+    }
+  }
+
+  // -- unordered container variable names -----------------------------------
+  for (const char* kw : {"unordered_map", "unordered_set"}) {
+    for (std::size_t p = tx::find_token(s, kw); p != std::string::npos;
+         p = tx::find_token(s, kw, p + 1)) {
+      std::size_t cur = tx::skip_ws(s, p + std::string(kw).size());
+      if (cur >= s.size() || s[cur] != '<') continue;
+      cur = tx::match_forward(s, cur, '<', '>');
+      if (cur == std::string::npos) continue;
+      cur = tx::skip_ws(s, cur);
+      const std::string name = tx::read_ident(s, cur);
+      if (!name.empty()) unordered_names_.insert(name);
+    }
+  }
+
+  // -- function definitions -------------------------------------------------
+  for (std::size_t p = s.find('('); p != std::string::npos; p = s.find('(', p + 1)) {
+    const std::size_t name_end = tx::rskip_ws(s, p);
+    if (name_end == std::string::npos || !tx::ident_char(s[name_end])) continue;
+    std::string name = tx::read_ident_backward(s, name_end);
+    if (name.empty() || control_keyword(name)) continue;
+    std::size_t name_begin = name_end - name.size() + 1;
+    if (name_begin > 0 && s[name_begin - 1] == '~') {
+      name.insert(name.begin(), '~');
+      --name_begin;
+    }
+    // Qualified definitions: Class::name (collect the full chain).
+    std::string qualified = name;
+    std::string class_name;
+    {
+      std::size_t qp = name_begin;
+      while (qp >= 2 && s[qp - 1] == ':' && s[qp - 2] == ':') {
+        const std::size_t seg_end = qp >= 3 ? qp - 3 : std::string::npos;
+        if (seg_end == std::string::npos || !tx::ident_char(s[seg_end])) break;
+        const std::string seg = tx::read_ident_backward(s, seg_end);
+        if (seg.empty()) break;
+        class_name = seg;  // innermost explicit qualifier wins
+        qualified = seg + "::" + qualified;
+        qp = seg_end - seg.size() + 1;
+      }
+    }
+    const std::size_t params_end = tx::match_forward(s, p, '(', ')');
+    if (params_end == std::string::npos) continue;
+
+    // Skip qualifiers/annotations until the body '{' (or bail: declaration).
+    std::size_t cur = params_end;
+    std::size_t body = std::string::npos;
+    bool rejected = false;
+    while (!rejected && body == std::string::npos) {
+      cur = tx::skip_ws(s, cur);
+      if (cur >= s.size()) {
+        rejected = true;
+      } else if (s[cur] == '{') {
+        body = cur;
+      } else if (s[cur] == '&') {
+        ++cur;
+      } else if (s[cur] == '(') {  // noexcept(...), operator() parameter list
+        cur = tx::match_forward(s, cur, '(', ')');
+        rejected = cur == std::string::npos;
+      } else if (s[cur] == '-' && cur + 1 < s.size() && s[cur + 1] == '>') {
+        cur += 2;  // trailing return type: scan to the body
+        while (cur < s.size() && s[cur] != '{' && s[cur] != ';') {
+          if (s[cur] == '(') {
+            cur = tx::match_forward(s, cur, '(', ')');
+            if (cur == std::string::npos) break;
+          } else {
+            ++cur;
+          }
+        }
+        rejected = cur == std::string::npos || cur >= s.size() || s[cur] == ';';
+      } else if (s[cur] == ':' && (cur + 1 >= s.size() || s[cur + 1] != ':')) {
+        // Constructor initializer list: `ident(...)` / `ident{...}` items.
+        ++cur;
+        while (!rejected) {
+          cur = tx::skip_ws(s, cur);
+          if (tx::read_ident(s, cur).empty()) {
+            rejected = true;
+            break;
+          }
+          cur = tx::skip_ws(s, cur);
+          if (cur < s.size() && s[cur] == '<') cur = tx::match_forward(s, cur, '<', '>');
+          cur = cur == std::string::npos ? std::string::npos : tx::skip_ws(s, cur);
+          if (cur == std::string::npos || cur >= s.size() ||
+              (s[cur] != '(' && s[cur] != '{')) {
+            rejected = true;
+            break;
+          }
+          cur = tx::match_forward(s, cur, s[cur], s[cur] == '(' ? ')' : '}');
+          if (cur == std::string::npos) {
+            rejected = true;
+            break;
+          }
+          cur = tx::skip_ws(s, cur);
+          if (cur < s.size() && s[cur] == ',') {
+            ++cur;
+            continue;
+          }
+          if (cur < s.size() && s[cur] == '{') body = cur;
+          break;
+        }
+        rejected = rejected || body == std::string::npos;
+      } else if (tx::ident_start(s[cur])) {
+        const std::string w = tx::read_ident(s, cur);
+        if (!qualifier_word(w)) rejected = true;
+      } else {
+        rejected = true;  // ';', '=', ',', ')': a declaration or expression
+      }
+    }
+    if (rejected || body == std::string::npos) continue;
+    const std::size_t body_end = tx::match_forward(s, body, '{', '}');
+    if (body_end == std::string::npos) continue;
+
+    if (class_name.empty()) class_name = innermost_class(body);
+    FunctionInfo fn;
+    fn.name = name;
+    fn.qualified = qualified;
+    fn.class_name = class_name;
+    fn.file = file_index;
+    fn.line = tx::line_of(starts, name_begin);
+    fn.body_begin = body;
+    fn.body_end = body_end;
+    const std::size_t fn_index = functions_.size();
+    functions_.push_back(fn);
+    by_name_[name].push_back(fn_index);
+    calls_.resize(functions_.size());
+
+    // -- call sites inside the body ----------------------------------------
+    std::vector<CallSite>& sites = calls_[fn_index];
+    for (std::size_t cp = s.find('(', body + 1);
+         cp != std::string::npos && cp < body_end; cp = s.find('(', cp + 1)) {
+      const std::size_t ce = tx::rskip_ws(s, cp);
+      if (ce == std::string::npos || !tx::ident_char(s[ce])) continue;
+      const std::string callee = tx::read_ident_backward(s, ce);
+      if (callee.empty() || control_keyword(callee) || qualifier_word(callee)) continue;
+      const std::size_t cb = ce - callee.size() + 1;
+      std::string recv;
+      bool member_access = true;
+      if (cb >= 1 && s[cb - 1] == '.') {
+        recv = tx::read_ident_backward(s, cb - 2);
+      } else if (cb >= 2 && s[cb - 2] == '-' && s[cb - 1] == '>') {
+        recv = tx::read_ident_backward(s, cb - 3);
+      } else if (cb >= 2 && s[cb - 2] == ':' && s[cb - 1] == ':') {
+        recv = cb >= 3 ? tx::read_ident_backward(s, cb - 3) : std::string();
+      } else {
+        member_access = false;
+      }
+      if (!member_access) {
+        // `Type name(args)` is a declaration, not a call: skip when the
+        // token before the name is an identifier (a type) or the '>' of a
+        // template argument list. Control keywords still head real calls
+        // (`return f(x)`, `new Foo(x)`).
+        const std::size_t prev = tx::rskip_ws(s, cb);
+        if (prev != std::string::npos) {
+          if (tx::ident_char(s[prev]) &&
+              !control_keyword(tx::read_ident_backward(s, prev))) {
+            continue;
+          }
+          if (s[prev] == '>' && (prev == 0 || s[prev - 1] != '-')) continue;
+        }
+      }
+      sites.push_back({callee, recv, cb, tx::line_of(starts, cb)});
+    }
+
+    // -- MutexLock acquisitions inside the body -----------------------------
+    for (std::size_t mp = tx::find_token(s, "MutexLock", body + 1);
+         mp != std::string::npos && mp < body_end;
+         mp = tx::find_token(s, "MutexLock", mp + 1)) {
+      std::size_t cur2 = tx::skip_ws(s, mp + 9);
+      if (cur2 >= s.size() || !tx::ident_start(s[cur2])) continue;  // not a guard decl
+      tx::read_ident(s, cur2);  // the guard variable's name
+      cur2 = tx::skip_ws(s, cur2);
+      if (cur2 >= s.size() || (s[cur2] != '(' && s[cur2] != '{')) continue;
+      const char open_c = s[cur2];
+      const std::size_t arg_close =
+          tx::match_forward(s, cur2, open_c, open_c == '(' ? ')' : '}');
+      if (arg_close == std::string::npos) continue;
+      const std::string expr = s.substr(cur2 + 1, arg_close - cur2 - 2);
+      // The RAII scope ends where the innermost enclosing brace closes.
+      std::size_t depth = 0;
+      std::size_t scope_end = body_end;
+      for (std::size_t q = arg_close; q < body_end; ++q) {
+        if (s[q] == '{') ++depth;
+        if (s[q] == '}') {
+          if (depth == 0) {
+            scope_end = q;
+            break;
+          }
+          --depth;
+        }
+      }
+      AcquisitionInfo acq;
+      acq.mutex_id = tx::last_segment(expr);  // canonicalized by finalize()
+      acq.file = file_index;
+      acq.line = tx::line_of(starts, mp);
+      acq.pos = mp;
+      acq.scope_end = scope_end;
+      acq.function = fn_index;
+      acquisitions_.push_back(acq);
+      raw_acq_exprs_.push_back(expr);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization
+// ---------------------------------------------------------------------------
+
+std::string Program::resolve_object_class(const std::string& obj,
+                                          const std::set<std::string>& candidates) const {
+  if (obj.empty() || candidates.empty()) return {};
+  if (candidates.count(obj) != 0) return obj;  // Class::member / explicit qualifier
+  const auto declaration_like = [](const std::string& s, std::size_t after) {
+    const std::size_t nxt = tx::skip_ws(s, after);
+    if (nxt >= s.size()) return false;
+    const char c = s[nxt];
+    return c == ';' || c == '=' || c == '{' || c == '(' || c == ')' || c == ',';
+  };
+  for (const std::string& s : stripped_) {
+    for (std::size_t p = tx::find_token(s, obj); p != std::string::npos;
+         p = tx::find_token(s, obj, p + 1)) {
+      std::size_t prev = tx::rskip_ws(s, p);
+      if (prev == std::string::npos) continue;
+      if (s[prev] == '&' || s[prev] == '*') {
+        prev = tx::rskip_ws(s, prev);
+        if (prev == std::string::npos) continue;
+      }
+      if (tx::ident_char(s[prev])) {
+        const std::string type = tx::read_ident_backward(s, prev);
+        if (candidates.count(type) != 0 && declaration_like(s, p + obj.size())) {
+          return type;
+        }
+      } else if (s[prev] == '>') {
+        // `unique_ptr<simcore::ThreadPool> pool_` — search the template
+        // argument list for exactly one candidate class.
+        std::size_t depth = 1;
+        std::size_t q = prev;
+        while (q > 0 && depth > 0) {
+          --q;
+          if (s[q] == '>') ++depth;
+          if (s[q] == '<') --depth;
+        }
+        if (depth != 0) continue;
+        const std::string inner = s.substr(q + 1, prev - q - 1);
+        std::string found;
+        bool ambiguous = false;
+        for (const std::string& cand : candidates) {
+          if (tx::find_token(inner, cand) == std::string::npos) continue;
+          if (!found.empty() && found != cand) ambiguous = true;
+          found = cand;
+        }
+        if (!found.empty() && !ambiguous && declaration_like(s, p + obj.size())) {
+          return found;
+        }
+      }
+    }
+  }
+  return {};
+}
+
+std::string Program::canonical_mutex(const std::string& expr,
+                                     const std::string& class_context) const {
+  const std::string member = tx::last_segment(expr);
+  if (member.empty()) return "?::?";
+  static const std::set<std::string> kNoDeclarers;
+  const auto it = mutex_members_.find(member);
+  const std::set<std::string>& declaring = it == mutex_members_.end() ? kNoDeclarers : it->second;
+  if (declaring.size() == 1) return *declaring.begin() + "::" + member;
+
+  // Object part of the expression (everything before the member segment).
+  std::string object;
+  const std::size_t member_at = expr.rfind(member);
+  if (member_at != std::string::npos && member_at > 0) {
+    object = expr.substr(0, member_at);
+    while (!object.empty() &&
+           (object.back() == '.' || object.back() == '>' || object.back() == '-' ||
+            object.back() == ':' || object.back() == ' ' || object.back() == '\t')) {
+      object.pop_back();
+    }
+    while (!object.empty() && object.back() == ']') {  // drop subscripts
+      const std::size_t open = object.rfind('[');
+      if (open == std::string::npos) break;
+      object.erase(open);
+    }
+  }
+  if (!object.empty() && object != "this" && object != "(*this)" && object != "*this") {
+    std::size_t tail = object.size();
+    const std::string base = tx::read_ident_backward(object, tail - 1);
+    const std::string cls = resolve_object_class(base, declaring);
+    if (!cls.empty()) return cls + "::" + member;
+  } else if (!class_context.empty() &&
+             (declaring.empty() || declaring.count(class_context) != 0)) {
+    return class_context + "::" + member;
+  }
+  if (!class_context.empty() && declaring.count(class_context) != 0) {
+    return class_context + "::" + member;
+  }
+  return "?::" + member;
+}
+
+void Program::finalize() const {
+  if (finalized_) return;
+  for (std::size_t i = 0; i < acquisitions_.size(); ++i) {
+    const std::string& cls = functions_[acquisitions_[i].function].class_name;
+    acquisitions_[i].mutex_id = canonical_mutex(raw_acq_exprs_[i], cls);
+  }
+  excludes_.clear();
+  for (const RawExclude& raw : raw_excludes_) {
+    excludes_[raw.function].push_back(
+        {raw.class_context, canonical_mutex(raw.expr, raw.class_context)});
+  }
+  finalized_ = true;
+}
+
+const std::vector<AcquisitionInfo>& Program::acquisitions() const {
+  finalize();
+  return acquisitions_;
+}
+
+int Program::rank_of(const std::string& mutex_id) const {
+  const auto name = mutex_rank_name_.find(mutex_id);
+  if (name == mutex_rank_name_.end()) return 0;
+  const auto value = rank_values_.find(name->second);
+  return value == rank_values_.end() ? 0 : value->second;
+}
+
+}  // namespace stune::analyze

@@ -1,0 +1,208 @@
+// stune_analyze — the project's whole-program analyzer, the multi-TU
+// complement of stune_lint's per-file passes. Usable as a library
+// (tests/analyze_test.cpp drives every rule family on golden fixtures) and
+// as the stune_analyze executable registered as a ctest.
+//
+// Where stune_lint judges each file in isolation, stune_analyze first loads
+// the entire source tree into a Program — include edges, function bodies, a
+// name-matched call graph, MutexLock acquisition scopes, and the
+// STUNE_EXCLUDES/STUNE_ACQUIRE thread-safety annotations — and then runs
+// three rule families over the whole:
+//
+//   Layering (the architecture DAG, declared in tools/analyze/layers.toml):
+//     [layer-back-edge]      an #include from src/<a>/ into src/<b>/ that
+//                            the manifest does not permit;
+//     [layer-unknown-module] a src/ module the manifest does not declare;
+//     [layer-cycle]          the declared manifest itself contains a cycle
+//                            (a misdeclared architecture, caught before it
+//                            can launder real back-edges).
+//
+//   Determinism (cross-TU reachability from the fingerprint entry points —
+//   functions whose results feed cache keys, commit order, or reports):
+//     [det-iter]             iteration over an unordered container inside a
+//                            function reachable from a fingerprint/commit
+//                            entry point (hash order is not part of any
+//                            determinism contract);
+//     [det-ptr-key]          pointer-keyed map/set or std::hash over a
+//                            pointer type anywhere in the program — address
+//                            order changes run to run under ASLR;
+//     [det-rng]              default-constructed standard random engines
+//                            (stochasticity flows through simcore::Rng);
+//     [det-wall-clock]       a wall-clock read reachable from a fingerprint
+//                            entry point — even inside simcore/, which the
+//                            per-file rule exempts wholesale.
+//
+//   Lock order (MutexLock scopes + annotations -> static acquisition graph):
+//     [lock-cycle]           a cycle in the may-acquire-while-holding graph
+//                            (a potential deadlock schedule);
+//     [lock-excludes]        a call to a function annotated
+//                            STUNE_EXCLUDES(m) while m is held (guaranteed
+//                            self-deadlock);
+//     [lock-rank-order]      a static acquisition edge that contradicts the
+//                            declared runtime ranks (simcore/lock_rank.hpp)
+//                            — the static/dynamic cross-check.
+//
+// Suppression: the same `// stune-lint: allow(<rule>)` escape hatch as
+// stune_lint, parsed by the shared lint::allowed_rules.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace stune::analyze {
+
+using lint::Violation;  // same shape, shared formatters
+
+/// One source file, path relative to the repo root (e.g. "src/disc/engine.cpp").
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+// ---------------------------------------------------------------------------
+// Layering manifest
+// ---------------------------------------------------------------------------
+
+/// The declared architecture DAG: for each src/ module, the modules it may
+/// #include from (itself always allowed, listed or not).
+struct LayerManifest {
+  std::vector<std::string> order;                         // declaration order
+  std::map<std::string, std::set<std::string>> allowed;   // module -> deps
+};
+
+/// The committed architecture (mirrors tools/analyze/layers.toml; the two
+/// are asserted identical by analyze_test so neither can drift).
+LayerManifest default_manifest();
+
+/// Parse the layers.toml subset: a `[modules]` table whose entries are
+/// `name = ["dep", ...]`. Returns false and sets `error` on malformed input.
+bool parse_manifest(const std::string& toml, LayerManifest& out, std::string& error);
+
+// ---------------------------------------------------------------------------
+// Whole-program model
+// ---------------------------------------------------------------------------
+
+/// A parsed function definition (textual: name, class context, body span).
+struct FunctionInfo {
+  std::string name;        // unqualified (last segment)
+  std::string qualified;   // as written, e.g. "EvalCache::lookup"
+  std::string class_name;  // innermost enclosing/explicit class, "" if free
+  std::size_t file = 0;    // index into files()
+  std::size_t line = 0;
+  std::size_t body_begin = 0;  // offset of '{' in stripped content
+  std::size_t body_end = 0;    // offset one past matching '}'
+};
+
+/// A MutexLock acquisition site inside a function body.
+struct AcquisitionInfo {
+  std::string mutex_id;    // canonical "Class::member" node id
+  std::size_t file = 0;
+  std::size_t line = 0;
+  std::size_t pos = 0;        // offset of the declaration
+  std::size_t scope_end = 0;  // offset where the RAII scope closes
+  std::size_t function = 0;   // index into functions()
+};
+
+/// One edge of the static lock-acquisition graph: `held` is locked when
+/// `acquired` is taken (directly nested or via a call chain).
+struct LockEdge {
+  std::string held;
+  std::string acquired;
+  std::string via;  // human-readable provenance for reports
+  std::size_t file = 0;
+  std::size_t line = 0;
+};
+
+class Program {
+ public:
+  /// Parse and add one file. Order of addition is the file index order.
+  void add_file(SourceFile file);
+
+  const std::vector<SourceFile>& files() const { return files_; }
+  const std::vector<FunctionInfo>& functions() const { return functions_; }
+
+  /// Acquisition sites with canonical mutex ids. Canonicalization needs the
+  /// whole program (an expression in one TU may name a member declared in
+  /// another), so it runs lazily on first query after all add_file calls.
+  const std::vector<AcquisitionInfo>& acquisitions() const;
+
+  /// The static lock-acquisition graph (deduplicated, deterministic order).
+  std::vector<LockEdge> lock_graph() const;
+
+  /// Functions reachable (by name-matched calls, transitively) from the
+  /// determinism entry points; indices into functions().
+  std::set<std::size_t> fingerprint_reachable() const;
+
+  // Rule families. Each returns raw violations; check_all applies the
+  // shared allow() suppressions and sorts.
+  std::vector<Violation> check_layering(const LayerManifest& manifest) const;
+  std::vector<Violation> check_determinism() const;
+  std::vector<Violation> check_lock_order() const;
+  std::vector<Violation> check_all(const LayerManifest& manifest) const;
+
+ private:
+  struct ClassSpan {
+    std::string name;
+    std::size_t begin = 0;  // offset of the opening '{'
+    std::size_t end = 0;    // offset one past the matching '}'
+  };
+  // A call site inside a function body. `recv` is the textual receiver
+  // ("pool_" in pool_->submit(...), "" for unqualified calls): when it
+  // resolves to a class that defines the callee, dispatch is restricted to
+  // that class; otherwise every same-named definition matches (which is what
+  // makes virtual dispatch through a base reference visible).
+  struct CallSite {
+    std::string name;
+    std::string recv;
+    std::size_t pos = 0;
+    std::size_t line = 0;
+  };
+  struct RawExclude {
+    std::string function;       // unqualified declaring function name
+    std::string expr;           // annotation argument as written
+    std::string class_context;  // innermost class at the annotation
+  };
+
+  std::vector<SourceFile> files_;
+  std::vector<std::string> stripped_;                  // comments/literals blanked
+  std::vector<std::vector<std::size_t>> line_starts_;  // per file, per line offset
+  std::vector<std::vector<ClassSpan>> class_spans_;    // per file
+  std::vector<FunctionInfo> functions_;
+  // function name -> indices of definitions with that unqualified name
+  std::map<std::string, std::vector<std::size_t>> by_name_;
+  std::vector<std::vector<CallSite>> calls_;  // parallel to functions_
+  // unordered container variable names, program-wide (declared anywhere)
+  std::set<std::string> unordered_names_;
+  // mutex member name -> classes declaring a Mutex member with that name
+  std::map<std::string, std::set<std::string>> mutex_members_;
+  // canonical mutex id -> declared rank constant (from lock_rank:: refs)
+  std::map<std::string, std::string> mutex_rank_name_;
+  std::map<std::string, int> rank_values_;  // kName -> value
+  std::vector<RawExclude> raw_excludes_;
+
+  // Filled by finalize() on first query (see acquisitions()).
+  mutable std::vector<AcquisitionInfo> acquisitions_;
+  mutable std::vector<std::string> raw_acq_exprs_;  // parallel; cleared by finalize
+  // callee name -> (declaring class, canonical mutex id it must not hold)
+  mutable std::map<std::string, std::vector<std::pair<std::string, std::string>>> excludes_;
+  mutable bool finalized_ = false;
+
+  void parse_file(std::size_t file_index);
+  void finalize() const;
+  std::string canonical_mutex(const std::string& expr, const std::string& class_context) const;
+  // "" when `obj` cannot be resolved to a class in `candidates`.
+  std::string resolve_object_class(const std::string& obj,
+                                   const std::set<std::string>& candidates) const;
+  int rank_of(const std::string& mutex_id) const;  // 0 when unranked
+};
+
+/// All analyzer rule ids, in reporting order.
+const std::vector<std::string>& rule_ids();
+
+}  // namespace stune::analyze

@@ -1,0 +1,535 @@
+// The stune_analyze rule families: layering, determinism, and lock order,
+// all computed over the whole-program model built in analyze.cpp.
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze.hpp"
+#include "lint.hpp"
+#include "text_scan.hpp"
+
+namespace stune::analyze {
+
+namespace {
+
+namespace tx = stune::analyze::text;
+
+/// src/ module of a repo-relative path ("" when not a module source file).
+std::string module_of(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) return {};
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return {};
+  return path.substr(4, slash - 4);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Call resolution, reachability, and the lock graph
+// ---------------------------------------------------------------------------
+
+std::set<std::size_t> Program::fingerprint_reachable() const {
+  finalize();
+  const auto is_entry = [](const FunctionInfo& fn) {
+    return fn.name.find("fingerprint") != std::string::npos || fn.name == "commit" ||
+           fn.name == "record_to_kb";
+  };
+  std::set<std::size_t> reachable;
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (is_entry(functions_[i])) {
+      reachable.insert(i);
+      frontier.push_back(i);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::size_t fn = frontier.back();
+    frontier.pop_back();
+    for (const CallSite& call : calls_[fn]) {
+      const auto defs = by_name_.find(call.name);
+      if (defs == by_name_.end()) continue;
+      std::set<std::string> classes;
+      for (const std::size_t d : defs->second) classes.insert(functions_[d].class_name);
+      const std::string resolved = resolve_object_class(call.recv, classes);
+      for (const std::size_t d : defs->second) {
+        if (!resolved.empty() && functions_[d].class_name != resolved) continue;
+        if (reachable.insert(d).second) frontier.push_back(d);
+      }
+    }
+  }
+  return reachable;
+}
+
+std::vector<LockEdge> Program::lock_graph() const {
+  finalize();
+
+  // Which definitions a call site may dispatch to: every definition with the
+  // callee's name, narrowed to one class when the receiver resolves to a
+  // class that defines it (virtual calls through a base reference resolve to
+  // nothing and so keep every override).
+  const auto targets_of = [this](const CallSite& call) {
+    std::vector<std::size_t> targets;
+    const auto defs = by_name_.find(call.name);
+    if (defs == by_name_.end()) return targets;
+    std::set<std::string> classes;
+    for (const std::size_t d : defs->second) classes.insert(functions_[d].class_name);
+    const std::string resolved = resolve_object_class(call.recv, classes);
+    for (const std::size_t d : defs->second) {
+      if (!resolved.empty() && functions_[d].class_name != resolved) continue;
+      targets.push_back(d);
+    }
+    return targets;
+  };
+
+  // May-acquire summaries, to a fixpoint: every mutex a function may take
+  // directly or through any call chain.
+  std::vector<std::set<std::string>> summary(functions_.size());
+  for (const AcquisitionInfo& acq : acquisitions_) {
+    summary[acq.function].insert(acq.mutex_id);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t fn = 0; fn < functions_.size(); ++fn) {
+      for (const CallSite& call : calls_[fn]) {
+        for (const std::size_t target : targets_of(call)) {
+          for (const std::string& m : summary[target]) {
+            if (summary[fn].insert(m).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<LockEdge> edges;
+  std::set<std::pair<std::string, std::string>> seen;
+  const auto add_edge = [&edges, &seen](const std::string& held, const std::string& acquired,
+                                        std::string via, std::size_t file, std::size_t line) {
+    if (!seen.insert({held, acquired}).second) return;
+    edges.push_back({held, acquired, std::move(via), file, line});
+  };
+
+  for (const AcquisitionInfo& outer : acquisitions_) {
+    const FunctionInfo& fn = functions_[outer.function];
+    // Directly nested scopes (same-id nesting is a self-deadlock and is kept
+    // as a self-edge for check_lock_order to report).
+    for (const AcquisitionInfo& inner : acquisitions_) {
+      if (inner.function != outer.function) continue;
+      if (inner.pos <= outer.pos || inner.pos >= outer.scope_end) continue;
+      add_edge(outer.mutex_id, inner.mutex_id, "nested in " + fn.qualified,
+               inner.file, inner.line);
+    }
+    // Call-derived edges. A call whose summary contains the held mutex
+    // itself is not a self-edge here: name matching is an overapproximation
+    // (same-named definitions on other classes), so only the distinct-mutex
+    // consequences are kept.
+    for (const CallSite& call : calls_[outer.function]) {
+      if (call.pos <= outer.pos || call.pos >= outer.scope_end) continue;
+      for (const std::size_t target : targets_of(call)) {
+        for (const std::string& m : summary[target]) {
+          if (m == outer.mutex_id) continue;
+          add_edge(outer.mutex_id, m,
+                   fn.qualified + " -> " + functions_[target].qualified, outer.file,
+                   call.line);
+        }
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const LockEdge& a, const LockEdge& b) {
+    if (a.held != b.held) return a.held < b.held;
+    return a.acquired < b.acquired;
+  });
+  return edges;
+}
+
+// ---------------------------------------------------------------------------
+// Layering
+// ---------------------------------------------------------------------------
+
+std::vector<Violation> Program::check_layering(const LayerManifest& manifest) const {
+  std::vector<Violation> v;
+
+  // The declared architecture must itself be acyclic, else a back edge could
+  // hide inside a "permitted" cycle.
+  {
+    std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+    std::vector<std::string> stack;
+    std::string cycle;
+    const auto dfs = [&](const std::string& node, const auto& self) -> bool {
+      color[node] = 1;
+      stack.push_back(node);
+      const auto deps = manifest.allowed.find(node);
+      if (deps != manifest.allowed.end()) {
+        for (const std::string& dep : deps->second) {
+          if (dep == node || manifest.allowed.count(dep) == 0) continue;
+          if (color[dep] == 1) {
+            cycle = dep;
+            for (std::size_t i = stack.size(); i-- > 0;) {
+              cycle += " -> " + stack[i];
+              if (stack[i] == dep) break;
+            }
+            return true;
+          }
+          if (color[dep] == 0 && self(dep, self)) return true;
+        }
+      }
+      stack.pop_back();
+      color[node] = 2;
+      return false;
+    };
+    for (const std::string& module : manifest.order) {
+      if (color[module] == 0 && dfs(module, dfs)) {
+        v.push_back({"<manifest>", 0, "layer-cycle",
+                     "declared layering is cyclic: " + cycle});
+        break;
+      }
+    }
+  }
+
+  std::set<std::string> reported_unknown;
+  for (std::size_t f = 0; f < files_.size(); ++f) {
+    const std::string module = module_of(files_[f].path);
+    if (module.empty()) continue;
+    if (manifest.allowed.count(module) == 0) {
+      if (reported_unknown.insert(module).second) {
+        v.push_back({files_[f].path, 1, "layer-unknown-module",
+                     "module src/" + module + "/ is not declared in the layering manifest"});
+      }
+      continue;
+    }
+    const std::set<std::string>& allowed = manifest.allowed.at(module);
+    // Include directives come from the raw text: the stripped view blanks
+    // string literals, and a header path is one.
+    const std::string& raw = files_[f].content;
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos < raw.size()) {
+      const std::size_t eol = raw.find('\n', pos);
+      const std::string line =
+          raw.substr(pos, eol == std::string::npos ? eol : eol - pos);
+      pos = eol == std::string::npos ? raw.size() : eol + 1;
+      ++line_no;
+      std::size_t cur = tx::skip_ws(line, 0);
+      if (line.compare(cur, 8, "#include") != 0) continue;
+      cur = tx::skip_ws(line, cur + 8);
+      if (cur >= line.size() || line[cur] != '"') continue;
+      const std::size_t close = line.find('"', cur + 1);
+      if (close == std::string::npos) continue;
+      const std::string target = line.substr(cur + 1, close - cur - 1);
+      const std::size_t slash = target.find('/');
+      if (slash == std::string::npos) continue;  // not a module-qualified include
+      const std::string target_module = target.substr(0, slash);
+      if (target_module == module) continue;
+      if (manifest.allowed.count(target_module) == 0) {
+        v.push_back({files_[f].path, line_no, "layer-unknown-module",
+                     "#include \"" + target + "\" names module " + target_module +
+                         ", which the layering manifest does not declare"});
+      } else if (allowed.count(target_module) == 0) {
+        v.push_back({files_[f].path, line_no, "layer-back-edge",
+                     "src/" + module + "/ may not include from src/" + target_module +
+                         "/ (#include \"" + target + "\"); permitted dependencies: " +
+                         [&allowed] {
+                           std::string joined;
+                           for (const std::string& d : allowed) {
+                             joined += joined.empty() ? d : ", " + d;
+                           }
+                           return joined.empty() ? std::string("none") : joined;
+                         }()});
+      }
+    }
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+std::vector<Violation> Program::check_determinism() const {
+  finalize();
+  std::vector<Violation> v;
+  const std::set<std::size_t> reachable = fingerprint_reachable();
+
+  // det-iter: unordered iteration inside fingerprint-reachable functions.
+  for (const std::size_t fi : reachable) {
+    const FunctionInfo& fn = functions_[fi];
+    const std::string& s = stripped_[fn.file];
+    for (std::size_t p = tx::find_token(s, "for", fn.body_begin);
+         p != std::string::npos && p < fn.body_end; p = tx::find_token(s, "for", p + 1)) {
+      const std::size_t open = tx::skip_ws(s, p + 3);
+      if (open >= s.size() || s[open] != '(') continue;
+      const std::size_t close = tx::match_forward(s, open, '(', ')');
+      if (close == std::string::npos) continue;
+      // A range-for has a ':' at parenthesis depth one.
+      std::size_t colon = std::string::npos;
+      std::size_t depth = 1;
+      for (std::size_t q = open + 1; q + 1 < close; ++q) {
+        const char c = s[q];
+        if (c == '(' || c == '[' || c == '{') ++depth;
+        if (c == ')' || c == ']' || c == '}') --depth;
+        if (c == ':' && depth == 1 && s[q + 1] != ':' && s[q - 1] != ':') {
+          colon = q;
+          break;
+        }
+      }
+      if (colon == std::string::npos) continue;
+      const std::string range = s.substr(colon + 1, close - 1 - (colon + 1));
+      std::size_t last = range.size();
+      while (last > 0 && !tx::ident_char(range[last - 1])) --last;
+      if (last == 0) continue;
+      const std::string name = tx::read_ident_backward(range, last - 1);
+      if (unordered_names_.count(name) == 0) continue;
+      v.push_back({files_[fn.file].path, tx::line_of(line_starts_[fn.file], p), "det-iter",
+                   "iteration over unordered container '" + name + "' in " + fn.qualified +
+                       ", which is reachable from a fingerprint/commit entry point; "
+                       "hash order is not deterministic"});
+    }
+  }
+
+  // det-ptr-key: address-ordered or address-hashed keys, anywhere.
+  for (std::size_t f = 0; f < files_.size(); ++f) {
+    const std::string& s = stripped_[f];
+    for (const char* kw : {"unordered_map", "unordered_set", "map", "set", "hash"}) {
+      for (std::size_t p = tx::find_token(s, kw); p != std::string::npos;
+           p = tx::find_token(s, kw, p + 1)) {
+        const std::size_t open = tx::skip_ws(s, p + std::string(kw).size());
+        if (open >= s.size() || s[open] != '<') continue;
+        std::size_t depth = 1;
+        std::size_t end = open + 1;
+        while (end < s.size() && depth > 0) {
+          if (s[end] == '<') ++depth;
+          if (s[end] == '>') --depth;
+          if (s[end] == ',' && depth == 1) break;
+          ++end;
+        }
+        std::string key = s.substr(open + 1, end - open - 1);
+        while (!key.empty() && (key.back() == ' ' || key.back() == '\t' ||
+                                key.back() == '\n' || key.back() == '>')) {
+          key.pop_back();
+        }
+        if (key.empty() || key.back() != '*') continue;
+        v.push_back({files_[f].path, tx::line_of(line_starts_[f], p), "det-ptr-key",
+                     std::string(kw) + "<" + key + ", ...> keys on an address; pointer "
+                     "order and pointer hashes change run to run under ASLR"});
+      }
+    }
+  }
+
+  // det-rng: unseeded standard engines and ambient entropy sources.
+  for (std::size_t f = 0; f < files_.size(); ++f) {
+    const std::string& s = stripped_[f];
+    const auto line_at = [&](std::size_t p) { return tx::line_of(line_starts_[f], p); };
+    for (const char* engine :
+         {"mt19937", "mt19937_64", "minstd_rand", "minstd_rand0", "default_random_engine",
+          "ranlux24", "ranlux48", "knuth_b"}) {
+      for (std::size_t p = tx::find_token(s, engine); p != std::string::npos;
+           p = tx::find_token(s, engine, p + 1)) {
+        std::size_t cur = tx::skip_ws(s, p + std::string(engine).size());
+        if (cur >= s.size() || !tx::ident_start(s[cur])) continue;  // not a declaration
+        tx::read_ident(s, cur);
+        cur = tx::skip_ws(s, cur);
+        bool unseeded = false;
+        if (cur >= s.size() || s[cur] == ';') {
+          unseeded = true;  // `std::mt19937 gen;` — default seed
+        } else if (s[cur] == '(' || s[cur] == '{') {
+          const char open_c = s[cur];
+          const std::size_t close =
+              tx::match_forward(s, cur, open_c, open_c == '(' ? ')' : '}');
+          if (close != std::string::npos &&
+              tx::skip_ws(s, cur + 1) == close - 1) {
+            unseeded = true;  // empty initializer — still the default seed
+          }
+        }
+        if (!unseeded) continue;
+        v.push_back({files_[f].path, line_at(p), "det-rng",
+                     "std::" + std::string(engine) + " constructed with its default seed; "
+                     "route stochasticity through simcore::Rng"});
+      }
+    }
+    for (std::size_t p = tx::find_token(s, "random_device"); p != std::string::npos;
+         p = tx::find_token(s, "random_device", p + 1)) {
+      v.push_back({files_[f].path, line_at(p), "det-rng",
+                   "std::random_device draws ambient entropy; route stochasticity "
+                   "through simcore::Rng"});
+    }
+    for (const char* fncall : {"rand", "srand"}) {
+      for (std::size_t p = tx::find_token(s, fncall); p != std::string::npos;
+           p = tx::find_token(s, fncall, p + 1)) {
+        const std::size_t open = tx::skip_ws(s, p + std::string(fncall).size());
+        if (open >= s.size() || s[open] != '(') continue;
+        if (p > 0 && (s[p - 1] == '.' || s[p - 1] == ':')) continue;  // member/qualified
+        v.push_back({files_[f].path, line_at(p), "det-rng",
+                     std::string(fncall) + "() uses hidden global state; route "
+                     "stochasticity through simcore::Rng"});
+      }
+    }
+  }
+
+  // det-wall-clock: real-time reads reachable from fingerprint entry points
+  // (the per-file rule exempts simcore/ wholesale; reachability does not).
+  for (const std::size_t fi : reachable) {
+    const FunctionInfo& fn = functions_[fi];
+    const std::string& s = stripped_[fn.file];
+    for (const char* clock : {"system_clock", "steady_clock", "high_resolution_clock",
+                              "gettimeofday", "clock_gettime", "timespec_get"}) {
+      for (std::size_t p = tx::find_token(s, clock, fn.body_begin);
+           p != std::string::npos && p < fn.body_end; p = tx::find_token(s, clock, p + 1)) {
+        v.push_back({files_[fn.file].path, tx::line_of(line_starts_[fn.file], p),
+                     "det-wall-clock",
+                     std::string(clock) + " read in " + fn.qualified + ", which is "
+                     "reachable from a fingerprint/commit entry point; fingerprints "
+                     "must not depend on real time"});
+      }
+    }
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Lock order
+// ---------------------------------------------------------------------------
+
+std::vector<Violation> Program::check_lock_order() const {
+  finalize();
+  std::vector<Violation> v;
+  const std::vector<LockEdge> edges = lock_graph();
+
+  // Self-edges are direct nested re-acquisition: deadlock, unconditionally.
+  std::map<std::string, std::vector<const LockEdge*>> adjacency;
+  for (const LockEdge& e : edges) {
+    if (e.held == e.acquired) {
+      v.push_back({files_[e.file].path, e.line, "lock-cycle",
+                   e.held + " re-acquired while already held (" + e.via + ")"});
+      continue;
+    }
+    adjacency[e.held].push_back(&e);
+  }
+
+  // Cycles in the may-acquire-while-holding graph: any two threads entering
+  // the cycle from different nodes can deadlock.
+  {
+    std::set<std::string> reported;  // canonical cycle keys
+    std::map<std::string, int> color;
+    std::vector<const LockEdge*> stack;
+    const auto dfs = [&](const std::string& node, const auto& self) -> void {
+      color[node] = 1;
+      for (const LockEdge* e : adjacency[node]) {
+        if (color[e->acquired] == 1) {
+          // Unwind the stack to the cycle entry and canonicalize.
+          std::vector<const LockEdge*> cycle{e};
+          for (std::size_t i = stack.size(); i-- > 0;) {
+            if (stack[i]->acquired != cycle.back()->held) continue;
+            cycle.push_back(stack[i]);
+            if (stack[i]->held == e->acquired) break;
+          }
+          std::set<std::string> nodes;
+          for (const LockEdge* ce : cycle) nodes.insert(ce->held);
+          std::string key;
+          for (const std::string& n : nodes) key += n + "|";
+          if (!reported.insert(key).second) continue;
+          std::string path = e->acquired;
+          for (const LockEdge* ce : cycle) path = ce->held + " -> " + path;
+          std::string provenance;
+          for (std::size_t i = cycle.size(); i-- > 0;) {
+            provenance += (provenance.empty() ? "" : "; ") + cycle[i]->via;
+          }
+          v.push_back({files_[e->file].path, e->line, "lock-cycle",
+                       "lock-order cycle " + path + " (" + provenance + ")"});
+        } else if (color[e->acquired] == 0) {
+          stack.push_back(e);
+          self(e->acquired, self);
+          stack.pop_back();
+        }
+      }
+      color[node] = 2;
+    };
+    for (const auto& [node, unused] : adjacency) {
+      (void)unused;
+      if (color[node] == 0) dfs(node, dfs);
+    }
+  }
+
+  // Rank contradictions: the static graph must agree with the runtime
+  // validator's declared order (strictly increasing ranks).
+  for (const LockEdge& e : edges) {
+    if (e.held == e.acquired) continue;
+    const int held_rank = rank_of(e.held);
+    const int acquired_rank = rank_of(e.acquired);
+    if (held_rank == 0 || acquired_rank == 0) continue;
+    if (held_rank < acquired_rank) continue;
+    v.push_back({files_[e.file].path, e.line, "lock-rank-order",
+                 e.acquired + " (rank " + std::to_string(acquired_rank) +
+                     ") acquired while holding " + e.held + " (rank " +
+                     std::to_string(held_rank) + ") via " + e.via +
+                     "; ranks must strictly increase"});
+  }
+
+  // STUNE_EXCLUDES contract: calling a function that excludes m with m held.
+  for (const AcquisitionInfo& acq : acquisitions_) {
+    for (const CallSite& call : calls_[acq.function]) {
+      if (call.pos <= acq.pos || call.pos >= acq.scope_end) continue;
+      const auto entry = excludes_.find(call.name);
+      if (entry == excludes_.end()) continue;
+      std::set<std::string> classes;
+      for (const auto& [cls, unused] : entry->second) classes.insert(cls);
+      const std::string resolved = resolve_object_class(call.recv, classes);
+      for (const auto& [cls, mutex_id] : entry->second) {
+        if (!resolved.empty() && cls != resolved) continue;
+        if (mutex_id != acq.mutex_id) continue;
+        v.push_back({files_[acq.file].path, call.line, "lock-excludes",
+                     call.name + "() is annotated STUNE_EXCLUDES(" + mutex_id +
+                         ") but is called from " + functions_[acq.function].qualified +
+                         " with that mutex held"});
+      }
+    }
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+std::vector<Violation> Program::check_all(const LayerManifest& manifest) const {
+  std::vector<Violation> v = check_layering(manifest);
+  const std::vector<Violation> det = check_determinism();
+  const std::vector<Violation> lock = check_lock_order();
+  v.insert(v.end(), det.begin(), det.end());
+  v.insert(v.end(), lock.begin(), lock.end());
+
+  // The shared `// stune-lint: allow(<rule>)` escape hatch.
+  std::map<std::string, std::size_t> path_index;
+  for (std::size_t f = 0; f < files_.size(); ++f) path_index[files_[f].path] = f;
+  std::map<std::size_t, std::map<std::size_t, std::set<std::string>>> allow_cache;
+  std::vector<Violation> kept;
+  for (Violation& violation : v) {
+    const auto file = path_index.find(violation.file);
+    if (file != path_index.end()) {
+      auto cached = allow_cache.find(file->second);
+      if (cached == allow_cache.end()) {
+        cached = allow_cache
+                     .emplace(file->second, lint::allowed_rules(files_[file->second].content))
+                     .first;
+      }
+      const auto line = cached->second.find(violation.line);
+      if (line != cached->second.end() &&
+          (line->second.count(violation.rule) != 0 || line->second.count("*") != 0)) {
+        continue;
+      }
+    }
+    kept.push_back(std::move(violation));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Violation& a, const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  return kept;
+}
+
+}  // namespace stune::analyze

@@ -1,0 +1,111 @@
+// stune_analyze CLI — loads every source file under src/ into one Program,
+// loads the layering manifest (tools/analyze/layers.toml when present, the
+// compiled-in default otherwise), runs all three rule families and reports
+// with the shared lint formatters.
+//
+// Usage: stune_analyze [--format=text|json] [--layers=<path>] <repo-root>
+// Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool source_file(const fs::path& p) {
+  return p.extension() == ".cpp" || p.extension() == ".hpp";
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  std::string layers_arg;
+  std::string root_arg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg.rfind("--layers=", 0) == 0) {
+      layers_arg = arg.substr(9);
+    } else if (root_arg.empty()) {
+      root_arg = arg;
+    } else {
+      root_arg.clear();
+      break;
+    }
+  }
+  if (root_arg.empty() || (format != "text" && format != "json")) {
+    std::cerr << "usage: stune_analyze [--format=text|json] [--layers=<path>] <repo-root>\n";
+    return 2;
+  }
+  const fs::path root = root_arg;
+  if (!fs::exists(root / "src")) {
+    std::cerr << "stune_analyze: " << (root / "src").string() << " does not exist\n";
+    return 2;
+  }
+
+  // The manifest: explicit flag, then the committed file, then the default.
+  stune::analyze::LayerManifest manifest = stune::analyze::default_manifest();
+  fs::path layers_path = layers_arg.empty()
+                             ? root / "tools" / "analyze" / "layers.toml"
+                             : fs::path(layers_arg);
+  if (!layers_arg.empty() || fs::exists(layers_path)) {
+    std::string toml;
+    if (!read_file(layers_path, toml)) {
+      std::cerr << "stune_analyze: cannot read " << layers_path.string() << "\n";
+      return 2;
+    }
+    std::string error;
+    if (!stune::analyze::parse_manifest(toml, manifest, error)) {
+      std::cerr << "stune_analyze: " << layers_path.string() << ": " << error << "\n";
+      return 2;
+    }
+  }
+
+  // Deterministic file order: sorted repo-relative paths.
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
+    if (entry.is_regular_file() && source_file(entry.path())) paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  stune::analyze::Program program;
+  std::size_t files_scanned = 0;
+  std::vector<stune::analyze::Violation> violations;
+  for (const fs::path& path : paths) {
+    std::string contents;
+    if (!read_file(path, contents)) {
+      violations.push_back({path.string(), 0, "io", "cannot open file"});
+      continue;
+    }
+    ++files_scanned;
+    program.add_file({fs::relative(path, root).generic_string(), std::move(contents)});
+  }
+
+  const auto found = program.check_all(manifest);
+  violations.insert(violations.end(), found.begin(), found.end());
+
+  std::cout << (format == "json"
+                    ? stune::lint::format_json(violations, files_scanned)
+                    : stune::lint::format_text(violations, files_scanned, "stune_analyze"));
+  return violations.empty() ? 0 : 1;
+}

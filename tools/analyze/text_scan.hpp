@@ -1,0 +1,129 @@
+// Lexical helpers shared by the stune_analyze translation units. All of
+// them operate on *stripped* source (lint::strip_comments_and_literals has
+// already blanked comments and literal contents, preserving newlines), so a
+// token match here is a real code token, never documentation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stune::analyze::text {
+
+inline bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+inline bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+
+/// True when s[pos..] is exactly the token `tok` with identifier boundaries
+/// on both sides.
+inline bool token_at(const std::string& s, std::size_t pos, const std::string& tok) {
+  if (s.compare(pos, tok.size(), tok) != 0) return false;
+  if (pos > 0 && ident_char(s[pos - 1])) return false;
+  const std::size_t end = pos + tok.size();
+  return end >= s.size() || !ident_char(s[end]);
+}
+
+/// Next occurrence of `tok` as a whole token at or after `from`; npos if none.
+inline std::size_t find_token(const std::string& s, const std::string& tok,
+                              std::size_t from = 0) {
+  for (std::size_t p = s.find(tok, from); p != std::string::npos; p = s.find(tok, p + 1)) {
+    if (token_at(s, p, tok)) return p;
+  }
+  return std::string::npos;
+}
+
+inline std::size_t skip_ws(const std::string& s, std::size_t pos) {
+  while (pos < s.size() &&
+         (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' || s[pos] == '\r')) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Offset of the last non-whitespace character strictly before `pos`;
+/// npos when only whitespace precedes it.
+inline std::size_t rskip_ws(const std::string& s, std::size_t pos) {
+  while (pos > 0) {
+    const char c = s[--pos];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return pos;
+  }
+  return std::string::npos;
+}
+
+/// With s[open_pos] == `open`, return the offset one past the matching
+/// `close` (nesting-aware); npos when unbalanced.
+inline std::size_t match_forward(const std::string& s, std::size_t open_pos, char open,
+                                 char close) {
+  std::size_t depth = 0;
+  for (std::size_t p = open_pos; p < s.size(); ++p) {
+    if (s[p] == open) {
+      ++depth;
+    } else if (s[p] == close) {
+      if (--depth == 0) return p + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Read an identifier starting at `pos`; advances pos past it. Empty string
+/// when s[pos] does not start one.
+inline std::string read_ident(const std::string& s, std::size_t& pos) {
+  if (pos >= s.size() || !ident_start(s[pos])) return {};
+  const std::size_t begin = pos;
+  while (pos < s.size() && ident_char(s[pos])) ++pos;
+  return s.substr(begin, pos - begin);
+}
+
+/// The identifier ending at (inclusive) `pos`, scanning backward; empty when
+/// s[pos] is not an identifier character.
+inline std::string read_ident_backward(const std::string& s, std::size_t pos) {
+  if (pos >= s.size() || !ident_char(s[pos])) return {};
+  std::size_t begin = pos;
+  while (begin > 0 && ident_char(s[begin - 1])) --begin;
+  return s.substr(begin, pos - begin + 1);
+}
+
+/// Offsets of each line start, for offset -> 1-based line mapping.
+inline std::vector<std::size_t> line_starts(const std::string& s) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t p = 0; p < s.size(); ++p) {
+    if (s[p] == '\n') starts.push_back(p + 1);
+  }
+  return starts;
+}
+
+inline std::size_t line_of(const std::vector<std::size_t>& starts, std::size_t pos) {
+  std::size_t lo = 0;
+  std::size_t hi = starts.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (starts[mid] <= pos) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;
+}
+
+/// Last "::"/"."/"->"-separated segment of a qualified expression, with
+/// surrounding whitespace trimmed (e.g. "owner_.mu_" -> "mu_").
+inline std::string last_segment(const std::string& expr) {
+  std::size_t cut = 0;
+  for (std::size_t p = 0; p + 1 < expr.size(); ++p) {
+    if ((expr[p] == ':' && expr[p + 1] == ':') || (expr[p] == '-' && expr[p + 1] == '>')) {
+      cut = p + 2;
+    }
+  }
+  for (std::size_t p = cut; p < expr.size(); ++p) {
+    if (expr[p] == '.') cut = p + 1;
+  }
+  std::string out = expr.substr(cut);
+  while (!out.empty() && (out.front() == ' ' || out.front() == '\t')) out.erase(0, 1);
+  while (!out.empty() && (out.back() == ' ' || out.back() == '\t')) out.pop_back();
+  return out;
+}
+
+}  // namespace stune::analyze::text

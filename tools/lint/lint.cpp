@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstddef>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -103,36 +104,6 @@ std::size_t include_line(const std::string& raw, const std::string& name) {
     }
   }
   return 1;
-}
-
-// ---------------------------------------------------------------------------
-// Suppression comments: `// stune-lint: allow(rule-a, rule-b)` or allow(*).
-// Parsed from the raw text (they live inside comments by construction).
-// ---------------------------------------------------------------------------
-
-std::map<std::size_t, std::set<std::string>> allowed_rules(const std::string& raw) {
-  std::map<std::size_t, std::set<std::string>> allow;
-  std::istringstream in(raw);
-  std::string line;
-  std::size_t number = 0;
-  while (std::getline(in, line)) {
-    ++number;
-    const std::size_t tag = line.find("stune-lint:");
-    if (tag == std::string::npos) continue;
-    const std::size_t open = line.find("allow(", tag);
-    if (open == std::string::npos) continue;
-    const std::size_t close = line.find(')', open);
-    if (close == std::string::npos) continue;
-    std::string list = line.substr(open + 6, close - open - 6);
-    std::string rule;
-    std::istringstream rules(list);
-    while (std::getline(rules, rule, ',')) {
-      const std::size_t b = rule.find_first_not_of(" \t");
-      const std::size_t e = rule.find_last_not_of(" \t");
-      if (b != std::string::npos) allow[number].insert(rule.substr(b, e - b + 1));
-    }
-  }
-  return allow;
 }
 
 // ---------------------------------------------------------------------------
@@ -452,6 +423,91 @@ std::string strip_comments_and_literals(const std::string& in) {
   return out;
 }
 
+// Suppression comments: `// stune-lint: allow(rule-a, rule-b)` or allow(*).
+// Parsed from the raw text (they live inside comments by construction).
+std::map<std::size_t, std::set<std::string>> allowed_rules(const std::string& raw) {
+  std::map<std::size_t, std::set<std::string>> allow;
+  std::istringstream in(raw);
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    const std::size_t tag = line.find("stune-lint:");
+    if (tag == std::string::npos) continue;
+    const std::size_t open = line.find("allow(", tag);
+    if (open == std::string::npos) continue;
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string list = line.substr(open + 6, close - open - 6);
+    std::string rule;
+    std::istringstream rules(list);
+    while (std::getline(rules, rule, ',')) {
+      const std::size_t b = rule.find_first_not_of(" \t");
+      const std::size_t e = rule.find_last_not_of(" \t");
+      if (b != std::string::npos) allow[number].insert(rule.substr(b, e - b + 1));
+    }
+  }
+  return allow;
+}
+
+std::optional<IncludeFix> fix_include_what_you_use(const std::string& raw) {
+  const std::string code = strip_comments_and_literals(raw);
+  const std::set<std::string> includes = included_headers(raw);
+
+  // Same detection as the pass: one missing header per symbol-table entry.
+  std::set<std::string> missing;
+  for (const auto& entry : kSymbolTable) {
+    if (includes.count(entry.header) != 0) continue;
+    if (first_token_line(code, entry.symbol) == 0) continue;
+    missing.insert(entry.header);
+  }
+  if (missing.empty()) return std::nullopt;
+
+  // Split into lines (preserving a missing trailing newline as-is).
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    const std::size_t nl = raw.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < raw.size()) lines.push_back(raw.substr(start));
+      break;
+    }
+    lines.push_back(raw.substr(start, nl - start));
+    start = nl + 1;
+  }
+
+  // Insertion point: after the last #include; else after #pragma once; else
+  // the top of the file.
+  std::size_t insert_after = 0;  // 1-based line to insert after; 0 = at top
+  std::size_t pragma_line = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] != '#') continue;
+    if (line.compare(first, 8, "#include") == 0) insert_after = i + 1;
+    if (line.compare(first, 12, "#pragma once") == 0) pragma_line = i + 1;
+  }
+  if (insert_after == 0) insert_after = pragma_line;
+
+  IncludeFix fix;
+  fix.added_headers.assign(missing.begin(), missing.end());
+  std::ostringstream out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i] << '\n';
+    if (i + 1 == insert_after) {
+      for (const auto& header : missing) out << "#include <" << header << ">\n";
+    }
+  }
+  if (insert_after == 0) {
+    std::ostringstream top;
+    for (const auto& header : missing) top << "#include <" << header << ">\n";
+    fix.fixed = top.str() + out.str();
+  } else {
+    fix.fixed = out.str();
+  }
+  return fix;
+}
+
 FileClass classify(const std::string& relative_path) {
   FileClass cls;
   cls.header = relative_path.size() >= 4 &&
@@ -505,12 +561,13 @@ std::vector<Violation> lint_content(const std::string& display_path, const std::
   return kept;
 }
 
-std::string format_text(const std::vector<Violation>& violations, std::size_t files_scanned) {
+std::string format_text(const std::vector<Violation>& violations, std::size_t files_scanned,
+                        const std::string& tool) {
   std::ostringstream out;
   for (const auto& v : violations) {
     out << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
   }
-  out << "stune_lint: scanned " << files_scanned << " files, " << violations.size()
+  out << tool << ": scanned " << files_scanned << " files, " << violations.size()
       << " violation" << (violations.size() == 1 ? "" : "s") << "\n";
   return out.str();
 }

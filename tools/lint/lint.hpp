@@ -34,6 +34,9 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -65,11 +68,31 @@ std::vector<Violation> lint_content(const std::string& display_path, const std::
 /// preserving newlines so line numbers survive. Exposed for tests.
 std::string strip_comments_and_literals(const std::string& in);
 
+/// Parse `// stune-lint: allow(rule-a, rule-b)` / `allow(*)` suppression
+/// comments: line number -> allowed rule ids. Shared with stune_analyze
+/// (tools/analyze), whose rules use the same escape hatch.
+std::map<std::size_t, std::set<std::string>> allowed_rules(const std::string& raw);
+
+/// Result of an include-what-you-use auto-fix (the `--fix` mode).
+struct IncludeFix {
+  std::string fixed;                        // full rewritten file contents
+  std::vector<std::string> added_headers;   // bare names, sorted
+};
+
+/// Compute the IWYU fix for one file: every `#include <h>` the rule would
+/// demand is inserted after the last existing include directive (after
+/// `#pragma once` when the file has no includes, else at the top). Returns
+/// nullopt when the file is already clean for the rule.
+std::optional<IncludeFix> fix_include_what_you_use(const std::string& raw);
+
 /// All rule ids, in reporting order.
 const std::vector<std::string>& rule_ids();
 
 /// Render violations as "file:line: [rule] message" lines plus a summary.
-std::string format_text(const std::vector<Violation>& violations, std::size_t files_scanned);
+/// `tool` names the reporting binary in the summary line (stune_analyze
+/// shares these formatters).
+std::string format_text(const std::vector<Violation>& violations, std::size_t files_scanned,
+                        const std::string& tool = "stune_lint");
 
 /// Render as a machine-readable JSON document:
 ///   {"files_scanned": N, "violation_count": M, "violations": [

@@ -1,12 +1,16 @@
 // stune_lint CLI — walks the tree, classifies each file by path, runs the
 // lint library's passes (see lint.hpp for the rule catalogue) and reports.
 //
-// Usage: stune_lint [--format=text|json] <repo-root>
+// Usage: stune_lint [--format=text|json] [--fix] <repo-root>
+// --fix rewrites files in place to repair include-what-you-use violations
+// (the missing #include is inserted after the last existing include) before
+// linting, so the report and exit status reflect the fixed tree.
 // Exit status: 0 clean, 1 violations found, 2 usage/IO error.
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -21,8 +25,9 @@ bool source_file(const fs::path& p) {
   return p.extension() == ".cpp" || p.extension() == ".hpp";
 }
 
-void lint_tree(const fs::path& root, const fs::path& subtree,
-               std::vector<stune::lint::Violation>& out, std::size_t& files_scanned) {
+void lint_tree(const fs::path& root, const fs::path& subtree, bool fix,
+               std::vector<stune::lint::Violation>& out, std::size_t& files_scanned,
+               std::size_t& files_fixed) {
   if (!fs::exists(root / subtree)) return;
   for (const auto& entry : fs::recursive_directory_iterator(root / subtree)) {
     if (!entry.is_regular_file() || !source_file(entry.path())) continue;
@@ -34,10 +39,21 @@ void lint_tree(const fs::path& root, const fs::path& subtree,
     }
     std::ostringstream buf;
     buf << f.rdbuf();
+    std::string contents = buf.str();
     const std::string relative =
         fs::relative(entry.path(), root).generic_string();
+    if (fix) {
+      if (auto repaired = stune::lint::fix_include_what_you_use(contents)) {
+        std::ofstream rewrite(entry.path(), std::ios::trunc);
+        if (rewrite) {
+          rewrite << repaired->fixed;
+          contents = std::move(repaired->fixed);
+          ++files_fixed;
+        }
+      }
+    }
     const auto violations =
-        stune::lint::lint_content(relative, buf.str(), stune::lint::classify(relative));
+        stune::lint::lint_content(relative, contents, stune::lint::classify(relative));
     out.insert(out.end(), violations.begin(), violations.end());
   }
 }
@@ -47,10 +63,13 @@ void lint_tree(const fs::path& root, const fs::path& subtree,
 int main(int argc, char** argv) {
   std::string format = "text";
   std::string root_arg;
+  bool fix = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
+    } else if (arg == "--fix") {
+      fix = true;
     } else if (root_arg.empty()) {
       root_arg = arg;
     } else {
@@ -59,7 +78,7 @@ int main(int argc, char** argv) {
     }
   }
   if (root_arg.empty() || (format != "text" && format != "json")) {
-    std::cerr << "usage: stune_lint [--format=text|json] <repo-root>\n";
+    std::cerr << "usage: stune_lint [--format=text|json] [--fix] <repo-root>\n";
     return 2;
   }
   const fs::path root = root_arg;
@@ -70,11 +89,16 @@ int main(int argc, char** argv) {
 
   std::vector<stune::lint::Violation> violations;
   std::size_t files_scanned = 0;
+  std::size_t files_fixed = 0;
   for (const auto* dir : {"src", "tests", "bench", "examples", "tools"}) {
-    lint_tree(root, dir, violations, files_scanned);
+    lint_tree(root, dir, fix, violations, files_scanned, files_fixed);
   }
 
   std::cout << (format == "json" ? stune::lint::format_json(violations, files_scanned)
                                  : stune::lint::format_text(violations, files_scanned));
+  if (fix && format == "text") {
+    std::cout << "stune_lint: rewrote " << files_fixed << " file"
+              << (files_fixed == 1 ? "" : "s") << " (include-what-you-use)\n";
+  }
   return violations.empty() ? 0 : 1;
 }
