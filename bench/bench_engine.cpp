@@ -1,0 +1,729 @@
+// Engine throughput benchmark: the event-driven, arena-backed execution
+// core against a verbatim copy of the seed engine it replaced.
+//
+// Four paths over the same (plan, configuration), per workload x cluster
+// size:
+//
+//   seed   - the original engine, transcribed verbatim below: index-order
+//            stage walk, fresh std::vector and std::priority_queue per
+//            stage, every lognormal/bernoulli drawn live;
+//   wave   - SparkSimulator::run_wave_rescan(), the retained golden path
+//            (same orchestration, reused buffers);
+//   cold   - the event-driven path through a freshly constructed
+//            TrialContext each run (topology + draws rebuilt every time);
+//   warm   - the event-driven path through one persistent TrialContext,
+//            the steady state of a tuning batch (topology, contention
+//            samples and per-stage draws all replay from cache).
+//
+// Every cell first asserts the four paths' reports are bitwise identical -
+// the refactor's contract - then reports executions/second and the
+// warm-vs-seed speedup. `--smoke` shrinks the grid for CI;
+// `--json BENCH_engine.json` writes the machine-readable report.
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+// Seed-baseline transcription dependencies (mirrors the original engine TU).
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
+#include <utility>
+
+#include "bench_util.hpp"
+#include "cluster/audit.hpp"
+#include "cluster/cluster.hpp"
+#include "config/audit.hpp"
+#include "config/spark_space.hpp"
+#include "dag/audit.hpp"
+#include "disc/audit.hpp"
+#include "disc/engine.hpp"
+#include "disc/metrics.hpp"
+#include "disc/trial_context.hpp"
+#include "simcore/check.hpp"
+#include "simcore/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::bench {
+namespace {
+
+JsonReport g_report("bench_engine");
+
+// ---------------------------------------------------------------------------
+// The seed engine, verbatim (modulo member -> free function): the pre-
+// refactor SparkSimulator::run() with its file-local helpers. This is the
+// baseline the 10x target is measured against, and the third voice in the
+// bitwise-parity assertion.
+// ---------------------------------------------------------------------------
+namespace seedeng {
+
+using namespace stune::disc;  // the body is transcribed unqualified
+
+constexpr double kGiBf = 1024.0 * 1024.0 * 1024.0;
+constexpr double kMiBf = 1024.0 * 1024.0;
+
+double flush_seek(const CostModel& cm, cluster::StorageKind kind) {
+  switch (kind) {
+    case cluster::StorageKind::kHdd: return cm.flush_seek_hdd;
+    case cluster::StorageKind::kEbs: return cm.flush_seek_ebs;
+    case cluster::StorageKind::kNvme: return cm.flush_seek_nvme;
+  }
+  return cm.flush_seek_ebs;
+}
+
+/// Greedy list scheduling of task durations onto `slots` identical slots.
+/// Returns the makespan; `waves` gets ceil(tasks/slots).
+double schedule_tasks(const std::vector<double>& durations, int slots, int* waves) {
+  *waves = static_cast<int>(
+      (durations.size() + static_cast<std::size_t>(slots) - 1) / static_cast<std::size_t>(slots));
+  if (durations.empty()) return 0.0;
+  if (static_cast<std::size_t>(slots) >= durations.size()) {
+    return *std::max_element(durations.begin(), durations.end());
+  }
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (int i = 0; i < slots; ++i) free_at.push(0.0);
+  double makespan = 0.0;
+  for (const double t : durations) {
+    const double start = free_at.top();
+    free_at.pop();
+    const double finish = start + t;
+    makespan = std::max(makespan, finish);
+    free_at.push(finish);
+  }
+  return makespan;
+}
+
+/// GC time as a fraction of CPU time, given heap pressure in [0, 1.25].
+double gc_overhead(const CostModel& cm, double pressure) {
+  const double p = std::clamp(pressure, 0.0, 1.25);
+  return cm.gc_base + cm.gc_coef * p * p * p * p / std::max(0.08, 1.3 - p);
+}
+
+struct SerializerCosts {
+  double ser;    // seconds per raw byte, reference core
+  double deser;
+};
+
+SerializerCosts serializer_costs(const CostModel& cm, config::Serializer s) {
+  if (s == config::Serializer::kKryo) return {cm.kryo_ser, cm.kryo_deser};
+  return {cm.java_ser, cm.java_deser};
+}
+
+disc::ExecutionReport run(const cluster::Cluster& cluster_, const disc::EngineOptions& options_,
+                          const dag::PhysicalPlan& plan, const config::SparkConf& conf) {
+  const CostModel& cm = options_.cost;
+  ExecutionReport report;
+
+  // When auditing is on, every report leaves through this gate; the
+  // conservation laws are re-checked on failure reports too.
+  const bool auditing = simcore::audit_enabled();
+  auto finish = [auditing](ExecutionReport r) {
+    r.finalize_aggregates();
+    if (auditing) simcore::enforce_invariants(audit(r), "execution report");
+    return r;
+  };
+  if (auditing) {
+    simcore::enforce_invariants(dag::audit(plan), "physical plan");
+    simcore::enforce_invariants(cluster::audit(cluster_), "cluster");
+  }
+
+  const Deployment dep = resolve_deployment(conf, cluster_);
+  if (auditing) simcore::enforce_invariants(audit(dep, conf, cluster_), "deployment");
+  if (!dep.viable) {
+    // The cluster manager rejects the request after a short negotiation.
+    report.failure_reason = dep.failure;
+    report.runtime = 45.0;
+    report.cost = cluster_.cost_of(report.runtime);
+    return finish(std::move(report));
+  }
+  report.executors = dep.executors;
+  report.total_slots = dep.total_slots;
+
+  // -- memory & cache accounting -------------------------------------------------
+  const auto codec = config::codec_profile(conf.codec, conf.compression_level);
+  const auto ser = serializer_costs(cm, conf.serializer);
+  const double heap = static_cast<double>(dep.heap_per_executor);
+
+  const double cache_raw = static_cast<double>(plan.total_cache_bytes());
+  const double cache_stored = cache_raw * (conf.rdd_compress ? codec.ratio : cm.deser_expansion);
+  const double storage_capacity =
+      static_cast<double>(dep.storage_target_per_executor) * dep.executors;
+  double cache_hit = cache_raw > 0.0 ? std::min(1.0, storage_capacity / cache_stored) : 1.0;
+  const double storage_used_pe =
+      std::min(cache_stored / dep.executors, static_cast<double>(dep.storage_target_per_executor));
+  const double exec_mem_pe = static_cast<double>(dep.unified_per_executor) - storage_used_pe;
+  const double exec_mem_per_task = std::max(1.0, exec_mem_pe / dep.slots_per_executor);
+
+  report.execution_memory_per_task = static_cast<Bytes>(exec_mem_per_task);
+  report.storage_memory_total = static_cast<Bytes>(storage_capacity);
+  report.cache_hit_fraction = cache_hit;
+
+  // -- deterministic randomness -----------------------------------------------------
+  simcore::Rng rng(simcore::hash_combine(
+      options_.seed,
+      simcore::hash_combine(simcore::hash_string(plan.workload), plan.input_bytes)));
+  cluster::ContentionProcess contention(options_.contention, rng.fork("contention"));
+
+  const int vms = cluster_.vm_count();
+  const double core_speed = cluster_.type().core_speed;
+  const int reducers = plan.is_sql ? conf.sql_shuffle_partitions : conf.default_parallelism;
+  const double seek = flush_seek(cm, cluster_.type().storage);
+
+  // -- injected faults ---------------------------------------------------------------
+  // All fault logic is gated on `chaos`; with an inactive plan the run is
+  // bitwise identical to a faultless build (no extra draws, same fleet).
+  const simcore::FaultPlan& fplan = options_.faults;
+  const bool chaos = fplan.active();
+  const double vm_hazard = cluster_.revocation_hazard();
+  int vms_alive = vms;
+  int executors_alive = dep.executors;
+  int slots_alive = dep.total_slots;
+  const int abort_stage =
+      chaos && fplan.transient_error()
+          ? static_cast<int>(fplan.error_position() * static_cast<double>(plan.stages.size()))
+          : -1;
+
+  std::vector<double> stage_finish(plan.stages.size(), 0.0);
+  double clock = cm.job_overhead;
+
+  int stage_index = -1;
+  for (const auto& s : plan.stages) {
+    ++stage_index;
+    if (stage_index == abort_stage) {
+      // The cluster manager drops the stage submission (network partition,
+      // control-plane hiccup): nothing the configuration did, so the
+      // failure is blamed on the infrastructure.
+      report.failure_reason = "transient infrastructure error during stage submission";
+      report.infra_fault = true;
+      report.runtime = clock + 2.0;
+      report.cost = cluster_.cost_of(report.runtime);
+      return finish(std::move(report));
+    }
+
+    StageMetrics m;
+    m.stage_id = s.id;
+    m.label = s.label;
+
+    simcore::StageFaults sfaults;
+    if (chaos) {
+      sfaults = fplan.stage_faults(s.id, executors_alive, vms_alive, vm_hazard);
+      if (sfaults.lost_vms > 0) {
+        // Spot revocation: permanent for the rest of the run. The fleet
+        // shrinks before this stage schedules; shuffle and cached blocks on
+        // the reclaimed VMs are recovered below with the executor-loss work.
+        m.lost_vms = std::min(sfaults.lost_vms, vms_alive);
+        vms_alive -= m.lost_vms;
+        if (vms_alive == 0) {
+          report.failure_reason = "all spot capacity revoked mid-run";
+          report.infra_fault = true;
+          report.runtime = clock + 30.0;  // drain + surrender
+          report.cost = cluster_.cost_of(report.runtime);
+          report.stages.push_back(m);
+          return finish(std::move(report));
+        }
+        executors_alive = std::max(1, std::min(executors_alive, dep.executors_per_vm * vms_alive));
+        slots_alive = executors_alive * dep.slots_per_executor;
+      }
+      if (sfaults.lost_executors > 0) {
+        // Executor processes crash mid-wave; the driver respawns them after
+        // the stage, so the loss is transient but the in-flight work is not.
+        m.lost_executors = std::min(sfaults.lost_executors, executors_alive);
+      }
+    }
+    // Slots this stage actually schedules on: the surviving fleet minus the
+    // executors that die mid-wave (at least one executor keeps going).
+    const int sched_slots =
+        std::max(dep.slots_per_executor,
+                 slots_alive - m.lost_executors * dep.slots_per_executor);
+
+    simcore::Rng srng = rng.fork(static_cast<std::uint64_t>(s.id) + 1);
+    const auto cont = contention.next();
+    const double speed = core_speed * cont.cpu_factor;
+
+    // Partitions of this stage.
+    int tasks;
+    if (s.reads_shuffle()) {
+      tasks = plan.is_sql ? conf.sql_shuffle_partitions : conf.default_parallelism;
+    } else if (s.reads_source()) {
+      tasks = static_cast<int>((s.source_read_bytes + cm.input_split - 1) / cm.input_split);
+    } else {
+      tasks = plan.is_sql ? conf.sql_shuffle_partitions : conf.default_parallelism;
+    }
+    tasks = std::max(1, tasks);
+    m.tasks = tasks;
+    m.input_bytes = s.total_input_bytes();
+    m.shuffle_read_bytes = s.shuffle_read_bytes();
+    m.shuffle_write_bytes = s.shuffle_write_bytes;
+    m.cache_hit_fraction = s.materialized_parent_cached ? cache_hit : 0.0;
+
+    // Bandwidth shares: tasks running concurrently on one VM divide its
+    // disk and NIC.
+    const int concurrent_per_vm = std::max(
+        1, std::min(dep.slots_per_vm, static_cast<int>((tasks + vms_alive - 1) / vms_alive)));
+    const double disk_share =
+        cluster_.disk_bw_per_vm() * cont.disk_factor / concurrent_per_vm;
+    const double net_share = cluster_.net_bw_per_vm() * cont.net_factor / concurrent_per_vm;
+
+    // Stage-level start: parents done + driver bookkeeping.
+    double start = clock;
+    for (const int p : s.parent_stages) {
+      start = std::max(start, stage_finish[static_cast<std::size_t>(p)]);
+    }
+    start += cm.stage_overhead + tasks * cm.per_task_driver;
+    m.start = start;
+
+    // Broadcast distribution before tasks launch.
+    if (s.broadcast_bytes > 0) {
+      const double b = static_cast<double>(s.broadcast_bytes);
+      if (b * cm.deser_expansion > 0.7 * static_cast<double>(dep.driver_heap)) {
+        report.failure_reason = "driver OOM while building broadcast variable";
+        report.runtime = start + 5.0;
+        report.cost = cluster_.cost_of(report.runtime);
+        report.stages.push_back(m);
+        return finish(std::move(report));
+      }
+      const double block = conf.broadcast_block_size_mib * kMiBf;
+      const double blocks = std::max(1.0, b / block);
+      const double vm_net = cluster_.net_bw_per_vm() * cont.net_factor;
+      const double torrent_rounds = 1.0 + std::log2(std::max(2.0, static_cast<double>(vms_alive)));
+      const double xfer = b / vm_net * torrent_rounds;
+      const double control = blocks * cm.broadcast_block_overhead +
+                             block / vm_net * cm.broadcast_pipeline_stall;
+      start += xfer + control;
+      m.net_seconds += xfer + control;
+    }
+
+    // -- per-task durations -------------------------------------------------------------
+    const double remote_frac =
+        cm.remote_read_base * std::exp(-conf.locality_wait_s / cm.locality_decay);
+    const double inflight_mib = conf.reducer_max_inflight_mib;
+    const double fetch_eff = inflight_mib / (inflight_mib + cm.fetch_overhead_mib);
+    const double conn_eff =
+        1.0 - cm.conn_penalty / static_cast<double>(conf.shuffle_connections_per_peer);
+    const double net_eff = std::max(0.05, fetch_eff * conn_eff);
+
+    const double src_per_task = static_cast<double>(s.source_read_bytes) / tasks;
+    const double mat_per_task = static_cast<double>(s.materialized_read_bytes) / tasks;
+    const double sread_per_task = static_cast<double>(s.shuffle_read_bytes()) / tasks;
+    const double swrite_per_task = static_cast<double>(s.shuffle_write_bytes) / tasks;
+    const double cpu_per_task = s.cpu_ref_seconds / tasks;
+    const double records_per_task = s.records / tasks;
+    const double save_per_task = (s.result_bytes > 0 && plan.action == dag::ActionKind::kSave)
+                                     ? static_cast<double>(s.result_bytes) / tasks
+                                     : 0.0;
+
+    std::vector<double> durations(static_cast<std::size_t>(tasks));
+    const double mu = -0.5 * s.skew_sigma * s.skew_sigma;
+    int oom_tasks = 0;
+    double oom_nominal_time = 0.0;
+
+    for (int i = 0; i < tasks; ++i) {
+      const double skew = srng.lognormal(mu, s.skew_sigma);
+      double t_cpu = 0.0, t_disk = 0.0, t_net = 0.0, t_spill = 0.0, t_over = 0.0;
+
+      // Pipeline compute.
+      t_cpu += cpu_per_task * skew / speed;
+      t_cpu += records_per_task * skew * cm.per_record_cpu / speed;
+
+      // Source reads (with locality).
+      if (src_per_task > 0.0) {
+        const double b = src_per_task * skew;
+        t_disk += b * (1.0 - remote_frac) / disk_share;
+        t_net += b * remote_frac / net_share;
+        t_over += conf.locality_wait_s * cm.locality_wait_cost;
+      }
+
+      // Materialized parent reads (cache hit / lineage recompute).
+      if (mat_per_task > 0.0) {
+        const double b = mat_per_task * skew;
+        const double hit = s.materialized_parent_cached ? cache_hit : 0.0;
+        const double b_hit = b * hit;
+        const double b_miss = b - b_hit;
+        t_cpu += b_hit / cm.cached_read_bw;
+        if (conf.rdd_compress && b_hit > 0.0) {
+          t_cpu += b_hit * (codec.decompress_cpb + ser.deser) / speed;
+        }
+        if (b_miss > 0.0 && cm.enable_recompute_penalty) {
+          t_cpu += b_miss * (s.recompute_cpu_per_gib / kGiBf) / speed;
+          t_disk += b_miss * 0.8 / disk_share;
+        }
+      }
+
+      // Shuffle read + aggregation memory behaviour.
+      double in_mem_ws = 0.0;
+      if (sread_per_task > 0.0) {
+        const double b = sread_per_task * skew;
+        const double wire = b * (conf.shuffle_compress ? codec.ratio : 1.0);
+        t_net += wire / (net_share * net_eff);
+        if (conf.shuffle_compress) t_cpu += b * codec.decompress_cpb / speed;
+        t_cpu += b * ser.deser / speed;
+
+        const double ws = b * s.agg_memory_factor * cm.deser_expansion;
+        if (cm.enable_oom && ws > exec_mem_per_task * cm.spill_oom_headroom) {
+          ++oom_tasks;
+        } else if (cm.enable_spill && ws > exec_mem_per_task) {
+          const double spill_raw = (ws - exec_mem_per_task) / cm.deser_expansion;
+          const double passes = 1.0 + cm.spill_pass_cost * std::log2(ws / exec_mem_per_task);
+          const double spill_wire = spill_raw * (conf.shuffle_spill_compress ? codec.ratio : 1.0);
+          double t = passes * spill_wire * 2.0 / disk_share;
+          t += passes * spill_raw * (ser.ser + ser.deser) / speed;
+          if (conf.shuffle_spill_compress) {
+            t += passes * spill_raw * (codec.compress_cpb + codec.decompress_cpb) / speed;
+          }
+          t_spill += t;
+          m.spilled_bytes += static_cast<Bytes>(spill_raw);
+          in_mem_ws = exec_mem_per_task;
+        } else {
+          in_mem_ws = ws;
+        }
+      }
+
+      // Shuffle write (sort, serialize, compress, flush).
+      if (swrite_per_task > 0.0) {
+        const double b = swrite_per_task * skew;
+        if (reducers > conf.sort_bypass_merge_threshold) {
+          t_cpu += b * cm.shuffle_sort_cpu / speed;
+        }
+        t_cpu += b * ser.ser / speed;
+        double wire = b;
+        if (conf.shuffle_compress) {
+          t_cpu += b * codec.compress_cpb / speed;
+          wire = b * codec.ratio;
+        }
+        t_disk += wire / disk_share;
+        const double flushes = wire / (conf.shuffle_file_buffer_kib * 1024.0);
+        t_disk += flushes * seek;
+      }
+
+      // Saving final output.
+      if (save_per_task > 0.0) {
+        const double b = save_per_task * skew;
+        t_cpu += b * ser.ser / speed;
+        t_disk += b / disk_share;
+      }
+
+      // GC pressure from cached data, aggregation buffers and broadcasts.
+      double t_gc = 0.0;
+      if (cm.enable_gc) {
+        const double bcast = static_cast<double>(s.broadcast_bytes) * cm.deser_expansion;
+        const double pressure =
+            (storage_used_pe + in_mem_ws * dep.slots_per_executor + bcast + 0.10 * heap) / heap;
+        double factor = gc_overhead(cm, pressure);
+        if (conf.serializer == config::Serializer::kJava) factor *= cm.java_gc_penalty;
+        t_gc = t_cpu * factor;
+      }
+
+      double total = t_cpu + t_gc + t_disk + t_net + t_spill + t_over + cm.task_overhead;
+
+      // Environmental stragglers; speculation re-launches bound the damage.
+      if (srng.bernoulli(cm.straggler_prob)) {
+        double slow = cm.straggler_slowdown;
+        if (conf.speculation) slow = std::min(slow, conf.speculation_multiplier + 0.3);
+        total *= slow;
+      }
+      if (conf.speculation) total *= 1.0 + cm.speculation_tax;
+
+      if (cm.enable_oom && sread_per_task > 0.0 &&
+          sread_per_task * skew * s.agg_memory_factor * cm.deser_expansion >
+              exec_mem_per_task * cm.spill_oom_headroom) {
+        oom_nominal_time += total;
+      }
+
+      durations[static_cast<std::size_t>(i)] = total;
+      m.cpu_seconds += t_cpu;
+      m.gc_seconds += t_gc;
+      m.disk_seconds += t_disk;
+      m.net_seconds += t_net;
+      m.spill_seconds += t_spill;
+      m.overhead_seconds += t_over + cm.task_overhead;
+    }
+
+    if (oom_tasks > 0) {
+      // Retries land on executors with the same memory budget: determinedly
+      // fatal. The job burns the configured number of attempts first.
+      m.failed_tasks = oom_tasks;
+      const double mean_failing = oom_nominal_time / oom_tasks;
+      const double elapsed =
+          conf.task_max_failures * mean_failing * cm.oom_attempt_fraction;
+      m.duration = elapsed;
+      report.stages.push_back(m);
+      report.failure_reason = "task OOM: aggregation working set exceeds execution memory";
+      report.runtime = start + elapsed;
+      report.cost = cluster_.cost_of(report.runtime);
+      return finish(std::move(report));
+    }
+
+    // Injected straggler burst: a deterministic subset of tasks runs slower.
+    // With speculation on, a backup attempt launches once the configured
+    // quantile of the wave has finished, bounding the damage — an earlier
+    // quantile gives a tighter bound (and is what the new knob tunes).
+    if (chaos && sfaults.straggler_factor > 1.0) {
+      simcore::Rng vrng = fplan.stage_stream(s.id, 0x76696374696dULL);  // victims
+      const double cap = conf.speculation_multiplier +
+                         conf.speculation_quantile * (sfaults.straggler_factor - 1.0);
+      for (double& d : durations) {
+        if (!vrng.bernoulli(fplan.profile().straggler_victim_fraction)) continue;
+        if (conf.speculation && cap < sfaults.straggler_factor) {
+          d *= cap;
+          ++m.speculative_tasks;
+        } else {
+          d *= sfaults.straggler_factor;
+        }
+      }
+    }
+
+    int waves = 0;
+    double makespan = schedule_tasks(durations, sched_slots, &waves);
+    m.waves = waves;
+
+    // Recover work lost to executor crashes and revoked VMs: lost in-flight
+    // tasks reschedule onto the surviving slots and lost shuffle partitions
+    // recompute through lineage. The recovery is charged as extra makespan
+    // plus a resubmit round-trip, and the cached blocks that died with the
+    // fleet degrade the hit rate of later stages.
+    if (chaos && (m.lost_executors > 0 || m.lost_vms > 0)) {
+      const int lost_units = m.lost_executors + m.lost_vms * dep.executors_per_vm;
+      const double lost_fraction =
+          std::min(1.0, static_cast<double>(lost_units) / static_cast<double>(dep.executors));
+      double task_seconds = 0.0;
+      for (const double t : durations) task_seconds += t;
+      const double redo = task_seconds * lost_fraction * cm.failure_rerun_fraction / sched_slots;
+      makespan += redo + cm.stage_overhead;
+      m.recovery_seconds = redo * sched_slots;
+      m.failed_tasks = std::min(
+          m.tasks, m.failed_tasks +
+                       static_cast<int>(lost_fraction * tasks * cm.failure_rerun_fraction));
+      cache_hit *= 1.0 - lost_fraction;
+      report.cache_hit_fraction = cache_hit;
+    }
+
+    // Executor failures mid-stage: lost in-flight work re-runs (lineage
+    // makes this transparent but not free), and cached partitions held by
+    // the dead executor degrade the hit rate of later stages until
+    // recomputed.
+    if (cm.executor_failure_rate > 0.0) {
+      int died = 0;
+      for (int ex = 0; ex < dep.executors; ++ex) {
+        if (srng.bernoulli(cm.executor_failure_rate)) ++died;
+      }
+      if (died > 0) {
+        const double lost_fraction =
+            static_cast<double>(died) / static_cast<double>(dep.executors);
+        double task_seconds = 0.0;
+        for (const double t : durations) task_seconds += t;
+        const double redo =
+            task_seconds * lost_fraction * cm.failure_rerun_fraction / dep.total_slots;
+        makespan += redo + cm.stage_overhead;  // resubmit + rerun
+        m.overhead_seconds += redo * dep.total_slots;
+        m.failed_tasks +=
+            static_cast<int>(lost_fraction * tasks * cm.failure_rerun_fraction);
+        // Cached blocks on the dead executors are gone; later stages pay
+        // recompute until (in a real system) they are re-cached.
+        cache_hit *= 1.0 - lost_fraction;
+        report.cache_hit_fraction = cache_hit;
+      }
+    }
+
+    // Collect action: ship results to the driver and hold them there.
+    if (s.result_bytes > 0 && plan.action == dag::ActionKind::kCollect) {
+      const double b = static_cast<double>(s.result_bytes);
+      if (b * cm.deser_expansion > 0.7 * static_cast<double>(dep.driver_heap)) {
+        report.failure_reason = "driver OOM while collecting results";
+        report.runtime = start + makespan;
+        report.cost = cluster_.cost_of(report.runtime);
+        report.stages.push_back(m);
+        return finish(std::move(report));
+      }
+      const double xfer = b / (cluster_.net_bw_per_vm() * cont.net_factor);
+      makespan += xfer;
+      m.net_seconds += xfer;
+    }
+
+    m.duration = makespan;
+    stage_finish[static_cast<std::size_t>(s.id)] = start + makespan;
+    clock = std::max(clock, start + makespan);
+    if (auditing) simcore::enforce_invariants(audit_stage(m, sched_slots), "stage metrics");
+    report.stages.push_back(m);
+  }
+
+  if (chaos && fplan.timeout()) {
+    // The run hangs near the end (executors stop heartbeating); the driver
+    // burns a multiple of the nominal runtime before giving up. Another
+    // infrastructure fault: the configuration did its work.
+    report.failure_reason = "trial timeout: executors stopped heartbeating";
+    report.infra_fault = true;
+    report.runtime = clock * fplan.profile().timeout_hang_factor;
+    report.cost = cluster_.cost_of(report.runtime);
+    return finish(std::move(report));
+  }
+
+  report.success = true;
+  report.runtime = clock;
+  report.cost = cluster_.cost_of(report.runtime);
+  return finish(std::move(report));
+}
+
+}  // namespace seedeng
+
+// Bitwise report equality: the refactor's contract is *identical* doubles,
+// not close ones, so compare bit patterns rather than values (and catch
+// -0.0 vs 0.0 or NaN-payload drift that == would hide).
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool reports_identical(const disc::ExecutionReport& a, const disc::ExecutionReport& b) {
+  if (a.success != b.success || a.failure_reason != b.failure_reason ||
+      a.infra_fault != b.infra_fault || !bits_equal(a.runtime, b.runtime) ||
+      !bits_equal(a.cost, b.cost) || a.executors != b.executors ||
+      a.total_slots != b.total_slots ||
+      a.execution_memory_per_task != b.execution_memory_per_task ||
+      a.storage_memory_total != b.storage_memory_total ||
+      !bits_equal(a.cache_hit_fraction, b.cache_hit_fraction) ||
+      a.stages.size() != b.stages.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    const auto& x = a.stages[i];
+    const auto& y = b.stages[i];
+    if (x.stage_id != y.stage_id || x.label != y.label || x.tasks != y.tasks ||
+        x.waves != y.waves || !bits_equal(x.start, y.start) ||
+        !bits_equal(x.duration, y.duration) || !bits_equal(x.cpu_seconds, y.cpu_seconds) ||
+        !bits_equal(x.gc_seconds, y.gc_seconds) || !bits_equal(x.disk_seconds, y.disk_seconds) ||
+        !bits_equal(x.net_seconds, y.net_seconds) ||
+        !bits_equal(x.spill_seconds, y.spill_seconds) ||
+        !bits_equal(x.overhead_seconds, y.overhead_seconds) ||
+        x.input_bytes != y.input_bytes || x.shuffle_read_bytes != y.shuffle_read_bytes ||
+        x.shuffle_write_bytes != y.shuffle_write_bytes || x.spilled_bytes != y.spilled_bytes ||
+        !bits_equal(x.cache_hit_fraction, y.cache_hit_fraction) ||
+        x.failed_tasks != y.failed_tasks || x.lost_executors != y.lost_executors ||
+        x.lost_vms != y.lost_vms || x.speculative_tasks != y.speculative_tasks ||
+        !bits_equal(x.recovery_seconds, y.recovery_seconds)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename Fn>
+double execs_per_sec(std::size_t reps, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) fn();
+  const auto stop = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(stop - start).count();
+  return static_cast<double>(reps) / secs;
+}
+
+struct Cell {
+  std::string workload;
+  int vms = 0;
+  std::size_t stages = 0;
+  int tasks = 0;
+  double seed_eps = 0.0;
+  double wave_eps = 0.0;
+  double cold_eps = 0.0;
+  double warm_eps = 0.0;
+};
+
+bool run_cell(const std::string& wl_name, int vms, simcore::Bytes input, std::size_t reps,
+              Cell* out) {
+  const auto wl = workload::make_workload(wl_name);
+  const cluster::Cluster cluster = cluster::Cluster::from_spec({"m5.2xlarge", vms});
+  disc::EngineOptions opts;
+  const disc::SparkSimulator sim(cluster, opts);
+  const config::SparkConf conf(config::spark_space()->default_config());
+  const dag::PhysicalPlan plan = wl->plan(input, &conf);
+
+  // Parity gate: seed == wave == event(cold ctx) == event(warm ctx),
+  // bit for bit. A benchmark of a wrong answer is worthless.
+  const auto r_seed = seedeng::run(cluster, opts, plan, conf);
+  const auto r_wave = sim.run_wave_rescan(plan, conf);
+  disc::TrialContext ctx;
+  const auto r_cold = sim.run(plan, conf, ctx);
+  const auto r_warm = sim.run(plan, conf, ctx);
+  if (!reports_identical(r_seed, r_wave) || !reports_identical(r_seed, r_cold) ||
+      !reports_identical(r_seed, r_warm)) {
+    std::fprintf(stderr, "PARITY FAILURE: %s on %d VMs diverges from the seed engine\n",
+                 wl_name.c_str(), vms);
+    return false;
+  }
+
+  out->workload = wl_name;
+  out->vms = vms;
+  out->stages = r_seed.stages.size();
+  out->tasks = 0;
+  for (const auto& s : r_seed.stages) out->tasks += s.tasks;
+
+  out->seed_eps = execs_per_sec(reps, [&] { (void)seedeng::run(cluster, opts, plan, conf); });
+  out->wave_eps = execs_per_sec(reps, [&] { (void)sim.run_wave_rescan(plan, conf); });
+  out->cold_eps = execs_per_sec(reps, [&] {
+    disc::TrialContext fresh;
+    (void)sim.run(plan, conf, fresh);
+  });
+  out->warm_eps = execs_per_sec(reps, [&] { (void)sim.run(plan, conf, ctx); });
+  return true;
+}
+
+}  // namespace
+}  // namespace stune::bench
+
+int main(int argc, char** argv) {
+  using namespace stune::bench;
+
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) json_path = argv[i + 1];
+  }
+
+  const std::vector<std::string> workloads =
+      smoke ? std::vector<std::string>{"scan", "join"}
+            : std::vector<std::string>{"scan", "wordcount", "join", "pagerank"};
+  const std::vector<int> cluster_sizes = smoke ? std::vector<int>{4} : std::vector<int>{4, 16, 64};
+  const stune::simcore::Bytes input = smoke ? (1ULL << 30) : (8ULL << 30);
+  const std::size_t reps = smoke ? 60 : 400;
+
+  section("engine throughput: executions/second, seed engine vs event-driven");
+  Table t({"workload", "vms", "stages", "tasks", "seed /s", "wave /s", "cold /s", "warm /s",
+           "warm/seed"});
+  bool all_ok = true;
+  double best_speedup = 0.0;
+  for (const auto& wl : workloads) {
+    for (const int vms : cluster_sizes) {
+      Cell c;
+      if (!run_cell(wl, vms, input, reps, &c)) {
+        all_ok = false;
+        continue;
+      }
+      const double speedup = c.warm_eps / c.seed_eps;
+      best_speedup = std::max(best_speedup, speedup);
+      t.add_row({c.workload, fmt("%.0f", static_cast<double>(c.vms)),
+                 fmt("%.0f", static_cast<double>(c.stages)),
+                 fmt("%.0f", static_cast<double>(c.tasks)), fmt("%.0f", c.seed_eps),
+                 fmt("%.0f", c.wave_eps), fmt("%.0f", c.cold_eps), fmt("%.0f", c.warm_eps),
+                 fmt("%.2fx", speedup)});
+      g_report.record(
+          "\"workload\": \"%s\", \"vms\": %d, \"stages\": %zu, \"tasks\": %d, "
+          "\"seed_eps\": %.1f, \"wave_eps\": %.1f, \"cold_eps\": %.1f, \"warm_eps\": %.1f, "
+          "\"speedup_warm_vs_seed\": %.3f",
+          c.workload.c_str(), c.vms, c.stages, c.tasks, c.seed_eps, c.wave_eps, c.cold_eps,
+          c.warm_eps, speedup);
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nreading: every cell passed the bitwise parity gate before timing. 'warm' is the\n"
+      "steady state of a tuning batch - topology, contention samples and task draws all\n"
+      "replay from the TrialContext - so warm/seed is the headline; 'cold' bounds the\n"
+      "first-trial overhead of building those caches. best warm/seed: %.2fx\n",
+      best_speedup);
+
+  if (!json_path.empty()) g_report.write(json_path);
+  return all_ok ? 0 : 1;
+}

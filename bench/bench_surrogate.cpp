@@ -19,7 +19,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <cstdarg>
 #include <cstddef>
 #include <cstdio>
 #include <limits>
@@ -190,20 +189,7 @@ double time_ms(std::size_t reps, Fn&& fn) {
          static_cast<double>(reps);
 }
 
-struct JsonRecord {
-  std::string body;  // rendered key/value pairs, without braces
-};
-
-std::vector<JsonRecord> g_records;
-
-void record(const char* format, ...) {
-  char buf[512];
-  va_list args;
-  va_start(args, format);
-  std::vsnprintf(buf, sizeof(buf), format, args);
-  va_end(args);
-  g_records.push_back({buf});
-}
+JsonReport g_report("bench_surrogate");
 
 linalg::Matrix random_spd(std::size_t n, simcore::Rng& rng) {
   linalg::Matrix b(n, n);
@@ -233,7 +219,7 @@ void bench_cholesky(const std::vector<std::size_t>& sizes, std::size_t reps) {
     const double speedup = naive_ms / blocked_ms;
     t.add_row({fmt("%.0f", static_cast<double>(n)), fmt("%.3f", naive_ms),
                fmt("%.3f", blocked_ms), fmt("%.2fx", speedup)});
-    record("\"bench\": \"cholesky\", \"n\": %zu, \"unblocked_ms\": %.4f, "
+    g_report.record("\"bench\": \"cholesky\", \"n\": %zu, \"unblocked_ms\": %.4f, "
            "\"blocked_ms\": %.4f, \"speedup\": %.3f",
            n, naive_ms, blocked_ms, speedup);
   }
@@ -289,7 +275,7 @@ void bench_surrogate_parts(const std::vector<std::size_t>& sizes, std::size_t ca
     t.add_row({fmt("%.0f", static_cast<double>(n)), fmt("%.3f", fit_ms),
                fmt("%.3f", observe_inc_ms), fmt("%.3f", observe_rebuild_ms), fmt("%.3f", loop_ms),
                fmt("%.3f", batch_ms)});
-    record("\"bench\": \"surrogate_parts\", \"n\": %zu, \"fit_ms\": %.4f, "
+    g_report.record("\"bench\": \"surrogate_parts\", \"n\": %zu, \"fit_ms\": %.4f, "
            "\"observe_incremental_ms\": %.4f, \"observe_rebuild_ms\": %.4f, "
            "\"predict_loop_ms\": %.4f, \"predict_batch_ms\": %.4f",
            n, fit_ms, observe_inc_ms, observe_rebuild_ms, loop_ms, batch_ms);
@@ -351,27 +337,11 @@ void bench_suggest_step(const std::vector<std::size_t>& sizes, std::size_t candi
     const double speedup = baseline_ms / incremental_ms;
     t.add_row({fmt("%.0f", static_cast<double>(n)), fmt("%.3f", baseline_ms),
                fmt("%.3f", incremental_ms), fmt("%.2fx", speedup)});
-    record("\"bench\": \"suggest_step\", \"n\": %zu, \"candidates\": %zu, "
+    g_report.record("\"bench\": \"suggest_step\", \"n\": %zu, \"candidates\": %zu, "
            "\"baseline_ms\": %.4f, \"incremental_ms\": %.4f, \"speedup\": %.3f",
            n, candidates, baseline_ms, incremental_ms, speedup);
   }
   t.print();
-}
-
-void write_json(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"bench_surrogate\",\n  \"records\": [\n");
-  for (std::size_t i = 0; i < g_records.size(); ++i) {
-    std::fprintf(f, "    { %s }%s\n", g_records[i].body.c_str(),
-                 i + 1 < g_records.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s (%zu records)\n", path.c_str(), g_records.size());
 }
 
 }  // namespace
@@ -403,6 +373,6 @@ int main(int argc, char** argv) {
       "triangular solves into one cache-friendly multi-RHS sweep.\n",
       candidates);
 
-  if (!json_path.empty()) write_json(json_path);
+  if (!json_path.empty()) g_report.write(json_path);
   return 0;
 }

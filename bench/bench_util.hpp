@@ -2,6 +2,7 @@
 // multi-seed execution protocol and simple table rendering.
 #pragma once
 
+#include <cstdarg>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -138,5 +139,48 @@ inline std::string pct(double fraction) { return fmt("%.0f%%", fraction * 100.0)
 inline void section(const std::string& title) {
   std::printf("\n== %s ==\n\n", title.c_str());
 }
+
+/// Machine-readable bench output: flat records accumulated with printf-style
+/// bodies and written as `{"bench": "<name>", "records": [ {...}, ... ]}` —
+/// the shape the committed BENCH_*.json files and the README tables consume.
+/// Each bench used to carry a private copy of this boilerplate.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  /// Append one record; `format` renders the key/value pairs without the
+  /// surrounding braces, e.g. `"\"n\": %zu, \"ms\": %.3f"`.
+  __attribute__((format(printf, 2, 3))) void record(const char* format, ...) {
+    char buf[512];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buf, sizeof(buf), format, args);
+    va_end(args);
+    records_.emplace_back(buf);
+  }
+
+  std::size_t size() const { return records_.size(); }
+
+  /// Write the report; no-op (with a stderr note) if the file can't open.
+  void write(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n", name_.c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "    { %s }%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> records_;
+};
 
 }  // namespace stune::bench

@@ -112,6 +112,58 @@ std::uint64_t PhysicalPlan::fingerprint() const {
   return h;
 }
 
+PlanTopology build_topology(const PhysicalPlan& plan) {
+  const std::size_t n = plan.stages.size();
+  PlanTopology topo;
+  topo.indegree.assign(n, 0);
+  topo.child_offsets.assign(n + 1, 0);
+  topo.fingerprint = topology_fingerprint(plan);
+  for (std::size_t i = 0; i < n; ++i) {
+    const StagePlan& s = plan.stages[i];
+    if (s.id != static_cast<int>(i)) {
+      throw std::invalid_argument("build_topology: stage ids must equal their positions");
+    }
+    for (const int p : s.parent_stages) {
+      if (p < 0 || p >= static_cast<int>(n)) {
+        throw std::invalid_argument("build_topology: parent stage out of range");
+      }
+      // Back edges (parent at or after the consumer) are not scheduling
+      // edges: the engine walks stages in id order and reads an unfinished
+      // parent's finish time as zero, which the serialized run clock always
+      // dominates. The broadcast-join planner emits such edges (the
+      // dimension-table stage is created after its consumer), so the
+      // topology mirrors the engine's semantics instead of rejecting them.
+      if (p >= s.id) continue;
+      ++topo.indegree[i];
+      ++topo.child_offsets[static_cast<std::size_t>(p) + 1];
+      ++topo.edge_count;
+    }
+  }
+  // Prefix-sum the per-parent counts into CSR row starts, then fill.
+  for (std::size_t i = 1; i <= n; ++i) topo.child_offsets[i] += topo.child_offsets[i - 1];
+  topo.children.assign(topo.edge_count, -1);
+  std::vector<int> cursor(topo.child_offsets.begin(), topo.child_offsets.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const int p : plan.stages[i].parent_stages) {
+      if (p >= plan.stages[i].id) continue;  // back edge, skipped above
+      topo.children[static_cast<std::size_t>(cursor[static_cast<std::size_t>(p)]++)] =
+          static_cast<int>(i);
+    }
+  }
+  return topo;
+}
+
+std::uint64_t topology_fingerprint(const PhysicalPlan& plan) {
+  using simcore::hash_combine;
+  std::uint64_t h = hash_combine(0x706c616eULL, plan.stages.size());
+  for (const auto& s : plan.stages) {
+    h = hash_combine(h, static_cast<std::uint64_t>(s.id));
+    for (const int p : s.parent_stages) h = hash_combine(h, static_cast<std::uint64_t>(p));
+    h = hash_combine(h, simcore::hash_double(s.skew_sigma));
+  }
+  return h;
+}
+
 PhysicalPlan build_physical_plan(const LogicalPlan& plan, Bytes input_bytes) {
   const auto& nodes = plan.nodes();
   if (nodes.empty()) throw std::invalid_argument("cannot plan an empty lineage");

@@ -3,6 +3,7 @@
 // selectivities — what Spark's DAGScheduler produces (paper Fig. 2).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -83,6 +84,35 @@ struct PhysicalPlan {
   /// execution reports.
   std::uint64_t fingerprint() const;
 };
+
+/// The stage graph of a physical plan in scheduler-ready form: indegrees
+/// plus a children adjacency in CSR layout, built once and reused by every
+/// trial of a batch (the engine's event-driven scheduler discovers ready
+/// stages in O(edges) from it instead of rescanning the stage list).
+struct PlanTopology {
+  std::vector<int> indegree;       // parents outstanding per stage
+  std::vector<int> child_offsets;  // CSR row starts into `children`, size stages+1
+  std::vector<int> children;       // child stage ids, grouped by parent
+  std::size_t edge_count = 0;
+  /// topology_fingerprint(plan) of the plan this was built from.
+  std::uint64_t fingerprint = 0;
+
+  std::size_t stage_count() const { return indegree.size(); }
+};
+
+/// Build the topology. Requires stage ids equal to their positions and
+/// parents in range; throws std::invalid_argument otherwise. Back edges
+/// (a parent at or after its consumer — the broadcast-join planner emits
+/// these) carry no scheduling constraint and are excluded, mirroring the
+/// engine's id-order walk where an unfinished parent's finish time reads
+/// as zero and the serialized run clock dominates it.
+PlanTopology build_topology(const PhysicalPlan& plan);
+
+/// Stable hash of the plan's *shape* as the scheduler sees it: stage count,
+/// ids, parent edges and skew sigmas — everything PlanTopology and the
+/// engine's cached per-stage draw streams depend on, and nothing else
+/// (volumes may change per configuration without invalidating a topology).
+std::uint64_t topology_fingerprint(const PhysicalPlan& plan);
 
 /// Split a logical plan into sized stages for a concrete input size.
 /// Throws std::invalid_argument on malformed plans.

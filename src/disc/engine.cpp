@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <queue>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -12,9 +14,21 @@
 #include "config/audit.hpp"
 #include "dag/audit.hpp"
 #include "disc/audit.hpp"
+#include "disc/trial_context.hpp"
 #include "simcore/check.hpp"
 #include "simcore/rng.hpp"
-#include "simcore/stats.hpp"
+
+// Two orchestrations, one cost model. run() is the event-driven path: plan
+// topology, contention samples and per-stage random draws come from a
+// TrialContext and per-trial scratch from its arena. run_wave_rescan() is
+// the reference path preserving the original orchestration — index-order
+// stage walk with a parent-finish rescan, live draws, a fresh
+// priority-queue schedule per stage. Both feed the identical simulate_stage
+// body below, and the engine's contract is that they produce bitwise-equal
+// ExecutionReports (engine_properties_test enforces it across seeds, chaos
+// levels and cluster sizes). This TU is compiled with -ffp-contract=off
+// even in native-kernel builds so that contract holds against binaries
+// built without -mfma (see src/disc/CMakeLists.txt).
 
 namespace stune::disc {
 
@@ -33,8 +47,10 @@ double flush_seek(const CostModel& cm, cluster::StorageKind kind) {
 }
 
 /// Greedy list scheduling of task durations onto `slots` identical slots.
-/// Returns the makespan; `waves` gets ceil(tasks/slots).
-double schedule_tasks(const std::vector<double>& durations, int slots, int* waves) {
+/// Returns the makespan; `waves` gets ceil(tasks/slots). Reference
+/// implementation: a fresh priority queue per call, exactly as the original
+/// engine scheduled.
+double schedule_tasks(std::span<const double> durations, int slots, int* waves) {
   *waves = static_cast<int>(
       (durations.size() + static_cast<std::size_t>(slots) - 1) / static_cast<std::size_t>(slots));
   if (durations.empty()) return 0.0;
@@ -54,6 +70,32 @@ double schedule_tasks(const std::vector<double>& durations, int slots, int* wave
   return makespan;
 }
 
+/// The same greedy schedule over arena scratch: the slot heap lives in a
+/// bump-allocated span instead of a heap-allocated priority queue. Pops the
+/// same minima and adds the same values, so the makespan is bitwise equal
+/// to schedule_tasks().
+double schedule_tasks_arena(std::span<const double> durations, int slots, int* waves,
+                            simcore::TrialArena& arena) {
+  *waves = static_cast<int>(
+      (durations.size() + static_cast<std::size_t>(slots) - 1) / static_cast<std::size_t>(slots));
+  if (durations.empty()) return 0.0;
+  if (static_cast<std::size_t>(slots) >= durations.size()) {
+    return *std::max_element(durations.begin(), durations.end());
+  }
+  // Arena spans arrive zeroed, and all-equal keys already satisfy the
+  // min-heap invariant.
+  std::span<double> free_at = arena.alloc<double>(static_cast<std::size_t>(slots));
+  double makespan = 0.0;
+  for (const double t : durations) {
+    std::pop_heap(free_at.begin(), free_at.end(), std::greater<>{});
+    const double finish = free_at.back() + t;
+    makespan = std::max(makespan, finish);
+    free_at.back() = finish;
+    std::push_heap(free_at.begin(), free_at.end(), std::greater<>{});
+  }
+  return makespan;
+}
+
 /// GC time as a fraction of CPU time, given heap pressure in [0, 1.25].
 double gc_overhead(const CostModel& cm, double pressure) {
   const double p = std::clamp(pressure, 0.0, 1.25);
@@ -68,6 +110,639 @@ struct SerializerCosts {
 SerializerCosts serializer_costs(const CostModel& cm, config::Serializer s) {
   if (s == config::Serializer::kKryo) return {cm.kryo_ser, cm.kryo_deser};
   return {cm.java_ser, cm.java_deser};
+}
+
+/// Every report leaves through this gate; the conservation laws are
+/// re-checked on failure reports too.
+ExecutionReport finalize_report(ExecutionReport r, bool auditing) {
+  r.finalize_aggregates();
+  if (auditing) simcore::enforce_invariants(audit(r), "execution report");
+  return r;
+}
+
+/// Run-wide values shared by both orchestrations: resolved deployment,
+/// memory/cache accounting, serializer/codec costs and the fault schedule,
+/// computed once before any stage executes.
+struct Prep {
+  Deployment dep;
+  config::CodecProfile codec{};
+  SerializerCosts ser{};
+  double heap = 0.0;
+  double cache_hit = 0.0;  // initial hit fraction; runs mutate their copy
+  double storage_used_pe = 0.0;
+  double exec_mem_per_task = 0.0;
+  std::uint64_t master_hash = 0;
+  int vms = 0;
+  double core_speed = 0.0;
+  int reducers = 0;
+  double seek = 0.0;
+  bool chaos = false;
+  double vm_hazard = 0.0;
+  int abort_stage = -1;
+};
+
+/// Audits, deployment resolution, memory & cache accounting, deterministic
+/// seeding and fault setup. Returns false when the cluster manager rejects
+/// the deployment, with `report` carrying the failure.
+bool prepare_run(const cluster::Cluster& cluster, const EngineOptions& options,
+                 const dag::PhysicalPlan& plan, const config::SparkConf& conf, bool auditing,
+                 Prep* p, ExecutionReport* report) {
+  const CostModel& cm = options.cost;
+  if (auditing) {
+    simcore::enforce_invariants(dag::audit(plan), "physical plan");
+    simcore::enforce_invariants(cluster::audit(cluster), "cluster");
+  }
+
+  p->dep = resolve_deployment(conf, cluster);
+  if (auditing) simcore::enforce_invariants(audit(p->dep, conf, cluster), "deployment");
+  if (!p->dep.viable) {
+    // The cluster manager rejects the request after a short negotiation.
+    report->failure_reason = p->dep.failure;
+    report->runtime = 45.0;
+    report->cost = cluster.cost_of(report->runtime);
+    return false;
+  }
+  report->executors = p->dep.executors;
+  report->total_slots = p->dep.total_slots;
+
+  // -- memory & cache accounting -------------------------------------------------
+  p->codec = config::codec_profile(conf.codec, conf.compression_level);
+  p->ser = serializer_costs(cm, conf.serializer);
+  p->heap = static_cast<double>(p->dep.heap_per_executor);
+
+  const double cache_raw = static_cast<double>(plan.total_cache_bytes());
+  const double cache_stored = cache_raw * (conf.rdd_compress ? p->codec.ratio : cm.deser_expansion);
+  const double storage_capacity =
+      static_cast<double>(p->dep.storage_target_per_executor) * p->dep.executors;
+  p->cache_hit = cache_raw > 0.0 ? std::min(1.0, storage_capacity / cache_stored) : 1.0;
+  p->storage_used_pe = std::min(cache_stored / p->dep.executors,
+                                static_cast<double>(p->dep.storage_target_per_executor));
+  const double exec_mem_pe = static_cast<double>(p->dep.unified_per_executor) - p->storage_used_pe;
+  p->exec_mem_per_task = std::max(1.0, exec_mem_pe / p->dep.slots_per_executor);
+
+  report->execution_memory_per_task = static_cast<Bytes>(p->exec_mem_per_task);
+  report->storage_memory_total = static_cast<Bytes>(storage_capacity);
+  report->cache_hit_fraction = p->cache_hit;
+
+  // -- deterministic randomness -----------------------------------------------------
+  p->master_hash = simcore::hash_combine(
+      options.seed,
+      simcore::hash_combine(simcore::hash_string(plan.workload), plan.input_bytes));
+
+  p->vms = cluster.vm_count();
+  p->core_speed = cluster.type().core_speed;
+  p->reducers = plan.is_sql ? conf.sql_shuffle_partitions : conf.default_parallelism;
+  p->seek = flush_seek(cm, cluster.type().storage);
+
+  // -- injected faults ---------------------------------------------------------------
+  // All fault logic is gated on `chaos`; with an inactive plan the run is
+  // bitwise identical to a faultless build (no extra draws, same fleet).
+  p->chaos = options.faults.active();
+  p->vm_hazard = cluster.revocation_hazard();
+  p->abort_stage =
+      p->chaos && options.faults.transient_error()
+          ? static_cast<int>(options.faults.error_position() *
+                             static_cast<double>(plan.stages.size()))
+          : -1;
+  return true;
+}
+
+/// Fleet state threaded through a run as faults shrink it.
+struct Fleet {
+  int vms_alive = 0;
+  int executors_alive = 0;
+  int slots_alive = 0;
+};
+
+/// The task draws one stage consumes: skew factors and straggler flags in
+/// the engine's interleaved draw order, plus the stage generator positioned
+/// after the task loop (the executor-failure draws that follow depend on
+/// the deployment and replay live from it).
+struct DrawView {
+  std::span<const double> skew;
+  std::span<const unsigned char> straggler;
+  simcore::Rng rng_after{0};
+};
+
+/// Run-invariant references the stage body reads.
+struct RunCtx {
+  const cluster::Cluster& cluster;
+  const EngineOptions& options;
+  const dag::PhysicalPlan& plan;
+  const config::SparkConf& conf;
+  const Prep& prep;
+  bool auditing = false;
+};
+
+enum class StageStatus { kContinue, kFatal };
+
+/// One stage of the cost model, shared verbatim by both orchestrations:
+/// injected faults, task-set sizing, broadcast, the per-task duration loop,
+/// scheduling, recovery and the collect action. `start0` is the stage's
+/// earliest start (run clock joined with parent finishes). DrawsFn supplies
+/// the task draws for the computed task count, AllocFn the duration buffer,
+/// SchedFn the makespan. On kFatal the failure report is fully assembled
+/// except for final aggregation (caller passes it through finalize_report).
+///
+/// When `cache_enabled` (the event-driven path with a TrialContext), the
+/// task loop through the executor-failure block is memoized: `outcome_base`
+/// seeds a key folding the bit pattern of every scalar that span of code
+/// reads, LookupFn/StoreFn front the context's StageOutcome map, and a hit
+/// replays the stored result bitwise instead of recomputing O(tasks) work.
+/// Chaos runs and stages that die to task OOM never enter the cache; the
+/// start-dependent pieces (stage start, broadcast, collect) stay live.
+template <typename DrawsFn, typename AllocFn, typename SchedFn, typename LookupFn,
+          typename StoreFn>
+StageStatus simulate_stage(const RunCtx& rc, const dag::StagePlan& s,
+                           const cluster::ContentionSample& cont, Fleet* fleet,
+                           double* cache_hit, double clock, double start0, DrawsFn&& draws_fn,
+                           AllocFn&& alloc_fn, SchedFn&& sched_fn, bool cache_enabled,
+                           std::uint64_t outcome_base, LookupFn&& lookup_fn, StoreFn&& store_fn,
+                           ExecutionReport* report, double* out_finish) {
+  const CostModel& cm = rc.options.cost;
+  const config::SparkConf& conf = rc.conf;
+  const Deployment& dep = rc.prep.dep;
+  const simcore::FaultPlan& fplan = rc.options.faults;
+  const bool chaos = rc.prep.chaos;
+  const double heap = rc.prep.heap;
+  const auto& codec = rc.prep.codec;
+  const auto& ser = rc.prep.ser;
+  const double exec_mem_per_task = rc.prep.exec_mem_per_task;
+  const double storage_used_pe = rc.prep.storage_used_pe;
+
+  StageMetrics m;
+  m.stage_id = s.id;
+  m.label = s.label;
+
+  simcore::StageFaults sfaults;
+  if (chaos) {
+    sfaults = fplan.stage_faults(s.id, fleet->executors_alive, fleet->vms_alive,
+                                 rc.prep.vm_hazard);
+    if (sfaults.lost_vms > 0) {
+      // Spot revocation: permanent for the rest of the run. The fleet
+      // shrinks before this stage schedules; shuffle and cached blocks on
+      // the reclaimed VMs are recovered below with the executor-loss work.
+      m.lost_vms = std::min(sfaults.lost_vms, fleet->vms_alive);
+      fleet->vms_alive -= m.lost_vms;
+      if (fleet->vms_alive == 0) {
+        report->failure_reason = "all spot capacity revoked mid-run";
+        report->infra_fault = true;
+        report->runtime = clock + 30.0;  // drain + surrender
+        report->cost = rc.cluster.cost_of(report->runtime);
+        report->stages.push_back(m);
+        return StageStatus::kFatal;
+      }
+      fleet->executors_alive = std::max(
+          1, std::min(fleet->executors_alive, dep.executors_per_vm * fleet->vms_alive));
+      fleet->slots_alive = fleet->executors_alive * dep.slots_per_executor;
+    }
+    if (sfaults.lost_executors > 0) {
+      // Executor processes crash mid-wave; the driver respawns them after
+      // the stage, so the loss is transient but the in-flight work is not.
+      m.lost_executors = std::min(sfaults.lost_executors, fleet->executors_alive);
+    }
+  }
+  // Slots this stage actually schedules on: the surviving fleet minus the
+  // executors that die mid-wave (at least one executor keeps going).
+  const int sched_slots =
+      std::max(dep.slots_per_executor,
+               fleet->slots_alive - m.lost_executors * dep.slots_per_executor);
+
+  const double speed = rc.prep.core_speed * cont.cpu_factor;
+
+  // Partitions of this stage.
+  int tasks;
+  if (s.reads_shuffle()) {
+    tasks = rc.plan.is_sql ? conf.sql_shuffle_partitions : conf.default_parallelism;
+  } else if (s.reads_source()) {
+    tasks = static_cast<int>((s.source_read_bytes + cm.input_split - 1) / cm.input_split);
+  } else {
+    tasks = rc.plan.is_sql ? conf.sql_shuffle_partitions : conf.default_parallelism;
+  }
+  tasks = std::max(1, tasks);
+  m.tasks = tasks;
+  m.input_bytes = s.total_input_bytes();
+  m.shuffle_read_bytes = s.shuffle_read_bytes();
+  m.shuffle_write_bytes = s.shuffle_write_bytes;
+  m.cache_hit_fraction = s.materialized_parent_cached ? *cache_hit : 0.0;
+
+  // Bandwidth shares: tasks running concurrently on one VM divide its
+  // disk and NIC.
+  const int concurrent_per_vm =
+      std::max(1, std::min(dep.slots_per_vm,
+                           static_cast<int>((tasks + fleet->vms_alive - 1) / fleet->vms_alive)));
+  const double disk_share = rc.cluster.disk_bw_per_vm() * cont.disk_factor / concurrent_per_vm;
+  const double net_share = rc.cluster.net_bw_per_vm() * cont.net_factor / concurrent_per_vm;
+
+  // Stage-level start: parents done + driver bookkeeping.
+  double start = start0;
+  start += cm.stage_overhead + tasks * cm.per_task_driver;
+  m.start = start;
+
+  // Broadcast distribution before tasks launch.
+  if (s.broadcast_bytes > 0) {
+    const double b = static_cast<double>(s.broadcast_bytes);
+    if (b * cm.deser_expansion > 0.7 * static_cast<double>(dep.driver_heap)) {
+      report->failure_reason = "driver OOM while building broadcast variable";
+      report->runtime = start + 5.0;
+      report->cost = rc.cluster.cost_of(report->runtime);
+      report->stages.push_back(m);
+      return StageStatus::kFatal;
+    }
+    const double block = conf.broadcast_block_size_mib * kMiBf;
+    const double blocks = std::max(1.0, b / block);
+    const double vm_net = rc.cluster.net_bw_per_vm() * cont.net_factor;
+    const double torrent_rounds =
+        1.0 + std::log2(std::max(2.0, static_cast<double>(fleet->vms_alive)));
+    const double xfer = b / vm_net * torrent_rounds;
+    const double control = blocks * cm.broadcast_block_overhead +
+                           block / vm_net * cm.broadcast_pipeline_stall;
+    start += xfer + control;
+    m.net_seconds += xfer + control;
+  }
+
+  // -- per-task durations -------------------------------------------------------------
+  const double remote_frac =
+      cm.remote_read_base * std::exp(-conf.locality_wait_s / cm.locality_decay);
+  const double inflight_mib = conf.reducer_max_inflight_mib;
+  const double fetch_eff = inflight_mib / (inflight_mib + cm.fetch_overhead_mib);
+  const double conn_eff =
+      1.0 - cm.conn_penalty / static_cast<double>(conf.shuffle_connections_per_peer);
+  const double net_eff = std::max(0.05, fetch_eff * conn_eff);
+
+  const double src_per_task = static_cast<double>(s.source_read_bytes) / tasks;
+  const double mat_per_task = static_cast<double>(s.materialized_read_bytes) / tasks;
+  const double sread_per_task = static_cast<double>(s.shuffle_read_bytes()) / tasks;
+  const double swrite_per_task = static_cast<double>(s.shuffle_write_bytes) / tasks;
+  const double cpu_per_task = s.cpu_ref_seconds / tasks;
+  const double records_per_task = s.records / tasks;
+  const double save_per_task = (s.result_bytes > 0 && rc.plan.action == dag::ActionKind::kSave)
+                                   ? static_cast<double>(s.result_bytes) / tasks
+                                   : 0.0;
+
+  const double mu = -0.5 * s.skew_sigma * s.skew_sigma;
+
+  // Memoization key: the bit patterns of every scalar the loop, the
+  // schedule and the executor-failure block read. `outcome_base` already
+  // folds the master stream hash (seed, workload, input — and with it the
+  // draws), the simulator context (cluster, cost model, contention, fault
+  // profile) and the plan fingerprint (every per-stage constant), so only
+  // the per-run derived values are folded here. A missing component would
+  // alias two different stages — engine_properties_test sweeps
+  // configurations through one shared context against the live reference
+  // path to keep this list honest.
+  const bool cacheable = cache_enabled && !chaos;
+  std::uint64_t key = 0;
+  if (cacheable) {
+    key = outcome_base;
+    const auto fold = [&key](std::uint64_t v) { key = simcore::hash_combine(key, v); };
+    const auto fold_d = [&fold](double v) { fold(simcore::hash_double(v)); };
+    fold(static_cast<std::uint64_t>(s.id));
+    fold(static_cast<std::uint64_t>(tasks));
+    fold(static_cast<std::uint64_t>(sched_slots));
+    fold(static_cast<std::uint64_t>(fleet->vms_alive));
+    fold(static_cast<std::uint64_t>(dep.slots_per_vm));
+    fold(static_cast<std::uint64_t>(dep.slots_per_executor));
+    fold(static_cast<std::uint64_t>(dep.executors));
+    fold(static_cast<std::uint64_t>(dep.total_slots));
+    fold(static_cast<std::uint64_t>(rc.prep.reducers));
+    fold(static_cast<std::uint64_t>(conf.sort_bypass_merge_threshold));
+    fold((conf.rdd_compress ? 1ULL : 0ULL) | (conf.shuffle_compress ? 2ULL : 0ULL) |
+         (conf.shuffle_spill_compress ? 4ULL : 0ULL) | (conf.speculation ? 8ULL : 0ULL) |
+         (conf.serializer == config::Serializer::kJava ? 16ULL : 0ULL));
+    fold_d(*cache_hit);
+    fold_d(exec_mem_per_task);
+    fold_d(storage_used_pe);
+    fold_d(heap);
+    fold_d(cont.cpu_factor);
+    fold_d(cont.disk_factor);
+    fold_d(cont.net_factor);
+    fold_d(speed);
+    fold_d(disk_share);
+    fold_d(net_share);
+    fold_d(remote_frac);
+    fold_d(net_eff);
+    fold_d(ser.ser);
+    fold_d(ser.deser);
+    fold_d(codec.ratio);
+    fold_d(codec.compress_cpb);
+    fold_d(codec.decompress_cpb);
+    fold_d(conf.locality_wait_s);
+    fold_d(conf.speculation_multiplier);
+    fold_d(static_cast<double>(conf.shuffle_file_buffer_kib));
+    fold_d(rc.prep.seek);
+  }
+
+  int waves = 0;
+  double makespan = 0.0;
+  bool replayed = false;
+  if (cacheable) {
+    if (const StageOutcome* o = lookup_fn(key)) {
+      // Bitwise replay: the pre-loop state of `m` (broadcast net_seconds
+      // included) is identical to the run that stored the outcome, so
+      // assigning the absolute totals reproduces the live accumulation.
+      waves = o->waves;
+      makespan = o->makespan;
+      m.cpu_seconds = o->cpu_seconds;
+      m.gc_seconds = o->gc_seconds;
+      m.disk_seconds = o->disk_seconds;
+      m.net_seconds = o->net_seconds;
+      m.spill_seconds = o->spill_seconds;
+      m.overhead_seconds = o->overhead_seconds;
+      m.spilled_bytes = static_cast<Bytes>(o->spilled_bytes);
+      m.failed_tasks = o->failed_tasks;
+      if (o->exec_failures) {
+        *cache_hit *= o->cache_hit_mult;
+        report->cache_hit_fraction = *cache_hit;
+      }
+      replayed = true;
+    }
+  }
+
+  if (!replayed) {
+  const DrawView draws = draws_fn(s, tasks, mu);
+  std::span<double> durations = alloc_fn(tasks);
+  int oom_tasks = 0;
+  double oom_nominal_time = 0.0;
+
+  for (int i = 0; i < tasks; ++i) {
+    const double skew = draws.skew[static_cast<std::size_t>(i)];
+    double t_cpu = 0.0, t_disk = 0.0, t_net = 0.0, t_spill = 0.0, t_over = 0.0;
+
+    // Pipeline compute.
+    t_cpu += cpu_per_task * skew / speed;
+    t_cpu += records_per_task * skew * cm.per_record_cpu / speed;
+
+    // Source reads (with locality).
+    if (src_per_task > 0.0) {
+      const double b = src_per_task * skew;
+      t_disk += b * (1.0 - remote_frac) / disk_share;
+      t_net += b * remote_frac / net_share;
+      t_over += conf.locality_wait_s * cm.locality_wait_cost;
+    }
+
+    // Materialized parent reads (cache hit / lineage recompute).
+    if (mat_per_task > 0.0) {
+      const double b = mat_per_task * skew;
+      const double hit = s.materialized_parent_cached ? *cache_hit : 0.0;
+      const double b_hit = b * hit;
+      const double b_miss = b - b_hit;
+      t_cpu += b_hit / cm.cached_read_bw;
+      if (conf.rdd_compress && b_hit > 0.0) {
+        t_cpu += b_hit * (codec.decompress_cpb + ser.deser) / speed;
+      }
+      if (b_miss > 0.0 && cm.enable_recompute_penalty) {
+        t_cpu += b_miss * (s.recompute_cpu_per_gib / kGiBf) / speed;
+        t_disk += b_miss * 0.8 / disk_share;
+      }
+    }
+
+    // Shuffle read + aggregation memory behaviour.
+    double in_mem_ws = 0.0;
+    if (sread_per_task > 0.0) {
+      const double b = sread_per_task * skew;
+      const double wire = b * (conf.shuffle_compress ? codec.ratio : 1.0);
+      t_net += wire / (net_share * net_eff);
+      if (conf.shuffle_compress) t_cpu += b * codec.decompress_cpb / speed;
+      t_cpu += b * ser.deser / speed;
+
+      const double ws = b * s.agg_memory_factor * cm.deser_expansion;
+      if (cm.enable_oom && ws > exec_mem_per_task * cm.spill_oom_headroom) {
+        ++oom_tasks;
+      } else if (cm.enable_spill && ws > exec_mem_per_task) {
+        const double spill_raw = (ws - exec_mem_per_task) / cm.deser_expansion;
+        const double passes = 1.0 + cm.spill_pass_cost * std::log2(ws / exec_mem_per_task);
+        const double spill_wire = spill_raw * (conf.shuffle_spill_compress ? codec.ratio : 1.0);
+        double t = passes * spill_wire * 2.0 / disk_share;
+        t += passes * spill_raw * (ser.ser + ser.deser) / speed;
+        if (conf.shuffle_spill_compress) {
+          t += passes * spill_raw * (codec.compress_cpb + codec.decompress_cpb) / speed;
+        }
+        t_spill += t;
+        m.spilled_bytes += static_cast<Bytes>(spill_raw);
+        in_mem_ws = exec_mem_per_task;
+      } else {
+        in_mem_ws = ws;
+      }
+    }
+
+    // Shuffle write (sort, serialize, compress, flush).
+    if (swrite_per_task > 0.0) {
+      const double b = swrite_per_task * skew;
+      if (rc.prep.reducers > conf.sort_bypass_merge_threshold) {
+        t_cpu += b * cm.shuffle_sort_cpu / speed;
+      }
+      t_cpu += b * ser.ser / speed;
+      double wire = b;
+      if (conf.shuffle_compress) {
+        t_cpu += b * codec.compress_cpb / speed;
+        wire = b * codec.ratio;
+      }
+      t_disk += wire / disk_share;
+      const double flushes = wire / (conf.shuffle_file_buffer_kib * 1024.0);
+      t_disk += flushes * rc.prep.seek;
+    }
+
+    // Saving final output.
+    if (save_per_task > 0.0) {
+      const double b = save_per_task * skew;
+      t_cpu += b * ser.ser / speed;
+      t_disk += b / disk_share;
+    }
+
+    // GC pressure from cached data, aggregation buffers and broadcasts.
+    double t_gc = 0.0;
+    if (cm.enable_gc) {
+      const double bcast = static_cast<double>(s.broadcast_bytes) * cm.deser_expansion;
+      const double pressure =
+          (storage_used_pe + in_mem_ws * dep.slots_per_executor + bcast + 0.10 * heap) / heap;
+      double factor = gc_overhead(cm, pressure);
+      if (conf.serializer == config::Serializer::kJava) factor *= cm.java_gc_penalty;
+      t_gc = t_cpu * factor;
+    }
+
+    double total = t_cpu + t_gc + t_disk + t_net + t_spill + t_over + cm.task_overhead;
+
+    // Environmental stragglers; speculation re-launches bound the damage.
+    if (draws.straggler[static_cast<std::size_t>(i)] != 0) {
+      double slow = cm.straggler_slowdown;
+      if (conf.speculation) slow = std::min(slow, conf.speculation_multiplier + 0.3);
+      total *= slow;
+    }
+    if (conf.speculation) total *= 1.0 + cm.speculation_tax;
+
+    if (cm.enable_oom && sread_per_task > 0.0 &&
+        sread_per_task * skew * s.agg_memory_factor * cm.deser_expansion >
+            exec_mem_per_task * cm.spill_oom_headroom) {
+      oom_nominal_time += total;
+    }
+
+    durations[static_cast<std::size_t>(i)] = total;
+    m.cpu_seconds += t_cpu;
+    m.gc_seconds += t_gc;
+    m.disk_seconds += t_disk;
+    m.net_seconds += t_net;
+    m.spill_seconds += t_spill;
+    m.overhead_seconds += t_over + cm.task_overhead;
+  }
+
+  if (oom_tasks > 0) {
+    // Retries land on executors with the same memory budget: determinedly
+    // fatal. The job burns the configured number of attempts first.
+    m.failed_tasks = oom_tasks;
+    const double mean_failing = oom_nominal_time / oom_tasks;
+    const double elapsed = conf.task_max_failures * mean_failing * cm.oom_attempt_fraction;
+    m.duration = elapsed;
+    report->stages.push_back(m);
+    report->failure_reason = "task OOM: aggregation working set exceeds execution memory";
+    report->runtime = start + elapsed;
+    report->cost = rc.cluster.cost_of(report->runtime);
+    return StageStatus::kFatal;
+  }
+
+  // Injected straggler burst: a deterministic subset of tasks runs slower.
+  // With speculation on, a backup attempt launches once the configured
+  // quantile of the wave has finished, bounding the damage — an earlier
+  // quantile gives a tighter bound (and is what the new knob tunes).
+  if (chaos && sfaults.straggler_factor > 1.0) {
+    simcore::Rng vrng = fplan.stage_stream(s.id, 0x76696374696dULL);  // victims
+    const double cap = conf.speculation_multiplier +
+                       conf.speculation_quantile * (sfaults.straggler_factor - 1.0);
+    for (double& d : durations) {
+      if (!vrng.bernoulli(fplan.profile().straggler_victim_fraction)) continue;
+      if (conf.speculation && cap < sfaults.straggler_factor) {
+        d *= cap;
+        ++m.speculative_tasks;
+      } else {
+        d *= sfaults.straggler_factor;
+      }
+    }
+  }
+
+  makespan = sched_fn(std::span<const double>(durations), sched_slots, &waves);
+
+  // Recover work lost to executor crashes and revoked VMs: lost in-flight
+  // tasks reschedule onto the surviving slots and lost shuffle partitions
+  // recompute through lineage. The recovery is charged as extra makespan
+  // plus a resubmit round-trip, and the cached blocks that died with the
+  // fleet degrade the hit rate of later stages.
+  if (chaos && (m.lost_executors > 0 || m.lost_vms > 0)) {
+    const int lost_units = m.lost_executors + m.lost_vms * dep.executors_per_vm;
+    const double lost_fraction =
+        std::min(1.0, static_cast<double>(lost_units) / static_cast<double>(dep.executors));
+    double task_seconds = 0.0;
+    for (const double t : durations) task_seconds += t;
+    const double redo = task_seconds * lost_fraction * cm.failure_rerun_fraction / sched_slots;
+    makespan += redo + cm.stage_overhead;
+    m.recovery_seconds = redo * sched_slots;
+    m.failed_tasks = std::min(
+        m.tasks,
+        m.failed_tasks + static_cast<int>(lost_fraction * tasks * cm.failure_rerun_fraction));
+    *cache_hit *= 1.0 - lost_fraction;
+    report->cache_hit_fraction = *cache_hit;
+  }
+
+  // Executor failures mid-stage: lost in-flight work re-runs (lineage
+  // makes this transparent but not free), and cached partitions held by
+  // the dead executor degrade the hit rate of later stages until
+  // recomputed.
+  bool exec_failures = false;
+  double cache_hit_mult = 1.0;
+  if (cm.executor_failure_rate > 0.0) {
+    simcore::Rng srng = draws.rng_after;
+    int died = 0;
+    for (int ex = 0; ex < dep.executors; ++ex) {
+      if (srng.bernoulli(cm.executor_failure_rate)) ++died;
+    }
+    if (died > 0) {
+      const double lost_fraction = static_cast<double>(died) / static_cast<double>(dep.executors);
+      double task_seconds = 0.0;
+      for (const double t : durations) task_seconds += t;
+      const double redo =
+          task_seconds * lost_fraction * cm.failure_rerun_fraction / dep.total_slots;
+      makespan += redo + cm.stage_overhead;  // resubmit + rerun
+      m.overhead_seconds += redo * dep.total_slots;
+      m.failed_tasks += static_cast<int>(lost_fraction * tasks * cm.failure_rerun_fraction);
+      // Cached blocks on the dead executors are gone; later stages pay
+      // recompute until (in a real system) they are re-cached.
+      exec_failures = true;
+      cache_hit_mult = 1.0 - lost_fraction;
+      *cache_hit *= cache_hit_mult;
+      report->cache_hit_fraction = *cache_hit;
+    }
+  }
+
+  if (cacheable) {
+    StageOutcome o;
+    o.makespan = makespan;
+    o.waves = waves;
+    o.cpu_seconds = m.cpu_seconds;
+    o.gc_seconds = m.gc_seconds;
+    o.disk_seconds = m.disk_seconds;
+    o.net_seconds = m.net_seconds;
+    o.spill_seconds = m.spill_seconds;
+    o.overhead_seconds = m.overhead_seconds;
+    o.spilled_bytes = static_cast<std::uint64_t>(m.spilled_bytes);
+    o.failed_tasks = m.failed_tasks;
+    o.exec_failures = exec_failures;
+    o.cache_hit_mult = cache_hit_mult;
+    store_fn(key, o);
+  }
+  }  // !replayed
+  m.waves = waves;
+
+  // Collect action: ship results to the driver and hold them there.
+  if (s.result_bytes > 0 && rc.plan.action == dag::ActionKind::kCollect) {
+    const double b = static_cast<double>(s.result_bytes);
+    if (b * cm.deser_expansion > 0.7 * static_cast<double>(dep.driver_heap)) {
+      report->failure_reason = "driver OOM while collecting results";
+      report->runtime = start + makespan;
+      report->cost = rc.cluster.cost_of(report->runtime);
+      report->stages.push_back(m);
+      return StageStatus::kFatal;
+    }
+    const double xfer = b / (rc.cluster.net_bw_per_vm() * cont.net_factor);
+    makespan += xfer;
+    m.net_seconds += xfer;
+  }
+
+  m.duration = makespan;
+  *out_finish = start + makespan;
+  if (rc.auditing) simcore::enforce_invariants(audit_stage(m, sched_slots), "stage metrics");
+  report->stages.push_back(m);
+  return StageStatus::kContinue;
+}
+
+/// The clock-exhausted epilogue shared by both orchestrations.
+ExecutionReport finish_run(ExecutionReport report, const cluster::Cluster& cluster,
+                           const simcore::FaultPlan& fplan, bool chaos, double clock,
+                           bool auditing) {
+  if (chaos && fplan.timeout()) {
+    // The run hangs near the end (executors stop heartbeating); the driver
+    // burns a multiple of the nominal runtime before giving up. Another
+    // infrastructure fault: the configuration did its work.
+    report.failure_reason = "trial timeout: executors stopped heartbeating";
+    report.infra_fault = true;
+    report.runtime = clock * fplan.profile().timeout_hang_factor;
+    report.cost = cluster.cost_of(report.runtime);
+    return finalize_report(std::move(report), auditing);
+  }
+  report.success = true;
+  report.runtime = clock;
+  report.cost = cluster.cost_of(report.runtime);
+  return finalize_report(std::move(report), auditing);
+}
+
+ExecutionReport abort_submission(ExecutionReport report, const cluster::Cluster& cluster,
+                                 double clock, bool auditing) {
+  // The cluster manager drops the stage submission (network partition,
+  // control-plane hiccup): nothing the configuration did, so the failure
+  // is blamed on the infrastructure.
+  report.failure_reason = "transient infrastructure error during stage submission";
+  report.infra_fault = true;
+  report.runtime = clock + 2.0;
+  report.cost = cluster.cost_of(report.runtime);
+  return finalize_report(std::move(report), auditing);
 }
 
 }  // namespace
@@ -93,456 +768,204 @@ ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
 
 ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan,
                                     const config::SparkConf& conf) const {
+  // One warm scratch context per thread: callers that don't manage their
+  // own TrialContext still ride the event-driven path and its caches. The
+  // basis hashes inside the context keep interleaved simulators (different
+  // seeds, workloads, contention) from cross-contaminating draws.
+  thread_local TrialContext scratch;
+  return run(plan, conf, scratch);
+}
+
+ExecutionReport SparkSimulator::run(const dag::PhysicalPlan& plan, const config::SparkConf& conf,
+                                    TrialContext& ctx) const {
   const CostModel& cm = options_.cost;
   ExecutionReport report;
-
-  // When auditing is on, every report leaves through this gate; the
-  // conservation laws are re-checked on failure reports too.
   const bool auditing = simcore::audit_enabled();
-  auto finish = [auditing](ExecutionReport r) {
-    r.finalize_aggregates();
-    if (auditing) simcore::enforce_invariants(audit(r), "execution report");
-    return r;
-  };
-  if (auditing) {
-    simcore::enforce_invariants(dag::audit(plan), "physical plan");
-    simcore::enforce_invariants(cluster::audit(cluster_), "cluster");
+
+  Prep prep;
+  if (!prepare_run(cluster_, options_, plan, conf, auditing, &prep, &report)) {
+    return finalize_report(std::move(report), auditing);
   }
 
-  const Deployment dep = resolve_deployment(conf, cluster_);
-  if (auditing) simcore::enforce_invariants(audit(dep, conf, cluster_), "deployment");
-  if (!dep.viable) {
-    // The cluster manager rejects the request after a short negotiation.
-    report.failure_reason = dep.failure;
-    report.runtime = 45.0;
-    report.cost = cluster_.cost_of(report.runtime);
-    return finish(std::move(report));
-  }
-  report.executors = dep.executors;
-  report.total_slots = dep.total_slots;
-
-  // -- memory & cache accounting -------------------------------------------------
-  const auto codec = config::codec_profile(conf.codec, conf.compression_level);
-  const auto ser = serializer_costs(cm, conf.serializer);
-  const double heap = static_cast<double>(dep.heap_per_executor);
-
-  const double cache_raw = static_cast<double>(plan.total_cache_bytes());
-  const double cache_stored = cache_raw * (conf.rdd_compress ? codec.ratio : cm.deser_expansion);
-  const double storage_capacity =
-      static_cast<double>(dep.storage_target_per_executor) * dep.executors;
-  double cache_hit = cache_raw > 0.0 ? std::min(1.0, storage_capacity / cache_stored) : 1.0;
-  const double storage_used_pe =
-      std::min(cache_stored / dep.executors, static_cast<double>(dep.storage_target_per_executor));
-  const double exec_mem_pe = static_cast<double>(dep.unified_per_executor) - storage_used_pe;
-  const double exec_mem_per_task = std::max(1.0, exec_mem_pe / dep.slots_per_executor);
-
-  report.execution_memory_per_task = static_cast<Bytes>(exec_mem_per_task);
-  report.storage_memory_total = static_cast<Bytes>(storage_capacity);
-  report.cache_hit_fraction = cache_hit;
-
-  // -- deterministic randomness -----------------------------------------------------
-  simcore::Rng rng(simcore::hash_combine(
-      options_.seed,
-      simcore::hash_combine(simcore::hash_string(plan.workload), plan.input_bytes)));
-  cluster::ContentionProcess contention(options_.contention, rng.fork("contention"));
-
-  const int vms = cluster_.vm_count();
-  const double core_speed = cluster_.type().core_speed;
-  const int reducers = plan.is_sql ? conf.sql_shuffle_partitions : conf.default_parallelism;
-  const double seek = flush_seek(cm, cluster_.type().storage);
-
-  // -- injected faults ---------------------------------------------------------------
-  // All fault logic is gated on `chaos`; with an inactive plan the run is
-  // bitwise identical to a faultless build (no extra draws, same fleet).
+  ctx.arena_.reset();
+  const dag::PlanTopology& topo = ctx.topology(plan);
+  const simcore::Rng master(prep.master_hash);
   const simcore::FaultPlan& fplan = options_.faults;
-  const bool chaos = fplan.active();
-  const double vm_hazard = cluster_.revocation_hazard();
-  int vms_alive = vms;
-  int executors_alive = dep.executors;
-  int slots_alive = dep.total_slots;
-  const int abort_stage =
-      chaos && fplan.transient_error()
-          ? static_cast<int>(fplan.error_position() * static_cast<double>(plan.stages.size()))
-          : -1;
+
+  const std::uint64_t cont_basis =
+      simcore::hash_combine(prep.master_hash, options_.contention.fingerprint());
+  const std::uint64_t draw_basis =
+      simcore::hash_combine(simcore::hash_combine(prep.master_hash, topo.fingerprint),
+                            simcore::hash_double(cm.straggler_prob));
+
+  Fleet fleet{prep.vms, prep.dep.executors, prep.dep.total_slots};
+  double cache_hit = prep.cache_hit;
+  const RunCtx rc{cluster_, options_, plan, conf, prep, auditing};
+
+  // Scheduler state: indegree working copy, per-stage ready times and a
+  // min-heap of ready stage ids, all on the arena. Stage ids are the heap
+  // key: plans are topologically ordered with parent ids below child ids,
+  // so popping the smallest ready id reproduces the reference path's
+  // index-order walk exactly — completion-time keys would reorder the
+  // contention draws and cache-hit decay and change the report.
+  const std::size_t n = plan.stages.size();
+  std::span<int> indeg = ctx.arena_.alloc<int>(n);
+  std::copy(topo.indegree.begin(), topo.indegree.end(), indeg.begin());
+  std::span<double> ready_time = ctx.arena_.alloc<double>(n);
+  std::span<int> ready = ctx.arena_.alloc<int>(n);
+  std::size_t ready_n = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) ready[ready_n++] = static_cast<int>(i);
+  }
+  std::make_heap(ready.begin(), ready.begin() + static_cast<std::ptrdiff_t>(ready_n),
+                 std::greater<>{});
+
+  double clock = cm.job_overhead;
+  std::size_t processed = 0;
+
+  auto draws_fn = [&](const dag::StagePlan& s, int tasks, double mu) {
+    const StageDraws& d =
+        ctx.stage_draws(draw_basis, s.id, tasks, [&](StageDraws* out) {
+          out->skew.resize(static_cast<std::size_t>(tasks));
+          out->straggler.resize(static_cast<std::size_t>(tasks));
+          simcore::Rng srng = master.fork(static_cast<std::uint64_t>(s.id) + 1);
+          for (int i = 0; i < tasks; ++i) {
+            out->skew[static_cast<std::size_t>(i)] = srng.lognormal(mu, s.skew_sigma);
+            out->straggler[static_cast<std::size_t>(i)] =
+                srng.bernoulli(cm.straggler_prob) ? 1 : 0;
+          }
+          out->rng_after = srng;
+        });
+    return DrawView{d.skew, d.straggler, d.rng_after};
+  };
+  auto alloc_fn = [&](int tasks) { return ctx.arena_.alloc<double>(static_cast<std::size_t>(tasks)); };
+  auto sched_fn = [&](std::span<const double> durations, int slots, int* waves) {
+    return schedule_tasks_arena(durations, slots, waves, ctx.arena_);
+  };
+
+  // Stage-outcome memoization base: everything run-invariant the stage
+  // body's key doesn't fold itself. Fault-free stages replay their whole
+  // task loop + schedule from the context when the full key matches.
+  const std::uint64_t outcome_base = simcore::hash_combine(
+      simcore::hash_combine(prep.master_hash, context_fingerprint()), plan.fingerprint());
+  auto lookup_fn = [&](std::uint64_t key) { return ctx.find_outcome(key); };
+  auto store_fn = [&](std::uint64_t key, const StageOutcome& o) { ctx.store_outcome(key, o); };
+
+  while (ready_n > 0) {
+    std::pop_heap(ready.begin(), ready.begin() + static_cast<std::ptrdiff_t>(ready_n),
+                  std::greater<>{});
+    const int sid = ready[--ready_n];
+    const auto& s = plan.stages[static_cast<std::size_t>(sid)];
+
+    if (static_cast<int>(processed) == prep.abort_stage) {
+      return abort_submission(std::move(report), cluster_, clock, auditing);
+    }
+    const cluster::ContentionSample cont = ctx.contention_sample(cont_basis, processed, [&] {
+      return cluster::ContentionProcess(options_.contention, master.fork("contention"));
+    });
+    ++processed;
+
+    const double start0 = std::max(clock, ready_time[static_cast<std::size_t>(sid)]);
+    double finish_time = 0.0;
+    if (simulate_stage(rc, s, cont, &fleet, &cache_hit, clock, start0, draws_fn, alloc_fn,
+                       sched_fn, /*cache_enabled=*/true, outcome_base, lookup_fn, store_fn,
+                       &report, &finish_time) == StageStatus::kFatal) {
+      return finalize_report(std::move(report), auditing);
+    }
+    clock = std::max(clock, finish_time);
+
+    // Completion event: release children whose last parent just finished.
+    for (int e = topo.child_offsets[static_cast<std::size_t>(sid)];
+         e < topo.child_offsets[static_cast<std::size_t>(sid) + 1]; ++e) {
+      const int c = topo.children[static_cast<std::size_t>(e)];
+      ready_time[static_cast<std::size_t>(c)] =
+          std::max(ready_time[static_cast<std::size_t>(c)], finish_time);
+      if (--indeg[static_cast<std::size_t>(c)] == 0) {
+        ready[ready_n++] = c;
+        std::push_heap(ready.begin(), ready.begin() + static_cast<std::ptrdiff_t>(ready_n),
+                       std::greater<>{});
+      }
+    }
+  }
+  STUNE_CHECK_EQ(processed, n);
+
+  return finish_run(std::move(report), cluster_, fplan, prep.chaos, clock, auditing);
+}
+
+ExecutionReport SparkSimulator::run_wave_rescan(const dag::PhysicalPlan& plan,
+                                                const config::SparkConf& conf) const {
+  const CostModel& cm = options_.cost;
+  ExecutionReport report;
+  const bool auditing = simcore::audit_enabled();
+
+  Prep prep;
+  if (!prepare_run(cluster_, options_, plan, conf, auditing, &prep, &report)) {
+    return finalize_report(std::move(report), auditing);
+  }
+
+  const simcore::Rng rng(prep.master_hash);
+  cluster::ContentionProcess contention(options_.contention, rng.fork("contention"));
+  const simcore::FaultPlan& fplan = options_.faults;
+
+  Fleet fleet{prep.vms, prep.dep.executors, prep.dep.total_slots};
+  double cache_hit = prep.cache_hit;
+  const RunCtx rc{cluster_, options_, plan, conf, prep, auditing};
 
   std::vector<double> stage_finish(plan.stages.size(), 0.0);
   double clock = cm.job_overhead;
 
+  // Per-stage scratch for the live draws; owned here so the spans handed to
+  // the stage body stay valid across the call.
+  std::vector<double> skew_buf;
+  std::vector<unsigned char> straggler_buf;
+  std::vector<double> durations_buf;
+
+  auto draws_fn = [&](const dag::StagePlan& s, int tasks, double mu) {
+    skew_buf.resize(static_cast<std::size_t>(tasks));
+    straggler_buf.resize(static_cast<std::size_t>(tasks));
+    simcore::Rng srng = rng.fork(static_cast<std::uint64_t>(s.id) + 1);
+    for (int i = 0; i < tasks; ++i) {
+      skew_buf[static_cast<std::size_t>(i)] = srng.lognormal(mu, s.skew_sigma);
+      straggler_buf[static_cast<std::size_t>(i)] = srng.bernoulli(cm.straggler_prob) ? 1 : 0;
+    }
+    return DrawView{skew_buf, straggler_buf, srng};
+  };
+  auto alloc_fn = [&](int tasks) {
+    durations_buf.assign(static_cast<std::size_t>(tasks), 0.0);
+    return std::span<double>(durations_buf);
+  };
+  auto sched_fn = [&](std::span<const double> durations, int slots, int* waves) {
+    return schedule_tasks(durations, slots, waves);
+  };
+  // The golden path computes everything live — no outcome cache.
+  auto lookup_fn = [](std::uint64_t) -> const StageOutcome* { return nullptr; };
+  auto store_fn = [](std::uint64_t, const StageOutcome&) {};
+
   int stage_index = -1;
   for (const auto& s : plan.stages) {
     ++stage_index;
-    if (stage_index == abort_stage) {
-      // The cluster manager drops the stage submission (network partition,
-      // control-plane hiccup): nothing the configuration did, so the
-      // failure is blamed on the infrastructure.
-      report.failure_reason = "transient infrastructure error during stage submission";
-      report.infra_fault = true;
-      report.runtime = clock + 2.0;
-      report.cost = cluster_.cost_of(report.runtime);
-      return finish(std::move(report));
+    if (stage_index == prep.abort_stage) {
+      return abort_submission(std::move(report), cluster_, clock, auditing);
     }
-
-    StageMetrics m;
-    m.stage_id = s.id;
-    m.label = s.label;
-
-    simcore::StageFaults sfaults;
-    if (chaos) {
-      sfaults = fplan.stage_faults(s.id, executors_alive, vms_alive, vm_hazard);
-      if (sfaults.lost_vms > 0) {
-        // Spot revocation: permanent for the rest of the run. The fleet
-        // shrinks before this stage schedules; shuffle and cached blocks on
-        // the reclaimed VMs are recovered below with the executor-loss work.
-        m.lost_vms = std::min(sfaults.lost_vms, vms_alive);
-        vms_alive -= m.lost_vms;
-        if (vms_alive == 0) {
-          report.failure_reason = "all spot capacity revoked mid-run";
-          report.infra_fault = true;
-          report.runtime = clock + 30.0;  // drain + surrender
-          report.cost = cluster_.cost_of(report.runtime);
-          report.stages.push_back(m);
-          return finish(std::move(report));
-        }
-        executors_alive = std::max(1, std::min(executors_alive, dep.executors_per_vm * vms_alive));
-        slots_alive = executors_alive * dep.slots_per_executor;
-      }
-      if (sfaults.lost_executors > 0) {
-        // Executor processes crash mid-wave; the driver respawns them after
-        // the stage, so the loss is transient but the in-flight work is not.
-        m.lost_executors = std::min(sfaults.lost_executors, executors_alive);
-      }
-    }
-    // Slots this stage actually schedules on: the surviving fleet minus the
-    // executors that die mid-wave (at least one executor keeps going).
-    const int sched_slots =
-        std::max(dep.slots_per_executor,
-                 slots_alive - m.lost_executors * dep.slots_per_executor);
-
-    simcore::Rng srng = rng.fork(static_cast<std::uint64_t>(s.id) + 1);
     const auto cont = contention.next();
-    const double speed = core_speed * cont.cpu_factor;
 
-    // Partitions of this stage.
-    int tasks;
-    if (s.reads_shuffle()) {
-      tasks = plan.is_sql ? conf.sql_shuffle_partitions : conf.default_parallelism;
-    } else if (s.reads_source()) {
-      tasks = static_cast<int>((s.source_read_bytes + cm.input_split - 1) / cm.input_split);
-    } else {
-      tasks = plan.is_sql ? conf.sql_shuffle_partitions : conf.default_parallelism;
-    }
-    tasks = std::max(1, tasks);
-    m.tasks = tasks;
-    m.input_bytes = s.total_input_bytes();
-    m.shuffle_read_bytes = s.shuffle_read_bytes();
-    m.shuffle_write_bytes = s.shuffle_write_bytes;
-    m.cache_hit_fraction = s.materialized_parent_cached ? cache_hit : 0.0;
-
-    // Bandwidth shares: tasks running concurrently on one VM divide its
-    // disk and NIC.
-    const int concurrent_per_vm = std::max(
-        1, std::min(dep.slots_per_vm, static_cast<int>((tasks + vms_alive - 1) / vms_alive)));
-    const double disk_share =
-        cluster_.disk_bw_per_vm() * cont.disk_factor / concurrent_per_vm;
-    const double net_share = cluster_.net_bw_per_vm() * cont.net_factor / concurrent_per_vm;
-
-    // Stage-level start: parents done + driver bookkeeping.
-    double start = clock;
+    // Stage start: rescan the finish times of every parent.
+    double start0 = clock;
     for (const int p : s.parent_stages) {
-      start = std::max(start, stage_finish[static_cast<std::size_t>(p)]);
-    }
-    start += cm.stage_overhead + tasks * cm.per_task_driver;
-    m.start = start;
-
-    // Broadcast distribution before tasks launch.
-    if (s.broadcast_bytes > 0) {
-      const double b = static_cast<double>(s.broadcast_bytes);
-      if (b * cm.deser_expansion > 0.7 * static_cast<double>(dep.driver_heap)) {
-        report.failure_reason = "driver OOM while building broadcast variable";
-        report.runtime = start + 5.0;
-        report.cost = cluster_.cost_of(report.runtime);
-        report.stages.push_back(m);
-        return finish(std::move(report));
-      }
-      const double block = conf.broadcast_block_size_mib * kMiBf;
-      const double blocks = std::max(1.0, b / block);
-      const double vm_net = cluster_.net_bw_per_vm() * cont.net_factor;
-      const double torrent_rounds = 1.0 + std::log2(std::max(2.0, static_cast<double>(vms_alive)));
-      const double xfer = b / vm_net * torrent_rounds;
-      const double control = blocks * cm.broadcast_block_overhead +
-                             block / vm_net * cm.broadcast_pipeline_stall;
-      start += xfer + control;
-      m.net_seconds += xfer + control;
+      start0 = std::max(start0, stage_finish[static_cast<std::size_t>(p)]);
     }
 
-    // -- per-task durations -------------------------------------------------------------
-    const double remote_frac =
-        cm.remote_read_base * std::exp(-conf.locality_wait_s / cm.locality_decay);
-    const double inflight_mib = conf.reducer_max_inflight_mib;
-    const double fetch_eff = inflight_mib / (inflight_mib + cm.fetch_overhead_mib);
-    const double conn_eff =
-        1.0 - cm.conn_penalty / static_cast<double>(conf.shuffle_connections_per_peer);
-    const double net_eff = std::max(0.05, fetch_eff * conn_eff);
-
-    const double src_per_task = static_cast<double>(s.source_read_bytes) / tasks;
-    const double mat_per_task = static_cast<double>(s.materialized_read_bytes) / tasks;
-    const double sread_per_task = static_cast<double>(s.shuffle_read_bytes()) / tasks;
-    const double swrite_per_task = static_cast<double>(s.shuffle_write_bytes) / tasks;
-    const double cpu_per_task = s.cpu_ref_seconds / tasks;
-    const double records_per_task = s.records / tasks;
-    const double save_per_task = (s.result_bytes > 0 && plan.action == dag::ActionKind::kSave)
-                                     ? static_cast<double>(s.result_bytes) / tasks
-                                     : 0.0;
-
-    std::vector<double> durations(static_cast<std::size_t>(tasks));
-    const double mu = -0.5 * s.skew_sigma * s.skew_sigma;
-    int oom_tasks = 0;
-    double oom_nominal_time = 0.0;
-
-    for (int i = 0; i < tasks; ++i) {
-      const double skew = srng.lognormal(mu, s.skew_sigma);
-      double t_cpu = 0.0, t_disk = 0.0, t_net = 0.0, t_spill = 0.0, t_over = 0.0;
-
-      // Pipeline compute.
-      t_cpu += cpu_per_task * skew / speed;
-      t_cpu += records_per_task * skew * cm.per_record_cpu / speed;
-
-      // Source reads (with locality).
-      if (src_per_task > 0.0) {
-        const double b = src_per_task * skew;
-        t_disk += b * (1.0 - remote_frac) / disk_share;
-        t_net += b * remote_frac / net_share;
-        t_over += conf.locality_wait_s * cm.locality_wait_cost;
-      }
-
-      // Materialized parent reads (cache hit / lineage recompute).
-      if (mat_per_task > 0.0) {
-        const double b = mat_per_task * skew;
-        const double hit = s.materialized_parent_cached ? cache_hit : 0.0;
-        const double b_hit = b * hit;
-        const double b_miss = b - b_hit;
-        t_cpu += b_hit / cm.cached_read_bw;
-        if (conf.rdd_compress && b_hit > 0.0) {
-          t_cpu += b_hit * (codec.decompress_cpb + ser.deser) / speed;
-        }
-        if (b_miss > 0.0 && cm.enable_recompute_penalty) {
-          t_cpu += b_miss * (s.recompute_cpu_per_gib / kGiBf) / speed;
-          t_disk += b_miss * 0.8 / disk_share;
-        }
-      }
-
-      // Shuffle read + aggregation memory behaviour.
-      double in_mem_ws = 0.0;
-      if (sread_per_task > 0.0) {
-        const double b = sread_per_task * skew;
-        const double wire = b * (conf.shuffle_compress ? codec.ratio : 1.0);
-        t_net += wire / (net_share * net_eff);
-        if (conf.shuffle_compress) t_cpu += b * codec.decompress_cpb / speed;
-        t_cpu += b * ser.deser / speed;
-
-        const double ws = b * s.agg_memory_factor * cm.deser_expansion;
-        if (cm.enable_oom && ws > exec_mem_per_task * cm.spill_oom_headroom) {
-          ++oom_tasks;
-        } else if (cm.enable_spill && ws > exec_mem_per_task) {
-          const double spill_raw = (ws - exec_mem_per_task) / cm.deser_expansion;
-          const double passes = 1.0 + cm.spill_pass_cost * std::log2(ws / exec_mem_per_task);
-          const double spill_wire = spill_raw * (conf.shuffle_spill_compress ? codec.ratio : 1.0);
-          double t = passes * spill_wire * 2.0 / disk_share;
-          t += passes * spill_raw * (ser.ser + ser.deser) / speed;
-          if (conf.shuffle_spill_compress) {
-            t += passes * spill_raw * (codec.compress_cpb + codec.decompress_cpb) / speed;
-          }
-          t_spill += t;
-          m.spilled_bytes += static_cast<Bytes>(spill_raw);
-          in_mem_ws = exec_mem_per_task;
-        } else {
-          in_mem_ws = ws;
-        }
-      }
-
-      // Shuffle write (sort, serialize, compress, flush).
-      if (swrite_per_task > 0.0) {
-        const double b = swrite_per_task * skew;
-        if (reducers > conf.sort_bypass_merge_threshold) {
-          t_cpu += b * cm.shuffle_sort_cpu / speed;
-        }
-        t_cpu += b * ser.ser / speed;
-        double wire = b;
-        if (conf.shuffle_compress) {
-          t_cpu += b * codec.compress_cpb / speed;
-          wire = b * codec.ratio;
-        }
-        t_disk += wire / disk_share;
-        const double flushes = wire / (conf.shuffle_file_buffer_kib * 1024.0);
-        t_disk += flushes * seek;
-      }
-
-      // Saving final output.
-      if (save_per_task > 0.0) {
-        const double b = save_per_task * skew;
-        t_cpu += b * ser.ser / speed;
-        t_disk += b / disk_share;
-      }
-
-      // GC pressure from cached data, aggregation buffers and broadcasts.
-      double t_gc = 0.0;
-      if (cm.enable_gc) {
-        const double bcast = static_cast<double>(s.broadcast_bytes) * cm.deser_expansion;
-        const double pressure =
-            (storage_used_pe + in_mem_ws * dep.slots_per_executor + bcast + 0.10 * heap) / heap;
-        double factor = gc_overhead(cm, pressure);
-        if (conf.serializer == config::Serializer::kJava) factor *= cm.java_gc_penalty;
-        t_gc = t_cpu * factor;
-      }
-
-      double total = t_cpu + t_gc + t_disk + t_net + t_spill + t_over + cm.task_overhead;
-
-      // Environmental stragglers; speculation re-launches bound the damage.
-      if (srng.bernoulli(cm.straggler_prob)) {
-        double slow = cm.straggler_slowdown;
-        if (conf.speculation) slow = std::min(slow, conf.speculation_multiplier + 0.3);
-        total *= slow;
-      }
-      if (conf.speculation) total *= 1.0 + cm.speculation_tax;
-
-      if (cm.enable_oom && sread_per_task > 0.0 &&
-          sread_per_task * skew * s.agg_memory_factor * cm.deser_expansion >
-              exec_mem_per_task * cm.spill_oom_headroom) {
-        oom_nominal_time += total;
-      }
-
-      durations[static_cast<std::size_t>(i)] = total;
-      m.cpu_seconds += t_cpu;
-      m.gc_seconds += t_gc;
-      m.disk_seconds += t_disk;
-      m.net_seconds += t_net;
-      m.spill_seconds += t_spill;
-      m.overhead_seconds += t_over + cm.task_overhead;
+    double finish_time = 0.0;
+    if (simulate_stage(rc, s, cont, &fleet, &cache_hit, clock, start0, draws_fn, alloc_fn,
+                       sched_fn, /*cache_enabled=*/false, 0, lookup_fn, store_fn, &report,
+                       &finish_time) == StageStatus::kFatal) {
+      return finalize_report(std::move(report), auditing);
     }
-
-    if (oom_tasks > 0) {
-      // Retries land on executors with the same memory budget: determinedly
-      // fatal. The job burns the configured number of attempts first.
-      m.failed_tasks = oom_tasks;
-      const double mean_failing = oom_nominal_time / oom_tasks;
-      const double elapsed =
-          conf.task_max_failures * mean_failing * cm.oom_attempt_fraction;
-      m.duration = elapsed;
-      report.stages.push_back(m);
-      report.failure_reason = "task OOM: aggregation working set exceeds execution memory";
-      report.runtime = start + elapsed;
-      report.cost = cluster_.cost_of(report.runtime);
-      return finish(std::move(report));
-    }
-
-    // Injected straggler burst: a deterministic subset of tasks runs slower.
-    // With speculation on, a backup attempt launches once the configured
-    // quantile of the wave has finished, bounding the damage — an earlier
-    // quantile gives a tighter bound (and is what the new knob tunes).
-    if (chaos && sfaults.straggler_factor > 1.0) {
-      simcore::Rng vrng = fplan.stage_stream(s.id, 0x76696374696dULL);  // victims
-      const double cap = conf.speculation_multiplier +
-                         conf.speculation_quantile * (sfaults.straggler_factor - 1.0);
-      for (double& d : durations) {
-        if (!vrng.bernoulli(fplan.profile().straggler_victim_fraction)) continue;
-        if (conf.speculation && cap < sfaults.straggler_factor) {
-          d *= cap;
-          ++m.speculative_tasks;
-        } else {
-          d *= sfaults.straggler_factor;
-        }
-      }
-    }
-
-    int waves = 0;
-    double makespan = schedule_tasks(durations, sched_slots, &waves);
-    m.waves = waves;
-
-    // Recover work lost to executor crashes and revoked VMs: lost in-flight
-    // tasks reschedule onto the surviving slots and lost shuffle partitions
-    // recompute through lineage. The recovery is charged as extra makespan
-    // plus a resubmit round-trip, and the cached blocks that died with the
-    // fleet degrade the hit rate of later stages.
-    if (chaos && (m.lost_executors > 0 || m.lost_vms > 0)) {
-      const int lost_units = m.lost_executors + m.lost_vms * dep.executors_per_vm;
-      const double lost_fraction =
-          std::min(1.0, static_cast<double>(lost_units) / static_cast<double>(dep.executors));
-      double task_seconds = 0.0;
-      for (const double t : durations) task_seconds += t;
-      const double redo = task_seconds * lost_fraction * cm.failure_rerun_fraction / sched_slots;
-      makespan += redo + cm.stage_overhead;
-      m.recovery_seconds = redo * sched_slots;
-      m.failed_tasks = std::min(
-          m.tasks, m.failed_tasks +
-                       static_cast<int>(lost_fraction * tasks * cm.failure_rerun_fraction));
-      cache_hit *= 1.0 - lost_fraction;
-      report.cache_hit_fraction = cache_hit;
-    }
-
-    // Executor failures mid-stage: lost in-flight work re-runs (lineage
-    // makes this transparent but not free), and cached partitions held by
-    // the dead executor degrade the hit rate of later stages until
-    // recomputed.
-    if (cm.executor_failure_rate > 0.0) {
-      int died = 0;
-      for (int ex = 0; ex < dep.executors; ++ex) {
-        if (srng.bernoulli(cm.executor_failure_rate)) ++died;
-      }
-      if (died > 0) {
-        const double lost_fraction =
-            static_cast<double>(died) / static_cast<double>(dep.executors);
-        double task_seconds = 0.0;
-        for (const double t : durations) task_seconds += t;
-        const double redo =
-            task_seconds * lost_fraction * cm.failure_rerun_fraction / dep.total_slots;
-        makespan += redo + cm.stage_overhead;  // resubmit + rerun
-        m.overhead_seconds += redo * dep.total_slots;
-        m.failed_tasks +=
-            static_cast<int>(lost_fraction * tasks * cm.failure_rerun_fraction);
-        // Cached blocks on the dead executors are gone; later stages pay
-        // recompute until (in a real system) they are re-cached.
-        cache_hit *= 1.0 - lost_fraction;
-        report.cache_hit_fraction = cache_hit;
-      }
-    }
-
-    // Collect action: ship results to the driver and hold them there.
-    if (s.result_bytes > 0 && plan.action == dag::ActionKind::kCollect) {
-      const double b = static_cast<double>(s.result_bytes);
-      if (b * cm.deser_expansion > 0.7 * static_cast<double>(dep.driver_heap)) {
-        report.failure_reason = "driver OOM while collecting results";
-        report.runtime = start + makespan;
-        report.cost = cluster_.cost_of(report.runtime);
-        report.stages.push_back(m);
-        return finish(std::move(report));
-      }
-      const double xfer = b / (cluster_.net_bw_per_vm() * cont.net_factor);
-      makespan += xfer;
-      m.net_seconds += xfer;
-    }
-
-    m.duration = makespan;
-    stage_finish[static_cast<std::size_t>(s.id)] = start + makespan;
-    clock = std::max(clock, start + makespan);
-    if (auditing) simcore::enforce_invariants(audit_stage(m, sched_slots), "stage metrics");
-    report.stages.push_back(m);
+    stage_finish[static_cast<std::size_t>(s.id)] = finish_time;
+    clock = std::max(clock, finish_time);
   }
 
-  if (chaos && fplan.timeout()) {
-    // The run hangs near the end (executors stop heartbeating); the driver
-    // burns a multiple of the nominal runtime before giving up. Another
-    // infrastructure fault: the configuration did its work.
-    report.failure_reason = "trial timeout: executors stopped heartbeating";
-    report.infra_fault = true;
-    report.runtime = clock * fplan.profile().timeout_hang_factor;
-    report.cost = cluster_.cost_of(report.runtime);
-    return finish(std::move(report));
-  }
-
-  report.success = true;
-  report.runtime = clock;
-  report.cost = cluster_.cost_of(report.runtime);
-  return finish(std::move(report));
+  return finish_run(std::move(report), cluster_, fplan, prep.chaos, clock, auditing);
 }
 
 }  // namespace stune::disc

@@ -36,6 +36,8 @@ struct EngineOptions {
   simcore::FaultPlan faults{};
 };
 
+class TrialContext;
+
 class SparkSimulator {
  public:
   explicit SparkSimulator(cluster::Cluster cluster, EngineOptions options = {});
@@ -52,8 +54,25 @@ class SparkSimulator {
   /// EngineOptions::seed to model run-to-run environmental variation.
   ExecutionReport run(const dag::PhysicalPlan& plan, const config::Configuration& conf) const;
 
-  /// Lower-level entry point with a pre-parsed configuration.
+  /// Lower-level entry point with a pre-parsed configuration. Runs the
+  /// event-driven path against a per-thread scratch TrialContext.
   ExecutionReport run(const dag::PhysicalPlan& plan, const config::SparkConf& conf) const;
+
+  /// Event-driven path against a caller-managed TrialContext: plan
+  /// topology, contention samples and per-stage draws are reused across
+  /// trials and per-trial scratch comes from the context's arena. The
+  /// report is bitwise identical to run_wave_rescan() whatever the cache
+  /// state — the context only amortizes work, it never changes results.
+  ExecutionReport run(const dag::PhysicalPlan& plan, const config::SparkConf& conf,
+                      TrialContext& ctx) const;
+
+  /// Reference path preserving the engine's original orchestration: an
+  /// index-order stage walk rescanning parent finish times, live draws and
+  /// a fresh priority-queue schedule per stage. Kept as the golden
+  /// implementation the event-driven path is validated against
+  /// (engine_properties_test compares the two bitwise).
+  ExecutionReport run_wave_rescan(const dag::PhysicalPlan& plan,
+                                  const config::SparkConf& conf) const;
 
   const cluster::Cluster& cluster() const { return cluster_; }
   const EngineOptions& options() const { return options_; }

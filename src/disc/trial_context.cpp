@@ -1,0 +1,75 @@
+#include "disc/trial_context.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "dag/plan.hpp"
+#include "simcore/check.hpp"
+#include "simcore/mutex.hpp"
+
+namespace stune::disc {
+
+void TrialContext::clear() {
+  arena_.reset();
+  topo_fp_ = 0;
+  topo_ = dag::PlanTopology{};
+  contention_basis_ = 0;
+  cont_proc_.reset();
+  cont_samples_.clear();
+  draw_basis_ = 0;
+  draws_.clear();
+  draw_hits_ = 0;
+  draw_misses_ = 0;
+  outcomes_.clear();
+  outcome_hits_ = 0;
+  outcome_misses_ = 0;
+}
+
+const dag::PlanTopology& TrialContext::topology(const dag::PhysicalPlan& plan) {
+  const std::uint64_t fp = dag::topology_fingerprint(plan);
+  if (topo_fp_ != fp) {
+    topo_ = dag::build_topology(plan);
+    topo_fp_ = fp;
+  }
+  return topo_;
+}
+
+TrialContextPool::TrialContextPool(std::size_t contexts) : size_(contexts) {
+  STUNE_CHECK_GT(contexts, 0u);
+  free_.reserve(contexts);
+  for (std::size_t i = 0; i < contexts; ++i) free_.push_back(std::make_unique<TrialContext>());
+}
+
+TrialContextPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(other.pool_), ctx_(std::move(other.ctx_)) {
+  other.pool_ = nullptr;
+}
+
+TrialContextPool::Lease::~Lease() {
+  if (pool_ != nullptr && ctx_ != nullptr) pool_->release(std::move(ctx_));
+}
+
+TrialContextPool::Lease TrialContextPool::acquire() {
+  simcore::MutexLock lock(mu_);
+  while (free_.empty()) cv_.wait(mu_);
+  std::unique_ptr<TrialContext> ctx = std::move(free_.back());
+  free_.pop_back();
+  return Lease(this, std::move(ctx));
+}
+
+std::size_t TrialContextPool::leased() const {
+  simcore::MutexLock lock(mu_);
+  return size_ - free_.size();
+}
+
+void TrialContextPool::release(std::unique_ptr<TrialContext> ctx) {
+  {
+    simcore::MutexLock lock(mu_);
+    free_.push_back(std::move(ctx));
+  }
+  cv_.notify_one();
+}
+
+}  // namespace stune::disc

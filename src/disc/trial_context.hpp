@@ -1,0 +1,242 @@
+// Reusable per-trial engine state: the allocation- and draw-amortization
+// layer under SparkSimulator's event-driven run path.
+//
+// A tuning batch executes the same plan thousands of times under different
+// configurations. Three expensive per-trial artifacts are invariant across
+// those trials and are cached here:
+//
+//   - the plan topology (indegrees + children CSR), keyed by
+//     dag::topology_fingerprint — rebuilt only when the plan shape changes;
+//   - the contention sample sequence, keyed by (master stream hash,
+//     ContentionParams fingerprint) — the AR(1) process is deliberately
+//     configuration-independent, so its per-stage samples replay verbatim;
+//   - the per-stage random draws (task-skew lognormals + straggler
+//     bernoullis, in the engine's exact interleaved order), keyed by
+//     (stage id, task count) under a basis hash covering the master stream,
+//     the topology and the cost model's straggler probability. Task counts
+//     depend on the configuration, so one stage may cache several draw
+//     sets; the srng state after the task loop is stored too, because the
+//     executor-failure draws that follow depend on the deployment and must
+//     replay live;
+//   - whole stage outcomes (StageOutcome): on fault-free runs the per-task
+//     loop, the schedule and the executor-failure block are a pure function
+//     of the draws plus ~30 scalars, so the engine keys their bit patterns
+//     and replays the stored result — the O(tasks) heart of a trial
+//     collapses to a hash lookup. Chaos runs and stages that end in task
+//     OOM always compute live.
+//
+// All three caches are validated by basis hashes every run, so a context
+// can be handed arbitrary (simulator, plan, config) triples in any order
+// and the reports stay bitwise identical to a cold run. The TrialArena
+// supplies the per-trial scratch (duration buffers, scheduler heaps,
+// indegree working copies) and is reset at the top of every run.
+//
+// A TrialContext is not thread-safe; concurrent trial workers each check
+// one out of a TrialContextPool (lock rank 45).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/contention.hpp"
+#include "dag/plan.hpp"
+#include "simcore/arena.hpp"
+#include "simcore/mutex.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/thread_annotations.hpp"
+
+namespace stune::disc {
+
+/// One stage's cached random draws for a given task count: the lognormal
+/// skew factors and straggler flags in the exact order the engine consumes
+/// them, plus the stage generator's state after the task loop.
+struct StageDraws {
+  std::vector<double> skew;
+  std::vector<unsigned char> straggler;
+  simcore::Rng rng_after{0};
+};
+
+/// The memoized result of one fault-free stage body: everything the
+/// per-task loop, the scheduler and the executor-failure block produce.
+/// Valid only under the exact key it was stored with — the key folds the
+/// bit patterns of every scalar those computations read — so replaying it
+/// is bitwise identical to recomputing. Fields that depend on the stage's
+/// start time (start, duration-as-finish, the collect transfer) are NOT
+/// here; the engine recomputes those live on replay.
+struct StageOutcome {
+  double makespan = 0.0;  // post-schedule, post-executor-failure
+  int waves = 0;
+  // Absolute per-resource totals as of the end of the executor-failure
+  // block (net_seconds includes the broadcast transfer, which is key-stable).
+  double cpu_seconds = 0.0;
+  double gc_seconds = 0.0;
+  double disk_seconds = 0.0;
+  double net_seconds = 0.0;
+  double spill_seconds = 0.0;
+  double overhead_seconds = 0.0;
+  std::uint64_t spilled_bytes = 0;
+  int failed_tasks = 0;
+  /// Executor-failure decay of the run's cache-hit fraction: 1.0 when no
+  /// executor died, else the (1 - lost_fraction) multiplier to apply.
+  bool exec_failures = false;
+  double cache_hit_mult = 1.0;
+};
+
+class TrialContext {
+ public:
+  TrialContext() = default;
+  TrialContext(const TrialContext&) = delete;
+  TrialContext& operator=(const TrialContext&) = delete;
+
+  /// Drop every cache and release no memory guarantees beyond correctness:
+  /// the next run through this context repopulates everything, and reports
+  /// are bitwise identical either way.
+  void clear();
+
+  // -- observability (tests and benches) ---------------------------------------
+  std::size_t cached_draw_sets() const { return draws_.size(); }
+  std::size_t cached_contention_samples() const { return cont_samples_.size(); }
+  std::uint64_t draw_hits() const { return draw_hits_; }
+  std::uint64_t draw_misses() const { return draw_misses_; }
+  std::size_t cached_stage_outcomes() const { return outcomes_.size(); }
+  std::uint64_t outcome_hits() const { return outcome_hits_; }
+  std::uint64_t outcome_misses() const { return outcome_misses_; }
+  const simcore::TrialArena& arena() const { return arena_; }
+
+ private:
+  friend class SparkSimulator;
+
+  /// Topology for `plan`, rebuilt only when its shape fingerprint changes.
+  const dag::PlanTopology& topology(const dag::PhysicalPlan& plan);
+
+  /// The `ordinal`-th contention sample of the stream identified by
+  /// `basis`; extends the cached sequence on demand. `make` constructs the
+  /// process positioned at sample 0 when the basis changes.
+  template <typename MakeFn>
+  const cluster::ContentionSample& contention_sample(std::uint64_t basis, std::size_t ordinal,
+                                                     MakeFn&& make) {
+    if (contention_basis_ != basis) {
+      cont_proc_ = make();
+      cont_samples_.clear();
+      contention_basis_ = basis;
+    }
+    while (cont_samples_.size() <= ordinal) cont_samples_.push_back(cont_proc_->next());
+    return cont_samples_[ordinal];
+  }
+
+  /// Draw set for (stage id, tasks) under `basis`; `make` fills a StageDraws
+  /// on miss. Evicts wholesale when the basis changes or the cache exceeds
+  /// its size valve.
+  template <typename MakeFn>
+  const StageDraws& stage_draws(std::uint64_t basis, int stage_id, int tasks, MakeFn&& make) {
+    if (draw_basis_ != basis) {
+      draws_.clear();
+      draw_basis_ = basis;
+    }
+    const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(stage_id))
+                               << 32) |
+                              static_cast<std::uint32_t>(tasks);
+    auto it = draws_.find(key);
+    if (it == draws_.end()) {
+      if (draws_.size() >= kMaxDrawSets) draws_.clear();  // safety valve
+      StageDraws d;
+      make(&d);
+      it = draws_.emplace(key, std::move(d)).first;
+      ++draw_misses_;
+    } else {
+      ++draw_hits_;
+    }
+    return it->second;
+  }
+
+  /// Stage outcome under `key`, or nullptr. The key is self-contained (it
+  /// folds the master stream, the simulator context, the plan and every
+  /// scalar the stage body reads), so there is no separate basis to check.
+  const StageOutcome* find_outcome(std::uint64_t key) {
+    auto it = outcomes_.find(key);
+    if (it == outcomes_.end()) {
+      ++outcome_misses_;
+      return nullptr;
+    }
+    ++outcome_hits_;
+    return &it->second;
+  }
+
+  void store_outcome(std::uint64_t key, const StageOutcome& o) {
+    if (outcomes_.size() >= kMaxOutcomes) outcomes_.clear();  // safety valve
+    outcomes_.emplace(key, o);
+  }
+
+  static constexpr std::size_t kMaxDrawSets = 4096;
+  static constexpr std::size_t kMaxOutcomes = 8192;
+
+  simcore::TrialArena arena_;
+
+  std::uint64_t topo_fp_ = 0;
+  dag::PlanTopology topo_;
+
+  std::uint64_t contention_basis_ = 0;
+  std::optional<cluster::ContentionProcess> cont_proc_;
+  std::vector<cluster::ContentionSample> cont_samples_;
+
+  std::uint64_t draw_basis_ = 0;
+  std::unordered_map<std::uint64_t, StageDraws> draws_;
+  std::uint64_t draw_hits_ = 0;
+  std::uint64_t draw_misses_ = 0;
+
+  std::unordered_map<std::uint64_t, StageOutcome> outcomes_;
+  std::uint64_t outcome_hits_ = 0;
+  std::uint64_t outcome_misses_ = 0;
+};
+
+/// A fixed set of TrialContexts checked out by concurrent trial workers.
+/// acquire() blocks until a context is free; the returned Lease gives the
+/// worker exclusive use and returns the context on destruction. The pool
+/// mutex ranks between ThreadPool and EvalCache shards (rank table in
+/// simcore/lock_rank.hpp) and is never held while a trial runs — checkout
+/// and return are O(1) pointer moves.
+class TrialContextPool {
+ public:
+  explicit TrialContextPool(std::size_t contexts);
+
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    TrialContext& operator*() const { return *ctx_; }
+    TrialContext* operator->() const { return ctx_.get(); }
+
+   private:
+    friend class TrialContextPool;
+    Lease(TrialContextPool* pool, std::unique_ptr<TrialContext> ctx)
+        : pool_(pool), ctx_(std::move(ctx)) {}
+
+    TrialContextPool* pool_;
+    std::unique_ptr<TrialContext> ctx_;
+  };
+
+  /// Check a context out, blocking until one is available.
+  Lease acquire();
+
+  std::size_t size() const { return size_; }
+  /// Contexts currently checked out (tests).
+  std::size_t leased() const;
+
+ private:
+  void release(std::unique_ptr<TrialContext> ctx);
+
+  const std::size_t size_;
+  mutable simcore::Mutex mu_{simcore::lock_rank::kTrialContextPool};
+  simcore::CondVar cv_;
+  std::vector<std::unique_ptr<TrialContext>> free_ STUNE_GUARDED_BY(mu_);
+};
+
+}  // namespace stune::disc

@@ -12,6 +12,7 @@
 #include "config/spark_space.hpp"
 #include "disc/deployment.hpp"
 #include "disc/engine.hpp"
+#include "disc/trial_context.hpp"
 #include "model/linear.hpp"
 #include "tuning/tuners.hpp"
 #include "workload/execute.hpp"
@@ -105,6 +106,10 @@ CloudChoice CloudTuner::choose(const workload::Workload& workload, simcore::Byte
   double trial_time = 0.0;
   double trial_cost = 0.0;
   std::size_t trials = 0;
+  // One engine context per worker plus the driver (commit hooks re-run
+  // specs on the driver thread): stage-1 probes vary the cluster but not
+  // the plan or seed, so the draw caches hit across the whole sweep.
+  disc::TrialContextPool ctx_pool(executor.jobs() + 1);
   // Pure evaluation: safe to call from executor worker threads.
   auto run_spec = [&](const cluster::ClusterSpec& spec) -> disc::ExecutionReport {
     const cluster::Cluster cl = cluster::Cluster::from_spec(spec);
@@ -113,7 +118,8 @@ CloudChoice CloudTuner::choose(const workload::Workload& workload, simcore::Byte
     eopts.contention = options_.contention;
     eopts.seed = options_.seed;
     const disc::SparkSimulator sim(cl, eopts);
-    return workload::execute(workload, input_bytes, sim, provider_auto_config(cl), cache);
+    const auto ctx = ctx_pool.acquire();
+    return workload::execute(workload, input_bytes, sim, provider_auto_config(cl), cache, *ctx);
   };
   auto count_trial = [&](const disc::ExecutionReport& report) {
     trial_time += report.runtime;

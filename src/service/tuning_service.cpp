@@ -28,7 +28,8 @@ constexpr std::uint64_t kFaultSeedTag = 0xFA171ULL;
 
 TuningService::TuningService(ServiceOptions options)
     : options_(std::move(options)),
-      executor_(tuning::ExecutorOptions{.jobs = options_.jobs}) {}
+      executor_(tuning::ExecutorOptions{.jobs = options_.jobs}),
+      ctx_pool_(executor_.jobs() + 1) {}
 
 int TuningService::submit(std::string tenant, std::shared_ptr<const workload::Workload> workload,
                           simcore::Bytes initial_input) {
@@ -77,7 +78,12 @@ disc::ExecutionReport TuningService::execute(const Entry& e, const config::Confi
     eopts.faults = injector.plan(trial_fp, attempt);
   }
   const disc::SparkSimulator simulator(cluster::Cluster::from_spec(e.cluster), eopts);
-  return workload::execute(*e.workload, e.input_bytes, simulator, conf, cache_);
+  // Lease an engine context for the miss path; the lease is checkout-only
+  // (rank 45) and no other ranked mutex is acquired while it is held —
+  // workload::execute takes the cache shard lock (rank 50) only inside
+  // lookup/insert, strictly after/before arena work, never around it.
+  const auto ctx = ctx_pool_.acquire();
+  return workload::execute(*e.workload, e.input_bytes, simulator, conf, cache_, *ctx);
 }
 
 void TuningService::degrade(Entry& e) {

@@ -30,6 +30,7 @@
 #include "adaptive/retuning_policy.hpp"
 #include "cluster/contention.hpp"
 #include "disc/engine.hpp"
+#include "disc/trial_context.hpp"
 #include "service/circuit_breaker.hpp"
 #include "service/cloud_tuner.hpp"
 #include "service/cost_ledger.hpp"
@@ -231,6 +232,12 @@ class TuningService {
   /// memoization state.
   mutable workload::EvalCache cache_;
   tuning::TrialExecutor executor_;
+  /// One engine TrialContext per trial worker (plus one for the driver):
+  /// cache-miss executions lease a context so plan topology, contention
+  /// samples and per-stage draws amortize across a tuning batch. Leased
+  /// under lock rank 45 — below the executor, above the cache shards — and
+  /// never held while another ranked mutex is taken.
+  mutable disc::TrialContextPool ctx_pool_;
   // The outermost lock in the system (rank table: simcore/lock_rank.hpp):
   // held across whole tuning sessions, so every other ranked mutex nests
   // inside it.

@@ -1,0 +1,60 @@
+#include "simcore/arena.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+
+#include "simcore/check.hpp"
+
+namespace stune::simcore {
+
+TrialArena::TrialArena(std::size_t initial_bytes) {
+  add_block(std::max<std::size_t>(initial_bytes, 64));
+}
+
+void TrialArena::add_block(std::size_t at_least) {
+  // Geometric growth over the whole capacity keeps the number of spill
+  // blocks logarithmic in the trial's peak demand.
+  const std::size_t size = std::max(at_least, capacity_);
+  Block b;
+  b.bytes = std::make_unique<std::byte[]>(size);
+  b.size = size;
+  capacity_ += size;
+  blocks_.push_back(std::move(b));
+}
+
+void* TrialArena::allocate(std::size_t bytes, std::size_t align) {
+  STUNE_CHECK_GT(align, 0u);
+  Block* block = &blocks_[block_index_];
+  std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+  if (aligned + bytes > block->size) {
+    // Try the remaining blocks (left over from a previous fat trial),
+    // then grow.
+    while (aligned + bytes > block->size) {
+      if (block_index_ + 1 == blocks_.size()) add_block(std::max(bytes + align, capacity_));
+      ++block_index_;
+      block = &blocks_[block_index_];
+      offset_ = 0;
+      aligned = (align - 1) & ~(align - 1);  // == 0; kept for symmetry
+    }
+  }
+  used_ += (aligned - offset_) + bytes;
+  high_water_ = std::max(high_water_, used_);
+  offset_ = aligned + bytes;
+  return block->bytes.get() + aligned;
+}
+
+void TrialArena::reset() {
+  if (blocks_.size() > 1) {
+    // Coalesce: one block sized for the high-water mark replaces the spill
+    // chain, so the next trial bump-allocates contiguously.
+    blocks_.clear();
+    capacity_ = 0;
+    add_block(high_water_);
+  }
+  block_index_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+}  // namespace stune::simcore

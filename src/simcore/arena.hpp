@@ -1,0 +1,75 @@
+// Bump-allocated scratch memory for the simulation hot path.
+//
+// The engine used to allocate a fresh std::vector per stage for task
+// durations and a fresh priority-queue backing store per schedule; over a
+// tuning batch that is thousands of short-lived heap round trips whose
+// contents never outlive one trial. TrialArena replaces them: one growable
+// block of bytes, handed out as typed spans by bumping an offset, and
+// reclaimed all at once by reset() between trials. Allocation is a pointer
+// add on the hot path; reset() is O(1) and keeps the high-water capacity,
+// so a warmed arena never touches the system allocator again.
+//
+// Not thread-safe: one arena belongs to one trial at a time (the
+// disc::TrialContextPool hands each worker its own).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace stune::simcore {
+
+class TrialArena {
+ public:
+  /// `initial_bytes` sizes the first block; the arena grows geometrically
+  /// beyond it, so the value only tunes how fast the warm-up converges.
+  explicit TrialArena(std::size_t initial_bytes = 1 << 16);
+
+  TrialArena(const TrialArena&) = delete;
+  TrialArena& operator=(const TrialArena&) = delete;
+
+  /// A span of `count` value-initialized (zeroed) elements of trivial type
+  /// T, aligned for T, valid until the next reset(). count == 0 yields an
+  /// empty span without consuming arena space.
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivial_v<T>, "arena spans are raw trial scratch");
+    if (count == 0) return {};
+    void* raw = allocate(count * sizeof(T), alignof(T));
+    T* data = static_cast<T*>(raw);
+    for (std::size_t i = 0; i < count; ++i) data[i] = T{};
+    return {data, count};
+  }
+
+  /// Invalidate every span handed out since the last reset and make the
+  /// full capacity available again. If the trial overflowed into spill
+  /// blocks, they are coalesced into one block sized for the observed
+  /// high-water mark, so steady state is a single contiguous block.
+  void reset();
+
+  /// Bytes handed out since the last reset (alignment padding included).
+  std::size_t used() const { return used_; }
+  /// Largest used() observed over the arena's lifetime.
+  std::size_t high_water() const { return high_water_; }
+  /// Total bytes owned across all blocks.
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> bytes;
+    std::size_t size = 0;
+  };
+
+  void* allocate(std::size_t bytes, std::size_t align);
+  void add_block(std::size_t at_least);
+
+  std::vector<Block> blocks_;
+  std::size_t block_index_ = 0;  // block currently being bumped
+  std::size_t offset_ = 0;       // bump offset within that block
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace stune::simcore

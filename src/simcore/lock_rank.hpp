@@ -27,6 +27,7 @@
 //   20  TrialExecutor::mu_        session serialization on a shared executor
 //   30  SequentialAdapter::mu_    ask/tell rendezvous with the serial body
 //   40  ThreadPool::mu_           task queue of the worker pool
+//   45  TrialContextPool::mu_     checkout of per-worker engine scratch
 //   50  EvalCache::Shard::mu      one shard of the execution memo (leaf)
 #pragma once
 
@@ -39,6 +40,7 @@ inline constexpr int kTuningService = 10;
 inline constexpr int kTrialExecutor = 20;
 inline constexpr int kSequentialAdapter = 30;
 inline constexpr int kThreadPool = 40;
+inline constexpr int kTrialContextPool = 45;
 inline constexpr int kEvalCacheShard = 50;
 
 /// Validate then record an acquisition by the calling thread. Throws

@@ -23,4 +23,18 @@ disc::ExecutionReport execute(const Workload& workload, Bytes input_bytes,
   return report;
 }
 
+disc::ExecutionReport execute(const Workload& workload, Bytes input_bytes,
+                              const disc::SparkSimulator& simulator,
+                              const config::Configuration& conf, EvalCache& cache,
+                              disc::TrialContext& ctx) {
+  const config::SparkConf parsed(conf);
+  const dag::PhysicalPlan plan = workload.plan(input_bytes, &parsed);
+  const EvalKey key{simulator.context_fingerprint(), plan.fingerprint(),
+                    simulator.options().seed, conf.values()};
+  if (auto hit = cache.lookup(key)) return *std::move(hit);
+  disc::ExecutionReport report = simulator.run(plan, parsed, ctx);
+  cache.insert(key, report);
+  return report;
+}
+
 }  // namespace stune::workload

@@ -4,6 +4,7 @@
 
 #include "config/config_space.hpp"
 #include "disc/engine.hpp"
+#include "disc/trial_context.hpp"
 #include "workload/eval_cache.hpp"
 #include "workload/workload.hpp"
 
@@ -23,5 +24,15 @@ disc::ExecutionReport execute(const Workload& workload, Bytes input_bytes,
 disc::ExecutionReport execute(const Workload& workload, Bytes input_bytes,
                               const disc::SparkSimulator& simulator,
                               const config::Configuration& conf, EvalCache& cache);
+
+/// Cached variant whose miss path runs against a caller-managed
+/// TrialContext (typically one leased from a disc::TrialContextPool by a
+/// trial worker): plan topology, contention samples and per-stage draws
+/// amortize across the batch. The cache key is untouched — a context never
+/// changes what a run computes, only what it re-computes.
+disc::ExecutionReport execute(const Workload& workload, Bytes input_bytes,
+                              const disc::SparkSimulator& simulator,
+                              const config::Configuration& conf, EvalCache& cache,
+                              disc::TrialContext& ctx);
 
 }  // namespace stune::workload

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -239,6 +242,79 @@ TEST(PhysicalPlan, CpuCostAccumulatesAlongPipeline) {
   EXPECT_NEAR(phys.stages[0].cpu_ref_seconds, 8.0 * 1.0 + 8.0 * 2.0 + 0.4 * 4.0 * 1.0, 0.5);
   // Stage 1: the reduce side runs over the shuffled volume only.
   EXPECT_LT(phys.stages[1].cpu_ref_seconds, 1.0);
+}
+
+// -- PlanTopology -----------------------------------------------------------
+
+TEST(PlanTopology, MatchesParentListsOnRealPlans) {
+  const auto phys = build_physical_plan(simple_mapreduce(), gib(8));
+  const auto topo = build_topology(phys);
+  ASSERT_EQ(topo.stage_count(), phys.stages.size());
+  // Indegrees mirror the (forward) parent lists exactly.
+  for (const auto& s : phys.stages) {
+    int forward_parents = 0;
+    for (const int p : s.parent_stages) forward_parents += (p < s.id) ? 1 : 0;
+    EXPECT_EQ(topo.indegree[static_cast<std::size_t>(s.id)], forward_parents) << s.label;
+  }
+  // Every CSR child edge corresponds to a declared parent edge, and the
+  // totals agree.
+  int edges = 0;
+  for (std::size_t parent = 0; parent < topo.stage_count(); ++parent) {
+    for (int k = topo.child_offsets[parent]; k < topo.child_offsets[parent + 1]; ++k) {
+      const int child = topo.children[static_cast<std::size_t>(k)];
+      const auto& ps = phys.stages[static_cast<std::size_t>(child)].parent_stages;
+      EXPECT_NE(std::find(ps.begin(), ps.end(), static_cast<int>(parent)), ps.end());
+      ++edges;
+    }
+  }
+  EXPECT_EQ(edges, topo.edge_count);
+  EXPECT_EQ(topo.fingerprint, topology_fingerprint(phys));
+}
+
+TEST(PlanTopology, ToleratesBroadcastJoinBackEdges) {
+  // The broadcast-join planner creates the dimension-table stage after its
+  // consumer, so the consumer's parent list can point at an id >= its own.
+  // Those are not scheduling edges and must be skipped, not rejected.
+  PhysicalPlan plan;
+  plan.stages.resize(2);
+  plan.stages[0].id = 0;
+  plan.stages[0].parent_stages = {1};  // back edge
+  plan.stages[1].id = 1;
+  const auto topo = build_topology(plan);
+  EXPECT_EQ(topo.indegree[0], 0);
+  EXPECT_EQ(topo.indegree[1], 0);
+  EXPECT_EQ(topo.edge_count, 0);
+  EXPECT_TRUE(topo.children.empty());
+}
+
+TEST(PlanTopology, RejectsMalformedPlans) {
+  PhysicalPlan shifted;
+  shifted.stages.resize(1);
+  shifted.stages[0].id = 3;  // id != position
+  EXPECT_THROW(build_topology(shifted), std::invalid_argument);
+
+  PhysicalPlan dangling;
+  dangling.stages.resize(1);
+  dangling.stages[0].id = 0;
+  dangling.stages[0].parent_stages = {-2};
+  EXPECT_THROW(build_topology(dangling), std::invalid_argument);
+}
+
+TEST(PlanTopology, FingerprintSeparatesEdgeChangesAndIgnoresVolumes) {
+  const auto base = build_physical_plan(simple_mapreduce(), gib(8));
+  EXPECT_EQ(topology_fingerprint(base), topology_fingerprint(base));
+
+  auto rewired = base;
+  rewired.stages[1].parent_stages.clear();
+  EXPECT_NE(topology_fingerprint(rewired), topology_fingerprint(base));
+
+  // Data volumes don't change the schedule shape, so the topology
+  // fingerprint (unlike PhysicalPlan::fingerprint) is stable across them
+  // and the cached topology survives input-size sweeps.
+  auto heavier = base;
+  heavier.stages[0].shuffle_write_bytes += 12345;
+  EXPECT_EQ(topology_fingerprint(heavier), topology_fingerprint(base));
+  EXPECT_NE(heavier.fingerprint(), base.fingerprint());
 }
 
 }  // namespace

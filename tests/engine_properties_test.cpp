@@ -1,12 +1,24 @@
 // Engine invariants swept across the entire workload suite (parameterized
-// property tests), including fault injection.
+// property tests), including fault injection — plus the golden-parity suite
+// for the event-driven engine: run() must be bitwise identical to
+// run_wave_rescan() whatever the TrialContext has cached.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <bit>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "disc/eventlog.hpp"
+#include "disc/trial_context.hpp"
+#include "service/tuning_service.hpp"
+#include "simcore/fault.hpp"
+#include "simcore/rng.hpp"
 #include "workload/execute.hpp"
 #include "workload/workload.hpp"
 
@@ -160,6 +172,249 @@ TEST(ExecutorFailures, HitCachedWorkloadsHarderThanStatelessOnes) {
     return b.runtime / a.runtime;
   };
   EXPECT_GT(slowdown("pagerank"), slowdown("scan"));
+}
+
+// ---------------------------------------------------------------------------
+// Golden parity: the event-driven run() against the wave-rescan reference.
+// The contract is bitwise equality — same doubles, not close doubles — for
+// any (seed, chaos level, cluster size, configuration) and any TrialContext
+// cache state, including a context shared across all of them in sequence.
+// ---------------------------------------------------------------------------
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+::testing::AssertionResult reports_identical(const ExecutionReport& a,
+                                             const ExecutionReport& b) {
+  if (a.success != b.success || a.failure_reason != b.failure_reason ||
+      a.infra_fault != b.infra_fault) {
+    return ::testing::AssertionFailure()
+           << "outcome diverged: [" << a.failure_reason << "] vs [" << b.failure_reason << "]";
+  }
+  if (!bits_equal(a.runtime, b.runtime) || !bits_equal(a.cost, b.cost) ||
+      !bits_equal(a.cache_hit_fraction, b.cache_hit_fraction)) {
+    return ::testing::AssertionFailure()
+           << "runtime/cost bits diverged: " << a.runtime << " vs " << b.runtime;
+  }
+  if (a.executors != b.executors || a.total_slots != b.total_slots ||
+      a.execution_memory_per_task != b.execution_memory_per_task ||
+      a.storage_memory_total != b.storage_memory_total || a.stages.size() != b.stages.size()) {
+    return ::testing::AssertionFailure() << "deployment or stage count diverged";
+  }
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    const auto& x = a.stages[i];
+    const auto& y = b.stages[i];
+    const bool same =
+        x.stage_id == y.stage_id && x.label == y.label && x.tasks == y.tasks &&
+        x.waves == y.waves && bits_equal(x.start, y.start) &&
+        bits_equal(x.duration, y.duration) && bits_equal(x.cpu_seconds, y.cpu_seconds) &&
+        bits_equal(x.gc_seconds, y.gc_seconds) && bits_equal(x.disk_seconds, y.disk_seconds) &&
+        bits_equal(x.net_seconds, y.net_seconds) &&
+        bits_equal(x.spill_seconds, y.spill_seconds) &&
+        bits_equal(x.overhead_seconds, y.overhead_seconds) &&
+        bits_equal(x.recovery_seconds, y.recovery_seconds) &&
+        bits_equal(x.cache_hit_fraction, y.cache_hit_fraction) &&
+        x.input_bytes == y.input_bytes && x.shuffle_read_bytes == y.shuffle_read_bytes &&
+        x.shuffle_write_bytes == y.shuffle_write_bytes && x.spilled_bytes == y.spilled_bytes &&
+        x.failed_tasks == y.failed_tasks && x.lost_executors == y.lost_executors &&
+        x.lost_vms == y.lost_vms && x.speculative_tasks == y.speculative_tasks;
+    if (!same) {
+      return ::testing::AssertionFailure() << "stage " << x.stage_id << " (" << x.label
+                                           << ") diverged bitwise";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class GoldenParity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenParity, EventPathMatchesWaveRescanAcrossSeedsAndChaos) {
+  // 50 seeds x {calm, light chaos, heavy chaos}, all through ONE shared
+  // context: every run revalidates the context's basis hashes against a
+  // different master stream, so stale caches would show up immediately.
+  const auto w = workload::make_workload(GetParam());
+  const config::SparkConf conf(good_config());
+  const auto plan = w->plan(gib(8), &conf);
+  TrialContext ctx;
+  for (const double level : {0.0, 0.05, 0.3}) {
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+      EngineOptions opts;
+      opts.seed = seed;
+      if (level > 0.0) {
+        opts.faults = simcore::FaultPlan(simcore::FaultProfile::chaos(level), seed * 977);
+      }
+      const SparkSimulator sim(testbed(), opts);
+      const auto event = sim.run(plan, conf, ctx);
+      const auto golden = sim.run_wave_rescan(plan, conf);
+      ASSERT_TRUE(reports_identical(event, golden))
+          << GetParam() << " seed=" << seed << " chaos=" << level;
+    }
+  }
+}
+
+TEST_P(GoldenParity, EventPathMatchesWaveRescanAcrossClusterSizes) {
+  const auto w = workload::make_workload(GetParam());
+  const config::SparkConf conf(good_config());
+  const auto plan = w->plan(gib(8), &conf);
+  TrialContext ctx;
+  for (const int vms : {1, 2, 4, 16, 64}) {
+    const cluster::Cluster c = cluster::Cluster::from_spec({"m5.2xlarge", vms});
+    const SparkSimulator sim(c);
+    ASSERT_TRUE(reports_identical(sim.run(plan, conf, ctx), sim.run_wave_rescan(plan, conf)))
+        << GetParam() << " vms=" << vms;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, GoldenParity,
+                         ::testing::ValuesIn(workload::workload_names()),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           return param_info.param;
+                         });
+
+TEST(GoldenParityConfigs, SweepingConfigurationsThroughOneContextStaysBitwise) {
+  // The stage-outcome key must fold every scalar the stage body reads; a
+  // missing component would alias two configurations and replay the wrong
+  // outcome. Hammer it: 120 random configurations (plus the default) for
+  // two plan shapes through one shared context, each checked against the
+  // live reference path.
+  const SparkSimulator sim(testbed());
+  TrialContext ctx;
+  simcore::Rng rng(7);
+  const auto space = config::spark_space();
+  for (const char* name : {"join", "pagerank"}) {
+    const auto w = workload::make_workload(name);
+    for (int i = 0; i < 120; ++i) {
+      const auto c = i == 0 ? space->default_config() : space->sample(rng);
+      const config::SparkConf conf(c);
+      const auto plan = w->plan(gib(8), &conf);
+      ASSERT_TRUE(reports_identical(sim.run(plan, conf, ctx), sim.run_wave_rescan(plan, conf)))
+          << name << " config #" << i;
+    }
+  }
+}
+
+TEST(GoldenParityContext, InterleavingWorkloadsNeverContaminatesAContext) {
+  // Arena-reset + basis isolation: alternating plans, seeds and input sizes
+  // through one context must equal fresh-context runs of the same sequence.
+  const SparkSimulator sim(testbed());
+  const config::SparkConf conf(good_config());
+  TrialContext shared;
+  const std::vector<std::string> names = {"scan", "join", "scan", "pagerank", "join", "scan"};
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto w = workload::make_workload(names[i]);
+    const auto plan = w->plan(gib(i % 2 == 0 ? 4 : 8), &conf);
+    const auto warm = sim.run(plan, conf, shared);
+    TrialContext fresh;
+    ASSERT_TRUE(reports_identical(warm, sim.run(plan, conf, fresh))) << names[i] << " #" << i;
+  }
+}
+
+TEST(GoldenParityContext, ClearedContextReproducesWarmReports) {
+  const SparkSimulator sim(testbed());
+  const config::SparkConf conf(good_config());
+  const auto w = workload::make_workload("join");
+  const auto plan = w->plan(gib(8), &conf);
+  TrialContext ctx;
+  const auto cold = sim.run(plan, conf, ctx);
+  const auto warm = sim.run(plan, conf, ctx);
+  EXPECT_GT(ctx.outcome_hits() + ctx.draw_hits(), 0u);  // the warm run actually replayed
+  ctx.clear();
+  const auto reset = sim.run(plan, conf, ctx);
+  ASSERT_TRUE(reports_identical(cold, warm));
+  ASSERT_TRUE(reports_identical(cold, reset));
+}
+
+TEST(GoldenParityContext, ScratchContextOverloadMatchesTheGoldenPath) {
+  // run(plan, conf) rides a thread_local scratch context; it must be just
+  // as bitwise-stable as an explicitly managed one.
+  const SparkSimulator sim(testbed());
+  const config::SparkConf conf(good_config());
+  for (const auto& name : workload::workload_names()) {
+    const auto w = workload::make_workload(name);
+    const auto plan = w->plan(gib(8), &conf);
+    ASSERT_TRUE(reports_identical(sim.run(plan, conf), sim.run_wave_rescan(plan, conf))) << name;
+  }
+}
+
+TEST(TrialContextPoolTest, LeasesAreExclusiveAndRecycled) {
+  TrialContextPool pool(2);
+  EXPECT_EQ(pool.leased(), 0u);
+  {
+    auto a = pool.acquire();
+    auto b = pool.acquire();
+    EXPECT_EQ(pool.leased(), 2u);
+    EXPECT_NE(&*a, &*b);
+  }
+  EXPECT_EQ(pool.leased(), 0u);
+}
+
+TEST(TrialContextPoolTest, AcquireBlocksUntilAContextIsReleased) {
+  TrialContextPool pool(1);
+  auto held = pool.acquire();
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    auto lease = pool.acquire();
+    got.store(true);
+  });
+  // The waiter must be parked on the empty pool, not acquiring a phantom
+  // context; give it a moment to reach the wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  { auto drop = std::move(held); }  // release
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(TrialContextPoolTest, ConcurrentWorkersStayBitwiseCorrect) {
+  // 8 threads x 25 trials through a 4-context pool, every result checked
+  // against a reference report: hammers lease recycling and per-context
+  // cache reuse under real contention.
+  const auto w = workload::make_workload("join");
+  const config::SparkConf conf(good_config());
+  const auto plan = w->plan(gib(8), &conf);
+  const SparkSimulator sim(testbed());
+  const auto reference = sim.run_wave_rescan(plan, conf);
+
+  TrialContextPool pool(4);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        auto lease = pool.acquire();
+        const auto r = sim.run(plan, conf, *lease);
+        if (!reports_identical(r, reference)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(pool.leased(), 0u);
+}
+
+TEST(GoldenParityService, JobsCountNeverChangesServiceReports) {
+  // The TrialContextPool hands each executor worker its own context; jobs=8
+  // must reproduce jobs=1 bitwise through the whole tuning service.
+  auto run_service = [](std::size_t jobs) {
+    service::ServiceOptions so;
+    so.jobs = jobs;
+    so.tune_cloud = false;
+    so.tuning_budget = 10;
+    so.seed = 11;
+    service::TuningService svc(so);
+    const int h = svc.submit("tenant", workload::make_workload("join"), gib(8));
+    std::vector<double> runtimes;
+    for (int i = 0; i < 3; ++i) runtimes.push_back(svc.run_once(h).runtime);
+    return runtimes;
+  };
+  const auto serial = run_service(1);
+  const auto parallel = run_service(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(bits_equal(serial[i], parallel[i])) << "run " << i;
+  }
 }
 
 }  // namespace

@@ -1,11 +1,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "simcore/arena.hpp"
 #include "simcore/check.hpp"
 #include "simcore/lock_rank.hpp"
 #include "simcore/mutex.hpp"
@@ -245,6 +247,82 @@ TEST(Units, Conversions) {
   EXPECT_EQ(mib(1.5), kMiB + kMiB / 2);
   EXPECT_DOUBLE_EQ(minutes(2.0), 120.0);
   EXPECT_DOUBLE_EQ(hours(1.5), 5400.0);
+}
+
+// -- TrialArena --------------------------------------------------------------
+
+TEST(TrialArena, AllocReturnsZeroedAlignedSpans) {
+  TrialArena arena;
+  const auto d = arena.alloc<double>(37);
+  const auto i = arena.alloc<std::uint32_t>(5);
+  ASSERT_EQ(d.size(), 37u);
+  ASSERT_EQ(i.size(), 5u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(i.data()) % alignof(std::uint32_t), 0u);
+  for (const double v : d) EXPECT_EQ(v, 0.0);
+  for (const std::uint32_t v : i) EXPECT_EQ(v, 0u);
+}
+
+TEST(TrialArena, ZeroCountAllocationConsumesNothing) {
+  TrialArena arena;
+  const std::size_t before = arena.used();
+  const auto s = arena.alloc<double>(0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(arena.used(), before);
+}
+
+TEST(TrialArena, ResetReclaimsSpaceAndRezeroesReusedMemory) {
+  TrialArena arena;
+  auto first = arena.alloc<double>(64);
+  for (auto& v : first) v = 3.25;  // scribble over the block
+  const std::size_t used = arena.used();
+  EXPECT_GE(used, 64 * sizeof(double));
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_GE(arena.high_water(), used);
+  const auto second = arena.alloc<double>(64);
+  for (const double v : second) EXPECT_EQ(v, 0.0);  // scribbles never leak
+}
+
+TEST(TrialArena, WarmedArenaNeverGrowsForSameSizedTrials) {
+  TrialArena arena(1 << 8);  // tiny initial block forces warm-up growth
+  for (int trial = 0; trial < 3; ++trial) {
+    arena.alloc<double>(1000);
+    arena.alloc<std::uint64_t>(500);
+    arena.reset();
+  }
+  const std::size_t warm_capacity = arena.capacity();
+  for (int trial = 0; trial < 10; ++trial) {
+    arena.alloc<double>(1000);
+    arena.alloc<std::uint64_t>(500);
+    arena.reset();
+  }
+  EXPECT_EQ(arena.capacity(), warm_capacity);
+}
+
+TEST(TrialArena, SpillBlocksCoalesceIntoOneContiguousBlock) {
+  TrialArena arena(1 << 8);
+  // Many small allocations force several geometric spill blocks.
+  for (int i = 0; i < 50; ++i) arena.alloc<double>(100);
+  const std::size_t high = arena.high_water();
+  arena.reset();
+  EXPECT_GE(arena.capacity(), high);
+  // After coalescing, the whole high-water mark fits one block: a single
+  // allocation of that size must not grow capacity again.
+  const std::size_t coalesced = arena.capacity();
+  arena.alloc<std::byte>(high);
+  EXPECT_EQ(arena.capacity(), coalesced);
+}
+
+TEST(TrialArena, HighWaterTracksLifetimeMaximum) {
+  TrialArena arena;
+  arena.alloc<double>(10);
+  arena.reset();
+  arena.alloc<double>(1000);
+  const std::size_t peak = arena.high_water();
+  arena.reset();
+  arena.alloc<double>(5);
+  EXPECT_EQ(arena.high_water(), peak);
 }
 
 // -- Lock-rank validator -----------------------------------------------------

@@ -220,6 +220,16 @@ constexpr SymbolHeader kSymbolTable[] = {
     {"std::bit_cast", "bit"},
     {"std::clamp", "algorithm"},
     {"std::numeric_limits", "limits"},
+    {"std::priority_queue", "queue"},
+    {"std::queue", "queue"},
+    {"std::greater", "functional"},
+    {"std::less", "functional"},
+    {"std::byte", "cstddef"},
+    {"std::pop_heap", "algorithm"},
+    {"std::push_heap", "algorithm"},
+    {"std::make_heap", "algorithm"},
+    {"std::max_element", "algorithm"},
+    {"std::min_element", "algorithm"},
 };
 
 void pass_include_what_you_use(const LintInput& in, std::vector<Violation>& out) {
