@@ -16,8 +16,8 @@
 //      Reported per level: breaker trips, degraded (breaker-open) runs,
 //      and whether tenants still end up tuned and feasible.
 //
-// `--smoke` shrinks budgets and levels for CI; the full sweep feeds
-// BENCH_chaos.json.
+// `--smoke` shrinks budgets and levels for CI; `--json PATH` writes the
+// machine-readable records that feed BENCH_chaos.json.
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -43,6 +43,8 @@ namespace stune::bench {
 namespace {
 
 constexpr std::uint64_t kBenchSeed = 42;
+
+JsonReport g_report("bench_chaos");
 
 struct TunerChaosOutcome {
   double best = 0.0;
@@ -124,11 +126,11 @@ void bench_tuner_resilience(const std::vector<double>& levels, std::size_t budge
                  fmt("%.0f", static_cast<double>(r.stats.retries)),
                  fmt("%.0fs", r.stats.backoff_seconds)});
       // Machine-readable record for tracking resilience over time.
-      std::printf(
-          "{\"bench\":\"chaos_tuning\",\"workload\":\"sort\",\"tuner\":\"%s\","
-          "\"level\":%.2f,\"budget\":%zu,\"best\":%.3f,\"feasible\":%s,"
-          "\"vs_calm\":%.3f,\"infra_faults\":%zu,\"config_faults\":%zu,"
-          "\"retries\":%zu,\"deadline_hits\":%zu,\"backoff_s\":%.1f}\n",
+      g_report.record(
+          "\"bench\": \"chaos_tuning\", \"workload\": \"sort\", \"tuner\": \"%s\", "
+          "\"level\": %.2f, \"budget\": %zu, \"best\": %.3f, \"feasible\": %s, "
+          "\"vs_calm\": %.3f, \"infra_faults\": %zu, \"config_faults\": %zu, "
+          "\"retries\": %zu, \"deadline_hits\": %zu, \"backoff_s\": %.1f",
           tuner_name.c_str(), level, budget, r.feasible ? r.best : -1.0,
           r.feasible ? "true" : "false",
           r.feasible && calm_best > 0.0 ? r.best / calm_best : -1.0, r.stats.infra_faults,
@@ -184,11 +186,11 @@ void bench_service_degradation(const std::vector<double>& levels, std::size_t ru
                  th ? fmt("%.0f", static_cast<double>(th->trips)) : "?",
                  fmt("%.0f", static_cast<double>(st.degraded_runs))});
       // Machine-readable record for tracking degradation over time.
-      std::printf(
-          "{\"bench\":\"chaos_service\",\"tenant\":\"%s\",\"workload\":\"%s\","
-          "\"level\":%.2f,\"runs\":%zu,\"tuned\":%s,\"best\":%.3f,"
-          "\"breaker\":\"%s\",\"trips\":%d,\"degraded_runs\":%zu,"
-          "\"open_breakers\":%zu,\"total_degraded_runs\":%zu}\n",
+      g_report.record(
+          "\"bench\": \"chaos_service\", \"tenant\": \"%s\", \"workload\": \"%s\", "
+          "\"level\": %.2f, \"runs\": %zu, \"tuned\": %s, \"best\": %.3f, "
+          "\"breaker\": \"%s\", \"trips\": %d, \"degraded_runs\": %zu, "
+          "\"open_breakers\": %zu, \"total_degraded_runs\": %zu",
           tn.name, tn.wl, level, runs, st.tuned ? "true" : "false",
           st.best_runtime > 0.0 ? st.best_runtime : -1.0, breaker, th ? th->trips : -1,
           st.degraded_runs, health.open_breakers, health.total_degraded_runs);
@@ -205,8 +207,10 @@ int main(int argc, char** argv) {
   using namespace stune::bench;
 
   bool smoke = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") smoke = true;
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) json_path = argv[i + 1];
   }
   const std::size_t jobs = parse_jobs(argc, argv, 1);
 
@@ -229,5 +233,6 @@ int main(int argc, char** argv) {
       "never learns to avoid a configuration because a spot instance vanished.\n"
       "Breaker trips and degraded runs should stay at zero through 15%% and only\n"
       "appear in genuinely heavy weather.\n");
+  if (!json_path.empty()) g_report.write(json_path);
   return 0;
 }

@@ -27,6 +27,8 @@ namespace {
 using namespace stune;
 using namespace stune::bench;
 
+JsonReport g_report("bench_tuner_comparison");
+
 constexpr std::size_t kBudget = 100;
 const std::vector<std::size_t> kCheckpoints = {10, 25, 50, 100};
 
@@ -99,11 +101,11 @@ void bench_parallel_and_cache(const stune::cluster::Cluster& cluster, std::size_
     t.add_row({tuner_name, fmt("%.2fs", wall1), fmt("%.2fs", walln),
                fmt("%.1fx", wall1 / walln), identical ? "yes" : "NO", pct(retune_hit_rate)});
     // Machine-readable record for tracking executor scaling over time.
-    std::printf(
-        "{\"bench\":\"parallel_tuning\",\"workload\":\"%s\",\"tuner\":\"%s\","
-        "\"budget\":%zu,\"reps\":%d,\"jobs\":%zu,\"wall_s_jobs1\":%.3f,"
-        "\"wall_s_jobsN\":%.3f,\"speedup\":%.2f,\"identical\":%s,"
-        "\"retune_hit_rate\":%.3f,\"retune_wall_s\":%.3f}\n",
+    g_report.record(
+        "\"bench\": \"parallel_tuning\", \"workload\": \"%s\", \"tuner\": \"%s\", "
+        "\"budget\": %zu, \"reps\": %d, \"jobs\": %zu, \"wall_s_jobs1\": %.3f, "
+        "\"wall_s_jobsN\": %.3f, \"speedup\": %.2f, \"identical\": %s, "
+        "\"retune_hit_rate\": %.3f, \"retune_wall_s\": %.3f",
         w->name().c_str(), tuner_name.c_str(), kParBudget, kReps, jobs_n, wall1, walln,
         wall1 / walln, identical ? "true" : "false", retune_hit_rate, wall_retune);
   }
@@ -115,6 +117,10 @@ void bench_parallel_and_cache(const stune::cluster::Cluster& cluster, std::size_
 int main(int argc, char** argv) {
   const auto cluster = paper_testbed();
   const auto space = config::spark_space();
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+  }
   const std::size_t jobs_n =
       parse_jobs(argc, argv, simcore::ThreadPool::hardware_threads());
 
@@ -154,10 +160,10 @@ int main(int argc, char** argv) {
                  def.success ? fmt("%.1fx", def.runtime / final_best) : "recovers crash",
                  fmt("%.0f", crashes)});
       // Machine-readable record for tracking tuner convergence over time.
-      std::printf(
-          "{\"bench\":\"tuner_comparison\",\"workload\":\"%s\",\"tuner\":\"%s\","
-          "\"budget\":%zu,\"best_at_10\":%.3f,\"best_at_25\":%.3f,\"best_at_50\":%.3f,"
-          "\"best_at_100\":%.3f,\"default_runtime\":%.3f,\"crashes\":%.2f}\n",
+      g_report.record(
+          "\"bench\": \"tuner_comparison\", \"workload\": \"%s\", \"tuner\": \"%s\", "
+          "\"budget\": %zu, \"best_at_10\": %.3f, \"best_at_25\": %.3f, \"best_at_50\": %.3f, "
+          "\"best_at_100\": %.3f, \"default_runtime\": %.3f, \"crashes\": %.2f",
           workload_name.c_str(), tuner_name.c_str(), kBudget, at_checkpoint[0],
           at_checkpoint[1], at_checkpoint[2], at_checkpoint[3],
           def.success ? def.runtime : -1.0, crashes);
@@ -171,5 +177,6 @@ int main(int argc, char** argv) {
 
   bench_parallel_and_cache(cluster, jobs_n == 0 ? simcore::ThreadPool::hardware_threads()
                                                 : jobs_n);
+  if (!json_path.empty()) g_report.write(json_path);
   return 0;
 }

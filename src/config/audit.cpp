@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "simcore/rng.hpp"
+
 namespace stune::config {
 
 namespace {
@@ -104,7 +106,7 @@ std::vector<std::string> audit_values(const ConfigSpace& space, const std::vecto
       continue;
     }
     const double sane = def.sanitize(raw);
-    if (raw != sane) {
+    if (!simcore::bits_equal(raw, sane)) {
       report(v, "param '", def.name, "' holds out-of-domain value ", raw, " (sanitizes to ",
              sane, ")");
     }

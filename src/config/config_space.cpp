@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "simcore/check.hpp"
+#include "simcore/rng.hpp"
 
 namespace stune::config {
 
@@ -245,7 +246,7 @@ Configuration ConfigSpace::neighbor(const Configuration& c, double step_frac,
         moved = std::clamp(moved, 0.0, 1.0);
         double v = def.from_unit(moved);
         // Make sure integer parameters actually move even on tiny steps.
-        if (def.type == ParamType::kInt && v == def.sanitize(values[d]) &&
+        if (def.type == ParamType::kInt && simcore::bits_equal(v, def.sanitize(values[d])) &&
             def.cardinality() > 1) {
           v = def.sanitize(values[d] + (rng.bernoulli(0.5) ? 1.0 : -1.0));
         }

@@ -43,9 +43,15 @@ std::vector<std::string> audit(const PhysicalPlan& plan) {
     for (const int p : s.parent_stages) {
       if (p < 0 || p >= n) {
         report(v, "stage ", i, " references out-of-range parent ", p);
-      } else if (p >= i) {
+      } else if (p == i) {
+        report(v, "stage ", i, " depends on stage ", p, " (self-loop)");
+      } else if (p > i && s.broadcast_bytes == 0) {
+        // The broadcast-join planner legitimately parents a pipelined
+        // consumer on a later broadcast-source stage; build_topology drops
+        // such edges as non-scheduling. Anywhere else a back edge is a
+        // cycle or broken topological order.
         report(v, "stage ", i, " depends on stage ", p,
-               p == i ? " (self-loop)" : " (back edge: cycle or broken topological order)");
+               " (back edge: cycle or broken topological order)");
       }
       if (!seen_parents.insert(p).second) {
         report(v, "stage ", i, " lists parent ", p, " more than once");

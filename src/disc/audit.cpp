@@ -86,9 +86,12 @@ std::vector<std::string> audit(const Deployment& d, const config::SparkConf& con
   return v;
 }
 
-std::vector<std::string> audit_stage(const StageMetrics& m, int total_slots) {
+std::vector<std::string> audit_stage(const StageMetrics& m, int total_slots,
+                                     bool allow_unlaunched) {
   std::vector<std::string> v;
-  if (m.tasks <= 0) report(v, "stage ", m.stage_id, " launched ", m.tasks, " tasks");
+  if (m.tasks < 0 || (m.tasks == 0 && !allow_unlaunched)) {
+    report(v, "stage ", m.stage_id, " launched ", m.tasks, " tasks");
+  }
   if (m.failed_tasks < 0 || m.failed_tasks > m.tasks) {
     report(v, "task conservation violation: stage ", m.stage_id, " reports ", m.failed_tasks,
            " failed of ", m.tasks, " launched");
@@ -167,7 +170,12 @@ std::vector<std::string> audit(const ExecutionReport& report_in) {
   Bytes input = 0, sread = 0, swrite = 0, spilled = 0;
   int lost_executors = 0, lost_vms = 0, speculative = 0;
   for (const StageMetrics& m : report_in.stages) {
-    for (auto& violation : audit_stage(m, 0)) v.push_back(std::move(violation));
+    // A failed report may end with the stage the run died in before any
+    // task launched (whole-fleet revocation), like the partially-scheduled
+    // waves above.
+    for (auto& violation : audit_stage(m, 0, !report_in.success)) {
+      v.push_back(std::move(violation));
+    }
     if (report_in.success &&
         m.start + m.duration > report_in.runtime * (1.0 + 1e-9) + 1e-6) {
       report(v, "stage ", m.stage_id, " finishes at ", m.start + m.duration,

@@ -36,8 +36,11 @@ std::vector<std::string> audit(const Deployment& d, const config::SparkConf& con
 
 /// Audit one completed stage's metrics (called by the engine at each stage
 /// boundary). `total_slots` is the fleet-wide slot count used to check the
-/// wave arithmetic.
-std::vector<std::string> audit_stage(const StageMetrics& m, int total_slots);
+/// wave arithmetic. `allow_unlaunched` tolerates a zero-task stage: a run
+/// aborted by an infra fault (e.g. the whole spot fleet revoked) reports
+/// the stage it died in before any task launched.
+std::vector<std::string> audit_stage(const StageMetrics& m, int total_slots,
+                                     bool allow_unlaunched = false);
 
 /// Audit a finalized execution report.
 std::vector<std::string> audit(const ExecutionReport& report);

@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "simcore/rng.hpp"
+
 namespace stune::model {
 
 namespace {
@@ -150,7 +152,7 @@ bool AdditiveGaussianProcess::full_fit() {
       double best_raw = saved;
       for (const double mult : options_.weight_grid) {
         raw[d] = base * mult;
-        if (raw[d] == saved) continue;
+        if (simcore::bits_equal(raw[d], saved)) continue;
         weights_ = normalized(raw);
         if (refit() && lml_ > best_lml) {
           best_lml = lml_;

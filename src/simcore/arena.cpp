@@ -2,14 +2,72 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <memory>
 
 #include "simcore/check.hpp"
 
+#if defined(STUNE_ARENA_POISON_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace stune::simcore {
+
+namespace {
+
+// 0xA5 rather than 0x00/0xFF: a zeroed stale write would pass a zero
+// pattern, and all-ones looks like a plausible sentinel; 0xA5 matches
+// neither common accident.
+constexpr std::byte kMagic{0xA5};
+
+/// Mark [p, p + n) as freed/never-allocated under the active poison mode.
+void poison(std::byte* p, std::size_t n) {
+  if (n == 0) return;
+#if defined(STUNE_ARENA_POISON_ASAN)
+  __asan_poison_memory_region(p, n);
+#elif defined(STUNE_ARENA_POISON)
+  std::memset(p, static_cast<int>(kMagic), n);
+#else
+  (void)p;
+#endif
+}
+
+/// Hand [p, p + n) back out: unpoison under ASan, verify the magic pattern
+/// survived otherwise. A failed check means some code wrote through a span
+/// from before the last reset().
+void unpoison_for_alloc(std::byte* p, std::size_t n) {
+#if defined(STUNE_ARENA_POISON_ASAN)
+  __asan_unpoison_memory_region(p, n);
+#elif defined(STUNE_ARENA_POISON)
+  for (std::size_t i = 0; i < n; ++i) {
+    STUNE_CHECK(p[i] == kMagic);  // stale write through a pre-reset() span
+  }
+#else
+  (void)p;
+#endif
+  (void)n;
+}
+
+/// Make [p, p + n) plain memory again before handing it to the system
+/// allocator (freeing manually-poisoned bytes confuses ASan's quarantine).
+void unpoison_for_release(std::byte* p, std::size_t n) {
+#if defined(STUNE_ARENA_POISON_ASAN)
+  __asan_unpoison_memory_region(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+}  // namespace
 
 TrialArena::TrialArena(std::size_t initial_bytes) {
   add_block(std::max<std::size_t>(initial_bytes, 64));
+}
+
+TrialArena::~TrialArena() {
+  for (Block& b : blocks_) unpoison_for_release(b.bytes.get(), b.size);
 }
 
 void TrialArena::add_block(std::size_t at_least) {
@@ -20,13 +78,22 @@ void TrialArena::add_block(std::size_t at_least) {
   b.bytes = std::make_unique<std::byte[]>(size);
   b.size = size;
   capacity_ += size;
+  poison(b.bytes.get(), b.size);
   blocks_.push_back(std::move(b));
 }
 
 void* TrialArena::allocate(std::size_t bytes, std::size_t align) {
   STUNE_CHECK_GT(align, 0u);
   Block* block = &blocks_[block_index_];
-  std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+  // Align the absolute address, not the bump offset: new[] only guarantees
+  // __STDCPP_DEFAULT_NEW_ALIGNMENT__ for the block base, so for over-aligned
+  // types an offset-aligned span could still start at a misaligned address.
+  const auto align_in = [align](const Block& b, std::size_t offset) {
+    const auto base = reinterpret_cast<std::uintptr_t>(b.bytes.get());
+    const std::uintptr_t addr = (base + offset + align - 1) & ~(align - 1);
+    return static_cast<std::size_t>(addr - base);
+  };
+  std::size_t aligned = align_in(*block, offset_);
   if (aligned + bytes > block->size) {
     // Try the remaining blocks (left over from a previous fat trial),
     // then grow.
@@ -35,22 +102,30 @@ void* TrialArena::allocate(std::size_t bytes, std::size_t align) {
       ++block_index_;
       block = &blocks_[block_index_];
       offset_ = 0;
-      aligned = (align - 1) & ~(align - 1);  // == 0; kept for symmetry
+      aligned = align_in(*block, 0);
     }
   }
   used_ += (aligned - offset_) + bytes;
   high_water_ = std::max(high_water_, used_);
   offset_ = aligned + bytes;
-  return block->bytes.get() + aligned;
+  std::byte* out = block->bytes.get() + aligned;
+  unpoison_for_alloc(out, bytes);
+  return out;
 }
 
 void TrialArena::reset() {
   if (blocks_.size() > 1) {
     // Coalesce: one block sized for the high-water mark replaces the spill
     // chain, so the next trial bump-allocates contiguously.
+    for (Block& b : blocks_) unpoison_for_release(b.bytes.get(), b.size);
     blocks_.clear();
     capacity_ = 0;
     add_block(high_water_);
+  } else {
+    // Everything handed out this trial is dead: poison the used prefix so a
+    // surviving span fails loudly instead of silently reading recycled
+    // bytes. (The tail past offset_ is still poisoned from add_block.)
+    poison(blocks_[0].bytes.get(), offset_);
   }
   block_index_ = 0;
   offset_ = 0;

@@ -11,6 +11,14 @@
 //
 // Not thread-safe: one arena belongs to one trial at a time (the
 // disc::TrialContextPool hands each worker its own).
+//
+// Use-after-reset validation (the STUNE_ARENA_POISON build option, runtime
+// complement of stune_analyze's static arena-escape pass): under ASan the
+// arena poisons its unallocated tail and everything reset() frees, and
+// unpoisons exactly the bytes each alloc hands out, so dereferencing a
+// stale span aborts with a use-after-poison report. Without ASan it fills
+// the same bytes with a magic pattern and verifies it on the next alloc, so
+// a stale *write* fails a STUNE_CHECK deterministically.
 #pragma once
 
 #include <cstddef>
@@ -18,13 +26,30 @@
 #include <span>
 #include <vector>
 
+#if defined(STUNE_ARENA_POISON)
+#if defined(__SANITIZE_ADDRESS__)
+#define STUNE_ARENA_POISON_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define STUNE_ARENA_POISON_ASAN 1
+#endif
+#endif
+#endif
+
 namespace stune::simcore {
+
+/// How the arena validates use-after-reset, fixed at compile time by the
+/// STUNE_ARENA_POISON option: kAsan poisons freed and not-yet-allocated
+/// bytes (stale reads and writes abort), kMagic fills them with a pattern
+/// checked on the next alloc (stale writes throw CheckError), kOff neither.
+enum class ArenaPoisonMode { kOff, kMagic, kAsan };
 
 class TrialArena {
  public:
   /// `initial_bytes` sizes the first block; the arena grows geometrically
   /// beyond it, so the value only tunes how fast the warm-up converges.
   explicit TrialArena(std::size_t initial_bytes = 1 << 16);
+  ~TrialArena();
 
   TrialArena(const TrialArena&) = delete;
   TrialArena& operator=(const TrialArena&) = delete;
@@ -54,6 +79,17 @@ class TrialArena {
   std::size_t high_water() const { return high_water_; }
   /// Total bytes owned across all blocks.
   std::size_t capacity() const { return capacity_; }
+
+  /// The validation mode this build compiled in.
+  static constexpr ArenaPoisonMode poison_mode() {
+#if defined(STUNE_ARENA_POISON_ASAN)
+    return ArenaPoisonMode::kAsan;
+#elif defined(STUNE_ARENA_POISON)
+    return ArenaPoisonMode::kMagic;
+#else
+    return ArenaPoisonMode::kOff;
+#endif
+  }
 
  private:
   struct Block {

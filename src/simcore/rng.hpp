@@ -29,6 +29,12 @@ std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
 /// hash differently — callers comparing "the same value" must canonicalize.
 std::uint64_t hash_double(double v);
 
+/// Bitwise identity of two doubles: the approved exact-FP-equality idiom
+/// (stune_analyze's fp-compare rule flags raw ==/!= instead). Same contract
+/// as hash_double — -0.0 != 0.0, NaN payloads compare by bits — so "is this
+/// exactly the value I wrote" reads as what it is, not as a rounding bug.
+bool bits_equal(double a, double b);
+
 /// xoshiro256** generator with convenience distributions.
 ///
 /// Satisfies UniformRandomBitGenerator, so it can also be plugged into

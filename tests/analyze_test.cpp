@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -87,6 +88,18 @@ TEST(AnalyzeManifest, CommittedTomlMatchesCompiledDefault) {
   const LayerManifest compiled = default_manifest();
   EXPECT_EQ(committed.order, compiled.order);
   EXPECT_EQ(committed.allowed, compiled.allowed);
+  EXPECT_EQ(committed.arena_modules, compiled.arena_modules);
+}
+
+TEST(AnalyzeManifest, ParsesTheArenaTable) {
+  LayerManifest m;
+  std::string error;
+  ASSERT_TRUE(parse_manifest(
+      "[modules]\ndisc = []\n[arena]\nengine = [\"disc\", \"simcore\"]\n", m, error))
+      << error;
+  EXPECT_EQ(m.arena_modules, (std::set<std::string>{"disc", "simcore"}));
+  // Only the single `engine` entry is legal inside [arena].
+  EXPECT_FALSE(parse_manifest("[modules]\ndisc = []\n[arena]\nother = [\"disc\"]\n", m, error));
 }
 
 TEST(AnalyzeManifest, DefaultManifestIsAcyclic) {
@@ -412,6 +425,404 @@ TEST(AnalyzeLockOrder, CanonicalizesForeignObjectExpressions) {
 }
 
 // ---------------------------------------------------------------------------
+// Arena lifetime checks
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeArena, FlagsAllocOutsideTheEngineLayer) {
+  const Program p = make_program({
+      {"src/tuning/scratch.cpp",
+       "#include \"simcore/arena.hpp\"\n"
+       "double first(simcore::TrialArena& arena) {\n"
+       "  auto s = arena.alloc<double>(4);\n"
+       "  return s[0];\n"
+       "}\n"},
+  });
+  const auto vs = p.check_arena(default_manifest());
+  const Violation& v = only(vs, "arena-alloc-layer");
+  EXPECT_EQ(v.file, "src/tuning/scratch.cpp");
+  EXPECT_EQ(v.line, 3u);
+  EXPECT_NE(v.message.find("tuning"), std::string::npos);
+}
+
+TEST(AnalyzeArena, LocalUseInsideTheEngineLayerIsClean) {
+  const Program p = make_program({
+      {"src/disc/stage.cpp",
+       "#include \"simcore/arena.hpp\"\n"
+       "double total(simcore::TrialArena& arena, unsigned long n) {\n"
+       "  auto s = arena.alloc<double>(n);\n"
+       "  double acc = 0.0;\n"
+       "  for (unsigned long i = 0; i < n; ++i) acc = acc + s[i];\n"
+       "  return acc;\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(p.check_arena(default_manifest()).empty());
+}
+
+TEST(AnalyzeArena, FlagsSpanStoredIntoMember) {
+  const Program p = make_program({
+      {"src/disc/keeper.cpp",
+       "#include <span>\n"
+       "#include \"simcore/arena.hpp\"\n"
+       "class Keeper {\n"
+       " public:\n"
+       "  void lease(simcore::TrialArena& arena) { cache_ = arena.alloc<double>(8); }\n"
+       " private:\n"
+       "  std::span<double> cache_;\n"
+       "};\n"},
+  });
+  const auto vs = p.check_arena(default_manifest());
+  const Violation& v = only(vs, "arena-store-escape");
+  EXPECT_EQ(v.line, 5u);
+  EXPECT_NE(v.message.find("cache_"), std::string::npos);
+}
+
+TEST(AnalyzeArena, FlagsDerivedValueStoredThroughTwoHops) {
+  // The escape travels alloc -> s -> d -> this->slot: only the transitive
+  // derived-set can see it.
+  const Program p = make_program({
+      {"src/disc/hops.cpp",
+       "#include \"simcore/arena.hpp\"\n"
+       "class Hops {\n"
+       " public:\n"
+       "  void lease(simcore::TrialArena& arena) {\n"
+       "    auto s = arena.alloc<double>(8);\n"
+       "    auto d = s;\n"
+       "    this->slot = d.data();\n"
+       "  }\n"
+       " private:\n"
+       "  double* slot;\n"
+       "};\n"},
+  });
+  const auto vs = p.check_arena(default_manifest());
+  const Violation& v = only(vs, "arena-store-escape");
+  EXPECT_EQ(v.line, 7u);
+  EXPECT_NE(v.message.find("this->"), std::string::npos);
+}
+
+TEST(AnalyzeArena, FlagsSpanPushedIntoMemberContainer) {
+  const Program p = make_program({
+      {"src/disc/collector.cpp",
+       "#include <span>\n"
+       "#include <vector>\n"
+       "#include \"simcore/arena.hpp\"\n"
+       "class Collector {\n"
+       " public:\n"
+       "  void lease(simcore::TrialArena& arena) {\n"
+       "    auto s = arena.alloc<double>(8);\n"
+       "    spans_.push_back(s);\n"
+       "  }\n"
+       " private:\n"
+       "  std::vector<std::span<double>> spans_;\n"
+       "};\n"},
+  });
+  const auto vs = p.check_arena(default_manifest());
+  const Violation& v = only(vs, "arena-store-escape");
+  EXPECT_EQ(v.line, 8u);
+  EXPECT_NE(v.message.find("spans_"), std::string::npos);
+}
+
+TEST(AnalyzeArena, FlagsSpanBoundToAStatic) {
+  const Program p = make_program({
+      {"src/simcore/memo.cpp",
+       "#include <span>\n"
+       "#include \"simcore/arena.hpp\"\n"
+       "double memoized(simcore::TrialArena& arena) {\n"
+       "  static std::span<double> cached = arena.alloc<double>(8);\n"
+       "  return cached[0];\n"
+       "}\n"},
+  });
+  const auto vs = p.check_arena(default_manifest());
+  const Violation& v = only(vs, "arena-store-escape");
+  EXPECT_EQ(v.line, 4u);
+  EXPECT_NE(v.message.find("static"), std::string::npos);
+}
+
+TEST(AnalyzeArena, FlagsReturnEscapeFromOutsideTheEngineLayer) {
+  const Program p = make_program({
+      {"src/workload/lease.cpp",
+       "#include <span>\n"
+       "#include \"simcore/arena.hpp\"\n"
+       "std::span<double> lease(simcore::TrialArena& arena) {\n"
+       "  auto s = arena.alloc<double>(4);\n"
+       "  return s;\n"
+       "}\n"},
+  });
+  const auto vs = p.check_arena(default_manifest());
+  const Violation& v = only(vs, "arena-return-escape");
+  EXPECT_EQ(v.line, 5u);
+  EXPECT_TRUE(has_rule(vs, "arena-alloc-layer"));  // the alloc itself is also foreign
+}
+
+TEST(AnalyzeArena, FlagsEngineReturnReceivedOutsideTheEngineLayer) {
+  // The return is legal inside disc; the violation is the workload caller
+  // receiving the span — reported at the call site, cross-TU.
+  const Program p = make_program({
+      {"src/disc/lease.cpp",
+       "#include <span>\n"
+       "#include \"simcore/arena.hpp\"\n"
+       "std::span<double> lease_scratch(simcore::TrialArena& arena) {\n"
+       "  return arena.alloc<double>(4);\n"
+       "}\n"},
+      {"src/workload/use.cpp",
+       "#include \"disc/lease.hpp\"\n"
+       "double consume(simcore::TrialArena& arena) {\n"
+       "  auto s = lease_scratch(arena);\n"
+       "  return s[0];\n"
+       "}\n"},
+  });
+  const auto vs = p.check_arena(default_manifest());
+  const Violation& v = only(vs, "arena-return-escape");
+  EXPECT_EQ(v.file, "src/workload/use.cpp");
+  EXPECT_EQ(v.line, 3u);
+  EXPECT_NE(v.message.find("lease_scratch"), std::string::npos);
+}
+
+TEST(AnalyzeArena, EngineReturnWithEngineCallersIsClean) {
+  const Program p = make_program({
+      {"src/disc/lease.cpp",
+       "#include <span>\n"
+       "#include \"simcore/arena.hpp\"\n"
+       "std::span<double> lease_scratch(simcore::TrialArena& arena) {\n"
+       "  return arena.alloc<double>(4);\n"
+       "}\n"},
+      {"src/disc/use.cpp",
+       "#include \"disc/lease.hpp\"\n"
+       "double consume(simcore::TrialArena& arena) {\n"
+       "  auto s = lease_scratch(arena);\n"
+       "  return s[0];\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(p.check_arena(default_manifest()).empty());
+}
+
+TEST(AnalyzeArena, LambdaReturnsAreLocalPlumbing) {
+  // The engine's alloc_fn idiom: a lambda that returns freshly allocated
+  // spans to its enclosing function is not an escape.
+  const Program p = make_program({
+      {"src/disc/plumbing.cpp",
+       "#include \"simcore/arena.hpp\"\n"
+       "double run_stage(simcore::TrialArena& arena) {\n"
+       "  auto alloc_fn = [&](unsigned long n) { return arena.alloc<double>(n); };\n"
+       "  auto s = alloc_fn(4);\n"
+       "  return s[0];\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(p.check_arena(default_manifest()).empty());
+}
+
+TEST(AnalyzeArena, AllowCommentSuppressesThroughCheckAll) {
+  const Program p = make_program({
+      {"src/tuning/scratch.cpp",
+       "#include \"simcore/arena.hpp\"\n"
+       "double first(simcore::TrialArena& arena) {\n"
+       "  auto s = arena.alloc<double>(4);  // stune-analyze: allow(arena-alloc-layer)\n"
+       "  return s[0];\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(has_rule(p.check_arena(default_manifest()), "arena-alloc-layer"));
+  EXPECT_FALSE(has_rule(p.check_all(default_manifest()), "arena-alloc-layer"));
+}
+
+// ---------------------------------------------------------------------------
+// FP determinism checks
+// ---------------------------------------------------------------------------
+
+// Two files: the fingerprint entry in one TU, the accumulation loop in the
+// other, so the flag depends on cross-TU closure membership.
+const char* const kWeightedSum =
+    "double weighted(const double* a, const double* b, unsigned long n) {\n"
+    "  double acc = 0.0;\n"
+    "  for (unsigned long i = 0; i < n; ++i) acc += a[i] * b[i];\n"
+    "  return acc;\n"
+    "}\n";
+
+TEST(AnalyzeFp, FlagsAccumulationLoopInUnpinnedClosureTU) {
+  const Program p = make_program({
+      {"src/model/score.cpp", kWeightedSum},
+      {"src/disc/fp.cpp",
+       "double fingerprint_score(const double* a, const double* b, unsigned long n) {\n"
+       "  return weighted(a, b, n);\n"
+       "}\n"},
+  });
+  const auto vs = p.check_fp(FpManifest{});
+  const Violation& v = only(vs, "fp-contract");
+  EXPECT_EQ(v.file, "src/model/score.cpp");
+  EXPECT_EQ(v.line, 3u);
+}
+
+TEST(AnalyzeFp, PinnedTUIsClean) {
+  const Program p = make_program({
+      {"src/model/score.cpp", kWeightedSum},
+      {"src/disc/fp.cpp",
+       "double fingerprint_score(const double* a, const double* b, unsigned long n) {\n"
+       "  return weighted(a, b, n);\n"
+       "}\n"},
+  });
+  FpManifest fp;
+  fp.contract_off = {"src/model/score.cpp"};
+  EXPECT_TRUE(p.check_fp(fp).empty());
+}
+
+TEST(AnalyzeFp, SameMathOutsideTheClosureIsClean) {
+  const Program p = make_program({
+      {"src/model/score.cpp", kWeightedSum},
+  });
+  EXPECT_TRUE(p.check_fp(FpManifest{}).empty());  // nothing reaches it
+}
+
+TEST(AnalyzeFp, PinnedFmaHelpersAreClean) {
+  const Program p = make_program({
+      {"src/model/score.cpp",
+       "double fma_acc(double acc, double a, double b);\n"
+       "double weighted(const double* a, const double* b, unsigned long n) {\n"
+       "  double acc = 0.0;\n"
+       "  for (unsigned long i = 0; i < n; ++i) acc = fma_acc(acc, a[i], b[i]);\n"
+       "  return acc;\n"
+       "}\n"
+       "double fingerprint_score(const double* a, const double* b, unsigned long n) {\n"
+       "  return weighted(a, b, n);\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(p.check_fp(FpManifest{}).empty());
+}
+
+TEST(AnalyzeFp, FlagsMulAddAssignmentShape) {
+  const Program p = make_program({
+      {"src/disc/fp.cpp",
+       "double fingerprint_cost(double cpu, double rate, double base) {\n"
+       "  double total = base + cpu * rate;\n"
+       "  return total;\n"
+       "}\n"},
+  });
+  const auto vs = p.check_fp(FpManifest{});
+  const Violation& v = only(vs, "fp-contract");
+  EXPECT_EQ(v.line, 2u);
+}
+
+TEST(AnalyzeFp, ClosureReachesThroughSimulatorRun) {
+  // SparkSimulator::run is a parity entry point even though nothing named
+  // "fingerprint" appears: the engine's bitwise report contract hangs off it.
+  const Program p = make_program({
+      {"src/model/score.cpp", kWeightedSum},
+      {"src/disc/sim.cpp",
+       "class SparkSimulator {\n"
+       " public:\n"
+       "  double run(const double* a, const double* b, unsigned long n) {\n"
+       "    return weighted(a, b, n);\n"
+       "  }\n"
+       "};\n"},
+  });
+  EXPECT_TRUE(has_rule(p.check_fp(FpManifest{}), "fp-contract"));
+}
+
+TEST(AnalyzeFp, FlagsRawEqualityBetweenFpExpressions) {
+  const Program p = make_program({
+      {"src/disc/cmp.cpp",
+       "bool fingerprint_same(double a, double b) {\n"
+       "  return a == b;\n"
+       "}\n"},
+  });
+  const auto vs = p.check_fp(FpManifest{});
+  const Violation& v = only(vs, "fp-compare");
+  EXPECT_EQ(v.line, 2u);
+}
+
+TEST(AnalyzeFp, LiteralSentinelComparisonsStayLegal) {
+  const Program p = make_program({
+      {"src/disc/cmp.cpp",
+       "bool fingerprint_unset(double x) {\n"
+       "  return x == 0.0;\n"
+       "}\n"},
+  });
+  EXPECT_FALSE(has_rule(p.check_fp(FpManifest{}), "fp-compare"));
+}
+
+TEST(AnalyzeFp, HashHelpersAreExemptFromFpCompare) {
+  const Program p = make_program({
+      {"src/simcore/hash.cpp",
+       "unsigned long hash_double_pair(double a, double b) {\n"
+       "  return a == b ? 1ul : 2ul;\n"
+       "}\n"
+       "unsigned long fingerprint_pair(double a, double b) {\n"
+       "  return hash_double_pair(a, b);\n"
+       "}\n"},
+  });
+  EXPECT_FALSE(has_rule(p.check_fp(FpManifest{}), "fp-compare"));
+}
+
+TEST(AnalyzeFp, IntegerComparisonsWithCollidingNamesAreClean) {
+  // `l` is a double elsewhere in the program; `l.rows() == l.cols()` must be
+  // judged by the head segment (`rows`), not poisoned by the name pool.
+  const Program p = make_program({
+      {"src/simcore/other.cpp", "double shadow() { double l = 1.5; return l; }\n"},
+      {"src/disc/shape.cpp",
+       "struct M { unsigned long rows() const; unsigned long cols() const; };\n"
+       "bool fingerprint_square(const M& l) {\n"
+       "  return l.rows() == l.cols();\n"
+       "}\n"},
+  });
+  EXPECT_FALSE(has_rule(p.check_fp(FpManifest{}), "fp-compare"));
+}
+
+// ---------------------------------------------------------------------------
+// FP pin manifest (CMake parsing)
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeFpManifest, ParsesPinListsOutOfCmake) {
+  FpManifest fp;
+  std::string error;
+  ASSERT_TRUE(parse_fp_manifest(
+      {
+          {"CMakeLists.txt",
+           "# top level\n"
+           "set(STUNE_FP_PIN_OPTIONS \"-ffp-contract=off\" CACHE INTERNAL \"pin\")\n"
+           "set(HOT \"-O3;${STUNE_FP_PIN_OPTIONS}\")\n"},
+          {"src/alpha/CMakeLists.txt",
+           "set_source_files_properties(one.cpp two.cpp PROPERTIES\n"
+           "  COMPILE_OPTIONS \"${HOT}\")\n"},
+          {"src/beta/CMakeLists.txt",
+           "set_source_files_properties(three.cpp PROPERTIES COMPILE_OPTIONS \"-O2\")\n"},
+      },
+      fp, error))
+      << error;
+  EXPECT_EQ(fp.contract_off,
+            (std::set<std::string>{"src/alpha/one.cpp", "src/alpha/two.cpp"}));
+}
+
+TEST(AnalyzeFpManifest, RejectsUnbalancedCommands) {
+  FpManifest fp;
+  std::string error;
+  EXPECT_FALSE(parse_fp_manifest({{"CMakeLists.txt", "set(X \"-ffp-contract=off\"\n"}}, fp, error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(AnalyzeFpManifest, CommittedCmakePinsMatchCompiledDefault) {
+  // The CMakeLists tree and default_fp_manifest() must agree, or the CLI
+  // (which parses the build files) and embedded users (who get the default)
+  // would exempt different TUs from [fp-contract].
+  namespace fs = std::filesystem;
+  const fs::path root = STUNE_SOURCE_ROOT;
+  std::vector<SourceFile> cmake_files;
+  const auto load = [&cmake_files, &root](const fs::path& path) {
+    std::ifstream f(path);
+    ASSERT_TRUE(f.is_open()) << path;
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    cmake_files.push_back({fs::relative(path, root).generic_string(), buf.str()});
+  };
+  load(root / "CMakeLists.txt");
+  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
+    if (entry.is_regular_file() && entry.path().filename() == "CMakeLists.txt") {
+      load(entry.path());
+    }
+  }
+  FpManifest committed;
+  std::string error;
+  ASSERT_TRUE(parse_fp_manifest(cmake_files, committed, error)) << error;
+  EXPECT_EQ(committed.contract_off, default_fp_manifest().contract_off);
+}
+
+// ---------------------------------------------------------------------------
 // Aggregation
 // ---------------------------------------------------------------------------
 
@@ -432,7 +843,9 @@ TEST(AnalyzeRuleIds, CoversEveryFamily) {
   const auto& ids = rule_ids();
   for (const char* id : {"layer-back-edge", "layer-unknown-module", "layer-cycle",
                          "det-iter", "det-ptr-key", "det-rng", "det-wall-clock",
-                         "lock-cycle", "lock-excludes", "lock-rank-order"}) {
+                         "lock-cycle", "lock-excludes", "lock-rank-order",
+                         "arena-store-escape", "arena-return-escape", "arena-alloc-layer",
+                         "fp-contract", "fp-compare"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end()) << id;
   }
 }

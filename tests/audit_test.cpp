@@ -142,6 +142,18 @@ TEST(DagAudit, DetectsSelfLoop) {
   EXPECT_TRUE(mentions(dag::audit(p), "self-loop"));
 }
 
+TEST(DagAudit, ToleratesBroadcastBackEdges) {
+  // The broadcast-join planner parents a pipelined consumer on a later
+  // broadcast-source stage; build_topology drops the edge, so the auditor
+  // must accept it on a broadcast-receiving stage (and only there).
+  auto p = tiny_valid_plan();
+  p.stages[0].parent_stages = {1};
+  p.stages[0].broadcast_bytes = gib(0.1);
+  EXPECT_TRUE(dag::audit(p).empty());
+  p.stages[0].broadcast_bytes = 0;
+  EXPECT_TRUE(mentions(dag::audit(p), "back edge"));
+}
+
 TEST(DagAudit, DetectsBarrierViolation) {
   auto p = tiny_valid_plan();
   p.stages[1].parent_stages.clear();  // reads stage 0's shuffle without waiting for it
@@ -323,6 +335,26 @@ TEST(ReportAudit, DetectsStageOutrunningRuntime) {
   ASSERT_FALSE(r.stages.empty());
   r.stages.back().duration = r.runtime * 2.0;
   EXPECT_TRUE(mentions(disc::audit(r), "after the reported runtime"));
+}
+
+TEST(ReportAudit, ToleratesUnlaunchedStageOnFailedReports) {
+  // A run aborted by an infra fault (whole spot fleet revoked) reports the
+  // stage it died in with zero launched tasks; that is legitimate on a
+  // failed report and a violation on a successful one.
+  auto r = healthy_report();
+  ASSERT_FALSE(r.stages.empty());
+  auto& dying = r.stages.back();
+  dying.tasks = 0;
+  dying.failed_tasks = 0;
+  dying.speculative_tasks = 0;
+  r.success = false;
+  r.infra_fault = true;
+  r.failure_reason = "all spot VMs revoked";
+  EXPECT_TRUE(disc::audit(r).empty());
+  r.success = true;
+  r.infra_fault = false;
+  r.failure_reason.clear();
+  EXPECT_TRUE(mentions(disc::audit(r), "launched 0 tasks"));
 }
 
 // -- engine STUNE_AUDIT hook ---------------------------------------------------

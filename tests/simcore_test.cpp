@@ -325,6 +325,86 @@ TEST(TrialArena, HighWaterTracksLifetimeMaximum) {
   EXPECT_EQ(arena.high_water(), peak);
 }
 
+TEST(TrialArena, OverAlignedTypesGetCorrectlyAlignedAddresses) {
+  struct alignas(64) CacheLine {
+    double lanes[8];
+  };
+  TrialArena arena(1 << 8);
+  for (int i = 0; i < 20; ++i) {
+    // A one-byte allocation in between knocks the bump offset off any
+    // natural 64-byte stride, so each CacheLine span must re-align from an
+    // arbitrary address (not just an arbitrary offset).
+    arena.alloc<std::uint8_t>(1);
+    const auto s = arena.alloc<CacheLine>(3);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s.data()) % 64u, 0u);
+  }
+}
+
+TEST(TrialArena, CoalescingAtTheHighWaterMarkIsStable) {
+  TrialArena arena(1 << 8);
+  for (int i = 0; i < 50; ++i) arena.alloc<double>(100);
+  arena.reset();  // coalesces the spill chain
+  const std::size_t coalesced = arena.capacity();
+  // A trial that allocates exactly the coalesced capacity in one shot sits
+  // right at the high-water boundary: it must fit the single block, and the
+  // following reset must not churn capacity again.
+  arena.alloc<std::byte>(coalesced);
+  EXPECT_EQ(arena.capacity(), coalesced);
+  arena.reset();
+  EXPECT_EQ(arena.capacity(), coalesced);
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+// -- TrialArena poisoning (STUNE_ARENA_POISON builds) ------------------------
+
+TEST(TrialArenaPoison, RoundTripsCleanlyThroughResetAndRealloc) {
+  // Valid usage must behave identically in every poison mode: spans are
+  // handed out unpoisoned, scribbles die at reset, re-allocs come back
+  // zeroed and checkable. Runs unconditionally so the plain build keeps the
+  // coverage and the poisoned CI jobs exercise the poison/unpoison paths.
+  TrialArena arena(1 << 8);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto a = arena.alloc<double>(200);  // spills past the initial block
+    auto b = arena.alloc<std::uint64_t>(33);
+    for (auto& v : a) v = 1.5;
+    for (auto& v : b) v = 0xDEADBEEFu;
+    arena.reset();
+  }
+  const auto again = arena.alloc<double>(200);
+  for (const double v : again) EXPECT_EQ(v, 0.0);
+}
+
+TEST(TrialArenaPoison, MagicModeThrowsOnStaleWriteThroughResetSpan) {
+  if (TrialArena::poison_mode() != ArenaPoisonMode::kMagic) {
+    GTEST_SKIP() << "needs a -DSTUNE_ARENA_POISON=ON build without ASan";
+  }
+  TrialArena arena;
+  const auto stale = arena.alloc<std::uint64_t>(8);
+  arena.reset();
+  // Use-after-reset: in magic mode the memory is still owned, so the write
+  // lands, but it destroys the 0xA5 fill that the next alloc verifies.
+  stale[0] = 42;
+  EXPECT_THROW(arena.alloc<std::uint64_t>(8), CheckError);
+}
+
+#if defined(STUNE_ARENA_POISON_ASAN)
+TEST(TrialArenaPoisonDeathTest, AsanModeAbortsOnUseAfterReset) {
+  // The deliberately injected use-after-reset the poisoned CI job must
+  // catch: reading a span that reset() invalidated trips ASan's
+  // use-after-poison report.
+  EXPECT_DEATH(
+      {
+        TrialArena arena;
+        const auto stale = arena.alloc<double>(16);
+        arena.reset();
+        volatile double sink = stale[0];
+        (void)sink;
+      },
+      "use-after-poison");
+}
+#endif
+
 // -- Lock-rank validator -----------------------------------------------------
 //
 // The validator functions are compiled in every build (only the Mutex wiring

@@ -75,12 +75,14 @@ LayerManifest default_manifest() {
   add("transfer", {"disc", "model", "simcore", "tuning"});
   add("service", {"adaptive", "cluster", "config", "dag", "disc", "model", "simcore",
                   "transfer", "tuning", "workload"});
+  m.arena_modules = {"disc", "simcore"};
   return m;
 }
 
 bool parse_manifest(const std::string& toml, LayerManifest& out, std::string& error) {
   out = LayerManifest{};
-  bool in_modules = false;
+  enum class Table { kNone, kModules, kArena };
+  Table table = Table::kNone;
   std::size_t line_no = 0;
   std::size_t pos = 0;
   while (pos <= toml.size()) {
@@ -100,14 +102,17 @@ bool parse_manifest(const std::string& toml, LayerManifest& out, std::string& er
     if (line.empty()) continue;
 
     if (line.front() == '[') {
-      in_modules = (line == "[modules]");
-      if (!in_modules) {
+      if (line == "[modules]") {
+        table = Table::kModules;
+      } else if (line == "[arena]") {
+        table = Table::kArena;
+      } else {
         error = "line " + std::to_string(line_no) + ": unknown table " + line;
         return false;
       }
       continue;
     }
-    if (!in_modules) {
+    if (table == Table::kNone) {
       error = "line " + std::to_string(line_no) + ": entry outside [modules]";
       return false;
     }
@@ -141,6 +146,15 @@ bool parse_manifest(const std::string& toml, LayerManifest& out, std::string& er
       cur = tx::skip_ws(line, close + 1);
       if (cur < line.size() && line[cur] == ',') ++cur;
     }
+    if (table == Table::kArena) {
+      if (name != "engine" || !out.arena_modules.empty()) {
+        error = "line " + std::to_string(line_no) +
+                ": [arena] holds a single `engine = [\"module\", ...]` entry";
+        return false;
+      }
+      out.arena_modules = std::move(deps);
+      continue;
+    }
     if (out.allowed.count(name) != 0) {
       error = "line " + std::to_string(line_no) + ": duplicate module " + name;
       return false;
@@ -157,10 +171,184 @@ bool parse_manifest(const std::string& toml, LayerManifest& out, std::string& er
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kIds = {
-      "layer-back-edge", "layer-unknown-module", "layer-cycle",     "det-iter",
-      "det-ptr-key",     "det-rng",              "det-wall-clock",  "lock-cycle",
-      "lock-excludes",   "lock-rank-order"};
+      "layer-back-edge", "layer-unknown-module", "layer-cycle",        "det-iter",
+      "det-ptr-key",     "det-rng",              "det-wall-clock",     "lock-cycle",
+      "lock-excludes",   "lock-rank-order",      "arena-store-escape",
+      "arena-return-escape", "arena-alloc-layer", "fp-contract",       "fp-compare"};
   return kIds;
+}
+
+// ---------------------------------------------------------------------------
+// FP pin manifest
+// ---------------------------------------------------------------------------
+
+FpManifest default_fp_manifest() {
+  // The committed parity-closure pin set: every TU the fp-contract rule can
+  // reach that carries multiply-add FP math. Mirrors the
+  // set_source_files_properties lists in the CMakeLists tree (asserted
+  // identical by analyze_test).
+  FpManifest fp;
+  fp.contract_off = {
+      "src/adaptive/change_detector.cpp",
+      "src/cluster/contention.cpp",
+      "src/config/param.cpp",
+      "src/config/spark_space.cpp",
+      "src/dag/plan.cpp",
+      "src/disc/cost_model.cpp",
+      "src/disc/engine.cpp",
+      "src/disc/whatif.cpp",
+      "src/linalg/matrix.cpp",
+      "src/model/additive_gp.cpp",
+      "src/model/gp.cpp",
+      "src/model/kmedoids.cpp",
+      "src/model/linear.cpp",
+      "src/model/tree.cpp",
+      "src/simcore/fault.cpp",
+      "src/simcore/stats.cpp",
+      "src/transfer/characterization.cpp",
+      "src/tuning/bestconfig.cpp",
+      "src/tuning/grid.cpp",
+  };
+  return fp;
+}
+
+namespace {
+
+/// One `command( ... )` invocation in a CMake file, comments stripped.
+struct CmakeCommand {
+  std::string name;
+  std::vector<std::string> args;  // quoted args keep their content, not the quotes
+};
+
+bool parse_cmake_commands(const SourceFile& file, std::vector<CmakeCommand>& out,
+                          std::string& error) {
+  // Strip comments (this repo's CMake files never put '#' inside a quoted
+  // string, and the quoted strings we care about are compile options).
+  std::string s;
+  s.reserve(file.content.size());
+  bool in_quote = false;
+  for (std::size_t p = 0; p < file.content.size(); ++p) {
+    const char c = file.content[p];
+    if (c == '"') in_quote = !in_quote;
+    if (c == '#' && !in_quote) {
+      const std::size_t eol = file.content.find('\n', p);
+      if (eol == std::string::npos) break;
+      p = eol;
+      s.push_back('\n');
+      continue;
+    }
+    s.push_back(c);
+  }
+
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    if (!tx::ident_start(s[pos])) {
+      ++pos;
+      continue;
+    }
+    CmakeCommand cmd;
+    cmd.name = tx::read_ident(s, pos);
+    std::size_t cur = tx::skip_ws(s, pos);
+    if (cur >= s.size() || s[cur] != '(') continue;  // not an invocation
+    const std::size_t close = tx::match_forward(s, cur, '(', ')');
+    if (close == std::string::npos) {
+      error = file.path + ": unbalanced parenthesis in " + cmd.name + "(...)";
+      return false;
+    }
+    // Tokenize the argument list: whitespace-separated, quotes group.
+    std::size_t q = cur + 1;
+    while (q < close - 1) {
+      q = tx::skip_ws(s, q);
+      if (q >= close - 1) break;
+      std::string arg;
+      if (s[q] == '"') {
+        const std::size_t end = s.find('"', q + 1);
+        if (end == std::string::npos || end >= close) break;
+        arg = s.substr(q + 1, end - q - 1);
+        q = end + 1;
+      } else {
+        const std::size_t begin = q;
+        while (q < close - 1 && s[q] != ' ' && s[q] != '\t' && s[q] != '\n' &&
+               s[q] != '\r') {
+          ++q;
+        }
+        arg = s.substr(begin, q - begin);
+      }
+      cmd.args.push_back(std::move(arg));
+    }
+    out.push_back(std::move(cmd));
+    pos = close;
+  }
+  return true;
+}
+
+/// Whether an options value carries -ffp-contract=off, literally or through
+/// a ${X} reference to a variable in `pinned_vars`.
+bool carries_contract_off(const std::string& value, const std::set<std::string>& pinned_vars) {
+  if (value.find("-ffp-contract=off") != std::string::npos) return true;
+  for (std::size_t p = value.find("${"); p != std::string::npos; p = value.find("${", p + 1)) {
+    const std::size_t end = value.find('}', p + 2);
+    if (end == std::string::npos) break;
+    if (pinned_vars.count(value.substr(p + 2, end - p - 2)) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_fp_manifest(const std::vector<SourceFile>& cmake_files, FpManifest& out,
+                       std::string& error) {
+  out = FpManifest{};
+  std::vector<std::pair<std::string, std::vector<CmakeCommand>>> parsed;  // dir, commands
+  for (const SourceFile& file : cmake_files) {
+    std::vector<CmakeCommand> commands;
+    if (!parse_cmake_commands(file, commands, error)) return false;
+    const std::size_t slash = file.path.rfind('/');
+    const std::string dir = slash == std::string::npos ? "" : file.path.substr(0, slash + 1);
+    parsed.emplace_back(dir, std::move(commands));
+  }
+
+  // Which variables carry the flag, through ${X} references to a fixpoint
+  // (STUNE_ENGINE_KERNEL_OPTIONS is built from STUNE_FP_PIN_OPTIONS).
+  std::set<std::string> pinned_vars;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [dir, commands] : parsed) {
+      (void)dir;
+      for (const CmakeCommand& cmd : commands) {
+        if (cmd.name != "set" || cmd.args.size() < 2) continue;
+        if (pinned_vars.count(cmd.args[0]) != 0) continue;
+        for (std::size_t a = 1; a < cmd.args.size(); ++a) {
+          if (!carries_contract_off(cmd.args[a], pinned_vars)) continue;
+          pinned_vars.insert(cmd.args[0]);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  for (const auto& [dir, commands] : parsed) {
+    for (const CmakeCommand& cmd : commands) {
+      if (cmd.name != "set_source_files_properties") continue;
+      std::vector<std::string> sources;
+      bool pinned = false;
+      for (std::size_t a = 0; a < cmd.args.size(); ++a) {
+        if (cmd.args[a] == "PROPERTIES") {
+          sources.assign(cmd.args.begin(), cmd.args.begin() + static_cast<long>(a));
+          continue;
+        }
+        if (cmd.args[a] == "COMPILE_OPTIONS" && a + 1 < cmd.args.size() &&
+            carries_contract_off(cmd.args[a + 1], pinned_vars)) {
+          pinned = true;
+        }
+      }
+      if (!pinned) continue;
+      for (const std::string& source : sources) out.contract_off.insert(dir + source);
+    }
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -312,6 +500,28 @@ void Program::parse_file(std::size_t file_index) {
       arg_begin = q + 1;
       if (!tx::last_segment(expr).empty()) {
         raw_excludes_.push_back({function, std::move(expr), cls});
+      }
+    }
+  }
+
+  // -- arena-typed names: `TrialArena a;`, `TrialArena& arena`, members ------
+  for (std::size_t p = tx::find_token(s, "TrialArena"); p != std::string::npos;
+       p = tx::find_token(s, "TrialArena", p + 1)) {
+    std::size_t cur = tx::skip_ws(s, p + 10);
+    while (cur < s.size() && (s[cur] == '&' || s[cur] == '*')) cur = tx::skip_ws(s, cur + 1);
+    const std::string name = tx::read_ident(s, cur);
+    if (!name.empty()) arena_names_.insert(name);
+  }
+
+  // -- float/double names: variables, parameters, fp-returning functions ----
+  for (const char* kw : {"double", "float"}) {
+    for (std::size_t p = tx::find_token(s, kw); p != std::string::npos;
+         p = tx::find_token(s, kw, p + 1)) {
+      std::size_t cur = tx::skip_ws(s, p + std::string(kw).size());
+      while (cur < s.size() && (s[cur] == '&' || s[cur] == '*')) cur = tx::skip_ws(s, cur + 1);
+      const std::string name = tx::read_ident(s, cur);
+      if (!name.empty() && !qualifier_word(name) && name != "operator") {
+        fp_names_.insert(name);
       }
     }
   }

@@ -42,8 +42,39 @@
 //                            declared runtime ranks (simcore/lock_rank.hpp)
 //                            — the static/dynamic cross-check.
 //
-// Suppression: the same `// stune-lint: allow(<rule>)` escape hatch as
-// stune_lint, parsed by the shared lint::allowed_rules.
+//   Arena lifetime (dataflow over TrialArena::alloc<T>() results, whose
+//   backing memory dies at the owning arena's reset()):
+//     [arena-store-escape]   an arena span (or a value derived from one)
+//                            stored into a class member, a member container,
+//                            or a static — storage that outlives the trial;
+//     [arena-return-escape]  an arena span returned out of the engine layer
+//                            (the [arena] modules in layers.toml), either
+//                            because the returning function lives outside it
+//                            or because a caller outside it receives it;
+//     [arena-alloc-layer]    a TrialArena::alloc call from a module the
+//                            [arena] manifest does not permit.
+//
+//   FP determinism (the engine's bitwise report-parity contract; scoped to
+//   the parity closure — everything reachable from the fingerprint entry
+//   points plus SparkSimulator::run / run_wave_rescan):
+//     [fp-contract]          a multiply-add-shaped FP expression or FP
+//                            accumulation in a closure TU that is neither on
+//                            the CMake -ffp-contract=off pin list (see
+//                            parse_fp_manifest) nor written with the pinned
+//                            fma_acc/fnma_acc helpers — GCC defaults to
+//                            -ffp-contract=fast, so an unpinned TU's
+//                            rounding depends on the toolchain;
+//     [fp-compare]           raw ==/!= between two non-literal float/double
+//                            expressions in the closure, outside the
+//                            approved helpers (hash_double, bits_equal and
+//                            the basis-hash validators); comparisons against
+//                            literals (the exact-sentinel idiom, `x == 0.0`)
+//                            stay legal — intentional exact identity is
+//                            spelled simcore::bits_equal(a, b).
+//
+// Suppression: the shared `// stune-lint: allow(<rule>)` escape hatch (the
+// `// stune-analyze: allow(<rule>)` spelling is equivalent), parsed by
+// lint::allowed_rules and honored uniformly across every rule family.
 #pragma once
 
 #include <cstddef>
@@ -70,10 +101,12 @@ struct SourceFile {
 // ---------------------------------------------------------------------------
 
 /// The declared architecture DAG: for each src/ module, the modules it may
-/// #include from (itself always allowed, listed or not).
+/// #include from (itself always allowed, listed or not), plus the engine
+/// layer — the modules permitted to bump-allocate from a TrialArena.
 struct LayerManifest {
   std::vector<std::string> order;                         // declaration order
   std::map<std::string, std::set<std::string>> allowed;   // module -> deps
+  std::set<std::string> arena_modules;                    // [arena] engine = [...]
 };
 
 /// The committed architecture (mirrors tools/analyze/layers.toml; the two
@@ -81,8 +114,34 @@ struct LayerManifest {
 LayerManifest default_manifest();
 
 /// Parse the layers.toml subset: a `[modules]` table whose entries are
-/// `name = ["dep", ...]`. Returns false and sets `error` on malformed input.
+/// `name = ["dep", ...]`, plus an optional `[arena]` table with a single
+/// `engine = ["module", ...]` entry naming the modules that may call
+/// TrialArena::alloc. Returns false and sets `error` on malformed input.
 bool parse_manifest(const std::string& toml, LayerManifest& out, std::string& error);
+
+// ---------------------------------------------------------------------------
+// FP pin manifest
+// ---------------------------------------------------------------------------
+
+/// The CMake-declared FP determinism pins: the repo-relative TUs compiled
+/// with -ffp-contract=off (via STUNE_ENGINE_KERNEL_OPTIONS or
+/// STUNE_FP_PIN_OPTIONS). check_fp exempts these files from [fp-contract].
+struct FpManifest {
+  std::set<std::string> contract_off;
+};
+
+/// The committed pin set (mirrors the CMakeLists.txt tree; asserted
+/// identical by analyze_test so the build and the analyzer cannot drift).
+FpManifest default_fp_manifest();
+
+/// Extract the pin set from CMake sources. Tracks which CMake variables
+/// carry -ffp-contract=off (through ${X} references, to a fixpoint), then
+/// collects every `set_source_files_properties(... COMPILE_OPTIONS <opts>)`
+/// whose options contain the flag, resolving file names against the
+/// directory of the CMakeLists that lists them. Returns false and sets
+/// `error` on malformed input (an unbalanced command paren).
+bool parse_fp_manifest(const std::vector<SourceFile>& cmake_files, FpManifest& out,
+                       std::string& error);
 
 // ---------------------------------------------------------------------------
 // Whole-program model
@@ -139,12 +198,19 @@ class Program {
   /// determinism entry points; indices into functions().
   std::set<std::size_t> fingerprint_reachable() const;
 
+  /// The FP-parity closure: fingerprint_reachable plus everything reachable
+  /// from the engine parity surface (SparkSimulator::run, run_wave_rescan).
+  std::set<std::size_t> parity_reachable() const;
+
   // Rule families. Each returns raw violations; check_all applies the
   // shared allow() suppressions and sorts.
   std::vector<Violation> check_layering(const LayerManifest& manifest) const;
   std::vector<Violation> check_determinism() const;
   std::vector<Violation> check_lock_order() const;
-  std::vector<Violation> check_all(const LayerManifest& manifest) const;
+  std::vector<Violation> check_arena(const LayerManifest& manifest) const;
+  std::vector<Violation> check_fp(const FpManifest& fp) const;
+  std::vector<Violation> check_all(const LayerManifest& manifest,
+                                   const FpManifest& fp = FpManifest{}) const;
 
  private:
   struct ClassSpan {
@@ -179,6 +245,10 @@ class Program {
   std::vector<std::vector<CallSite>> calls_;  // parallel to functions_
   // unordered container variable names, program-wide (declared anywhere)
   std::set<std::string> unordered_names_;
+  // names declared with type TrialArena (members, locals, ref parameters)
+  std::set<std::string> arena_names_;
+  // names declared float/double (variables, parameters, fp-returning fns)
+  std::set<std::string> fp_names_;
   // mutex member name -> classes declaring a Mutex member with that name
   std::map<std::string, std::set<std::string>> mutex_members_;
   // canonical mutex id -> declared rank constant (from lock_rank:: refs)
@@ -195,6 +265,8 @@ class Program {
 
   void parse_file(std::size_t file_index);
   void finalize() const;
+  // Name-matched call-graph closure from the functions `entry` accepts.
+  std::set<std::size_t> reachable_from(bool (*entry)(const FunctionInfo&)) const;
   std::string canonical_mutex(const std::string& expr, const std::string& class_context) const;
   // "" when `obj` cannot be resolved to a class in `candidates`.
   std::string resolve_object_class(const std::string& obj,

@@ -32,16 +32,29 @@ std::string module_of(const std::string& path) {
 // Call resolution, reachability, and the lock graph
 // ---------------------------------------------------------------------------
 
-std::set<std::size_t> Program::fingerprint_reachable() const {
+namespace {
+
+bool fingerprint_entry(const FunctionInfo& fn) {
+  return fn.name.find("fingerprint") != std::string::npos || fn.name == "commit" ||
+         fn.name == "record_to_kb";
+}
+
+bool parity_entry(const FunctionInfo& fn) {
+  // The engine parity surface: the event-driven run() and the wave-rescan
+  // reference it is bitwise-compared against, plus every fingerprint entry
+  // (cache keys replay the same reports).
+  return fingerprint_entry(fn) || (fn.name == "run" && fn.class_name == "SparkSimulator") ||
+         fn.name == "run_wave_rescan";
+}
+
+}  // namespace
+
+std::set<std::size_t> Program::reachable_from(bool (*entry)(const FunctionInfo&)) const {
   finalize();
-  const auto is_entry = [](const FunctionInfo& fn) {
-    return fn.name.find("fingerprint") != std::string::npos || fn.name == "commit" ||
-           fn.name == "record_to_kb";
-  };
   std::set<std::size_t> reachable;
   std::vector<std::size_t> frontier;
   for (std::size_t i = 0; i < functions_.size(); ++i) {
-    if (is_entry(functions_[i])) {
+    if (entry(functions_[i])) {
       reachable.insert(i);
       frontier.push_back(i);
     }
@@ -62,6 +75,14 @@ std::set<std::size_t> Program::fingerprint_reachable() const {
     }
   }
   return reachable;
+}
+
+std::set<std::size_t> Program::fingerprint_reachable() const {
+  return reachable_from(fingerprint_entry);
+}
+
+std::set<std::size_t> Program::parity_reachable() const {
+  return reachable_from(parity_entry);
 }
 
 std::vector<LockEdge> Program::lock_graph() const {
@@ -494,14 +515,19 @@ std::vector<Violation> Program::check_lock_order() const {
 // Aggregation
 // ---------------------------------------------------------------------------
 
-std::vector<Violation> Program::check_all(const LayerManifest& manifest) const {
+std::vector<Violation> Program::check_all(const LayerManifest& manifest,
+                                          const FpManifest& fp) const {
   std::vector<Violation> v = check_layering(manifest);
   const std::vector<Violation> det = check_determinism();
   const std::vector<Violation> lock = check_lock_order();
+  const std::vector<Violation> arena = check_arena(manifest);
+  const std::vector<Violation> fpv = check_fp(fp);
   v.insert(v.end(), det.begin(), det.end());
   v.insert(v.end(), lock.begin(), lock.end());
+  v.insert(v.end(), arena.begin(), arena.end());
+  v.insert(v.end(), fpv.begin(), fpv.end());
 
-  // The shared `// stune-lint: allow(<rule>)` escape hatch.
+  // The shared allow() escape hatch (`stune-lint:` or `stune-analyze:`).
   std::map<std::string, std::size_t> path_index;
   for (std::size_t f = 0; f < files_.size(); ++f) path_index[files_[f].path] = f;
   std::map<std::size_t, std::map<std::size_t, std::set<std::string>>> allow_cache;

@@ -1,0 +1,556 @@
+// The memory/FP rule families of stune_analyze: arena-lifetime escape
+// analysis over TrialArena::alloc results, and the FP-determinism pass that
+// cross-checks the parity closure against the CMake -ffp-contract=off pin
+// lists. Both are textual dataflow in the same spirit as the lock-order
+// pass in analyze_checks.cpp: an over-approximation with the shared allow()
+// escape hatch, precise enough that the real tree runs clean.
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze.hpp"
+#include "text_scan.hpp"
+
+namespace stune::analyze {
+
+namespace {
+
+namespace tx = stune::analyze::text;
+
+/// src/ module of a repo-relative path ("" when not a module source file).
+std::string arena_module_of(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) return {};
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return {};
+  return path.substr(4, slash - 4);
+}
+
+/// End of the statement starting inside `pos` (offset of the ';' at bracket
+/// depth zero, capped at `limit`).
+std::size_t statement_end(const std::string& s, std::size_t pos, std::size_t limit) {
+  std::size_t depth = 0;
+  for (std::size_t p = pos; p < limit; ++p) {
+    const char c = s[p];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') {
+      if (depth == 0) return p;  // malformed; stop at the scope close
+      --depth;
+    }
+    if (c == ';' && depth == 0) return p;
+  }
+  return limit;
+}
+
+/// Start of the statement containing `pos`: one past the previous ';', '{'
+/// or '}' at the same nesting level, floored at `begin`.
+std::size_t statement_begin(const std::string& s, std::size_t pos, std::size_t begin) {
+  std::size_t depth = 0;
+  for (std::size_t p = pos; p > begin; --p) {
+    const char c = s[p - 1];
+    if (c == ')' || c == ']') ++depth;
+    if (c == '(' || c == '[') {
+      if (depth == 0) return p;
+      --depth;
+    }
+    if (depth == 0 && (c == ';' || c == '{' || c == '}')) return p;
+  }
+  return begin;
+}
+
+/// Whether [begin, end) contains a floating-point literal (a numeric token
+/// with a decimal point, e.g. 1.5 or 2.0e-3).
+bool has_fp_literal(const std::string& s, std::size_t begin, std::size_t end) {
+  for (std::size_t p = begin; p < end; ++p) {
+    if (s[p] < '0' || s[p] > '9') continue;
+    if (p > begin && (tx::ident_char(s[p - 1]) || s[p - 1] == '.')) continue;
+    std::size_t q = p;
+    while (q < end && s[q] >= '0' && s[q] <= '9') ++q;
+    if (q < end && s[q] == '.') return true;
+    p = q;
+  }
+  return false;
+}
+
+/// Whether [begin, end) mentions any name from `names` as a whole token.
+bool mentions_name(const std::string& s, std::size_t begin, std::size_t end,
+                   const std::set<std::string>& names) {
+  std::size_t p = begin;
+  while (p < end) {
+    if (!tx::ident_start(s[p]) || (p > 0 && tx::ident_char(s[p - 1]))) {
+      ++p;
+      continue;
+    }
+    std::size_t q = p;
+    const std::string word = tx::read_ident(s, q);
+    if (names.count(word) != 0) return true;
+    p = q;
+  }
+  return false;
+}
+
+/// Whether s[p] is a binary operator occurrence (its left neighbor ends a
+/// value: an identifier, a close bracket, or a literal).
+bool binary_op_at(const std::string& s, std::size_t p) {
+  const std::size_t prev = tx::rskip_ws(s, p);
+  if (prev == std::string::npos) return false;
+  return tx::ident_char(s[prev]) || s[prev] == ')' || s[prev] == ']';
+}
+
+/// Lambda body spans inside a function body: a `return` inside one belongs
+/// to the lambda, not the enclosing function.
+std::vector<std::pair<std::size_t, std::size_t>> lambda_spans(const std::string& s,
+                                                              std::size_t begin,
+                                                              std::size_t end) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  for (std::size_t p = s.find('[', begin); p != std::string::npos && p < end;
+       p = s.find('[', p + 1)) {
+    const std::size_t prev = tx::rskip_ws(s, p);
+    if (prev != std::string::npos &&
+        (tx::ident_char(s[prev]) || s[prev] == ')' || s[prev] == ']')) {
+      continue;  // subscript, not a capture list
+    }
+    std::size_t cur = tx::match_forward(s, p, '[', ']');
+    if (cur == std::string::npos || cur >= end) continue;
+    cur = tx::skip_ws(s, cur);
+    if (cur >= end || (s[cur] != '(' && s[cur] != '{')) continue;
+    if (s[cur] == '(') {
+      cur = tx::match_forward(s, cur, '(', ')');
+      if (cur == std::string::npos) continue;
+      // Skip `mutable`, `noexcept`, `-> Type` up to the body brace.
+      while (cur < end && s[cur] != '{' && s[cur] != ';') ++cur;
+    }
+    if (cur >= end || s[cur] != '{') continue;
+    const std::size_t close = tx::match_forward(s, cur, '{', '}');
+    if (close == std::string::npos || close > end) continue;
+    spans.emplace_back(cur, close);
+  }
+  return spans;
+}
+
+bool inside_any(const std::vector<std::pair<std::size_t, std::size_t>>& spans,
+                std::size_t pos) {
+  for (const auto& [b, e] : spans) {
+    if (pos >= b && pos < e) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Arena lifetime
+// ---------------------------------------------------------------------------
+
+std::vector<Violation> Program::check_arena(const LayerManifest& manifest) const {
+  finalize();
+  std::vector<Violation> v;
+
+  for (std::size_t fi = 0; fi < functions_.size(); ++fi) {
+    const FunctionInfo& fn = functions_[fi];
+    const std::string& s = stripped_[fn.file];
+    const std::string module = arena_module_of(files_[fn.file].path);
+    if (module.empty()) continue;  // arena rules cover src/ modules only
+    const bool engine_layer = manifest.arena_modules.count(module) != 0;
+    const std::vector<std::size_t>& starts = line_starts_[fn.file];
+    const std::size_t body = fn.body_begin;
+    const std::size_t body_end = fn.body_end;
+
+    // Seed positions: `<arena>.alloc<T>(...)` / `<arena>->alloc<T>(...)`
+    // where the receiver's last segment is a TrialArena-typed name.
+    std::vector<std::size_t> alloc_sites;  // offset of the receiver chain start
+    for (std::size_t p = tx::find_token(s, "alloc", body + 1);
+         p != std::string::npos && p < body_end; p = tx::find_token(s, "alloc", p + 1)) {
+      if (p + 5 >= s.size() || s[p + 5] != '<') continue;
+      std::size_t recv_end = std::string::npos;
+      if (p >= 1 && s[p - 1] == '.') {
+        recv_end = p - 2;
+      } else if (p >= 2 && s[p - 2] == '-' && s[p - 1] == '>') {
+        recv_end = p - 3;
+      } else {
+        continue;
+      }
+      const std::string recv = tx::read_ident_backward(s, recv_end);
+      if (recv.empty() || arena_names_.count(recv) == 0) continue;
+      // Walk back over the whole receiver chain (ctx.arena_.alloc -> "ctx").
+      std::size_t chain = recv_end - recv.size() + 1;
+      while (chain > body) {
+        if (s[chain - 1] == '.' && chain >= 2 && tx::ident_char(s[chain - 2])) {
+          chain = chain - 1 - tx::read_ident_backward(s, chain - 2).size();
+        } else if (chain >= 2 && s[chain - 2] == '-' && s[chain - 1] == '>' && chain >= 3 &&
+                   tx::ident_char(s[chain - 3])) {
+          chain = chain - 2 - tx::read_ident_backward(s, chain - 3).size();
+        } else {
+          break;
+        }
+      }
+      alloc_sites.push_back(chain);
+
+      if (!engine_layer) {
+        v.push_back({files_[fn.file].path, tx::line_of(starts, p), "arena-alloc-layer",
+                     "TrialArena::alloc called from src/" + module + "/ (" + fn.qualified +
+                         "); only the engine layer (" +
+                         [&manifest] {
+                           std::string joined;
+                           for (const std::string& m : manifest.arena_modules) {
+                             joined += joined.empty() ? m : ", " + m;
+                           }
+                           return joined.empty() ? std::string("none declared") : joined;
+                         }() +
+                         ") may bump-allocate trial scratch"});
+      }
+    }
+
+    // Arena-derived names: variables assigned (directly or transitively)
+    // from an alloc expression, to a fixpoint within the function body.
+    const auto mentions_alloc = [&alloc_sites](std::size_t begin, std::size_t end) {
+      for (const std::size_t site : alloc_sites) {
+        if (site >= begin && site < end) return true;
+      }
+      return false;
+    };
+    std::set<std::string> derived;
+    // Plain `=` positions (not ==, <=, !=, +=, ...), with their statements.
+    struct Assign {
+      std::size_t pos = 0;        // offset of '='
+      std::size_t stmt_end = 0;   // offset of the closing ';'
+      std::string lhs;            // identifier directly left of '='
+      std::size_t lhs_begin = 0;  // chain start of that identifier
+    };
+    std::vector<Assign> assigns;
+    for (std::size_t p = s.find('=', body + 1); p != std::string::npos && p < body_end;
+         p = s.find('=', p + 1)) {
+      if (p + 1 < s.size() && s[p + 1] == '=') {
+        ++p;
+        continue;
+      }
+      if (p > 0 && std::string("=!<>+-*/%&|^").find(s[p - 1]) != std::string::npos) continue;
+      Assign a;
+      a.pos = p;
+      a.stmt_end = statement_end(s, p + 1, body_end);
+      const std::size_t lhs_end = tx::rskip_ws(s, p);
+      if (lhs_end == std::string::npos || !tx::ident_char(s[lhs_end])) continue;
+      a.lhs = tx::read_ident_backward(s, lhs_end);
+      a.lhs_begin = lhs_end - a.lhs.size() + 1;
+      assigns.push_back(std::move(a));
+    }
+    bool changed = !alloc_sites.empty();
+    while (changed) {
+      changed = false;
+      for (const Assign& a : assigns) {
+        if (derived.count(a.lhs) != 0) continue;
+        if (!mentions_alloc(a.pos, a.stmt_end) &&
+            !mentions_name(s, a.pos, a.stmt_end, derived)) {
+          continue;
+        }
+        derived.insert(a.lhs);
+        changed = true;
+      }
+    }
+
+    const auto arena_valued = [&](std::size_t begin, std::size_t end) {
+      return mentions_alloc(begin, end) || mentions_name(s, begin, end, derived);
+    };
+
+    // arena-store-escape (a): member assignment. The repo convention makes
+    // members recognizable: a trailing underscore, or an explicit `this->`.
+    for (const Assign& a : assigns) {
+      if (!arena_valued(a.pos, a.stmt_end)) continue;
+      const bool member_name = !a.lhs.empty() && a.lhs.back() == '_';
+      const bool via_this = a.lhs_begin >= 2 && s[a.lhs_begin - 1] == '>' &&
+                            s[a.lhs_begin - 2] == '-' && a.lhs_begin >= 6 &&
+                            s.compare(a.lhs_begin - 6, 6, "this->") == 0;
+      if (!member_name && !via_this) continue;
+      if (derived.count(a.lhs) != 0 && !via_this && arena_names_.count(a.lhs) == 0) {
+        // A local whose name happens to end in '_' was classified derived;
+        // assigning *to* it again is not a store into longer-lived storage.
+        // Members are assigned before being read in these bodies, so the
+        // first classification pass has already treated it as a local only
+        // if it was introduced by a declaration — which `derived` tracks.
+      }
+      v.push_back({files_[fn.file].path, tx::line_of(starts, a.pos), "arena-store-escape",
+                   "arena-backed value stored into " +
+                       std::string(via_this ? "this->" : "member ") + a.lhs + " in " +
+                       fn.qualified +
+                       "; arena memory dies at reset(), members outlive the trial"});
+    }
+
+    // arena-store-escape (b): pushed/inserted into a member container.
+    for (const char* op : {"push_back", "emplace_back", "insert", "push", "emplace"}) {
+      for (std::size_t p = tx::find_token(s, op, body + 1);
+           p != std::string::npos && p < body_end; p = tx::find_token(s, op, p + 1)) {
+        const std::size_t open = p + std::string(op).size();
+        if (open >= s.size() || s[open] != '(') continue;
+        std::size_t recv_end = std::string::npos;
+        if (p >= 1 && s[p - 1] == '.') {
+          recv_end = p - 2;
+        } else if (p >= 2 && s[p - 2] == '-' && s[p - 1] == '>') {
+          recv_end = p - 3;
+        } else {
+          continue;
+        }
+        const std::string recv = tx::read_ident_backward(s, recv_end);
+        if (recv.empty() || recv.back() != '_' || derived.count(recv) != 0) continue;
+        const std::size_t close = tx::match_forward(s, open, '(', ')');
+        if (close == std::string::npos) continue;
+        if (!arena_valued(open + 1, close - 1)) continue;
+        v.push_back({files_[fn.file].path, tx::line_of(starts, p), "arena-store-escape",
+                     "arena-backed value inserted into member container " + recv + " in " +
+                         fn.qualified +
+                         "; arena memory dies at reset(), the container outlives the trial"});
+      }
+    }
+
+    // arena-store-escape (c): bound to a static.
+    for (std::size_t p = tx::find_token(s, "static", body + 1);
+         p != std::string::npos && p < body_end; p = tx::find_token(s, "static", p + 1)) {
+      const std::size_t end = statement_end(s, p, body_end);
+      if (!arena_valued(p, end)) continue;
+      v.push_back({files_[fn.file].path, tx::line_of(starts, p), "arena-store-escape",
+                   "arena-backed value bound to a static in " + fn.qualified +
+                       "; arena memory dies at reset(), statics live forever"});
+    }
+
+    // arena-return-escape: a `return` whose value is arena-backed. Returns
+    // inside lambda bodies belong to the lambda (local plumbing like the
+    // engine's alloc_fn), not to the enclosing function.
+    const auto lambdas = lambda_spans(s, body, body_end);
+    bool returns_arena = false;
+    for (std::size_t p = tx::find_token(s, "return", body + 1);
+         p != std::string::npos && p < body_end; p = tx::find_token(s, "return", p + 1)) {
+      if (inside_any(lambdas, p)) continue;
+      const std::size_t end = statement_end(s, p, body_end);
+      if (!arena_valued(p + 6, end)) continue;
+      returns_arena = true;
+      if (!engine_layer) {
+        v.push_back({files_[fn.file].path, tx::line_of(starts, p), "arena-return-escape",
+                     fn.qualified + " (src/" + module + "/) returns an arena-backed value; "
+                     "spans must not leave the engine layer, whose reset() frees them"});
+      }
+    }
+    // Inside the engine layer a returned span is fine as long as every
+    // caller is also inside it: the escape is the cross-layer hand-off.
+    if (returns_arena && engine_layer) {
+      for (std::size_t gi = 0; gi < functions_.size(); ++gi) {
+        if (gi == fi) continue;
+        const std::string caller_module = arena_module_of(files_[functions_[gi].file].path);
+        if (caller_module.empty() || manifest.arena_modules.count(caller_module) != 0) {
+          continue;
+        }
+        for (const CallSite& call : calls_[gi]) {
+          if (call.name != fn.name) continue;
+          v.push_back({files_[functions_[gi].file].path, call.line, "arena-return-escape",
+                       functions_[gi].qualified + " (src/" + caller_module +
+                           "/) receives an arena-backed value returned by " + fn.qualified +
+                           "; spans must not leave the engine layer, whose reset() frees "
+                           "them"});
+        }
+      }
+    }
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// FP determinism
+// ---------------------------------------------------------------------------
+
+std::vector<Violation> Program::check_fp(const FpManifest& fp) const {
+  finalize();
+  std::vector<Violation> v;
+  const std::set<std::size_t> closure = parity_reachable();
+  static const std::set<std::string> kFmaHelpers = {"fma_acc", "fnma_acc"};
+
+  for (const std::size_t fi : closure) {
+    const FunctionInfo& fn = functions_[fi];
+    const std::string& path = files_[fn.file].path;
+    const std::string& s = stripped_[fn.file];
+    const std::vector<std::size_t>& starts = line_starts_[fn.file];
+    const std::size_t body = fn.body_begin;
+    const std::size_t body_end = fn.body_end;
+
+    const auto fp_statement = [&](std::size_t begin, std::size_t end) {
+      return mentions_name(s, begin, end, fp_names_) || has_fp_literal(s, begin, end);
+    };
+
+    // fp-contract: multiply-add shapes in TUs missing from the pin list.
+    if (fp.contract_off.count(path) == 0) {
+      std::set<std::size_t> reported_lines;
+      const auto report = [&](std::size_t pos) {
+        const std::size_t line = tx::line_of(starts, pos);
+        if (!reported_lines.insert(line).second) return;
+        v.push_back({path, line, "fp-contract",
+                     "multiply-add FP expression in " + fn.qualified +
+                         " (parity/fingerprint closure) but " + path +
+                         " is not on the -ffp-contract=off pin list; contraction "
+                         "rounds differently across toolchains — pin the TU in CMake "
+                         "or use the fma_acc/fnma_acc helpers"});
+      };
+      // Accumulations: `x += a * b;` / `x -= a * b;`.
+      for (std::size_t p = body + 1; p + 1 < body_end; ++p) {
+        if ((s[p] != '+' && s[p] != '-') || s[p + 1] != '=') continue;
+        if (!binary_op_at(s, p)) continue;
+        const std::size_t end = statement_end(s, p + 2, body_end);
+        const std::size_t begin = statement_begin(s, p, body + 1);
+        if (mentions_name(s, begin, end, kFmaHelpers)) continue;
+        bool has_mul = false;
+        for (std::size_t q = p + 2; q < end; ++q) {
+          if (s[q] == '*' && binary_op_at(s, q) && s[q + 1] != '=') has_mul = true;
+        }
+        if (has_mul && fp_statement(begin, end)) report(p);
+      }
+      // Plain assignments whose RHS mixes * with +/- inside one bracket
+      // group — the shape -ffp-contract=fast fuses into an fma.
+      for (std::size_t p = s.find('=', body + 1); p != std::string::npos && p < body_end;
+           p = s.find('=', p + 1)) {
+        if (p + 1 < s.size() && s[p + 1] == '=') {
+          ++p;
+          continue;
+        }
+        if (p > 0 && std::string("=!<>+-*/%&|^").find(s[p - 1]) != std::string::npos) continue;
+        const std::size_t end = statement_end(s, p + 1, body_end);
+        const std::size_t begin = statement_begin(s, p, body + 1);
+        if (mentions_name(s, begin, end, kFmaHelpers)) continue;
+        // Bracket-group id per offset: the innermost open-paren position.
+        std::vector<std::size_t> open_stack;
+        std::set<std::size_t> mul_groups;
+        std::set<std::size_t> add_groups;
+        for (std::size_t q = p + 1; q < end; ++q) {
+          const char c = s[q];
+          if (c == '(' || c == '[' || c == '{') {
+            open_stack.push_back(q);
+          } else if (c == ')' || c == ']' || c == '}') {
+            if (!open_stack.empty()) open_stack.pop_back();
+          } else if (c == '*' && q + 1 < end && s[q + 1] != '=' && binary_op_at(s, q)) {
+            mul_groups.insert(open_stack.empty() ? 0 : open_stack.back());
+          } else if ((c == '+' || c == '-') && s[q + 1] != '=' && s[q + 1] != c &&
+                     s[q + 1] != '>' && binary_op_at(s, q)) {
+            add_groups.insert(open_stack.empty() ? 0 : open_stack.back());
+          }
+        }
+        bool muladd = false;
+        for (const std::size_t g : mul_groups) muladd = muladd || add_groups.count(g) != 0;
+        if (muladd && fp_statement(begin, end)) report(p);
+      }
+    }
+
+    // fp-compare: raw ==/!= between two non-literal FP expressions. The
+    // approved helpers — hash_double, bits_equal, and the basis-hash
+    // validators — compare for exact identity on purpose.
+    if (fn.name == "bits_equal" || fn.name.find("hash") != std::string::npos ||
+        fn.name.find("basis") != std::string::npos ||
+        fn.name.find("validate") != std::string::npos) {
+      continue;
+    }
+    for (std::size_t p = body + 1; p + 1 < body_end; ++p) {
+      const bool eq = s[p] == '=' && s[p + 1] == '=';
+      const bool ne = s[p] == '!' && s[p + 1] == '=';
+      if (!eq && !ne) continue;
+      if (eq && p > 0 && std::string("=!<>").find(s[p - 1]) != std::string::npos) continue;
+      if (p + 2 < body_end && s[p + 2] == '=') continue;
+
+      // Left operand: walk back over one value chain.
+      std::size_t lend = tx::rskip_ws(s, p);
+      if (lend == std::string::npos) continue;
+      std::size_t lbegin = lend + 1;
+      while (lbegin > body) {
+        const char c = s[lbegin - 1];
+        if (tx::ident_char(c)) {
+          lbegin -= tx::read_ident_backward(s, lbegin - 1).size();
+        } else if (c == ')' || c == ']') {
+          const char open_c = c == ')' ? '(' : '[';
+          std::size_t depth = 0;
+          std::size_t q = lbegin;
+          while (q > body) {
+            --q;
+            if (s[q] == c) ++depth;
+            if (s[q] == open_c && --depth == 0) break;
+          }
+          if (q == body) break;
+          lbegin = q;
+        } else if (c == '.') {
+          --lbegin;
+        } else if (lbegin >= 2 && ((s[lbegin - 2] == '-' && c == '>') ||
+                                   (s[lbegin - 2] == ':' && c == ':'))) {
+          lbegin -= 2;
+        } else {
+          break;
+        }
+      }
+      // Right operand: the mirror walk forward.
+      std::size_t rbegin = tx::skip_ws(s, p + 2);
+      std::size_t rend = rbegin;
+      if (rend < body_end && (s[rend] == '-' || s[rend] == '+')) ++rend;  // unary sign
+      while (rend < body_end) {
+        const char c = s[rend];
+        if (tx::ident_char(c)) {
+          ++rend;
+        } else if (c == '(' || c == '[') {
+          const std::size_t close = tx::match_forward(s, rend, c, c == '(' ? ')' : ']');
+          if (close == std::string::npos || close > body_end) break;
+          rend = close;
+        } else if (c == '.') {
+          ++rend;
+        } else if (rend + 1 < body_end && ((c == '-' && s[rend + 1] == '>') ||
+                                           (c == ':' && s[rend + 1] == ':'))) {
+          rend += 2;
+        } else {
+          break;
+        }
+      }
+      if (lbegin > lend || rbegin >= rend) continue;
+
+      const auto literal_only = [&](std::size_t b, std::size_t e) {
+        bool digit = false;
+        for (std::size_t q = b; q < e; ++q) {
+          const char c = s[q];
+          if (c >= '0' && c <= '9') {
+            digit = true;
+          } else if (c != '.' && c != '+' && c != '-' && c != 'e' && c != 'E' && c != 'f' &&
+                     c != 'F' && c != ' ') {
+            return false;
+          }
+        }
+        return digit;
+      };
+      // An operand is FP when its *head* value segment — the last top-level
+      // identifier of the chain: `rows` in l.rows(), `total_slots` in
+      // d.total_slots, `raw` in raw[d] — is a declared float/double name, or
+      // when the operand carries an FP literal. Judging by any token in the
+      // span would let an unrelated `double l;` elsewhere in the program
+      // poison every `l.rows() == l.cols()` size comparison.
+      const auto fp_side = [&](std::size_t b, std::size_t e) {
+        if (has_fp_literal(s, b, e)) return true;
+        std::string head;
+        std::size_t depth = 0;
+        for (std::size_t q = b; q < e; ++q) {
+          const char c = s[q];
+          if (c == '(' || c == '[' || c == '{') ++depth;
+          if (c == ')' || c == ']' || c == '}') {
+            if (depth > 0) --depth;
+            continue;
+          }
+          if (depth != 0 || !tx::ident_start(c) || (q > b && tx::ident_char(s[q - 1]))) {
+            continue;
+          }
+          std::size_t w = q;
+          head = tx::read_ident(s, w);
+          q = w - 1;
+        }
+        return !head.empty() && fp_names_.count(head) != 0;
+      };
+      if (literal_only(lbegin, lend + 1) || literal_only(rbegin, rend)) continue;
+      if (!fp_side(lbegin, lend + 1) || !fp_side(rbegin, rend)) continue;
+      v.push_back({path, tx::line_of(starts, p), "fp-compare",
+                   std::string(eq ? "==" : "!=") + " between FP expressions in " +
+                       fn.qualified + " (parity/fingerprint closure); exact FP equality "
+                       "belongs in the approved helpers (hash_double, basis validators) "
+                       "— compare against an explicit literal sentinel or a tolerance"});
+    }
+  }
+  return v;
+}
+
+}  // namespace stune::analyze

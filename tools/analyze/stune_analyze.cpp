@@ -1,9 +1,12 @@
 // stune_analyze CLI — loads every source file under src/ into one Program,
 // loads the layering manifest (tools/analyze/layers.toml when present, the
-// compiled-in default otherwise), runs all three rule families and reports
-// with the shared lint formatters.
+// compiled-in default otherwise) and the FP pin manifest (parsed out of the
+// repo's CMakeLists.txt tree when present, the compiled-in default
+// otherwise), runs all five rule families and reports with the shared lint
+// formatters.
 //
 // Usage: stune_analyze [--format=text|json] [--layers=<path>] <repo-root>
+//        stune_analyze --list-rules
 // Exit status: 0 clean, 1 violations found, 2 usage/IO error.
 #include <algorithm>
 #include <cstddef>
@@ -42,7 +45,10 @@ int main(int argc, char** argv) {
   std::string root_arg;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--format=", 0) == 0) {
+    if (arg == "--list-rules") {
+      for (const std::string& rule : stune::analyze::rule_ids()) std::cout << rule << "\n";
+      return 0;
+    } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
     } else if (arg.rfind("--layers=", 0) == 0) {
       layers_arg = arg.substr(9);
@@ -54,7 +60,8 @@ int main(int argc, char** argv) {
     }
   }
   if (root_arg.empty() || (format != "text" && format != "json")) {
-    std::cerr << "usage: stune_analyze [--format=text|json] [--layers=<path>] <repo-root>\n";
+    std::cerr << "usage: stune_analyze [--format=text|json] [--layers=<path>] <repo-root>\n"
+                 "       stune_analyze --list-rules\n";
     return 2;
   }
   const fs::path root = root_arg;
@@ -81,6 +88,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The FP pin manifest: parsed from the CMakeLists.txt tree when the build
+  // files are present (the normal case), the compiled-in default otherwise.
+  stune::analyze::FpManifest fp_manifest = stune::analyze::default_fp_manifest();
+  {
+    std::vector<fs::path> cmake_paths;
+    if (fs::exists(root / "CMakeLists.txt")) cmake_paths.push_back(root / "CMakeLists.txt");
+    for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
+      if (entry.is_regular_file() && entry.path().filename() == "CMakeLists.txt") {
+        cmake_paths.push_back(entry.path());
+      }
+    }
+    std::sort(cmake_paths.begin(), cmake_paths.end());
+    std::vector<stune::analyze::SourceFile> cmake_files;
+    for (const fs::path& path : cmake_paths) {
+      std::string contents;
+      if (!read_file(path, contents)) {
+        std::cerr << "stune_analyze: cannot read " << path.string() << "\n";
+        return 2;
+      }
+      cmake_files.push_back({fs::relative(path, root).generic_string(), std::move(contents)});
+    }
+    if (!cmake_files.empty()) {
+      stune::analyze::FpManifest parsed;
+      std::string error;
+      if (!stune::analyze::parse_fp_manifest(cmake_files, parsed, error)) {
+        std::cerr << "stune_analyze: CMake parse: " << error << "\n";
+        return 2;
+      }
+      fp_manifest = parsed;
+    }
+  }
+
   // Deterministic file order: sorted repo-relative paths.
   std::vector<fs::path> paths;
   for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
@@ -101,7 +140,7 @@ int main(int argc, char** argv) {
     program.add_file({fs::relative(path, root).generic_string(), std::move(contents)});
   }
 
-  const auto found = program.check_all(manifest);
+  const auto found = program.check_all(manifest, fp_manifest);
   violations.insert(violations.end(), found.begin(), found.end());
 
   std::cout << (format == "json"

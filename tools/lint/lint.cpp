@@ -434,7 +434,10 @@ std::string strip_comments_and_literals(const std::string& in) {
 }
 
 // Suppression comments: `// stune-lint: allow(rule-a, rule-b)` or allow(*).
-// Parsed from the raw text (they live inside comments by construction).
+// The `// stune-analyze: allow(...)` spelling is equivalent — both tools
+// honor both, so a suppression reads naturally next to whichever tool
+// reported it. Parsed from the raw text (they live inside comments by
+// construction).
 std::map<std::size_t, std::set<std::string>> allowed_rules(const std::string& raw) {
   std::map<std::size_t, std::set<std::string>> allow;
   std::istringstream in(raw);
@@ -442,7 +445,8 @@ std::map<std::size_t, std::set<std::string>> allowed_rules(const std::string& ra
   std::size_t number = 0;
   while (std::getline(in, line)) {
     ++number;
-    const std::size_t tag = line.find("stune-lint:");
+    std::size_t tag = line.find("stune-lint:");
+    if (tag == std::string::npos) tag = line.find("stune-analyze:");
     if (tag == std::string::npos) continue;
     const std::size_t open = line.find("allow(", tag);
     if (open == std::string::npos) continue;

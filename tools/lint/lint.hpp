@@ -28,9 +28,10 @@
 //                            wrong results.
 //
 // Suppression: append `// stune-lint: allow(<rule>)` (comma-separated list,
-// or `allow(*)`) to a line to exempt that line. Comments and string/char
-// literals are stripped before token scanning, so documentation may mention
-// banned constructs freely.
+// or `allow(*)`) to a line to exempt that line; the `// stune-analyze:
+// allow(<rule>)` spelling is equivalent and honored by both tools. Comments
+// and string/char literals are stripped before token scanning, so
+// documentation may mention banned constructs freely.
 #pragma once
 
 #include <cstddef>

@@ -2,6 +2,7 @@
 // lint library's passes (see lint.hpp for the rule catalogue) and reports.
 //
 // Usage: stune_lint [--format=text|json] [--fix] <repo-root>
+//        stune_lint --list-rules
 // --fix rewrites files in place to repair include-what-you-use violations
 // (the missing #include is inserted after the last existing include) before
 // linting, so the report and exit status reflect the fixed tree.
@@ -66,7 +67,10 @@ int main(int argc, char** argv) {
   bool fix = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--format=", 0) == 0) {
+    if (arg == "--list-rules") {
+      for (const std::string& rule : stune::lint::rule_ids()) std::cout << rule << "\n";
+      return 0;
+    } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
     } else if (arg == "--fix") {
       fix = true;
@@ -78,7 +82,8 @@ int main(int argc, char** argv) {
     }
   }
   if (root_arg.empty() || (format != "text" && format != "json")) {
-    std::cerr << "usage: stune_lint [--format=text|json] [--fix] <repo-root>\n";
+    std::cerr << "usage: stune_lint [--format=text|json] [--fix] <repo-root>\n"
+                 "       stune_lint --list-rules\n";
     return 2;
   }
   const fs::path root = root_arg;
