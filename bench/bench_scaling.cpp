@@ -29,7 +29,13 @@ double runtime_on(const workload::Workload& w, const cluster::ClusterSpec& spec,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) json_path = argv[i + 1];
+  }
+  JsonReport report("bench_scaling");
+
   section("runtime vs input size (4x h1.4xlarge, provider auto-config)");
   {
     Table t({"workload", "4 GiB", "8 GiB", "16 GiB", "32 GiB", "64 GiB", "64/4 ratio"});
@@ -41,6 +47,9 @@ int main() {
            {4ULL << 30, 8ULL << 30, 16ULL << 30, 32ULL << 30, 64ULL << 30}) {
         const double rt = runtime_on(*w, {"h1.4xlarge", 4}, size);
         row.push_back(rt < 0 ? "crash" : fmt("%.1f", rt));
+        report.record("\"axis\": \"input\", \"workload\": \"%s\", \"gib\": %llu, "
+                      "\"runtime_s\": %.2f",
+                      name.c_str(), static_cast<unsigned long long>(size >> 30), rt);
         if (size == 4ULL << 30) first = rt;
         if (size == 64ULL << 30) last = rt;
       }
@@ -66,6 +75,9 @@ int main() {
         const double rt = runtime_on(*w, {"m5.2xlarge", m}, 16ULL << 30);
         runtimes.push_back(rt);
         row.push_back(rt < 0 ? "crash" : fmt("%.1f", rt));
+        report.record("\"axis\": \"cluster\", \"workload\": \"%s\", \"vms\": %d, "
+                      "\"runtime_s\": %.2f",
+                      name.c_str(), m, rt);
       }
       // Ernest: train on the small clusters, extrapolate to the big ones.
       model::ErnestModel ernest;
@@ -82,6 +94,8 @@ int main() {
           err.add(std::abs(ernest.predict(16.0, vms[i]) - runtimes[i]) / runtimes[i]);
         }
         row.push_back(pct(err.mean()));
+        report.record("\"axis\": \"ernest_fit\", \"workload\": \"%s\", \"mean_error\": %.4f",
+                      name.c_str(), err.mean());
       } else {
         row.push_back("profile crashed");
       }
@@ -92,5 +106,6 @@ int main() {
                 "percent but misses where memory effects bend the curve — quantifying §II-A's\n"
                 "'poor adaptivity to other types of workloads'.\n");
   }
+  if (!json_path.empty()) report.write(json_path);
   return 0;
 }

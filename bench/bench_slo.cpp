@@ -15,11 +15,19 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stune;
   using namespace stune::bench;
 
-  constexpr int kRunsPerTenant = 15;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) json_path = argv[i + 1];
+  }
+  JsonReport report("bench_slo");
+
+  const int kRunsPerTenant = smoke ? 4 : 15;
 
   section("tuning-effectiveness SLO over a multi-tenant trace (paper §IV-D, §V-C)");
 
@@ -67,16 +75,25 @@ int main() {
     table.add_row({t.workload, fmt("%.0f", static_cast<double>(tracker.runs())),
                    pct(tracker.mean_excess_fraction()), pct(a10), pct(a25), pct(a50),
                    fmt("%.2f", svc.ledger(t.handle).cumulative_savings())});
+    report.record("\"workload\": \"%s\", \"runs\": %zu, \"mean_excess\": %.4f, "
+                  "\"within_10\": %.4f, \"within_25\": %.4f, \"within_50\": %.4f, "
+                  "\"savings\": %.2f",
+                  t.workload.c_str(), tracker.runs(), tracker.mean_excess_fraction(), a10, a25,
+                  a50, svc.ledger(t.handle).cumulative_savings());
   }
   table.print();
 
   std::printf("\nfleet attainment: within 10%%: %s   within 25%%: %s   within 50%%: %s\n",
               pct(overall10).c_str(), pct(overall25).c_str(), pct(overall50).c_str());
+  report.record("\"workload\": \"fleet\", \"within_10\": %.4f, \"within_25\": %.4f, "
+                "\"within_50\": %.4f",
+                overall10, overall25, overall50);
   std::printf("knowledge base: %zu records across %zu tenants\n", svc.knowledge_base().size(),
               svc.knowledge_base().tenant_count());
   std::printf(
       "\nreading: per the paper, the achievable X depends on knowing the optimum — here the\n"
       "reference is the luckiest similar run ever seen, so tight X is noisy by construction;\n"
       "the distribution above is exactly the measurement a provider would publish.\n");
+  if (!json_path.empty()) report.write(json_path);
   return 0;
 }

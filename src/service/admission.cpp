@@ -1,0 +1,60 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+
+namespace stune::service {
+
+AdmissionController::AdmissionController(AdmissionOptions options) : options_(options) {
+  options_.burst = std::max(0.0, options_.burst);
+  options_.tuning_burst = std::max(0.0, options_.tuning_burst);
+  tokens_ = options_.burst;
+  tuning_tokens_ = options_.tuning_burst;
+}
+
+void AdmissionController::advance(double arrival_s) {
+  // Virtual time is monotone per shard: an out-of-order (or absent, i.e.
+  // negative) timestamp contributes no elapsed time, so concurrent virtual
+  // users cannot wind the bucket backwards.
+  if (arrival_s <= clock_s_) return;
+  const double dt = arrival_s - clock_s_;
+  clock_s_ = arrival_s;
+  if (options_.tokens_per_s > 0.0) {
+    tokens_ = std::min(options_.burst, tokens_ + dt * options_.tokens_per_s);
+  }
+  if (options_.tuning_tokens_per_s > 0.0) {
+    tuning_tokens_ =
+        std::min(options_.tuning_burst, tuning_tokens_ + dt * options_.tuning_tokens_per_s);
+  }
+}
+
+AdmitDecision AdmissionController::try_admit(double arrival_s) {
+  advance(arrival_s);
+  // Saturation first: a full shard sheds regardless of token balance, and
+  // the arrival's token is not burned (the request did no work).
+  if (options_.max_inflight != 0 && inflight_ >= options_.max_inflight) {
+    return AdmitDecision::kShedSaturated;
+  }
+  if (options_.tokens_per_s > 0.0) {
+    if (tokens_ < 1.0) return AdmitDecision::kShedRateLimited;
+    tokens_ -= 1.0;
+  }
+  ++inflight_;
+  peak_inflight_ = std::max(peak_inflight_, inflight_);
+  return AdmitDecision::kAdmit;
+}
+
+void AdmissionController::release() {
+  if (inflight_ > 0) --inflight_;
+}
+
+bool AdmissionController::try_take_tuning() {
+  if (options_.degrade_above_inflight != 0 && inflight_ > options_.degrade_above_inflight) {
+    return false;
+  }
+  if (options_.tuning_tokens_per_s < 0.0) return true;
+  if (tuning_tokens_ < 1.0) return false;
+  tuning_tokens_ -= 1.0;
+  return true;
+}
+
+}  // namespace stune::service

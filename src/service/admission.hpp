@@ -1,0 +1,91 @@
+// Per-shard admission control for the serving tier: the overload-control
+// plane that turns "a burst of arrivals" into bounded queueing plus explicit
+// load shedding instead of an unbounded pile-up behind the shard mutex.
+//
+// Two budgets, both deterministic functions of the request stream:
+//
+//   - a pending-work budget: at most max_inflight requests may be admitted
+//     and unfinished at once. An admitted request may still *queue* briefly
+//     behind the shard's current run, but the queue depth is bounded by the
+//     admission cap — saturation beyond it is shed with an explicit reason.
+//   - a token-bucket arrival limiter over *virtual* time: callers supply
+//     monotone arrival timestamps (the load harness derives them from its
+//     open-loop schedule); tokens refill at tokens_per_s up to burst. The
+//     service has no wall clock — simulated systems must not — so when no
+//     arrival time is supplied the bucket simply never refills past its
+//     initial burst, and rate limiting is effectively off unless driven.
+//
+// A third bucket meters *tuning sessions* — the expensive part of a request.
+// When it runs dry the request is still served, but degraded: the service
+// answers from the best-known-good / knowledge-base configuration instead of
+// spending a tuning session it has no capacity for (the graceful-degradation
+// ladder; see DESIGN.md §14).
+//
+// Not thread-safe: the owner (TuningService::Shard) guards it with the
+// shard's control-plane mutex (lock rank kServiceShardControl).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stune::service {
+
+struct AdmissionOptions {
+  /// Admitted-but-unfinished requests per shard; 0 = unlimited (admission
+  /// effectively off, the pre-sharding behavior).
+  std::size_t max_inflight = 0;
+  /// Arrival token bucket: sustained requests/second of virtual time.
+  /// 0 = no rate limiting.
+  double tokens_per_s = 0.0;
+  /// Arrival bucket capacity (initial fill and refill ceiling).
+  double burst = 32.0;
+  /// Tuning-session token bucket: sustained tuning sessions/second of
+  /// virtual time. Negative = unlimited tuning capacity (the default);
+  /// 0 = a fixed stock of tuning_burst sessions that never refills.
+  double tuning_tokens_per_s = -1.0;
+  double tuning_burst = 4.0;
+  /// Skip tuning (degrade) whenever more than this many requests are
+  /// in flight on the shard, even if tuning tokens remain — drain first,
+  /// improve later. 0 = off.
+  std::size_t degrade_above_inflight = 0;
+};
+
+enum class AdmitDecision { kAdmit, kShedRateLimited, kShedSaturated };
+
+/// Deterministic admission state machine for one shard. All time is virtual
+/// (caller-supplied seconds); negative arrival timestamps mean "no time has
+/// passed", so replaying the same request stream replays the same decisions.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Decide one arrival. On kAdmit the in-flight count is incremented; the
+  /// caller must pair it with release() when the request finishes (shed
+  /// requests must NOT be released).
+  AdmitDecision try_admit(double arrival_s);
+
+  /// An admitted request finished (served or degraded).
+  void release();
+
+  /// Consume one tuning-session token if the shard has tuning capacity
+  /// right now; false means the caller should degrade instead of tune.
+  bool try_take_tuning();
+
+  std::size_t inflight() const { return inflight_; }
+  std::size_t peak_inflight() const { return peak_inflight_; }
+  double tokens() const { return tokens_; }
+  double tuning_tokens() const { return tuning_tokens_; }
+  double clock_s() const { return clock_s_; }
+
+ private:
+  void advance(double arrival_s);
+
+  AdmissionOptions options_;
+  double clock_s_ = 0.0;
+  double tokens_ = 0.0;
+  double tuning_tokens_ = 0.0;
+  std::size_t inflight_ = 0;
+  std::size_t peak_inflight_ = 0;
+};
+
+}  // namespace stune::service

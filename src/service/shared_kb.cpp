@@ -1,0 +1,160 @@
+#include "service/shared_kb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace stune::service {
+namespace {
+
+/// log2 bucket of an input size; bucket 0 covers [0, 2).
+int size_bucket(simcore::Bytes bytes) {
+  int b = 0;
+  for (simcore::Bytes v = bytes; v >= 2; v /= 2) ++b;
+  return b;
+}
+
+bool within_size_tolerance(simcore::Bytes a, simcore::Bytes b, double tolerance) {
+  if (a == 0 || b == 0) return a == b;
+  const double ratio =
+      static_cast<double>(std::max(a, b)) / static_cast<double>(std::min(a, b));
+  return ratio <= tolerance;
+}
+
+}  // namespace
+
+SharedKnowledgeBase::SharedKnowledgeBase(SharedKnowledgeBaseOptions options)
+    : options_(options) {}
+
+SharedKnowledgeBase::CellKey SharedKnowledgeBase::key_for(
+    const transfer::Signature& sig) const {
+  CellKey key{};
+  const double width = options_.cell_width > 0.0 ? options_.cell_width : 0.25;
+  const auto dims = sig.as_array();
+  for (std::size_t d = 0; d < transfer::Signature::kDims; ++d) {
+    key[d] = static_cast<int>(std::floor(dims[d] / width));
+  }
+  return key;
+}
+
+SharedKnowledgeBase::Cell& SharedKnowledgeBase::cell_for(
+    const transfer::Signature& sig) {
+  const CellKey key = key_for(sig);
+  auto it = cells_.find(key);
+  if (it != cells_.end()) return it->second;
+  if (options_.max_cells == 0 || cells_.size() < options_.max_cells) {
+    return cells_[key];
+  }
+  // At the cell cap, fold into the nearest existing cell (L1 distance on the
+  // quantized grid; ties break to the first cell in map order, which is
+  // deterministic because std::map iterates in key order).
+  auto best = cells_.begin();
+  long best_dist = -1;
+  for (auto c = cells_.begin(); c != cells_.end(); ++c) {
+    long dist = 0;
+    for (std::size_t d = 0; d < transfer::Signature::kDims; ++d) {
+      dist += std::labs(static_cast<long>(key[d]) - static_cast<long>(c->first[d]));
+    }
+    if (best_dist < 0 || dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best->second;
+}
+
+std::uint64_t SharedKnowledgeBase::record_execution(ExecutionRecord r) {
+  const simcore::MutexLock lock(mu_);
+  r.sequence = next_sequence_++;
+  ++recorded_;
+  tenants_.insert(r.tenant);
+
+  Cell& cell = cell_for(r.signature);
+  ++cell.records;
+  if (!r.failed) {
+    // Donor hall of fame: runtime-ascending, capped. Insert before the first
+    // strictly-slower donor so earlier records win ties (stable across
+    // re-feeds of the same stream).
+    auto pos = std::find_if(cell.donors.begin(), cell.donors.end(),
+                            [&](const Donor& d) { return d.runtime > r.runtime; });
+    cell.donors.insert(pos, Donor{r.runtime, r.config, r.signature});
+    if (options_.donors_per_cell > 0 && cell.donors.size() > options_.donors_per_cell) {
+      cell.donors.resize(options_.donors_per_cell);
+    }
+    auto [slot, inserted] = cell.best_by_size.try_emplace(size_bucket(r.input_bytes));
+    if (inserted || r.runtime < slot->second.runtime) {
+      slot->second = SizeBest{r.runtime, r.input_bytes, r.signature};
+    }
+  }
+
+  const std::uint64_t seq = r.sequence;
+  records_.push_back(std::move(r));
+  if (options_.max_records != 0) {
+    while (records_.size() > options_.max_records) records_.pop_front();
+  }
+  return seq;
+}
+
+std::size_t SharedKnowledgeBase::total_records() const {
+  const simcore::MutexLock lock(mu_);
+  return static_cast<std::size_t>(recorded_);
+}
+
+std::size_t SharedKnowledgeBase::retained_records() const {
+  const simcore::MutexLock lock(mu_);
+  return records_.size();
+}
+
+std::size_t SharedKnowledgeBase::distinct_tenants() const {
+  const simcore::MutexLock lock(mu_);
+  return tenants_.size();
+}
+
+std::vector<transfer::DonorObservation> SharedKnowledgeBase::indexed_donors() const {
+  const simcore::MutexLock lock(mu_);
+  std::vector<transfer::DonorObservation> out;
+  for (const auto& [key, cell] : cells_) {
+    (void)key;
+    for (const Donor& d : cell.donors) {
+      transfer::DonorObservation obs;
+      obs.observation.config = d.config;
+      obs.observation.runtime = d.runtime;
+      obs.observation.failed = false;
+      obs.observation.objective = d.runtime;
+      obs.signature = d.signature;
+      out.push_back(std::move(obs));
+    }
+  }
+  return out;
+}
+
+std::optional<double> SharedKnowledgeBase::best_similar_runtime(
+    const transfer::Signature& target, simcore::Bytes input_bytes,
+    double min_similarity, double size_tolerance) const {
+  const simcore::MutexLock lock(mu_);
+  std::optional<double> best;
+  for (const auto& [key, cell] : cells_) {
+    (void)key;
+    for (const auto& [bucket, sb] : cell.best_by_size) {
+      (void)bucket;
+      if (!within_size_tolerance(sb.input_bytes, input_bytes, size_tolerance)) continue;
+      if (transfer::similarity(sb.signature, target) < min_similarity) continue;
+      if (!best || sb.runtime < *best) best = sb.runtime;
+    }
+  }
+  return best;
+}
+
+KnowledgeBase SharedKnowledgeBase::snapshot() const {
+  const simcore::MutexLock lock(mu_);
+  KnowledgeBase kb;
+  for (const ExecutionRecord& r : records_) kb.record(r);
+  return kb;
+}
+
+}  // namespace stune::service

@@ -1,0 +1,137 @@
+// The serving tier's view of the cross-tenant execution history: the plain
+// KnowledgeBase (service/knowledge_base.hpp) wrapped in its own ranked mutex
+// and a bounded similarity index, so every shard can record and query it
+// concurrently without serializing on a service-wide lock — and so the two
+// per-request query paths stay O(index), not O(total history):
+//
+//   - donors(): the warm-start / best-known-good donor pool. The full
+//     history would be copied per tuning session (and grows with every
+//     production run); instead each *signature cell* — the 8-dim workload
+//     signature quantized to a coarse grid — keeps its few best successful
+//     configurations, and the pool is their union (≤ max_cells ×
+//     donors_per_cell entries, freshest-best per cell).
+//   - best_similar_runtime(): the §IV-D SLO reference. Each (cell,
+//     log2-size-bucket) pair keeps the best successful runtime with its
+//     exact signature and input size; the query scans cells, not records,
+//     and re-checks the exact similarity/size-tolerance bar against the
+//     stored representative. A similar-but-slower run can be masked by a
+//     faster dissimilar run landing in the same cell and bucket — the
+//     documented approximation a bounded index buys; cells are one
+//     quantization step wide, so cellmates are near-similar by construction.
+//
+// Retention: full records optionally cap at max_records (oldest dropped,
+// ring-style) so a 100k-tenant, million-operation load run cannot grow the
+// history without bound; the index keeps aggregates for everything ever
+// recorded and size() stays monotonic. snapshot() materializes the retained
+// records as a plain KnowledgeBase for save()/offline analysis.
+//
+// Determinism: all index state lives in std::map (ordered, deterministic
+// iteration — record() sits inside the determinism-analysis closure), and
+// every update is a pure function of the record stream, so two services fed
+// the same records in the same order hold bitwise-identical indexes
+// whatever the shard count.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "simcore/lock_rank.hpp"
+#include "simcore/mutex.hpp"
+#include "simcore/thread_annotations.hpp"
+#include "simcore/units.hpp"
+
+#include "service/knowledge_base.hpp"
+#include "transfer/characterization.hpp"
+#include "transfer/warm_start.hpp"
+
+namespace stune::service {
+
+struct SharedKnowledgeBaseOptions {
+  /// Full records retained for snapshot()/save; 0 = unlimited. The
+  /// similarity index is unaffected by retention.
+  std::size_t max_records = 0;
+  /// Best successful configurations kept per signature cell (the donor
+  /// hall of fame).
+  std::size_t donors_per_cell = 4;
+  /// Distinct signature cells before new signatures fold into their
+  /// nearest existing cell. A deployment sees a few dozen workload shapes;
+  /// the cap is a safety net, not a working limit.
+  std::size_t max_cells = 256;
+  /// Quantization step per signature dimension.
+  double cell_width = 0.25;
+};
+
+/// Thread-safety: fully internally synchronized under a single mutex of
+/// rank kKnowledgeBase — acquired *while a shard mutex (rank 10/12) is
+/// held* by record/query paths, and a leaf otherwise. Every method returns
+/// values (never references into guarded state).
+class SharedKnowledgeBase {
+ public:
+  explicit SharedKnowledgeBase(SharedKnowledgeBaseOptions options = {});
+
+  /// Store one record; assigns and returns its monotone sequence number.
+  std::uint64_t record_execution(ExecutionRecord r) STUNE_EXCLUDES(mu_);
+
+  /// Records ever recorded (monotone, unaffected by retention).
+  std::size_t total_records() const STUNE_EXCLUDES(mu_);
+  /// Full records currently retained.
+  std::size_t retained_records() const STUNE_EXCLUDES(mu_);
+  std::size_t distinct_tenants() const STUNE_EXCLUDES(mu_);
+
+  /// The bounded donor pool (see header comment), cell-major, best-first
+  /// within a cell.
+  std::vector<transfer::DonorObservation> indexed_donors() const STUNE_EXCLUDES(mu_);
+
+  /// Indexed §IV-D reference: best successful runtime among indexed runs
+  /// whose representative signature is at least min_similarity similar and
+  /// whose input size is within size_tolerance (multiplicative).
+  std::optional<double> best_similar_runtime(const transfer::Signature& target,
+                                             simcore::Bytes input_bytes,
+                                             double min_similarity = 0.6,
+                                             double size_tolerance = 1.5) const
+      STUNE_EXCLUDES(mu_);
+
+  /// Copy of the retained records as a plain KnowledgeBase (for save()).
+  KnowledgeBase snapshot() const STUNE_EXCLUDES(mu_);
+
+ private:
+  using CellKey = std::array<int, transfer::Signature::kDims>;
+
+  /// Best successful run seen for one (cell, size-bucket): enough to
+  /// re-check the exact SLO-reference bar at query time.
+  struct SizeBest {
+    double runtime = 0.0;
+    simcore::Bytes input_bytes = 0;
+    transfer::Signature signature;
+  };
+  struct Donor {
+    double runtime = 0.0;
+    config::Configuration config;
+    transfer::Signature signature;
+  };
+  struct Cell {
+    std::vector<Donor> donors;           // runtime-ascending, capped
+    std::map<int, SizeBest> best_by_size;  // log2(input) bucket -> best
+    std::uint64_t records = 0;
+  };
+
+  CellKey key_for(const transfer::Signature& sig) const;
+  Cell& cell_for(const transfer::Signature& sig) STUNE_REQUIRES(mu_);
+
+  const SharedKnowledgeBaseOptions options_;
+  mutable simcore::Mutex mu_{simcore::lock_rank::kKnowledgeBase};
+  std::deque<ExecutionRecord> records_ STUNE_GUARDED_BY(mu_);
+  std::map<CellKey, Cell> cells_ STUNE_GUARDED_BY(mu_);
+  std::set<std::string> tenants_ STUNE_GUARDED_BY(mu_);
+  std::uint64_t next_sequence_ STUNE_GUARDED_BY(mu_) = 1;
+  std::uint64_t recorded_ STUNE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace stune::service

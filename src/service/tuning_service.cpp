@@ -24,42 +24,79 @@ namespace {
 // derived from ServiceOptions::seed.
 constexpr std::uint64_t kFaultSeedTag = 0xFA171ULL;
 
+// Entry::own_donors cap: enough for any warm-start policy (max_observations
+// defaults to 10) without letting a long-lived tenant grow without bound.
+constexpr std::size_t kMaxOwnDonors = 16;
+
 }  // namespace
 
+TuningService::TenantShard::TenantShard(const ServiceOptions& options, std::size_t shard_index)
+    : index(shard_index),
+      executor(tuning::ExecutorOptions{.jobs = options.jobs}),
+      ctx_pool(executor.jobs() + 1),
+      admission(options.admission) {}
+
 TuningService::TuningService(ServiceOptions options)
-    : options_(std::move(options)),
-      executor_(tuning::ExecutorOptions{.jobs = options_.jobs}),
-      ctx_pool_(executor_.jobs() + 1) {}
+    : options_(std::move(options)), kb_(options_.knowledge) {
+  const std::size_t n = std::max<std::size_t>(1, options_.shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<TenantShard>(options_, i));
+  }
+}
+
+TuningService::~TuningService() = default;
+
+std::size_t TuningService::shard_index_for_tenant(const std::string& tenant) const {
+  return static_cast<std::size_t>(simcore::hash_string(tenant)) % shards_.size();
+}
+
+TuningService::TenantShard& TuningService::shard_for_handle(int handle) const {
+  const auto n = static_cast<long long>(shards_.size());
+  const long long idx = ((static_cast<long long>(handle) % n) + n) % n;
+  return *shards_[static_cast<std::size_t>(idx)];
+}
 
 int TuningService::submit(std::string tenant, std::shared_ptr<const workload::Workload> workload,
                           simcore::Bytes initial_input) {
   if (workload == nullptr) throw std::invalid_argument("submit: null workload");
   if (initial_input == 0) throw std::invalid_argument("submit: input size must be positive");
-  const MutexLock lock(mu_);
-  const int handle = next_handle_++;
-  auto [it, inserted] = entries_.emplace(handle, Entry(options_.slo));
+  TenantShard& sh = *shards_[shard_index_for_tenant(tenant)];
+  const MutexLock lock(sh.mu);
+  // Handles encode their shard: handle % shards == shard index. With one
+  // shard this degenerates to 1, 2, 3, ... (the pre-sharding numbering).
+  const int handle =
+      sh.next_seq++ * static_cast<int>(shards_.size()) + static_cast<int>(sh.index);
+  auto [it, inserted] = sh.entries.emplace(handle, Entry(options_.slo));
   Entry& e = it->second;
   e.tenant = std::move(tenant);
   e.workload = std::move(workload);
   e.input_bytes = initial_input;
   e.controller = std::make_unique<adaptive::RetuningController>(
       adaptive::make_detector(options_.detector), options_.retuning);
+  {
+    const MutexLock ctl(sh.ctl_mu);
+    TenantHealth& t = sh.tenant_view[e.tenant];
+    t.tenant = e.tenant;
+    ++t.workloads;
+  }
   return handle;
 }
 
-TuningService::Entry& TuningService::entry(int handle) {
-  const auto it = entries_.find(handle);
-  if (it == entries_.end()) throw std::out_of_range("unknown workload handle");
+TuningService::Entry& TuningService::entry(TenantShard& sh, int handle) {
+  const auto it = sh.entries.find(handle);
+  if (it == sh.entries.end()) throw std::out_of_range("unknown workload handle");
   return it->second;
 }
 
-const TuningService::Entry& TuningService::entry(int handle) const {
-  const auto it = entries_.find(handle);
-  if (it == entries_.end()) throw std::out_of_range("unknown workload handle");
+const TuningService::Entry& TuningService::entry(const TenantShard& sh, int handle) {
+  const auto it = sh.entries.find(handle);
+  if (it == sh.entries.end()) throw std::out_of_range("unknown workload handle");
   return it->second;
 }
 
-disc::ExecutionReport TuningService::execute(const Entry& e, const config::Configuration& conf,
+disc::ExecutionReport TuningService::execute(const TenantShard& sh, const Entry& e,
+                                             const config::Configuration& conf,
                                              std::uint64_t seed_salt, int attempt) const {
   disc::EngineOptions eopts;
   eopts.cost = options_.cost_model;
@@ -82,16 +119,24 @@ disc::ExecutionReport TuningService::execute(const Entry& e, const config::Confi
   // (rank 45) and no other ranked mutex is acquired while it is held —
   // workload::execute takes the cache shard lock (rank 50) only inside
   // lookup/insert, strictly after/before arena work, never around it.
-  const auto ctx = ctx_pool_.acquire();
+  const auto ctx = sh.ctx_pool.acquire();
   return workload::execute(*e.workload, e.input_bytes, simulator, conf, cache_, *ctx);
 }
 
-void TuningService::degrade(Entry& e) {
+std::vector<transfer::DonorObservation> TuningService::donor_pool(const Entry& e) const {
+  if (options_.transfer_scope == ServiceOptions::TransferScope::kTenantLocal) {
+    return e.own_donors;
+  }
+  return kb_.indexed_donors();
+}
+
+void TuningService::degrade(Entry& e) const {
   ++e.degraded_runs;
-  if (!options_.enable_transfer || kb_.size() == 0 || !e.signature.has_value()) return;
-  // Best similar successful configuration anybody has run — the same donor
-  // pool warm starts draw from, but used directly instead of as a seed.
-  const auto donors = kb_.donors_for();
+  if (!options_.enable_transfer || !e.signature.has_value()) return;
+  // Best similar successful configuration in the donor pool — the same
+  // donors warm starts draw from, but used directly instead of as a seed.
+  const auto donors = donor_pool(e);
+  if (donors.empty()) return;
   const auto picks = transfer::select_warm_start(*e.signature, donors, options_.transfer);
   const tuning::Observation* best = nullptr;
   for (const auto& o : picks) {
@@ -101,15 +146,23 @@ void TuningService::degrade(Entry& e) {
   if (best != nullptr) e.config = best->config;
 }
 
-CircuitBreaker& TuningService::breaker_for(const std::string& tenant) {
-  auto it = breakers_.find(tenant);
-  if (it == breakers_.end()) {
-    it = breakers_.emplace(tenant, CircuitBreaker(options_.breaker)).first;
+void TuningService::degraded_provision(Entry& e) const {
+  // A degraded first run cannot afford stage-1 exploration: run on the
+  // default cluster with the provider heuristic. `provisioned` stays false
+  // so the first run with capacity provisions for real.
+  e.cluster = options_.default_cluster;
+  e.config = provider_auto_config(cluster::Cluster::from_spec(e.cluster));
+}
+
+CircuitBreaker& TuningService::breaker_for(TenantShard& sh, const std::string& tenant) {
+  auto it = sh.breakers.find(tenant);
+  if (it == sh.breakers.end()) {
+    it = sh.breakers.emplace(tenant, CircuitBreaker(options_.breaker)).first;
   }
   return it->second;
 }
 
-void TuningService::record_to_kb(const Entry& e, const config::Configuration& conf,
+void TuningService::record_to_kb(Entry& e, const config::Configuration& conf,
                                  const disc::ExecutionReport& report, bool from_tuning) {
   ExecutionRecord r;
   r.tenant = e.tenant;
@@ -122,17 +175,32 @@ void TuningService::record_to_kb(const Entry& e, const config::Configuration& co
   r.failed = !report.success;
   r.from_tuning = from_tuning;
   r.signature = transfer::characterize(report);
-  kb_.record(std::move(r));
+  if (report.success) {
+    // Mirror into the entry's own donor list (the kTenantLocal pool):
+    // runtime-ascending insert, capped, earlier records win ties.
+    transfer::DonorObservation d;
+    d.observation.config = conf;
+    d.observation.runtime = report.runtime;
+    d.observation.failed = false;
+    d.observation.objective = report.runtime;
+    d.signature = r.signature;
+    auto pos = std::find_if(
+        e.own_donors.begin(), e.own_donors.end(),
+        [&](const transfer::DonorObservation& o) { return o.observation.runtime > report.runtime; });
+    e.own_donors.insert(pos, std::move(d));
+    if (e.own_donors.size() > kMaxOwnDonors) e.own_donors.resize(kMaxOwnDonors);
+  }
+  kb_.record_execution(std::move(r));
 }
 
-void TuningService::provision(Entry& e) {
+void TuningService::provision(TenantShard& sh, Entry& e) {
   if (options_.tune_cloud) {
     CloudTunerOptions copts = options_.cloud;
     copts.seed = simcore::hash_combine(options_.seed, simcore::hash_string(e.workload->name()));
     copts.contention = options_.contention;
     copts.cost_model = options_.cost_model;
     const CloudTuner cloud(copts);
-    const CloudChoice choice = cloud.choose(*e.workload, e.input_bytes, cache_, executor_);
+    const CloudChoice choice = cloud.choose(*e.workload, e.input_bytes, cache_, sh.executor);
     e.cluster = choice.spec;
     // Stage-1 exploration is tuning spend too.
     e.ledger.add_tuning_run(choice.trial_time, choice.trial_cost);
@@ -144,18 +212,26 @@ void TuningService::provision(Entry& e) {
   e.config = provider_auto_config(cluster::Cluster::from_spec(e.cluster));
 }
 
-void TuningService::tune_disc(Entry& e, std::size_t budget) {
+void TuningService::tune_disc(TenantShard& sh, Entry& e, std::size_t budget, double deadline_s) {
   const auto space = config::spark_space();
 
   tuning::TuneOptions topts;
   topts.budget = budget;
   topts.retry = options_.retry;
+  // The request deadline tightens the per-trial deadline: a trial that
+  // cannot finish inside the caller's budget is not worth running longer.
+  topts.retry.trial_deadline_s = std::min(topts.retry.trial_deadline_s, deadline_s);
+  // The tuning seed is a pure function of (service seed, tenant, workload,
+  // this entry's tuning ordinal): no global state, so one tenant's seeds
+  // are identical whatever the rest of the fleet is doing.
   topts.seed = simcore::hash_combine(
-      options_.seed, simcore::hash_combine(simcore::hash_string(e.workload->name()),
-                                           ++tune_counter_));
+      options_.seed,
+      simcore::hash_combine(simcore::hash_string(e.tenant),
+                            simcore::hash_combine(simcore::hash_string(e.workload->name()),
+                                                  ++e.tune_counter)));
   // Probe the incumbent configuration: it yields the workload signature
   // (for transfer), and the bar any tuner result has to clear.
-  const auto probe = execute(e, e.config, /*seed_salt=*/0);
+  const auto probe = execute(sh, e, e.config, /*seed_salt=*/0);
   e.ledger.add_tuning_run(probe.runtime, probe.cost);
   record_to_kb(e, e.config, probe, /*from_tuning=*/true);
   e.signature = transfer::characterize(probe);
@@ -168,10 +244,10 @@ void TuningService::tune_disc(Entry& e, std::size_t budget) {
     topts.failure_penalty_floor = std::max(topts.failure_penalty_floor, probe.runtime);
   }
 
-  // Warm start from the knowledge base: pull donors similar to this
-  // workload's signature (possibly from other tenants).
-  if (options_.enable_transfer && kb_.size() > 0) {
-    const auto donors = kb_.donors_for();
+  // Warm start: pull donors similar to this workload's signature (possibly
+  // from other tenants, when the transfer scope allows).
+  if (options_.enable_transfer) {
+    const auto donors = donor_pool(e);
     if (options_.transfer_strategy == ServiceOptions::TransferStrategy::kAroma &&
         !donors.empty()) {
       transfer::AromaAdvisor advisor(transfer::AromaAdvisor::Options{
@@ -179,7 +255,7 @@ void TuningService::tune_disc(Entry& e, std::size_t budget) {
           .seed = options_.seed});
       advisor.fit(donors);
       topts.warm_start = advisor.suggest(*e.signature);
-    } else {
+    } else if (!donors.empty()) {
       topts.warm_start = transfer::select_warm_start(*e.signature, donors, options_.transfer);
     }
   }
@@ -188,13 +264,13 @@ void TuningService::tune_disc(Entry& e, std::size_t budget) {
   // touches no per-entry state — so trials can run on executor worker
   // threads. The commit hook runs serially in suggestion order on this
   // thread; it only gathers the committed observations (lambdas are
-  // analyzed as separate functions, so they cannot carry mu_'s capability
-  // into record_to_kb). Ledger and knowledge-base bookkeeping replay the
-  // gathered order right after the session — re-fetching each report is a
-  // guaranteed cache hit of the run the objective just produced.
+  // analyzed as separate functions, so they cannot carry the shard mutex's
+  // capability into record_to_kb). Ledger and knowledge-base bookkeeping
+  // replay the gathered order right after the session — re-fetching each
+  // report is a guaranteed cache hit of the run the objective just produced.
   tuning::TrialObjective objective = [&](const config::Configuration& c,
                                          int attempt) -> tuning::EvalOutcome {
-    const auto report = execute(e, c, /*seed_salt=*/0, attempt);
+    const auto report = execute(sh, e, c, /*seed_salt=*/0, attempt);
     tuning::EvalOutcome out{report.runtime, !report.success};
     out.fault = report.success ? tuning::FaultClass::kNone
                 : report.infra_fault ? tuning::FaultClass::kInfra
@@ -208,13 +284,13 @@ void TuningService::tune_disc(Entry& e, std::size_t budget) {
   };
 
   const auto tuner = tuning::make_tuner(options_.tuner);
-  const auto result = executor_.run(*tuner, space, objective, topts, hook);
-  CircuitBreaker& breaker = breaker_for(e.tenant);
+  const auto result = sh.executor.run(*tuner, space, objective, topts, hook);
+  CircuitBreaker& breaker = breaker_for(sh, e.tenant);
   for (const auto& o : committed) {
     // Replay every attempt (guaranteed cache hits): retries burned real
     // cluster time and money even though only the final attempt scored.
     for (int attempt = 0; attempt < o.attempts; ++attempt) {
-      const auto report = execute(e, o.config, /*seed_salt=*/0, attempt);
+      const auto report = execute(sh, e, o.config, /*seed_salt=*/0, attempt);
       const double charged = std::min(report.runtime, topts.retry.trial_deadline_s);
       e.ledger.add_tuning_run(charged, report.cost);
       // The knowledge base keeps the settled outcome only, and never an
@@ -241,24 +317,66 @@ void TuningService::tune_disc(Entry& e, std::size_t budget) {
   e.controller->notify_retuned();
 }
 
-disc::ExecutionReport TuningService::run_once(int handle, simcore::Bytes input_bytes) {
-  const MutexLock lock(mu_);
-  Entry& e = entry(handle);
-  if (input_bytes != 0) e.input_bytes = input_bytes;
+void TuningService::refresh_tenant_view(TenantShard& sh, const Entry& e,
+                                        std::size_t degraded_delta) {
+  // O(1) incremental update: the view accumulates degrade deltas (every
+  // degrade happens inside run_locked) and re-reads the breaker, so it
+  // stays exactly the aggregate the pre-sharding health() computed by
+  // scanning all entries — without health() ever taking the shard mutex.
+  BreakerState breaker = BreakerState::kClosed;
+  int trips = 0;
+  int consecutive = 0;
+  const auto bit = sh.breakers.find(e.tenant);
+  if (bit != sh.breakers.end()) {
+    breaker = bit->second.state();
+    trips = bit->second.trips();
+    consecutive = bit->second.consecutive_infra_faults();
+  }
+  const MutexLock ctl(sh.ctl_mu);
+  TenantHealth& t = sh.tenant_view[e.tenant];
+  t.tenant = e.tenant;
+  t.breaker = breaker;
+  t.trips = trips;
+  t.consecutive_infra_faults = consecutive;
+  t.degraded_runs += degraded_delta;
+}
 
-  if (!e.provisioned) provision(e);
+disc::ExecutionReport TuningService::run_locked(TenantShard& sh, Entry& e,
+                                                simcore::Bytes input_bytes, double deadline_s,
+                                                bool admission_exempt, bool& degraded) {
+  if (input_bytes != 0) e.input_bytes = input_bytes;
+  const std::size_t degraded_before = e.degraded_runs;
+
   if (!e.tuned) {
-    // Tuning spends budget into the environment; an open breaker means the
-    // environment is eating trials, so degrade to a known-good config and
-    // try again next run (the denied request advances the cooldown).
-    if (breaker_for(e.tenant).allow_request()) {
-      tune_disc(e, options_.tuning_budget);
-    } else {
+    // Tuning is the expensive part of a request: it needs both *capacity*
+    // (the shard's tuning token bucket — always granted to the exempt
+    // run_once path) and a closed *breaker* (tuning spends budget into the
+    // environment; an open breaker means the environment is eating trials).
+    // Capacity is checked first so a shed shard does not advance breaker
+    // cooldowns as a side effect of being busy.
+    bool capacity = admission_exempt;
+    if (!capacity) {
+      const MutexLock ctl(sh.ctl_mu);
+      capacity = sh.admission.try_take_tuning();
+    }
+    if (!capacity) {
+      if (!e.provisioned) degraded_provision(e);
       degrade(e);
+      degraded = true;
+    } else {
+      if (!e.provisioned) provision(sh, e);
+      if (breaker_for(sh, e.tenant).allow_request()) {
+        tune_disc(sh, e, options_.tuning_budget, deadline_s);
+        const MutexLock ctl(sh.ctl_mu);
+        ++sh.counters.tuning_sessions;
+      } else {
+        degrade(e);
+        degraded = true;
+      }
     }
   }
 
-  const auto report = execute(e, e.config, /*seed_salt=*/1 + e.production_runs);
+  const auto report = execute(sh, e, e.config, /*seed_salt=*/1 + e.production_runs);
   ++e.production_runs;
   e.last_runtime = report.runtime;
   if (report.success && (e.best_runtime == 0.0 || report.runtime < e.best_runtime)) {
@@ -274,26 +392,30 @@ disc::ExecutionReport TuningService::run_once(int handle, simcore::Bytes input_b
 
   record_to_kb(e, e.config, report, /*from_tuning=*/false);
 
-  // Amortization: what would an untuned run have cost on the same input?
-  // (An accounting counterfactual — not an actual execution.)
-  const auto baseline_config =
-      options_.ledger_baseline == ServiceOptions::Baseline::kSparkDefault
-          ? config::spark_space()->default_config()
-          : provider_auto_config(cluster::Cluster::from_spec(e.cluster));
-  const auto baseline = execute(e, baseline_config, /*seed_salt=*/1 + (e.production_runs - 1));
-  double baseline_runtime = baseline.runtime;
-  double baseline_cost = baseline.cost;
-  if (!baseline.success) {
-    // The untuned counterfactual crashes: that user burns the crash and
-    // still has to produce the result (approximated by the tuned run).
-    baseline_runtime += report.runtime;
-    baseline_cost += report.cost;
+  if (options_.ledger_counterfactual) {
+    // Amortization: what would an untuned run have cost on the same input?
+    // (An accounting counterfactual — not an actual execution.)
+    const auto baseline_config =
+        options_.ledger_baseline == ServiceOptions::Baseline::kSparkDefault
+            ? config::spark_space()->default_config()
+            : provider_auto_config(cluster::Cluster::from_spec(e.cluster));
+    const auto baseline = execute(sh, e, baseline_config, /*seed_salt=*/1 + (e.production_runs - 1));
+    double baseline_runtime = baseline.runtime;
+    double baseline_cost = baseline.cost;
+    if (!baseline.success) {
+      // The untuned counterfactual crashes: that user burns the crash and
+      // still has to produce the result (approximated by the tuned run).
+      baseline_runtime += report.runtime;
+      baseline_cost += report.cost;
+    }
+    e.ledger.add_production_run(report.runtime, report.cost, baseline_runtime, baseline_cost);
+  } else {
+    e.ledger.add_production_run(report.runtime, report.cost, report.runtime, report.cost);
   }
-  e.ledger.add_production_run(report.runtime, report.cost, baseline_runtime, baseline_cost);
 
   // The production run's outcome is health evidence too: an infra fault
   // pushes the breaker toward open, a clean run heals it.
-  CircuitBreaker& breaker = breaker_for(e.tenant);
+  CircuitBreaker& breaker = breaker_for(sh, e.tenant);
   if (!report.success && report.infra_fault) {
     breaker.record_infra_fault();
   } else {
@@ -303,21 +425,104 @@ disc::ExecutionReport TuningService::run_once(int handle, simcore::Bytes input_b
   // Drift watch: crashed runs demand re-tuning unconditionally.
   const bool drift = e.controller->observe(report.runtime);
   if (drift || !report.success) {
-    if (options_.reprovision_on_drift) {
-      provision(e);  // elastic response: rethink the cluster itself
+    bool capacity = admission_exempt;
+    if (!capacity) {
+      const MutexLock ctl(sh.ctl_mu);
+      capacity = sh.admission.try_take_tuning();
     }
-    if (breaker.allow_request()) {
-      tune_disc(e, options_.retuning_budget);
-    } else {
+    if (!capacity) {
       degrade(e);
+      degraded = true;
+    } else {
+      if (options_.reprovision_on_drift) {
+        provision(sh, e);  // elastic response: rethink the cluster itself
+      }
+      if (breaker.allow_request()) {
+        tune_disc(sh, e, options_.retuning_budget, deadline_s);
+        const MutexLock ctl(sh.ctl_mu);
+        ++sh.counters.tuning_sessions;
+      } else {
+        degrade(e);
+        degraded = true;
+      }
     }
   }
+
+  refresh_tenant_view(sh, e, e.degraded_runs - degraded_before);
   return report;
 }
 
+ServeResult TuningService::serve(int handle, const ServeRequest& request) {
+  TenantShard& sh = shard_for_handle(handle);
+  ServeResult result;
+
+  // Admission: decide on the control plane, release it, and only then queue
+  // on the shard (ctl_mu is never held while waiting for mu).
+  {
+    const MutexLock ctl(sh.ctl_mu);
+    if (request.deadline_s <= 0.0) {
+      ++sh.counters.shed_deadline;
+      result.outcome = ServeOutcome::kShed;
+      result.shed_reason = ShedReason::kDeadlineInfeasible;
+      return result;
+    }
+    switch (sh.admission.try_admit(request.arrival_s)) {
+      case AdmitDecision::kAdmit:
+        break;
+      case AdmitDecision::kShedRateLimited:
+        ++sh.counters.shed_rate_limited;
+        result.outcome = ServeOutcome::kShed;
+        result.shed_reason = ShedReason::kRateLimited;
+        return result;
+      case AdmitDecision::kShedSaturated:
+        ++sh.counters.shed_saturated;
+        result.outcome = ServeOutcome::kShed;
+        result.shed_reason = ShedReason::kShardSaturated;
+        return result;
+    }
+  }
+
+  bool degraded = false;
+  try {
+    const MutexLock lock(sh.mu);
+    Entry& e = entry(sh, handle);
+    result.report =
+        run_locked(sh, e, request.input_bytes, request.deadline_s, /*admission_exempt=*/false,
+                   degraded);
+  } catch (...) {
+    const MutexLock ctl(sh.ctl_mu);
+    sh.admission.release();
+    throw;
+  }
+
+  result.outcome = degraded ? ServeOutcome::kDegraded : ServeOutcome::kServed;
+  if (result.report.runtime > request.deadline_s) result.deadline_exceeded = true;
+  {
+    const MutexLock ctl(sh.ctl_mu);
+    sh.admission.release();
+    if (degraded) {
+      ++sh.counters.degraded;
+    } else {
+      ++sh.counters.served;
+    }
+    if (result.deadline_exceeded) ++sh.counters.deadline_exceeded;
+  }
+  return result;
+}
+
+disc::ExecutionReport TuningService::run_once(int handle, simcore::Bytes input_bytes) {
+  TenantShard& sh = shard_for_handle(handle);
+  const MutexLock lock(sh.mu);
+  Entry& e = entry(sh, handle);
+  bool degraded = false;
+  return run_locked(sh, e, input_bytes, std::numeric_limits<double>::infinity(),
+                    /*admission_exempt=*/true, degraded);
+}
+
 WorkloadStatus TuningService::status(int handle) const {
-  const MutexLock lock(mu_);
-  const Entry& e = entry(handle);
+  TenantShard& sh = shard_for_handle(handle);
+  const MutexLock lock(sh.mu);
+  const Entry& e = entry(sh, handle);
   WorkloadStatus s;
   s.tenant = e.tenant;
   s.workload = e.workload->name();
@@ -336,47 +541,61 @@ WorkloadStatus TuningService::status(int handle) const {
   return s;
 }
 
-ServiceHealth TuningService::health() const {
-  const MutexLock lock(mu_);
-  // Group the per-entry counters by tenant; std::map iteration keeps the
-  // snapshot sorted by tenant name.
-  std::map<std::string, TenantHealth> by_tenant;
-  for (const auto& [handle, e] : entries_) {
-    TenantHealth& t = by_tenant[e.tenant];
-    t.tenant = e.tenant;
-    ++t.workloads;
-    t.degraded_runs += e.degraded_runs;
-  }
-  for (const auto& [tenant, breaker] : breakers_) {
-    TenantHealth& t = by_tenant[tenant];
-    t.tenant = tenant;
-    t.breaker = breaker.state();
-    t.trips = breaker.trips();
-    t.consecutive_infra_faults = breaker.consecutive_infra_faults();
-  }
+ServiceHealth TuningService::health(bool per_tenant_detail) const {
   ServiceHealth h;
-  h.tenants = by_tenant.size();
-  for (auto& [tenant, t] : by_tenant) {
-    if (t.breaker == BreakerState::kOpen) ++h.open_breakers;
-    h.total_degraded_runs += t.degraded_runs;
-    h.per_tenant.push_back(std::move(t));
+  // One control-plane lock per shard, never a shard's main mutex: the
+  // snapshot returns promptly even while every shard is mid-tuning.
+  std::map<std::string, TenantHealth> by_tenant;
+  for (const auto& shp : shards_) {
+    const TenantShard& sh = *shp;
+    ShardHealth s;
+    s.shard = sh.index;
+    const MutexLock ctl(sh.ctl_mu);
+    s.inflight = sh.admission.inflight();
+    s.peak_inflight = sh.admission.peak_inflight();
+    s.served = sh.counters.served;
+    s.degraded = sh.counters.degraded;
+    s.shed_rate_limited = sh.counters.shed_rate_limited;
+    s.shed_saturated = sh.counters.shed_saturated;
+    s.shed_deadline = sh.counters.shed_deadline;
+    s.deadline_exceeded = sh.counters.deadline_exceeded;
+    s.tuning_sessions = sh.counters.tuning_sessions;
+    s.tenants = sh.tenant_view.size();
+    for (const auto& [tenant, t] : sh.tenant_view) {
+      s.workloads += t.workloads;
+      if (t.breaker == BreakerState::kOpen) ++s.open_breakers;
+      h.total_degraded_runs += t.degraded_runs;
+      if (per_tenant_detail) by_tenant.emplace(tenant, t);
+    }
+    h.tenants += s.tenants;
+    h.open_breakers += s.open_breakers;
+    h.served += s.served;
+    h.degraded += s.degraded;
+    h.shed += s.shed_rate_limited + s.shed_saturated + s.shed_deadline;
+    h.per_shard.push_back(std::move(s));
+  }
+  if (per_tenant_detail) {
+    h.per_tenant.reserve(by_tenant.size());
+    for (auto& [tenant, t] : by_tenant) {
+      (void)tenant;
+      h.per_tenant.push_back(std::move(t));
+    }
   }
   return h;
 }
 
-const KnowledgeBase& TuningService::knowledge_base() const {
-  const MutexLock lock(mu_);
-  return kb_;
-}
+KnowledgeBase TuningService::knowledge_base() const { return kb_.snapshot(); }
 
 const CostLedger& TuningService::ledger(int handle) const {
-  const MutexLock lock(mu_);
-  return entry(handle).ledger;
+  TenantShard& sh = shard_for_handle(handle);
+  const MutexLock lock(sh.mu);
+  return entry(sh, handle).ledger;
 }
 
 const SloTracker& TuningService::slo_tracker(int handle) const {
-  const MutexLock lock(mu_);
-  return entry(handle).slo;
+  TenantShard& sh = shard_for_handle(handle);
+  const MutexLock lock(sh.mu);
+  return entry(sh, handle).slo;
 }
 
 }  // namespace stune::service

@@ -5,17 +5,33 @@
 // runs it. The service:
 //   1. picks the cloud configuration (Fig. 1 stage 1, CloudTuner),
 //   2. tunes the DISC configuration (Fig. 1 stage 2), warm-started from the
-//      multi-tenant KnowledgeBase when a similar workload is known (§V-B),
+//      multi-tenant knowledge base when a similar workload is known (§V-B),
 //   3. monitors every production run with a change detector and re-tunes
 //      automatically when workload characteristics drift (§V-D),
 //   4. accounts tuning spend vs. savings in a CostLedger (§IV-C) and tracks
 //      the "within X% of best-known similar runtime" SLO metric (§IV-D).
 //
 // The tenant never sees a configuration parameter — that is the point.
+//
+// Serving tier (DESIGN.md §14): the service is sharded by tenant. A tenant
+// hashes to one of `shards` shards; each shard owns its entries, breakers
+// and counters under its own ranked mutex and runs its own TrialExecutor,
+// so tenants on different shards tune concurrently and a slow tenant stalls
+// only its shardmates. The cross-tenant history lives in an internally
+// synchronized SharedKnowledgeBase all shards record into. On top sits an
+// overload-control plane — per-shard admission (bounded in-flight budget +
+// token-bucket arrival limiter over virtual time), explicit load shedding,
+// per-request deadlines propagated into the trial executor's retry
+// machinery, and graceful degradation to the best-known-good configuration
+// when tuning capacity is shed. Determinism is per *tenant*: the same
+// tenant with the same seed and submit order gets bitwise-identical results
+// whatever the shard count (tuning seeds derive from tenant + per-entry
+// counters, never from global state).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -31,10 +47,12 @@
 #include "cluster/contention.hpp"
 #include "disc/engine.hpp"
 #include "disc/trial_context.hpp"
+#include "service/admission.hpp"
 #include "service/circuit_breaker.hpp"
 #include "service/cloud_tuner.hpp"
 #include "service/cost_ledger.hpp"
 #include "service/knowledge_base.hpp"
+#include "service/shared_kb.hpp"
 #include "service/slo.hpp"
 #include "transfer/aroma.hpp"
 #include "transfer/warm_start.hpp"
@@ -54,10 +72,18 @@ struct ServiceOptions {
   std::string tuner = "bayesopt";
   std::size_t tuning_budget = 30;
   std::size_t retuning_budget = 15;
-  /// Worker threads evaluating tuning trials; 0 = hardware concurrency.
-  /// Results are identical for every value — batches commit in suggestion
-  /// order — so this is purely a wall-clock knob.
+  /// Worker threads evaluating tuning trials, per shard; 0 = hardware
+  /// concurrency. Results are identical for every value — batches commit in
+  /// suggestion order — so this is purely a wall-clock knob.
   std::size_t jobs = 1;
+
+  /// Tenant shards. Each shard owns its tenants' state under its own mutex
+  /// and runs its own trial executor; a tenant's shard is a pure function
+  /// of its name. 1 = the pre-sharding single-lane service.
+  std::size_t shards = 1;
+  /// Per-shard overload control. The defaults admit everything (the
+  /// pre-sharding behavior); see AdmissionOptions.
+  AdmissionOptions admission{};
 
   std::string detector = "cusum";
   adaptive::RetuningController::Options retuning{};
@@ -73,6 +99,16 @@ struct ServiceOptions {
   enum class TransferStrategy { kNearest, kAroma };
   TransferStrategy transfer_strategy = TransferStrategy::kNearest;
   transfer::TransferPolicy transfer{};
+  /// Where warm starts and degradation donors come from. kGlobal mines the
+  /// shared knowledge base — maximum transfer, but a tenant's results then
+  /// depend on what the whole fleet recorded first, so cross-tenant
+  /// interleaving is visible. kTenantLocal restricts the donor pool to the
+  /// entry's own history, making each tenant's results a pure function of
+  /// its own request stream — bitwise reproducible under any contention.
+  enum class TransferScope { kGlobal, kTenantLocal };
+  TransferScope transfer_scope = TransferScope::kGlobal;
+  /// Retention/indexing knobs of the shared knowledge base.
+  SharedKnowledgeBaseOptions knowledge{};
   /// Similarity bar for the SLO reference ("best-known runtime of similar
   /// workloads", §IV-D). Stricter than the transfer guard: a borderline
   /// donor can still seed a tuner, but holding this workload to a
@@ -84,6 +120,11 @@ struct ServiceOptions {
   /// framing) or the provider's capacity-proportional heuristic.
   enum class Baseline { kSparkDefault, kProviderAuto };
   Baseline ledger_baseline = Baseline::kSparkDefault;
+  /// Execute the untuned counterfactual per production run for the savings
+  /// ledger. Off, the ledger books the tuned run as its own baseline (no
+  /// savings signal) but each serve() is one execution cheaper — the load
+  /// harness turns this off to measure the serving tier, not the ledger.
+  bool ledger_counterfactual = true;
 
   Slo slo{};
   std::uint64_t seed = 42;
@@ -117,9 +158,51 @@ struct WorkloadStatus {
   simcore::Dollars tuning_cost = 0.0;
   simcore::Dollars cumulative_savings = 0.0;
   std::optional<std::size_t> break_even_run;
-  /// Runs that wanted tuning but were degraded because the tenant's
-  /// circuit breaker was open.
+  /// Runs that wanted tuning but were degraded (breaker open, or tuning
+  /// capacity shed by admission control).
   std::size_t degraded_runs = 0;
+};
+
+/// How one serve() request was answered (the degradation ladder).
+enum class ServeOutcome {
+  kServed,    ///< full service: tuned (or already-tuned) configuration ran
+  kDegraded,  ///< ran, but tuning was skipped — best-known-good config
+  kShed       ///< rejected at admission; nothing ran
+};
+
+/// Why a request was shed (ServeOutcome::kShed).
+enum class ShedReason {
+  kNone,
+  kRateLimited,        ///< arrival token bucket empty
+  kShardSaturated,     ///< shard's in-flight budget full
+  kDeadlineInfeasible  ///< deadline already expired at admission
+};
+
+/// One serve() request. All fields optional; the defaults reproduce
+/// run_once() semantics (no deadline, no arrival time, previous input size).
+struct ServeRequest {
+  /// 0 = reuse the previous size (recurring job with stable input).
+  simcore::Bytes input_bytes = 0;
+  /// Arrival timestamp in *virtual* seconds for the shard's token bucket;
+  /// negative = unspecified (no virtual time passes). Must be monotone per
+  /// shard to be meaningful.
+  double arrival_s = -1.0;
+  /// Per-request deadline budget (simulated seconds). Tuning trials run
+  /// under min(deadline, retry.trial_deadline_s); a request whose deadline
+  /// is already <= 0 is shed without running. The finished report is marked
+  /// deadline_exceeded when the production run overran it.
+  double deadline_s = std::numeric_limits<double>::infinity();
+};
+
+/// The result of one serve() request.
+struct ServeResult {
+  ServeOutcome outcome = ServeOutcome::kServed;
+  ShedReason shed_reason = ShedReason::kNone;
+  /// The production run overran the request deadline (it still completed —
+  /// the simulated run is not preemptible — but the caller missed it).
+  bool deadline_exceeded = false;
+  /// Valid unless outcome == kShed.
+  disc::ExecutionReport report;
 };
 
 /// Per-tenant slice of the service health snapshot.
@@ -132,46 +215,91 @@ struct TenantHealth {
   std::size_t workloads = 0;
 };
 
+/// Per-shard slice of the health snapshot: occupancy and overload counters.
+struct ShardHealth {
+  std::size_t shard = 0;
+  std::size_t workloads = 0;
+  std::size_t tenants = 0;
+  std::size_t inflight = 0;
+  std::size_t peak_inflight = 0;
+  std::size_t open_breakers = 0;
+  std::uint64_t served = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t shed_rate_limited = 0;
+  std::uint64_t shed_saturated = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t tuning_sessions = 0;
+};
+
 /// Service-wide health snapshot (the operator's view of the weather).
 struct ServiceHealth {
   std::size_t tenants = 0;
   std::size_t open_breakers = 0;
   std::size_t total_degraded_runs = 0;
+  /// Overload totals across shards.
+  std::uint64_t served = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t shed = 0;
   std::vector<TenantHealth> per_tenant;  // sorted by tenant name
+  std::vector<ShardHealth> per_shard;    // indexed by shard
 };
 
-/// Thread-safety: every public entry point locks the service mutex, so
-/// tenants may submit and run workloads from concurrent threads. Sessions
-/// are coarse-grained — a run_once() holds the lock for its whole tuning —
-/// because the shared TrialExecutor serializes sessions anyway; the win is
-/// that concurrent callers are *correct*, not that they overlap. Accessors
-/// returning references (knowledge_base, ledger, slo_tracker) hand out
-/// storage-stable references (entries are never erased; std::map does not
-/// relocate), but reading them while another thread runs workloads is the
-/// caller's race to avoid.
+/// Thread-safety: tenant state is sharded; every public entry point locks
+/// only the target tenant's shard, so tenants on different shards submit,
+/// serve and run concurrently. A shard's runs are coarse-grained — a serve()
+/// holds the shard lock for its whole tuning — because the shard's
+/// TrialExecutor serializes sessions anyway; admission decisions and health
+/// counters live under a separate short-held control mutex per shard, so
+/// health() and shedding never wait behind a tuning session. Accessors
+/// returning references (ledger, slo_tracker) hand out storage-stable
+/// references (entries are never erased; std::map does not relocate), but
+/// reading them while another thread runs the same tenant's workloads is
+/// the caller's race to avoid.
 class TuningService {
  public:
   explicit TuningService(ServiceOptions options);
+  ~TuningService();
 
   /// Register a recurring workload. `initial_input` sizes the first tuning.
-  /// Returns a handle for run_once/status.
+  /// Returns a handle for serve/run_once/status.
   int submit(std::string tenant, std::shared_ptr<const workload::Workload> workload,
-             simcore::Bytes initial_input) STUNE_EXCLUDES(mu_);
+             simcore::Bytes initial_input);
 
-  /// Execute the workload once. On the first call the service performs the
-  /// full two-stage tuning; later calls execute the tuned configuration,
-  /// watch for drift and re-tune when the detector fires. `input_bytes == 0`
-  /// reuses the previous size (recurring job with stable input).
-  disc::ExecutionReport run_once(int handle, simcore::Bytes input_bytes = 0) STUNE_EXCLUDES(mu_);
+  /// Execute the workload once through the full overload-control plane:
+  /// admission (shed on saturation or rate limit), tuning-capacity gating
+  /// (degrade to best-known-good when shed), deadline propagation. The
+  /// default request admits unconditionally and reproduces run_once().
+  ServeResult serve(int handle, const ServeRequest& request = {});
 
-  WorkloadStatus status(int handle) const STUNE_EXCLUDES(mu_);
-  /// Resilience snapshot: per-tenant breaker states, trips and degraded
-  /// runs. The operator-facing half of the fault tolerance story.
-  ServiceHealth health() const STUNE_EXCLUDES(mu_);
-  const KnowledgeBase& knowledge_base() const STUNE_EXCLUDES(mu_);
-  const CostLedger& ledger(int handle) const STUNE_EXCLUDES(mu_);
-  const SloTracker& slo_tracker(int handle) const STUNE_EXCLUDES(mu_);
+  /// Execute the workload once, bypassing admission (the pre-serving-tier
+  /// entry point; equivalent to serve() with an always-admitted request).
+  /// On the first call the service performs the full two-stage tuning;
+  /// later calls execute the tuned configuration, watch for drift and
+  /// re-tune when the detector fires. `input_bytes == 0` reuses the
+  /// previous size (recurring job with stable input).
+  disc::ExecutionReport run_once(int handle, simcore::Bytes input_bytes = 0);
+
+  WorkloadStatus status(int handle) const;
+  /// Resilience snapshot: per-shard occupancy/overload counters and
+  /// per-tenant breaker states. Touches only the shards' control mutexes —
+  /// never a shard's main mutex — so it returns promptly even while every
+  /// shard is mid-tuning. `per_tenant_detail` = false skips the per-tenant
+  /// vector (cheaper at 100k tenants).
+  ServiceHealth health(bool per_tenant_detail = true) const;
+  /// Snapshot of the shared cross-tenant knowledge base (copy; the live
+  /// store is internally synchronized and shared by all shards).
+  KnowledgeBase knowledge_base() const;
+  std::size_t knowledge_size() const { return kb_.total_records(); }
+  /// The bounded donor pool warm starts and degraded answers draw from
+  /// under TransferScope::kGlobal (copy).
+  std::vector<transfer::DonorObservation> knowledge_donors() const {
+    return kb_.indexed_donors();
+  }
+  const CostLedger& ledger(int handle) const;
+  const SloTracker& slo_tracker(int handle) const;
   const ServiceOptions& options() const { return options_; }
+  std::size_t shard_count() const { return shards_.size(); }
   /// Hit/miss statistics of the shared execution cache (all tenants).
   workload::EvalCacheStats eval_cache_stats() const { return cache_.stats(); }
 
@@ -193,16 +321,65 @@ class TuningService {
     std::unique_ptr<adaptive::RetuningController> controller;
     CostLedger ledger;
     SloTracker slo;
+    /// Decorrelates successive tuning seeds. Per entry (not service-global)
+    /// so a tenant's seeds are independent of other tenants' activity.
+    std::uint64_t tune_counter = 0;
+    /// The entry's own successful history, runtime-ascending and capped —
+    /// the donor pool under TransferScope::kTenantLocal.
+    std::vector<transfer::DonorObservation> own_donors;
 
     explicit Entry(Slo slo_spec) : slo(slo_spec) {}
   };
 
-  Entry& entry(int handle) STUNE_REQUIRES(mu_);
-  const Entry& entry(int handle) const STUNE_REQUIRES(mu_);
+  /// Aggregate overload counters for one shard (guarded by ctl_mu).
+  struct ShardCounters {
+    std::uint64_t served = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t shed_rate_limited = 0;
+    std::uint64_t shed_saturated = 0;
+    std::uint64_t shed_deadline = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t tuning_sessions = 0;
+  };
 
-  void provision(Entry& e) STUNE_REQUIRES(mu_);
-  /// Stage-2 DISC tuning at the entry's current input size.
-  void tune_disc(Entry& e, std::size_t budget) STUNE_REQUIRES(mu_);
+  /// One tenant shard: the unit of isolation. Data plane (entries,
+  /// breakers, the shard's executor) under `mu`; control plane (admission,
+  /// counters, health snapshots) under the short-held `ctl_mu`. The
+  /// admission path takes ctl_mu and *releases it* before the request
+  /// queues on mu; paths holding mu may take ctl_mu (10 < 12) to bump
+  /// counters — never the other way around while ctl_mu is held.
+  struct TenantShard {
+    TenantShard(const ServiceOptions& options, std::size_t index);
+
+    const std::size_t index;
+    mutable simcore::Mutex mu{simcore::lock_rank::kServiceShard};
+    std::map<int, Entry> entries STUNE_GUARDED_BY(mu);
+    std::map<std::string, CircuitBreaker> breakers STUNE_GUARDED_BY(mu);
+    int next_seq STUNE_GUARDED_BY(mu) = 1;
+    /// Internally synchronized (ranks 20/45); per shard so tuning sessions
+    /// on different shards run concurrently.
+    tuning::TrialExecutor executor;
+    mutable disc::TrialContextPool ctx_pool;
+
+    mutable simcore::Mutex ctl_mu{simcore::lock_rank::kServiceShardControl};
+    AdmissionController admission STUNE_GUARDED_BY(ctl_mu);
+    ShardCounters counters STUNE_GUARDED_BY(ctl_mu);
+    /// Last-known per-tenant health, refreshed whenever a run finishes on
+    /// the data plane — what health() reads without touching mu.
+    std::map<std::string, TenantHealth> tenant_view STUNE_GUARDED_BY(ctl_mu);
+  };
+
+  TenantShard& shard_for_handle(int handle) const;
+  std::size_t shard_index_for_tenant(const std::string& tenant) const;
+
+  static Entry& entry(TenantShard& sh, int handle) STUNE_REQUIRES(sh.mu);
+  static const Entry& entry(const TenantShard& sh, int handle) STUNE_REQUIRES(sh.mu);
+
+  void provision(TenantShard& sh, Entry& e) STUNE_REQUIRES(sh.mu);
+  /// Stage-2 DISC tuning at the entry's current input size. `deadline_s`
+  /// tightens the per-trial deadline (min with options().retry).
+  void tune_disc(TenantShard& sh, Entry& e, std::size_t budget, double deadline_s)
+      STUNE_REQUIRES(sh.mu);
   /// One raw execution on the entry's cluster. `seed_salt` decorrelates
   /// production runs (contention, stragglers); tuning uses salt 0 so a
   /// configuration's score is stable within a tuning round. `attempt`
@@ -210,43 +387,55 @@ class TuningService {
   /// configuration does not), and is folded into the engine context so the
   /// shared cache never aliases attempts.
   ///
-  /// Touches no guarded state (options_ is immutable, the cache has its own
-  /// sharding) — deliberately, because tuning objectives call it from
-  /// executor worker threads while the driver holds mu_.
-  disc::ExecutionReport execute(const Entry& e, const config::Configuration& conf,
-                                std::uint64_t seed_salt, int attempt = 0) const;
-  /// Breaker-open fallback: fall back to the best similar successful
-  /// configuration in the knowledge base (or keep the current one) instead
-  /// of spending tuning budget into a storm.
-  void degrade(Entry& e) STUNE_REQUIRES(mu_);
-  CircuitBreaker& breaker_for(const std::string& tenant) STUNE_REQUIRES(mu_);
-  void record_to_kb(const Entry& e, const config::Configuration& conf,
-                    const disc::ExecutionReport& report, bool from_tuning) STUNE_REQUIRES(mu_);
+  /// Touches no mu-guarded state (options_ is immutable, the cache has its
+  /// own sharding, the context pool is internally synchronized) —
+  /// deliberately, because tuning objectives call it from executor worker
+  /// threads while the driver holds the shard mutex.
+  disc::ExecutionReport execute(const TenantShard& sh, const Entry& e,
+                                const config::Configuration& conf, std::uint64_t seed_salt,
+                                int attempt = 0) const;
+  /// Donor pool for warm starts and degradation, honoring transfer_scope.
+  std::vector<transfer::DonorObservation> donor_pool(const Entry& e) const;
+  /// Capacity-shed / breaker-open fallback: fall back to the best similar
+  /// successful known configuration (or keep the current one) instead of
+  /// spending tuning budget it has no capacity for. Caller holds the
+  /// entry's shard mutex (invisible to the analysis once the Entry& is
+  /// extracted from the guarded map).
+  void degrade(Entry& e) const;
+  /// Minimal provisioning for a degraded first run: default cluster +
+  /// provider heuristic config, without spending stage-1 exploration.
+  /// Leaves `provisioned` false so the first non-degraded run provisions
+  /// properly.
+  void degraded_provision(Entry& e) const;
+  CircuitBreaker& breaker_for(TenantShard& sh, const std::string& tenant) STUNE_REQUIRES(sh.mu);
+  void record_to_kb(Entry& e, const config::Configuration& conf,
+                    const disc::ExecutionReport& report, bool from_tuning);
+  /// The shared body of serve()/run_once(): provision/tune-or-degrade, the
+  /// production run, SLO + ledger + breaker + drift bookkeeping.
+  /// `admission_exempt` marks run_once() semantics: tuning capacity is
+  /// never consulted. Returns the production report; sets `degraded` when
+  /// this run skipped wanted tuning.
+  disc::ExecutionReport run_locked(TenantShard& sh, Entry& e, simcore::Bytes input_bytes,
+                                   double deadline_s, bool admission_exempt, bool& degraded)
+      STUNE_REQUIRES(sh.mu);
+  /// Refresh the shard's control-plane view of one tenant after a run
+  /// (called with the shard mutex held; takes ctl_mu inside). O(1):
+  /// degrade counts accumulate as deltas, the breaker is re-read.
+  void refresh_tenant_view(TenantShard& sh, const Entry& e, std::size_t degraded_delta)
+      STUNE_REQUIRES(sh.mu);
 
   const ServiceOptions options_;  // immutable after construction
-  /// One execution cache and one trial executor shared by every tenant:
-  /// the cache replays identical probes across re-tunes (and across
-  /// tenants whose plans coincide); the executor owns the worker pool.
-  /// Both are internally synchronized, so they sit outside mu_. Mutable
-  /// because a cache hit inside the logically-const execute() mutates only
-  /// memoization state.
+  /// One execution cache shared by every shard: it replays identical
+  /// probes across re-tunes (and across tenants whose plans coincide).
+  /// Internally synchronized. Mutable because a cache hit inside the
+  /// logically-const execute() mutates only memoization state.
   mutable workload::EvalCache cache_;
-  tuning::TrialExecutor executor_;
-  /// One engine TrialContext per trial worker (plus one for the driver):
-  /// cache-miss executions lease a context so plan topology, contention
-  /// samples and per-stage draws amortize across a tuning batch. Leased
-  /// under lock rank 45 — below the executor, above the cache shards — and
-  /// never held while another ranked mutex is taken.
-  mutable disc::TrialContextPool ctx_pool_;
-  // The outermost lock in the system (rank table: simcore/lock_rank.hpp):
-  // held across whole tuning sessions, so every other ranked mutex nests
-  // inside it.
-  mutable simcore::Mutex mu_{simcore::lock_rank::kTuningService};
-  KnowledgeBase kb_ STUNE_GUARDED_BY(mu_);
-  std::map<int, Entry> entries_ STUNE_GUARDED_BY(mu_);
-  std::map<std::string, CircuitBreaker> breakers_ STUNE_GUARDED_BY(mu_);
-  int next_handle_ STUNE_GUARDED_BY(mu_) = 1;
-  std::uint64_t tune_counter_ STUNE_GUARDED_BY(mu_) = 0;  // decorrelates successive tuning seeds
+  /// The cross-tenant execution history (paper §IV-C), shared by all
+  /// shards; internally synchronized under rank kKnowledgeBase.
+  SharedKnowledgeBase kb_;
+  /// Tenant shards; the vector itself is immutable after construction
+  /// (stable addresses via unique_ptr). Destroyed before cache_/kb_.
+  std::vector<std::unique_ptr<TenantShard>> shards_;
 };
 
 }  // namespace stune::service

@@ -23,12 +23,21 @@
 //
 // Rank table (acquired top to bottom; see DESIGN.md §11 for the full map):
 //
-//   10  TuningService::mu_        service-wide tenant/KB/breaker state
+//   10  TuningService::Shard::mu      one tenant shard's entries/breakers
+//   12  TuningService::Shard::ctl_mu  shard control plane: admission state,
+//                                     shed/served counters, health snapshots
+//                                     (short-held; nests inside the shard)
+//   15  SharedKnowledgeBase::mu_      the cross-shard execution history
 //   20  TrialExecutor::mu_        session serialization on a shared executor
 //   30  SequentialAdapter::mu_    ask/tell rendezvous with the serial body
 //   40  ThreadPool::mu_           task queue of the worker pool
 //   45  TrialContextPool::mu_     checkout of per-worker engine scratch
 //   50  EvalCache::Shard::mu      one shard of the execution memo (leaf)
+//
+// The serving tier's admission path takes ctl_mu *before* the shard mutex,
+// but never while holding it — admission decides, releases, and only then
+// the request queues on the shard — so the 10 < 12 order (which permits
+// counter updates while a run holds the shard mutex) is never contradicted.
 #pragma once
 
 #include <cstddef>
@@ -36,7 +45,12 @@
 namespace stune::simcore::lock_rank {
 
 inline constexpr int kUnranked = 0;
-inline constexpr int kTuningService = 10;
+inline constexpr int kServiceShard = 10;
+/// Backwards-compatible alias from when the service had a single mutex; the
+/// sharded service gives every tenant shard its own rank-10 mutex.
+inline constexpr int kTuningService = kServiceShard;
+inline constexpr int kServiceShardControl = 12;
+inline constexpr int kKnowledgeBase = 15;
 inline constexpr int kTrialExecutor = 20;
 inline constexpr int kSequentialAdapter = 30;
 inline constexpr int kThreadPool = 40;

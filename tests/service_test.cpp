@@ -1,18 +1,24 @@
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "service/admission.hpp"
 #include "service/cloud_tuner.hpp"
 #include "service/cost_ledger.hpp"
 #include "service/knowledge_base.hpp"
+#include "service/shared_kb.hpp"
 #include "service/slo.hpp"
 #include "service/tuning_service.hpp"
+#include "transfer/characterization.hpp"
+#include "transfer/warm_start.hpp"
 #include "workload/workload.hpp"
 
 namespace stune::service {
@@ -386,6 +392,425 @@ TEST(TuningService, StatusReflectsClusterChoice) {
   const int h = svc.submit("acme", workload::make_workload("kmeans"), gib(8));
   svc.run_once(h);
   EXPECT_EQ(svc.status(h).cluster, (cluster::ClusterSpec{"r5.2xlarge", 6}));
+}
+
+// -- AdmissionController -----------------------------------------------------------
+
+TEST(AdmissionController, InflightBudgetSaturatesAndReleases) {
+  AdmissionOptions o;
+  o.max_inflight = 2;
+  AdmissionController adm(o);
+  EXPECT_EQ(adm.try_admit(-1.0), AdmitDecision::kAdmit);
+  EXPECT_EQ(adm.try_admit(-1.0), AdmitDecision::kAdmit);
+  EXPECT_EQ(adm.try_admit(-1.0), AdmitDecision::kShedSaturated);
+  EXPECT_EQ(adm.inflight(), 2u);
+  EXPECT_EQ(adm.peak_inflight(), 2u);
+  adm.release();
+  EXPECT_EQ(adm.try_admit(-1.0), AdmitDecision::kAdmit);
+}
+
+TEST(AdmissionController, TokenBucketShedsBurstsAndRefills) {
+  AdmissionOptions o;
+  o.tokens_per_s = 1.0;
+  o.burst = 2.0;
+  AdmissionController adm(o);
+  EXPECT_EQ(adm.try_admit(0.0), AdmitDecision::kAdmit);
+  adm.release();
+  EXPECT_EQ(adm.try_admit(0.0), AdmitDecision::kAdmit);
+  adm.release();
+  EXPECT_EQ(adm.try_admit(0.0), AdmitDecision::kShedRateLimited);
+  // Virtual time passes: the bucket refills and the shard re-admits.
+  EXPECT_EQ(adm.try_admit(5.0), AdmitDecision::kAdmit);
+}
+
+TEST(AdmissionController, NegativeArrivalPassesNoVirtualTime) {
+  AdmissionOptions o;
+  o.tokens_per_s = 100.0;
+  o.burst = 1.0;
+  AdmissionController adm(o);
+  EXPECT_EQ(adm.try_admit(-1.0), AdmitDecision::kAdmit);
+  adm.release();
+  EXPECT_EQ(adm.try_admit(-1.0), AdmitDecision::kShedRateLimited);
+}
+
+TEST(AdmissionController, ClockIsMonotoneUnderOutOfOrderArrivals) {
+  AdmissionOptions o;
+  o.tokens_per_s = 1.0;
+  o.burst = 10.0;
+  AdmissionController adm(o);
+  EXPECT_EQ(adm.try_admit(10.0), AdmitDecision::kAdmit);
+  EXPECT_DOUBLE_EQ(adm.clock_s(), 10.0);
+  adm.release();
+  EXPECT_EQ(adm.try_admit(4.0), AdmitDecision::kAdmit);  // stale timestamp
+  EXPECT_DOUBLE_EQ(adm.clock_s(), 10.0);                 // no rewind
+}
+
+TEST(AdmissionController, TuningBucketFixedStockRunsDry) {
+  AdmissionOptions o;
+  o.tuning_tokens_per_s = 0.0;  // fixed stock, never refills
+  o.tuning_burst = 2.0;
+  AdmissionController adm(o);
+  EXPECT_TRUE(adm.try_take_tuning());
+  EXPECT_TRUE(adm.try_take_tuning());
+  EXPECT_FALSE(adm.try_take_tuning());
+}
+
+TEST(AdmissionController, DegradeAboveInflightSkipsTuningUnderLoad) {
+  AdmissionOptions o;
+  o.degrade_above_inflight = 1;
+  AdmissionController adm(o);
+  EXPECT_EQ(adm.try_admit(-1.0), AdmitDecision::kAdmit);
+  EXPECT_TRUE(adm.try_take_tuning());  // 1 in flight: at, not above, the bar
+  EXPECT_EQ(adm.try_admit(-1.0), AdmitDecision::kAdmit);
+  EXPECT_FALSE(adm.try_take_tuning());  // 2 in flight: drain first
+  adm.release();
+  EXPECT_TRUE(adm.try_take_tuning());
+}
+
+// -- SharedKnowledgeBase -----------------------------------------------------------
+
+TEST(SharedKnowledgeBase, CountsAreMonotoneAcrossRetention) {
+  SharedKnowledgeBaseOptions o;
+  o.max_records = 2;
+  SharedKnowledgeBase kb(o);
+  for (int i = 0; i < 5; ++i) {
+    kb.record_execution(make_record("t" + std::to_string(i), "w", 10.0 + i, gib(1)));
+  }
+  EXPECT_EQ(kb.total_records(), 5u);
+  EXPECT_EQ(kb.retained_records(), 2u);
+  EXPECT_EQ(kb.distinct_tenants(), 5u);  // the index survives retention
+  EXPECT_EQ(kb.snapshot().size(), 2u);
+}
+
+TEST(SharedKnowledgeBase, IndexedDonorsAreCappedBestFirst) {
+  SharedKnowledgeBaseOptions o;
+  o.donors_per_cell = 2;
+  SharedKnowledgeBase kb(o);
+  kb.record_execution(make_record("a", "w", 30.0, gib(1)));
+  kb.record_execution(make_record("a", "w", 10.0, gib(1)));
+  kb.record_execution(make_record("a", "w", 20.0, gib(1)));
+  const auto donors = kb.indexed_donors();
+  ASSERT_EQ(donors.size(), 2u);
+  EXPECT_DOUBLE_EQ(donors[0].observation.runtime, 10.0);
+  EXPECT_DOUBLE_EQ(donors[1].observation.runtime, 20.0);
+}
+
+TEST(SharedKnowledgeBase, FailedRecordsNeverDonate) {
+  SharedKnowledgeBase kb;
+  auto r = make_record("a", "w", 10.0, gib(1));
+  r.failed = true;
+  kb.record_execution(r);
+  EXPECT_TRUE(kb.indexed_donors().empty());
+  EXPECT_FALSE(kb.best_similar_runtime({}, gib(1)).has_value());
+}
+
+TEST(SharedKnowledgeBase, BestSimilarRuntimeFiltersBySizeAndSimilarity) {
+  SharedKnowledgeBase kb;
+  transfer::Signature near{};
+  near.cpu_fraction = 0.1;
+  transfer::Signature far{};
+  far.cpu_fraction = 4.0;
+  far.gc_fraction = 4.0;
+  kb.record_execution(make_record("a", "w", 50.0, gib(8), near));
+  kb.record_execution(make_record("a", "w", 5.0, gib(8), far));     // dissimilar
+  kb.record_execution(make_record("a", "w", 7.0, gib(512), near));  // wrong size
+  const auto best = kb.best_similar_runtime({}, gib(8), 0.6, 1.5);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(*best, 50.0);
+}
+
+// -- Serving tier: sharding, admission, shedding, degradation ----------------------
+
+TEST(TuningServiceServing, ServeDefaultRequestMatchesRunOnceBitwise) {
+  auto opts = fast_options();
+  TuningService a(opts), b(opts);
+  const int ha = a.submit("t", workload::make_workload("join"), gib(8));
+  const int hb = b.submit("t", workload::make_workload("join"), gib(8));
+  for (int i = 0; i < 3; ++i) {
+    const auto ra = a.run_once(ha);
+    const auto rb = b.serve(hb);
+    EXPECT_EQ(rb.outcome, ServeOutcome::kServed);
+    EXPECT_FALSE(rb.deadline_exceeded);
+    EXPECT_DOUBLE_EQ(ra.runtime, rb.report.runtime);
+    EXPECT_DOUBLE_EQ(ra.cost, rb.report.cost);
+  }
+}
+
+TEST(TuningServiceServing, RateLimitShedsWithReasonThenReadmits) {
+  auto opts = fast_options();
+  opts.tune_cloud = false;
+  opts.admission.tokens_per_s = 1.0;
+  opts.admission.burst = 2.0;
+  TuningService svc(opts);
+  const int h = svc.submit("acme", workload::make_workload("sort"), gib(4));
+
+  ServeRequest req;
+  req.arrival_s = 0.0;
+  EXPECT_EQ(svc.serve(h, req).outcome, ServeOutcome::kServed);
+  EXPECT_EQ(svc.serve(h, req).outcome, ServeOutcome::kServed);
+  const auto shed = svc.serve(h, req);
+  EXPECT_EQ(shed.outcome, ServeOutcome::kShed);
+  EXPECT_EQ(shed.shed_reason, ShedReason::kRateLimited);
+  // A shed request runs nothing: production count unchanged.
+  EXPECT_EQ(svc.status(h).production_runs, 2u);
+
+  const auto health = svc.health();
+  ASSERT_EQ(health.per_shard.size(), 1u);
+  EXPECT_EQ(health.per_shard[0].shed_rate_limited, 1u);
+  EXPECT_EQ(health.served + health.degraded, 2u);
+  EXPECT_EQ(health.shed, 1u);
+
+  // Load drops (virtual time passes): the bucket refills and serves again.
+  req.arrival_s = 10.0;
+  EXPECT_EQ(svc.serve(h, req).outcome, ServeOutcome::kServed);
+  EXPECT_EQ(svc.status(h).production_runs, 3u);
+}
+
+TEST(TuningServiceServing, ExpiredDeadlineIsShedBeforeRunning) {
+  auto opts = fast_options();
+  opts.tune_cloud = false;
+  TuningService svc(opts);
+  const int h = svc.submit("acme", workload::make_workload("sort"), gib(4));
+  ServeRequest req;
+  req.deadline_s = 0.0;
+  const auto r = svc.serve(h, req);
+  EXPECT_EQ(r.outcome, ServeOutcome::kShed);
+  EXPECT_EQ(r.shed_reason, ShedReason::kDeadlineInfeasible);
+  EXPECT_EQ(svc.status(h).production_runs, 0u);
+  EXPECT_EQ(svc.health().per_shard[0].shed_deadline, 1u);
+}
+
+TEST(TuningServiceServing, OverrunDeadlineIsFlaggedOnTheResult) {
+  auto opts = fast_options();
+  opts.tune_cloud = false;
+  TuningService svc(opts);
+  const int h = svc.submit("acme", workload::make_workload("sort"), gib(4));
+  ServeRequest req;
+  req.deadline_s = 1e-6;  // feasible on paper, overrun by any real run
+  const auto r = svc.serve(h, req);
+  EXPECT_NE(r.outcome, ServeOutcome::kShed);
+  EXPECT_TRUE(r.deadline_exceeded);
+  EXPECT_GT(r.report.runtime, req.deadline_s);
+  EXPECT_EQ(svc.health().per_shard[0].deadline_exceeded, 1u);
+}
+
+TEST(TuningServiceServing, TuningCapacityShedDegradesToBestKnownGood) {
+  auto opts = fast_options();
+  opts.tune_cloud = false;
+  opts.default_cluster = {"h1.4xlarge", 4};
+  opts.admission.tuning_tokens_per_s = 0.0;  // fixed stock:
+  opts.admission.tuning_burst = 1.0;         // exactly one tuning session
+  TuningService svc(opts);
+
+  const int ha = svc.submit("acme", workload::make_workload("sort"), gib(8));
+  EXPECT_EQ(svc.serve(ha).outcome, ServeOutcome::kServed);
+  EXPECT_TRUE(svc.status(ha).tuned);
+
+  // The stock is gone: the next tenant is answered degraded, not queued.
+  const int hb = svc.submit("globex", workload::make_workload("terasort"), gib(8));
+  const auto first = svc.serve(hb);
+  EXPECT_EQ(first.outcome, ServeOutcome::kDegraded);
+  EXPECT_FALSE(svc.status(hb).tuned);
+  EXPECT_EQ(svc.status(hb).degraded_runs, 1u);
+
+  // From the second degraded run on, the service answers from the
+  // best-known-good path: the config must equal — bitwise — the best
+  // successful donor the transfer policy selects for this workload's
+  // signature from the shared knowledge base.
+  const auto donors = svc.knowledge_donors();
+  const auto sig = transfer::characterize(first.report);
+  const auto second = svc.serve(hb);
+  EXPECT_EQ(second.outcome, ServeOutcome::kDegraded);
+  const auto picks = transfer::select_warm_start(sig, donors, svc.options().transfer);
+  const tuning::Observation* best = nullptr;
+  for (const auto& o : picks) {
+    if (o.failed) continue;
+    if (best == nullptr || o.runtime < best->runtime) best = &o;
+  }
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(svc.status(hb).config.values(), best->config.values());
+  EXPECT_EQ(svc.health().degraded, 2u);
+}
+
+TEST(TuningServiceServing, TuningCapacityRefillReadmitsTuning) {
+  auto opts = fast_options();
+  opts.tune_cloud = false;
+  opts.admission.tuning_tokens_per_s = 1.0;
+  opts.admission.tuning_burst = 1.0;
+  TuningService svc(opts);
+
+  const int ha = svc.submit("acme", workload::make_workload("sort"), gib(8));
+  ServeRequest req;
+  req.arrival_s = 0.0;
+  EXPECT_EQ(svc.serve(ha, req).outcome, ServeOutcome::kServed);
+
+  const int hb = svc.submit("globex", workload::make_workload("terasort"), gib(8));
+  req.arrival_s = 0.1;  // bucket still (almost) empty
+  EXPECT_EQ(svc.serve(hb, req).outcome, ServeOutcome::kDegraded);
+  req.arrival_s = 10.0;  // capacity recovered
+  EXPECT_EQ(svc.serve(hb, req).outcome, ServeOutcome::kServed);
+  EXPECT_TRUE(svc.status(hb).tuned);
+}
+
+TEST(TuningServiceServing, SaturatedShardShedsInsteadOfQueueing) {
+  auto opts = fast_options();
+  opts.tune_cloud = false;
+  opts.tuning_budget = 200;  // pin the shard long enough to observe it busy
+  opts.admission.max_inflight = 1;
+  TuningService svc(opts);
+  const int slow = svc.submit("acme", workload::make_workload("sort"), gib(8));
+  const int fast = svc.submit("acme", workload::make_workload("wordcount"), gib(1));
+
+  std::thread holder([&svc, slow] {
+    EXPECT_EQ(svc.serve(slow).outcome, ServeOutcome::kServed);
+  });
+  // The in-flight count rises at admission, before tuning starts; wait for
+  // it so the shed below races only against the (long) tuning session.
+  while (svc.health(false).per_shard[0].inflight == 0) std::this_thread::yield();
+
+  const auto shed = svc.serve(fast);
+  EXPECT_EQ(shed.outcome, ServeOutcome::kShed);
+  EXPECT_EQ(shed.shed_reason, ShedReason::kShardSaturated);
+  holder.join();
+
+  // Load dropped: the shard re-admits.
+  EXPECT_NE(svc.serve(fast).outcome, ServeOutcome::kShed);
+  const auto health = svc.health();
+  EXPECT_GE(health.per_shard[0].shed_saturated, 1u);
+  EXPECT_EQ(health.per_shard[0].peak_inflight, 1u);
+  EXPECT_EQ(health.per_shard[0].inflight, 0u);
+}
+
+TEST(TuningServiceServing, HealthAnswersConcurrentlyUnderStress) {
+  auto opts = fast_options();
+  opts.tune_cloud = false;
+  opts.shards = 4;
+  opts.tuning_budget = 40;
+  opts.admission.max_inflight = 8;
+  TuningService svc(opts);
+
+  constexpr int kTenants = 6;
+  std::vector<std::thread> workers;
+  workers.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    workers.emplace_back([&svc, t] {
+      const int h = svc.submit("tenant-" + std::to_string(t),
+                               workload::make_workload(t % 2 == 0 ? "sort" : "wordcount"),
+                               gib(2));
+      for (int i = 0; i < 3; ++i) (void)svc.serve(h);
+    });
+  }
+  // health() must answer promptly while every shard is tuning: it touches
+  // only control mutexes, never a shard's main mutex.
+  std::uint64_t observed_ops = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto h = svc.health(i % 2 == 0);
+    EXPECT_EQ(h.per_shard.size(), 4u);
+    const std::uint64_t ops = h.served + h.degraded + h.shed;
+    EXPECT_GE(ops, observed_ops);  // counters are monotone
+    observed_ops = ops;
+  }
+  for (auto& w : workers) w.join();
+
+  const auto final_health = svc.health();
+  EXPECT_EQ(final_health.tenants, static_cast<std::size_t>(kTenants));
+  EXPECT_EQ(final_health.served + final_health.degraded, 3u * kTenants);
+  EXPECT_EQ(final_health.per_tenant.size(), static_cast<std::size_t>(kTenants));
+}
+
+TEST(TuningServiceServing, ShardCountAndJobsPreservePerTenantResultsBitwise) {
+  const std::vector<std::string> workloads = {"sort", "wordcount", "terasort",
+                                              "join", "kmeans", "bayes"};
+  constexpr int kRuns = 3;
+
+  // Reference: the pre-sharding single-lane service.
+  struct TenantTrace {
+    std::vector<double> runtimes;
+    std::vector<double> config;
+  };
+  const auto drive = [&](std::size_t shards, std::size_t jobs) {
+    auto opts = fast_options();
+    opts.tune_cloud = false;
+    opts.shards = shards;
+    opts.jobs = jobs;
+    TuningService svc(opts);
+    std::vector<int> handles;
+    for (std::size_t t = 0; t < workloads.size(); ++t) {
+      handles.push_back(svc.submit("tenant-" + std::to_string(t),
+                                   workload::make_workload(workloads[t]), gib(4)));
+    }
+    std::vector<TenantTrace> traces(workloads.size());
+    for (int i = 0; i < kRuns; ++i) {
+      for (std::size_t t = 0; t < handles.size(); ++t) {
+        const auto r = svc.serve(handles[t]);
+        EXPECT_NE(r.outcome, ServeOutcome::kShed);
+        traces[t].runtimes.push_back(r.report.runtime);
+      }
+    }
+    for (std::size_t t = 0; t < handles.size(); ++t) {
+      traces[t].config = svc.status(handles[t]).config.values();
+    }
+    return traces;
+  };
+
+  const auto reference = drive(1, 1);
+  for (const std::size_t shards : {4u, 16u}) {
+    for (const std::size_t jobs : {1u, 3u}) {
+      const auto got = drive(shards, jobs);
+      ASSERT_EQ(got.size(), reference.size());
+      for (std::size_t t = 0; t < reference.size(); ++t) {
+        EXPECT_EQ(got[t].runtimes, reference[t].runtimes)
+            << "tenant " << t << " diverged at shards=" << shards << " jobs=" << jobs;
+        EXPECT_EQ(got[t].config, reference[t].config)
+            << "tenant " << t << " config diverged at shards=" << shards
+            << " jobs=" << jobs;
+      }
+    }
+  }
+}
+
+TEST(TuningServiceServing, TenantLocalScopeIsolatesTenantsFromFleetActivity) {
+  // Under TransferScope::kTenantLocal a tenant's results are a pure function
+  // of its own request stream: a service shared with a noisy fleet and a
+  // private service must agree bitwise.
+  auto opts = fast_options();
+  opts.tune_cloud = false;
+  opts.transfer_scope = ServiceOptions::TransferScope::kTenantLocal;
+  opts.shards = 4;
+
+  TuningService solo(opts);
+  const int hs = solo.submit("observer", workload::make_workload("join"), gib(8));
+
+  TuningService fleet(opts);
+  const int hf = fleet.submit("observer", workload::make_workload("join"), gib(8));
+  for (int t = 0; t < 5; ++t) {
+    const int noisy = fleet.submit("noisy-" + std::to_string(t),
+                                   workload::make_workload("sort"), gib(2));
+    fleet.run_once(noisy);  // interleaved fleet activity
+  }
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(solo.run_once(hs).runtime, fleet.run_once(hf).runtime);
+  }
+  EXPECT_EQ(solo.status(hs).config.values(), fleet.status(hf).config.values());
+}
+
+TEST(TuningServiceServing, HandlesEncodeShardsAndRejectUnknowns) {
+  auto opts = fast_options();
+  opts.tune_cloud = false;
+  opts.shards = 4;
+  TuningService svc(opts);
+  EXPECT_EQ(svc.shard_count(), 4u);
+  std::set<int> handles;
+  for (int t = 0; t < 8; ++t) {
+    const int h = svc.submit("tenant-" + std::to_string(t),
+                             workload::make_workload("wordcount"), gib(1));
+    EXPECT_TRUE(handles.insert(h).second) << "duplicate handle " << h;
+    EXPECT_EQ(svc.status(h).tenant, "tenant-" + std::to_string(t));
+  }
+  EXPECT_THROW(svc.run_once(99991), std::out_of_range);
+  EXPECT_THROW(svc.serve(99990), std::out_of_range);
+  EXPECT_THROW(svc.status(-7), std::out_of_range);
 }
 
 }  // namespace

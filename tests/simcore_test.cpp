@@ -425,6 +425,38 @@ TEST(LockRank, AscendingAcquisitionIsClean) {
   EXPECT_EQ(lock_rank::max_held_rank(), lock_rank::kUnranked);
 }
 
+TEST(LockRank, ServingTierChainIsAscending) {
+  // The serving tier's nesting order: a tenant shard's main mutex, then its
+  // control-plane mutex, then the shared knowledge base, then the trial
+  // executor. The ranks must encode that order outright.
+  static_assert(lock_rank::kServiceShard < lock_rank::kServiceShardControl);
+  static_assert(lock_rank::kServiceShardControl < lock_rank::kKnowledgeBase);
+  static_assert(lock_rank::kKnowledgeBase < lock_rank::kTrialExecutor);
+  static_assert(lock_rank::kTuningService == lock_rank::kServiceShard);
+  int shard = 0, ctl = 0, kb = 0, exec = 0;
+  lock_rank::on_acquire(&shard, lock_rank::kServiceShard);
+  lock_rank::on_acquire(&ctl, lock_rank::kServiceShardControl);
+  lock_rank::on_acquire(&kb, lock_rank::kKnowledgeBase);
+  lock_rank::on_acquire(&exec, lock_rank::kTrialExecutor);
+  EXPECT_EQ(lock_rank::held_count(), 4u);
+  lock_rank::on_release(&exec);
+  lock_rank::on_release(&kb);
+  lock_rank::on_release(&ctl);
+  lock_rank::on_release(&shard);
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+}
+
+TEST(LockRank, ShardAfterKnowledgeBaseThrows) {
+  // record/query paths take the knowledge base while a shard is held —
+  // never the reverse.
+  int kb = 0, shard = 0;
+  lock_rank::on_acquire(&kb, lock_rank::kKnowledgeBase);
+  EXPECT_THROW(lock_rank::on_acquire(&shard, lock_rank::kServiceShard), CheckError);
+  EXPECT_THROW(lock_rank::on_acquire(&shard, lock_rank::kServiceShardControl), CheckError);
+  lock_rank::on_release(&kb);
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+}
+
 TEST(LockRank, OutOfOrderAcquisitionThrows) {
   int pool = 0, service = 0;
   lock_rank::on_acquire(&pool, lock_rank::kThreadPool);
