@@ -1,0 +1,425 @@
+// Retrieval-tier benchmark (DESIGN.md §15): the zero-execution answer path
+// measured at fleet scale. A million-run knowledge base is populated through
+// the real record pipeline — warm event-driven executions characterized and
+// recorded into a SharedKnowledgeBase — and the retrieval index is then
+// queried through every read path:
+//
+//   flat        - blocked SIMD flat scan (the exact reference);
+//   flat_scalar - the same scan through the always-scalar kernel
+//                 (SIMD-vs-scalar parity is asserted bitwise);
+//   ivf         - the pruned tier in its default *exact* mode (BVH-guided
+//                 unit scans; asserted bitwise against the flat scan);
+//   ivf_probe8  - approximate mode, probe capped at 8 scan units (we
+//                 report the recall it trades away);
+//   ivf_serve   - the query TuningService::serve() issues (k=8, similarity
+//                 floor 0.85, exact) — the zero-trial serving row;
+//   cellmap     - SharedKnowledgeBase::best_similar_runtime(), the bounded
+//                 §IV-D cell-map index, as the non-ANN baseline.
+//
+// Queries come in two sets. "repeat" perturbs a recorded signature by
+// ~run-to-run noise — the serving pattern, where a workload the fleet has
+// seen comes back and the answer is a dense historical neighborhood.
+// "novel" perturbs ~10x further, past several cell widths — a shifted
+// workload whose neighborhood must be discovered, the stress pattern.
+// Per (N, mode, k, qset) cell we report per-query p50/p99/mean latency and
+// recall@k against the flat scan, for N in {1e4, 1e5, 1e6} snapshots of the
+// same index (immutable epochs captured mid-population — the blocks are
+// shared, not copied) and k in {1, 4, 16}. `--smoke` stops at N=1e4 (the
+// IVF tier still engages: 8192 indexed entries) for CI.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+#include "config/spark_space.hpp"
+#include "dag/plan.hpp"
+#include "disc/engine.hpp"
+#include "disc/trial_context.hpp"
+#include "service/retrieval_index.hpp"
+#include "service/shared_kb.hpp"
+#include "simcore/rng.hpp"
+#include "transfer/characterization.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::bench {
+namespace {
+
+JsonReport g_report("bench_retrieval");
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// One population stream: a (workload, input size) pair run warm — the plan
+/// and trial context persist across every configuration the stream sees,
+/// exactly like a tuning batch (bench_engine's steady state).
+struct Stream {
+  std::string workload;
+  simcore::Bytes input = 0;
+  std::shared_ptr<const workload::Workload> wl;
+  dag::PhysicalPlan plan;
+  disc::TrialContext ctx;
+};
+
+/// A stashed query seed: a real recorded signature plus its input size.
+struct QuerySeed {
+  transfer::Signature signature;
+  simcore::Bytes input = 0;
+};
+
+/// Deterministic perturbation so recall is measured off the exact lattice
+/// of stored points (self-queries are trivially recalled). At scale 1 the
+/// offsets span ±0.026 per dimension — several cell widths, the "novel"
+/// set; at scale 0.1 they approximate run-to-run noise, the "repeat" set.
+transfer::Signature perturb(const transfer::Signature& s, std::size_t q, double scale) {
+  transfer::Signature out = s;
+  double* dims[transfer::Signature::kDims] = {
+      &out.cpu_fraction,  &out.disk_fraction,    &out.net_fraction,  &out.gc_fraction,
+      &out.shuffle_per_input, &out.spill_per_input, &out.stage_depth, &out.cache_pressure};
+  for (std::size_t d = 0; d < transfer::Signature::kDims; ++d) {
+    *dims[d] += scale * (0.013 * static_cast<double>((q * 7 + d) % 5) - 0.026);
+  }
+  return out;
+}
+
+struct LatencyStats {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+};
+
+LatencyStats summarize(std::vector<double>& micros) {
+  LatencyStats out;
+  if (micros.empty()) return out;
+  std::sort(micros.begin(), micros.end());
+  out.p50_us = micros[micros.size() / 2];
+  out.p99_us = micros[(micros.size() * 99) / 100];
+  for (const double m : micros) out.mean_us += m / static_cast<double>(micros.size());
+  return out;
+}
+
+/// Overlap of `hits` with the flat-scan truth, as a fraction of the truth.
+double recall_vs(const service::RetrievalHit* hits, std::size_t n,
+                 const service::RetrievalHit* truth, std::size_t truth_n) {
+  if (truth_n == 0) return 1.0;
+  std::size_t matched = 0;
+  for (std::size_t i = 0; i < truth_n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (hits[j].entry == truth[i].entry) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(matched) / static_cast<double>(truth_n);
+}
+
+bool hits_identical(const service::RetrievalHit* a, std::size_t an,
+                    const service::RetrievalHit* b, std::size_t bn) {
+  if (an != bn) return false;
+  for (std::size_t i = 0; i < an; ++i) {
+    if (a[i].entry != b[i].entry || !bits_equal(a[i].dist2, b[i].dist2) ||
+        !bits_equal(a[i].runtime, b[i].runtime) || a[i].input_bytes != b[i].input_bytes ||
+        a[i].config != b[i].config) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Measure one (snapshot, mode, k, query set) cell. `mode` picks the path:
+/// 0 = flat SIMD, 1 = flat scalar, 2 = IVF exact, 3 = IVF probe-8,
+/// 4 = the serve-shaped query (exact, similarity floor 0.85). Returns false
+/// on a bitwise-parity failure (exact modes only).
+bool measure_mode(const service::RetrievalSnapshot& snap,
+                  const std::vector<QuerySeed>& queries, int mode, std::size_t k,
+                  std::size_t n_label, const char* mode_name, const char* qset,
+                  double qscale, bool* parity_ok) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> micros;
+  micros.reserve(queries.size());
+  double recall_sum = 0.0;
+  *parity_ok = true;
+
+  service::RetrievalHit hits[service::RetrievalSnapshot::kMaxK];
+  service::RetrievalHit truth[service::RetrievalSnapshot::kMaxK];
+  const auto make_query = [&](std::size_t qi) {
+    service::RetrievalQuery q;
+    q.signature = perturb(queries[qi].signature, qi, qscale);
+    q.probe_cells = mode == 3 ? 8 : 0;
+    if (mode == 4) q.min_similarity = 0.85;
+    return q;
+  };
+  const auto run = [&](const service::RetrievalQuery& q) {
+    switch (mode) {
+      case 0: return snap.query_flat(q, k, hits);
+      case 1: return snap.query_flat_scalar(q, k, hits);
+      default: return snap.query(q, k, hits);
+    }
+  };
+
+  // Timing passes: queries back-to-back, the first pass unmeasured to warm
+  // the pruning structures. Interleaving the flat truth scan here would
+  // stream the full column set (tens of MB at fleet scale) between every
+  // measured query and measure its cache evictions instead of the path.
+  for (int rep = 0; rep < 2; ++rep) {
+    micros.clear();
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      const service::RetrievalQuery q = make_query(qi);
+      const auto start = Clock::now();
+      run(q);
+      const auto stop = Clock::now();
+      micros.push_back(std::chrono::duration<double, std::micro>(stop - start).count());
+    }
+  }
+
+  // Verification pass: truth + parity + recall. The flat SIMD scan is the
+  // reference for every mode (it honors the same filters, so the serve row
+  // compares like to like).
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const service::RetrievalQuery q = make_query(qi);
+    const std::size_t n = run(q);
+    const std::size_t tn = snap.query_flat(q, k, truth);
+    if (mode == 1 || mode == 2 || mode == 4) {
+      if (!hits_identical(hits, n, truth, tn)) {
+        std::fprintf(stderr,
+                     "PARITY FAILURE: %s diverges from flat scan (n=%zu k=%zu query %zu)\n",
+                     mode_name, n_label, k, qi);
+        *parity_ok = false;
+        return false;
+      }
+    }
+    recall_sum += recall_vs(hits, n, truth, tn);
+  }
+
+  const LatencyStats s = summarize(micros);
+  const double recall = recall_sum / static_cast<double>(queries.size());
+  g_report.record(
+      "\"n\": %zu, \"mode\": \"%s\", \"k\": %zu, \"qset\": \"%s\", \"queries\": %zu, "
+      "\"p50_us\": %.3f, \"p99_us\": %.3f, \"mean_us\": %.3f, \"recall_at_k\": %.4f",
+      n_label, mode_name, k, qset, queries.size(), s.p50_us, s.p99_us, s.mean_us, recall);
+  std::printf("  %-12s k=%-2zu %-6s  p50 %9.2fus  p99 %9.2fus  recall@k %.4f\n", mode_name,
+              k, qset, s.p50_us, s.p99_us, recall);
+  return true;
+}
+
+/// The cell-map baseline: best_similar_runtime() on the live knowledge base
+/// (bounded index — scans cells, not records — so N only enters through the
+/// populated cell count).
+void measure_cellmap(const service::SharedKnowledgeBase& kb,
+                     const std::vector<QuerySeed>& queries, std::size_t n_label) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> micros;
+  micros.reserve(queries.size());
+  std::size_t answered = 0;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto sig = perturb(queries[qi].signature, qi, 1.0);
+    const auto start = Clock::now();
+    const auto best = kb.best_similar_runtime(sig, queries[qi].input, 0.6, 1.5);
+    const auto stop = Clock::now();
+    micros.push_back(std::chrono::duration<double, std::micro>(stop - start).count());
+    answered += best.has_value() ? 1 : 0;
+  }
+  const LatencyStats s = summarize(micros);
+  const double hit_rate = static_cast<double>(answered) / static_cast<double>(queries.size());
+  g_report.record(
+      "\"n\": %zu, \"mode\": \"cellmap\", \"k\": %zu, \"queries\": %zu, "
+      "\"p50_us\": %.3f, \"p99_us\": %.3f, \"mean_us\": %.3f, \"answer_rate\": %.4f",
+      n_label, std::size_t{1}, queries.size(), s.p50_us, s.p99_us, s.mean_us, hit_rate);
+  std::printf("  %-12s k=1   p50 %9.2fus  p99 %9.2fus  answer rate %.4f\n", "cellmap",
+              s.p50_us, s.p99_us, hit_rate);
+}
+
+}  // namespace
+}  // namespace stune::bench
+
+int main(int argc, char** argv) {
+  using namespace stune;
+  using namespace stune::bench;
+
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) json_path = argv[i + 1];
+  }
+
+  const std::vector<std::size_t> thresholds =
+      smoke ? std::vector<std::size_t>{10'000}
+            : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
+  const std::size_t config_pool_size = smoke ? 512 : 4096;
+  const std::size_t query_count = smoke ? 64 : 256;
+  const std::vector<std::size_t> ks = {1, 4, 16};
+
+  const auto cluster = paper_testbed();
+  const auto space = config::spark_space();
+
+  // The configuration pool, reused cyclically: a fleet re-runs a bounded set
+  // of configurations, which is what the index's dedup pool exploits.
+  std::vector<config::Configuration> pool;
+  std::vector<config::SparkConf> confs;
+  {
+    simcore::Rng rng(271828);
+    pool.reserve(config_pool_size);
+    confs.reserve(config_pool_size);
+    for (std::size_t i = 0; i < config_pool_size; ++i) {
+      pool.push_back(i == 0 ? space->default_config() : space->sample(rng));
+      confs.emplace_back(pool.back());
+    }
+  }
+
+  // Population streams: (workload x input size), each warm like a tuning
+  // batch. Three engine seeds model run-to-run environmental noise.
+  std::deque<Stream> streams;  // deque: TrialContext is neither copyable nor movable
+  const config::SparkConf default_conf(space->default_config());
+  for (const std::string name : {"scan", "wordcount", "join", "pagerank"}) {
+    for (const simcore::Bytes gib : {1ULL, 2ULL, 4ULL, 8ULL, 16ULL, 32ULL, 64ULL, 128ULL}) {
+      Stream& s = streams.emplace_back();
+      s.workload = name;
+      s.input = gib << 30;
+      s.wl = workload::make_workload(name);
+      s.plan = s.wl->plan(s.input, &default_conf);
+    }
+  }
+  std::vector<disc::SparkSimulator> sims;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    disc::EngineOptions opts;
+    opts.seed = 42 + seed;
+    sims.emplace_back(cluster, opts);
+  }
+
+  // The knowledge base under test: ring retention bounds the full-record
+  // history (the retrieval tier keeps everything ever recorded regardless).
+  // The quantizer grid is ~10x finer than the knowledge base's 0.25-wide
+  // similarity cells: a million simulated runs concentrate on a few dozen
+  // workload shapes, and fine cells keep the per-cell spatial splits (and
+  // therefore the scan-unit boxes the BVH prunes on) local. The unit
+  // decomposition carries most of the pruning, so latency is insensitive to
+  // the exact width; exact-mode results are bitwise flat-identical at any.
+  service::SharedKnowledgeBaseOptions kb_opts;
+  kb_opts.max_records = 4096;
+  kb_opts.retrieval.cell_width = 0.02;
+  service::SharedKnowledgeBase kb(kb_opts);
+
+  section("retrieval tier: SIMD flat scan vs IVF vs cell map");
+  std::printf("populating through the record pipeline: %zu streams x %zu configs, testbed %s\n",
+              streams.size(), pool.size(), cluster.spec().to_string().c_str());
+
+  // Query seeds: stashed at a stride that doubles whenever the stash fills,
+  // so coverage stays even over the whole append order at any N.
+  std::vector<QuerySeed> seeds;
+  std::size_t seed_stride = 31;
+  constexpr std::size_t kSeedCap = 4096;
+  bool all_ok = true;
+
+  std::size_t iter = 0;
+  std::size_t failures = 0;
+  auto populate_start = std::chrono::steady_clock::now();
+  for (const std::size_t target : thresholds) {
+    while (kb.retrieval_snapshot()->size() < target) {
+      Stream& s = streams[iter % streams.size()];
+      const std::size_t ci = (iter / streams.size()) % pool.size();
+      const auto& sim = sims[iter % sims.size()];
+      const auto report = sim.run(s.plan, confs[ci], s.ctx);
+      ++iter;
+      if (!report.success) {
+        ++failures;
+        continue;  // failed runs never enter the index (tested elsewhere)
+      }
+      const auto sig = transfer::characterize(report);
+      if (iter % seed_stride == 0) {
+        if (seeds.size() == kSeedCap) {
+          for (std::size_t i = 0; i < kSeedCap / 2; ++i) seeds[i] = seeds[2 * i];
+          seeds.resize(kSeedCap / 2);
+          seed_stride *= 2;
+        }
+        if (iter % seed_stride == 0) seeds.push_back({sig, s.input});
+      }
+      service::ExecutionRecord rec;
+      rec.tenant = "tenant-" + std::to_string(iter % 64);
+      rec.workload_label = s.workload;
+      rec.cluster = cluster.spec();
+      rec.config = pool[ci];
+      rec.input_bytes = s.input;
+      rec.runtime = report.runtime;
+      rec.cost = report.cost;
+      rec.signature = sig;
+      kb.record_execution(std::move(rec));
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double populate_secs = std::chrono::duration<double>(now - populate_start).count();
+
+    // The immutable epoch at this size: later appends never touch it.
+    const auto snap = kb.retrieval_snapshot();
+    std::printf("\nN=%zu (epoch %llu, ivf %zu cells / %zu indexed, %zu distinct configs, "
+                "%.1fs to populate, %zu failed runs)\n",
+                snap->size(), static_cast<unsigned long long>(snap->epoch()),
+                snap->ivf_cells(), snap->ivf_indexed(), kb.retrieval_distinct_configs(),
+                populate_secs, failures);
+    g_report.record(
+        "\"n\": %zu, \"mode\": \"index\", \"epoch\": %llu, \"ivf_cells\": %zu, "
+        "\"ivf_indexed\": %zu, \"distinct_configs\": %zu, \"retained_records\": %zu, "
+        "\"total_records\": %zu, \"populate_secs\": %.2f, \"failed_runs\": %zu",
+        snap->size(), static_cast<unsigned long long>(snap->epoch()), snap->ivf_cells(),
+        snap->ivf_indexed(), kb.retrieval_distinct_configs(), kb.retained_records(),
+        kb.total_records(), populate_secs, failures);
+
+    // Query seeds: spread evenly over what has been stashed so far.
+    std::vector<QuerySeed> queries;
+    const std::size_t avail = seeds.size();
+    for (std::size_t qi = 0; qi < query_count && qi < avail; ++qi) {
+      queries.push_back(seeds[qi * avail / std::min(query_count, avail)]);
+    }
+
+    static const char* kModeNames[] = {"flat", "flat_scalar", "ivf", "ivf_probe8"};
+    for (int mode = 0; mode < 4; ++mode) {
+      for (const std::size_t k : ks) {
+        bool parity_ok = true;
+        if (!measure_mode(*snap, queries, mode, k, snap->size(), kModeNames[mode],
+                          "novel", 1.0, &parity_ok)) {
+          all_ok = false;
+        }
+      }
+    }
+    // The pruned paths again under the serving pattern (repeat workloads):
+    // flat-scan latency is query-independent, so the flat rows above remain
+    // the reference.
+    for (int mode = 2; mode < 4; ++mode) {
+      for (const std::size_t k : ks) {
+        bool parity_ok = true;
+        if (!measure_mode(*snap, queries, mode, k, snap->size(), kModeNames[mode],
+                          "repeat", 0.1, &parity_ok)) {
+          all_ok = false;
+        }
+      }
+    }
+    // The serving row itself: the exact query TuningService::serve() issues.
+    {
+      bool parity_ok = true;
+      if (!measure_mode(*snap, queries, 4, 8, snap->size(), "ivf_serve", "repeat", 0.1,
+                        &parity_ok)) {
+        all_ok = false;
+      }
+    }
+    measure_cellmap(kb, queries, snap->size());
+  }
+
+  std::printf(
+      "\nreading: 'flat' streams every signature through the SIMD kernel; 'ivf' is the\n"
+      "default exact mode (bitwise identical to flat, asserted above); 'ivf_serve' is\n"
+      "the query the serving tier issues on a repeat workload and is where the <100us\n"
+      "zero-trial answer comes from at fleet scale; 'ivf_probe8' caps the probe for\n"
+      "the recall/latency trade; 'cellmap' is the bounded non-ANN baseline that\n"
+      "returns one aggregate, not top-k neighbors.\n");
+
+  if (!json_path.empty()) g_report.write(json_path);
+  return all_ok ? 0 : 1;
+}

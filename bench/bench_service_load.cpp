@@ -74,6 +74,9 @@ service::ServiceOptions service_options(const ModeSpec& m) {
   opts.admission.tuning_burst = m.tuning_burst;
   // Retention keeps the shared history bounded over million-op runs.
   opts.knowledge.max_records = 50000;
+  // The zero-execution retrieval tier: degraded tenants answer their next
+  // serve from the index instead of waiting for tuning capacity.
+  opts.retrieval.enabled = true;
   return opts;
 }
 
@@ -108,6 +111,11 @@ struct LoadResult {
   std::uint64_t shed_deadline = 0;
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t tuning_sessions = 0;
+  std::uint64_t retrieved = 0;
+  std::uint64_t retrieval_misses = 0;
+  std::uint64_t retrieval_fallbacks = 0;
+  std::uint64_t retrieval_epoch = 0;
+  std::size_t retrieval_entries = 0;
   std::size_t peak_inflight = 0;
   std::size_t kb_total = 0;
   std::size_t kb_retained = 0;
@@ -187,6 +195,11 @@ LoadResult run_mode(const ModeSpec& m) {
   }
   out.served = health.served;
   out.degraded = health.degraded;
+  out.retrieved = health.retrieved;
+  out.retrieval_misses = health.retrieval_misses;
+  out.retrieval_fallbacks = health.retrieval_fallbacks;
+  out.retrieval_epoch = health.retrieval_epoch;
+  out.retrieval_entries = health.retrieval_entries;
   out.kb_total = svc.knowledge_size();
   out.kb_retained = svc.knowledge_base().size();
   return out;
@@ -242,7 +255,7 @@ int run(int argc, char** argv) {
 
   section("serving-tier load: latency, throughput and overload counters");
   Table table({"mode", "tenants", "ops", "thr", "shards", "ops/s", "p50 us", "p99 us",
-               "p99.9 us", "served", "degraded", "shed", "tunes"});
+               "p99.9 us", "served", "degraded", "retrieved", "shed", "tunes"});
   for (const auto& m : specs) {
     std::printf("running %s: %zu tenants, %zu ops, %zu threads, %zu shards...\n",
                 m.name.c_str(), m.tenants, m.ops, m.threads, m.shards);
@@ -251,7 +264,8 @@ int run(int argc, char** argv) {
     table.add_row({m.name, std::to_string(m.tenants), std::to_string(m.ops),
                    std::to_string(m.threads), std::to_string(m.shards), fmt("%.0f", r.ops_per_s),
                    fmt("%.1f", r.lat.p50), fmt("%.1f", r.lat.p99), fmt("%.1f", r.lat.p999),
-                   std::to_string(r.served), std::to_string(r.degraded), std::to_string(shed),
+                   std::to_string(r.served), std::to_string(r.degraded),
+                   std::to_string(r.retrieved), std::to_string(shed),
                    std::to_string(r.tuning_sessions)});
     g_report.record(
         "\"mode\": \"%s\", \"tenants\": %zu, \"ops\": %zu, \"threads\": %zu, \"shards\": %zu, "
@@ -259,7 +273,9 @@ int run(int argc, char** argv) {
         "\"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, \"max_us\": %.1f, "
         "\"served\": %llu, \"degraded\": %llu, \"shed_rate_limited\": %llu, "
         "\"shed_saturated\": %llu, \"shed_deadline\": %llu, \"deadline_exceeded\": %llu, "
-        "\"tuning_sessions\": %llu, \"peak_inflight\": %zu, "
+        "\"tuning_sessions\": %llu, \"retrieved\": %llu, \"retrieval_misses\": %llu, "
+        "\"retrieval_fallbacks\": %llu, \"retrieval_epoch\": %llu, "
+        "\"retrieval_entries\": %zu, \"peak_inflight\": %zu, "
         "\"kb_total\": %zu, \"kb_retained\": %zu",
         m.name.c_str(), m.tenants, m.ops, m.threads, m.shards, r.submit_s, r.wall_s, r.ops_per_s,
         r.lat.p50, r.lat.p99, r.lat.p999, r.lat.max,
@@ -268,8 +284,12 @@ int run(int argc, char** argv) {
         static_cast<unsigned long long>(r.shed_saturated),
         static_cast<unsigned long long>(r.shed_deadline),
         static_cast<unsigned long long>(r.deadline_exceeded),
-        static_cast<unsigned long long>(r.tuning_sessions), r.peak_inflight, r.kb_total,
-        r.kb_retained);
+        static_cast<unsigned long long>(r.tuning_sessions),
+        static_cast<unsigned long long>(r.retrieved),
+        static_cast<unsigned long long>(r.retrieval_misses),
+        static_cast<unsigned long long>(r.retrieval_fallbacks),
+        static_cast<unsigned long long>(r.retrieval_epoch), r.retrieval_entries,
+        r.peak_inflight, r.kb_total, r.kb_retained);
   }
   table.print();
 

@@ -24,6 +24,8 @@ namespace {
 using namespace stune;
 using namespace stune::bench;
 
+JsonReport g_report("bench_table1");
+
 constexpr int kRandomConfigs = 100;  // the paper's sample count
 
 struct CellResult {
@@ -38,14 +40,22 @@ struct CellResult {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) json_path = argv[i + 1];
+  }
+  const int configs = smoke ? 10 : kRandomConfigs;
+
   const auto cluster = paper_testbed();
   const auto sizes = workload::evolving_sizes();
 
   section("Table I reproduction: potential saving of re-tuning over evolving input sizes");
   std::printf("protocol: %d random configurations per (workload, size), 3 seeds each,\n"
               "testbed %s (the paper's EMR cluster)\n\n",
-              kRandomConfigs, cluster.spec().to_string().c_str());
+              configs, cluster.spec().to_string().c_str());
 
   Table table({"Potential savings", "Pagerank", "Bayes Classifier", "Wordcount"});
   Table detail({"workload", "size", "best (s)", "reused best@DS1 (s)", "saving"});
@@ -58,7 +68,7 @@ int main() {
     // Tune once per size (the paper's protocol).
     std::vector<BestOfRandom> tuned;
     for (const auto size : sizes) {
-      tuned.push_back(best_of_random(*w, size, kRandomConfigs, 17, cluster));
+      tuned.push_back(best_of_random(*w, size, configs, 17, cluster));
     }
     for (std::size_t k = 1; k < sizes.size(); ++k) {
       CellResult cell;
@@ -71,6 +81,11 @@ int main() {
       (k == 1 ? ds2_row : ds3_row).push_back(saving);
       detail.add_row({name, k == 1 ? "DS2" : "DS3", fmt("%.1f", cell.best),
                       cell.reused_crashed ? "crash" : fmt("%.1f", cell.reused), saving});
+      g_report.record(
+          "\"workload\": \"%s\", \"size\": \"%s\", \"configs\": %d, \"best_s\": %.2f, "
+          "\"reused_ds1_s\": %.2f, \"reused_crashed\": %s, \"saving\": %.4f",
+          name.c_str(), k == 1 ? "DS2" : "DS3", configs, cell.best, cell.reused,
+          cell.reused_crashed ? "true" : "false", cell.saving());
     }
   }
   table.add_row(ds2_row);
@@ -81,5 +96,7 @@ int main() {
 
   section("detail");
   detail.print();
+
+  if (!json_path.empty()) g_report.write(json_path);
   return 0;
 }

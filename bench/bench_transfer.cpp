@@ -25,6 +25,8 @@ namespace {
 using namespace stune;
 using namespace stune::bench;
 
+JsonReport g_report("bench_transfer");
+
 tuning::Objective make_objective(const workload::Workload& w, simcore::Bytes input,
                                  const cluster::Cluster& cl) {
   return [&w, input, &cl](const config::Configuration& c) -> tuning::EvalOutcome {
@@ -52,7 +54,18 @@ transfer::Signature signature_of(const workload::Workload& w, simcore::Bytes inp
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) json_path = argv[i + 1];
+  }
+  const std::size_t donor_budget = smoke ? 15 : 60;
+  const std::vector<std::size_t> budgets = smoke ? std::vector<std::size_t>{5}
+                                                 : std::vector<std::size_t>{5, 10, 20};
+  const std::uint64_t seeds = smoke ? 1 : 3;
+
   const auto cluster = paper_testbed();
   const auto space = config::spark_space();
 
@@ -61,7 +74,7 @@ int main() {
   const auto donor_w = workload::make_workload("sort");
   const simcore::Bytes donor_size = 4ULL << 30;
   tuning::TuneOptions donor_opts;
-  donor_opts.budget = 60;
+  donor_opts.budget = donor_budget;
   donor_opts.seed = 5;
   auto donor_obj = make_objective(*donor_w, donor_size, cluster);
   const auto donor_result = tuning::BayesOptTuner().tune(space, donor_obj, donor_opts);
@@ -70,15 +83,15 @@ int main() {
   // A dissimilar donor for the negative-transfer arm: kmeans history.
   const auto far_w = workload::make_workload("kmeans");
   tuning::TuneOptions far_opts;
-  far_opts.budget = 60;
+  far_opts.budget = donor_budget;
   far_opts.seed = 6;
   auto far_obj = make_objective(*far_w, donor_size, cluster);
   const auto far_result = tuning::BayesOptTuner().tune(space, far_obj, far_opts);
   const auto far_sig = signature_of(*far_w, donor_size, cluster, far_result.best);
 
   section("knowledge transfer across workloads (paper §V-B)");
-  std::printf("donor: sort @ 4 GiB tuned with 60 executions (best %.1fs)\n\n",
-              donor_result.best_runtime);
+  std::printf("donor: sort @ 4 GiB tuned with %zu executions (best %.1fs)\n\n",
+              donor_budget, donor_result.best_runtime);
 
   for (const std::string recipient_name : {"sort", "terasort"}) {
     const auto rec_w = workload::make_workload(recipient_name);
@@ -107,40 +120,49 @@ int main() {
     Table t({"budget", "cold BO (s)", "warm BO, similar donor (s)",
              "warm, dissimilar donor + guard (s)", "warm, dissimilar, NO guard (s)",
              "warm, AROMA clusters (s)"});
-    for (const std::size_t budget : {5ul, 10ul, 20ul}) {
+    for (const std::size_t budget : budgets) {
+      const double div = static_cast<double>(seeds);
       double cold = 0.0, warm = 0.0, guarded = 0.0, unguarded = 0.0, aroma_warm = 0.0;
-      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
         auto obj = make_objective(*rec_w, rec_size, cluster);
         tuning::TuneOptions base;
         base.budget = budget;
         base.seed = seed;
 
-        cold += tuning::BayesOptTuner().tune(space, obj, base).best_runtime / 3.0;
+        cold += tuning::BayesOptTuner().tune(space, obj, base).best_runtime / div;
 
         auto warm_opts = base;
         warm_opts.warm_start =
             transfer::select_warm_start(rec_sig, donate(donor_result, donor_sig));
-        warm += tuning::BayesOptTuner().tune(space, obj, warm_opts).best_runtime / 3.0;
+        warm += tuning::BayesOptTuner().tune(space, obj, warm_opts).best_runtime / div;
 
         auto guard_opts = base;
         guard_opts.warm_start =
             transfer::select_warm_start(rec_sig, donate(far_result, far_sig));
-        guarded += tuning::BayesOptTuner().tune(space, obj, guard_opts).best_runtime / 3.0;
+        guarded += tuning::BayesOptTuner().tune(space, obj, guard_opts).best_runtime / div;
 
         auto no_guard_opts = base;
         transfer::TransferPolicy promiscuous;
         promiscuous.min_similarity = 0.0;  // ablation: accept any donor
         no_guard_opts.warm_start =
             transfer::select_warm_start(rec_sig, donate(far_result, far_sig), promiscuous);
-        unguarded += tuning::BayesOptTuner().tune(space, obj, no_guard_opts).best_runtime / 3.0;
+        unguarded += tuning::BayesOptTuner().tune(space, obj, no_guard_opts).best_runtime / div;
 
         auto aroma_opts = base;
         aroma_opts.warm_start = aroma.suggest(rec_sig);
-        aroma_warm += tuning::BayesOptTuner().tune(space, obj, aroma_opts).best_runtime / 3.0;
+        aroma_warm += tuning::BayesOptTuner().tune(space, obj, aroma_opts).best_runtime / div;
       }
       t.add_row({fmt("%.0f", static_cast<double>(budget)), fmt("%.1f", cold),
                  fmt("%.1f", warm), fmt("%.1f", guarded), fmt("%.1f", unguarded),
                  fmt("%.1f", aroma_warm)});
+      g_report.record(
+          "\"recipient\": \"%s\", \"budget\": %zu, \"seeds\": %llu, "
+          "\"similarity_donor\": %.4f, \"similarity_dissimilar\": %.4f, "
+          "\"cold_s\": %.2f, \"warm_similar_s\": %.2f, \"warm_dissimilar_guarded_s\": %.2f, "
+          "\"warm_dissimilar_unguarded_s\": %.2f, \"aroma_s\": %.2f",
+          recipient_name.c_str(), budget, static_cast<unsigned long long>(seeds),
+          transfer::similarity(rec_sig, donor_sig), transfer::similarity(rec_sig, far_sig),
+          cold, warm, guarded, unguarded, aroma_warm);
     }
     t.print();
     std::printf("\n");
@@ -150,5 +172,7 @@ int main() {
       "similarity guard turns a dissimilar donor into a no-op; without it, transfer\n"
       "gambles on the donor's knobs generalizing — sometimes a mild win (general resource\n"
       "knobs do transfer), but unbounded downside on truly mismatched workloads.\n");
+
+  if (!json_path.empty()) g_report.write(json_path);
   return 0;
 }

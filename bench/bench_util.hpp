@@ -151,7 +151,7 @@ class JsonReport {
   /// Append one record; `format` renders the key/value pairs without the
   /// surrounding braces, e.g. `"\"n\": %zu, \"ms\": %.3f"`.
   __attribute__((format(printf, 2, 3))) void record(const char* format, ...) {
-    char buf[512];
+    char buf[1024];
     va_list args;
     va_start(args, format);
     std::vsnprintf(buf, sizeof(buf), format, args);

@@ -22,7 +22,8 @@ void check_label(const std::string& s) {
   }
 }
 
-std::string join_numbers(const std::vector<double>& values) {
+template <typename Seq>
+std::string join_numbers(const Seq& values) {
   std::ostringstream out;
   out.precision(17);
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -86,7 +87,7 @@ void KnowledgeBase::save(std::ostream& out) const {
   for (const auto& r : records_) {
     check_label(r.tenant);
     check_label(r.workload_label);
-    const auto sig = r.signature.as_vector();
+    const auto sig = r.signature.as_array();
     out << r.tenant << '|' << r.workload_label << '|' << r.cluster.instance << '|'
         << r.cluster.vm_count << '|' << r.input_bytes << '|' << r.runtime << '|' << r.cost
         << '|' << (r.failed ? 1 : 0) << '|' << (r.from_tuning ? 1 : 0) << '|' << r.sequence

@@ -1,0 +1,601 @@
+#include "service/retrieval_index.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "service/signature_scan.hpp"
+
+namespace stune::service {
+
+static_assert(scan::kDims == transfer::Signature::kDims,
+              "scan kernel and characterization signature disagree on dimensionality");
+
+namespace {
+
+/// Entries fed to the distance kernel per batch: bounds the fixed stack
+/// scratch (distance buffer) a query uses.
+constexpr std::size_t kChunk = 256;
+
+/// Total order over candidates: distance first, append order breaks ties.
+/// This is what makes exact top-k unique — and therefore identical whether
+/// candidates arrive in flat order or grouped by IVF cell. Spelled with
+/// ordered comparisons only (a tie is "neither side less"), so no exact FP
+/// equality appears in the determinism closure.
+inline bool better(double d, std::uint32_t i, double d2, std::uint32_t i2) {
+  if (d < d2) return true;
+  if (d2 < d) return false;
+  return i < i2;
+}
+
+/// Deflate a pruning bound by a few ulps. Cell bounds are computed in plain
+/// double arithmetic from quantized corners; rounding there (or in the
+/// floor() that produced the cell key) can overshoot the true minimum by an
+/// ulp, and pruning on an overshot bound would drop an exact-tie candidate.
+/// Slightly loosening the bound keeps pruning conservative, so the pruned
+/// scan stays bitwise identical to the flat scan.
+inline double conservative(double bound) { return bound - bound * 1e-9; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Snapshot storage
+
+RetrievalSnapshot::Block::Block(std::size_t capacity) {
+  for (auto& col : dims) col.resize(capacity);
+  runtime.resize(capacity);
+  bytes.resize(capacity);
+  config.resize(capacity, nullptr);
+}
+
+std::size_t RetrievalSnapshot::ivf_indexed() const {
+  if (!ivf_ || size_ < ivf_min_entries_) return 0;
+  return ivf_->indexed;
+}
+
+std::size_t RetrievalSnapshot::ivf_cells() const {
+  if (!ivf_ || size_ < ivf_min_entries_) return 0;
+  return ivf_->keys.size();
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-capacity top-k accumulator
+
+struct RetrievalSnapshot::TopK {
+  std::size_t k = 0;
+  std::size_t count = 0;
+  double dist[kMaxK];
+  std::uint32_t idx[kMaxK];
+
+  explicit TopK(std::size_t want) : k(std::min(want, kMaxK)) {}
+
+  /// The current kth-best distance: candidates at strictly greater distance
+  /// cannot enter; equal distance still can (smaller index wins ties).
+  double worst() const {
+    return count < k ? std::numeric_limits<double>::infinity() : dist[count - 1];
+  }
+
+  void consider(double d, std::uint32_t i) {
+    if (count == k && !better(d, i, dist[count - 1], idx[count - 1])) return;
+    std::size_t pos = count < k ? count++ : count - 1;
+    while (pos > 0 && better(d, i, dist[pos - 1], idx[pos - 1])) {
+      dist[pos] = dist[pos - 1];
+      idx[pos] = idx[pos - 1];
+      --pos;
+    }
+    dist[pos] = d;
+    idx[pos] = i;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Scanning
+
+void RetrievalSnapshot::scan_range(const double* query_dims, std::size_t begin,
+                                   std::size_t end, const RetrievalQuery& q,
+                                   double limit, bool scalar, TopK& top) const {
+  const bool sized = q.input_bytes > 0;
+  const double lob = sized ? static_cast<double>(q.input_bytes) / q.size_tolerance : 0.0;
+  const double hib = sized ? static_cast<double>(q.input_bytes) * q.size_tolerance : 0.0;
+
+  double dbuf[kChunk];
+  const double* cols[scan::kDims];
+
+  std::size_t pos = begin;
+  while (pos < end) {
+    const Block* blk = blocks_[pos >> block_shift_];
+    const std::size_t off = pos & block_mask_;
+    const std::size_t cap = block_mask_ + 1;
+    const std::size_t n = std::min({end - pos, cap - off, kChunk});
+    for (std::size_t d = 0; d < scan::kDims; ++d) cols[d] = blk->dims[d].data() + off;
+    if (scalar) {
+      scan::dist2_scalar(cols, n, query_dims, dbuf);
+    } else {
+      scan::dist2(cols, n, query_dims, dbuf);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dbuf[i] > limit) continue;
+      if (sized) {
+        const double b = static_cast<double>(blk->bytes[off + i]);
+        if (b < lob || b > hib) continue;
+      }
+      top.consider(dbuf[i], static_cast<std::uint32_t>(pos + i));
+    }
+    pos += n;
+  }
+}
+
+void RetrievalSnapshot::scan_packed(const Ivf& ivf, const double* query_dims,
+                                    std::size_t begin, std::size_t end,
+                                    const RetrievalQuery& q, double limit,
+                                    TopK& top) const {
+  const bool sized = q.input_bytes > 0;
+  const double lob = sized ? static_cast<double>(q.input_bytes) / q.size_tolerance : 0.0;
+  const double hib = sized ? static_cast<double>(q.input_bytes) * q.size_tolerance : 0.0;
+
+  double dbuf[kChunk];
+  const double* cols[scan::kDims];
+
+  std::size_t pos = begin;
+  while (pos < end) {
+    const std::size_t n = std::min(end - pos, kChunk);
+    for (std::size_t d = 0; d < scan::kDims; ++d) cols[d] = ivf.packed[d].data() + pos;
+    scan::dist2(cols, n, query_dims, dbuf);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dbuf[i] > limit) continue;
+      if (sized) {
+        const double b = ivf.packed_bytes[pos + i];
+        if (b < lob || b > hib) continue;
+      }
+      top.consider(dbuf[i], ivf.entries[pos + i]);
+    }
+    pos += n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+std::size_t RetrievalSnapshot::emit(const TopK& top, RetrievalHit* hits) const {
+  for (std::size_t j = 0; j < top.count; ++j) {
+    const std::uint32_t e = top.idx[j];
+    const Block* blk = blocks_[e >> block_shift_];
+    const std::size_t off = e & block_mask_;
+    hits[j].dist2 = top.dist[j];
+    hits[j].runtime = blk->runtime[off];
+    hits[j].input_bytes = blk->bytes[off];
+    hits[j].entry = e;
+    hits[j].config = blk->config[off];
+  }
+  return top.count;
+}
+
+std::size_t RetrievalSnapshot::run_query(const RetrievalQuery& q, std::size_t k,
+                                         RetrievalHit* hits, bool use_ivf,
+                                         bool scalar) const {
+  if (k == 0 || size_ == 0) return 0;
+  const std::array<double, scan::kDims> qd = q.signature.as_array();
+
+  // Similarity bar exp(-dist) >= s  <=>  dist^2 <= log(s)^2 — one log at
+  // query setup, no exp/sqrt per candidate.
+  double limit = std::numeric_limits<double>::infinity();
+  if (q.min_similarity > 0.0) {
+    const double l = -std::log(q.min_similarity);
+    limit = l * l;
+  }
+
+  TopK top(k);
+  const bool ivf_live = use_ivf && !scalar && ivf_ && size_ >= ivf_min_entries_ &&
+                        ivf_->indexed > 0;
+  if (!ivf_live) {
+    scan_range(qd.data(), 0, size_, q, limit, scalar, top);
+    return emit(top, hits);
+  }
+
+  const Ivf& ivf = *ivf_;
+  const std::size_t nunits = ivf.unit_box.size();
+
+  const auto scan_unit = [&](std::size_t u) {
+    scan_packed(ivf, qd.data(), ivf.unit_off[u], ivf.unit_off[u + 1], q, limit, top);
+  };
+
+  /// Lower bound on any member's distance² (conservatively deflated; the
+  /// float box is outward-rounded, so the bound can only undershoot).
+  const auto box_bound = [&](const Ivf::Box& bb) {
+    double acc = 0.0;
+    for (std::size_t d = 0; d < scan::kDims; ++d) {
+      const double lo = static_cast<double>(bb[2 * d]);
+      const double hi = static_cast<double>(bb[2 * d + 1]);
+      const double diff = std::max({lo - qd[d], qd[d] - hi, 0.0});
+      acc += diff * diff;
+    }
+    return conservative(acc);
+  };
+
+  // DFS frames over the cell BVH. Positional median splits bound the tree
+  // depth by ceil(log2(cells)) <= 32 for 32-bit cell ids, and the walk
+  // leaves at most one deferred sibling per level on the stack, so 48 frames
+  // can never overflow. Bounds are computed at push time; a frame is
+  // re-checked against the *current* kth-best at pop time, after the nearer
+  // subtree has had the chance to tighten it.
+  struct Frame {
+    double bound;
+    std::uint32_t node;
+  };
+  constexpr std::size_t kBvhStack = 48;
+  Frame stack[kBvhStack];
+  std::size_t sp = 0;
+
+  if (q.probe_cells == 0) {
+    // Exact mode: best-first-leaning DFS. The nearer child is always
+    // descended first, so the walk dives straight to the leaf nearest the
+    // query, fills the accumulator there, and then prunes — a node (or unit)
+    // whose box bound exceeds the kth-best cannot contain a winner, because
+    // the box bound lower-bounds every member distance. Scanning nearest-
+    // first collapses the kth-best immediately, so a dense clump costs a
+    // few unit scans instead of tens of thousands of entries against a
+    // stale bound. Pruning is conservative (deflated bounds, strict >), so
+    // results stay bitwise identical to the flat scan — the total order
+    // (dist², entry) makes exact top-k unique regardless of scan order.
+    stack[sp++] = {box_bound(ivf.bvh[0].box), 0};
+    while (sp > 0) {
+      const Frame f = stack[--sp];
+      if (f.bound > limit || f.bound > top.worst()) continue;
+      const Ivf::BvhNode& nd = ivf.bvh[f.node];
+      if (nd.leaf) {
+        for (std::uint32_t i = nd.a; i < nd.b; ++i) {
+          const std::uint32_t u = ivf.bvh_units[i];
+          const double bound = box_bound(ivf.unit_box[u]);
+          if (bound > limit || bound > top.worst()) continue;
+          scan_unit(u);
+        }
+      } else {
+        const double ba = box_bound(ivf.bvh[nd.a].box);
+        const double bb = box_bound(ivf.bvh[nd.b].box);
+        // Push the farther child first so the nearer one is popped first.
+        if (ba <= bb) {
+          stack[sp++] = {bb, nd.b};
+          stack[sp++] = {ba, nd.a};
+        } else {
+          stack[sp++] = {ba, nd.a};
+          stack[sp++] = {bb, nd.b};
+        }
+      }
+    }
+  } else {
+    // Approximate mode: the same DFS collects the P best-bounded units
+    // without scanning anything. A node's box bound lower-bounds every
+    // descendant unit's bound, so once the budget is full a node at or
+    // beyond the worst kept bound cannot improve the kept set and its whole
+    // subtree is pruned. The kept set is therefore the exact top-P units by
+    // (bound, visit order); only the unit cap is approximate. Kept units
+    // are then scanned in ascending bound order — best first.
+    const std::size_t probe = std::min({q.probe_cells, kMaxProbe, nunits});
+    double pbound[kMaxProbe];
+    std::uint32_t punit[kMaxProbe];
+    std::size_t pcount = 0;
+    stack[sp++] = {box_bound(ivf.bvh[0].box), 0};
+    while (sp > 0) {
+      const Frame f = stack[--sp];
+      if (f.bound > limit) continue;
+      if (pcount == probe && f.bound >= pbound[pcount - 1]) continue;
+      const Ivf::BvhNode& nd = ivf.bvh[f.node];
+      if (nd.leaf) {
+        for (std::uint32_t i = nd.a; i < nd.b; ++i) {
+          const std::uint32_t u = ivf.bvh_units[i];
+          const double bound = box_bound(ivf.unit_box[u]);
+          if (bound > limit) continue;
+          if (pcount == probe && bound >= pbound[pcount - 1]) continue;
+          std::size_t pos = pcount < probe ? pcount++ : pcount - 1;
+          while (pos > 0 && bound < pbound[pos - 1]) {
+            pbound[pos] = pbound[pos - 1];
+            punit[pos] = punit[pos - 1];
+            --pos;
+          }
+          pbound[pos] = bound;
+          punit[pos] = u;
+        }
+      } else {
+        const double ba = box_bound(ivf.bvh[nd.a].box);
+        const double bb = box_bound(ivf.bvh[nd.b].box);
+        if (ba <= bb) {
+          stack[sp++] = {bb, nd.b};
+          stack[sp++] = {ba, nd.a};
+        } else {
+          stack[sp++] = {ba, nd.a};
+          stack[sp++] = {bb, nd.b};
+        }
+      }
+    }
+    for (std::size_t p = 0; p < pcount; ++p) scan_unit(punit[p]);
+  }
+
+  // Entries appended since the last IVF rebuild scan flat — at most one
+  // block's worth.
+  if (ivf.indexed < size_) scan_range(qd.data(), ivf.indexed, size_, q, limit, scalar, top);
+  return emit(top, hits);
+}
+
+std::size_t RetrievalSnapshot::query(const RetrievalQuery& q, std::size_t k,
+                                     RetrievalHit* hits) const {
+  return run_query(q, k, hits, /*use_ivf=*/true, /*scalar=*/false);
+}
+
+std::size_t RetrievalSnapshot::query_flat(const RetrievalQuery& q, std::size_t k,
+                                          RetrievalHit* hits) const {
+  return run_query(q, k, hits, /*use_ivf=*/false, /*scalar=*/false);
+}
+
+std::size_t RetrievalSnapshot::query_flat_scalar(const RetrievalQuery& q, std::size_t k,
+                                                 RetrievalHit* hits) const {
+  return run_query(q, k, hits, /*use_ivf=*/false, /*scalar=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::size_t log2_exact(std::size_t p) {
+  std::size_t s = 0;
+  while ((std::size_t{1} << s) < p) ++s;
+  return s;
+}
+
+}  // namespace
+
+RetrievalIndex::RetrievalIndex(RetrievalOptions options)
+    : capacity_(round_up_pow2(options.block_capacity)),
+      shift_(log2_exact(capacity_)),
+      options_(options),
+      store_(std::make_shared<RetrievalSnapshot::Store>()) {
+  if (options_.cell_width <= 0.0)
+    throw std::invalid_argument("RetrievalOptions.cell_width must be positive");
+  publish(nullptr);
+}
+
+RetrievalIndex::CellKey RetrievalIndex::key_for(const transfer::Signature& sig) const {
+  const auto dims = sig.as_array();
+  CellKey key{};
+  for (std::size_t d = 0; d < transfer::Signature::kDims; ++d)
+    key[d] = static_cast<int>(std::floor(dims[d] / options_.cell_width));
+  return key;
+}
+
+void RetrievalIndex::append(const transfer::Signature& signature,
+                            simcore::Bytes input_bytes, double runtime,
+                            const config::Configuration& config) {
+  if (size_ == store_->blocks.size() * capacity_)
+    store_->blocks.emplace_back(capacity_);
+
+  // Deduplicate the configuration by fingerprint (values compared on a hash
+  // hit, so a collision degrades to an extra pool entry, never a wrong
+  // config).
+  const std::uint64_t fp = config.fingerprint();
+  const config::Configuration* cp = nullptr;
+  const auto it = config_by_fp_.find(fp);
+  if (it != config_by_fp_.end() && *it->second == config) {
+    cp = it->second;
+  } else {
+    store_->configs.push_back(config);
+    cp = &store_->configs.back();
+    if (it == config_by_fp_.end()) config_by_fp_.emplace(fp, cp);
+  }
+
+  RetrievalSnapshot::Block& blk = store_->blocks.back();
+  const std::size_t off = size_ & (capacity_ - 1);
+  const auto dims = signature.as_array();
+  for (std::size_t d = 0; d < transfer::Signature::kDims; ++d) blk.dims[d][off] = dims[d];
+  blk.runtime[off] = runtime;
+  blk.bytes[off] = input_bytes;
+  blk.config[off] = cp;
+
+  cells_[key_for(signature)].push_back(static_cast<std::uint32_t>(size_));
+  ++size_;
+
+  // Rebuild the immutable IVF tier at block boundaries: the cost of
+  // flattening the live cell map — including the cluster-ordered copy of the
+  // scanned columns and the per-cell tight bounding boxes — amortizes to
+  // O(1/capacity) per append, and queries flat-scan at most one block's
+  // worth of un-indexed tail.
+  if ((size_ & (capacity_ - 1)) == 0) {
+    auto ivf = std::make_shared<RetrievalSnapshot::Ivf>();
+    ivf->indexed = size_;
+    ivf->cell_width = options_.cell_width;
+    ivf->keys.reserve(cells_.size());
+    std::size_t total = 0;
+    for (const auto& [key, list] : cells_) total += list.size();
+    ivf->entries.reserve(total);
+    for (auto& col : ivf->packed) col.reserve(total);
+    ivf->packed_bytes.reserve(total);
+    ivf->unit_off.push_back(0);
+    constexpr std::size_t kDims = transfer::Signature::kDims;
+    const auto dim_of = [&](std::uint32_t e, std::size_t d) {
+      return store_->blocks[e >> shift_].dims[d][e & (capacity_ - 1)];
+    };
+
+    // Carve each cell into scan units of at most kUnitCap entries. Cells
+    // over the cap are split by recursive positional median cuts along the
+    // dimension of widest actual spread — a dense clump of repeat workloads
+    // thereby decomposes into units whose tight boxes separate spatially,
+    // and a query into the clump prunes all but the units its kth-best ball
+    // touches. The cut comparator breaks value ties by entry id, so the
+    // unit decomposition is a pure function of the cell's member set.
+    constexpr std::size_t kUnitCap = 256;
+    std::vector<std::uint32_t> order;
+    const auto emit_unit = [&](std::size_t begin, std::size_t end) {
+      std::array<double, 2 * kDims> ub;
+      for (std::size_t d = 0; d < kDims; ++d) {
+        ub[2 * d] = std::numeric_limits<double>::infinity();
+        ub[2 * d + 1] = -std::numeric_limits<double>::infinity();
+      }
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t e = order[i];
+        const RetrievalSnapshot::Block& eb = store_->blocks[e >> shift_];
+        const std::size_t eoff = e & (capacity_ - 1);
+        for (std::size_t d = 0; d < kDims; ++d) {
+          const double v = eb.dims[d][eoff];
+          ivf->packed[d].push_back(v);
+          ub[2 * d] = std::min(ub[2 * d], v);
+          ub[2 * d + 1] = std::max(ub[2 * d + 1], v);
+        }
+        ivf->packed_bytes.push_back(static_cast<double>(eb.bytes[eoff]));
+        ivf->entries.push_back(e);
+      }
+      // Outward-rounded float box: lo rounds down, hi rounds up, so the
+      // float box contains the exact double box and bounds against it stay
+      // conservative.
+      RetrievalSnapshot::Ivf::Box fb;
+      for (std::size_t d = 0; d < kDims; ++d) {
+        float lo = static_cast<float>(ub[2 * d]);
+        if (static_cast<double>(lo) > ub[2 * d])
+          lo = std::nextafterf(lo, -std::numeric_limits<float>::infinity());
+        float hi = static_cast<float>(ub[2 * d + 1]);
+        if (static_cast<double>(hi) < ub[2 * d + 1])
+          hi = std::nextafterf(hi, std::numeric_limits<float>::infinity());
+        fb[2 * d] = lo;
+        fb[2 * d + 1] = hi;
+      }
+      ivf->unit_box.push_back(fb);
+      ivf->unit_off.push_back(static_cast<std::uint32_t>(ivf->entries.size()));
+    };
+    const auto split = [&](auto&& self, std::size_t begin, std::size_t end) -> void {
+      if (end - begin <= kUnitCap) {
+        emit_unit(begin, end);
+        return;
+      }
+      std::array<double, 2 * kDims> rb;
+      for (std::size_t d = 0; d < kDims; ++d) {
+        rb[2 * d] = std::numeric_limits<double>::infinity();
+        rb[2 * d + 1] = -std::numeric_limits<double>::infinity();
+      }
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t d = 0; d < kDims; ++d) {
+          const double v = dim_of(order[i], d);
+          rb[2 * d] = std::min(rb[2 * d], v);
+          rb[2 * d + 1] = std::max(rb[2 * d + 1], v);
+        }
+      }
+      std::size_t dim = 0;
+      double widest = -1.0;
+      for (std::size_t d = 0; d < kDims; ++d) {
+        const double span = rb[2 * d + 1] - rb[2 * d];
+        if (span > widest) {
+          widest = span;
+          dim = d;
+        }
+      }
+      const std::size_t mid = begin + (end - begin) / 2;
+      std::nth_element(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                       order.begin() + static_cast<std::ptrdiff_t>(mid),
+                       order.begin() + static_cast<std::ptrdiff_t>(end),
+                       [&](std::uint32_t x, std::uint32_t y) {
+                         const double vx = dim_of(x, dim);
+                         const double vy = dim_of(y, dim);
+                         if (vx < vy) return true;
+                         if (vy < vx) return false;
+                         return x < y;
+                       });
+      self(self, begin, mid);
+      self(self, mid, end);
+    };
+    for (const auto& [key, list] : cells_) {
+      ivf->keys.push_back(key);
+      order.assign(list.begin(), list.end());
+      split(split, 0, order.size());
+    }
+
+    // Balanced BVH over the units: positional median split on box centers
+    // along the widest dimension of each node's merged box. Positional
+    // splits guarantee depth <= ceil(log2(units)), which is what lets the
+    // query walk the tree with a small fixed stack. The center comparator
+    // breaks ties by unit id, so the tree is a pure function of the unit set.
+    const std::size_t nunits = ivf->unit_box.size();
+    ivf->bvh_units.resize(nunits);
+    for (std::size_t u = 0; u < nunits; ++u)
+      ivf->bvh_units[u] = static_cast<std::uint32_t>(u);
+    ivf->bvh.reserve(2 * (nunits / 2) + 1);
+    constexpr std::uint32_t kBvhLeaf = 8;
+    const auto build = [&](auto&& self, std::uint32_t lo, std::uint32_t hi)
+        -> std::uint32_t {
+      const std::uint32_t id = static_cast<std::uint32_t>(ivf->bvh.size());
+      ivf->bvh.emplace_back();
+      RetrievalSnapshot::Ivf::Box nb;
+      for (std::size_t d = 0; d < kDims; ++d) {
+        nb[2 * d] = std::numeric_limits<float>::infinity();
+        nb[2 * d + 1] = -std::numeric_limits<float>::infinity();
+      }
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        const auto& ub = ivf->unit_box[ivf->bvh_units[i]];
+        for (std::size_t d = 0; d < kDims; ++d) {
+          nb[2 * d] = std::min(nb[2 * d], ub[2 * d]);
+          nb[2 * d + 1] = std::max(nb[2 * d + 1], ub[2 * d + 1]);
+        }
+      }
+      ivf->bvh[id].box = nb;
+      if (hi - lo <= kBvhLeaf) {
+        ivf->bvh[id].leaf = true;
+        ivf->bvh[id].a = lo;
+        ivf->bvh[id].b = hi;
+        return id;
+      }
+      std::size_t dim = 0;
+      float widest = -1.0f;
+      for (std::size_t d = 0; d < kDims; ++d) {
+        const float span = nb[2 * d + 1] - nb[2 * d];
+        if (span > widest) {
+          widest = span;
+          dim = d;
+        }
+      }
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      std::nth_element(
+          ivf->bvh_units.begin() + lo, ivf->bvh_units.begin() + mid,
+          ivf->bvh_units.begin() + hi,
+          [&ivf, dim](std::uint32_t x, std::uint32_t y) {
+            const float cx = ivf->unit_box[x][2 * dim] + ivf->unit_box[x][2 * dim + 1];
+            const float cy = ivf->unit_box[y][2 * dim] + ivf->unit_box[y][2 * dim + 1];
+            if (cx < cy) return true;
+            if (cy < cx) return false;
+            return x < y;
+          });
+      const std::uint32_t a = self(self, lo, mid);
+      const std::uint32_t b = self(self, mid, hi);
+      ivf->bvh[id].a = a;  // re-indexed: the recursion may have grown bvh
+      ivf->bvh[id].b = b;
+      return id;
+    };
+    if (nunits > 0) build(build, 0, static_cast<std::uint32_t>(nunits));
+    ivf_ = std::move(ivf);
+  }
+
+  publish(ivf_);
+}
+
+void RetrievalIndex::publish(std::shared_ptr<const RetrievalSnapshot::Ivf> ivf) {
+  auto snap = std::make_shared<RetrievalSnapshot>();
+  snap->store_ = store_;
+  snap->blocks_.reserve(store_->blocks.size());
+  for (const auto& blk : store_->blocks) snap->blocks_.push_back(&blk);
+  snap->ivf_ = std::move(ivf);
+  snap->size_ = size_;
+  snap->block_shift_ = shift_;
+  snap->block_mask_ = capacity_ - 1;
+  snap->ivf_min_entries_ = options_.ivf_min_entries;
+  snap->epoch_ = epoch_++;
+  snap_.store(std::move(snap), std::memory_order_release);
+}
+
+}  // namespace stune::service

@@ -1,0 +1,272 @@
+// The zero-execution retrieval tier (DESIGN.md §15): an append-only index
+// over every successful execution the fleet has recorded, answering
+// "the k most similar historical workloads to this signature" in
+// microseconds — with no trial execution and, on the read side, no lock.
+//
+// Layout. Signatures live in flat structure-of-arrays blocks: eight
+// dimension columns plus input-size, runtime and config-pointer columns,
+// each a fixed-capacity array inside an immutable-once-published Block.
+// Queries stream the dimension columns through the blocked SIMD kernel in
+// service/signature_scan.* and keep a fixed-size top-k, so a query performs
+// zero heap allocations (enforced by the analyzer's retrieval-alloc rule).
+// Configurations are deduplicated by fingerprint into a side pool — a
+// million records of a fleet reusing a few thousand configurations store
+// each configuration once and an 8-byte pointer per record.
+//
+// Reads. The index publishes immutable snapshots through an atomic
+// std::shared_ptr epoch: a writer appends into block cells *beyond* every
+// published size (under whatever external serialization the owner provides;
+// the SharedKnowledgeBase appends under its kKnowledgeBase mutex), builds a
+// new Snapshot describing [0, size), and release-stores it. A reader
+// acquire-loads the current snapshot and scans — it never takes the
+// knowledge-base mutex, never blocks a writer, and holds a shared_ptr that
+// keeps its blocks alive however far the writer has moved on. Cells at
+// index >= a snapshot's size are invisible to its readers, so writer and
+// readers never touch the same bytes.
+//
+// IVF. Past RetrievalOptions::ivf_min_entries the index layers a pruned
+// tier on top of the flat columns, rebuilt (immutably, off to the side)
+// every time a block fills. The rebuild *packs* the dimension columns in
+// cluster order — signatures quantized to a cell grid, each cell's members
+// contiguous — then carves the packed order into *scan units* of bounded
+// size, splitting oversized cells spatially so even a clump of a million
+// near-identical signatures decomposes into units with tight, separating
+// bounding boxes. Over the units it builds a balanced bounding-box tree
+// (positional median splits, so its depth is logarithmic and the query
+// stack is a small fixed array). The default probe policy is *exact*: a
+// depth-first walk descends the nearer child first, dives to the unit
+// nearest the query, fills the top-k there, and then prunes every node and
+// unit whose box lower-bound exceeds the shrinking kth-best; a surviving
+// unit is a sequential SIMD sweep over its packed range, not a
+// pointer-chasing gather. Results are bitwise identical to the flat scan
+// (the total order (dist², entry) makes exact top-k unique); the pruning
+// only skips candidates that cannot win. probe_cells > 0 instead collects
+// the P best-bounded units and scans only those (approximate mode;
+// bench_retrieval measures the recall it trades away). Entries appended
+// since the last rebuild are scanned flat — at most one block's worth.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "config/config_space.hpp"
+#include "simcore/units.hpp"
+#include "transfer/characterization.hpp"
+
+namespace stune::service {
+
+struct RetrievalOptions {
+  /// Entries per SoA block (rounded up to a power of two). Blocks are
+  /// immutable once their cells are published; small values exist for tests.
+  std::size_t block_capacity = 4096;
+  /// Below this many entries queries always scan flat; at or above it the
+  /// IVF lists are consulted (they are maintained either way).
+  std::size_t ivf_min_entries = 8192;
+  /// Quantization step of the IVF cell grid (the SharedKnowledgeBase's
+  /// signature-cell width, so the two tiers agree on what "a workload
+  /// shape" is).
+  double cell_width = 0.25;
+};
+
+/// One top-k query. All filters are optional; the defaults rank every entry.
+struct RetrievalQuery {
+  transfer::Signature signature;
+  /// 0 = no size filter; otherwise candidates must be within
+  /// `size_tolerance` (multiplicative) of this input size.
+  simcore::Bytes input_bytes = 0;
+  double size_tolerance = 1.5;
+  /// Similarity floor in [0, 1): candidates must satisfy
+  /// exp(-distance) >= min_similarity (transfer::similarity at scale 1).
+  /// Converted once to a squared-distance ceiling; the hot loop never
+  /// evaluates exp.
+  double min_similarity = 0.0;
+  /// 0 = exact (bound-pruned scan, flat-identical results); > 0 caps the
+  /// number of scan units probed — the P units nearest the query by
+  /// bounding-box distance (approximate, clamped to kMaxProbe).
+  std::size_t probe_cells = 0;
+};
+
+/// One retrieved neighbor. `config` points into the snapshot's config pool:
+/// valid while the snapshot that produced it is alive.
+struct RetrievalHit {
+  double dist2 = std::numeric_limits<double>::infinity();
+  double runtime = 0.0;
+  simcore::Bytes input_bytes = 0;
+  std::uint32_t entry = 0;  // global entry index (append order)
+  const config::Configuration* config = nullptr;
+};
+
+class RetrievalIndex;
+
+/// An immutable view of the index at one epoch. Copyable via shared_ptr;
+/// query() is const, thread-safe, and allocation-free.
+class RetrievalSnapshot {
+ public:
+  /// Top-k capacity of the fixed in-loop heap; k is clamped to this.
+  static constexpr std::size_t kMaxK = 16;
+  /// Cap on probe_cells in approximate mode.
+  static constexpr std::size_t kMaxProbe = 64;
+
+  std::size_t size() const { return size_; }
+  std::uint64_t epoch() const { return epoch_; }
+  /// Entries covered by the IVF lists (the tail [ivf_indexed, size) scans
+  /// flat); 0 when the IVF tier is not engaged at this size.
+  std::size_t ivf_indexed() const;
+  std::size_t ivf_cells() const;
+
+  /// The k nearest qualifying entries, ascending (dist², entry). Writes at
+  /// most min(k, kMaxK) hits into `hits` and returns how many. Exact unless
+  /// the query caps probe_cells. Performs no heap allocation.
+  std::size_t query(const RetrievalQuery& q, std::size_t k, RetrievalHit* hits) const;
+
+  /// Exact flat scan, ignoring the IVF tier — the reference answer
+  /// bench_retrieval and the tests compare against.
+  std::size_t query_flat(const RetrievalQuery& q, std::size_t k, RetrievalHit* hits) const;
+
+  /// As query_flat, but through the always-scalar kernel (SIMD-vs-scalar
+  /// parity checks).
+  std::size_t query_flat_scalar(const RetrievalQuery& q, std::size_t k,
+                                RetrievalHit* hits) const;
+
+ private:
+  friend class RetrievalIndex;
+
+  /// One SoA block: column arrays sized by the index's block capacity.
+  /// Cells below a published snapshot's size are immutable; the writer only
+  /// ever touches cells beyond every published size.
+  struct Block {
+    explicit Block(std::size_t capacity);
+    std::vector<double> dims[transfer::Signature::kDims];
+    std::vector<double> runtime;
+    std::vector<simcore::Bytes> bytes;
+    std::vector<const config::Configuration*> config;
+  };
+
+  /// Shared backing storage: blocks and the deduplicated config pool.
+  /// Deques so growth never moves an existing element; readers hold raw
+  /// pointers to elements, never call deque methods.
+  struct Store {
+    std::deque<Block> blocks;
+    std::deque<config::Configuration> configs;
+  };
+
+  using CellKey = std::array<int, transfer::Signature::kDims>;
+
+  /// The immutable IVF tier: the scanned columns re-packed in cluster order
+  /// — cell members contiguous, so a probe is a sequential SIMD sweep —
+  /// carved into *scan units* of bounded size, each with a tight bounding
+  /// box over its members' actual coordinates. A cell larger than the unit
+  /// cap is split spatially (recursive median cuts along its widest spread),
+  /// so even a dense clump of near-identical signatures decomposes into
+  /// units whose boxes separate, letting queries prune most of the clump
+  /// instead of streaming all of it. Rebuilt from the writer's live cell map
+  /// each time a block fills; shared by snapshots until the next rebuild.
+  struct Ivf {
+    std::size_t indexed = 0;  // entries covered: [0, indexed)
+    double cell_width = 0.25;
+    std::vector<CellKey> keys;            // populated cells, ascending
+    std::vector<std::uint32_t> entries;   // grouped by cell, units contiguous
+    /// Dimension columns re-ordered to match `entries` (packed[d][p] is
+    /// dimension d of entry entries[p]); bit-identical copies, so packed
+    /// distances equal flat-scan distances.
+    std::vector<double> packed[transfer::Signature::kDims];
+    std::vector<double> packed_bytes;     // input sizes, same order
+    std::vector<std::uint32_t> unit_off;  // units + 1, ranges into packed
+    /// Boxes are float with outward rounding (lo down, hi up): the box can
+    /// only grow, so a distance bound against it can only shrink — pruning
+    /// stays conservative — while the pruning structures take half the
+    /// cache traffic of double boxes.
+    using Box = std::array<float, 2 * transfer::Signature::kDims>;
+    /// Per-unit [lo, hi] per dimension, interleaved: [2d] and [2d + 1].
+    std::vector<Box> unit_box;
+    /// One node of the balanced bounding-box tree over scan units. Internal
+    /// nodes store child node ids in {a, b}; leaves store a range [a, b)
+    /// into `bvh_units`. Every node carries the merged box of its units, so
+    /// dist²(query, box) lower-bounds every descendant entry.
+    struct BvhNode {
+      Box box;
+      std::uint32_t a = 0;
+      std::uint32_t b = 0;
+      bool leaf = false;
+    };
+    /// Balanced BVH over units (median split on box centers along the widest
+    /// node dimension); bvh[0] is the root. Splits are positional, so depth
+    /// is at most ceil(log2(units)).
+    std::vector<BvhNode> bvh;
+    std::vector<std::uint32_t> bvh_units;  // unit ids, leaf ranges contiguous
+  };
+
+  struct TopK;  // fixed-capacity top-k accumulator (defined in the .cpp)
+
+  void scan_range(const double* query_dims, std::size_t begin, std::size_t end,
+                  const RetrievalQuery& q, double limit, bool scalar, TopK& top) const;
+  void scan_packed(const Ivf& ivf, const double* query_dims, std::size_t begin,
+                   std::size_t end, const RetrievalQuery& q, double limit,
+                   TopK& top) const;
+  std::size_t run_query(const RetrievalQuery& q, std::size_t k, RetrievalHit* hits,
+                        bool use_ivf, bool scalar) const;
+  std::size_t emit(const TopK& top, RetrievalHit* hits) const;
+
+  std::shared_ptr<const Store> store_;   // keeps blocks + configs alive
+  std::vector<const Block*> blocks_;     // blocks covering [0, size_)
+  std::shared_ptr<const Ivf> ivf_;       // may be null
+  std::size_t size_ = 0;
+  std::size_t block_shift_ = 12;         // log2(block capacity)
+  std::size_t block_mask_ = 4095;
+  std::size_t ivf_min_entries_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+/// The writer side. Appends are *externally* serialized (the
+/// SharedKnowledgeBase calls append() under its kKnowledgeBase mutex);
+/// snapshot() is safe from any thread at any time and never blocks.
+class RetrievalIndex {
+ public:
+  explicit RetrievalIndex(RetrievalOptions options = {});
+
+  /// Append one successful execution and publish a new snapshot epoch.
+  void append(const transfer::Signature& signature, simcore::Bytes input_bytes,
+              double runtime, const config::Configuration& config);
+
+  /// The current immutable view (never null; empty at epoch 0). Named to
+  /// match SharedKnowledgeBase::retrieval_snapshot(), and deliberately NOT
+  /// `snapshot`: the whole-program analyzer resolves calls by name, and
+  /// sharing a name with the mutex-taking SharedKnowledgeBase::snapshot()
+  /// would make every lock-free read look like a knowledge-base lock.
+  std::shared_ptr<const RetrievalSnapshot> retrieval_snapshot() const {
+    return snap_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const { return snap_.load(std::memory_order_acquire)->size(); }
+  std::uint64_t epoch() const { return snap_.load(std::memory_order_acquire)->epoch(); }
+  /// Distinct configurations in the dedup pool (storage diagnostics).
+  std::size_t distinct_configs() const { return config_by_fp_.size(); }
+
+ private:
+  using CellKey = RetrievalSnapshot::CellKey;
+
+  CellKey key_for(const transfer::Signature& sig) const;
+  void publish(std::shared_ptr<const RetrievalSnapshot::Ivf> ivf);
+
+  const std::size_t capacity_;   // power of two
+  const std::size_t shift_;
+  const RetrievalOptions options_;
+  std::shared_ptr<RetrievalSnapshot::Store> store_;
+  std::map<std::uint64_t, const config::Configuration*> config_by_fp_;
+  /// Live inverted lists, appended per record; flattened into an immutable
+  /// Ivf each time a block fills.
+  std::map<CellKey, std::vector<std::uint32_t>> cells_;
+  std::shared_ptr<const RetrievalSnapshot::Ivf> ivf_;  // last rebuild
+  std::size_t size_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::atomic<std::shared_ptr<const RetrievalSnapshot>> snap_;
+};
+
+}  // namespace stune::service

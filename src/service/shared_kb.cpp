@@ -29,7 +29,7 @@ bool within_size_tolerance(simcore::Bytes a, simcore::Bytes b, double tolerance)
 }  // namespace
 
 SharedKnowledgeBase::SharedKnowledgeBase(SharedKnowledgeBaseOptions options)
-    : options_(options) {}
+    : options_(options), retrieval_(options.retrieval) {}
 
 SharedKnowledgeBase::CellKey SharedKnowledgeBase::key_for(
     const transfer::Signature& sig) const {
@@ -90,6 +90,10 @@ std::uint64_t SharedKnowledgeBase::record_execution(ExecutionRecord r) {
     if (inserted || r.runtime < slot->second.runtime) {
       slot->second = SizeBest{r.runtime, r.input_bytes, r.signature};
     }
+    // Feed the retrieval tier (successful runs only — a retrieved config is
+    // adopted without a trial, so failures must never be candidates). The
+    // append publishes a new lock-free snapshot epoch.
+    retrieval_.append(r.signature, r.input_bytes, r.runtime, r.config);
   }
 
   const std::uint64_t seq = r.sequence;
@@ -148,6 +152,11 @@ std::optional<double> SharedKnowledgeBase::best_similar_runtime(
     }
   }
   return best;
+}
+
+std::size_t SharedKnowledgeBase::retrieval_distinct_configs() const {
+  const simcore::MutexLock lock(mu_);
+  return retrieval_.distinct_configs();
 }
 
 KnowledgeBase SharedKnowledgeBase::snapshot() const {

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -48,6 +49,7 @@
 #include "simcore/units.hpp"
 
 #include "service/knowledge_base.hpp"
+#include "service/retrieval_index.hpp"
 #include "transfer/characterization.hpp"
 #include "transfer/warm_start.hpp"
 
@@ -66,6 +68,10 @@ struct SharedKnowledgeBaseOptions {
   std::size_t max_cells = 256;
   /// Quantization step per signature dimension.
   double cell_width = 0.25;
+  /// The zero-execution retrieval tier layered over the same record stream
+  /// (service/retrieval_index.hpp). Every successful record is appended
+  /// under the knowledge-base mutex; reads go through lock-free snapshots.
+  RetrievalOptions retrieval;
 };
 
 /// Thread-safety: fully internally synchronized under a single mutex of
@@ -101,6 +107,18 @@ class SharedKnowledgeBase {
   /// Copy of the retained records as a plain KnowledgeBase (for save()).
   KnowledgeBase snapshot() const STUNE_EXCLUDES(mu_);
 
+  /// The retrieval tier's current immutable view. Lock-free: an atomic
+  /// shared_ptr acquire, never the knowledge-base mutex — this is the
+  /// serving tier's zero-trial read path and must not serialize on mu_.
+  /// Unaffected by ring retention (the retrieval tier, like the similarity
+  /// index, keeps everything ever recorded).
+  std::shared_ptr<const RetrievalSnapshot> retrieval_snapshot() const {
+    return retrieval_.retrieval_snapshot();
+  }
+
+  /// Distinct configurations in the retrieval tier's dedup pool.
+  std::size_t retrieval_distinct_configs() const STUNE_EXCLUDES(mu_);
+
  private:
   using CellKey = std::array<int, transfer::Signature::kDims>;
 
@@ -127,6 +145,10 @@ class SharedKnowledgeBase {
 
   const SharedKnowledgeBaseOptions options_;
   mutable simcore::Mutex mu_{simcore::lock_rank::kKnowledgeBase};
+  /// Appends are serialized under mu_ (record_execution); snapshot reads
+  /// are internally synchronized (atomic epoch pointer), so retrieval_ is
+  /// deliberately not GUARDED_BY — retrieval_snapshot() must stay lock-free.
+  RetrievalIndex retrieval_;
   std::deque<ExecutionRecord> records_ STUNE_GUARDED_BY(mu_);
   std::map<CellKey, Cell> cells_ STUNE_GUARDED_BY(mu_);
   std::set<std::string> tenants_ STUNE_GUARDED_BY(mu_);

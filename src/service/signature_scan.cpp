@@ -1,0 +1,96 @@
+#include "service/signature_scan.hpp"
+
+#include <cstddef>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace stune::service::scan {
+
+namespace {
+
+/// acc + a·b with pinned contraction: one hardware fused multiply-add when
+/// this TU is built with FMA support, a plainly rounded multiply + add
+/// otherwise — the same helper contract as model/gp.cpp and linalg/matrix.cpp.
+/// Every accumulation in this TU goes through it, which (together with the
+/// per-TU -ffp-contract=off pin) is what makes the scalar path bitwise
+/// identical to the vector path: both execute the same per-entry chain of
+/// fused operations, only the number of entries in flight differs.
+inline double fma_acc(double acc, double a, double b) {
+#ifdef __FMA__
+  return __builtin_fma(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
+}  // namespace
+
+void dist2_scalar(const double* const* cols, std::size_t n, const double* query,
+                  double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t d = 0; d < kDims; ++d) {
+      const double diff = cols[d][i] - query[d];
+      acc = fma_acc(acc, diff, diff);
+    }
+    out[i] = acc;
+  }
+}
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+void dist2(const double* const* cols, std::size_t n, const double* query, double* out) {
+  // Lane-per-entry: each of the four lanes carries one entry's accumulator
+  // through the eight-dimension chain — vfmadd per dimension, exactly the
+  // scalar sequence. Two vectors in flight hide the FMA latency (the chains
+  // are independent across entries).
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (std::size_t d = 0; d < kDims; ++d) {
+      const __m256d q = _mm256_set1_pd(query[d]);
+      const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(cols[d] + i), q);
+      const __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(cols[d] + i + 4), q);
+      acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+      acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+    }
+    _mm256_storeu_pd(out + i, acc0);
+    _mm256_storeu_pd(out + i + 4, acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t d = 0; d < kDims; ++d) {
+      const __m256d diff =
+          _mm256_sub_pd(_mm256_loadu_pd(cols[d] + i), _mm256_set1_pd(query[d]));
+      acc = _mm256_fmadd_pd(diff, diff, acc);
+    }
+    _mm256_storeu_pd(out + i, acc);
+  }
+  // Tail entries run the scalar chain — __FMA__ is defined on this branch,
+  // so fma_acc is the same vfmadd the lanes above executed.
+  for (; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t d = 0; d < kDims; ++d) {
+      const double diff = cols[d][i] - query[d];
+      acc = fma_acc(acc, diff, diff);
+    }
+    out[i] = acc;
+  }
+}
+
+bool simd_active() { return true; }
+
+#else  // scalar fallback build: dispatch == reference
+
+void dist2(const double* const* cols, std::size_t n, const double* query, double* out) {
+  dist2_scalar(cols, n, query, out);
+}
+
+bool simd_active() { return false; }
+
+#endif
+
+}  // namespace stune::service::scan

@@ -1,0 +1,44 @@
+// The retrieval tier's distance kernel (DESIGN.md §15): squared Euclidean
+// distance from one query signature to a column of stored signatures laid
+// out structure-of-arrays — eight dimension columns, lane-per-entry.
+//
+// Two exported paths with one contract:
+//
+//   dist2()        - the dispatching kernel. When this TU is compiled with
+//                    AVX2+FMA (the STUNE_NATIVE_KERNELS probe, the same
+//                    switch that arms matrix.cpp and gp.cpp), four entries
+//                    ride one vector register; otherwise it is byte-for-byte
+//                    the scalar loop.
+//   dist2_scalar() - the always-scalar reference, exported so tests and the
+//                    bench can assert SIMD == scalar *bitwise*.
+//
+// Why the two are bitwise identical by construction: with SoA columns each
+// SIMD lane owns one entry, so the accumulation over the eight dimensions is
+// the same sequential chain of fused multiply-adds the scalar loop performs
+// — acc = fma(diff, diff, acc), dimension by dimension — with no cross-lane
+// reduction anywhere. Both paths live in this one TU, compiled with
+// -ffp-contract=off (see src/service/CMakeLists.txt and the fp-contract pin
+// list in tools/analyze), and both spell the accumulation through the same
+// fma_acc helper, so the rounding sequence per entry is identical whatever
+// the register width.
+#pragma once
+
+#include <cstddef>
+
+namespace stune::service::scan {
+
+/// Signature dimensionality; mirrors transfer::Signature::kDims (asserted
+/// equal where the two meet, in retrieval_index.cpp).
+inline constexpr std::size_t kDims = 8;
+
+/// out[i] = sum_d (cols[d][i] - query[d])^2 for i in [0, n). `cols` holds
+/// kDims column pointers; all buffers may be unaligned. Allocation-free.
+void dist2(const double* const* cols, std::size_t n, const double* query, double* out);
+
+/// The scalar reference path (same TU, same flags, same fma_acc chain).
+void dist2_scalar(const double* const* cols, std::size_t n, const double* query, double* out);
+
+/// True when dist2() dispatches to the AVX2/FMA path in this build.
+bool simd_active();
+
+}  // namespace stune::service::scan

@@ -162,6 +162,59 @@ CircuitBreaker& TuningService::breaker_for(TenantShard& sh, const std::string& t
   return it->second;
 }
 
+bool TuningService::try_retrieve(TenantShard& sh, Entry& e) {
+  const ServiceOptions::RetrievalPolicy& policy = options_.retrieval;
+  if (!policy.enabled || !options_.enable_transfer ||
+      options_.transfer_scope != ServiceOptions::TransferScope::kGlobal) {
+    return false;
+  }
+  // A query needs a signature, and a workload's very first run has none —
+  // the first serve always falls through to the tuning ladder. Likewise an
+  // index nobody has populated yet. Both are fallbacks (retrieval wanted
+  // but unable to query), not misses (queried, nothing qualified).
+  const auto snap = kb_.retrieval_snapshot();
+  if (!e.signature.has_value() || snap->size() == 0) {
+    const MutexLock ctl(sh.ctl_mu);
+    ++sh.counters.retrieval_fallbacks;
+    return false;
+  }
+
+  RetrievalQuery q;
+  q.signature = *e.signature;
+  q.input_bytes = e.input_bytes;
+  q.size_tolerance = policy.size_tolerance;
+  q.min_similarity = policy.min_similarity;
+  q.probe_cells = policy.probe_cells;
+  RetrievalHit hits[RetrievalSnapshot::kMaxK];
+  const std::size_t n = snap->query(q, policy.top_k, hits);
+
+  // Adopt the *fastest* qualifying neighbor, not the nearest: the nearest
+  // is usually this workload's own previous run, which would just hand the
+  // incumbent configuration back.
+  const RetrievalHit* best = nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (hits[i].config == nullptr) continue;
+    if (best == nullptr || hits[i].runtime < best->runtime) best = &hits[i];
+  }
+  {
+    const MutexLock ctl(sh.ctl_mu);
+    if (best != nullptr) {
+      ++sh.counters.retrieval_hits;
+    } else {
+      ++sh.counters.retrieval_misses;
+    }
+  }
+  if (best == nullptr) return false;
+
+  // Zero-trial adoption: no stage-1 exploration either — a first-touch
+  // entry gets the degraded-style default cluster (provisioned stays false,
+  // so a later real tuning provisions properly).
+  if (!e.provisioned) degraded_provision(e);
+  e.config = *best->config;
+  e.tuned = true;
+  return true;
+}
+
 void TuningService::record_to_kb(Entry& e, const config::Configuration& conf,
                                  const disc::ExecutionReport& report, bool from_tuning) {
   ExecutionRecord r;
@@ -343,9 +396,17 @@ void TuningService::refresh_tenant_view(TenantShard& sh, const Entry& e,
 
 disc::ExecutionReport TuningService::run_locked(TenantShard& sh, Entry& e,
                                                 simcore::Bytes input_bytes, double deadline_s,
-                                                bool admission_exempt, bool& degraded) {
+                                                bool admission_exempt, bool& degraded,
+                                                bool& retrieved) {
   if (input_bytes != 0) e.input_bytes = input_bytes;
   const std::size_t degraded_before = e.degraded_runs;
+
+  // Zero-execution first stop (DESIGN.md §15): before spending any tuning
+  // capacity, ask the retrieval tier whether the fleet already knows a
+  // configuration for this workload shape. A hit answers with zero trials.
+  if (!e.tuned && try_retrieve(sh, e)) {
+    retrieved = true;
+  }
 
   if (!e.tuned) {
     // Tuning is the expensive part of a request: it needs both *capacity*
@@ -483,19 +544,25 @@ ServeResult TuningService::serve(int handle, const ServeRequest& request) {
   }
 
   bool degraded = false;
+  bool retrieved = false;
   try {
     const MutexLock lock(sh.mu);
     Entry& e = entry(sh, handle);
     result.report =
         run_locked(sh, e, request.input_bytes, request.deadline_s, /*admission_exempt=*/false,
-                   degraded);
+                   degraded, retrieved);
   } catch (...) {
     const MutexLock ctl(sh.ctl_mu);
     sh.admission.release();
     throw;
   }
 
-  result.outcome = degraded ? ServeOutcome::kDegraded : ServeOutcome::kServed;
+  // Degradation wins the label: a retrieved config whose run then drifted
+  // into a shed re-tune was not fully served. Otherwise a retrieval-adopted
+  // config makes this the zero-trial outcome.
+  result.outcome = degraded    ? ServeOutcome::kDegraded
+                   : retrieved ? ServeOutcome::kRetrieved
+                               : ServeOutcome::kServed;
   if (result.report.runtime > request.deadline_s) result.deadline_exceeded = true;
   {
     const MutexLock ctl(sh.ctl_mu);
@@ -515,8 +582,9 @@ disc::ExecutionReport TuningService::run_once(int handle, simcore::Bytes input_b
   const MutexLock lock(sh.mu);
   Entry& e = entry(sh, handle);
   bool degraded = false;
+  bool retrieved = false;
   return run_locked(sh, e, input_bytes, std::numeric_limits<double>::infinity(),
-                    /*admission_exempt=*/true, degraded);
+                    /*admission_exempt=*/true, degraded, retrieved);
 }
 
 WorkloadStatus TuningService::status(int handle) const {
@@ -560,6 +628,9 @@ ServiceHealth TuningService::health(bool per_tenant_detail) const {
     s.shed_deadline = sh.counters.shed_deadline;
     s.deadline_exceeded = sh.counters.deadline_exceeded;
     s.tuning_sessions = sh.counters.tuning_sessions;
+    s.retrieval_hits = sh.counters.retrieval_hits;
+    s.retrieval_misses = sh.counters.retrieval_misses;
+    s.retrieval_fallbacks = sh.counters.retrieval_fallbacks;
     s.tenants = sh.tenant_view.size();
     for (const auto& [tenant, t] : sh.tenant_view) {
       s.workloads += t.workloads;
@@ -572,7 +643,16 @@ ServiceHealth TuningService::health(bool per_tenant_detail) const {
     h.served += s.served;
     h.degraded += s.degraded;
     h.shed += s.shed_rate_limited + s.shed_saturated + s.shed_deadline;
+    h.retrieved += s.retrieval_hits;
+    h.retrieval_misses += s.retrieval_misses;
+    h.retrieval_fallbacks += s.retrieval_fallbacks;
     h.per_shard.push_back(std::move(s));
+  }
+  // The index view costs one lock-free snapshot load, not a KB lock.
+  {
+    const auto snap = kb_.retrieval_snapshot();
+    h.retrieval_epoch = snap->epoch();
+    h.retrieval_entries = snap->size();
   }
   if (per_tenant_detail) {
     h.per_tenant.reserve(by_tenant.size());

@@ -109,6 +109,31 @@ struct ServiceOptions {
   TransferScope transfer_scope = TransferScope::kGlobal;
   /// Retention/indexing knobs of the shared knowledge base.
   SharedKnowledgeBaseOptions knowledge{};
+  /// The zero-execution retrieval tier (DESIGN.md §15). When enabled, an
+  /// untuned workload with a known signature first consults the lock-free
+  /// retrieval index: a sufficiently similar historical run at a comparable
+  /// input size answers the request with its configuration outright —
+  /// ServeOutcome::kRetrieved, zero tuning trials — and only a miss falls
+  /// through to the degraded/warm-start/tune ladder. Off by default: the
+  /// pre-retrieval serving traces (and their pinned tests) stay bitwise
+  /// unchanged unless a deployment opts in. Requires enable_transfer and
+  /// TransferScope::kGlobal (the index is fleet-wide by construction).
+  struct RetrievalPolicy {
+    bool enabled = false;
+    /// Similarity bar a hit must clear (exp(-distance) >= bar). Stricter
+    /// than the warm-start guard: a retrieved config runs *unvalidated*.
+    double min_similarity = 0.85;
+    /// Multiplicative input-size window around the request.
+    double size_tolerance = 1.5;
+    /// Neighbors fetched per query; the adopted config is the *fastest*
+    /// qualifying neighbor, not the nearest — the nearest is typically the
+    /// workload's own previous run.
+    std::size_t top_k = 8;
+    /// 0 = exact bound-pruned search (flat-identical results); > 0 probes
+    /// only that many IVF cells (approximate).
+    std::size_t probe_cells = 0;
+  };
+  RetrievalPolicy retrieval{};
   /// Similarity bar for the SLO reference ("best-known runtime of similar
   /// workloads", §IV-D). Stricter than the transfer guard: a borderline
   /// donor can still seed a tuner, but holding this workload to a
@@ -167,7 +192,8 @@ struct WorkloadStatus {
 enum class ServeOutcome {
   kServed,    ///< full service: tuned (or already-tuned) configuration ran
   kDegraded,  ///< ran, but tuning was skipped — best-known-good config
-  kShed       ///< rejected at admission; nothing ran
+  kShed,      ///< rejected at admission; nothing ran
+  kRetrieved  ///< zero-trial: configuration retrieved from the index, ran
 };
 
 /// Why a request was shed (ServeOutcome::kShed).
@@ -230,6 +256,13 @@ struct ShardHealth {
   std::uint64_t shed_deadline = 0;
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t tuning_sessions = 0;
+  /// Retrieval-tier counters (DESIGN.md §15): hits answered a request with
+  /// a retrieved config (outcome kRetrieved); misses queried the index and
+  /// found nothing qualifying; fallbacks wanted retrieval but could not
+  /// query (no signature yet, or an empty index).
+  std::uint64_t retrieval_hits = 0;
+  std::uint64_t retrieval_misses = 0;
+  std::uint64_t retrieval_fallbacks = 0;
 };
 
 /// Service-wide health snapshot (the operator's view of the weather).
@@ -241,6 +274,13 @@ struct ServiceHealth {
   std::uint64_t served = 0;
   std::uint64_t degraded = 0;
   std::uint64_t shed = 0;
+  /// Retrieval totals across shards, plus the index's current view
+  /// (epoch/entries read lock-free off the published snapshot).
+  std::uint64_t retrieved = 0;
+  std::uint64_t retrieval_misses = 0;
+  std::uint64_t retrieval_fallbacks = 0;
+  std::uint64_t retrieval_epoch = 0;
+  std::size_t retrieval_entries = 0;
   std::vector<TenantHealth> per_tenant;  // sorted by tenant name
   std::vector<ShardHealth> per_shard;    // indexed by shard
 };
@@ -340,6 +380,9 @@ class TuningService {
     std::uint64_t shed_deadline = 0;
     std::uint64_t deadline_exceeded = 0;
     std::uint64_t tuning_sessions = 0;
+    std::uint64_t retrieval_hits = 0;
+    std::uint64_t retrieval_misses = 0;
+    std::uint64_t retrieval_fallbacks = 0;
   };
 
   /// One tenant shard: the unit of isolation. Data plane (entries,
@@ -408,15 +451,23 @@ class TuningService {
   /// properly.
   void degraded_provision(Entry& e) const;
   CircuitBreaker& breaker_for(TenantShard& sh, const std::string& tenant) STUNE_REQUIRES(sh.mu);
+  /// The zero-trial first stop of an untuned request (RetrievalPolicy).
+  /// Queries the lock-free retrieval snapshot — never the knowledge-base
+  /// mutex — and on a qualifying hit adopts the fastest neighbor's
+  /// configuration and marks the entry tuned. Returns true on a hit; bumps
+  /// the shard's retrieval counters either way.
+  bool try_retrieve(TenantShard& sh, Entry& e) STUNE_REQUIRES(sh.mu);
   void record_to_kb(Entry& e, const config::Configuration& conf,
                     const disc::ExecutionReport& report, bool from_tuning);
   /// The shared body of serve()/run_once(): provision/tune-or-degrade, the
   /// production run, SLO + ledger + breaker + drift bookkeeping.
   /// `admission_exempt` marks run_once() semantics: tuning capacity is
   /// never consulted. Returns the production report; sets `degraded` when
-  /// this run skipped wanted tuning.
+  /// this run skipped wanted tuning, `retrieved` when the configuration
+  /// came from the retrieval tier (zero tuning trials).
   disc::ExecutionReport run_locked(TenantShard& sh, Entry& e, simcore::Bytes input_bytes,
-                                   double deadline_s, bool admission_exempt, bool& degraded)
+                                   double deadline_s, bool admission_exempt, bool& degraded,
+                                   bool& retrieved)
       STUNE_REQUIRES(sh.mu);
   /// Refresh the shard's control-plane view of one tenant after a run
   /// (called with the shard mutex held; takes ctl_mu inside). O(1):

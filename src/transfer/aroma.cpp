@@ -19,7 +19,10 @@ void AromaAdvisor::fit(const std::vector<DonorObservation>& history) {
 
   std::vector<std::vector<double>> points;
   points.reserve(usable.size());
-  for (const auto* d : usable) points.push_back(d->signature.as_vector());
+  for (const auto* d : usable) {
+    const auto dims = d->signature.as_array();
+    points.emplace_back(dims.begin(), dims.end());
+  }
 
   const std::size_t k = std::min(options_.clusters, usable.size());
   const auto result = model::kmedoids(points, k, simcore::Rng(options_.seed));

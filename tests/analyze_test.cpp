@@ -765,6 +765,87 @@ TEST(AnalyzeFp, IntegerComparisonsWithCollidingNamesAreClean) {
 }
 
 // ---------------------------------------------------------------------------
+// Retrieval hot path
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeRetrieval, FlagsAllocatingContainerCallInQueryClosure) {
+  const Program p = make_program({
+      {"src/service/retrieval_index.cpp",
+       "struct RetrievalSnapshot {\n"
+       "  unsigned long query(double d) const {\n"
+       "    hits_.push_back(d);\n"
+       "    return 0;\n"
+       "  }\n"
+       "};\n"},
+  });
+  const auto vs = p.check_retrieval();
+  const Violation& v = only(vs, "retrieval-alloc");
+  EXPECT_EQ(v.line, 3u);
+}
+
+TEST(AnalyzeRetrieval, FlagsAsVectorAnywhereInTheClosure) {
+  // as_vector allocates per call by contract; the ban follows the closure
+  // across files, not just the retrieval TUs.
+  const Program p = make_program({
+      {"src/service/retrieval_index.cpp",
+       "struct RetrievalSnapshot {\n"
+       "  unsigned long query(double d) const { return widths(d); }\n"
+       "};\n"},
+      {"src/transfer/helper.cpp",
+       "unsigned long widths(double d) {\n"
+       "  return sig.as_vector().size();\n"
+       "}\n"},
+  });
+  const auto vs = p.check_retrieval();
+  const Violation& v = only(vs, "retrieval-alloc");
+  EXPECT_EQ(v.file, "src/transfer/helper.cpp");
+  EXPECT_EQ(v.line, 2u);
+}
+
+TEST(AnalyzeRetrieval, FlagsHeapOwningLocalInScanKernel) {
+  const Program p = make_program({
+      {"src/service/signature_scan.cpp",
+       "void dist2(const double* q, double* out) {\n"
+       "  std::vector<double> scratch(8);\n"
+       "  out[0] = scratch[0] + q[0];\n"
+       "}\n"},
+  });
+  const auto vs = p.check_retrieval();
+  const Violation& v = only(vs, "retrieval-alloc");
+  EXPECT_EQ(v.line, 2u);
+}
+
+TEST(AnalyzeRetrieval, FixedStackScratchIsClean) {
+  const Program p = make_program({
+      {"src/service/retrieval_index.cpp",
+       "struct RetrievalSnapshot {\n"
+       "  unsigned long query(double d) const {\n"
+       "    double dbuf[256];\n"
+       "    dbuf[0] = d * d;\n"
+       "    return accumulate(dbuf[0]);\n"
+       "  }\n"
+       "  unsigned long accumulate(double d) const { return d < 1.0 ? 0 : 1; }\n"
+       "};\n"},
+  });
+  EXPECT_TRUE(p.check_retrieval().empty());
+}
+
+TEST(AnalyzeRetrieval, WriterSideAllocationIsOutsideTheClosure) {
+  // append() allocates freely (blocks, the cell map); only the query path
+  // is bound to fixed scratch.
+  const Program p = make_program({
+      {"src/service/retrieval_index.cpp",
+       "struct RetrievalSnapshot {\n"
+       "  unsigned long query(double d) const { return d < 1.0 ? 0 : 1; }\n"
+       "};\n"
+       "struct RetrievalIndex {\n"
+       "  void append(double d) { cells_.push_back(d); }\n"
+       "};\n"},
+  });
+  EXPECT_TRUE(p.check_retrieval().empty());
+}
+
+// ---------------------------------------------------------------------------
 // FP pin manifest (CMake parsing)
 // ---------------------------------------------------------------------------
 
@@ -845,7 +926,7 @@ TEST(AnalyzeRuleIds, CoversEveryFamily) {
                          "det-iter", "det-ptr-key", "det-rng", "det-wall-clock",
                          "lock-cycle", "lock-excludes", "lock-rank-order",
                          "arena-store-escape", "arena-return-escape", "arena-alloc-layer",
-                         "fp-contract", "fp-compare"}) {
+                         "fp-contract", "fp-compare", "retrieval-alloc"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end()) << id;
   }
 }

@@ -1,0 +1,445 @@
+// Retrieval-tier tests (DESIGN.md §15): the SIMD flat-scan / IVF index
+// itself (bitwise parity between kernels, exact-mode pruning, approximate
+// recall, snapshot immutability), its wiring into SharedKnowledgeBase
+// (ring retention, the masked-cellmate approximation the bounded
+// similarity index documents), the lock-free reader/writer race (the TSan
+// job runs every Retrieval* suite), and the end-to-end kRetrieved serve
+// path. Suite names all start with "Retrieval" — CI's sanitizer regexes
+// select them by that prefix.
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "config/spark_space.hpp"
+#include "service/retrieval_index.hpp"
+#include "service/shared_kb.hpp"
+#include "service/tuning_service.hpp"
+#include "simcore/units.hpp"
+#include "transfer/characterization.hpp"
+#include "workload/workload.hpp"
+
+namespace stune::service {
+namespace {
+
+using simcore::gib;
+
+/// Deterministic low-discrepancy signature stream: unique per index, spread
+/// over a few dozen IVF cells (cell width 0.25) like a real fleet's handful
+/// of workload shapes.
+transfer::Signature sig_at(std::uint32_t i) {
+  const auto frac = [](double x) { return x - static_cast<double>(static_cast<long>(x)); };
+  transfer::Signature s;
+  s.cpu_fraction = frac(0.13 + i * 0.6180339887498949);
+  s.disk_fraction = 0.5 * frac(0.29 + i * 0.7548776662466927);
+  s.net_fraction = 0.5 * frac(0.53 + i * 0.5698402909980532);
+  s.gc_fraction = 0.25 * frac(0.71 + i * 0.3819660112501051);
+  s.shuffle_per_input = 2.0 * frac(0.17 + i * 0.2548776662466927);
+  s.spill_per_input = frac(0.41 + i * 0.1389769529409328);
+  s.stage_depth = 3.0 * frac(0.07 + i * 0.9241388105448246);
+  s.cache_pressure = frac(0.61 + i * 0.4678787748099796);
+  return s;
+}
+
+config::Configuration config_at(std::uint32_t i) {
+  auto c = config::spark_space()->default_config();
+  c.set(config::spark::kExecutorMemoryGiB, 4.0 + static_cast<double>(i % 13));
+  return c;
+}
+
+/// Populate an index with n entries; entry i gets sig_at(i), a runtime that
+/// decreases with i modulo a small cycle (so "fastest qualifying neighbor"
+/// is distinguishable from "nearest"), and one of 13 distinct configs.
+void fill(RetrievalIndex& idx, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    idx.append(sig_at(i), gib(1 + i % 8), 100.0 + static_cast<double>(i % 29), config_at(i));
+  }
+}
+
+std::uint64_t bits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+// -- The scan kernels --------------------------------------------------------------
+
+TEST(RetrievalIndexScan, SimdAndScalarFlatScansAreBitwiseIdentical) {
+  RetrievalIndex idx{RetrievalOptions{}};
+  fill(idx, 3000);
+  const auto snap = idx.retrieval_snapshot();
+  ASSERT_EQ(snap->size(), 3000u);
+
+  for (std::uint32_t probe = 0; probe < 40; ++probe) {
+    RetrievalQuery q;
+    q.signature = sig_at(probe * 131 + 7);
+    q.input_bytes = gib(1 + probe % 8);
+    q.size_tolerance = 2.0;
+    RetrievalHit simd[RetrievalSnapshot::kMaxK];
+    RetrievalHit scalar[RetrievalSnapshot::kMaxK];
+    const std::size_t ns = snap->query_flat(q, 16, simd);
+    const std::size_t nc = snap->query_flat_scalar(q, 16, scalar);
+    ASSERT_EQ(ns, nc) << "probe " << probe;
+    for (std::size_t j = 0; j < ns; ++j) {
+      EXPECT_EQ(simd[j].entry, scalar[j].entry) << "probe " << probe << " rank " << j;
+      EXPECT_EQ(bits(simd[j].dist2), bits(scalar[j].dist2))
+          << "probe " << probe << " rank " << j;
+    }
+  }
+}
+
+TEST(RetrievalIndexScan, ExactIvfMatchesFlatScanBitwise) {
+  RetrievalOptions o;
+  o.block_capacity = 64;
+  o.ivf_min_entries = 128;
+  RetrievalIndex idx(o);
+  fill(idx, 1024 + 17);  // 17 un-indexed tail entries exercise the flat tail
+  const auto snap = idx.retrieval_snapshot();
+  ASSERT_GT(snap->ivf_indexed(), 0u);
+  ASSERT_LT(snap->ivf_indexed(), snap->size());
+  ASSERT_GT(snap->ivf_cells(), 1u);
+
+  for (const std::size_t k : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    for (std::uint32_t probe = 0; probe < 40; ++probe) {
+      RetrievalQuery q;
+      q.signature = sig_at(probe * 37 + 3);
+      if (probe % 2 == 0) {
+        q.input_bytes = gib(1 + probe % 8);  // half the probes exercise the size window
+        q.size_tolerance = 2.0;
+      }
+      if (probe % 3 == 0) q.min_similarity = 0.3;  // and a third the similarity bar
+      RetrievalHit ivf[RetrievalSnapshot::kMaxK];
+      RetrievalHit flat[RetrievalSnapshot::kMaxK];
+      const std::size_t ni = snap->query(q, k, ivf);  // probe_cells == 0: exact
+      const std::size_t nf = snap->query_flat(q, k, flat);
+      ASSERT_EQ(ni, nf) << "k " << k << " probe " << probe;
+      for (std::size_t j = 0; j < ni; ++j) {
+        EXPECT_EQ(ivf[j].entry, flat[j].entry) << "k " << k << " probe " << probe;
+        EXPECT_EQ(bits(ivf[j].dist2), bits(flat[j].dist2)) << "k " << k << " probe " << probe;
+      }
+    }
+  }
+}
+
+TEST(RetrievalIndexScan, ApproximateProbeHasPerfectSelfRecall) {
+  RetrievalOptions o;
+  o.block_capacity = 64;
+  o.ivf_min_entries = 128;
+  RetrievalIndex idx(o);
+  fill(idx, 1024);
+  const auto snap = idx.retrieval_snapshot();
+  ASSERT_GT(snap->ivf_indexed(), 0u);
+
+  // The home cell is always among the probed cells, so querying an entry's
+  // own (unique) signature must return the entry itself at rank 0: recall@1
+  // is 1.0 at any probe width.
+  for (std::uint32_t i = 0; i < 1024; i += 16) {
+    RetrievalQuery q;
+    q.signature = sig_at(i);
+    q.probe_cells = 4;
+    RetrievalHit hits[RetrievalSnapshot::kMaxK];
+    ASSERT_GE(snap->query(q, 1, hits), 1u) << "entry " << i;
+    EXPECT_EQ(hits[i == 0 ? 0 : 0].entry, i) << "entry " << i;
+    EXPECT_EQ(hits[0].dist2, 0.0) << "entry " << i;
+  }
+}
+
+TEST(RetrievalIndexScan, HitsCarryTheAppendedPayload) {
+  RetrievalIndex idx{RetrievalOptions{}};
+  fill(idx, 100);
+  const auto snap = idx.retrieval_snapshot();
+  RetrievalQuery q;
+  q.signature = sig_at(42);
+  RetrievalHit hits[RetrievalSnapshot::kMaxK];
+  ASSERT_GE(snap->query(q, 1, hits), 1u);
+  EXPECT_EQ(hits[0].entry, 42u);
+  EXPECT_EQ(hits[0].input_bytes, gib(1 + 42 % 8));
+  EXPECT_DOUBLE_EQ(hits[0].runtime, 100.0 + 42 % 29);
+  ASSERT_NE(hits[0].config, nullptr);
+  EXPECT_EQ(hits[0].config->values(), config_at(42).values());
+  // 13 distinct configs were appended 100 times: the dedup pool holds 13.
+  EXPECT_EQ(idx.distinct_configs(), 13u);
+}
+
+// -- Snapshots ---------------------------------------------------------------------
+
+TEST(RetrievalIndexSnapshot, PublishedSnapshotsAreImmutableAcrossAppends) {
+  RetrievalIndex idx{RetrievalOptions{}};
+  fill(idx, 10);
+  const auto s1 = idx.retrieval_snapshot();
+  EXPECT_EQ(s1->size(), 10u);
+  const std::uint64_t e1 = s1->epoch();
+
+  for (std::uint32_t i = 10; i < 20; ++i) {
+    idx.append(sig_at(i), gib(1), 50.0, config_at(i));
+  }
+  const auto s2 = idx.retrieval_snapshot();
+  EXPECT_EQ(s2->size(), 20u);
+  EXPECT_GT(s2->epoch(), e1);
+
+  // The old epoch still answers queries over its own 10 entries; entry 15
+  // exists only in the new one.
+  EXPECT_EQ(s1->size(), 10u);
+  RetrievalQuery q;
+  q.signature = sig_at(15);
+  RetrievalHit hits[RetrievalSnapshot::kMaxK];
+  ASSERT_GE(s1->query(q, 1, hits), 1u);
+  EXPECT_NE(hits[0].entry, 15u);
+  EXPECT_GT(hits[0].dist2, 0.0);
+  ASSERT_GE(s2->query(q, 1, hits), 1u);
+  EXPECT_EQ(hits[0].entry, 15u);
+  EXPECT_EQ(hits[0].dist2, 0.0);
+}
+
+// Regression surface for the lock-free read path: a writer appending (and
+// republishing the snapshot every append, rebuilding the IVF tier at block
+// boundaries) races readers that grab snapshots and query them. TSan runs
+// this under the Retrieval* regex; the assertions pin the memory-ordering
+// contract (epochs never go backwards, a grabbed snapshot never mutates).
+TEST(RetrievalConcurrency, ReadersRaceWriterOnTheLiveIndex) {
+  RetrievalOptions o;
+  o.block_capacity = 64;
+  o.ivf_min_entries = 128;
+  RetrievalIndex idx(o);
+  constexpr std::uint32_t kTotal = 4000;
+
+  std::thread writer([&idx] { fill(idx, kTotal); });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&idx] {
+      std::uint64_t last_epoch = 0;
+      std::size_t last_size = 0;
+      while (true) {
+        const auto snap = idx.retrieval_snapshot();
+        EXPECT_GE(snap->epoch(), last_epoch);
+        EXPECT_GE(snap->size(), last_size);
+        last_epoch = snap->epoch();
+        last_size = snap->size();
+        if (snap->size() > 0) {
+          RetrievalQuery q;
+          q.signature = sig_at(static_cast<std::uint32_t>(snap->size() / 2));
+          RetrievalHit hits[RetrievalSnapshot::kMaxK];
+          const std::size_t n = snap->query(q, 4, hits);
+          EXPECT_GE(n, 1u);
+          EXPECT_LT(hits[0].entry, snap->size());
+        }
+        if (snap->size() == kTotal) break;
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(idx.retrieval_snapshot()->size(), kTotal);
+}
+
+// -- SharedKnowledgeBase wiring ----------------------------------------------------
+
+ExecutionRecord make_record(const std::string& tenant, double runtime, simcore::Bytes input,
+                            transfer::Signature sig) {
+  ExecutionRecord r;
+  r.tenant = tenant;
+  r.workload_label = "w";
+  r.config = config::spark_space()->default_config();
+  r.input_bytes = input;
+  r.runtime = runtime;
+  r.signature = sig;
+  return r;
+}
+
+TEST(RetrievalSharedKb, RingRetentionKeepsTheRetrievalTierComplete) {
+  SharedKnowledgeBaseOptions o;
+  o.max_records = 4;
+  SharedKnowledgeBase kb(o);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    kb.record_execution(make_record("t", 10.0 + i, gib(4), sig_at(i)));
+  }
+  // The ring dropped six full records; the retrieval tier (like the
+  // similarity index) keeps everything ever recorded.
+  EXPECT_EQ(kb.total_records(), 10u);
+  EXPECT_EQ(kb.retained_records(), 4u);
+  EXPECT_EQ(kb.snapshot().size(), 4u);
+  EXPECT_EQ(kb.retrieval_snapshot()->size(), 10u);
+  // All ten records carried the same (default) configuration: the dedup
+  // pool holds exactly one.
+  EXPECT_EQ(kb.retrieval_distinct_configs(), 1u);
+
+  // Entry 2 was dropped from the ring but is still retrievable.
+  RetrievalQuery q;
+  q.signature = sig_at(2);
+  RetrievalHit hits[RetrievalSnapshot::kMaxK];
+  ASSERT_GE(kb.retrieval_snapshot()->query(q, 1, hits), 1u);
+  EXPECT_EQ(hits[0].entry, 2u);
+  EXPECT_DOUBLE_EQ(hits[0].runtime, 12.0);
+}
+
+TEST(RetrievalSharedKb, FailedRecordsNeverEnterTheIndex) {
+  SharedKnowledgeBase kb;
+  kb.record_execution(make_record("t", 10.0, gib(4), sig_at(0)));
+  auto failed = make_record("t", 1.0, gib(4), sig_at(1));
+  failed.failed = true;
+  kb.record_execution(std::move(failed));
+  EXPECT_EQ(kb.total_records(), 2u);
+  EXPECT_EQ(kb.retrieval_snapshot()->size(), 1u);
+}
+
+// The documented approximation of the bounded similarity index (shared_kb.hpp
+// header): best_similar_runtime keeps one representative per (cell,
+// size-bucket) — the best runtime — so a similar-but-slower run is masked
+// when a faster, dissimilar cellmate owns the slot. The retrieval tier scans
+// actual entries, so it still finds the similar run.
+TEST(RetrievalSharedKb, MaskedCellmateIsInvisibleToTheIndexButRetrievable) {
+  transfer::Signature target;  // all zeros
+  transfer::Signature similar_slow;  // identical to the target
+  transfer::Signature dissimilar_fast;
+  dissimilar_fast.cpu_fraction = 0.2;  // same 0.25-wide cell, similarity exp(-0.2) < 0.9
+
+  SharedKnowledgeBase with_similar_only;
+  with_similar_only.record_execution(make_record("a", 100.0, gib(4), similar_slow));
+  const auto visible = with_similar_only.best_similar_runtime(target, gib(4), 0.9);
+  ASSERT_TRUE(visible.has_value());
+  EXPECT_DOUBLE_EQ(*visible, 100.0);
+
+  SharedKnowledgeBase kb;
+  kb.record_execution(make_record("a", 100.0, gib(4), similar_slow));
+  kb.record_execution(make_record("b", 10.0, gib(4), dissimilar_fast));
+  // The faster cellmate takes over the (cell, bucket) slot; its stored
+  // signature fails the 0.9 bar at query time, so the reference goes dark
+  // even though the similar 100 s run is still indexed — the masking the
+  // header documents.
+  EXPECT_FALSE(kb.best_similar_runtime(target, gib(4), 0.9).has_value());
+
+  // The retrieval tier holds both entries and applies the bar per entry.
+  RetrievalQuery q;
+  q.signature = target;
+  q.min_similarity = 0.9;
+  RetrievalHit hits[RetrievalSnapshot::kMaxK];
+  const std::size_t n = kb.retrieval_snapshot()->query(q, 8, hits);
+  ASSERT_EQ(n, 1u);  // the dissimilar cellmate fails the bar
+  EXPECT_EQ(hits[0].entry, 0u);
+  EXPECT_DOUBLE_EQ(hits[0].runtime, 100.0);
+}
+
+// -- End-to-end serve --------------------------------------------------------------
+
+ServiceOptions retrieval_service_options() {
+  ServiceOptions o;
+  o.tuning_budget = 15;
+  o.retuning_budget = 8;
+  o.tune_cloud = false;
+  o.default_cluster = {"h1.4xlarge", 4};
+  o.retrieval.enabled = true;
+  return o;
+}
+
+TEST(RetrievalServe, DegradedTenantIsAnsweredFromTheIndexOnItsNextServe) {
+  auto opts = retrieval_service_options();
+  opts.admission.tuning_tokens_per_s = 0.0;  // fixed stock:
+  opts.admission.tuning_burst = 1.0;         // exactly one tuning session
+  TuningService svc(opts);
+
+  const int ha = svc.submit("acme", workload::make_workload("sort"), gib(8));
+  EXPECT_EQ(svc.serve(ha).outcome, ServeOutcome::kServed);
+
+  // The tuning stock is gone. The next tenant's first serve has no
+  // signature yet (retrieval fallback) and degrades; the run it executes
+  // lands in the index, so the second serve retrieves — zero trials.
+  const int hb = svc.submit("globex", workload::make_workload("terasort"), gib(8));
+  EXPECT_EQ(svc.serve(hb).outcome, ServeOutcome::kDegraded);
+  EXPECT_FALSE(svc.status(hb).tuned);
+
+  const auto second = svc.serve(hb);
+  EXPECT_EQ(second.outcome, ServeOutcome::kRetrieved);
+  EXPECT_TRUE(second.report.success);
+  EXPECT_TRUE(svc.status(hb).tuned);
+  EXPECT_EQ(svc.status(hb).tunings, 0u);  // adopted, never tuned
+
+  // Now tuned: later serves are plain kServed production runs.
+  EXPECT_EQ(svc.serve(hb).outcome, ServeOutcome::kServed);
+
+  const auto health = svc.health();
+  EXPECT_EQ(health.retrieved, 1u);
+  EXPECT_GE(health.retrieval_fallbacks, 1u);
+  EXPECT_GT(health.retrieval_entries, 0u);
+  EXPECT_GT(health.retrieval_epoch, 0u);
+  std::uint64_t shard_hits = 0;
+  for (const auto& s : health.per_shard) shard_hits += s.retrieval_hits;
+  EXPECT_EQ(shard_hits, health.retrieved);
+}
+
+TEST(RetrievalServe, DisabledPolicyCountsNothingAndNeverRetrieves) {
+  auto opts = retrieval_service_options();
+  opts.retrieval.enabled = false;
+  opts.admission.tuning_tokens_per_s = 0.0;
+  opts.admission.tuning_burst = 0.0;  // nobody ever tunes
+  TuningService svc(opts);
+  const int h = svc.submit("acme", workload::make_workload("sort"), gib(8));
+  EXPECT_EQ(svc.serve(h).outcome, ServeOutcome::kDegraded);
+  EXPECT_EQ(svc.serve(h).outcome, ServeOutcome::kDegraded);
+  const auto health = svc.health();
+  EXPECT_EQ(health.retrieved, 0u);
+  EXPECT_EQ(health.retrieval_misses, 0u);
+  EXPECT_EQ(health.retrieval_fallbacks, 0u);
+}
+
+// With no tuning capacity anywhere, every tenant follows the same
+// degrade-once-then-retrieve path; admission state never diverges between
+// shard layouts (the bucket is empty everywhere), so per-tenant runtimes,
+// configurations and outcome sequences must be bitwise identical whatever
+// the shard count — the retrieval tier preserves the sharding determinism
+// contract.
+TEST(RetrievalServe, ShardCountPreservesRetrievalResultsBitwise) {
+  const std::vector<std::string> workloads = {"sort", "wordcount", "terasort", "join"};
+  constexpr int kRuns = 3;
+
+  struct TenantTrace {
+    std::vector<double> runtimes;
+    std::vector<ServeOutcome> outcomes;
+    std::vector<double> config;
+  };
+  const auto drive = [&](std::size_t shards) {
+    auto opts = retrieval_service_options();
+    opts.shards = shards;
+    opts.admission.tuning_tokens_per_s = 0.0;
+    opts.admission.tuning_burst = 0.0;
+    TuningService svc(opts);
+    std::vector<int> handles;
+    for (std::size_t t = 0; t < workloads.size(); ++t) {
+      handles.push_back(svc.submit("tenant-" + std::to_string(t),
+                                   workload::make_workload(workloads[t]), gib(4)));
+    }
+    std::vector<TenantTrace> traces(workloads.size());
+    for (int i = 0; i < kRuns; ++i) {
+      for (std::size_t t = 0; t < handles.size(); ++t) {
+        const auto r = svc.serve(handles[t]);
+        traces[t].runtimes.push_back(r.report.runtime);
+        traces[t].outcomes.push_back(r.outcome);
+      }
+    }
+    for (std::size_t t = 0; t < handles.size(); ++t) {
+      traces[t].config = svc.status(handles[t]).config.values();
+    }
+    // The path itself: first serve degraded (no signature), second retrieved.
+    EXPECT_EQ(traces[0].outcomes[0], ServeOutcome::kDegraded);
+    EXPECT_EQ(traces[0].outcomes[1], ServeOutcome::kRetrieved);
+    return traces;
+  };
+
+  const auto reference = drive(1);
+  for (const std::size_t shards : {4u, 16u}) {
+    const auto got = drive(shards);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t t = 0; t < reference.size(); ++t) {
+      EXPECT_EQ(got[t].runtimes, reference[t].runtimes)
+          << "tenant " << t << " diverged at shards=" << shards;
+      EXPECT_EQ(got[t].outcomes, reference[t].outcomes)
+          << "tenant " << t << " outcomes diverged at shards=" << shards;
+      EXPECT_EQ(got[t].config, reference[t].config)
+          << "tenant " << t << " config diverged at shards=" << shards;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stune::service

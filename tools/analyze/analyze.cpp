@@ -174,7 +174,8 @@ const std::vector<std::string>& rule_ids() {
       "layer-back-edge", "layer-unknown-module", "layer-cycle",        "det-iter",
       "det-ptr-key",     "det-rng",              "det-wall-clock",     "lock-cycle",
       "lock-excludes",   "lock-rank-order",      "arena-store-escape",
-      "arena-return-escape", "arena-alloc-layer", "fp-contract",       "fp-compare"};
+      "arena-return-escape", "arena-alloc-layer", "fp-contract",       "fp-compare",
+      "retrieval-alloc"};
   return kIds;
 }
 
@@ -203,6 +204,8 @@ FpManifest default_fp_manifest() {
       "src/model/kmedoids.cpp",
       "src/model/linear.cpp",
       "src/model/tree.cpp",
+      "src/service/retrieval_index.cpp",
+      "src/service/signature_scan.cpp",
       "src/simcore/fault.cpp",
       "src/simcore/stats.cpp",
       "src/transfer/characterization.cpp",

@@ -72,6 +72,15 @@
 //                            stay legal — intentional exact identity is
 //                            spelled simcore::bits_equal(a, b).
 //
+//   Retrieval hot path (reachability from RetrievalSnapshot::query* and the
+//   scan kernel — the serving tier's zero-trial read path, DESIGN.md §15):
+//     [retrieval-alloc]      a per-query allocation in the retrieval query
+//                            closure: an allocating container method, a
+//                            `new` expression, or a heap-owning local in the
+//                            retrieval TUs, or Signature::as_vector() called
+//                            from anywhere in the closure — the query path
+//                            runs on fixed stack scratch only.
+//
 // Suppression: the shared `// stune-lint: allow(<rule>)` escape hatch (the
 // `// stune-analyze: allow(<rule>)` spelling is equivalent), parsed by
 // lint::allowed_rules and honored uniformly across every rule family.
@@ -209,6 +218,7 @@ class Program {
   std::vector<Violation> check_lock_order() const;
   std::vector<Violation> check_arena(const LayerManifest& manifest) const;
   std::vector<Violation> check_fp(const FpManifest& fp) const;
+  std::vector<Violation> check_retrieval() const;
   std::vector<Violation> check_all(const LayerManifest& manifest,
                                    const FpManifest& fp = FpManifest{}) const;
 

@@ -522,10 +522,12 @@ std::vector<Violation> Program::check_all(const LayerManifest& manifest,
   const std::vector<Violation> lock = check_lock_order();
   const std::vector<Violation> arena = check_arena(manifest);
   const std::vector<Violation> fpv = check_fp(fp);
+  const std::vector<Violation> retrieval = check_retrieval();
   v.insert(v.end(), det.begin(), det.end());
   v.insert(v.end(), lock.begin(), lock.end());
   v.insert(v.end(), arena.begin(), arena.end());
   v.insert(v.end(), fpv.begin(), fpv.end());
+  v.insert(v.end(), retrieval.begin(), retrieval.end());
 
   // The shared allow() escape hatch (`stune-lint:` or `stune-analyze:`).
   std::map<std::string, std::size_t> path_index;

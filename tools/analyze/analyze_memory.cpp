@@ -354,6 +354,94 @@ std::vector<Violation> Program::check_arena(const LayerManifest& manifest) const
 }
 
 // ---------------------------------------------------------------------------
+// Retrieval hot path
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The retrieval tier's per-query entry points: RetrievalSnapshot::query*
+/// and the scan kernel. Everything reachable from them is the zero-trial
+/// serve path, which must not allocate (DESIGN.md §15).
+bool retrieval_entry(const FunctionInfo& fn) {
+  if (fn.class_name == "RetrievalSnapshot" && fn.name.rfind("query", 0) == 0) return true;
+  return fn.name == "dist2" || fn.name == "dist2_scalar";
+}
+
+/// The TUs the retrieval query path lives in. Allocation tokens are flagged
+/// only here: the name-matched closure over-approximates (a `begin()` call
+/// reaches every `begin` in the program), so judging foreign files by it
+/// would drown the rule in collisions. Cross-file callees are still covered
+/// by the closure-wide as_vector ban below.
+bool retrieval_file(const std::string& path) {
+  return path == "src/service/retrieval_index.cpp" ||
+         path == "src/service/retrieval_index.hpp" ||
+         path == "src/service/signature_scan.cpp" ||
+         path == "src/service/signature_scan.hpp";
+}
+
+}  // namespace
+
+std::vector<Violation> Program::check_retrieval() const {
+  finalize();
+  std::vector<Violation> v;
+  const std::set<std::size_t> closure = reachable_from(retrieval_entry);
+
+  // Container methods that (may) allocate, and heap-owning local types.
+  static const std::set<std::string> kAllocCalls = {
+      "push_back", "emplace_back", "insert",    "emplace", "push",  "resize",
+      "reserve",   "assign",       "make_shared", "make_unique"};
+  static const std::set<std::string> kHeapTypes = {"vector", "deque",  "string",
+                                                   "map",    "set",    "unordered_map",
+                                                   "unordered_set",    "ostringstream"};
+
+  for (const std::size_t fi : closure) {
+    const FunctionInfo& fn = functions_[fi];
+    const std::string& path = files_[fn.file].path;
+    const std::string& s = stripped_[fn.file];
+    const std::vector<std::size_t>& starts = line_starts_[fn.file];
+
+    // Closure-wide: Signature::as_vector allocates a vector per call by
+    // contract — hot-path consumers go through as_array().
+    for (const CallSite& call : calls_[fi]) {
+      if (call.name != "as_vector") continue;
+      v.push_back({path, call.line, "retrieval-alloc",
+                   "as_vector() called from " + fn.qualified +
+                       " (retrieval query closure); it allocates per call — use "
+                       "as_array()"});
+    }
+
+    if (!retrieval_file(path)) continue;
+
+    for (const CallSite& call : calls_[fi]) {
+      if (kAllocCalls.count(call.name) == 0) continue;
+      v.push_back({path, call.line, "retrieval-alloc",
+                   call.name + "() called from " + fn.qualified +
+                       " (retrieval query closure); the zero-trial serve path must "
+                       "not allocate per query"});
+    }
+
+    // `new` expressions and heap-owning local declarations in the body.
+    for (std::size_t p = tx::find_token(s, "new", fn.body_begin + 1);
+         p != std::string::npos && p < fn.body_end; p = tx::find_token(s, "new", p + 1)) {
+      v.push_back({path, tx::line_of(starts, p), "retrieval-alloc",
+                   "`new` expression in " + fn.qualified +
+                       " (retrieval query closure); the zero-trial serve path must "
+                       "not allocate per query"});
+    }
+    for (const std::string& type : kHeapTypes) {
+      for (std::size_t p = tx::find_token(s, type, fn.body_begin + 1);
+           p != std::string::npos && p < fn.body_end; p = tx::find_token(s, type, p + 1)) {
+        v.push_back({path, tx::line_of(starts, p), "retrieval-alloc",
+                     "heap-owning local (std::" + type + ") declared in " + fn.qualified +
+                         " (retrieval query closure); use fixed stack scratch — the "
+                         "zero-trial serve path must not allocate per query"});
+      }
+    }
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
 // FP determinism
 // ---------------------------------------------------------------------------
 

@@ -2,7 +2,7 @@
 // loads the layering manifest (tools/analyze/layers.toml when present, the
 // compiled-in default otherwise) and the FP pin manifest (parsed out of the
 // repo's CMakeLists.txt tree when present, the compiled-in default
-// otherwise), runs all five rule families and reports with the shared lint
+// otherwise), runs all six rule families and reports with the shared lint
 // formatters.
 //
 // Usage: stune_analyze [--format=text|json] [--layers=<path>] <repo-root>
